@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every module in this directory regenerates one paper artifact (figure or
+table) or one extension experiment from DESIGN.md's index.  Each test
+
+- prints the rows/series the paper reports (run with ``-s`` to see them),
+- attaches the key numbers to ``benchmark.extra_info`` when timed,
+- asserts the qualitative *shape* (who wins, direction of trends), which
+  is the reproduction criterion — absolute numbers differ because the
+  substrate is a simulator, not the authors' setting.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20200309)  # DATE 2020 conference date
+
+
+def print_table(title, header, rows):
+    """Uniform experiment-table printer."""
+    print(f"\n### {title}")
+    print("  " + " | ".join(f"{h:>18s}" for h in header))
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:>18.6g}")
+            else:
+                cells.append(f"{str(value):>18s}")
+        print("  " + " | ".join(cells))

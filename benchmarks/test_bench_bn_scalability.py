@@ -1,0 +1,137 @@
+"""EXT-H — §V-B: "using BN for larger systems can become cumbersome".
+
+Two costs, quantified: inference time/accuracy of exact vs approximate
+methods as networks grow, and the elicitation burden (CPT parameters) with
+and without ranked nodes (Fenton et al., ref. [37]).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.ranked_nodes import (
+    make_ranked_variable,
+    ranked_cpt,
+    ranked_parameter_savings,
+)
+from repro.bayesnet.variable import boolean_variable
+
+
+def chain_network(n_nodes):
+    bn = BayesianNetwork(f"chain-{n_nodes}")
+    prev = boolean_variable("n0")
+    bn.add_cpt(CPT.prior(prev, {"true": 0.3, "false": 0.7}))
+    for i in range(1, n_nodes):
+        cur = boolean_variable(f"n{i}")
+        bn.add_cpt(CPT.from_dict(cur, [prev], {
+            ("true",): {"true": 0.85, "false": 0.15},
+            ("false",): {"true": 0.25, "false": 0.75}}))
+        prev = cur
+    return bn
+
+
+def tree_network(depth):
+    """Binary in-tree: 2^depth leaf causes aggregating to one effect."""
+    bn = BayesianNetwork(f"tree-{depth}")
+    layer = []
+    for i in range(2 ** depth):
+        v = boolean_variable(f"leaf{i}")
+        bn.add_cpt(CPT.prior(v, {"true": 0.1, "false": 0.9}))
+        layer.append(v)
+    level = 0
+    while len(layer) > 1:
+        next_layer = []
+        for j in range(0, len(layer), 2):
+            v = boolean_variable(f"g{level}_{j // 2}")
+            a, b = layer[j], layer[j + 1]
+            bn.add_cpt(CPT.from_dict(v, [a, b], {
+                ("true", "true"): {"true": 0.95, "false": 0.05},
+                ("true", "false"): {"true": 0.6, "false": 0.4},
+                ("false", "true"): {"true": 0.6, "false": 0.4},
+                ("false", "false"): {"true": 0.05, "false": 0.95}}))
+            next_layer.append(v)
+        layer = next_layer
+        level += 1
+    return bn, layer[0].name
+
+
+@pytest.mark.parametrize("n_nodes", [8, 16, 32, 64])
+def test_chain_exact_inference_scaling(benchmark, n_nodes):
+    """Variable elimination on chains: cost grows with length, stays ms."""
+    bn = chain_network(n_nodes)
+    target = f"n{n_nodes - 1}"
+    posterior = benchmark(lambda: bn.query(target, {"n0": "true"}))
+    benchmark.extra_info["n_nodes"] = n_nodes
+    benchmark.extra_info["p_true"] = posterior["true"]
+    assert 0.0 < posterior["true"] < 1.0
+
+
+def test_exact_vs_sampling_accuracy_time(benchmark):
+    """On a 31-node tree: VE and JT agree exactly; sampling trades time
+    for variance."""
+
+    def run():
+        bn, root = tree_network(4)  # 16 leaves + 15 gates
+        evidence = {root: "true"}
+        rows = []
+        t0 = time.perf_counter()
+        ve = bn.query("leaf0", evidence, method="exact")
+        t_ve = time.perf_counter() - t0
+        rows.append(("variable elimination", t_ve, ve["true"], 0.0))
+        t0 = time.perf_counter()
+        jt = bn.query("leaf0", evidence, method="junction_tree")
+        t_jt = time.perf_counter() - t0
+        rows.append(("junction tree", t_jt, jt["true"],
+                     abs(jt["true"] - ve["true"])))
+        rng = np.random.default_rng(3)
+        t0 = time.perf_counter()
+        lw = bn.query("leaf0", evidence, method="likelihood_weighting",
+                      rng=rng, n_samples=4000)
+        t_lw = time.perf_counter() - t0
+        rows.append(("likelihood weighting", t_lw, lw["true"],
+                     abs(lw["true"] - ve["true"])))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-H: inference on a 31-node tree (evidence at the root)",
+                ["method", "seconds", "P(leaf0=true)", "|error|"], rows)
+    assert rows[1][3] < 1e-9      # JT == VE
+    assert rows[2][3] < 0.05      # sampling within MC noise
+
+
+def test_cpt_elicitation_burden(benchmark):
+    """Parameter counts: full CPT vs ranked nodes, 1-4 five-state parents."""
+
+    def run():
+        child = make_ranked_variable("effect")
+        rows = []
+        for k in (1, 2, 3, 4):
+            parents = [make_ranked_variable(f"cause{i}") for i in range(k)]
+            savings = ranked_parameter_savings(child, parents)
+            rows.append((k, savings["full_cpt"], savings["ranked"],
+                         savings["ratio"]))
+        return rows
+
+    rows = benchmark(run)
+    print_table("EXT-H: elicitation burden, full CPT vs ranked nodes",
+                ["parents", "full CPT params", "ranked params",
+                 "reduction x"], rows)
+    fulls = [r[1] for r in rows]
+    rankeds = [r[2] for r in rows]
+    # Exponential vs linear growth — the paper's complaint and its remedy.
+    assert fulls[-1] / fulls[0] == 125.0
+    assert rankeds[-1] - rankeds[0] == 3
+
+
+def test_ranked_cpt_generation_time(benchmark):
+    """Generating a 3-parent ranked CPT (500 rows) is fast enough to use
+    interactively during elicitation."""
+    child = make_ranked_variable("effect")
+    parents = [make_ranked_variable(f"cause{i}") for i in range(3)]
+    cpt = benchmark(lambda: ranked_cpt(child, parents,
+                                       weights=[3.0, 2.0, 1.0], sigma=0.15))
+    assert cpt.n_parameters() == 125 * 4

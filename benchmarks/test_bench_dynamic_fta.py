@@ -1,0 +1,129 @@
+"""EXT-K — dynamic fault trees (ref [33]): order logic and spares.
+
+CTMC analysis vs closed forms, the PAND-vs-AND gap, spare-dormancy sweep,
+and common-cause beta-factor ablation — the failure-logic features static
+FTA cannot express.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.faulttree.common_cause import (
+    beta_factor_system_probability,
+    ccf_diagnostic,
+)
+from repro.faulttree.dynamic import (
+    DynamicFaultTree,
+    DynamicGate,
+    ExponentialEvent,
+    and_gate_probability,
+    cold_spare_probability,
+    pand_probability,
+)
+
+
+def ev(name, rate):
+    return ExponentialEvent(name, rate)
+
+
+def test_ctmc_vs_closed_forms(benchmark):
+    """The CTMC compiler reproduces every analytic oracle."""
+
+    def run():
+        t = 1.5
+        a, b = 0.6, 0.4
+        rows = []
+        and_dft = DynamicFaultTree(
+            DynamicGate("top", "and", [ev("a", a), ev("b", b)]))
+        rows.append(("AND", and_dft.top_failure_probability(t),
+                     and_gate_probability(a, b, t)))
+        pand_dft = DynamicFaultTree(
+            DynamicGate("top", "pand", [ev("a", a), ev("b", b)]))
+        rows.append(("PAND", pand_dft.top_failure_probability(t),
+                     pand_probability(a, b, t)))
+        csp_dft = DynamicFaultTree(DynamicGate(
+            "top", "wsp", [ev("p", a), ev("s", b)], dormancy=0.0))
+        rows.append(("cold spare", csp_dft.top_failure_probability(t),
+                     cold_spare_probability(a, b, t)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-K: CTMC vs closed form at t=1.5",
+                ["gate", "CTMC", "closed form"], rows)
+    for _, ctmc, oracle in rows:
+        assert ctmc == pytest.approx(oracle, abs=1e-8)
+
+
+def test_order_logic_gap(benchmark):
+    """PAND < AND always; the gap is the information static FTA loses."""
+
+    def run():
+        rows = []
+        for t in (0.5, 1.0, 2.0, 5.0):
+            a, b = 0.6, 0.4
+            p_and = and_gate_probability(a, b, t)
+            p_pand = pand_probability(a, b, t)
+            rows.append((t, p_and, p_pand, p_pand / p_and))
+        return rows
+
+    rows = benchmark(run)
+    print_table("EXT-K: AND vs PAND probability over time",
+                ["t", "P(AND)", "P(PAND)", "ratio"], rows)
+    for _, p_and, p_pand, ratio in rows:
+        assert p_pand < p_and
+    # Long-run ratio tends to P(A first) = 0.6.
+    assert rows[-1][3] == pytest.approx(0.6, abs=0.05)
+
+
+def test_spare_dormancy_sweep(benchmark):
+    """System unreliability vs spare dormancy (cold -> hot)."""
+
+    def run():
+        t, lam = 2.0, 0.5
+        rows = []
+        for dormancy in (0.0, 0.25, 0.5, 0.75, 1.0):
+            dft = DynamicFaultTree(DynamicGate(
+                "top", "wsp", [ev("p", lam), ev("s", lam)],
+                dormancy=dormancy))
+            rows.append((dormancy, dft.top_failure_probability(t),
+                         dft.mean_time_to_failure()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-K: spare dormancy sweep (lambda=0.5, t=2)",
+                ["dormancy", "P(fail by t)", "MTTF"], rows)
+    probs = [r[1] for r in rows]
+    mttfs = [r[2] for r in rows]
+    assert probs == sorted(probs)               # colder spare = safer
+    assert mttfs == sorted(mttfs, reverse=True)
+    # Cold-spare MTTF = 2/lambda = 4; hot spare = 1.5/lambda = 3.
+    assert mttfs[0] == pytest.approx(4.0, abs=1e-6)
+    assert mttfs[-1] == pytest.approx(3.0, abs=1e-6)
+
+
+def test_common_cause_ablation(benchmark):
+    """Redundancy payoff collapses as the common-cause share grows."""
+
+    def run():
+        p = 0.01
+        rows = []
+        for beta in (0.0, 0.01, 0.05, 0.1, 0.5):
+            p2 = beta_factor_system_probability(p, 2, beta)
+            p4 = beta_factor_system_probability(p, 4, beta)
+            diag = ccf_diagnostic(p, max(beta, 1e-6), 2)
+            rows.append((beta, p2, p4, diag["p_ccf_given_all_failed"]))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-K: beta-factor common cause (p=0.01)",
+                ["beta", "P(2x fails)", "P(4x fails)",
+                 "P(ccf | both down)"], rows)
+    # Without CCF, quadrupling helps by orders of magnitude; with beta=0.1
+    # the 4x system is barely better than the 2x one.
+    no_ccf_gain = rows[0][1] / max(rows[0][2], 1e-300)
+    ccf_gain = rows[3][1] / rows[3][2]
+    assert no_ccf_gain > 1e3
+    assert ccf_gain < 1.5
+    diags = [r[3] for r in rows[1:]]
+    assert diags == sorted(diags)

@@ -1,0 +1,79 @@
+"""EXT-A — §III-B: epistemic uncertainty decreases with every observation.
+
+Bayesian parameter credibility (credible-interval width, expected-KL
+proxy) and the frequentist gap to the true distribution, both as a
+function of observation count, on the paper's ground-truth prior.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.probability.distributions import Categorical
+from repro.probability.estimation import (
+    BayesianCategoricalEstimator,
+    FrequentistEstimator,
+)
+
+TRUE_WORLD = Categorical({"car": 0.6, "pedestrian": 0.3, "unknown": 0.1})
+SAMPLE_SIZES = (30, 100, 300, 1000, 3000, 10000)
+
+
+def test_epistemic_convergence_bayesian(benchmark):
+    """Credible intervals and the KL proxy shrink ~O(1/n)."""
+
+    def run():
+        rows = []
+        rng = np.random.default_rng(7)
+        est = BayesianCategoricalEstimator(TRUE_WORLD.outcomes)
+        seen = 0
+        for target in SAMPLE_SIZES:
+            batch = TRUE_WORLD.sample_outcomes(rng, target - seen)
+            for o in batch:
+                est.observe(o)
+            seen = target
+            lo, hi = est.credible_interval("car")
+            rows.append((target, est.point_estimate().prob("car"),
+                         lo, hi, hi - lo, est.epistemic_uncertainty()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-A: Bayesian epistemic convergence (true P(car)=0.6)",
+                ["n", "posterior mean", "ci lower", "ci upper",
+                 "ci width", "KL proxy"], rows)
+    widths = [r[4] for r in rows]
+    proxies = [r[5] for r in rows]
+    assert widths == sorted(widths, reverse=True)
+    assert proxies == sorted(proxies, reverse=True)
+    # ~1/sqrt(n): two decades of n give ~10x narrower intervals.
+    assert widths[-1] < widths[0] / 8.0
+    # The final interval covers the truth.
+    assert rows[-1][2] <= 0.6 <= rows[-1][3]
+
+
+def test_epistemic_convergence_frequentist(benchmark):
+    """Frequentist gap max_o |p_hat - p| shrinks with n (model B's story)."""
+
+    def run():
+        rows = []
+        for n in SAMPLE_SIZES:
+            gaps = []
+            for rep in range(20):
+                rng = np.random.default_rng(1000 * rep + n)
+                est = FrequentistEstimator(TRUE_WORLD.outcomes)
+                est.observe_sequence(TRUE_WORLD.sample_outcomes(rng, n))
+                hat = est.estimate()
+                gaps.append(max(abs(hat.prob(o) - TRUE_WORLD.prob(o))
+                                for o in TRUE_WORLD.outcomes))
+            rows.append((n, float(np.mean(gaps)),
+                         float(np.mean(gaps)) * np.sqrt(n)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-A: frequentist estimation gap",
+                ["n", "mean max-gap", "gap * sqrt(n)"], rows)
+    gaps = [r[1] for r in rows]
+    assert gaps == sorted(gaps, reverse=True)
+    # The sqrt(n)-scaled gap is roughly constant (CLT rate).
+    scaled = [r[2] for r in rows]
+    assert max(scaled) / min(scaled) < 4.0

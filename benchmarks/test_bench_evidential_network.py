@@ -1,0 +1,110 @@
+"""EXT-C — evidential vs Bayesian analysis (§V-B).
+
+Belief/plausibility intervals from the evidential network vs BN point
+posteriors on the Fig. 4 model, as a function of the epistemic ignorance
+mass injected into the prior.  The BN hides ignorance inside point
+numbers; the evidential network widens its intervals — the paper's case
+for combining the two.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.evidence.evidential_network import EvidentialNetwork, EvidentialNode
+from repro.evidence.mass_function import FrameOfDiscernment, MassFunction
+from repro.perception.world import CAR, NONE_LABEL, PEDESTRIAN, UNKNOWN
+
+GT_FRAME = FrameOfDiscernment([CAR, PEDESTRIAN, UNKNOWN])
+PC_FRAME = FrameOfDiscernment([CAR, PEDESTRIAN, NONE_LABEL])
+
+
+def build_network(ignorance):
+    """Fig. 4 evidential network with `ignorance` mass on the full frame."""
+    gt = EvidentialNode("ground_truth", GT_FRAME)
+    pc = EvidentialNode("perception", PC_FRAME,
+                        [[CAR], [PEDESTRIAN], [CAR, PEDESTRIAN],
+                         [NONE_LABEL], [CAR, PEDESTRIAN, NONE_LABEL]])
+    en = EvidentialNetwork(f"fig4-ign-{ignorance}")
+    prior = {(CAR,): 0.6 * (1 - ignorance),
+             (PEDESTRIAN,): 0.3 * (1 - ignorance),
+             (UNKNOWN,): 0.1 * (1 - ignorance),
+             (CAR, PEDESTRIAN, UNKNOWN): ignorance}
+    prior = {k: v for k, v in prior.items() if v > 0}
+    en.add_root(gt, MassFunction(GT_FRAME, prior))
+
+    row_car = MassFunction(PC_FRAME, {
+        (CAR,): 0.9, (PEDESTRIAN,): 0.005, (CAR, PEDESTRIAN): 0.05,
+        (NONE_LABEL,): 0.045})
+    row_ped = MassFunction(PC_FRAME, {
+        (CAR,): 0.005, (PEDESTRIAN,): 0.9, (CAR, PEDESTRIAN): 0.05,
+        (NONE_LABEL,): 0.045})
+    row_unknown = MassFunction(PC_FRAME, {
+        (CAR, PEDESTRIAN): 0.2 / 0.9, (NONE_LABEL,): 0.7 / 0.9})
+    vacuous = MassFunction.vacuous(PC_FRAME)
+    rows = {}
+    for label in gt.variable.states:
+        if label == CAR:
+            rows[(label,)] = row_car
+        elif label == PEDESTRIAN:
+            rows[(label,)] = row_ped
+        elif label == UNKNOWN:
+            rows[(label,)] = row_unknown
+        else:
+            rows[(label,)] = vacuous  # unresolved set-states: say nothing
+    en.add_child(pc, ["ground_truth"], rows)
+    return en
+
+
+def test_interval_width_vs_ignorance(benchmark):
+    """Interval width grows with ignorance; the pignistic point does not
+    reveal it."""
+
+    def run():
+        rows = []
+        for ignorance in (0.0, 0.1, 0.2, 0.4):
+            en = build_network(ignorance)
+            intervals = en.singleton_intervals("perception")
+            pig = en.pignistic("perception")
+            lo, hi = intervals[CAR]
+            rows.append((ignorance, lo, hi, hi - lo, pig[CAR]))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-C: [Bel, Pl] of perception=car vs prior ignorance",
+                ["ignorance mass", "Bel", "Pl", "width", "pignistic"], rows)
+    widths = [r[3] for r in rows]
+    assert widths == sorted(widths)
+    assert widths[-1] > widths[0] + 0.2
+    # The pignistic point stays within every interval.
+    for _, lo, hi, _, pig in rows:
+        assert lo - 1e-9 <= pig <= hi + 1e-9
+
+
+def test_diagnostic_intervals_bracket_bn_point(benchmark):
+    """Under precise evidence the zero-ignorance evidential network equals
+    the BN; with ignorance the BN point stays inside the widened interval."""
+
+    def run():
+        from repro.perception.chain import build_fig4_network
+        bn = build_fig4_network()
+        bn_post = bn.query("ground_truth", {"perception": "none"})
+        en0 = build_network(0.0)
+        en3 = build_network(0.3)
+        iv0 = en0.singleton_intervals("ground_truth", {"perception": "none"})
+        iv3 = en3.singleton_intervals("ground_truth", {"perception": "none"})
+        return bn_post, iv0, iv3
+
+    bn_post, iv0, iv3 = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for state in (CAR, PEDESTRIAN, UNKNOWN):
+        rows.append((state, bn_post[state], iv0[state][0], iv0[state][1],
+                     iv3[state][0], iv3[state][1]))
+    print_table("EXT-C: P(gt | none): BN point vs evidential intervals",
+                ["state", "BN point", "Bel(eps=0)", "Pl(eps=0)",
+                 "Bel(eps=.3)", "Pl(eps=.3)"], rows)
+    for state, point, lo0, hi0, lo3, hi3 in rows:
+        assert lo0 == pytest.approx(point, abs=1e-9)
+        assert hi0 == pytest.approx(point, abs=1e-9)
+        assert lo3 - 1e-9 <= point <= hi3 + 1e-9
+        assert (hi3 - lo3) >= (hi0 - lo0) - 1e-12

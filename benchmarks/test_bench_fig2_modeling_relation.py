@@ -1,0 +1,89 @@
+"""FIG2 — the modeling relation: models A and B of the two-planet universe.
+
+Model A: trajectory-prediction error vs integrator and step size (the
+encoding error of the deterministic model).  Model B: occupancy-histogram
+convergence vs number of observations (the epistemic error of the
+frequentist model).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.orbital.bodies import make_two_planet_universe
+from repro.orbital.kepler import orbital_elements_from_state
+from repro.orbital.nbody import NBodySimulator
+from repro.orbital.observation import SpatialOccupancyModel, observe_positions
+
+
+def setup_universe():
+    bodies = make_two_planet_universe(mass_ratio=0.5, separation=1.0,
+                                      eccentricity=0.3)
+    rel = bodies[1].position - bodies[0].position
+    relv = bodies[1].velocity - bodies[0].velocity
+    orbit = orbital_elements_from_state(rel, relv,
+                                        bodies[0].mass + bodies[1].mass)
+    return bodies, orbit
+
+
+def test_fig2_model_a_integrator_error(benchmark):
+    """Deterministic model A: error vs Kepler truth per integrator/step."""
+
+    def run():
+        bodies, orbit = setup_universe()
+        rows = []
+        for integrator in ("euler", "semi_implicit_euler", "leapfrog", "rk4"):
+            for steps_per_orbit in (200, 800):
+                dt = orbit.period / steps_per_orbit
+                traj = NBodySimulator(bodies, integrator=integrator).run(
+                    dt, 2 * steps_per_orbit)
+                rel_num = traj.relative_positions("planet1", "planet2")[-1]
+                rel_ana = orbit.relative_position(traj.times[-1])
+                err = float(np.linalg.norm(rel_num - rel_ana))
+                rows.append((integrator, steps_per_orbit, err,
+                             traj.max_energy_drift()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("FIG2 model A: trajectory error after 2 orbits",
+                ["integrator", "steps/orbit", "position error",
+                 "energy drift"], rows)
+    by = {(r[0], r[1]): r[2] for r in rows}
+    # Shapes: rk4 beats euler by orders of magnitude; refining the step
+    # helps every integrator; symplectic integrators bound energy drift.
+    assert by[("rk4", 800)] < by[("euler", 800)] / 1e3
+    assert by[("euler", 800)] < by[("euler", 200)]
+    assert by[("rk4", 800)] < by[("rk4", 200)]
+    drift = {(r[0], r[1]): r[3] for r in rows}
+    assert drift[("leapfrog", 800)] < drift[("euler", 800)] / 100
+
+
+def test_fig2_model_b_occupancy_convergence(benchmark):
+    """Probabilistic model B: frequency estimate converges to the truth."""
+
+    def run():
+        bodies, orbit = setup_universe()
+        traj = NBodySimulator(bodies, integrator="leapfrog").run(
+            orbit.period / 1000, 5000)
+        reference = SpatialOccupancyModel(extent=1.5, n_cells=8,
+                                          pseudocount=0.5)
+        reference.observe(observe_positions(
+            traj, "planet2", np.random.default_rng(0), 300000))
+        rows = []
+        for n in (100, 1000, 10000, 100000):
+            model = SpatialOccupancyModel(extent=1.5, n_cells=8,
+                                          pseudocount=0.5)
+            model.observe(observe_positions(
+                traj, "planet2", np.random.default_rng(n), n))
+            tv = model.total_variation_distance(reference)
+            frame_p = model.probability_in((0.0, 1.5), (-1.5, 1.5))
+            rows.append((n, tv, frame_p))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("FIG2 model B: occupancy convergence (epistemic shrinkage)",
+                ["n observations", "TV distance to truth",
+                 "P(x > 0 frame)"], rows)
+    tvs = [r[1] for r in rows]
+    assert tvs == sorted(tvs, reverse=True)
+    assert tvs[-1] < tvs[0] / 5.0  # roughly 1/sqrt(n) over 3 decades

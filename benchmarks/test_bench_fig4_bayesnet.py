@@ -1,0 +1,72 @@
+"""FIG4 — the Fig. 4 perception-chain Bayesian network.
+
+Regenerates the forward (marginal output) and diagnostic (ground truth
+given output) distributions of the paper's network, and times the four
+inference routes on the same query.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.perception.chain import PAPER_PRIOR, build_fig4_network
+
+EVIDENCE = {"perception": "none"}
+
+
+@pytest.fixture(scope="module")
+def network():
+    return build_fig4_network()
+
+
+def test_fig4_forward_distribution(benchmark, network):
+    """The Table I forward pass: P(perception state)."""
+    forward = benchmark(lambda: network.query("perception"))
+    print_table("FIG4 forward: P(perception)",
+                ["state", "probability"],
+                [(s, p) for s, p in forward.items()])
+    # Shape: car > pedestrian > none > car/pedestrian for the paper's prior.
+    assert forward["car"] > forward["pedestrian"] > forward["none"]
+    assert forward["none"] > forward["car/pedestrian"]
+    assert sum(forward.values()) == pytest.approx(1.0)
+
+
+def test_fig4_diagnostic_posteriors(benchmark, network):
+    """P(ground truth | each perception output)."""
+
+    def run():
+        out = []
+        for output in ("car", "pedestrian", "car/pedestrian", "none"):
+            post = network.query("ground_truth", {"perception": output})
+            out.append((output, post["car"], post["pedestrian"],
+                        post["unknown"]))
+        return out
+
+    rows = benchmark(run)
+    print_table("FIG4 diagnostic: P(ground truth | perception)",
+                ["evidence", "P(car)", "P(ped)", "P(unknown)"], rows)
+    # Headline shapes: confident outputs are trustworthy, the 'none' output
+    # is dominated by unknown objects, and 'car/pedestrian' points to the
+    # known classes plus a sizable unknown share.
+    assert rows[0][1] > 0.98                      # car output -> car
+    assert rows[1][2] > 0.98                      # ped output -> ped
+    assert rows[3][3] > rows[3][1] > rows[3][2]   # none -> unknown dominates
+    assert rows[3][3] == pytest.approx(0.6576, abs=1e-3)
+
+
+@pytest.mark.parametrize("method,n", [("exact", 0), ("junction_tree", 0),
+                                      ("likelihood_weighting", 20000),
+                                      ("gibbs", 4000)])
+def test_fig4_inference_methods_timing(benchmark, network, method, n):
+    """All inference routes agree; exact routes are orders faster here."""
+    rng = np.random.default_rng(1)
+
+    def run():
+        kwargs = {"method": method}
+        if n:
+            kwargs.update(rng=rng, n_samples=n)
+        return network.query("ground_truth", EVIDENCE, **kwargs)
+
+    posterior = benchmark(run)
+    benchmark.extra_info["p_unknown_given_none"] = posterior["unknown"]
+    assert posterior["unknown"] == pytest.approx(0.6576, abs=0.03)

@@ -1,0 +1,116 @@
+"""EXT-F — §IV forecasting: residual-uncertainty estimation & release gate.
+
+Good-Turing vs the naive zero-estimate of unseen mass against the
+simulator's ground truth, and the release-decision operating curve vs
+exposure — the long-tail validation challenge in numbers.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.means.forecasting import ReleaseCriteria, ResidualUncertaintyForecast
+from repro.perception.world import WorldModel
+from repro.probability.estimation import GoodTuringEstimator
+
+EXPOSURES = (200, 1000, 5000, 25000)
+
+
+def test_good_turing_vs_naive(benchmark):
+    """|estimate - truth| per exposure: Good-Turing vs 'assume 0 unseen'."""
+
+    def run():
+        world = WorldModel()
+        fine = world.fine_grained_prior()
+        rows = []
+        for n in EXPOSURES:
+            gt_errors, naive_errors, truths = [], [], []
+            for rep in range(10):
+                rng = np.random.default_rng(100 * rep + n)
+                estimator = GoodTuringEstimator()
+                seen = set()
+                for _ in range(n):
+                    kind = world.sample_object(rng).true_class
+                    estimator.observe(kind)
+                    seen.add(kind)
+                truth = sum(p for k, p in fine.probabilities.items()
+                            if k not in seen)
+                truths.append(truth)
+                gt_errors.append(abs(estimator.missing_mass() - truth))
+                naive_errors.append(abs(0.0 - truth))
+            rows.append((n, float(np.mean(truths)),
+                         float(np.mean(gt_errors)),
+                         float(np.mean(naive_errors))))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-F: unseen-mass estimation error",
+                ["exposure", "true unseen mass", "|GT error|",
+                 "|naive-0 error|"], rows)
+    # Shape: at small exposures (where it matters) Good-Turing beats the
+    # naive estimator; both converge as the tail is exhausted.
+    small = rows[0]
+    assert small[2] < small[3]
+    assert rows[-1][1] < rows[0][1]
+
+
+def test_release_operating_curve(benchmark):
+    """Release decision vs exposure: the ontological criterion is the
+    binding one in a long-tail world."""
+
+    def run():
+        world = WorldModel()
+        criteria = ReleaseCriteria(max_hazard_rate=0.5, max_missing_mass=0.02,
+                                   confidence=0.95)
+        forecast = ResidualUncertaintyForecast(criteria)
+        rng = np.random.default_rng(12)
+        rows = []
+        total = 0
+        for n in EXPOSURES:
+            batch = n - total
+            kinds = [world.sample_object(rng).true_class
+                     for _ in range(batch)]
+            hazards = int(0.1 * batch)  # constant hazard rate, under target
+            forecast.observe_campaign(batch, hazards, kinds)
+            total = n
+            decision = forecast.assess()
+            rows.append((n, decision.hazard_rate_bound,
+                         decision.missing_mass_bound,
+                         decision.hazard_ok, decision.ontology_ok,
+                         decision.release))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-F: release operating curve",
+                ["exposure", "hazard bound", "unseen bound", "hazard ok",
+                 "ontology ok", "release"], rows)
+    # Bounds tighten monotonically with exposure.
+    unseen = [r[2] for r in rows]
+    assert unseen == sorted(unseen, reverse=True)
+    # At low exposure the ontological criterion blocks release even though
+    # the hazard criterion passes — the paper's release argument.
+    assert rows[0][3] and not rows[0][4]
+    assert rows[-1][5]  # eventually releasable
+
+
+def test_required_exposure_scaling(benchmark):
+    """Tightening the ontological target inflates the needed exposure
+    quadratically (the McAllester-Schapire slack)."""
+
+    def run():
+        rows = []
+        for target in (0.05, 0.02, 0.01, 0.005):
+            criteria = ReleaseCriteria(max_hazard_rate=0.5,
+                                       max_missing_mass=target)
+            forecast = ResidualUncertaintyForecast(criteria)
+            forecast.observe_campaign(1000, 0, ["car"] * 700 +
+                                      ["pedestrian"] * 300)
+            rows.append((target, forecast.required_exposure_estimate()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-F: additional exposure needed vs ontological target",
+                ["target unseen mass", "extra exposure"], rows)
+    needs = [r[1] for r in rows]
+    assert needs == sorted(needs)
+    assert needs[-1] > 10 * needs[0]

@@ -1,0 +1,103 @@
+"""EXT-M — the runtime health-management stack.
+
+Tolerance at runtime, integrated: an HMM estimates the SuD's health mode
+from symptoms; the MDP-derived fallback policy maps the belief to an
+action; Markov availability accounts for the repair loop.  The bench
+measures mode-estimation accuracy, the hazard/availability outcomes of
+the derived vs naive policies, and the availability of the repairable
+architecture.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.faulttree.markov_availability import (
+    RepairableComponent,
+    downtime_minutes_per_year,
+    kofn_availability,
+)
+from repro.tracking.hmm import degradation_hmm
+from repro.verification.mdp import fallback_policy_mdp
+
+
+def test_mode_estimation_accuracy(benchmark):
+    """HMM smoothing accuracy vs symptom informativeness."""
+
+    def run():
+        rows = []
+        for symptom_rate in (0.2, 0.4, 0.8):
+            hmm = degradation_hmm(
+                p_degrade=0.05, p_fail=0.1, p_repair=0.05,
+                symptom_rates={"nominal": 0.02, "degraded": symptom_rate,
+                               "faulty": 0.95})
+            correct = total = 0
+            for rep in range(30):
+                rng = np.random.default_rng(rep)
+                truth, obs = hmm.sample(rng, 80)
+                smoothed = hmm.smooth(obs)
+                for t, b in zip(truth, smoothed):
+                    correct += (max(b, key=lambda s: b[s]) == t)
+                    total += 1
+            rows.append((symptom_rate, correct / total))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-M: HMM mode-estimation accuracy vs symptom rate",
+                ["P(symptom | degraded)", "accuracy"], rows)
+    accs = [r[1] for r in rows]
+    assert accs == sorted(accs)  # better symptoms, better estimation
+    assert accs[-1] > 0.8
+
+
+def test_derived_policy_value(benchmark):
+    """The MDP-derived fallback policy vs always-commit / always-degrade."""
+
+    def run():
+        mdp = fallback_policy_mdp(p_hazard_commit_uncertain=0.3,
+                                  p_hazard_commit_confident=0.002,
+                                  degraded_cost=1.0, hazard_cost=100.0)
+        _, optimal = mdp.value_iteration(discount=0.95)
+        candidates = {
+            "derived (MDP)": optimal,
+            "always commit": {"confident": "commit", "uncertain": "commit"},
+            "always degrade": {"confident": "degrade", "uncertain": "degrade"},
+        }
+        rows = []
+        for name, policy in candidates.items():
+            value = mdp.policy_value(policy, discount=0.95)
+            rows.append((name, policy["confident"], policy["uncertain"],
+                         value["confident"]))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-M: fallback policies (expected discounted cost)",
+                ["policy", "action@confident", "action@uncertain",
+                 "cost from confident"], rows)
+    by = {r[0]: r[3] for r in rows}
+    assert by["derived (MDP)"] <= by["always commit"] + 1e-9
+    assert by["derived (MDP)"] <= by["always degrade"] + 1e-9
+
+
+def test_repairable_architecture_availability(benchmark):
+    """Availability of 1oo2 / 2oo3 repairable channels vs repair capacity."""
+
+    def run():
+        channel = RepairableComponent("channel", failure_rate=0.01,
+                                      repair_rate=0.5)
+        rows = []
+        for n, k in ((1, 1), (2, 1), (3, 2)):
+            for crews in (1, n):
+                a = kofn_availability(channel, n, k, n_repair_crews=crews)
+                rows.append((f"{k}oo{n}", crews, a,
+                             downtime_minutes_per_year(a)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-M: repairable-architecture availability",
+                ["architecture", "repair crews", "availability",
+                 "downtime min/yr"], rows)
+    by = {(r[0], r[1]): r[2] for r in rows}
+    assert by[("1oo2", 1)] > by[("1oo1", 1)]       # redundancy helps
+    assert by[("2oo3", 3)] >= by[("2oo3", 1)]      # repair capacity helps
+    assert downtime_minutes_per_year(by[("1oo2", 2)]) < 600.0

@@ -1,0 +1,101 @@
+"""EXT-B — §III-C: ontological surprise from the hidden third planet.
+
+Detection latency of the residual-surprise monitor as a function of the
+hidden planet's mass, plus the control condition (no third planet: no
+alarm).  Heavier unknown phenomena are discovered sooner — the shape of
+the long-tail argument in reverse.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.information.surprise import ResidualSurpriseMonitor
+from repro.orbital.bodies import make_two_planet_universe
+from repro.orbital.kepler import orbital_elements_from_state
+from repro.orbital.nbody import (
+    NBodySimulator,
+    prediction_residuals,
+    third_planet_scenario,
+)
+
+NOISE_STD = 0.002
+N_STEPS = 2000
+
+
+def run_scenario(third_mass, seed):
+    bodies = make_two_planet_universe()
+    rel = bodies[1].position - bodies[0].position
+    relv = bodies[1].velocity - bodies[0].velocity
+    orbit = orbital_elements_from_state(rel, relv,
+                                        bodies[0].mass + bodies[1].mass)
+    dt = orbit.period / 500
+    model = NBodySimulator(bodies, integrator="leapfrog").run(dt, N_STEPS)
+    if third_mass > 0.0:
+        truth = NBodySimulator(third_planet_scenario(third_mass=third_mass),
+                               integrator="leapfrog").run(dt, N_STEPS)
+    else:
+        truth = NBodySimulator(bodies, integrator="leapfrog").run(dt, N_STEPS)
+    residuals = prediction_residuals(truth, model, "planet2")
+    rng = np.random.default_rng(seed)
+    noisy = residuals + rng.normal(0.0, NOISE_STD, size=residuals.shape)
+    monitor = ResidualSurpriseMonitor(noise_std=NOISE_STD, window=20)
+    for r in noisy:
+        monitor.score(r)
+    return monitor.alarm_step, float(residuals[-1])
+
+
+def test_ontological_surprise_detection_latency(benchmark):
+    """Alarm latency vs hidden mass; no false alarm without the planet."""
+
+    def run():
+        rows = []
+        for mass in (0.0, 0.01, 0.03, 0.1, 0.3):
+            step, final_residual = run_scenario(mass, seed=5)
+            rows.append((mass, step if step is not None else "no alarm",
+                         final_residual))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-B: third-planet detection latency",
+                ["hidden mass", "alarm step", "final residual"], rows)
+    # Control: no third planet -> no ontological alarm.
+    assert rows[0][1] == "no alarm"
+    # Every real third planet is eventually detected.
+    latencies = [r[1] for r in rows[1:]]
+    assert all(isinstance(l, int) for l in latencies)
+    # Heavier planets are detected no later than lighter ones.
+    assert latencies == sorted(latencies, reverse=True) or \
+        latencies[-1] <= latencies[0]
+    # Residual magnitude grows with the hidden mass.
+    finals = [r[2] for r in rows]
+    assert finals[-1] > finals[1]
+
+
+def test_ontological_vs_epistemic_signature(benchmark):
+    """Model-form (J2) error is gradual/bounded; the third planet is not —
+    the 'surprise factor' separates the §III-B and §III-C cases."""
+
+    def run():
+        bodies_j2 = make_two_planet_universe(eccentricity=0.2,
+                                             j2_planet2=0.03)
+        rel = bodies_j2[1].position - bodies_j2[0].position
+        relv = bodies_j2[1].velocity - bodies_j2[0].velocity
+        orbit = orbital_elements_from_state(
+            rel, relv, bodies_j2[0].mass + bodies_j2[1].mass)
+        dt = orbit.period / 500
+        truth_j2 = NBodySimulator(bodies_j2, include_quadrupole=True).run(
+            dt, N_STEPS)
+        model_pm = NBodySimulator(bodies_j2, include_quadrupole=False).run(
+            dt, N_STEPS)
+        res_epistemic = prediction_residuals(truth_j2, model_pm, "planet2")
+
+        _, res_onto_final = run_scenario(0.1, seed=9)
+        return float(res_epistemic[-1]), res_onto_final
+
+    epi_final, onto_final = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-B: epistemic (J2) vs ontological (3rd planet) residual",
+                ["error source", "final residual"],
+                [("epistemic: heterogeneous body", epi_final),
+                 ("ontological: hidden third planet", onto_final)])
+    assert onto_final > 10 * epi_final

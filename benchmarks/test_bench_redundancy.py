@@ -1,0 +1,92 @@
+"""EXT-E — §V: redundant architectures with diverse uncertainties.
+
+Residual hazard vs channel count, fusion rule, and uncertainty-profile
+diversity, plus the common-cause ablation (diversity=0) — the quantitative
+form of the paper's closing §V claim.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.perception.redundancy import (
+    RedundantPerceptionSystem,
+    make_diverse_chains,
+)
+from repro.perception.world import WorldModel
+
+N_EVAL = 3000
+
+
+def hazard(n_channels, fusion, diversity, seed=5):
+    chains = make_diverse_chains(n_channels, np.random.default_rng(7),
+                                 diversity=diversity)
+    system = RedundantPerceptionSystem(chains, fusion=fusion)
+    return system.hazard_rate(WorldModel(), np.random.default_rng(seed),
+                              N_EVAL)
+
+
+def test_hazard_vs_channel_count(benchmark):
+    """More diverse channels -> lower hazard, for every fusion rule."""
+
+    def run():
+        rows = []
+        for fusion in ("majority", "conservative", "dempster"):
+            for n in (1, 2, 3):
+                rows.append((fusion, n, hazard(n, fusion, diversity=0.12)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-E: hazard rate vs channels x fusion",
+                ["fusion", "channels", "hazard rate"], rows)
+    by = {(r[0], r[1]): r[2] for r in rows}
+    for fusion in ("majority", "conservative", "dempster"):
+        assert by[(fusion, 3)] < by[(fusion, 1)]
+    # Conservative (any-object-wins) fusion handles misses best.
+    assert by[("conservative", 3)] <= by[("majority", 3)]
+
+
+def test_hazard_vs_diversity(benchmark):
+    """The 'diverse uncertainties' part: common-cause channels help less."""
+
+    def run():
+        rows = []
+        for diversity in (0.0, 0.05, 0.12, 0.25):
+            rates = [hazard(3, "conservative", diversity, seed=s)
+                     for s in (5, 6, 7)]
+            rows.append((diversity, float(np.mean(rates))))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-E: hazard rate vs channel diversity (3 channels)",
+                ["diversity", "mean hazard rate"], rows)
+    # All redundant configs beat a single chain; detection misses are
+    # channel-independent even at diversity 0, so the gradient with
+    # diversity is modest — but the most diverse config must not lose to
+    # the common-cause config by more than noise.
+    single = hazard(1, "conservative", 0.0)
+    for _, rate in rows:
+        assert rate < single
+    assert rows[-1][1] <= rows[0][1] + 0.01
+
+
+def test_fusion_rule_on_conflict(benchmark):
+    """Evidential vs voting fusion under forced channel disagreement."""
+
+    def run():
+        chains = make_diverse_chains(3, np.random.default_rng(7),
+                                     diversity=0.12)
+        outputs = ["car", "pedestrian", "none"]  # maximal disagreement
+        decisions = {}
+        for fusion in ("majority", "conservative", "dempster", "yager"):
+            system = RedundantPerceptionSystem(chains, fusion=fusion)
+            decisions[fusion] = system.fuse(outputs)
+        return decisions
+
+    decisions = benchmark(run)
+    print_table("EXT-E: fused decision under maximal channel conflict",
+                ["fusion", "decision"], list(decisions.items()))
+    # Conservative fusion degrades to the epistemic state instead of
+    # guessing; voting rules pick a side.
+    assert decisions["conservative"] == "car/pedestrian"
+    assert decisions["majority"] in ("car", "pedestrian", "none")

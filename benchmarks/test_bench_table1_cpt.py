@@ -1,0 +1,77 @@
+"""TAB1 — Table I re-estimated from simulation.
+
+Compares the paper's elicited CPT to the CPT measured from the simulated
+perception chain, and shows the epistemic shrinkage of the CPT's credible
+intervals with campaign size (the §III-B claim at the CPT level).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.bayesnet.learning import DirichletCPT
+from repro.perception.chain import (
+    PerceptionChain,
+    estimate_cpt_from_simulation,
+    ground_truth_variable,
+    perception_variable,
+    table1_cpt_rows,
+)
+from repro.perception.world import CAR, NONE_LABEL, PEDESTRIAN, UNKNOWN, WorldModel
+
+STATES = ("car", "pedestrian", "car/pedestrian", "none")
+
+
+def test_table1_elicited_vs_measured(benchmark, rng):
+    """Side-by-side CPT rows: Table I vs simulation."""
+
+    def run():
+        chain = PerceptionChain()
+        world = WorldModel()
+        return estimate_cpt_from_simulation(chain, world, rng, 20000)
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    elicited = table1_cpt_rows()
+    rows = []
+    for truth in (CAR, PEDESTRIAN, UNKNOWN):
+        erow = elicited[(truth,)]
+        mrow = measured.row((truth,))
+        for state in STATES:
+            rows.append((f"{truth}->{state}", erow[state], mrow[state]))
+    print_table("TAB1: elicited (paper) vs measured (simulation) CPT",
+                ["entry", "Table I", "measured"], rows)
+    # Shape: diagonal dominance and the unknown row's none-dominance hold
+    # in both; the epistemic 'car/pedestrian' mass is small everywhere.
+    assert measured.prob(CAR, (CAR,)) > 0.6
+    assert measured.prob(PEDESTRIAN, (PEDESTRIAN,)) > 0.6
+    assert measured.prob(NONE_LABEL, (UNKNOWN,)) > 0.6
+    assert measured.prob(NONE_LABEL, (UNKNOWN,)) > measured.prob(
+        "car/pedestrian", (UNKNOWN,))
+
+
+def test_table1_credible_interval_shrinkage(benchmark, rng):
+    """95% credible interval of P(car | car) vs campaign size."""
+
+    def run():
+        chain = PerceptionChain()
+        world = WorldModel()
+        results = []
+        for n in (200, 2000, 20000):
+            dc = DirichletCPT(perception_variable(),
+                              [ground_truth_variable()], prior_strength=1.0)
+            for obj, output in chain.run_campaign(
+                    world, np.random.default_rng(n), n):
+                dc.observe((obj.label,), output)
+            lo, hi = dc.credible_interval((CAR,), CAR)
+            results.append((n, lo, hi, hi - lo, dc.epistemic_uncertainty()))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("TAB1: credible interval of P(car|car) vs campaign size",
+                ["n", "lower", "upper", "width", "epistemic"], results)
+    widths = [r[3] for r in results]
+    epis = [r[4] for r in results]
+    assert widths == sorted(widths, reverse=True)
+    assert epis == sorted(epis, reverse=True)
+    # Order-of-magnitude shrink from 200 -> 20000 samples (~1/sqrt(n)).
+    assert widths[-1] < widths[0] / 3.0

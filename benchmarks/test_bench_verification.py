@@ -1,0 +1,108 @@
+"""EXT-I — probabilistic formal verification (refs [9], [10]).
+
+Exact vs simulated reachability, verification wall-time vs chain size,
+and the three-valued verdict of interval DTMCs as epistemic width grows.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.probability.intervals import IntervalProbability
+from repro.verification.dtmc import DTMC, check_reachability
+from repro.verification.interval_dtmc import IntervalDTMC
+
+
+def cycle_chain(p_hazard=0.005, p_degraded=0.045, recover=0.70,
+                mrm_rate=0.28):
+    return DTMC(
+        ["perceive", "track", "degraded", "mrm", "hazard"],
+        {
+            "perceive": {"track": 1.0 - p_degraded - p_hazard,
+                         "degraded": p_degraded, "hazard": p_hazard},
+            "track": {"perceive": 1.0},
+            "degraded": {"perceive": recover, "mrm": mrm_rate,
+                         "hazard": 1.0 - recover - mrm_rate},
+            "mrm": {"mrm": 1.0},
+        })
+
+
+def test_exact_vs_simulation(benchmark, rng):
+    """The analytic reachability matches Monte-Carlo trajectory rollouts."""
+
+    def run():
+        chain = cycle_chain()
+        analytic = chain.reachability(["hazard"])["perceive"]
+        hits = 0
+        runs = 3000
+        for _ in range(runs):
+            path = chain.simulate(rng, "perceive", 2000)
+            hits += "hazard" in path
+        return analytic, hits / runs
+
+    analytic, simulated = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-I: exact vs simulated P(eventually hazard)",
+                ["method", "probability"],
+                [("exact (linear solve)", analytic),
+                 ("simulation (3000 runs)", simulated)])
+    assert simulated == pytest.approx(analytic, abs=0.03)
+
+
+@pytest.mark.parametrize("n_states", [10, 40, 160])
+def test_reachability_scaling(benchmark, n_states):
+    """Exact reachability on birth-death chains of growing size."""
+    states = [f"s{i}" for i in range(n_states)]
+    transitions = {}
+    for i in range(1, n_states - 1):
+        transitions[f"s{i}"] = {f"s{i + 1}": 0.45, f"s{i - 1}": 0.55}
+    chain = DTMC(states, transitions)
+    start = f"s{n_states // 2}"
+    probs = benchmark(lambda: chain.reachability([f"s{n_states - 1}"]))
+    benchmark.extra_info["n_states"] = n_states
+    assert 0.0 < probs[start] < 1.0
+
+
+def test_interval_verdicts_vs_epistemic_width(benchmark):
+    """Wider transition intervals -> larger undecided zone of bounds."""
+
+    def run():
+        iv = IntervalProbability
+        rows = []
+        for width in (0.0, 0.002, 0.005, 0.01):
+            idtmc = IntervalDTMC(
+                ["perceive", "safe", "hazard"],
+                {"perceive": {
+                    "safe": iv(0.98 - width, min(1.0, 0.98 + width)),
+                    "hazard": iv(max(0.0, 0.02 - width), 0.02 + width)}})
+            interval = idtmc.reachability_bounds(["hazard"])["perceive"]
+            rows.append((width, interval.lower, interval.upper,
+                         interval.width))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-I: reachability bounds vs transition-interval width",
+                ["interval half-width", "P lower", "P upper",
+                 "bound width"], rows)
+    widths = [r[3] for r in rows]
+    assert widths == sorted(widths)
+    assert rows[0][3] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_bounded_requirement_check(benchmark):
+    """The PCTL-style requirement of the EXPERIMENTS record."""
+
+    def run():
+        chain = cycle_chain()
+        rows = []
+        for k in (10, 100, 1000):
+            result = check_reachability(chain, "perceive", ["hazard"],
+                                        bound=0.05, steps=k)
+            rows.append((k, result.probability, result.satisfied))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("EXT-I: P<=0.05 [F<=k hazard] verdicts",
+                ["k cycles", "probability", "satisfied"], rows)
+    probs = [r[1] for r in rows]
+    assert probs == sorted(probs)  # bounded reachability is monotone in k
+    assert rows[0][2] and not rows[-1][2]  # requirement holds short-term only

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""An assurance case with belief modeling (ref [11]) wired to the framework.
+
+Builds a GSN-style safety argument for the perception SuD whose evidence
+leaves are *produced by the framework itself*: the measured hazard rate
+(tolerance evaluation), the Good-Turing residual bound (forecasting), and
+the verification verdict (DTMC model checking).  Confidence propagates as
+belief/plausibility; defeaters cap it; the release verdict comes out the
+other end.
+
+Run:  python examples/assurance_case.py
+"""
+
+import numpy as np
+
+from repro.core.assurance import AssuranceCase, evidence, goal, strategy
+from repro.means.forecasting import ReleaseCriteria, ResidualUncertaintyForecast
+from repro.means.tolerance import evaluate_tolerance
+from repro.perception.world import WorldModel
+from repro.verification.dtmc import DTMC, check_reachability
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    world = WorldModel()
+
+    # --- gather framework evidence ----------------------------------------
+    tolerance = evaluate_tolerance(world, rng, n_channels=3,
+                                   fusion="conservative", n_eval=3000)
+    hazard_belief = float(np.clip(1.0 - tolerance.hazard_rate / 0.3, 0.0, 1.0))
+    print(f"measured hazard rate: {tolerance.hazard_rate:.3f} "
+          f"-> evidence belief {hazard_belief:.2f}")
+
+    forecast = ResidualUncertaintyForecast(
+        ReleaseCriteria(max_hazard_rate=0.3, max_missing_mass=0.05))
+    kinds = [world.sample_object(rng).true_class for _ in range(8000)]
+    forecast.observe_campaign(8000, int(8000 * tolerance.hazard_rate), kinds)
+    mm = forecast.missing_mass_bound()
+    onto_belief = float(np.clip(1.0 - mm / 0.05, 0.0, 1.0))
+    print(f"Good-Turing unseen-mass bound: {mm:.4f} "
+          f"-> evidence belief {onto_belief:.2f}")
+
+    chain_model = DTMC(
+        ["perceive", "ok", "degraded", "hazard"],
+        {"perceive": {"ok": 0.90, "degraded": 0.09, "hazard": 0.01},
+         "ok": {"perceive": 1.0},
+         "degraded": {"perceive": 0.9, "hazard": 0.1}})
+    verdict = check_reachability(chain_model, "perceive", ["hazard"],
+                                 bound=0.15, steps=10)
+    print(f"DTMC check P(hazard within 10 cycles) = "
+          f"{verdict.probability:.4f} <= 0.15: {verdict.satisfied}")
+
+    # --- assemble the argument --------------------------------------------
+    top = goal("G1", "The SuD is acceptably safe within its ODD")
+    s1 = top.add(strategy("S1", "argue over the three uncertainty types"))
+    g_alea = s1.add(goal("G2", "aleatory risk within budget"))
+    g_alea.add(evidence("E1", belief=hazard_belief, reliability=0.9,
+                        statement="tolerance evaluation (3x diverse)"))
+    g_alea.add(evidence("E2",
+                        belief=0.9 if verdict.satisfied else 0.1,
+                        reliability=0.85,
+                        statement="DTMC bounded-reachability check"))
+    g_epi = s1.add(goal("G3", "epistemic uncertainty sufficiently reduced",
+                        decomposition="cumulative"))
+    g_epi.add(evidence("E3", belief=0.8, statement="DoE + CPT credible "
+                                                   "intervals under 0.05"))
+    g_epi.add(evidence("E4", belief=0.7, reliability=0.9,
+                       statement="calibration ECE under target"))
+    g_onto = s1.add(goal("G4", "ontological uncertainty monitored & bounded"))
+    g_onto.add(evidence("E5", belief=onto_belief,
+                        statement="Good-Turing bound under 0.05"))
+
+    case = AssuranceCase(top)
+    case.add_defeater("ODD analysis may be incomplete in winter conditions",
+                      severity=0.1)
+
+    c = case.confidence()
+    print(f"\nTop-goal confidence: belief={c.belief:.3f}, "
+          f"plausibility={c.plausibility:.3f}, ignorance={c.ignorance:.3f}")
+    verdict2 = case.release_verdict(min_belief=0.3, max_ignorance=0.7)
+    print("Release verdict:")
+    for key in ("belief_ok", "ignorance_ok", "undeveloped", "defeaters",
+                "release"):
+        print(f"  {key}: {verdict2[key]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Removing uncertainty about the model itself: structure, entries, data.
+
+Three analyses that answer "is the MODEL right, and where should the next
+unit of knowledge go?":
+
+1. Structure learning + bootstrap edge confidence — is the Fig. 4 shaped
+   dependency actually in the data, and how sure are we of each edge?
+2. CPT sensitivity (tornado) — which elicited entries does the safety
+   conclusion hinge on?
+3. Value of information — which observation is worth buying before the
+   brake/proceed decision?
+
+Run:  python examples/model_structure_discovery.py
+"""
+
+import numpy as np
+
+from repro.bayesnet.sensitivity import tornado_analysis
+from repro.bayesnet.structure_learning import edge_confidence, hill_climb_structure
+from repro.information.value_of_information import (
+    DecisionProblem,
+    expected_value_of_observation,
+    expected_value_of_perfect_information,
+)
+from repro.perception.chain import (
+    build_fig4_network,
+    ground_truth_variable,
+    perception_variable,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    bn = build_fig4_network()
+
+    # --- 1. Does the data support the Fig. 4 structure? --------------------
+    records = bn.sample(rng, 4000)
+    variables = [ground_truth_variable(), perception_variable()]
+    learned = hill_climb_structure(variables, records, max_parents=1)
+    print("Learned structure from 4000 simulated encounters:")
+    print(f"  edges: {learned.edges()}  (BIC {learned.score:.1f})")
+    confidence = edge_confidence(variables, records, rng, n_bootstrap=12,
+                                 max_parents=1)
+    for edge, freq in sorted(confidence.items()):
+        print(f"  bootstrap confidence {edge[0]} -- {edge[1]}: {freq:.0%}")
+    print("  -> the ground-truth/perception dependency is structurally "
+          "certain; the data rules out independence.\n")
+
+    # --- 2. Which CPT entries carry the conclusion? --------------------------
+    entries = tornado_analysis(bn, query="ground_truth",
+                               query_state="unknown",
+                               evidence={"perception": "none"},
+                               relative_band=0.3)
+    print("Tornado of P(unknown | none) over Table I entries (+-30%):")
+    for e in entries[:4]:
+        label = f"{e.node}[{','.join(e.parent_states) or 'prior'}]->{e.child_state}"
+        print(f"  {label:>42s}: [{e.low:.3f}, {e.high:.3f}] "
+              f"swing {e.swing:.3f}")
+    print("  -> the biggest lever is the *nominal* P(car|car) entry — "
+          "elicitation effort is not only an unknown-row matter.\n")
+
+    # --- 3. What is the perception output worth to the decision? -------------
+    problem = DecisionProblem(
+        target="ground_truth", actions=("brake", "proceed"),
+        utilities={
+            ("brake", "car"): -5.0, ("proceed", "car"): 0.0,
+            ("brake", "pedestrian"): -5.0, ("proceed", "pedestrian"): -300.0,
+            ("brake", "unknown"): -5.0, ("proceed", "unknown"): -50.0,
+        })
+    evo = expected_value_of_observation(bn, problem, "perception")
+    evpi = expected_value_of_perfect_information(bn, problem)
+    print(f"Value of the perception observation to the brake decision: "
+          f"EVO = {evo:.2f} (EVPI ceiling {evpi:.2f})")
+    print(f"  -> the sensor earns {evo / max(evpi, 1e-12):.0%} of the value "
+          "a perfect oracle would; the gap is the residual uncertainty "
+          "budget for tolerance to absorb.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""The §V safety analysis, end to end: FTA -> BN -> evidence theory.
+
+Starts from a classic fault tree of the perception function, shows its
+limitations, converts it to a Bayesian network for diagnostic queries,
+then runs the paper's Fig. 4 analysis with the evidential twin that
+reports belief/plausibility intervals, and closes with the removal
+recommendations the analysis produces.
+
+Run:  python examples/perception_safety_analysis.py
+"""
+
+import numpy as np
+
+from repro.faulttree.cutsets import minimal_cut_sets, single_point_faults
+from repro.faulttree.fuzzy_fta import fuzzy_top_probability
+from repro.faulttree.quantify import importance_ranking, top_event_probability
+from repro.faulttree.to_bayesnet import diagnostic_posterior
+from repro.faulttree.tree import BasicEvent, FaultTree, and_gate, or_gate
+from repro.means.removal import SafetyAnalysisWithUncertainty
+from repro.probability.fuzzy import TriangularFuzzyNumber
+
+
+def main() -> None:
+    # --- 1. Classic FTA of the perception function -------------------------
+    cam_a = BasicEvent("camera_a_blind", 0.002)
+    cam_b = BasicEvent("camera_b_blind", 0.003)
+    classifier = BasicEvent("classifier_wrong", 0.01)
+    fusion = BasicEvent("fusion_fault", 0.0005)
+    top = or_gate("object_missed", [
+        and_gate("both_cameras_blind", [cam_a, cam_b]),
+        classifier,
+        fusion,
+    ])
+    tree = FaultTree(top)
+
+    print("=== Classic fault tree analysis ===")
+    print("Minimal cut sets:", [sorted(cs) for cs in minimal_cut_sets(tree)])
+    print("Single-point faults:", single_point_faults(tree))
+    print(f"P(top event) = {top_event_probability(tree):.3e}")
+    print("Birnbaum ranking:",
+          [(n, f"{v:.3g}") for n, v in importance_ranking(tree)])
+
+    # --- 2. Epistemic widening: fuzzy-probability FTA ----------------------
+    fuzzy = {name: TriangularFuzzyNumber(p.probability / 3, p.probability,
+                                         min(1.0, p.probability * 3))
+             for name, p in tree.basic_events.items()}
+    ftop = fuzzy_top_probability(tree, fuzzy)
+    lo, hi = ftop.support
+    print(f"\nFuzzy FTA (expert 3x bands): P(top) in [{lo:.2e}, {hi:.2e}], "
+          f"core {ftop.core[0]:.2e}")
+    print("  -> the spread is the analysts' epistemic uncertainty, which "
+          "point-valued FTA hides.")
+
+    # --- 3. BN conversion: the diagnostic query FTA cannot answer ----------
+    post = diagnostic_posterior(tree, observed_top=True)
+    print("\nBN diagnostic P(basic event | object missed):")
+    for name, p in sorted(post.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:>22s}: {p:.3f}")
+
+    # --- 4. The paper's Fig. 4 analysis with evidence theory ---------------
+    print("\n=== Fig. 4 analysis: BN + evidence theory ===")
+    sa = SafetyAnalysisWithUncertainty()
+    print("Uncertainty content of the model:", sa.uncertainty_report())
+
+    print("\nP(ground truth | perception output), point vs [Bel, Pl]:")
+    for output in ("car", "none"):
+        point = sa.diagnostic_posterior(output)
+        intervals = sa.diagnostic_intervals(output)
+        print(f"  output = {output!r}:")
+        for state in point:
+            lo, hi = intervals[state]
+            print(f"    {state:>12s}: point {point[state]:.4f}  "
+                  f"interval [{lo:.4f}, {hi:.4f}]")
+
+    print("\nRemoval recommendations derived from the analysis:")
+    for rec in sa.removal_recommendations():
+        print(f"  - {rec}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Uncertainty tolerance: redundant perception with diverse uncertainties.
+
+Reproduces the closing claim of the paper's §V — "redundant architectures
+with diverse uncertainties can be used to build uncertainty tolerant
+systems" — by measuring hazardous-misperception rates of 1/2/3-channel
+architectures under several fusion rules, with and without diversity, and
+with an uncertainty-aware fallback policy.
+
+Run:  python examples/redundant_architecture.py
+"""
+
+import numpy as np
+
+from repro.means.tolerance import (
+    FallbackPolicy,
+    evaluate_single_chain,
+    evaluate_tolerance,
+)
+from repro.perception.redundancy import (
+    RedundantPerceptionSystem,
+    make_diverse_chains,
+)
+from repro.perception.world import WorldModel
+
+N_EVAL = 4000
+
+
+def main() -> None:
+    world = WorldModel()
+    print(f"World: {world}\n")
+
+    print("Hazard rate by architecture (raw fusion, no fallback policy):")
+    for n_channels in (1, 2, 3):
+        for fusion in ("majority", "conservative", "dempster"):
+            chains = make_diverse_chains(n_channels, np.random.default_rng(7),
+                                         diversity=0.12)
+            system = RedundantPerceptionSystem(chains, fusion=fusion)
+            rate = system.hazard_rate(world, np.random.default_rng(11), N_EVAL)
+            print(f"  {n_channels} channel(s), fusion={fusion:>12s}: "
+                  f"hazard = {rate:.3f}")
+
+    print("\nDiversity ablation (3 channels, conservative fusion):")
+    for diversity in (0.0, 0.06, 0.12, 0.25):
+        chains = make_diverse_chains(3, np.random.default_rng(7),
+                                     diversity=diversity)
+        system = RedundantPerceptionSystem(chains, fusion="conservative")
+        rate = system.hazard_rate(world, np.random.default_rng(11), N_EVAL)
+        print(f"  diversity={diversity:.2f}: hazard = {rate:.3f}")
+
+    print("\nWith the uncertainty-aware fallback policy "
+          "(car/pedestrian -> cautious mode):")
+    single = evaluate_single_chain(world, np.random.default_rng(3),
+                                   n_eval=N_EVAL)
+    redundant = evaluate_tolerance(world, np.random.default_rng(3),
+                                   n_channels=3, fusion="conservative",
+                                   policy=FallbackPolicy(), n_eval=N_EVAL)
+    print(f"  single chain : hazard = {single.hazard_rate:.3f}, "
+          f"availability = {single.availability:.3f}")
+    print(f"  3x redundant : hazard = {redundant.hazard_rate:.3f}, "
+          f"availability = {redundant.availability:.3f}")
+    print("\n  -> tolerance converts hazards into degraded-but-safe "
+          "operation; diversity is what makes redundancy pay.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Scenario-based falsification: find where the perception chain breaks.
+
+Active uncertainty removal at the system level: instead of waiting for the
+field to produce rare failures, search the scenario space for them.
+Compares random, low-discrepancy, and local-refinement search under the
+same budget, prints the worst scenarios found, and shows the ODD coverage
+ledger with its unvisited-cell to-do list.
+
+Run:  python examples/scenario_falsification.py
+"""
+
+import numpy as np
+
+from repro.scenarios.falsification import (
+    Falsifier,
+    default_perception_space,
+    perception_hazard_objective,
+)
+from repro.scenarios.space import CoverageTracker
+
+
+def main() -> None:
+    space = default_perception_space()
+    objective = perception_hazard_objective(n_repeats=30)
+    falsifier = Falsifier(space, objective)
+
+    print("Scenario space:", space)
+    results = falsifier.compare_strategies(np.random.default_rng(3),
+                                           budget=60)
+    print("\nStrategy comparison (budget 60 scenario evaluations):")
+    for name, result in results.items():
+        scores = [s for _, s in result.history]
+        cov = f"{result.coverage:.0%}" if result.coverage is not None else "-"
+        print(f"  {name:>7s}: worst hazard {result.best_score:.2f}, "
+              f"mean {np.mean(scores):.2f}, coverage {cov}")
+
+    print("\nWorst scenarios found (local search):")
+    for scenario, score in results["local"].top(5):
+        print(f"  hazard {score:.2f}: {scenario['object_class']:>10s} at "
+              f"{scenario['distance']:5.1f} m, occlusion "
+              f"{scenario['occlusion']:.2f}, night={scenario['night']}, "
+              f"rain={scenario['rain']}")
+
+    print("\nODD coverage ledger:")
+    tracker = CoverageTracker(space, cells_per_axis=3)
+    for scenario in space.halton_sample(200):
+        tracker.record(scenario)
+    print(f"  {tracker}")
+    todo = tracker.unvisited_example_cells(limit=5)
+    if todo:
+        print(f"  unvisited cells (removal to-do): {todo}")
+    else:
+        print("  every cell exercised at this resolution.")
+
+    print("\n-> The worst cases cluster at long range / heavy occlusion / "
+          "adverse light, and unknown objects dominate — the same corner "
+          "the ODD-restriction prevention cuts away.")
+
+
+if __name__ == "__main__":
+    main()

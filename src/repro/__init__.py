@@ -1,0 +1,54 @@
+"""repro — a reproduction of "System Theoretic View on Uncertainties".
+
+Gansch & Adee, DATE 2020.  An uncertainty-engineering framework for
+safety-critical autonomous systems: the aleatory / epistemic / ontological
+taxonomy and its means (prevention, removal, tolerance, forecasting),
+together with every substrate the paper builds on — Bayesian networks,
+Dempster-Shafer evidence theory, fault tree analysis, an orbital-mechanics
+two-planet universe, and a perception-chain simulator.
+
+Quick start::
+
+    from repro.perception import build_fig4_network
+    bn = build_fig4_network()                      # the paper's Fig. 4 / Table I
+    bn.query("ground_truth", {"perception": "none"})
+
+See README.md for the architecture overview and DESIGN.md for the full
+system inventory and experiment index.
+"""
+
+from repro.core.strategy import StrategyPlan, derive_strategy
+from repro.core.taxonomy import (
+    LifecycleStage,
+    Means,
+    Method,
+    MethodRegistry,
+    UncertaintyType,
+    builtin_registry,
+)
+from repro.core.uncertainty import (
+    AleatoryUncertainty,
+    EpistemicUncertainty,
+    OntologicalUncertainty,
+    Uncertainty,
+    UncertaintyBudget,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LifecycleStage",
+    "Means",
+    "Method",
+    "MethodRegistry",
+    "UncertaintyType",
+    "builtin_registry",
+    "AleatoryUncertainty",
+    "EpistemicUncertainty",
+    "OntologicalUncertainty",
+    "Uncertainty",
+    "UncertaintyBudget",
+    "StrategyPlan",
+    "derive_strategy",
+    "__version__",
+]

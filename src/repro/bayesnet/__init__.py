@@ -1,0 +1,35 @@
+"""Discrete Bayesian-network engine (built from scratch).
+
+Implements the graphical safety-analysis substrate of the paper's §V:
+directed acyclic graphs of categorical variables with conditional
+probability tables, exact inference (variable elimination and junction
+tree), approximate inference (forward / likelihood-weighted / Gibbs
+sampling), parameter learning, and ranked-node CPT elicitation (Fenton et
+al., ref. [37]) to tame the exponential CPT growth the paper warns about.
+"""
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.factor import Factor
+from repro.bayesnet.graph import DAG
+from repro.bayesnet.learning import bayesian_update_cpts, fit_cpts_mle
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.noisy_gates import noisy_and_cpt, noisy_or_cpt
+from repro.bayesnet.ranked_nodes import RankedNode, ranked_cpt
+from repro.bayesnet.sensitivity import sensitivity_function, tornado_analysis
+from repro.bayesnet.variable import Variable
+
+__all__ = [
+    "CPT",
+    "Factor",
+    "DAG",
+    "BayesianNetwork",
+    "Variable",
+    "RankedNode",
+    "ranked_cpt",
+    "noisy_and_cpt",
+    "noisy_or_cpt",
+    "sensitivity_function",
+    "tornado_analysis",
+    "bayesian_update_cpts",
+    "fit_cpts_mle",
+]

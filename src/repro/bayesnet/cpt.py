@@ -1,0 +1,145 @@
+"""Conditional probability tables P(child | parents).
+
+A CPT is the unit of elicitation in the paper's §V safety analysis: the
+perception-chain CPT of Table I is literally an instance of this class (see
+:func:`repro.perception.chain.table1_cpt`).  CPTs validate normalization
+per parent configuration and convert to :class:`~repro.bayesnet.factor.Factor`
+objects for inference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayesnet.factor import Factor
+from repro.bayesnet.variable import Variable
+from repro.errors import InferenceError
+
+
+class CPT:
+    """P(child | parent_1, ..., parent_k) as a dense table.
+
+    The table axes are ordered (parent_1, ..., parent_k, child); each slice
+    over the child axis must be a probability vector.
+    """
+
+    def __init__(self, child: Variable, parents: Sequence[Variable],
+                 table: np.ndarray, *, atol: float = 1e-6):
+        self.child = child
+        self.parents: Tuple[Variable, ...] = tuple(parents)
+        names = [v.name for v in self.parents] + [child.name]
+        if len(set(names)) != len(names):
+            raise InferenceError(f"duplicate variables in CPT: {names}")
+        table = np.asarray(table, dtype=float)
+        expected = tuple(p.cardinality for p in self.parents) + (child.cardinality,)
+        if table.shape != expected:
+            raise InferenceError(
+                f"CPT for {child.name!r} has shape {table.shape}, expected {expected}")
+        if np.any(table < -atol):
+            raise InferenceError(f"CPT for {child.name!r} has negative entries")
+        sums = table.sum(axis=-1)
+        if not np.allclose(sums, 1.0, atol=max(atol, 1e-6)):
+            bad = np.argwhere(~np.isclose(sums, 1.0, atol=max(atol, 1e-6)))
+            raise InferenceError(
+                f"CPT for {child.name!r} does not normalize for parent "
+                f"configurations {bad[:5].tolist()} (sums {sums.ravel()[:5]})")
+        table = np.clip(table, 0.0, 1.0)
+        self.table = table / table.sum(axis=-1, keepdims=True)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, child: Variable, parents: Sequence[Variable],
+                  rows: Mapping[Tuple[str, ...], Mapping[str, float]]) -> "CPT":
+        """Build from {parent_states_tuple: {child_state: prob}}.
+
+        For a root node (no parents) use the single key ``()``.
+        """
+        parents = tuple(parents)
+        shape = tuple(p.cardinality for p in parents) + (child.cardinality,)
+        table = np.full(shape, np.nan)
+        for key, dist in rows.items():
+            if len(key) != len(parents):
+                raise InferenceError(
+                    f"row key {key!r} does not match parents "
+                    f"{[p.name for p in parents]}")
+            idx = tuple(p.index_of(s) for p, s in zip(parents, key))
+            for state, prob in dist.items():
+                table[idx + (child.index_of(state),)] = float(prob)
+        if np.any(np.isnan(table)):
+            raise InferenceError(
+                f"CPT for {child.name!r} is missing entries — every parent "
+                "configuration and child state must be specified")
+        return cls(child, parents, table)
+
+    @classmethod
+    def prior(cls, child: Variable, distribution: Mapping[str, float]) -> "CPT":
+        """Root-node CPT from a marginal distribution."""
+        return cls.from_dict(child, (), {(): dict(distribution)})
+
+    @classmethod
+    def uniform(cls, child: Variable, parents: Sequence[Variable] = ()) -> "CPT":
+        shape = tuple(p.cardinality for p in parents) + (child.cardinality,)
+        return cls(child, parents, np.full(shape, 1.0 / child.cardinality))
+
+    @classmethod
+    def deterministic(cls, child: Variable, parents: Sequence[Variable],
+                      function) -> "CPT":
+        """CPT of a deterministic function child_state = f(*parent_states).
+
+        Used by the FTA->BN conversion: Boolean gates are deterministic
+        nodes.
+        """
+        parents = tuple(parents)
+        shape = tuple(p.cardinality for p in parents) + (child.cardinality,)
+        table = np.zeros(shape)
+        for idx in np.ndindex(*shape[:-1]):
+            states = tuple(p.states[i] for p, i in zip(parents, idx))
+            out_state = function(*states)
+            table[idx + (child.index_of(out_state),)] = 1.0
+        return cls(child, parents, table)
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def parent_names(self) -> List[str]:
+        return [p.name for p in self.parents]
+
+    def row(self, parent_states: Tuple[str, ...] = ()) -> Dict[str, float]:
+        """Conditional distribution of the child at one parent configuration."""
+        if len(parent_states) != len(self.parents):
+            raise InferenceError(
+                f"expected {len(self.parents)} parent states, got {parent_states!r}")
+        idx = tuple(p.index_of(s) for p, s in zip(self.parents, parent_states))
+        return {s: float(self.table[idx + (i,)])
+                for i, s in enumerate(self.child.states)}
+
+    def prob(self, child_state: str, parent_states: Tuple[str, ...] = ()) -> float:
+        return self.row(parent_states)[child_state]
+
+    def n_parameters(self) -> int:
+        """Free parameters: (|child| - 1) per parent configuration.
+
+        The paper notes CPT size "grows exponentially with the number of
+        parent nodes and their states" — this method is that count.
+        """
+        n_configs = 1
+        for p in self.parents:
+            n_configs *= p.cardinality
+        return n_configs * (self.child.cardinality - 1)
+
+    def to_factor(self) -> Factor:
+        return Factor(list(self.parents) + [self.child], self.table)
+
+    def sample_child(self, rng: np.random.Generator,
+                     parent_states: Tuple[str, ...] = ()) -> str:
+        row = self.row(parent_states)
+        states = list(row)
+        probs = np.array([row[s] for s in states])
+        return states[int(rng.choice(len(states), p=probs / probs.sum()))]
+
+    def __repr__(self) -> str:
+        return (f"CPT({self.child.name!r} | {self.parent_names}, "
+                f"params={self.n_parameters()})")

@@ -1,0 +1,222 @@
+"""Factors (potentials) over discrete variables: the algebra of inference.
+
+A :class:`Factor` is a non-negative table indexed by the joint states of an
+ordered list of variables.  Products, marginalizations and evidence
+reductions of factors implement both variable elimination and junction-tree
+message passing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayesnet.variable import Variable
+from repro.errors import InferenceError
+
+
+class Factor:
+    """A table phi(X_1, ..., X_k) >= 0 over discrete variables."""
+
+    def __init__(self, variables: Sequence[Variable], table: np.ndarray):
+        self.variables: Tuple[Variable, ...] = tuple(variables)
+        names = [v.name for v in self.variables]
+        if len(set(names)) != len(names):
+            raise InferenceError(f"duplicate variables in factor: {names}")
+        table = np.asarray(table, dtype=float)
+        expected = tuple(v.cardinality for v in self.variables)
+        if table.shape != expected:
+            raise InferenceError(
+                f"table shape {table.shape} does not match variable "
+                f"cardinalities {expected} for {names}")
+        if np.any(table < -1e-12):
+            raise InferenceError("factor table has negative entries")
+        self.table = np.clip(table, 0.0, None)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def ones(cls, variables: Sequence[Variable]) -> "Factor":
+        shape = tuple(v.cardinality for v in variables)
+        return cls(variables, np.ones(shape))
+
+    @classmethod
+    def indicator(cls, variable: Variable, state: str) -> "Factor":
+        table = np.zeros(variable.cardinality)
+        table[variable.index_of(state)] = 1.0
+        return cls([variable], table)
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        return [v.name for v in self.variables]
+
+    @property
+    def scope(self) -> frozenset:
+        return frozenset(self.names)
+
+    def variable(self, name: str) -> Variable:
+        for v in self.variables:
+            if v.name == name:
+                return v
+        raise InferenceError(f"variable {name!r} not in factor scope {self.names}")
+
+    # -- algebra ---------------------------------------------------------------
+
+    def multiply(self, other: "Factor") -> "Factor":
+        """Pointwise product with broadcasting over the union scope."""
+        union: List[Variable] = list(self.variables)
+        for v in other.variables:
+            if v.name not in {u.name for u in union}:
+                union.append(v)
+            else:
+                mine = next(u for u in union if u.name == v.name)
+                if mine != v:
+                    raise InferenceError(
+                        f"variable {v.name!r} has conflicting state sets")
+        a = self._broadcast_to(union)
+        b = other._broadcast_to(union)
+        return Factor(union, a * b)
+
+    def _broadcast_to(self, union: Sequence[Variable]) -> np.ndarray:
+        """Reshape/transpose this table to the union variable order."""
+        name_to_axis = {v.name: i for i, v in enumerate(self.variables)}
+        shape = []
+        src_axes = []
+        for v in union:
+            if v.name in name_to_axis:
+                shape.append(v.cardinality)
+                src_axes.append(name_to_axis[v.name])
+            else:
+                shape.append(1)
+        transposed = np.transpose(self.table, axes=src_axes)
+        return transposed.reshape(shape)
+
+    def marginalize(self, names: Iterable[str]) -> "Factor":
+        """Sum out the given variables."""
+        drop = set(names)
+        missing = drop - set(self.names)
+        if missing:
+            raise InferenceError(f"cannot marginalize absent variables {sorted(missing)}")
+        keep_vars = [v for v in self.variables if v.name not in drop]
+        axes = tuple(i for i, v in enumerate(self.variables) if v.name in drop)
+        table = self.table.sum(axis=axes) if axes else self.table.copy()
+        if not keep_vars:
+            # Scalar factor: keep as 0-d table wrapper via a dummy representation.
+            return ScalarFactor(float(table))
+        return Factor(keep_vars, table)
+
+    def max_out(self, names: Iterable[str]) -> "Factor":
+        """Max-marginalize (for MPE queries)."""
+        drop = set(names)
+        keep_vars = [v for v in self.variables if v.name not in drop]
+        axes = tuple(i for i, v in enumerate(self.variables) if v.name in drop)
+        table = self.table.max(axis=axes) if axes else self.table.copy()
+        if not keep_vars:
+            return ScalarFactor(float(table))
+        return Factor(keep_vars, table)
+
+    def reduce(self, evidence: Mapping[str, str]) -> "Factor":
+        """Slice the table at observed states; evidence vars leave the scope."""
+        relevant = {k: v for k, v in evidence.items() if k in set(self.names)}
+        if not relevant:
+            return self
+        index: List = []
+        keep_vars: List[Variable] = []
+        for v in self.variables:
+            if v.name in relevant:
+                index.append(v.index_of(relevant[v.name]))
+            else:
+                index.append(slice(None))
+                keep_vars.append(v)
+        table = self.table[tuple(index)]
+        if not keep_vars:
+            return ScalarFactor(float(table))
+        return Factor(keep_vars, table)
+
+    def normalize(self) -> "Factor":
+        total = float(self.table.sum())
+        if total <= 0.0:
+            raise InferenceError(
+                "factor normalizes to zero — evidence has probability 0 under the model")
+        return Factor(self.variables, self.table / total)
+
+    def partition(self) -> float:
+        return float(self.table.sum())
+
+    # -- access ----------------------------------------------------------------
+
+    def prob(self, assignment: Mapping[str, str]) -> float:
+        """Table value at a full assignment of the factor's scope."""
+        index = []
+        for v in self.variables:
+            if v.name not in assignment:
+                raise InferenceError(f"assignment missing variable {v.name!r}")
+            index.append(v.index_of(assignment[v.name]))
+        return float(self.table[tuple(index)])
+
+    def as_dict(self) -> Dict[Tuple[str, ...], float]:
+        """Flatten to {(state_1, ..., state_k): value}."""
+        out: Dict[Tuple[str, ...], float] = {}
+        for idx in np.ndindex(*self.table.shape):
+            key = tuple(v.states[i] for v, i in zip(self.variables, idx))
+            out[key] = float(self.table[idx])
+        return out
+
+    def distribution(self) -> Dict[str, float]:
+        """For single-variable factors: {state: probability} (normalized)."""
+        if len(self.variables) != 1:
+            raise InferenceError(
+                f"distribution() requires a single-variable factor, scope={self.names}")
+        norm = self.normalize()
+        v = norm.variables[0]
+        return {s: float(norm.table[i]) for i, s in enumerate(v.states)}
+
+    def __repr__(self) -> str:
+        return f"Factor(scope={self.names}, shape={self.table.shape})"
+
+
+class ScalarFactor(Factor):
+    """A factor with empty scope (a constant), e.g. fully-reduced evidence."""
+
+    def __init__(self, value: float):
+        self.variables = ()
+        self.table = np.asarray(float(value))
+        if self.table < -1e-12:
+            raise InferenceError("scalar factor must be non-negative")
+
+    def multiply(self, other: Factor) -> Factor:
+        if isinstance(other, ScalarFactor):
+            return ScalarFactor(float(self.table) * float(other.table))
+        return Factor(other.variables, other.table * float(self.table))
+
+    def marginalize(self, names: Iterable[str]) -> "Factor":
+        if set(names):
+            raise InferenceError("scalar factor has no variables to marginalize")
+        return self
+
+    def reduce(self, evidence: Mapping[str, str]) -> "Factor":
+        return self
+
+    def normalize(self) -> "Factor":
+        if float(self.table) <= 0.0:
+            raise InferenceError("scalar factor normalizes to zero")
+        return ScalarFactor(1.0)
+
+    def partition(self) -> float:
+        return float(self.table)
+
+    def __repr__(self) -> str:
+        return f"ScalarFactor({float(self.table)!r})"
+
+
+def multiply_all(factors: Sequence[Factor]) -> Factor:
+    """Product of a sequence of factors (ScalarFactor(1) for empty input)."""
+    if not factors:
+        return ScalarFactor(1.0)
+    out = factors[0]
+    for f in factors[1:]:
+        out = out.multiply(f) if not isinstance(out, ScalarFactor) else f.multiply(out)
+    return out

@@ -1,0 +1,294 @@
+"""Directed acyclic graph structure underlying a Bayesian network.
+
+A small, dependency-free DAG with the queries inference needs: topological
+order, ancestors/descendants, moralization, and d-separation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import GraphError
+
+
+class DAG:
+    """Directed acyclic graph over string node names."""
+
+    def __init__(self) -> None:
+        self._parents: Dict[str, Set[str]] = {}
+        self._children: Dict[str, Set[str]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: str) -> None:
+        if node not in self._parents:
+            self._parents[node] = set()
+            self._children[node] = set()
+
+    def add_edge(self, parent: str, child: str) -> None:
+        """Add parent -> child; rejects self-loops and introduced cycles."""
+        if parent == child:
+            raise GraphError(f"self-loop on {parent!r} not allowed")
+        self.add_node(parent)
+        self.add_node(child)
+        if parent in self.descendants(child) or parent == child:
+            raise GraphError(
+                f"edge {parent!r} -> {child!r} would create a cycle")
+        self._parents[child].add(parent)
+        self._children[parent].add(child)
+
+    def remove_edge(self, parent: str, child: str) -> None:
+        if child not in self._parents or parent not in self._parents[child]:
+            raise GraphError(f"no edge {parent!r} -> {child!r}")
+        self._parents[child].discard(parent)
+        self._children[parent].discard(child)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._parents)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._parents)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return [(p, c) for c, ps in self._parents.items() for p in sorted(ps)]
+
+    def has_node(self, node: str) -> bool:
+        return node in self._parents
+
+    def parents(self, node: str) -> Set[str]:
+        self._require(node)
+        return set(self._parents[node])
+
+    def children(self, node: str) -> Set[str]:
+        self._require(node)
+        return set(self._children[node])
+
+    def roots(self) -> List[str]:
+        return [n for n, ps in self._parents.items() if not ps]
+
+    def leaves(self) -> List[str]:
+        return [n for n, cs in self._children.items() if not cs]
+
+    def ancestors(self, node: str) -> Set[str]:
+        self._require(node)
+        seen: Set[str] = set()
+        frontier = deque(self._parents[node])
+        while frontier:
+            n = frontier.popleft()
+            if n not in seen:
+                seen.add(n)
+                frontier.extend(self._parents[n])
+        return seen
+
+    def descendants(self, node: str) -> Set[str]:
+        self._require(node)
+        seen: Set[str] = set()
+        frontier = deque(self._children[node])
+        while frontier:
+            n = frontier.popleft()
+            if n not in seen:
+                seen.add(n)
+                frontier.extend(self._children[n])
+        return seen
+
+    def topological_order(self) -> List[str]:
+        """Kahn's algorithm; raises on cycles (defense in depth)."""
+        in_degree = {n: len(ps) for n, ps in self._parents.items()}
+        queue = deque(sorted(n for n, d in in_degree.items() if d == 0))
+        order: List[str] = []
+        while queue:
+            n = queue.popleft()
+            order.append(n)
+            for c in sorted(self._children[n]):
+                in_degree[c] -= 1
+                if in_degree[c] == 0:
+                    queue.append(c)
+        if len(order) != self.n_nodes:
+            raise GraphError("graph contains a cycle")
+        return order
+
+    def moralize(self) -> Dict[str, Set[str]]:
+        """Moral (undirected) graph: marry co-parents, drop directions."""
+        adj: Dict[str, Set[str]] = {n: set() for n in self._parents}
+        for child, ps in self._parents.items():
+            for p in ps:
+                adj[p].add(child)
+                adj[child].add(p)
+            ps_list = sorted(ps)
+            for i, a in enumerate(ps_list):
+                for b in ps_list[i + 1:]:
+                    adj[a].add(b)
+                    adj[b].add(a)
+        return adj
+
+    def markov_blanket(self, node: str) -> Set[str]:
+        """Parents, children, and children's other parents."""
+        self._require(node)
+        blanket = set(self._parents[node]) | set(self._children[node])
+        for child in self._children[node]:
+            blanket |= self._parents[child]
+        blanket.discard(node)
+        return blanket
+
+    def d_separated(self, x: str, y: str, given: Iterable[str]) -> bool:
+        """Check d-separation of x and y given a conditioning set.
+
+        Uses the Bayes-ball style reachability over the ancestral moral
+        graph: x ⟂ y | Z iff they are disconnected in the moralized
+        ancestral graph of {x, y} ∪ Z with Z removed.
+        """
+        self._require(x)
+        self._require(y)
+        z = set(given)
+        for node in z:
+            self._require(node)
+        relevant = {x, y} | z
+        closure = set(relevant)
+        for node in relevant:
+            closure |= self.ancestors(node)
+        # Build moral graph restricted to the ancestral closure.
+        adj: Dict[str, Set[str]] = {n: set() for n in closure}
+        for child in closure:
+            ps = self._parents[child] & closure
+            for p in ps:
+                adj[p].add(child)
+                adj[child].add(p)
+            ps_list = sorted(ps)
+            for i, a in enumerate(ps_list):
+                for b in ps_list[i + 1:]:
+                    adj[a].add(b)
+                    adj[b].add(a)
+        # BFS from x avoiding z.
+        if x in z or y in z:
+            return True
+        frontier = deque([x])
+        seen = {x}
+        while frontier:
+            n = frontier.popleft()
+            if n == y:
+                return False
+            for nb in adj[n]:
+                if nb not in seen and nb not in z:
+                    seen.add(nb)
+                    frontier.append(nb)
+        return True
+
+    def _require(self, node: str) -> None:
+        if node not in self._parents:
+            raise GraphError(f"unknown node {node!r}")
+
+    def __repr__(self) -> str:
+        return f"DAG(nodes={self.n_nodes}, edges={len(self.edges())})"
+
+
+def min_fill_elimination_order(adjacency: Dict[str, Set[str]],
+                               keep: Sequence[str] = ()) -> List[str]:
+    """Greedy min-fill elimination order over an undirected graph.
+
+    ``keep`` nodes (query variables) are never eliminated.  Eliminating a
+    node connects all its neighbours; min-fill picks, at each step, the node
+    introducing the fewest fill-in edges — the standard heuristic for both
+    variable elimination and triangulation.
+    """
+    adj = {n: set(nb) for n, nb in adjacency.items()}
+    keep_set = set(keep)
+    order: List[str] = []
+    candidates = [n for n in adj if n not in keep_set]
+    while candidates:
+        best, best_fill = None, None
+        for n in sorted(candidates):
+            nbs = [m for m in adj[n] if m != n]
+            fill = 0
+            for i, a in enumerate(nbs):
+                for b in nbs[i + 1:]:
+                    if b not in adj[a]:
+                        fill += 1
+            if best_fill is None or fill < best_fill:
+                best, best_fill = n, fill
+        assert best is not None
+        order.append(best)
+        nbs = [m for m in adj[best] if m != best]
+        for i, a in enumerate(nbs):
+            for b in nbs[i + 1:]:
+                adj[a].add(b)
+                adj[b].add(a)
+        for m in nbs:
+            adj[m].discard(best)
+        del adj[best]
+        candidates.remove(best)
+    return order
+
+
+def triangulate(adjacency: Dict[str, Set[str]]) -> Tuple[Dict[str, Set[str]], List[FrozenSet[str]]]:
+    """Triangulate an undirected graph via min-fill; return (chordal graph, cliques).
+
+    The cliques returned are the elimination cliques (node + its neighbours
+    at elimination time), with subsumed cliques removed — the input for
+    junction-tree construction.
+    """
+    adj = {n: set(nb) for n, nb in adjacency.items()}
+    chordal = {n: set(nb) for n, nb in adjacency.items()}
+    order = min_fill_elimination_order(adjacency)
+    cliques: List[FrozenSet[str]] = []
+    for node in order:
+        nbs = [m for m in adj[node] if m != node]
+        clique = frozenset([node] + nbs)
+        cliques.append(clique)
+        for i, a in enumerate(nbs):
+            for b in nbs[i + 1:]:
+                if b not in adj[a]:
+                    adj[a].add(b)
+                    adj[b].add(a)
+                    chordal[a].add(b)
+                    chordal[b].add(a)
+        for m in nbs:
+            adj[m].discard(node)
+        del adj[node]
+    # Remove subsumed cliques.
+    maximal: List[FrozenSet[str]] = []
+    for c in sorted(cliques, key=len, reverse=True):
+        if not any(c < m for m in maximal):
+            maximal.append(c)
+    return chordal, maximal
+
+
+def maximum_spanning_junction_tree(
+        cliques: Sequence[FrozenSet[str]]) -> List[Tuple[int, int, FrozenSet[str]]]:
+    """Connect cliques into a junction tree by max-weight spanning tree.
+
+    Edge weight = separator size; Kruskal with union-find.  The running
+    intersection property holds for maximal elimination cliques connected
+    this way.  Returns edges as (i, j, separator).
+    """
+    n = len(cliques)
+    if n == 0:
+        return []
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            sep = cliques[i] & cliques[j]
+            if sep:
+                edges.append((len(sep), i, j, sep))
+    edges.sort(key=lambda e: -e[0])
+    parent = list(range(n))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    tree: List[Tuple[int, int, FrozenSet[str]]] = []
+    for _, i, j, sep in edges:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+            tree.append((i, j, sep))
+            if len(tree) == n - 1:
+                break
+    return tree

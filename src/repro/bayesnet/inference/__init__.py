@@ -1,0 +1,25 @@
+"""Inference algorithms for discrete Bayesian networks.
+
+- :mod:`repro.bayesnet.inference.variable_elimination` — exact, query-driven.
+- :mod:`repro.bayesnet.inference.junction_tree` — exact, all-marginals.
+- :mod:`repro.bayesnet.inference.sampling` — forward / likelihood weighting /
+  Gibbs approximations.
+"""
+
+from repro.bayesnet.inference.junction_tree import JunctionTree
+from repro.bayesnet.inference.sampling import (
+    forward_sample,
+    gibbs_query,
+    likelihood_weighting_query,
+    rejection_query,
+)
+from repro.bayesnet.inference.variable_elimination import variable_elimination
+
+__all__ = [
+    "JunctionTree",
+    "forward_sample",
+    "gibbs_query",
+    "likelihood_weighting_query",
+    "rejection_query",
+    "variable_elimination",
+]

@@ -1,0 +1,156 @@
+"""Exact inference by variable elimination with min-fill ordering."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Set
+
+from repro.bayesnet.factor import Factor, ScalarFactor, multiply_all
+from repro.bayesnet.graph import min_fill_elimination_order
+from repro.errors import InferenceError
+
+
+def _interaction_graph(factors: Sequence[Factor]) -> Dict[str, Set[str]]:
+    adj: Dict[str, Set[str]] = {}
+    for f in factors:
+        names = f.names
+        for n in names:
+            adj.setdefault(n, set())
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                adj[a].add(b)
+                adj[b].add(a)
+    return adj
+
+
+def variable_elimination(factors: Sequence[Factor], query: Sequence[str],
+                         evidence: Mapping[str, str] = None) -> Factor:
+    """Compute the joint posterior P(query | evidence) from CPT factors.
+
+    Parameters
+    ----------
+    factors:
+        One factor per network node (its CPT as a factor).
+    query:
+        Variable names whose joint posterior is requested.
+    evidence:
+        Observed {variable: state}.
+
+    Returns the normalized posterior factor over the query variables.
+    """
+    evidence = dict(evidence or {})
+    query = list(query)
+    if not query:
+        raise InferenceError("query must name at least one variable")
+    overlap = set(query) & set(evidence)
+    if overlap:
+        raise InferenceError(f"variables {sorted(overlap)} are both queried and observed")
+
+    reduced = [f.reduce(evidence) for f in factors]
+    live = [f for f in reduced if not isinstance(f, ScalarFactor)]
+    scalar = 1.0
+    for f in reduced:
+        if isinstance(f, ScalarFactor):
+            scalar *= f.partition()
+
+    all_names: Set[str] = set()
+    for f in live:
+        all_names |= set(f.names)
+    missing = set(query) - all_names
+    if missing:
+        raise InferenceError(f"query variables {sorted(missing)} not in any factor")
+
+    adj = _interaction_graph(live)
+    order = min_fill_elimination_order(adj, keep=query)
+
+    for name in order:
+        bucket = [f for f in live if name in f.scope]
+        live = [f for f in live if name not in f.scope]
+        if not bucket:
+            continue
+        product = multiply_all(bucket)
+        summed = product.marginalize([name])
+        if isinstance(summed, ScalarFactor):
+            scalar *= summed.partition()
+        else:
+            live.append(summed)
+
+    result = multiply_all(live)
+    if isinstance(result, ScalarFactor):
+        raise InferenceError("all query variables were eliminated — internal error")
+    result = Factor(result.variables, result.table * scalar)
+    return result.normalize()
+
+
+def evidence_probability(factors: Sequence[Factor],
+                         evidence: Mapping[str, str]) -> float:
+    """P(evidence): the partition function after reducing and summing out."""
+    evidence = dict(evidence)
+    reduced = [f.reduce(evidence) for f in factors]
+    live = [f for f in reduced if not isinstance(f, ScalarFactor)]
+    scalar = 1.0
+    for f in reduced:
+        if isinstance(f, ScalarFactor):
+            scalar *= f.partition()
+    adj = _interaction_graph(live)
+    order = min_fill_elimination_order(adj)
+    for name in order:
+        bucket = [f for f in live if name in f.scope]
+        live = [f for f in live if name not in f.scope]
+        if not bucket:
+            continue
+        summed = multiply_all(bucket).marginalize([name])
+        if isinstance(summed, ScalarFactor):
+            scalar *= summed.partition()
+        else:
+            live.append(summed)
+    for f in live:
+        scalar *= f.partition()
+    return float(scalar)
+
+
+def most_probable_explanation(factors: Sequence[Factor],
+                              evidence: Mapping[str, str] = None) -> Dict[str, str]:
+    """MPE assignment of all unobserved variables (max-product elimination).
+
+    Uses max-out elimination followed by greedy decoding via repeated
+    conditioning (simple and exact for the small diagnostic networks used
+    in the safety analyses here).
+    """
+    evidence = dict(evidence or {})
+    all_names: Set[str] = set()
+    for f in factors:
+        all_names |= set(f.names)
+    unobserved = sorted(all_names - set(evidence))
+    assignment = dict(evidence)
+    # Greedy sequential maximization: for each variable, pick the state
+    # maximizing the joint with previously fixed states. Exact because we
+    # re-run full max elimination at every step.
+    for name in unobserved:
+        best_state, best_score = None, -1.0
+        var = None
+        for f in factors:
+            if name in f.scope:
+                var = f.variable(name)
+                break
+        if var is None:  # pragma: no cover - unreachable by construction
+            raise InferenceError(f"variable {name!r} not found")
+        for state in var.states:
+            trial = dict(assignment)
+            trial[name] = state
+            score = 1.0
+            reduced = [f.reduce(trial) for f in factors]
+            live = [f for f in reduced if not isinstance(f, ScalarFactor)]
+            for f in reduced:
+                if isinstance(f, ScalarFactor):
+                    score *= f.partition()
+            remaining = set()
+            for f in live:
+                remaining |= set(f.names)
+            product = multiply_all(live)
+            if not isinstance(product, ScalarFactor):
+                product = product.max_out(remaining)
+            score *= product.partition()
+            if score > best_score:
+                best_state, best_score = state, score
+        assignment[name] = best_state
+    return {k: v for k, v in assignment.items() if k not in evidence}

@@ -1,0 +1,179 @@
+"""The user-facing :class:`BayesianNetwork` tying structure and CPTs together.
+
+This is the graphical analysis model of the paper's §V-B: "The BN is a
+Directed Acyclic Graph that consists of nodes and edges.  Every node is a
+random variable ... The effect of parent node on child node is determined
+by conditional probabilities."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.factor import Factor
+from repro.bayesnet.graph import DAG
+from repro.bayesnet.inference.junction_tree import JunctionTree
+from repro.bayesnet.inference.sampling import (
+    forward_sample,
+    gibbs_query,
+    likelihood_weighting_query,
+    rejection_query,
+)
+from repro.bayesnet.inference.variable_elimination import (
+    evidence_probability,
+    most_probable_explanation,
+    variable_elimination,
+)
+from repro.bayesnet.variable import Variable
+from repro.errors import GraphError, InferenceError
+
+
+class BayesianNetwork:
+    """A discrete Bayesian network with exact and approximate inference.
+
+    Example (the paper's Fig. 4 network)::
+
+        gt = Variable("ground_truth", ["car", "pedestrian", "unknown"])
+        pc = Variable("perception", ["car", "pedestrian", "car/pedestrian", "none"])
+        bn = BayesianNetwork("perception-chain")
+        bn.add_cpt(CPT.prior(gt, {"car": 0.6, "pedestrian": 0.3, "unknown": 0.1}))
+        bn.add_cpt(CPT.from_dict(pc, [gt], {...Table I rows...}))
+        bn.query("ground_truth", evidence={"perception": "none"})
+    """
+
+    def __init__(self, name: str = "bn"):
+        self.name = name
+        self.dag = DAG()
+        self._variables: Dict[str, Variable] = {}
+        self._cpts: Dict[str, CPT] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_cpt(self, cpt: CPT) -> None:
+        """Add a node together with its CPT; parents must exist already."""
+        child = cpt.child
+        if child.name in self._cpts:
+            raise GraphError(f"node {child.name!r} already has a CPT")
+        for p in cpt.parents:
+            if p.name not in self._variables:
+                raise GraphError(
+                    f"parent {p.name!r} of {child.name!r} must be added first")
+            if self._variables[p.name] != p:
+                raise GraphError(f"conflicting definitions of variable {p.name!r}")
+        self._variables[child.name] = child
+        self.dag.add_node(child.name)
+        for p in cpt.parents:
+            self.dag.add_edge(p.name, child.name)
+        self._cpts[child.name] = cpt
+
+    def replace_cpt(self, cpt: CPT) -> None:
+        """Swap the CPT of an existing node (same child and parent set)."""
+        old = self._cpts.get(cpt.child.name)
+        if old is None:
+            raise GraphError(f"node {cpt.child.name!r} does not exist")
+        if set(old.parent_names) != set(cpt.parent_names):
+            raise GraphError(
+                "replace_cpt must preserve the parent set; rebuild the network "
+                "to change structure")
+        self._cpts[cpt.child.name] = cpt
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def node_names(self) -> List[str]:
+        return self.dag.topological_order()
+
+    def variable(self, name: str) -> Variable:
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise GraphError(f"unknown variable {name!r}") from None
+
+    def cpt(self, name: str) -> CPT:
+        try:
+            return self._cpts[name]
+        except KeyError:
+            raise GraphError(f"no CPT for {name!r}") from None
+
+    def factors(self) -> List[Factor]:
+        return [cpt.to_factor() for cpt in self._cpts.values()]
+
+    def n_parameters(self) -> int:
+        """Total free parameters — the elicitation burden of the model."""
+        return sum(cpt.n_parameters() for cpt in self._cpts.values())
+
+    def validate(self) -> None:
+        """Check every node has a CPT and the structure is a proper DAG."""
+        for name in self.dag.nodes:
+            if name not in self._cpts:
+                raise GraphError(f"node {name!r} has no CPT")
+            cpt = self._cpts[name]
+            if set(cpt.parent_names) != self.dag.parents(name):
+                raise GraphError(
+                    f"CPT parents of {name!r} disagree with graph structure")
+        self.dag.topological_order()  # raises on cycles
+
+    # -- inference -----------------------------------------------------------------
+
+    def query(self, target: str, evidence: Mapping[str, str] = None,
+              method: str = "exact", rng: Optional[np.random.Generator] = None,
+              n_samples: int = 10000) -> Dict[str, float]:
+        """Posterior marginal P(target | evidence).
+
+        ``method`` is one of ``exact`` (variable elimination),
+        ``junction_tree``, ``likelihood_weighting``, ``rejection``, ``gibbs``.
+        """
+        self.validate()
+        evidence = dict(evidence or {})
+        if method == "exact":
+            factor = variable_elimination(self.factors(), [target], evidence)
+            return factor.distribution()
+        if method == "junction_tree":
+            jt = JunctionTree(self.factors())
+            jt.calibrate(evidence)
+            return jt.marginal(target)
+        if rng is None:
+            raise InferenceError(f"method {method!r} requires an rng")
+        if method == "likelihood_weighting":
+            return likelihood_weighting_query(self, rng, target, evidence, n_samples)
+        if method == "rejection":
+            return rejection_query(self, rng, target, evidence, n_samples)
+        if method == "gibbs":
+            return gibbs_query(self, rng, target, evidence, n_samples)
+        raise InferenceError(f"unknown inference method {method!r}")
+
+    def joint_query(self, targets: Sequence[str],
+                    evidence: Mapping[str, str] = None) -> Factor:
+        """Joint posterior over several targets (exact)."""
+        self.validate()
+        return variable_elimination(self.factors(), list(targets),
+                                    dict(evidence or {}))
+
+    def probability_of_evidence(self, evidence: Mapping[str, str]) -> float:
+        """P(evidence) — the normalizing constant of a diagnostic query."""
+        self.validate()
+        return evidence_probability(self.factors(), dict(evidence))
+
+    def map_explanation(self, evidence: Mapping[str, str] = None) -> Dict[str, str]:
+        """Most probable explanation of all unobserved variables."""
+        self.validate()
+        return most_probable_explanation(self.factors(), dict(evidence or {}))
+
+    def sample(self, rng: np.random.Generator, n: int) -> List[Dict[str, str]]:
+        """Forward-sample ``n`` joint configurations."""
+        self.validate()
+        return forward_sample(self, rng, n)
+
+    def marginals(self, evidence: Mapping[str, str] = None) -> Dict[str, Dict[str, float]]:
+        """All posterior marginals via one junction-tree calibration."""
+        self.validate()
+        jt = JunctionTree(self.factors())
+        jt.calibrate(dict(evidence or {}))
+        return {name: jt.marginal(name) for name in self.dag.nodes}
+
+    def __repr__(self) -> str:
+        return (f"BayesianNetwork({self.name!r}, nodes={self.dag.n_nodes}, "
+                f"edges={len(self.dag.edges())}, params={self.n_parameters()})")

@@ -1,0 +1,136 @@
+"""Noisy-OR / noisy-AND CPT generators (paper refs [38], [39] territory).
+
+Like ranked nodes, canonical interaction models tame the exponential CPT
+growth the paper warns about: a noisy-OR over k binary causes needs k+1
+parameters (one activation probability per cause plus a leak) instead of
+2^k rows.  They also carry a causal-independence semantics that pure
+tables lack, which makes elicitation questions natural ("if only this
+cause is present, how often does the effect occur?").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.variable import Variable
+from repro.errors import InferenceError
+
+FALSE, TRUE = "false", "true"
+
+
+def _check_binary(variable: Variable) -> None:
+    if tuple(variable.states) != (FALSE, TRUE):
+        raise InferenceError(
+            f"noisy gates require binary variables with states "
+            f"('false', 'true'); {variable.name!r} has {variable.states}")
+
+
+def noisy_or_cpt(child: Variable, parents: Sequence[Variable],
+                 activation: Mapping[str, float],
+                 leak: float = 0.0) -> CPT:
+    """Noisy-OR: each present cause independently activates the effect.
+
+    ``activation[p]`` is P(effect | only cause p present); ``leak`` is
+    P(effect | no cause present).  The full-table entry is
+
+        P(effect | causes C) = 1 - (1 - leak) * prod_{p in C} (1 - a_p).
+    """
+    _check_binary(child)
+    for p in parents:
+        _check_binary(p)
+    if not 0.0 <= leak < 1.0:
+        raise InferenceError("leak must be in [0, 1)")
+    missing = {p.name for p in parents} - set(activation)
+    if missing:
+        raise InferenceError(f"missing activation for parents {sorted(missing)}")
+    for name, a in activation.items():
+        if not 0.0 <= a <= 1.0:
+            raise InferenceError(f"activation of {name!r} must be in [0, 1]")
+
+    shape = tuple(p.cardinality for p in parents) + (2,)
+    table = np.zeros(shape)
+    for idx in np.ndindex(*shape[:-1]):
+        survive = 1.0 - leak
+        for p, i in zip(parents, idx):
+            if p.states[i] == TRUE:
+                survive *= 1.0 - activation[p.name]
+        p_true = 1.0 - survive
+        table[idx + (0,)] = 1.0 - p_true
+        table[idx + (1,)] = p_true
+    return CPT(child, tuple(parents), table)
+
+
+def noisy_and_cpt(child: Variable, parents: Sequence[Variable],
+                  inhibition: Mapping[str, float],
+                  base: float = 1.0) -> CPT:
+    """Noisy-AND: every absent cause independently inhibits the effect.
+
+    ``inhibition[p]`` is the probability that the *absence* of cause p
+    still lets the effect through; ``base`` is P(effect | all causes
+    present).
+    """
+    _check_binary(child)
+    for p in parents:
+        _check_binary(p)
+    if not 0.0 < base <= 1.0:
+        raise InferenceError("base must be in (0, 1]")
+    missing = {p.name for p in parents} - set(inhibition)
+    if missing:
+        raise InferenceError(f"missing inhibition for parents {sorted(missing)}")
+    for name, q in inhibition.items():
+        if not 0.0 <= q <= 1.0:
+            raise InferenceError(f"inhibition of {name!r} must be in [0, 1]")
+
+    shape = tuple(p.cardinality for p in parents) + (2,)
+    table = np.zeros(shape)
+    for idx in np.ndindex(*shape[:-1]):
+        p_true = base
+        for p, i in zip(parents, idx):
+            if p.states[i] == FALSE:
+                p_true *= inhibition[p.name]
+        table[idx + (0,)] = 1.0 - p_true
+        table[idx + (1,)] = p_true
+    return CPT(child, tuple(parents), table)
+
+
+def noisy_or_parameter_savings(n_parents: int) -> Dict[str, int]:
+    """Parameter counts: full binary CPT vs noisy-OR."""
+    if n_parents < 1:
+        raise InferenceError("n_parents must be >= 1")
+    return {
+        "full_cpt": 2 ** n_parents,      # one free prob per configuration
+        "noisy_or": n_parents + 1,       # activations + leak
+    }
+
+
+def fit_noisy_or(child: Variable, parents: Sequence[Variable],
+                 records: Sequence[Mapping[str, str]],
+                 leak: float = 0.0) -> CPT:
+    """Estimate noisy-OR activations from complete data (method of
+    single-cause moments: use records where exactly one cause is present).
+
+    Falls back to a small pseudo-count when a single-cause stratum is
+    empty; the result is a valid noisy-OR CPT that can be compared against
+    the full-table MLE by likelihood.
+    """
+    _check_binary(child)
+    for p in parents:
+        _check_binary(p)
+    activation: Dict[str, float] = {}
+    for p in parents:
+        hits = 1.0
+        total = 2.0  # Jeffreys-ish pseudo counts
+        for rec in records:
+            present = [q.name for q in parents if rec[q.name] == TRUE]
+            if present == [p.name]:
+                total += 1.0
+                if rec[child.name] == TRUE:
+                    hits += 1.0
+        raw = hits / total
+        # Invert the leak composition: observed = 1-(1-leak)(1-a).
+        a = 1.0 - (1.0 - raw) / max(1.0 - leak, 1e-12)
+        activation[p.name] = float(np.clip(a, 0.0, 1.0))
+    return noisy_or_cpt(child, parents, activation, leak)

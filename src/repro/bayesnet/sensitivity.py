@@ -1,0 +1,173 @@
+"""Sensitivity analysis of Bayesian-network posteriors to CPT parameters.
+
+Elicited CPT entries (like the paper's Table I) are epistemically
+uncertain.  One-way sensitivity analysis answers "how wrong can this
+entry be before the conclusion changes?": the posterior of any query is a
+ratio of two linear functions of a single CPT parameter (Castillo et al. /
+Coupe & van der Gaag), so the full sensitivity function can be recovered
+from three evaluations, and tornado-style rankings follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.network import BayesianNetwork
+from repro.errors import InferenceError
+
+
+@dataclass(frozen=True)
+class SensitivityFunction:
+    """Posterior as a function of one CPT entry: f(x) = (a x + b)/(c x + d).
+
+    The varied entry is co-varied proportionally with its row siblings so
+    the row stays a distribution (proportional co-variation, the standard
+    scheme).
+    """
+
+    a: float
+    b: float
+    c: float
+    d: float
+    x0: float  # the entry's original value
+
+    def __call__(self, x: float) -> float:
+        denominator = self.c * x + self.d
+        if abs(denominator) < 1e-300:
+            raise InferenceError("sensitivity function undefined at this value")
+        return (self.a * x + self.b) / denominator
+
+    def derivative_at(self, x: float) -> float:
+        denominator = (self.c * x + self.d) ** 2
+        return (self.a * self.d - self.b * self.c) / denominator
+
+    def range_over(self, lo: float, hi: float, n: int = 101
+                   ) -> Tuple[float, float]:
+        """Min/max of the posterior as the entry varies in [lo, hi]."""
+        xs = np.linspace(lo, hi, n)
+        ys = np.array([self(float(x)) for x in xs])
+        return float(ys.min()), float(ys.max())
+
+
+def _network_with_entry(network: BayesianNetwork, node: str,
+                        parent_states: Tuple[str, ...], child_state: str,
+                        value: float) -> BayesianNetwork:
+    """Copy of the network with one CPT entry set (proportional co-variation)."""
+    if not 0.0 <= value <= 1.0:
+        raise InferenceError("CPT entries must be in [0, 1]")
+    out = BayesianNetwork(network.name + "-sens")
+    for name in network.dag.topological_order():
+        cpt = network.cpt(name)
+        if name != node:
+            out.add_cpt(cpt)
+            continue
+        row = cpt.row(parent_states)
+        if child_state not in row:
+            raise InferenceError(f"unknown child state {child_state!r}")
+        old = row[child_state]
+        rest = 1.0 - old
+        new_row = {}
+        for state, p in row.items():
+            if state == child_state:
+                new_row[state] = value
+            elif rest <= 1e-12:
+                new_row[state] = (1.0 - value) / (len(row) - 1)
+            else:
+                new_row[state] = p * (1.0 - value) / rest
+        table = cpt.table.copy()
+        idx = tuple(p.index_of(s) for p, s in zip(cpt.parents, parent_states))
+        for i, state in enumerate(cpt.child.states):
+            table[idx + (i,)] = new_row[state]
+        out.add_cpt(CPT(cpt.child, cpt.parents, table))
+    return out
+
+
+def sensitivity_function(network: BayesianNetwork, *,
+                         node: str, parent_states: Tuple[str, ...],
+                         child_state: str,
+                         query: str, query_state: str,
+                         evidence: Mapping[str, str] = None
+                         ) -> SensitivityFunction:
+    """Fit the exact rational sensitivity function from three evaluations.
+
+    P(query, evidence) and P(evidence) are each linear in the varied entry
+    (with proportional co-variation), so the posterior is (a x + b) /
+    (c x + d); two probing values per linear form determine it.
+    """
+    evidence = dict(evidence or {})
+    cpt = network.cpt(node)
+    x0 = cpt.prob(child_state, parent_states)
+    probes = [0.2, 0.8]
+
+    numerators, denominators = [], []
+    for x in probes:
+        trial = _network_with_entry(network, node, parent_states,
+                                    child_state, x)
+        joint_evidence = dict(evidence)
+        joint_evidence[query] = query_state
+        numerators.append(trial.probability_of_evidence(joint_evidence))
+        denominators.append(trial.probability_of_evidence(evidence)
+                            if evidence else 1.0)
+    (x1, x2) = probes
+    a = (numerators[1] - numerators[0]) / (x2 - x1)
+    b = numerators[0] - a * x1
+    c = (denominators[1] - denominators[0]) / (x2 - x1)
+    d = denominators[0] - c * x1
+    return SensitivityFunction(a=a, b=b, c=c, d=d, x0=x0)
+
+
+@dataclass(frozen=True)
+class TornadoEntry:
+    node: str
+    parent_states: Tuple[str, ...]
+    child_state: str
+    baseline: float
+    low: float
+    high: float
+
+    @property
+    def swing(self) -> float:
+        return self.high - self.low
+
+
+def tornado_analysis(network: BayesianNetwork, *, query: str,
+                     query_state: str, evidence: Mapping[str, str] = None,
+                     relative_band: float = 0.5,
+                     min_entry: float = 1e-6) -> List[TornadoEntry]:
+    """Rank all CPT entries by the posterior swing they can cause.
+
+    Each entry x0 is varied over [x0 (1-band), min(1, x0 (1+band))]; the
+    induced posterior range is the tornado bar.  Large-swing entries are
+    where epistemic *removal* (better elicitation/data) matters most.
+    """
+    if not 0.0 < relative_band <= 1.0:
+        raise InferenceError("relative_band must be in (0, 1]")
+    evidence = dict(evidence or {})
+    baseline = network.query(query, evidence)[query_state]
+    entries: List[TornadoEntry] = []
+    for name in network.dag.topological_order():
+        cpt = network.cpt(name)
+        parent_state_lists = [p.states for p in cpt.parents]
+        configs = [()]
+        for states in parent_state_lists:
+            configs = [c + (s,) for c in configs for s in states]
+        for config in configs:
+            for child_state in cpt.child.states:
+                x0 = cpt.prob(child_state, config)
+                if x0 < min_entry or x0 > 1.0 - min_entry:
+                    continue
+                fn = sensitivity_function(
+                    network, node=name, parent_states=config,
+                    child_state=child_state, query=query,
+                    query_state=query_state, evidence=evidence)
+                lo_x = max(0.0, x0 * (1.0 - relative_band))
+                hi_x = min(1.0, x0 * (1.0 + relative_band))
+                lo, hi = fn.range_over(lo_x, hi_x)
+                entries.append(TornadoEntry(
+                    node=name, parent_states=config, child_state=child_state,
+                    baseline=baseline, low=lo, high=hi))
+    return sorted(entries, key=lambda e: -e.swing)

@@ -1,0 +1,66 @@
+"""Discrete random variables for the Bayesian-network engine."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import GraphError
+
+
+class Variable:
+    """A named discrete random variable with an ordered, finite state set.
+
+    Instances are immutable and hashable; identity is by (name, states) so
+    two networks can safely share variable objects.
+    """
+
+    __slots__ = ("_name", "_states")
+
+    def __init__(self, name: str, states: Sequence[str]):
+        if not name:
+            raise GraphError("variable name must be non-empty")
+        states = tuple(str(s) for s in states)
+        if len(states) < 2:
+            raise GraphError(f"variable {name!r} needs at least 2 states, got {states}")
+        if len(set(states)) != len(states):
+            raise GraphError(f"variable {name!r} has duplicate states: {states}")
+        self._name = str(name)
+        self._states = states
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def states(self) -> Tuple[str, ...]:
+        return self._states
+
+    @property
+    def cardinality(self) -> int:
+        return len(self._states)
+
+    def index_of(self, state: str) -> int:
+        """Index of a state; raises for states outside the ontology."""
+        try:
+            return self._states.index(state)
+        except ValueError:
+            raise GraphError(
+                f"state {state!r} is not in the ontology of variable "
+                f"{self._name!r} (states: {list(self._states)})") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Variable):
+            return NotImplemented
+        return self._name == other._name and self._states == other._states
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._states))
+
+    def __repr__(self) -> str:
+        return f"Variable({self._name!r}, states={list(self._states)})"
+
+
+def boolean_variable(name: str, true_state: str = "true",
+                     false_state: str = "false") -> Variable:
+    """Convenience constructor for two-state variables (fault-tree events)."""
+    return Variable(name, [false_state, true_state])

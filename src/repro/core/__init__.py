@@ -1,0 +1,67 @@
+"""Core framework: the paper's uncertainty taxonomy, made executable.
+
+- :mod:`repro.core.taxonomy` — uncertainty types (aleatory / epistemic /
+  ontological), means (prevention / removal / tolerance / forecasting),
+  and a method registry realizing Fig. 3.
+- :mod:`repro.core.uncertainty` — first-class uncertainty quantities and
+  budgets.
+- :mod:`repro.core.modeling` — Rosen's modeling relation (Fig. 2).
+- :mod:`repro.core.strategy` — derivation of an overall uncertainty-
+  handling strategy from a budget and the registry (§IV).
+- :mod:`repro.core.lifecycle` — the cybernetic development loop (Fig. 1)
+  with the good-regulator metric (Conant & Ashby).
+"""
+
+from repro.core.assurance import AssuranceCase, AssuranceNode, Confidence
+from repro.core.lifecycle import DevelopmentLoop, IterationReport
+from repro.core.report import UncertaintyDossier
+from repro.core.modeling import (
+    DeterministicModel,
+    FormalModel,
+    ModelingRelation,
+    PhysicalSystem,
+    ProbabilisticModel,
+)
+from repro.core.strategy import StrategyPlan, derive_strategy
+from repro.core.taxonomy import (
+    LifecycleStage,
+    Means,
+    Method,
+    MethodRegistry,
+    UncertaintyType,
+    builtin_registry,
+)
+from repro.core.uncertainty import (
+    AleatoryUncertainty,
+    EpistemicUncertainty,
+    OntologicalUncertainty,
+    Uncertainty,
+    UncertaintyBudget,
+)
+
+__all__ = [
+    "AssuranceCase",
+    "AssuranceNode",
+    "Confidence",
+    "UncertaintyDossier",
+    "DevelopmentLoop",
+    "IterationReport",
+    "DeterministicModel",
+    "FormalModel",
+    "ModelingRelation",
+    "PhysicalSystem",
+    "ProbabilisticModel",
+    "StrategyPlan",
+    "derive_strategy",
+    "LifecycleStage",
+    "Means",
+    "Method",
+    "MethodRegistry",
+    "UncertaintyType",
+    "builtin_registry",
+    "AleatoryUncertainty",
+    "EpistemicUncertainty",
+    "OntologicalUncertainty",
+    "Uncertainty",
+    "UncertaintyBudget",
+]

@@ -1,0 +1,261 @@
+"""Assurance cases with Dempster-Shafer confidence (paper ref. [11]).
+
+"For the overall confidence to release a product assurance cases can be
+enriched with belief modeling" (§I, Wang et al.).  This module implements
+a GSN-style argument tree — goals decomposed through strategies into
+sub-goals and finally evidence — where every evidence item carries a
+belief/disbelief/ignorance triple and confidence propagates upward:
+
+- evidence:     a simple support assessment, optionally discounted by the
+                source's reliability;
+- conjunctive decomposition (all premises needed):
+                Bel(goal) = prod Bel(children), Pl = prod Pl(children);
+- alternative decomposition (independent legs, any sufficient):
+                via De Morgan on the disbeliefs.
+
+The residual ignorance at the top goal is the argument-level *epistemic*
+uncertainty; an explicit ``defeater`` mechanism models *ontological*
+doubts (identified but unaddressed ways the argument could be wrong),
+which cap the top-level plausibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import StrategyError
+
+
+@dataclass(frozen=True)
+class Confidence:
+    """A (belief, plausibility) pair on "this claim holds".
+
+    ``belief`` is the mass provably supporting the claim; ``1 -
+    plausibility`` the mass provably against it; the gap is ignorance.
+    """
+
+    belief: float
+    plausibility: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.belief <= self.plausibility <= 1.0:
+            raise StrategyError(
+                f"require 0 <= belief <= plausibility <= 1, got "
+                f"({self.belief}, {self.plausibility})")
+
+    @property
+    def disbelief(self) -> float:
+        return 1.0 - self.plausibility
+
+    @property
+    def ignorance(self) -> float:
+        """Epistemic width of the assessment."""
+        return self.plausibility - self.belief
+
+    @classmethod
+    def from_triple(cls, belief: float, disbelief: float,
+                    ignorance: float, atol: float = 1e-9) -> "Confidence":
+        total = belief + disbelief + ignorance
+        if abs(total - 1.0) > atol:
+            raise StrategyError(f"triple must sum to 1, got {total}")
+        return cls(belief, belief + ignorance)
+
+    @classmethod
+    def vacuous(cls) -> "Confidence":
+        return cls(0.0, 1.0)
+
+    @classmethod
+    def certain(cls) -> "Confidence":
+        return cls(1.0, 1.0)
+
+    def discounted(self, reliability: float) -> "Confidence":
+        """Shafer discounting by the source's reliability."""
+        if not 0.0 <= reliability <= 1.0:
+            raise StrategyError("reliability must be in [0, 1]")
+        return Confidence(self.belief * reliability,
+                          1.0 - self.disbelief * reliability)
+
+    def __repr__(self) -> str:
+        return f"Confidence(bel={self.belief:.4g}, pl={self.plausibility:.4g})"
+
+
+def combine_conjunctive(parts: Sequence[Confidence]) -> Confidence:
+    """Confidence in (A1 and A2 and ...), independence assumed."""
+    if not parts:
+        raise StrategyError("need at least one premise")
+    bel = pl = 1.0
+    for c in parts:
+        bel *= c.belief
+        pl *= c.plausibility
+    return Confidence(bel, pl)
+
+
+def combine_alternative(parts: Sequence[Confidence]) -> Confidence:
+    """Confidence in (A1 or A2 or ...) — any sufficient leg."""
+    if not parts:
+        raise StrategyError("need at least one leg")
+    not_bel = not_pl = 1.0
+    for c in parts:
+        not_bel *= 1.0 - c.belief
+        not_pl *= 1.0 - c.plausibility
+    return Confidence(1.0 - not_bel, 1.0 - not_pl)
+
+
+def combine_cumulative(parts: Sequence[Confidence]) -> Confidence:
+    """Independent evidence items for the *same* claim (Dempster on
+    simple-support functions): beliefs reinforce, disbeliefs reinforce,
+    conflict renormalizes."""
+    if not parts:
+        raise StrategyError("need at least one evidence item")
+    # Fold Dempster's rule on the 2-hypothesis frame {holds, fails}.
+    b, d = parts[0].belief, parts[0].disbelief
+    for c in parts[1:]:
+        b2, d2 = c.belief, c.disbelief
+        u, u2 = 1.0 - b - d, 1.0 - b2 - d2
+        conflict = b * d2 + d * b2
+        if conflict >= 1.0 - 1e-12:
+            raise StrategyError("totally conflicting evidence for one claim")
+        norm = 1.0 - conflict
+        b, d = ((b * b2 + b * u2 + u * b2) / norm,
+                (d * d2 + d * u2 + u * d2) / norm)
+    return Confidence(b, 1.0 - d)
+
+
+class AssuranceNode:
+    """One node of the argument tree."""
+
+    KINDS = ("goal", "strategy", "evidence")
+
+    def __init__(self, kind: str, name: str, statement: str = "",
+                 *, decomposition: str = "conjunctive",
+                 assessment: Optional[Confidence] = None,
+                 reliability: float = 1.0):
+        if kind not in self.KINDS:
+            raise StrategyError(f"kind must be one of {self.KINDS}")
+        if decomposition not in ("conjunctive", "alternative", "cumulative"):
+            raise StrategyError(f"unknown decomposition {decomposition!r}")
+        if kind == "evidence" and assessment is None:
+            raise StrategyError(f"evidence node {name!r} needs an assessment")
+        if kind != "evidence" and assessment is not None:
+            raise StrategyError(f"only evidence nodes carry direct assessments")
+        self.kind = kind
+        self.name = name
+        self.statement = statement
+        self.decomposition = decomposition
+        self.assessment = assessment
+        self.reliability = reliability
+        self.children: List["AssuranceNode"] = []
+
+    def add(self, child: "AssuranceNode") -> "AssuranceNode":
+        if self.kind == "evidence":
+            raise StrategyError("evidence nodes are leaves")
+        self.children.append(child)
+        return child
+
+    def confidence(self) -> Confidence:
+        """Propagate confidence bottom-up."""
+        if self.kind == "evidence":
+            assert self.assessment is not None
+            return self.assessment.discounted(self.reliability)
+        if not self.children:
+            # An undeveloped goal/strategy: total ignorance.
+            return Confidence.vacuous()
+        parts = [c.confidence() for c in self.children]
+        if self.decomposition == "conjunctive":
+            return combine_conjunctive(parts)
+        if self.decomposition == "alternative":
+            return combine_alternative(parts)
+        return combine_cumulative(parts)
+
+    def undeveloped(self) -> List[str]:
+        """Names of non-evidence leaves (argument gaps)."""
+        if self.kind == "evidence":
+            return []
+        if not self.children:
+            return [self.name]
+        out: List[str] = []
+        for c in self.children:
+            out.extend(c.undeveloped())
+        return out
+
+    def __repr__(self) -> str:
+        return f"AssuranceNode({self.kind}, {self.name!r}, children={len(self.children)})"
+
+
+class AssuranceCase:
+    """An argument tree with optional defeaters, assessed for release.
+
+    Defeaters are identified-but-unresolved doubts about the argument
+    itself (e.g. "the ODD analysis may be incomplete"); each caps the top
+    plausibility by its severity.  They are the argument-level home of
+    ontological uncertainty: you cannot argue it away, only resolve it by
+    new knowledge or accept it explicitly.
+    """
+
+    def __init__(self, top_goal: AssuranceNode):
+        if top_goal.kind != "goal":
+            raise StrategyError("the top node must be a goal")
+        self.top_goal = top_goal
+        self._defeaters: List[Tuple[str, float]] = []
+
+    def add_defeater(self, description: str, severity: float) -> None:
+        if not 0.0 <= severity <= 1.0:
+            raise StrategyError("severity must be in [0, 1]")
+        self._defeaters.append((description, severity))
+
+    @property
+    def defeaters(self) -> List[Tuple[str, float]]:
+        return list(self._defeaters)
+
+    def confidence(self) -> Confidence:
+        """Top-goal confidence after defeater discounting."""
+        base = self.top_goal.confidence()
+        for _, severity in self._defeaters:
+            base = base.discounted(1.0 - severity)
+        return base
+
+    def release_verdict(self, min_belief: float,
+                        max_ignorance: float) -> Dict[str, object]:
+        """The release decision the paper's §IV forecasting targets:
+        enough supported belief, little enough residual ignorance."""
+        if not 0.0 <= min_belief <= 1.0 or not 0.0 <= max_ignorance <= 1.0:
+            raise StrategyError("thresholds must be in [0, 1]")
+        c = self.confidence()
+        gaps = self.top_goal.undeveloped()
+        return {
+            "confidence": c,
+            "belief_ok": c.belief >= min_belief,
+            "ignorance_ok": c.ignorance <= max_ignorance,
+            "undeveloped": gaps,
+            "defeaters": [d for d, _ in self._defeaters],
+            "release": (c.belief >= min_belief and
+                        c.ignorance <= max_ignorance and not gaps),
+        }
+
+    def __repr__(self) -> str:
+        return (f"AssuranceCase(top={self.top_goal.name!r}, "
+                f"defeaters={len(self._defeaters)})")
+
+
+def goal(name: str, statement: str = "",
+         decomposition: str = "conjunctive") -> AssuranceNode:
+    """Convenience constructor for goal nodes."""
+    return AssuranceNode("goal", name, statement, decomposition=decomposition)
+
+
+def strategy(name: str, statement: str = "",
+             decomposition: str = "conjunctive") -> AssuranceNode:
+    """Convenience constructor for strategy nodes."""
+    return AssuranceNode("strategy", name, statement,
+                         decomposition=decomposition)
+
+
+def evidence(name: str, belief: float, disbelief: float = 0.0,
+             reliability: float = 1.0, statement: str = "") -> AssuranceNode:
+    """Convenience constructor for evidence leaves."""
+    ignorance = 1.0 - belief - disbelief
+    return AssuranceNode(
+        "evidence", name, statement,
+        assessment=Confidence.from_triple(belief, disbelief, ignorance),
+        reliability=reliability)

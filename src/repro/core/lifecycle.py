@@ -1,0 +1,228 @@
+"""The cybernetic development loop of Fig. 1, as a simulation.
+
+Controlled system: the SuD (a perception chain) embedded in its operating
+environment (a :class:`~repro.perception.world.WorldModel`).  Controlling
+system: the development organization, holding a *codified model* of the
+environment (a Dirichlet estimator over its current ontology) that it
+updates through two channels:
+
+- **domain analysis** (observation channel): sampling the environment
+  before/during development;
+- **field observation** (feedback): monitoring the deployed SuD, where
+  encounters outside the organization's ontology are *ontological events*
+  that trigger re-modeling (ontology extension).
+
+The good regulator theorem (Conant & Ashby) appears as a measurable
+relation: the organization's control performance (realized hazard rate of
+its deployment decisions) degrades with the divergence between its model
+and the environment — :func:`good_regulator_experiment`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.information.entropy import kl_divergence_categorical
+from repro.perception.chain import PerceptionChain, hazardous_misperception_rate
+from repro.perception.odd import FULL_ODD, OperationalDesignDomain
+from repro.perception.world import CAR, PEDESTRIAN, UNKNOWN, WorldModel
+from repro.probability.distributions import Categorical, Dirichlet
+from repro.probability.estimation import GoodTuringEstimator
+
+
+@dataclass
+class IterationReport:
+    """Metrics of one turn of the development control loop."""
+
+    iteration: int
+    ontology_size: int
+    epistemic_uncertainty: float
+    estimated_missing_mass: float
+    true_unobserved_mass: float
+    model_world_divergence: float
+    hazard_rate: float
+    ontological_events: int
+
+
+class DevelopmentLoop:
+    """The Fig. 1 control loop between organization and SuD/environment.
+
+    Parameters
+    ----------
+    world:
+        The true operating environment (unknown to the organization).
+    chain:
+        The implemented SuD.
+    extend_ontology:
+        Whether field-observed novel kinds are folded into the codified
+        model (uncertainty removal during use).  Off = the organization
+        ignores its feedback channel; the FIG1 benchmark contrasts both.
+    """
+
+    def __init__(self, world: WorldModel, chain: Optional[PerceptionChain] = None,
+                 *, extend_ontology: bool = True, prior_strength: float = 1.0):
+        self.world = world
+        self.chain = chain or PerceptionChain()
+        self.extend_ontology = extend_ontology
+        self._prior_strength = prior_strength
+        # The organization starts with the design ontology {car, pedestrian}:
+        # "we assume that only cars or pedestrians will be encountered".
+        self._ontology: List[str] = [CAR, PEDESTRIAN]
+        self._counts: Dict[str, int] = {CAR: 0, PEDESTRIAN: 0}
+        self._good_turing = GoodTuringEstimator()
+        self.reports: List[IterationReport] = []
+
+    # -- the organization's codified model ------------------------------------
+
+    @property
+    def ontology(self) -> List[str]:
+        return list(self._ontology)
+
+    def codified_model(self) -> Categorical:
+        """The organization's current best world model (posterior mean)."""
+        return self._posterior().mean()
+
+    def _posterior(self) -> Dirichlet:
+        conc = {k: self._prior_strength + self._counts.get(k, 0)
+                for k in self._ontology}
+        return Dirichlet(conc)
+
+    def epistemic_uncertainty(self) -> float:
+        return self._posterior().expected_entropy_gap()
+
+    # -- channels ----------------------------------------------------------------
+
+    def _record(self, kind: str) -> int:
+        """Record one observed kind; returns 1 if it was an ontological event."""
+        self._good_turing.observe(kind)
+        if kind in self._counts:
+            self._counts[kind] += 1
+            return 0
+        if self.extend_ontology:
+            self._ontology.append(kind)
+            self._counts[kind] = 1
+        return 1
+
+    def domain_analysis(self, rng: np.random.Generator, n_samples: int) -> int:
+        """Observation channel: sample the environment directly."""
+        if n_samples <= 0:
+            raise SimulationError("n_samples must be positive")
+        events = 0
+        for _ in range(n_samples):
+            obj = self.world.sample_object(rng)
+            events += self._record(obj.true_class)
+        return events
+
+    def field_observation(self, rng: np.random.Generator, n_encounters: int
+                          ) -> Tuple[float, int]:
+        """Feedback channel: deploy the SuD, measure hazards, log novelties."""
+        if n_encounters <= 0:
+            raise SimulationError("n_encounters must be positive")
+        hazards = 0
+        events = 0
+        for _ in range(n_encounters):
+            obj = self.world.sample_object(rng)
+            output = self.chain.perceive(obj, rng)
+            events += self._record(obj.true_class)
+            if output == "none":
+                hazards += 1
+            elif obj.label == UNKNOWN and output in (CAR, PEDESTRIAN):
+                hazards += 1
+        return hazards / n_encounters, events
+
+    # -- divergence diagnostics ------------------------------------------------------
+
+    def true_unobserved_mass(self) -> float:
+        """Ground-truth probability of kinds the organization has never seen
+        (computable here because we own the simulator; in reality this is
+        exactly what Good-Turing must estimate)."""
+        fine = self.world.fine_grained_prior()
+        seen = set(self._counts)
+        return sum(p for kind, p in fine.probabilities.items()
+                   if kind not in seen)
+
+    def model_world_divergence(self) -> float:
+        """KL(world || codified model) over the fine-grained kinds.
+
+        Infinite while the organization's ontology misses kinds the world
+        produces — the formal signature of ontological uncertainty; once
+        the ontology covers the world, the divergence is finite and
+        epistemic (shrinks with data).
+        """
+        return kl_divergence_categorical(self.world.fine_grained_prior(),
+                                         self.codified_model())
+
+    # -- the loop --------------------------------------------------------------------
+
+    def run(self, rng: np.random.Generator, n_iterations: int,
+            analysis_per_iteration: int = 50,
+            field_per_iteration: int = 200) -> List[IterationReport]:
+        """Iterate the control loop and record per-iteration metrics."""
+        if n_iterations <= 0:
+            raise SimulationError("n_iterations must be positive")
+        for i in range(n_iterations):
+            events = self.domain_analysis(rng, analysis_per_iteration)
+            hazard, field_events = self.field_observation(rng, field_per_iteration)
+            events += field_events
+            report = IterationReport(
+                iteration=i,
+                ontology_size=len(self._ontology),
+                epistemic_uncertainty=self.epistemic_uncertainty(),
+                estimated_missing_mass=self._good_turing.missing_mass(),
+                true_unobserved_mass=self.true_unobserved_mass(),
+                model_world_divergence=self.model_world_divergence(),
+                hazard_rate=hazard,
+                ontological_events=events,
+            )
+            self.reports.append(report)
+        return list(self.reports)
+
+    def __repr__(self) -> str:
+        return (f"DevelopmentLoop(ontology={len(self._ontology)}, "
+                f"iterations={len(self.reports)}, "
+                f"extend_ontology={self.extend_ontology})")
+
+
+def good_regulator_experiment(rng: np.random.Generator,
+                              distortions: Sequence[float],
+                              n_eval: int = 2000) -> List[Dict[str, float]]:
+    """Conant-Ashby demo: regulator model quality bounds control quality.
+
+    For each distortion level, the organization holds a *distorted* world
+    model (true prior mixed with an adversarial one) and uses it to choose
+    its deployment ODD: it restricts the domain iff its model says the
+    unknown rate exceeds a fixed risk threshold.  The realized hazard rate
+    is then measured in the *true* world.
+
+    Returns one record per distortion: model divergence from truth and the
+    realized hazard — the monotone relation is the theorem's content.
+    """
+    from repro.perception.odd import RESTRICTED_ODD
+    true_world = WorldModel()
+    chain = PerceptionChain()
+    wrong = {CAR: 0.2, PEDESTRIAN: 0.78, UNKNOWN: 0.02}
+    results: List[Dict[str, float]] = []
+    for lam in distortions:
+        if not 0.0 <= lam <= 1.0:
+            raise SimulationError("distortion levels must be in [0, 1]")
+        believed = Categorical({
+            k: (1.0 - lam) * true_world.label_prior().prob(k) + lam * wrong[k]
+            for k in (CAR, PEDESTRIAN, UNKNOWN)})
+        divergence = kl_divergence_categorical(true_world.label_prior(), believed)
+        # Regulator decision from the believed model.
+        restrict = believed.prob(UNKNOWN) >= 0.05
+        odd = RESTRICTED_ODD if restrict else FULL_ODD
+        deployed_world = odd.restricted_world(true_world)
+        hazard = hazardous_misperception_rate(chain, deployed_world, rng, n_eval)
+        results.append({
+            "distortion": float(lam),
+            "model_divergence": float(divergence),
+            "restricted": float(restrict),
+            "hazard_rate": float(hazard),
+        })
+    return results

@@ -1,0 +1,185 @@
+"""Rosen's modeling relation, executable (paper §II-A, Fig. 2).
+
+A modeling relation couples a *physical system* (here: any simulator or
+data source) to a *formal system* (a predictive model) through an encoding
+of observables and a decoding of inferences.  The relation "commutes" to
+the extent that decoding the model's inference reproduces the system's
+actual causal consequence — measured here as a fidelity score on test
+points, which is the operational content of "the model is accurate".
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.probability.distributions import Categorical, Distribution
+
+
+class PhysicalSystem:
+    """The natural system being modeled: a causal map plus observability.
+
+    ``advance(state, t)`` is the system's actual causality (in experiments
+    this is the high-fidelity simulator); ``observe`` adds the measurement
+    channel's aleatory noise.
+    """
+
+    def __init__(self, name: str,
+                 advance: Callable[[Any, float], Any],
+                 observe: Optional[Callable[[Any, np.random.Generator], Any]] = None):
+        self.name = name
+        self._advance = advance
+        self._observe = observe or (lambda state, rng: state)
+
+    def advance(self, state: Any, t: float) -> Any:
+        """True future state after duration t."""
+        return self._advance(state, t)
+
+    def observe(self, state: Any, rng: np.random.Generator) -> Any:
+        """A (possibly noisy) observation of a state."""
+        return self._observe(state, rng)
+
+    def __repr__(self) -> str:
+        return f"PhysicalSystem({self.name!r})"
+
+
+class FormalModel(ABC):
+    """A formal system standing in a modeling relation to a physical one."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @abstractmethod
+    def infer(self, encoded_state: Any, t: float) -> Any:
+        """The model's inference: predicted encoded state after duration t."""
+
+    @property
+    @abstractmethod
+    def is_deterministic(self) -> bool:
+        """Deterministic models infer a single outcome; probabilistic ones
+        infer statements about probabilistic outcomes (paper §II-A)."""
+
+    def __repr__(self) -> str:
+        kind = "deterministic" if self.is_deterministic else "probabilistic"
+        return f"{type(self).__name__}({self.name!r}, {kind})"
+
+
+class DeterministicModel(FormalModel):
+    """Model A: a single-outcome predictor (e.g. integrated Newton laws)."""
+
+    def __init__(self, name: str, predict: Callable[[Any, float], Any]):
+        super().__init__(name)
+        self._predict = predict
+
+    def infer(self, encoded_state: Any, t: float) -> Any:
+        return self._predict(encoded_state, t)
+
+    @property
+    def is_deterministic(self) -> bool:
+        return True
+
+
+class ProbabilisticModel(FormalModel):
+    """Model B: predicts a distribution over outcomes.
+
+    ``predict`` returns a :class:`Distribution`, a :class:`Categorical`,
+    or any object with a log-scoring interface used by the relation's
+    probabilistic fidelity check.
+    """
+
+    def __init__(self, name: str,
+                 predict: Callable[[Any, float], Any]):
+        super().__init__(name)
+        self._predict = predict
+
+    def infer(self, encoded_state: Any, t: float) -> Any:
+        return self._predict(encoded_state, t)
+
+    @property
+    def is_deterministic(self) -> bool:
+        return False
+
+
+class ModelingRelation:
+    """The commuting square: system causality vs encode-infer-decode.
+
+    Parameters
+    ----------
+    system, model:
+        The two sides of the relation.
+    encode:
+        Maps a physical state to the model's state representation
+        (epsilon in Fig. 2).
+    decode:
+        Maps a model inference back to the physical observable
+        (delta in Fig. 2).
+    discrepancy:
+        Scalar distance between "what the system did" and "what the model,
+        decoded, said it would do".  Defaults to Euclidean distance for
+        array-like outcomes.
+    """
+
+    def __init__(self, system: PhysicalSystem, model: FormalModel,
+                 encode: Callable[[Any], Any] = lambda s: s,
+                 decode: Callable[[Any], Any] = lambda s: s,
+                 discrepancy: Optional[Callable[[Any, Any], float]] = None):
+        self.system = system
+        self.model = model
+        self.encode = encode
+        self.decode = decode
+        self._discrepancy = discrepancy or _default_discrepancy
+
+    def commutation_error(self, state: Any, t: float) -> float:
+        """Discrepancy of the commuting square at one state and horizon."""
+        actual = self.system.advance(state, t)
+        inferred = self.decode(self.model.infer(self.encode(state), t))
+        return float(self._discrepancy(actual, inferred))
+
+    def fidelity(self, states: Sequence[Any], t: float) -> float:
+        """Mean commutation error over test states (lower = better model).
+
+        This is the quantitative residue of the paper's "the causality in
+        the physical system is thereby mapped to logic inferences in the
+        model": zero iff the square commutes exactly on the test set.
+        """
+        if not states:
+            raise ModelError("fidelity requires at least one test state")
+        return float(np.mean([self.commutation_error(s, t) for s in states]))
+
+    def is_valid(self, states: Sequence[Any], t: float,
+                 tolerance: float) -> bool:
+        """Validity check: the model is usable for this behavior set iff its
+        fidelity is within tolerance ("each model ... is valid for a given
+        set of behavior that the modeler wants to describe")."""
+        if tolerance < 0.0:
+            raise ModelError("tolerance must be non-negative")
+        return self.fidelity(states, t) <= tolerance
+
+    def __repr__(self) -> str:
+        return (f"ModelingRelation(system={self.system.name!r}, "
+                f"model={self.model.name!r})")
+
+
+def _default_discrepancy(actual: Any, inferred: Any) -> float:
+    a = np.asarray(actual, dtype=float)
+    b = np.asarray(inferred, dtype=float)
+    if a.shape != b.shape:
+        raise ModelError(
+            f"cannot compare outcomes of shapes {a.shape} and {b.shape}")
+    return float(np.linalg.norm(a - b))
+
+
+def log_score(predicted: Categorical, observed: str) -> float:
+    """Negative log likelihood of an observation under a categorical model.
+
+    The natural discrepancy for probabilistic models: infinite when the
+    observation is outside the model's support (the ontological signature).
+    """
+    p = predicted.prob(observed)
+    if p <= 0.0:
+        return float("inf")
+    return -math.log(p)

@@ -1,0 +1,174 @@
+"""The uncertainty dossier: one report from all framework outputs.
+
+The paper's outlook: "we want to build a safety argument that
+uncertainties are properly managed and do not pose an unacceptable level
+of risk."  The dossier is that argument's data package — a single
+markdown document assembling the budget, the derived strategy, the §V
+safety-analysis results, the field-forecast bounds, and the assurance
+verdict, each traceable to the framework object that produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.assurance import AssuranceCase
+from repro.core.strategy import StrategyPlan
+from repro.core.taxonomy import UncertaintyType
+from repro.core.uncertainty import UncertaintyBudget
+from repro.errors import StrategyError
+from repro.means.forecasting import ReleaseDecision
+from repro.means.removal import SafetyAnalysisWithUncertainty
+
+
+class UncertaintyDossier:
+    """Collects framework outputs and renders a markdown report."""
+
+    def __init__(self, system_name: str):
+        if not system_name:
+            raise StrategyError("system name must be non-empty")
+        self.system_name = system_name
+        self._budget: Optional[UncertaintyBudget] = None
+        self._plan: Optional[StrategyPlan] = None
+        self._analysis: Optional[SafetyAnalysisWithUncertainty] = None
+        self._release: Optional[ReleaseDecision] = None
+        self._assurance: Optional[AssuranceCase] = None
+        self._notes: List[str] = []
+
+    # -- attach sections ------------------------------------------------------
+
+    def attach_budget(self, budget: UncertaintyBudget) -> "UncertaintyDossier":
+        self._budget = budget
+        return self
+
+    def attach_strategy(self, plan: StrategyPlan) -> "UncertaintyDossier":
+        self._plan = plan
+        return self
+
+    def attach_safety_analysis(self, analysis: SafetyAnalysisWithUncertainty
+                               ) -> "UncertaintyDossier":
+        self._analysis = analysis
+        return self
+
+    def attach_release_decision(self, decision: ReleaseDecision
+                                ) -> "UncertaintyDossier":
+        self._release = decision
+        return self
+
+    def attach_assurance_case(self, case: AssuranceCase
+                              ) -> "UncertaintyDossier":
+        self._assurance = case
+        return self
+
+    def add_note(self, note: str) -> "UncertaintyDossier":
+        if not note:
+            raise StrategyError("note must be non-empty")
+        self._notes.append(note)
+        return self
+
+    # -- verdicts ----------------------------------------------------------------
+
+    def completeness(self) -> Dict[str, bool]:
+        """Which sections are present — the dossier's own gap report."""
+        return {
+            "budget": self._budget is not None,
+            "strategy": self._plan is not None,
+            "safety_analysis": self._analysis is not None,
+            "release_decision": self._release is not None,
+            "assurance_case": self._assurance is not None,
+        }
+
+    def overall_verdict(self) -> Tuple[bool, List[str]]:
+        """(releasable, blocking reasons) across all attached sections."""
+        reasons: List[str] = []
+        missing = [k for k, ok in self.completeness().items() if not ok]
+        if missing:
+            reasons.append(f"dossier incomplete: missing {', '.join(missing)}")
+        if self._plan is not None and not self._plan.is_complete:
+            gaps = ", ".join(u.name for u in self._plan.gaps)
+            reasons.append(f"strategy gaps: {gaps}")
+        if self._release is not None and not self._release.release:
+            reasons.extend(self._release.blocking_reasons())
+        if self._assurance is not None:
+            verdict = self._assurance.release_verdict(min_belief=0.5,
+                                                      max_ignorance=0.4)
+            if not verdict["release"]:
+                reasons.append("assurance case below confidence thresholds")
+        return (not reasons, reasons)
+
+    # -- rendering ---------------------------------------------------------------
+
+    def to_markdown(self) -> str:
+        lines = [f"# Uncertainty dossier — {self.system_name}", ""]
+        releasable, reasons = self.overall_verdict()
+        lines.append(f"**Overall verdict: "
+                     f"{'RELEASABLE' if releasable else 'NOT RELEASABLE'}**")
+        for r in reasons:
+            lines.append(f"- blocking: {r}")
+        lines.append("")
+
+        if self._budget is not None:
+            lines.append("## Uncertainty budget")
+            summary = self._budget.summary()
+            for utype in UncertaintyType:
+                lines.append(f"- total {utype.value}: "
+                             f"{summary[utype.value]:.4g}")
+            for u in self._budget.items:
+                lines.append(f"  - `{u.name}` ({u.utype.value}, "
+                             f"magnitude {u.magnitude:.4g}) at "
+                             f"{u.location or 'unspecified'}")
+            lines.append("")
+
+        if self._plan is not None:
+            lines.append("## Strategy")
+            lines.extend(f"    {line}" for line in self._plan.summary_lines())
+            lines.append("")
+
+        if self._analysis is not None:
+            lines.append("## Safety analysis (BN + evidence theory)")
+            report = self._analysis.uncertainty_report()
+            for key, value in report.items():
+                lines.append(f"- {key}: {value:.4g}")
+            post = self._analysis.diagnostic_posterior("none")
+            lines.append("- P(ground truth | perception = none): " +
+                         ", ".join(f"{k}={v:.3f}" for k, v in post.items()))
+            for rec in self._analysis.removal_recommendations():
+                lines.append(f"- recommendation: {rec}")
+            lines.append("")
+
+        if self._release is not None:
+            d = self._release
+            lines.append("## Release forecast")
+            lines.append(f"- exposure: {d.exposure:.0f} encounters, "
+                         f"{d.n_hazards} hazards")
+            lines.append(f"- hazard-rate upper bound: "
+                         f"{d.hazard_rate_bound:.4g} "
+                         f"({'OK' if d.hazard_ok else 'FAIL'})")
+            lines.append(f"- residual ontological mass bound: "
+                         f"{d.missing_mass_bound:.4g} "
+                         f"({'OK' if d.ontology_ok else 'FAIL'})")
+            lines.append("")
+
+        if self._assurance is not None:
+            c = self._assurance.confidence()
+            lines.append("## Assurance case")
+            lines.append(f"- top-goal confidence: belief {c.belief:.3f}, "
+                         f"plausibility {c.plausibility:.3f}, "
+                         f"ignorance {c.ignorance:.3f}")
+            for d, severity in self._assurance.defeaters:
+                lines.append(f"- defeater (severity {severity}): {d}")
+            gaps = self._assurance.top_goal.undeveloped()
+            if gaps:
+                lines.append(f"- undeveloped goals: {', '.join(gaps)}")
+            lines.append("")
+
+        if self._notes:
+            lines.append("## Notes")
+            lines.extend(f"- {n}" for n in self._notes)
+            lines.append("")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        present = sum(self.completeness().values())
+        return f"UncertaintyDossier({self.system_name!r}, sections={present}/5)"

@@ -1,0 +1,133 @@
+"""Strategy derivation: matching means to an uncertainty budget (paper §IV).
+
+Encodes the paper's priority rules:
+
+1. "Uncertainty prevention should be prioritized as this eliminates the
+   need for further measures."
+2. "Uncertainty removal should be especially considered in design
+   processes."
+3. "Due to the open context it will not be possible to sufficiently reduce
+   uncertainty by only focusing on prevention and removal.  Uncertainty
+   tolerance within the system is required."
+4. Forecasting supports the release decision on whatever residue remains.
+
+The planner assigns, to every identified uncertainty, methods in that
+order of means, and reports coverage gaps — in particular the paper's
+warning case: *tolerance cannot carry ontological uncertainty* shows up as
+an explicit gap whenever prevention/removal are unavailable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.taxonomy import Means, Method, MethodRegistry, UncertaintyType
+from repro.core.uncertainty import Uncertainty, UncertaintyBudget
+from repro.errors import StrategyError
+
+#: The paper's recommended order of consideration.
+MEANS_PRIORITY: Tuple[Means, ...] = (Means.PREVENTION, Means.REMOVAL,
+                                     Means.TOLERANCE, Means.FORECASTING)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One uncertainty handled by one method."""
+
+    uncertainty: Uncertainty
+    method: Method
+
+    @property
+    def expected_effect(self) -> float:
+        """Scalar effect proxy: magnitude x method effectiveness."""
+        return self.uncertainty.magnitude * self.method.effectiveness_for(
+            self.uncertainty.utype)
+
+
+@dataclass
+class StrategyPlan:
+    """The derived overall strategy for a budget."""
+
+    budget: UncertaintyBudget
+    assignments: List[Assignment] = field(default_factory=list)
+    gaps: List[Uncertainty] = field(default_factory=list)
+
+    def methods_for(self, uncertainty_name: str) -> List[Method]:
+        return [a.method for a in self.assignments
+                if a.uncertainty.name == uncertainty_name]
+
+    def by_means(self, means: Means) -> List[Assignment]:
+        return [a for a in self.assignments if a.method.means is means]
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every identified uncertainty has at least one method."""
+        return not self.gaps
+
+    def residual_estimate(self, utype: UncertaintyType) -> float:
+        """Crude residual magnitude after applying assigned methods.
+
+        Each assigned method multiplies the remaining magnitude by
+        ``1 - effectiveness``; methods compose independently.  A planning
+        heuristic, not a measurement — the benchmarks measure.
+        """
+        residual = 0.0
+        for u in self.budget.by_type(utype):
+            remaining = u.magnitude
+            for a in self.assignments:
+                if a.uncertainty.name == u.name:
+                    remaining *= 1.0 - a.method.effectiveness_for(utype)
+            residual += remaining
+        return residual
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable plan (used by examples and reports)."""
+        lines = [f"Strategy for {self.budget.system_name}:"]
+        for means in MEANS_PRIORITY:
+            rows = self.by_means(means)
+            if not rows:
+                continue
+            lines.append(f"  [{means.value}]")
+            for a in sorted(rows, key=lambda x: -x.expected_effect):
+                lines.append(
+                    f"    {a.uncertainty.name} ({a.uncertainty.utype.value}, "
+                    f"magnitude {a.uncertainty.magnitude:.4g}) -> "
+                    f"{a.method.name}")
+        if self.gaps:
+            lines.append("  UNCOVERED:")
+            for u in self.gaps:
+                lines.append(f"    {u.name} ({u.utype.value}) — no applicable method")
+        return lines
+
+
+def derive_strategy(budget: UncertaintyBudget, registry: MethodRegistry,
+                    max_methods_per_uncertainty: int = 2,
+                    min_effectiveness: float = 0.0) -> StrategyPlan:
+    """Derive a strategy: assign methods to every budget item.
+
+    For each uncertainty, walks the means in the paper's priority order and
+    picks the most effective applicable method per means, up to
+    ``max_methods_per_uncertainty`` assignments.  Uncertainties no method
+    addresses end up in ``plan.gaps``.
+    """
+    if max_methods_per_uncertainty < 1:
+        raise StrategyError("max_methods_per_uncertainty must be >= 1")
+    if not 0.0 <= min_effectiveness <= 1.0:
+        raise StrategyError("min_effectiveness must be in [0, 1]")
+    plan = StrategyPlan(budget=budget)
+    for u in budget.items:
+        taken = 0
+        for means in MEANS_PRIORITY:
+            if taken >= max_methods_per_uncertainty:
+                break
+            candidates = [m for m in registry.query(utype=u.utype, means=means)
+                          if m.effectiveness_for(u.utype) > min_effectiveness]
+            if not candidates:
+                continue
+            best = max(candidates, key=lambda m: m.effectiveness_for(u.utype))
+            plan.assignments.append(Assignment(uncertainty=u, method=best))
+            taken += 1
+        if taken == 0:
+            plan.gaps.append(u)
+    return plan

@@ -1,0 +1,219 @@
+"""The uncertainty taxonomy: types, means, and the Fig. 3 method registry.
+
+The paper's central artifact is the classification of uncertainties by
+origin and of coping methods by mechanism, "analogous to the taxonomy for
+dependability given by Laprie et al.".  This module makes the taxonomy a
+queryable data structure: a method catalogue annotated with which
+uncertainty types each method addresses, through which means, and at which
+lifecycle stage — so a coverage analysis (the Fig. 3 matrix) is a function
+call rather than a figure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import StrategyError
+
+
+class UncertaintyType(enum.Enum):
+    """Origin of a lack of knowledge in a system model (paper §III)."""
+
+    ALEATORY = "aleatory"          # randomness represented by the model
+    EPISTEMIC = "epistemic"        # known-unknown: parameter/encoding gaps
+    ONTOLOGICAL = "ontological"    # unknown-unknown: missing model aspects
+
+    @property
+    def reducible_by_observation(self) -> bool:
+        """Epistemic uncertainty shrinks with data; aleatory does not (for a
+        fixed model) and ontological requires re-modeling, not more of the
+        same data."""
+        return self is UncertaintyType.EPISTEMIC
+
+
+class Means(enum.Enum):
+    """Mechanism class of an uncertainty-handling method (paper §IV)."""
+
+    PREVENTION = "prevention"
+    REMOVAL = "removal"
+    TOLERANCE = "tolerance"
+    FORECASTING = "forecasting"
+
+
+class LifecycleStage(enum.Enum):
+    """When in the engineering lifecycle a method operates."""
+
+    DESIGN_TIME = "design_time"
+    RUNTIME = "runtime"
+    POST_RELEASE = "post_release"
+
+
+@dataclass(frozen=True)
+class Method:
+    """One uncertainty-handling method, classified per the taxonomy.
+
+    ``effectiveness`` maps each addressed uncertainty type to a [0, 1]
+    score used by the strategy engine to rank alternatives; scores are
+    judgments (this is a taxonomy, not a measurement) but they are explicit
+    and overridable judgments.
+    """
+
+    name: str
+    means: Means
+    stage: LifecycleStage
+    addresses: FrozenSet[UncertaintyType]
+    description: str = ""
+    effectiveness: Mapping[UncertaintyType, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise StrategyError("method name must be non-empty")
+        if not self.addresses:
+            raise StrategyError(f"method {self.name!r} must address at least "
+                                "one uncertainty type")
+        for utype, score in self.effectiveness.items():
+            if utype not in self.addresses:
+                raise StrategyError(
+                    f"method {self.name!r} scores {utype} but does not "
+                    "declare it in `addresses`")
+            if not 0.0 <= score <= 1.0:
+                raise StrategyError(
+                    f"method {self.name!r}: effectiveness must be in [0, 1]")
+
+    def effectiveness_for(self, utype: UncertaintyType) -> float:
+        if utype not in self.addresses:
+            return 0.0
+        return float(self.effectiveness.get(utype, 0.5))
+
+
+class MethodRegistry:
+    """A catalogue of methods, queryable along the Fig. 3 axes."""
+
+    def __init__(self) -> None:
+        self._methods: Dict[str, Method] = {}
+
+    def register(self, method: Method) -> None:
+        if method.name in self._methods:
+            raise StrategyError(f"method {method.name!r} already registered")
+        self._methods[method.name] = method
+
+    def get(self, name: str) -> Method:
+        try:
+            return self._methods[name]
+        except KeyError:
+            raise StrategyError(f"unknown method {name!r}") from None
+
+    @property
+    def methods(self) -> List[Method]:
+        return list(self._methods.values())
+
+    def by_means(self, means: Means) -> List[Method]:
+        return [m for m in self._methods.values() if m.means is means]
+
+    def by_type(self, utype: UncertaintyType) -> List[Method]:
+        return [m for m in self._methods.values() if utype in m.addresses]
+
+    def by_stage(self, stage: LifecycleStage) -> List[Method]:
+        return [m for m in self._methods.values() if m.stage is stage]
+
+    def query(self, utype: Optional[UncertaintyType] = None,
+              means: Optional[Means] = None,
+              stage: Optional[LifecycleStage] = None) -> List[Method]:
+        out = []
+        for m in self._methods.values():
+            if utype is not None and utype not in m.addresses:
+                continue
+            if means is not None and m.means is not means:
+                continue
+            if stage is not None and m.stage is not stage:
+                continue
+            out.append(m)
+        return out
+
+    def coverage_matrix(self) -> Dict[Tuple[Means, UncertaintyType], List[str]]:
+        """The Fig. 3 matrix: (means x type) -> method names."""
+        matrix: Dict[Tuple[Means, UncertaintyType], List[str]] = {
+            (mn, ut): [] for mn in Means for ut in UncertaintyType}
+        for m in self._methods.values():
+            for ut in m.addresses:
+                matrix[(m.means, ut)].append(m.name)
+        return matrix
+
+    def coverage_gaps(self) -> List[Tuple[Means, UncertaintyType]]:
+        """Cells of the matrix with no method — the to-do list of the field."""
+        return [cell for cell, names in self.coverage_matrix().items()
+                if not names]
+
+    def __len__(self) -> int:
+        return len(self._methods)
+
+    def __repr__(self) -> str:
+        return f"MethodRegistry({len(self._methods)} methods)"
+
+
+def builtin_registry() -> MethodRegistry:
+    """The paper's own examples (§IV and Fig. 3), as registry entries.
+
+    Every entry traces to a phrase in the paper; effectiveness scores
+    encode the paper's qualitative judgments (e.g. "methods like
+    uncertainty tolerance are hardly able to cope with [ontological
+    uncertainty]").
+    """
+    A, E, O = (UncertaintyType.ALEATORY, UncertaintyType.EPISTEMIC,
+               UncertaintyType.ONTOLOGICAL)
+    reg = MethodRegistry()
+    entries = [
+        Method("well_known_elements", Means.PREVENTION, LifecycleStage.DESIGN_TIME,
+               frozenset({E, O}),
+               "use of elements with well-known behavior",
+               {E: 0.7, O: 0.4}),
+        Method("simple_architecture", Means.PREVENTION, LifecycleStage.DESIGN_TIME,
+               frozenset({E, O}),
+               "avoiding architectures prone to emergent behavior",
+               {E: 0.5, O: 0.6}),
+        Method("odd_restriction", Means.PREVENTION, LifecycleStage.DESIGN_TIME,
+               frozenset({A, E, O}),
+               "restriction of the operational design domain",
+               {A: 0.4, E: 0.5, O: 0.7}),
+        Method("design_of_experiments", Means.REMOVAL, LifecycleStage.DESIGN_TIME,
+               frozenset({E}),
+               "uncertainty removal during design time by design of experiment",
+               {E: 0.8}),
+        Method("safety_analysis_with_uncertainty", Means.REMOVAL,
+               LifecycleStage.DESIGN_TIME, frozenset({A, E, O}),
+               "safety analysis including epistemic/ontological uncertainty "
+               "(BN + evidence theory, paper SV)",
+               {A: 0.6, E: 0.7, O: 0.5}),
+        Method("field_observation", Means.REMOVAL, LifecycleStage.POST_RELEASE,
+               frozenset({E, O}),
+               "field observation to monitor ontological events",
+               {E: 0.6, O: 0.8}),
+        Method("continuous_updates", Means.REMOVAL, LifecycleStage.POST_RELEASE,
+               frozenset({E, O}),
+               "continuous updates after release",
+               {E: 0.7, O: 0.6}),
+        Method("redundant_diverse_architecture", Means.TOLERANCE,
+               LifecycleStage.RUNTIME, frozenset({A, E}),
+               "redundant architectures with diverse uncertainties "
+               "(e.g. overlapping sensor fields of view)",
+               {A: 0.7, E: 0.7}),
+        Method("uncertainty_aware_ml", Means.TOLERANCE, LifecycleStage.RUNTIME,
+               frozenset({E}),
+               "machine learning with epistemic uncertainty outputs",
+               {E: 0.6}),
+        Method("residual_uncertainty_estimation", Means.FORECASTING,
+               LifecycleStage.DESIGN_TIME, frozenset({E, O}),
+               "estimation of the present level and future occurrence of "
+               "uncertainties for the release decision",
+               {E: 0.7, O: 0.6}),
+        Method("probabilistic_reliability_model", Means.FORECASTING,
+               LifecycleStage.DESIGN_TIME, frozenset({A}),
+               "classical probabilistic forecasting of residual risk from "
+               "aleatory failure models",
+               {A: 0.8}),
+    ]
+    for m in entries:
+        reg.register(m)
+    return reg

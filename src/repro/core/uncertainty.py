@@ -1,0 +1,142 @@
+"""First-class uncertainty quantities and budgets.
+
+A model review produces a list of identified uncertainties; carrying them
+as objects (rather than prose) lets the strategy engine (§IV) match means
+to them mechanically and lets reports aggregate by type.  Each subclass
+fixes the natural quantification of its type:
+
+- aleatory — entropy of the representing distribution (irreducible for a
+  fixed model choice);
+- epistemic — a credible-interval width / divergence scalar that shrinks
+  with observations;
+- ontological — an estimated unseen (missing) probability mass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.taxonomy import UncertaintyType
+from repro.errors import StrategyError
+from repro.information.entropy import entropy_categorical
+from repro.probability.distributions import Categorical, Dirichlet
+
+
+@dataclass(frozen=True)
+class Uncertainty:
+    """An identified uncertainty in a system model.
+
+    ``magnitude`` is a non-negative scalar in the type's natural unit
+    (nats for aleatory, divergence proxy for epistemic, probability mass
+    for ontological); ``location`` names the model element it lives in.
+    """
+
+    name: str
+    utype: UncertaintyType
+    magnitude: float
+    location: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise StrategyError("uncertainty name must be non-empty")
+        if self.magnitude < 0.0:
+            raise StrategyError(
+                f"uncertainty {self.name!r}: magnitude must be non-negative")
+
+    @property
+    def reducible_by_observation(self) -> bool:
+        return self.utype.reducible_by_observation
+
+
+def AleatoryUncertainty(name: str, distribution: Categorical,
+                        location: str = "",
+                        description: str = "") -> Uncertainty:
+    """Aleatory uncertainty quantified as the model distribution's entropy.
+
+    "Aleatory uncertainty ... is quantified by probabilistic
+    distributions" (§III-A); we reduce the distribution to its entropy so
+    budgets can aggregate.
+    """
+    return Uncertainty(name=name, utype=UncertaintyType.ALEATORY,
+                       magnitude=entropy_categorical(distribution),
+                       location=location, description=description)
+
+
+def EpistemicUncertainty(name: str, posterior: Dirichlet,
+                         location: str = "",
+                         description: str = "") -> Uncertainty:
+    """Epistemic uncertainty of a categorical parameter under a Dirichlet
+    posterior, quantified by the expected-KL proxy (shrinks O(1/n))."""
+    return Uncertainty(name=name, utype=UncertaintyType.EPISTEMIC,
+                       magnitude=posterior.expected_entropy_gap(),
+                       location=location, description=description)
+
+
+def OntologicalUncertainty(name: str, missing_mass: float,
+                           location: str = "",
+                           description: str = "") -> Uncertainty:
+    """Ontological uncertainty as estimated unseen probability mass.
+
+    Typically produced by
+    :class:`repro.probability.estimation.GoodTuringEstimator`.
+    """
+    if not 0.0 <= missing_mass <= 1.0:
+        raise StrategyError("missing_mass must be in [0, 1]")
+    return Uncertainty(name=name, utype=UncertaintyType.ONTOLOGICAL,
+                       magnitude=missing_mass, location=location,
+                       description=description)
+
+
+class UncertaintyBudget:
+    """The set of identified uncertainties of a system under development."""
+
+    def __init__(self, system_name: str = "SuD"):
+        self.system_name = system_name
+        self._items: List[Uncertainty] = []
+
+    def add(self, uncertainty: Uncertainty) -> None:
+        if any(u.name == uncertainty.name for u in self._items):
+            raise StrategyError(f"duplicate uncertainty {uncertainty.name!r}")
+        self._items.append(uncertainty)
+
+    def extend(self, uncertainties: Sequence[Uncertainty]) -> None:
+        for u in uncertainties:
+            self.add(u)
+
+    @property
+    def items(self) -> List[Uncertainty]:
+        return list(self._items)
+
+    def by_type(self, utype: UncertaintyType) -> List[Uncertainty]:
+        return [u for u in self._items if u.utype is utype]
+
+    def total(self, utype: Optional[UncertaintyType] = None) -> float:
+        """Sum of magnitudes, optionally per type.
+
+        Magnitudes of different types have different units; cross-type
+        totals are intentionally not offered.
+        """
+        if utype is None:
+            raise StrategyError(
+                "totals across uncertainty types mix units; pass a type")
+        return sum(u.magnitude for u in self.by_type(utype))
+
+    def dominant(self, utype: UncertaintyType) -> Optional[Uncertainty]:
+        candidates = self.by_type(utype)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda u: u.magnitude)
+
+    def summary(self) -> Dict[str, float]:
+        """Per-type totals keyed by type value string (report-friendly)."""
+        return {ut.value: sum(u.magnitude for u in self.by_type(ut))
+                for ut in UncertaintyType}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return (f"UncertaintyBudget({self.system_name!r}, "
+                f"items={len(self._items)}, summary={self.summary()})")

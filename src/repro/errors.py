@@ -1,0 +1,44 @@
+"""Exception hierarchy shared across the :mod:`repro` framework.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch framework errors without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+class ModelError(ReproError):
+    """A formal model is ill-defined or used outside its validity domain."""
+
+
+class DistributionError(ReproError):
+    """A probability distribution received invalid parameters or inputs."""
+
+
+class GraphError(ReproError):
+    """A graph structure violates a required property (e.g. acyclicity)."""
+
+
+class InferenceError(ReproError):
+    """A probabilistic inference query cannot be answered."""
+
+
+class EvidenceError(ReproError):
+    """An evidence-theory object (mass function, combination) is invalid."""
+
+
+class FaultTreeError(ReproError):
+    """A fault tree is structurally or numerically invalid."""
+
+
+class SimulationError(ReproError):
+    """A physical or perception simulation was configured inconsistently."""
+
+
+class StrategyError(ReproError):
+    """An uncertainty-handling strategy cannot be derived or applied."""

@@ -1,0 +1,45 @@
+"""Evidence theory (Dempster-Shafer) and evidential networks.
+
+The paper's §V-B proposes "an analysis method based on evidence theory in
+combination with Bayesian networks" (refs [8], [36]).  This package
+implements the mathematical theory of evidence — mass functions on frames
+of discernment, belief/plausibility, combination rules, discounting,
+probability transforms — and the Simon-Weber-Evsukoff style evidential
+network that propagates belief/plausibility *intervals* through a
+BN-shaped model, so epistemic ignorance shows up as interval width instead
+of being hidden inside point probabilities.
+"""
+
+from repro.evidence.combination import (
+    combine_averaging,
+    combine_dempster,
+    combine_disjunctive,
+    combine_dubois_prade,
+    combine_yager,
+    conflict_mass,
+)
+from repro.evidence.evidential_network import EvidentialNetwork, EvidentialNode
+from repro.evidence.mass_function import FrameOfDiscernment, MassFunction
+from repro.evidence.possibility import PossibilityDistribution
+from repro.evidence.transform import (
+    from_belief_interval,
+    pignistic_transform,
+    plausibility_transform,
+)
+
+__all__ = [
+    "FrameOfDiscernment",
+    "MassFunction",
+    "PossibilityDistribution",
+    "combine_averaging",
+    "combine_dempster",
+    "combine_disjunctive",
+    "combine_dubois_prade",
+    "combine_yager",
+    "conflict_mass",
+    "EvidentialNetwork",
+    "EvidentialNode",
+    "pignistic_transform",
+    "plausibility_transform",
+    "from_belief_interval",
+]

@@ -1,0 +1,155 @@
+"""Combination rules for independent bodies of evidence.
+
+Different rules embody different attitudes to *conflict* between sources —
+the design choice DESIGN.md flags for ablation: Dempster renormalizes
+conflict away (optimistic), Yager sends it to total ignorance
+(conservative), Dubois-Prade sends it to the union of the conflicting sets
+(intermediate), averaging treats sources as samples rather than
+independent proofs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Sequence
+
+from repro.errors import EvidenceError
+from repro.evidence.mass_function import FrameOfDiscernment, HypothesisSet, MassFunction
+
+
+def _check_frames(a: MassFunction, b: MassFunction) -> FrameOfDiscernment:
+    if a.frame != b.frame:
+        raise EvidenceError(
+            f"cannot combine evidence on different frames "
+            f"{sorted(a.frame.theta)} vs {sorted(b.frame.theta)}")
+    return a.frame
+
+
+def conflict_mass(a: MassFunction, b: MassFunction) -> float:
+    """Total mass K assigned to contradictory intersections."""
+    _check_frames(a, b)
+    k = 0.0
+    for s1, m1 in a.items():
+        for s2, m2 in b.items():
+            if not (s1 & s2):
+                k += m1 * m2
+    return k
+
+
+def combine_dempster(a: MassFunction, b: MassFunction) -> MassFunction:
+    """Dempster's rule: conjunctive combination, conflict renormalized.
+
+    Raises when the sources are in total conflict (K = 1), where the rule
+    is undefined — the classic Zadeh pathology.
+    """
+    frame = _check_frames(a, b)
+    masses: Dict[HypothesisSet, float] = {}
+    k = 0.0
+    for s1, m1 in a.items():
+        for s2, m2 in b.items():
+            inter = s1 & s2
+            if inter:
+                masses[inter] = masses.get(inter, 0.0) + m1 * m2
+            else:
+                k += m1 * m2
+    if k >= 1.0 - 1e-12:
+        raise EvidenceError(
+            "total conflict between sources (K = 1); Dempster's rule is "
+            "undefined — consider Yager's rule or source discounting")
+    norm = 1.0 - k
+    return MassFunction(frame, {s: m / norm for s, m in masses.items()})
+
+
+def combine_yager(a: MassFunction, b: MassFunction) -> MassFunction:
+    """Yager's rule: conflict mass goes to total ignorance (Theta).
+
+    Conservative: disagreement between sources *increases* the reported
+    epistemic uncertainty instead of being silently renormalized.
+    """
+    frame = _check_frames(a, b)
+    masses: Dict[HypothesisSet, float] = {}
+    k = 0.0
+    for s1, m1 in a.items():
+        for s2, m2 in b.items():
+            inter = s1 & s2
+            if inter:
+                masses[inter] = masses.get(inter, 0.0) + m1 * m2
+            else:
+                k += m1 * m2
+    if k > 0.0:
+        theta = frame.theta
+        masses[theta] = masses.get(theta, 0.0) + k
+    return MassFunction(frame, masses)
+
+
+def combine_dubois_prade(a: MassFunction, b: MassFunction) -> MassFunction:
+    """Dubois-Prade rule: conflicting pairs contribute to the *union*.
+
+    Keeps conflict information local: if one source says {car} and the
+    other {pedestrian}, the combination supports {car, pedestrian} rather
+    than global ignorance.
+    """
+    frame = _check_frames(a, b)
+    masses: Dict[HypothesisSet, float] = {}
+    for s1, m1 in a.items():
+        for s2, m2 in b.items():
+            inter = s1 & s2
+            target = inter if inter else (s1 | s2)
+            masses[target] = masses.get(target, 0.0) + m1 * m2
+    return MassFunction(frame, masses)
+
+
+def combine_disjunctive(a: MassFunction, b: MassFunction) -> MassFunction:
+    """Disjunctive rule: m(A u B) — appropriate when *at least one* source
+    is reliable but we do not know which."""
+    frame = _check_frames(a, b)
+    masses: Dict[HypothesisSet, float] = {}
+    for s1, m1 in a.items():
+        for s2, m2 in b.items():
+            union = s1 | s2
+            masses[union] = masses.get(union, 0.0) + m1 * m2
+    return MassFunction(frame, masses)
+
+
+def combine_averaging(sources: Sequence[MassFunction]) -> MassFunction:
+    """Mixing rule: arithmetic mean of mass functions.
+
+    Appropriate when sources are statistically dependent (e.g. experts who
+    read the same report) and conjunctive combination would double-count.
+    """
+    if not sources:
+        raise EvidenceError("need at least one source to average")
+    frame = sources[0].frame
+    for s in sources[1:]:
+        if s.frame != frame:
+            raise EvidenceError("all sources must share a frame")
+    masses: Dict[HypothesisSet, float] = {}
+    w = 1.0 / len(sources)
+    for src in sources:
+        for s, m in src.items():
+            masses[s] = masses.get(s, 0.0) + w * m
+    return MassFunction(frame, masses)
+
+
+def combine_many(sources: Sequence[MassFunction], rule: str = "dempster") -> MassFunction:
+    """Fold a sequence of sources with the named rule.
+
+    Note: Yager's and Dubois-Prade's rules are not associative; we fold
+    left-to-right, which is the usual streaming-fusion convention.
+    """
+    rules = {
+        "dempster": combine_dempster,
+        "yager": combine_yager,
+        "dubois_prade": combine_dubois_prade,
+        "disjunctive": combine_disjunctive,
+    }
+    if rule == "averaging":
+        return combine_averaging(sources)
+    if rule not in rules:
+        raise EvidenceError(f"unknown combination rule {rule!r}; "
+                            f"choose from {sorted(rules) + ['averaging']}")
+    if not sources:
+        raise EvidenceError("need at least one source")
+    out = sources[0]
+    for src in sources[1:]:
+        out = rules[rule](out, src)
+    return out

@@ -1,0 +1,202 @@
+"""Evidential networks: Dempster-Shafer theory on a Bayesian-network engine.
+
+Implements the construction of Simon, Weber & Evsukoff ("Bayesian networks
+inference algorithm to implement Dempster-Shafer theory in reliability
+analysis", ref. [8] of the paper): each evidential variable's state space
+is the set of *focal elements* (subsets of its frame of discernment), so a
+standard BN over these extended states propagates belief masses exactly.
+Posterior belief and plausibility of any hypothesis set are then sums over
+the posterior mass of compatible focal states.
+
+This is the machinery behind the paper's §V-B claim that the BN + evidence
+theory combination "incorporates the different types of uncertainty":
+
+- aleatory — the mass values themselves;
+- epistemic — mass on non-singleton focal sets (e.g. {car, pedestrian});
+- ontological — an explicit ``unknown`` hypothesis in the frame.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.variable import Variable
+from repro.errors import EvidenceError
+from repro.evidence.mass_function import FrameOfDiscernment, MassFunction
+
+SET_SEPARATOR = "|"
+
+
+def focal_label(focal: Iterable[str]) -> str:
+    """Canonical state label of a focal set, e.g. {car, pedestrian} ->
+    'car|pedestrian' (members sorted)."""
+    members = sorted(set(focal))
+    if not members:
+        raise EvidenceError("empty focal set has no label")
+    return SET_SEPARATOR.join(members)
+
+
+def label_to_set(label: str) -> FrozenSet[str]:
+    return frozenset(label.split(SET_SEPARATOR))
+
+
+class EvidentialNode:
+    """A variable whose BN states are the focal elements of a frame."""
+
+    def __init__(self, name: str, frame: FrameOfDiscernment,
+                 focal_sets: Optional[Sequence[Iterable[str]]] = None):
+        self.name = name
+        self.frame = frame
+        if focal_sets is None:
+            sets = frame.power_set()
+        else:
+            sets = [frame.subset(fs) for fs in focal_sets]
+            if not sets:
+                raise EvidenceError("at least one focal set required")
+            seen = set()
+            for s in sets:
+                if s in seen:
+                    raise EvidenceError(f"duplicate focal set {sorted(s)}")
+                seen.add(s)
+        self.focal_sets: List[FrozenSet[str]] = sorted(
+            sets, key=lambda s: (len(s), sorted(s)))
+        if len(self.focal_sets) < 2:
+            # A BN variable needs >= 2 states; pad with Theta.
+            theta = frame.theta
+            if theta not in self.focal_sets:
+                self.focal_sets.append(theta)
+            else:
+                raise EvidenceError(
+                    f"node {name!r} needs at least two focal states")
+        self.variable = Variable(name, [focal_label(s) for s in self.focal_sets])
+
+    def mass_to_distribution(self, m: MassFunction) -> Dict[str, float]:
+        """Map a mass function onto this node's focal-state distribution."""
+        if m.frame != self.frame:
+            raise EvidenceError(f"mass function frame does not match node {self.name!r}")
+        dist = {focal_label(s): 0.0 for s in self.focal_sets}
+        for s, mass in m.items():
+            label = focal_label(s)
+            if label not in dist:
+                raise EvidenceError(
+                    f"mass on {sorted(s)} but node {self.name!r} does not "
+                    f"include that focal set; declared: "
+                    f"{[sorted(f) for f in self.focal_sets]}")
+            dist[label] = mass
+        return dist
+
+    def distribution_to_mass(self, dist: Mapping[str, float]) -> MassFunction:
+        """Posterior focal-state distribution back to a mass function."""
+        masses = {label_to_set(label): p for label, p in dist.items() if p > 0.0}
+        if not masses:
+            raise EvidenceError("empty distribution")
+        return MassFunction(self.frame, masses)
+
+    def __repr__(self) -> str:
+        return (f"EvidentialNode({self.name!r}, "
+                f"focal_sets={[sorted(s) for s in self.focal_sets]})")
+
+
+class EvidentialNetwork:
+    """A DAG of evidential nodes with mass-function CPTs.
+
+    Construction mirrors :class:`~repro.bayesnet.network.BayesianNetwork`,
+    but priors and conditional rows are :class:`MassFunction` objects, and
+    queries return belief/plausibility intervals.
+    """
+
+    def __init__(self, name: str = "evidential-network"):
+        self.name = name
+        self._bn = BayesianNetwork(name + "-bn")
+        self._nodes: Dict[str, EvidentialNode] = {}
+
+    @property
+    def node_names(self) -> List[str]:
+        return self._bn.node_names
+
+    def node(self, name: str) -> EvidentialNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise EvidenceError(f"unknown evidential node {name!r}") from None
+
+    def add_root(self, node: EvidentialNode, prior: MassFunction) -> None:
+        dist = node.mass_to_distribution(prior)
+        self._bn.add_cpt(CPT.prior(node.variable, dist))
+        self._nodes[node.name] = node
+
+    def add_child(self, node: EvidentialNode, parents: Sequence[str],
+                  rows: Mapping[Tuple[str, ...], MassFunction]) -> None:
+        """Add a child whose conditional rows are mass functions.
+
+        ``rows`` keys are tuples of parent *focal labels* (one per parent,
+        e.g. ``("car|pedestrian",)``); every parent focal-state combination
+        must be present.
+        """
+        parent_nodes = [self.node(p) for p in parents]
+        table_rows: Dict[Tuple[str, ...], Dict[str, float]] = {}
+        for key, m in rows.items():
+            if len(key) != len(parents):
+                raise EvidenceError(f"row key {key!r} does not match parents {parents}")
+            table_rows[tuple(key)] = node.mass_to_distribution(m)
+        try:
+            cpt = CPT.from_dict(node.variable,
+                                [p.variable for p in parent_nodes], table_rows)
+        except Exception as exc:
+            raise EvidenceError(f"invalid conditional rows for {node.name!r}: {exc}") from exc
+        self._bn.add_cpt(cpt)
+        self._nodes[node.name] = node
+
+    # -- queries ------------------------------------------------------------------
+
+    def _evidence_to_states(self, evidence: Mapping[str, str]) -> Dict[str, str]:
+        out = {}
+        for name, value in evidence.items():
+            node = self.node(name)
+            # Accept either a focal label or a single hypothesis name.
+            if SET_SEPARATOR in value or value in node.variable.states:
+                label = focal_label(label_to_set(value))
+            else:
+                label = focal_label([value])
+            if label not in node.variable.states:
+                raise EvidenceError(
+                    f"evidence state {value!r} is not a focal set of {name!r}")
+            out[name] = label
+        return out
+
+    def posterior_mass(self, target: str,
+                       evidence: Mapping[str, str] = None) -> MassFunction:
+        """Posterior mass function of a node given (focal-state) evidence."""
+        node = self.node(target)
+        dist = self._bn.query(target, self._evidence_to_states(evidence or {}))
+        return node.distribution_to_mass(dist)
+
+    def belief_plausibility(self, target: str, hypothesis_set: Iterable[str],
+                            evidence: Mapping[str, str] = None) -> Tuple[float, float]:
+        """[Bel(A), Pl(A)] of a hypothesis set at ``target``."""
+        m = self.posterior_mass(target, evidence)
+        return m.belief_interval(hypothesis_set)
+
+    def singleton_intervals(self, target: str,
+                            evidence: Mapping[str, str] = None
+                            ) -> Dict[str, Tuple[float, float]]:
+        """[Bel, Pl] for every singleton hypothesis of the target's frame."""
+        m = self.posterior_mass(target, evidence)
+        return {h: m.belief_interval([h]) for h in m.frame.hypotheses}
+
+    def pignistic(self, target: str,
+                  evidence: Mapping[str, str] = None) -> Dict[str, float]:
+        """Point (betting) probabilities at the decision boundary."""
+        m = self.posterior_mass(target, evidence)
+        return m.to_categorical_pignistic().probabilities
+
+    def as_bayesian_network(self) -> BayesianNetwork:
+        """The underlying focal-state BN (for inspection or benchmarks)."""
+        return self._bn
+
+    def __repr__(self) -> str:
+        return f"EvidentialNetwork({self.name!r}, nodes={len(self._nodes)})"

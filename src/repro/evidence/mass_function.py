@@ -1,0 +1,246 @@
+"""Frames of discernment and basic belief assignments (mass functions).
+
+A mass function assigns belief mass to *sets* of hypotheses rather than
+single outcomes, which is what lets evidence theory represent epistemic
+ignorance (mass on non-singletons) and — via mass on the full frame —
+near-ontological "we cannot distinguish at all" states.  The paper's
+Table I "car/pedestrian" column is precisely mass assigned to the set
+{car, pedestrian}.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import chain, combinations
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import EvidenceError
+from repro.probability.distributions import Categorical
+
+Hypothesis = str
+HypothesisSet = FrozenSet[str]
+
+
+class FrameOfDiscernment:
+    """The exhaustive, mutually exclusive hypothesis set Theta."""
+
+    def __init__(self, hypotheses: Sequence[str]):
+        hyps = tuple(str(h) for h in hypotheses)
+        if len(hyps) < 2:
+            raise EvidenceError("a frame needs at least two hypotheses")
+        if len(set(hyps)) != len(hyps):
+            raise EvidenceError(f"duplicate hypotheses in frame: {hyps}")
+        self._hypotheses = hyps
+
+    @property
+    def hypotheses(self) -> Tuple[str, ...]:
+        return self._hypotheses
+
+    @property
+    def theta(self) -> HypothesisSet:
+        return frozenset(self._hypotheses)
+
+    def __contains__(self, hypothesis: str) -> bool:
+        return hypothesis in self._hypotheses
+
+    def __len__(self) -> int:
+        return len(self._hypotheses)
+
+    def subset(self, members: Iterable[str]) -> HypothesisSet:
+        s = frozenset(str(m) for m in members)
+        extra = s - self.theta
+        if extra:
+            raise EvidenceError(
+                f"hypotheses {sorted(extra)} are outside the frame "
+                f"{sorted(self.theta)} — an ontological extension requires a "
+                "new frame, not a subset")
+        return s
+
+    def power_set(self, include_empty: bool = False) -> List[HypothesisSet]:
+        items = list(self._hypotheses)
+        subsets = chain.from_iterable(
+            combinations(items, r) for r in range(0 if include_empty else 1,
+                                                  len(items) + 1))
+        return [frozenset(s) for s in subsets]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FrameOfDiscernment):
+            return NotImplemented
+        return set(self._hypotheses) == set(other._hypotheses)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._hypotheses))
+
+    def __repr__(self) -> str:
+        return f"FrameOfDiscernment({list(self._hypotheses)})"
+
+
+class MassFunction:
+    """A basic belief assignment m: 2^Theta -> [0, 1] with sum 1, m({}) = 0."""
+
+    def __init__(self, frame: FrameOfDiscernment,
+                 masses: Mapping[Iterable[str], float], *, atol: float = 1e-9):
+        self.frame = frame
+        clean: Dict[HypothesisSet, float] = {}
+        for focal, mass in masses.items():
+            fs = frame.subset(focal if not isinstance(focal, str) else [focal])
+            mass = float(mass)
+            if mass < -atol:
+                raise EvidenceError(f"negative mass {mass} on {sorted(fs)}")
+            if not fs and mass > atol:
+                raise EvidenceError("mass on the empty set is not allowed "
+                                    "(normalized mass functions only)")
+            if mass > atol:
+                clean[fs] = clean.get(fs, 0.0) + mass
+        total = sum(clean.values())
+        if abs(total - 1.0) > max(atol, 1e-6):
+            raise EvidenceError(f"masses must sum to 1, got {total}")
+        self._masses = {k: v / total for k, v in clean.items()}
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def vacuous(cls, frame: FrameOfDiscernment) -> "MassFunction":
+        """Total ignorance: all mass on Theta."""
+        return cls(frame, {frame.theta: 1.0})
+
+    @classmethod
+    def certain(cls, frame: FrameOfDiscernment, hypothesis: str) -> "MassFunction":
+        return cls(frame, {frozenset([hypothesis]): 1.0})
+
+    @classmethod
+    def from_probabilities(cls, frame: FrameOfDiscernment,
+                           probabilities: Mapping[str, float]) -> "MassFunction":
+        """Bayesian mass function (all focal elements singletons)."""
+        return cls(frame, {frozenset([h]): p for h, p in probabilities.items()})
+
+    @classmethod
+    def simple_support(cls, frame: FrameOfDiscernment, focal: Iterable[str],
+                       support: float) -> "MassFunction":
+        """Simple support function: mass ``support`` on one set, rest on Theta."""
+        if not 0.0 <= support <= 1.0:
+            raise EvidenceError("support must be in [0, 1]")
+        fs = frame.subset(focal)
+        if fs == frame.theta:
+            return cls.vacuous(frame)
+        masses = {fs: support}
+        masses[frame.theta] = masses.get(frame.theta, 0.0) + 1.0 - support
+        return cls(frame, masses)
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def focal_sets(self) -> List[HypothesisSet]:
+        return sorted(self._masses, key=lambda s: (len(s), sorted(s)))
+
+    def mass(self, focal: Iterable[str]) -> float:
+        fs = self.frame.subset(focal if not isinstance(focal, str) else [focal])
+        return self._masses.get(fs, 0.0)
+
+    def items(self) -> List[Tuple[HypothesisSet, float]]:
+        return [(s, self._masses[s]) for s in self.focal_sets]
+
+    # -- belief measures -------------------------------------------------------------
+
+    def belief(self, subset: Iterable[str]) -> float:
+        """Bel(A) = sum of mass of focal sets contained in A (lower bound)."""
+        a = self.frame.subset(subset if not isinstance(subset, str) else [subset])
+        return sum(m for s, m in self._masses.items() if s and s <= a)
+
+    def plausibility(self, subset: Iterable[str]) -> float:
+        """Pl(A) = sum of mass of focal sets intersecting A (upper bound)."""
+        a = self.frame.subset(subset if not isinstance(subset, str) else [subset])
+        return sum(m for s, m in self._masses.items() if s & a)
+
+    def belief_interval(self, subset: Iterable[str]) -> Tuple[float, float]:
+        """[Bel(A), Pl(A)] — the evidential probability interval of A."""
+        return self.belief(subset), self.plausibility(subset)
+
+    def commonality(self, subset: Iterable[str]) -> float:
+        """Q(A) = sum of mass of focal sets containing A."""
+        a = self.frame.subset(subset if not isinstance(subset, str) else [subset])
+        if not a:
+            return 1.0
+        return sum(m for s, m in self._masses.items() if a <= s)
+
+    def ignorance(self, subset: Iterable[str]) -> float:
+        """Pl(A) - Bel(A): the epistemic width of the interval on A."""
+        bel, pl = self.belief_interval(subset)
+        return pl - bel
+
+    def total_ignorance_mass(self) -> float:
+        """Mass on the full frame Theta — global don't-know content."""
+        return self._masses.get(self.frame.theta, 0.0)
+
+    def nonspecificity(self) -> float:
+        """Dubois-Prade nonspecificity N(m) = sum m(A) log2 |A|.
+
+        Zero iff Bayesian (singleton-focal); log2 |Theta| for the vacuous
+        assignment.  A scalar measure of the epistemic (imprecision)
+        content of the evidence.
+        """
+        return sum(m * math.log2(len(s)) for s, m in self._masses.items() if s)
+
+    def is_bayesian(self, atol: float = 1e-12) -> bool:
+        return all(len(s) == 1 for s, m in self._masses.items() if m > atol)
+
+    def is_consonant(self) -> bool:
+        """True when focal sets are nested (possibility-theory compatible)."""
+        focal = sorted((s for s in self._masses), key=len)
+        return all(a <= b for a, b in zip(focal, focal[1:]))
+
+    # -- operations --------------------------------------------------------------------
+
+    def discount(self, reliability: float) -> "MassFunction":
+        """Shafer discounting: scale masses by reliability, rest to Theta.
+
+        Models a source whose trustworthiness is itself epistemically
+        uncertain (e.g. a sensor channel with known failure modes).
+        """
+        if not 0.0 <= reliability <= 1.0:
+            raise EvidenceError("reliability must be in [0, 1]")
+        masses: Dict[HypothesisSet, float] = {}
+        for s, m in self._masses.items():
+            masses[s] = masses.get(s, 0.0) + reliability * m
+        theta = self.frame.theta
+        masses[theta] = masses.get(theta, 0.0) + (1.0 - reliability)
+        return MassFunction(self.frame, masses)
+
+    def condition(self, subset: Iterable[str]) -> "MassFunction":
+        """Dempster conditioning on evidence "truth is in A"."""
+        a = self.frame.subset(subset)
+        if not a:
+            raise EvidenceError("cannot condition on the empty set")
+        masses: Dict[HypothesisSet, float] = {}
+        for s, m in self._masses.items():
+            inter = s & a
+            if inter:
+                masses[inter] = masses.get(inter, 0.0) + m
+        total = sum(masses.values())
+        if total <= 0.0:
+            raise EvidenceError(
+                f"conditioning on {sorted(a)} conflicts totally with the evidence")
+        return MassFunction(self.frame, {s: m / total for s, m in masses.items()})
+
+    def to_categorical_pignistic(self) -> Categorical:
+        """Pignistic (betting) probability as a Categorical."""
+        probs = {h: 0.0 for h in self.frame.hypotheses}
+        for s, m in self._masses.items():
+            share = m / len(s)
+            for h in s:
+                probs[h] += share
+        return Categorical(probs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MassFunction):
+            return NotImplemented
+        if self.frame != other.frame:
+            return False
+        keys = set(self._masses) | set(other._masses)
+        return all(math.isclose(self._masses.get(k, 0.0), other._masses.get(k, 0.0),
+                                abs_tol=1e-9) for k in keys)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{{{','.join(sorted(s))}}}: {m:.4g}"
+                          for s, m in self.items())
+        return f"MassFunction({inner})"

@@ -1,0 +1,106 @@
+"""Possibility theory: the consonant corner of evidence theory.
+
+A possibility distribution assigns each hypothesis a degree in [0, 1] with
+max = 1; it is equivalent to a *consonant* mass function (nested focal
+sets) and to a normalized fuzzy set.  Possibility/necessity are the
+max-based counterparts of plausibility/belief, and the conversion
+functions here connect three of the framework's uncertainty languages —
+fuzzy membership, mass functions, and probability bounds — so an analyst
+can move an elicited quantity between them without ad-hoc re-elicitation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EvidenceError
+from repro.evidence.mass_function import FrameOfDiscernment, MassFunction
+
+
+class PossibilityDistribution:
+    """pi: Theta -> [0, 1] with max pi = 1 (normalized)."""
+
+    def __init__(self, frame: FrameOfDiscernment,
+                 degrees: Mapping[str, float], *, atol: float = 1e-9):
+        self.frame = frame
+        missing = set(frame.hypotheses) - set(degrees)
+        if missing:
+            raise EvidenceError(f"degrees missing for {sorted(missing)}")
+        extra = set(degrees) - set(frame.hypotheses)
+        if extra:
+            raise EvidenceError(f"degrees for unknown hypotheses {sorted(extra)}")
+        self._pi = {h: float(degrees[h]) for h in frame.hypotheses}
+        for h, v in self._pi.items():
+            if not 0.0 <= v <= 1.0 + atol:
+                raise EvidenceError(f"degree of {h!r} must be in [0, 1]")
+        if abs(max(self._pi.values()) - 1.0) > max(atol, 1e-6):
+            raise EvidenceError("a normalized possibility distribution needs "
+                                "max degree 1")
+
+    def degree(self, hypothesis: str) -> float:
+        if hypothesis not in self._pi:
+            raise EvidenceError(f"unknown hypothesis {hypothesis!r}")
+        return self._pi[hypothesis]
+
+    def possibility(self, event: Iterable[str]) -> float:
+        """Pos(A) = max over members (0 for the empty event)."""
+        members = list(event)
+        for m in members:
+            if m not in self._pi:
+                raise EvidenceError(f"unknown hypothesis {m!r}")
+        if not members:
+            return 0.0
+        return max(self._pi[m] for m in members)
+
+    def necessity(self, event: Iterable[str]) -> float:
+        """Nec(A) = 1 - Pos(complement of A)."""
+        members = set(event)
+        complement = set(self.frame.hypotheses) - members
+        return 1.0 - self.possibility(complement)
+
+    def to_mass_function(self) -> MassFunction:
+        """The consonant mass function with matching Pl = Pos, Bel = Nec.
+
+        Focal sets are the level cuts {h : pi(h) >= alpha} at the distinct
+        degrees, each with mass equal to the drop to the next level.
+        """
+        degrees = sorted(set(self._pi.values()), reverse=True)
+        masses: Dict[frozenset, float] = {}
+        previous = None
+        for i, level in enumerate(degrees):
+            cut = frozenset(h for h, v in self._pi.items() if v >= level)
+            next_level = degrees[i + 1] if i + 1 < len(degrees) else 0.0
+            mass = level - next_level
+            if mass > 0.0:
+                masses[cut] = masses.get(cut, 0.0) + mass
+            previous = cut
+        return MassFunction(self.frame, masses)
+
+    @classmethod
+    def from_mass_function(cls, m: MassFunction) -> "PossibilityDistribution":
+        """Contour function pi(h) = Pl({h}); exact iff ``m`` is consonant."""
+        if not m.is_consonant():
+            raise EvidenceError(
+                "mass function is not consonant; its contour function would "
+                "lose information — use belief/plausibility directly")
+        degrees = {h: m.plausibility([h]) for h in m.frame.hypotheses}
+        return cls(m.frame, degrees)
+
+    @classmethod
+    def from_fuzzy_membership(cls, frame: FrameOfDiscernment,
+                              membership: Mapping[str, float]
+                              ) -> "PossibilityDistribution":
+        """Zadeh's bridge: a normalized fuzzy restriction IS a possibility
+        distribution."""
+        return cls(frame, membership)
+
+    def probability_bounds(self, event: Iterable[str]
+                           ) -> Tuple[float, float]:
+        """[Nec, Pos] bound every probability consistent with pi."""
+        return self.necessity(event), self.possibility(event)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{h}: {v:.3g}" for h, v in self._pi.items())
+        return f"PossibilityDistribution({{{inner}}})"

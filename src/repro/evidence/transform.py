@@ -1,0 +1,59 @@
+"""Transforms between mass functions and point probabilities.
+
+When a decision must be made (release / don't release; brake / don't
+brake), interval-valued evidence has to be projected onto a single
+probability.  The pignistic transform (Smets) spreads set mass uniformly;
+the plausibility transform (Cobb & Shenoy) renormalizes singleton
+plausibilities.  Both lose the epistemic width — which is exactly why the
+framework reports intervals *until* the decision point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import EvidenceError
+from repro.evidence.mass_function import FrameOfDiscernment, MassFunction
+from repro.probability.distributions import Categorical
+
+
+def pignistic_transform(m: MassFunction) -> Categorical:
+    """BetP(h) = sum over focal sets containing h of m(A)/|A|."""
+    return m.to_categorical_pignistic()
+
+
+def plausibility_transform(m: MassFunction) -> Categorical:
+    """Pl_P(h) proportional to the singleton plausibility Pl({h})."""
+    pls = {h: m.plausibility([h]) for h in m.frame.hypotheses}
+    total = sum(pls.values())
+    if total <= 0.0:
+        raise EvidenceError("all singleton plausibilities are zero")
+    return Categorical({h: p / total for h, p in pls.items()})
+
+
+def from_belief_interval(frame: FrameOfDiscernment, hypothesis: str,
+                         lower: float, upper: float) -> MassFunction:
+    """Build the least-committed mass function matching [Bel, Pl] on one
+    hypothesis: mass ``lower`` on {h}, ``1-upper`` on the complement, and
+    ``upper-lower`` on Theta (the epistemic remainder).
+    """
+    if not 0.0 <= lower <= upper <= 1.0:
+        raise EvidenceError(f"require 0 <= lower <= upper <= 1, got [{lower}, {upper}]")
+    if hypothesis not in frame:
+        raise EvidenceError(f"{hypothesis!r} is not in the frame")
+    complement = frame.theta - {hypothesis}
+    masses = {}
+    if lower > 0:
+        masses[frozenset([hypothesis])] = lower
+    if upper < 1.0:
+        masses[complement] = 1.0 - upper
+    if upper > lower:
+        masses[frame.theta] = upper - lower
+    if not masses:
+        masses[frame.theta] = 1.0
+    return MassFunction(frame, masses)
+
+
+def interval_dict(m: MassFunction) -> Dict[str, Tuple[float, float]]:
+    """[Bel, Pl] interval for every singleton hypothesis."""
+    return {h: m.belief_interval([h]) for h in m.frame.hypotheses}

@@ -1,0 +1,64 @@
+"""Fault tree analysis: the classic safety-analysis substrate (paper §V-A).
+
+Boolean fault propagation trees with:
+
+- minimal cut set extraction (MOCUS-style top-down expansion),
+- exact quantification (inclusion-exclusion) plus rare-event and min-cut
+  upper bound approximations,
+- importance measures (Birnbaum, Fussell-Vesely, RAW, RRW),
+- fuzzy-probability FTA after Tanaka et al. (ref. [34]),
+- interval-probability FTA (imprecise basic events),
+- conversion to a Bayesian network (the paper's proposed generalization).
+"""
+
+from repro.faulttree.common_cause import (
+    beta_factor_system_probability,
+    beta_factor_tree,
+    ccf_diagnostic,
+    common_cause_bayesnet,
+)
+from repro.faulttree.cutsets import minimal_cut_sets
+from repro.faulttree.dynamic import (
+    DynamicFaultTree,
+    DynamicGate,
+    ExponentialEvent,
+)
+from repro.faulttree.event_tree import EventTree, SafetyFunction
+from repro.faulttree.fuzzy_fta import fuzzy_top_probability
+from repro.faulttree.quantify import (
+    birnbaum_importance,
+    fussell_vesely_importance,
+    interval_top_probability,
+    rare_event_approximation,
+    risk_achievement_worth,
+    risk_reduction_worth,
+    top_event_probability,
+)
+from repro.faulttree.to_bayesnet import fault_tree_to_bayesnet
+from repro.faulttree.tree import BasicEvent, FaultTree, Gate, GateType
+
+__all__ = [
+    "beta_factor_system_probability",
+    "beta_factor_tree",
+    "ccf_diagnostic",
+    "common_cause_bayesnet",
+    "DynamicFaultTree",
+    "DynamicGate",
+    "ExponentialEvent",
+    "EventTree",
+    "SafetyFunction",
+    "BasicEvent",
+    "FaultTree",
+    "Gate",
+    "GateType",
+    "minimal_cut_sets",
+    "top_event_probability",
+    "rare_event_approximation",
+    "interval_top_probability",
+    "birnbaum_importance",
+    "fussell_vesely_importance",
+    "risk_achievement_worth",
+    "risk_reduction_worth",
+    "fuzzy_top_probability",
+    "fault_tree_to_bayesnet",
+]

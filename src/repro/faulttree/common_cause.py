@@ -1,0 +1,110 @@
+"""Common-cause failure modeling (beta-factor) and the BN common parent.
+
+The paper's §V closes: "The BN approach also allows including dependencies
+by common parent nodes to identify common causes for uncertainties."
+This module provides both sides of that sentence:
+
+- the classic *beta-factor* transformation for fault trees: a fraction
+  beta of each redundant component's failure rate is a shared common-cause
+  event, so an n-redundant AND no longer multiplies to (p)^n;
+- a BN construction with an explicit common-cause parent node, supporting
+  the diagnostic query "given both channels failed, was it a common
+  cause?" that the factored FTA cannot ask.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.variable import Variable, boolean_variable
+from repro.errors import FaultTreeError
+from repro.faulttree.tree import BasicEvent, FaultTree, Gate, GateType, and_gate, or_gate
+
+FALSE, TRUE = "false", "true"
+
+
+def beta_factor_tree(name: str, component_probability: float,
+                     n_redundant: int, beta: float) -> FaultTree:
+    """AND of n redundant components with a beta-factor common cause.
+
+    Each component's failure probability p splits into an independent part
+    (1-beta) p and a shared common-cause event with probability beta p.
+    The system fails if all independent parts fail OR the common cause
+    occurs:
+
+        top = OR(CCF, AND(independent_1 ... independent_n)).
+    """
+    if not 0.0 <= beta <= 1.0:
+        raise FaultTreeError("beta must be in [0, 1]")
+    if not 0.0 <= component_probability <= 1.0:
+        raise FaultTreeError("component probability must be in [0, 1]")
+    if n_redundant < 2:
+        raise FaultTreeError("redundancy requires at least 2 components")
+    p_ind = (1.0 - beta) * component_probability
+    p_ccf = beta * component_probability
+    independents = [BasicEvent(f"{name}_ind_{i}", p_ind)
+                    for i in range(n_redundant)]
+    ccf = BasicEvent(f"{name}_ccf", p_ccf)
+    top = or_gate(f"{name}_fails",
+                  [and_gate(f"{name}_all_independent", independents), ccf])
+    return FaultTree(top)
+
+
+def beta_factor_system_probability(component_probability: float,
+                                   n_redundant: int, beta: float) -> float:
+    """Closed-form system failure probability under the beta factor."""
+    if not 0.0 <= beta <= 1.0:
+        raise FaultTreeError("beta must be in [0, 1]")
+    p_ind = (1.0 - beta) * component_probability
+    p_ccf = beta * component_probability
+    p_all_ind = p_ind ** n_redundant
+    return p_all_ind + p_ccf - p_all_ind * p_ccf
+
+
+def common_cause_bayesnet(channel_probability: float, beta: float,
+                          n_channels: int = 2) -> BayesianNetwork:
+    """BN with an explicit common-cause parent over redundant channels.
+
+    Structure:  ccf -> channel_i  (for all i),  channels -> system.
+    ``P(channel fails | ccf) = 1``;
+    ``P(channel fails | no ccf) = (1-beta) p`` (independent residual).
+    """
+    if not 0.0 <= beta <= 1.0:
+        raise FaultTreeError("beta must be in [0, 1]")
+    if not 0.0 <= channel_probability <= 1.0:
+        raise FaultTreeError("channel probability must be in [0, 1]")
+    if n_channels < 2:
+        raise FaultTreeError("need at least 2 channels")
+    bn = BayesianNetwork("common-cause")
+    ccf = boolean_variable("ccf")
+    bn.add_cpt(CPT.prior(ccf, {TRUE: beta * channel_probability,
+                               FALSE: 1.0 - beta * channel_probability}))
+    p_residual = (1.0 - beta) * channel_probability
+    channels = []
+    for i in range(n_channels):
+        ch = boolean_variable(f"channel{i}")
+        channels.append(ch)
+        bn.add_cpt(CPT.from_dict(ch, [ccf], {
+            (TRUE,): {TRUE: 1.0, FALSE: 0.0},
+            (FALSE,): {TRUE: p_residual, FALSE: 1.0 - p_residual}}))
+    system = boolean_variable("system")
+    bn.add_cpt(CPT.deterministic(
+        system, channels,
+        lambda *states: TRUE if all(s == TRUE for s in states) else FALSE))
+    return bn
+
+
+def ccf_diagnostic(channel_probability: float, beta: float,
+                   n_channels: int = 2) -> Dict[str, float]:
+    """P(common cause | all channels failed) — the query FTA cannot ask.
+
+    A high posterior means adding more identical channels will NOT help
+    (the paper's 'diverse uncertainties' requirement in one number).
+    """
+    bn = common_cause_bayesnet(channel_probability, beta, n_channels)
+    evidence = {f"channel{i}": TRUE for i in range(n_channels)}
+    post = bn.query("ccf", evidence)
+    return {"p_ccf_given_all_failed": post[TRUE],
+            "p_system_fails": bn.query("system")[TRUE]}

@@ -1,0 +1,115 @@
+"""Minimal cut set extraction (MOCUS-style top-down expansion).
+
+A cut set is a set of basic events whose joint occurrence triggers the top
+event; *minimal* cut sets are the irreducible ones — singletons are the
+single-point faults FTA exists to find (paper §V-A).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Set
+
+from repro.errors import FaultTreeError
+from repro.faulttree.tree import BasicEvent, FaultTree, Gate, GateType
+
+CutSet = FrozenSet[str]
+
+
+def _expand(node, limit: int) -> List[Set[str]]:
+    """Return the list of cut sets (as mutable sets) for a subtree."""
+    if isinstance(node, BasicEvent):
+        return [{node.name}]
+    assert isinstance(node, Gate)
+    if node.gate_type is GateType.NOT:
+        raise FaultTreeError(
+            "cut-set analysis of non-coherent trees (NOT gates) is not "
+            "supported; use BN conversion for non-coherent logic")
+    if node.gate_type is GateType.OR:
+        out: List[Set[str]] = []
+        for child in node.children:
+            out.extend(_expand(child, limit))
+            if len(out) > limit:
+                raise FaultTreeError(
+                    f"cut-set expansion exceeded {limit} sets; raise the limit "
+                    "or prune the tree")
+        return out
+    if node.gate_type is GateType.AND:
+        out = [set()]
+        for child in node.children:
+            child_sets = _expand(child, limit)
+            out = [a | b for a in out for b in child_sets]
+            if len(out) > limit:
+                raise FaultTreeError(
+                    f"cut-set expansion exceeded {limit} sets; raise the limit "
+                    "or prune the tree")
+        return out
+    # KOFN: expand as OR over all k-subsets of AND combinations.
+    assert node.gate_type is GateType.KOFN
+    from itertools import combinations
+    out = []
+    for combo in combinations(node.children, node.k or 1):
+        partial = [set()]
+        for child in combo:
+            child_sets = _expand(child, limit)
+            partial = [a | b for a in partial for b in child_sets]
+        out.extend(partial)
+        if len(out) > limit:
+            raise FaultTreeError(
+                f"cut-set expansion exceeded {limit} sets; raise the limit "
+                "or prune the tree")
+    return out
+
+
+def minimize(cut_sets: Sequence[Set[str]]) -> List[CutSet]:
+    """Remove non-minimal (superset) and duplicate cut sets."""
+    unique = {frozenset(s) for s in cut_sets if s}
+    ordered = sorted(unique, key=len)
+    minimal: List[CutSet] = []
+    for cs in ordered:
+        if not any(m < cs or m == cs for m in minimal):
+            minimal.append(cs)
+    return sorted(minimal, key=lambda s: (len(s), sorted(s)))
+
+
+def minimal_cut_sets(tree: FaultTree, limit: int = 100000) -> List[CutSet]:
+    """All minimal cut sets of a coherent fault tree."""
+    raw = _expand(tree.top, limit)
+    return minimize(raw)
+
+
+def single_point_faults(tree: FaultTree) -> List[str]:
+    """Basic events that alone trigger the top event (order-1 cut sets)."""
+    return sorted(next(iter(cs)) for cs in minimal_cut_sets(tree) if len(cs) == 1)
+
+
+def cut_set_order_histogram(tree: FaultTree) -> dict:
+    """Map cut-set order -> count; the classic FTA summary table."""
+    hist: dict = {}
+    for cs in minimal_cut_sets(tree):
+        hist[len(cs)] = hist.get(len(cs), 0) + 1
+    return hist
+
+
+def path_sets(tree: FaultTree, limit: int = 100000) -> List[CutSet]:
+    """Minimal path sets (success paths) via the dual tree.
+
+    The dual swaps AND and OR; its minimal cut sets are this tree's minimal
+    path sets.  KOFN(k of n) dualizes to KOFN(n-k+1 of n).
+    """
+
+    def dualize(node):
+        if isinstance(node, BasicEvent):
+            return node
+        assert isinstance(node, Gate)
+        children = [dualize(c) for c in node.children]
+        if node.gate_type is GateType.AND:
+            return Gate(node.name, GateType.OR, children)
+        if node.gate_type is GateType.OR:
+            return Gate(node.name, GateType.AND, children)
+        if node.gate_type is GateType.KOFN:
+            n = len(children)
+            return Gate(node.name, GateType.KOFN, children, k=n - (node.k or 1) + 1)
+        raise FaultTreeError("cannot dualize non-coherent trees")
+
+    dual = FaultTree(dualize(tree.top))
+    return minimal_cut_sets(dual, limit)

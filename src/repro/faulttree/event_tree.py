@@ -1,0 +1,139 @@
+"""Event tree analysis (paper ref. [35]: fault AND event tree analyses).
+
+An event tree is the forward complement of a fault tree: from an
+initiating event, each safety function either succeeds or fails, and each
+branch path ends in a consequence class.  Branch probabilities can come
+from fault trees (the failure probability of the safety function), carry
+intervals (epistemic uncertainty), and accumulate into a frequency per
+consequence — the classic risk-triplet quantification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import FaultTreeError
+from repro.probability.intervals import IntervalProbability
+
+BranchProb = Union[float, IntervalProbability]
+
+
+def _as_interval(p: BranchProb) -> IntervalProbability:
+    if isinstance(p, IntervalProbability):
+        return p
+    return IntervalProbability.precise(float(p))
+
+
+@dataclass(frozen=True)
+class SafetyFunction:
+    """A branch point: the function fails with probability ``p_fail``."""
+
+    name: str
+    p_fail: IntervalProbability
+
+    @classmethod
+    def of(cls, name: str, p_fail: BranchProb) -> "SafetyFunction":
+        if not name:
+            raise FaultTreeError("safety function name must be non-empty")
+        return cls(name, _as_interval(p_fail))
+
+
+@dataclass(frozen=True)
+class Sequence_:
+    """One path through the tree: which functions failed, consequence."""
+
+    failed: Tuple[str, ...]
+    consequence: str
+    frequency: IntervalProbability
+
+
+class EventTree:
+    """An event tree over an ordered list of safety functions.
+
+    The consequence of a path is decided by ``consequence_of``, a mapping
+    from the *set of failed functions* to a consequence label; unknown
+    combinations fall back to ``worst_consequence`` — an explicit,
+    conservative treatment of unanalyzed paths (the ontological corner of
+    a consequence analysis).
+    """
+
+    def __init__(self, initiating_event: str,
+                 initiating_frequency: BranchProb,
+                 functions: Sequence[SafetyFunction],
+                 consequence_of: Mapping[frozenset, str],
+                 worst_consequence: str = "severe"):
+        if not initiating_event:
+            raise FaultTreeError("initiating event name must be non-empty")
+        if not functions:
+            raise FaultTreeError("at least one safety function required")
+        names = [f.name for f in functions]
+        if len(set(names)) != len(names):
+            raise FaultTreeError(f"duplicate safety functions: {names}")
+        self.initiating_event = initiating_event
+        self.initiating_frequency = _as_interval(initiating_frequency)
+        self.functions = list(functions)
+        self.consequence_of = {frozenset(k): str(v)
+                               for k, v in consequence_of.items()}
+        self.worst_consequence = worst_consequence
+
+    def sequences(self) -> List[Sequence_]:
+        """All 2^n paths with their frequencies (independence assumed)."""
+        out: List[Sequence_] = []
+        n = len(self.functions)
+        for mask in range(2 ** n):
+            failed: List[str] = []
+            freq = self.initiating_frequency
+            for i, fn in enumerate(self.functions):
+                if mask & (1 << i):
+                    failed.append(fn.name)
+                    freq = freq.and_independent(fn.p_fail)
+                else:
+                    freq = freq.and_independent(fn.p_fail.complement())
+            consequence = self.consequence_of.get(
+                frozenset(failed), self.worst_consequence)
+            out.append(Sequence_(failed=tuple(failed),
+                                 consequence=consequence, frequency=freq))
+        return out
+
+    def consequence_frequencies(self) -> Dict[str, IntervalProbability]:
+        """Total frequency interval per consequence class.
+
+        Lower/upper bounds add per sequence; the result is a conservative
+        interval (exact when all branch probabilities are precise).
+        """
+        totals: Dict[str, Tuple[float, float]] = {}
+        for seq in self.sequences():
+            lo, hi = totals.get(seq.consequence, (0.0, 0.0))
+            totals[seq.consequence] = (lo + seq.frequency.lower,
+                                       hi + seq.frequency.upper)
+        return {c: IntervalProbability(min(lo, 1.0), min(hi, 1.0))
+                for c, (lo, hi) in totals.items()}
+
+    def dominant_sequence(self, consequence: str) -> Optional[Sequence_]:
+        """Highest-frequency (midpoint) path into a consequence class."""
+        candidates = [s for s in self.sequences()
+                      if s.consequence == consequence]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda s: s.frequency.midpoint)
+
+    def risk_profile(self, severity: Mapping[str, float]
+                     ) -> Tuple[float, float]:
+        """Expected severity bounds: sum over consequences of
+        frequency x severity weight."""
+        for c in self.consequence_frequencies():
+            if c not in severity:
+                raise FaultTreeError(f"no severity weight for {c!r}")
+        lo = hi = 0.0
+        for c, freq in self.consequence_frequencies().items():
+            w = float(severity[c])
+            if w < 0:
+                raise FaultTreeError("severity weights must be non-negative")
+            lo += w * freq.lower
+            hi += w * freq.upper
+        return lo, hi
+
+    def __repr__(self) -> str:
+        return (f"EventTree({self.initiating_event!r}, "
+                f"functions={[f.name for f in self.functions]})")

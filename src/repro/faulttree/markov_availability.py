@@ -1,0 +1,140 @@
+"""Markov availability models for repairable systems.
+
+Laprie's dependability taxonomy (the paper's template) lists availability
+among the dependability *properties*; for repairable architectures the
+standard quantification is a CTMC over (working, failed) component states
+with failure and repair rates.  This module computes steady-state
+availability, MTBF/MTTR decompositions, and the availability of k-of-n
+repairable groups — the quantitative backend for prevention/tolerance
+trade studies ("how much repair capacity buys how much availability").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FaultTreeError
+
+
+@dataclass(frozen=True)
+class RepairableComponent:
+    """A component with exponential failure and repair processes."""
+
+    name: str
+    failure_rate: float
+    repair_rate: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FaultTreeError("component name must be non-empty")
+        if self.failure_rate <= 0.0 or self.repair_rate <= 0.0:
+            raise FaultTreeError(
+                f"component {self.name!r}: rates must be positive")
+
+    @property
+    def availability(self) -> float:
+        """Steady-state availability mu / (lambda + mu)."""
+        return self.repair_rate / (self.failure_rate + self.repair_rate)
+
+    @property
+    def mtbf(self) -> float:
+        return 1.0 / self.failure_rate
+
+    @property
+    def mttr(self) -> float:
+        return 1.0 / self.repair_rate
+
+
+def series_availability(components: Sequence[RepairableComponent]) -> float:
+    """All components needed: product of availabilities."""
+    if not components:
+        raise FaultTreeError("at least one component required")
+    out = 1.0
+    for c in components:
+        out *= c.availability
+    return out
+
+
+def parallel_availability(components: Sequence[RepairableComponent]) -> float:
+    """Any component suffices: 1 - product of unavailabilities."""
+    if not components:
+        raise FaultTreeError("at least one component required")
+    out = 1.0
+    for c in components:
+        out *= 1.0 - c.availability
+    return 1.0 - out
+
+
+def kofn_availability(component: RepairableComponent, n: int, k: int,
+                      n_repair_crews: Optional[int] = None) -> float:
+    """Steady-state availability of a k-of-n group of identical repairable
+    components served by a limited repair crew (birth-death CTMC).
+
+    State = number of failed components; failure rate from state j is
+    (n - j) * lambda, repair rate min(j, crews) * mu.  Availability is the
+    probability that at most n - k components are down.
+    """
+    if n < 1 or not 1 <= k <= n:
+        raise FaultTreeError("require 1 <= k <= n")
+    crews = n if n_repair_crews is None else n_repair_crews
+    if crews < 1:
+        raise FaultTreeError("need at least one repair crew")
+    lam, mu = component.failure_rate, component.repair_rate
+    # Birth-death stationary distribution via the product formula.
+    weights = [1.0]
+    for j in range(1, n + 1):
+        birth = (n - (j - 1)) * lam
+        death = min(j, crews) * mu
+        weights.append(weights[-1] * birth / death)
+    total = sum(weights)
+    probs = [w / total for w in weights]
+    return sum(probs[: n - k + 1])
+
+
+def steady_state_availability_ctmc(
+        rates: Mapping[Tuple[str, str], float],
+        up_states: Sequence[str]) -> float:
+    """Availability of an arbitrary CTMC given transition rates.
+
+    ``rates[(src, dst)]`` are off-diagonal entries of the generator;
+    availability is the stationary probability mass of ``up_states``.
+    """
+    states = sorted({s for pair in rates for s in pair})
+    if not states:
+        raise FaultTreeError("no states given")
+    unknown = set(up_states) - set(states)
+    if unknown:
+        raise FaultTreeError(f"unknown up states {sorted(unknown)}")
+    idx = {s: i for i, s in enumerate(states)}
+    n = len(states)
+    q = np.zeros((n, n))
+    for (src, dst), rate in rates.items():
+        if src == dst:
+            raise FaultTreeError("diagonal rates are implied; omit them")
+        if rate < 0:
+            raise FaultTreeError("rates must be non-negative")
+        q[idx[src], idx[dst]] = rate
+    np.fill_diagonal(q, -q.sum(axis=1))
+    # Solve pi Q = 0 with sum(pi) = 1: replace one balance equation.
+    a = q.T.copy()
+    a[-1, :] = 1.0
+    b = np.zeros(n)
+    b[-1] = 1.0
+    pi = np.linalg.solve(a, b)
+    if np.any(pi < -1e-9):
+        raise FaultTreeError("CTMC has no valid stationary distribution "
+                             "(is it irreducible?)")
+    pi = np.clip(pi, 0.0, None)
+    pi = pi / pi.sum()
+    return float(sum(pi[idx[s]] for s in set(up_states)))
+
+
+def downtime_minutes_per_year(availability: float) -> float:
+    """The operations-facing unit: expected annual downtime."""
+    if not 0.0 <= availability <= 1.0:
+        raise FaultTreeError("availability must be in [0, 1]")
+    return (1.0 - availability) * 365.25 * 24 * 60

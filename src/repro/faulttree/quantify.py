@@ -1,0 +1,206 @@
+"""Quantitative fault tree evaluation and importance measures.
+
+Exact top-event probability uses inclusion-exclusion over minimal cut sets
+(assuming independent basic events); the rare-event approximation and the
+min-cut upper bound (MCUB) are provided both as cheap alternatives and as
+benchmark baselines.  Importance measures rank basic events for
+*uncertainty prevention* prioritization.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import FaultTreeError
+from repro.faulttree.cutsets import CutSet, minimal_cut_sets
+from repro.faulttree.tree import FaultTree
+from repro.probability.intervals import IntervalProbability
+
+
+def _cut_set_probability(cs: CutSet, probs: Mapping[str, float]) -> float:
+    p = 1.0
+    for event in cs:
+        p *= probs[event]
+    return p
+
+
+def top_event_probability(tree: FaultTree,
+                          probabilities: Optional[Mapping[str, float]] = None,
+                          max_exact_cut_sets: int = 22) -> float:
+    """Exact P(top) by inclusion-exclusion over minimal cut sets.
+
+    Falls back to the complementation product when the number of cut sets
+    exceeds ``max_exact_cut_sets`` (inclusion-exclusion is O(2^m)); the
+    fallback is exact only for disjoint-variable cut sets and otherwise a
+    tight upper bound, so a :class:`FaultTreeError` is raised instead when
+    variables repeat across cut sets.
+    """
+    probs = dict(probabilities or tree.probabilities())
+    missing = set(tree.basic_events) - set(probs)
+    if missing:
+        raise FaultTreeError(f"missing probabilities for {sorted(missing)}")
+    cut_sets = minimal_cut_sets(tree)
+    if not cut_sets:
+        return 0.0
+    m = len(cut_sets)
+    if m <= max_exact_cut_sets:
+        total = 0.0
+        for r in range(1, m + 1):
+            sign = 1.0 if r % 2 == 1 else -1.0
+            for combo in combinations(cut_sets, r):
+                union: FrozenSet[str] = frozenset().union(*combo)
+                total += sign * _cut_set_probability(union, probs)
+        return min(max(total, 0.0), 1.0)
+    # Large trees: MCUB is exact iff no basic event repeats across cut sets.
+    counts: Dict[str, int] = {}
+    for cs in cut_sets:
+        for e in cs:
+            counts[e] = counts.get(e, 0) + 1
+    if all(c == 1 for c in counts.values()):
+        q = 1.0
+        for cs in cut_sets:
+            q *= 1.0 - _cut_set_probability(cs, probs)
+        return 1.0 - q
+    raise FaultTreeError(
+        f"{m} cut sets with shared events exceed the exact inclusion-"
+        f"exclusion limit ({max_exact_cut_sets}); use "
+        "rare_event_approximation, mcub, or monte_carlo_top_probability")
+
+
+def rare_event_approximation(tree: FaultTree,
+                             probabilities: Optional[Mapping[str, float]] = None) -> float:
+    """First-order bound: sum of cut-set probabilities (upper bound)."""
+    probs = dict(probabilities or tree.probabilities())
+    return float(min(1.0, sum(_cut_set_probability(cs, probs)
+                              for cs in minimal_cut_sets(tree))))
+
+
+def mcub(tree: FaultTree,
+         probabilities: Optional[Mapping[str, float]] = None) -> float:
+    """Min-cut upper bound: 1 - prod(1 - P(cs)). Tighter than rare-event."""
+    probs = dict(probabilities or tree.probabilities())
+    q = 1.0
+    for cs in minimal_cut_sets(tree):
+        q *= 1.0 - _cut_set_probability(cs, probs)
+    return 1.0 - q
+
+
+def monte_carlo_top_probability(tree: FaultTree, rng: np.random.Generator,
+                                n: int,
+                                probabilities: Optional[Mapping[str, float]] = None
+                                ) -> float:
+    """Monte-Carlo estimate of P(top); works for any gate logic incl. NOT."""
+    if n <= 0:
+        raise FaultTreeError("n must be positive")
+    probs = dict(probabilities or tree.probabilities())
+    names = sorted(tree.basic_events)
+    p = np.array([probs[name] for name in names])
+    draws = rng.random((n, len(names))) < p
+    hits = 0
+    for row in draws:
+        state = dict(zip(names, (bool(v) for v in row)))
+        if tree.evaluate(state):
+            hits += 1
+    return hits / n
+
+
+def birnbaum_importance(tree: FaultTree, event: str,
+                        probabilities: Optional[Mapping[str, float]] = None) -> float:
+    """Birnbaum importance: dP(top)/dp_e = P(top | e) - P(top | not e)."""
+    probs = dict(probabilities or tree.probabilities())
+    if event not in tree.basic_events:
+        raise FaultTreeError(f"unknown basic event {event!r}")
+    hi = dict(probs)
+    hi[event] = 1.0
+    lo = dict(probs)
+    lo[event] = 0.0
+    return top_event_probability(tree, hi) - top_event_probability(tree, lo)
+
+
+def fussell_vesely_importance(tree: FaultTree, event: str,
+                              probabilities: Optional[Mapping[str, float]] = None
+                              ) -> float:
+    """Fussell-Vesely: fraction of top-event risk flowing through ``event``."""
+    probs = dict(probabilities or tree.probabilities())
+    if event not in tree.basic_events:
+        raise FaultTreeError(f"unknown basic event {event!r}")
+    top = top_event_probability(tree, probs)
+    if top <= 0.0:
+        return 0.0
+    containing = [cs for cs in minimal_cut_sets(tree) if event in cs]
+    if not containing:
+        return 0.0
+    # Probability of the union of cut sets containing the event
+    # (inclusion-exclusion; the count here is small in practice).
+    m = len(containing)
+    union_p = 0.0
+    for r in range(1, m + 1):
+        sign = 1.0 if r % 2 == 1 else -1.0
+        for combo in combinations(containing, r):
+            union: FrozenSet[str] = frozenset().union(*combo)
+            union_p += sign * _cut_set_probability(union, probs)
+    return min(union_p / top, 1.0)
+
+
+def risk_achievement_worth(tree: FaultTree, event: str,
+                           probabilities: Optional[Mapping[str, float]] = None
+                           ) -> float:
+    """RAW = P(top | p_e = 1) / P(top): how bad if the event were certain."""
+    probs = dict(probabilities or tree.probabilities())
+    top = top_event_probability(tree, probs)
+    if top <= 0.0:
+        return float("inf")
+    hi = dict(probs)
+    hi[event] = 1.0
+    return top_event_probability(tree, hi) / top
+
+
+def risk_reduction_worth(tree: FaultTree, event: str,
+                         probabilities: Optional[Mapping[str, float]] = None
+                         ) -> float:
+    """RRW = P(top) / P(top | p_e = 0): gain from eliminating the event."""
+    probs = dict(probabilities or tree.probabilities())
+    top = top_event_probability(tree, probs)
+    lo = dict(probs)
+    lo[event] = 0.0
+    denom = top_event_probability(tree, lo)
+    if denom <= 0.0:
+        return float("inf")
+    return top / denom
+
+
+def interval_top_probability(tree: FaultTree,
+                             intervals: Mapping[str, IntervalProbability]
+                             ) -> IntervalProbability:
+    """P(top) bounds when basic events carry interval probabilities.
+
+    For coherent trees P(top) is monotone in every basic-event probability,
+    so the bounds are attained at the interval endpoints.
+    """
+    missing = set(tree.basic_events) - set(intervals)
+    if missing:
+        raise FaultTreeError(f"missing intervals for {sorted(missing)}")
+    lows = {name: iv.lower for name, iv in intervals.items()}
+    highs = {name: iv.upper for name, iv in intervals.items()}
+    return IntervalProbability(top_event_probability(tree, lows),
+                               top_event_probability(tree, highs))
+
+
+def importance_ranking(tree: FaultTree,
+                       probabilities: Optional[Mapping[str, float]] = None,
+                       measure: str = "birnbaum") -> List:
+    """Rank all basic events by an importance measure (descending)."""
+    measures = {
+        "birnbaum": birnbaum_importance,
+        "fussell_vesely": fussell_vesely_importance,
+        "raw": risk_achievement_worth,
+        "rrw": risk_reduction_worth,
+    }
+    if measure not in measures:
+        raise FaultTreeError(f"unknown measure {measure!r}; choose from {sorted(measures)}")
+    fn = measures[measure]
+    scored = [(name, fn(tree, name, probabilities)) for name in tree.basic_events]
+    return sorted(scored, key=lambda t: -t[1])

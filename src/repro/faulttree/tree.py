@@ -1,0 +1,182 @@
+"""Fault tree structure: basic events, gates, and the tree container.
+
+FTA "is a graphical model based on a Boolean fault propagation and is used
+to identify shortcomings like single point faults in the system" (paper
+§V-A).  The tree is a DAG (shared subtrees and repeated basic events are
+allowed — that is what makes quantification interesting).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.errors import FaultTreeError
+
+
+class GateType(enum.Enum):
+    """Boolean gate kinds supported by the analyzer."""
+
+    AND = "and"
+    OR = "or"
+    KOFN = "kofn"
+    NOT = "not"
+
+
+class Node:
+    """Common base of basic events and gates."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise FaultTreeError("node name must be non-empty")
+        self.name = name
+
+    def descendants_basic(self) -> Set[str]:
+        raise NotImplementedError
+
+
+class BasicEvent(Node):
+    """A leaf event with a failure probability.
+
+    ``probability`` is the point value used by crisp quantification; fuzzy
+    and interval analyses attach their own richer descriptions through the
+    corresponding analysis entry points.
+    """
+
+    def __init__(self, name: str, probability: float):
+        super().__init__(name)
+        probability = float(probability)
+        if not 0.0 <= probability <= 1.0:
+            raise FaultTreeError(
+                f"basic event {name!r} probability must be in [0, 1], got {probability}")
+        self.probability = probability
+
+    def descendants_basic(self) -> Set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"BasicEvent({self.name!r}, p={self.probability})"
+
+
+class Gate(Node):
+    """A Boolean gate over child nodes (gates or basic events)."""
+
+    def __init__(self, name: str, gate_type: GateType,
+                 children: Sequence[Node], k: Optional[int] = None):
+        super().__init__(name)
+        if not isinstance(gate_type, GateType):
+            raise FaultTreeError(f"gate_type must be a GateType, got {gate_type!r}")
+        children = list(children)
+        if gate_type is GateType.NOT:
+            if len(children) != 1:
+                raise FaultTreeError(f"NOT gate {name!r} needs exactly one child")
+        elif len(children) < 1:
+            raise FaultTreeError(f"gate {name!r} needs at least one child")
+        if gate_type is GateType.KOFN:
+            if k is None or not 1 <= k <= len(children):
+                raise FaultTreeError(
+                    f"k-of-n gate {name!r} requires 1 <= k <= {len(children)}, got {k}")
+        elif k is not None:
+            raise FaultTreeError(f"k is only valid for KOFN gates (gate {name!r})")
+        self.gate_type = gate_type
+        self.children = children
+        self.k = k
+
+    def evaluate(self, state: Dict[str, bool]) -> bool:
+        """Boolean evaluation given basic-event truth values."""
+        values = [child.evaluate(state) if isinstance(child, Gate)
+                  else state[child.name] for child in self.children]
+        if self.gate_type is GateType.AND:
+            return all(values)
+        if self.gate_type is GateType.OR:
+            return any(values)
+        if self.gate_type is GateType.KOFN:
+            return sum(values) >= (self.k or 0)
+        return not values[0]
+
+    def descendants_basic(self) -> Set[str]:
+        out: Set[str] = set()
+        for child in self.children:
+            out |= child.descendants_basic()
+        return out
+
+    def __repr__(self) -> str:
+        suffix = f", k={self.k}" if self.gate_type is GateType.KOFN else ""
+        return (f"Gate({self.name!r}, {self.gate_type.value}, "
+                f"children={[c.name for c in self.children]}{suffix})")
+
+
+class FaultTree:
+    """A fault tree anchored at a top event gate."""
+
+    def __init__(self, top: Gate):
+        if not isinstance(top, Gate):
+            raise FaultTreeError("top event must be a Gate")
+        self.top = top
+        self._basic_events: Dict[str, BasicEvent] = {}
+        self._gates: Dict[str, Gate] = {}
+        self._collect(top)
+
+    def _collect(self, node: Node) -> None:
+        if isinstance(node, BasicEvent):
+            if node.name in self._gates:
+                raise FaultTreeError(
+                    f"name {node.name!r} used for both gate and event")
+            existing = self._basic_events.get(node.name)
+            if existing is not None and existing is not node:
+                raise FaultTreeError(
+                    f"two distinct BasicEvent objects named {node.name!r}; "
+                    "share one object for repeated events")
+            self._basic_events[node.name] = node
+            return
+        assert isinstance(node, Gate)
+        existing_gate = self._gates.get(node.name)
+        if existing_gate is not None:
+            if existing_gate is not node:
+                raise FaultTreeError(f"duplicate gate name {node.name!r}")
+            return
+        if node.name in self._basic_events:
+            raise FaultTreeError(f"name {node.name!r} used for both gate and event")
+        self._gates[node.name] = node
+        for child in node.children:
+            self._collect(child)
+
+    @property
+    def basic_events(self) -> Dict[str, BasicEvent]:
+        return dict(self._basic_events)
+
+    @property
+    def gates(self) -> Dict[str, Gate]:
+        return dict(self._gates)
+
+    def probabilities(self) -> Dict[str, float]:
+        return {name: be.probability for name, be in self._basic_events.items()}
+
+    def evaluate(self, state: Dict[str, bool]) -> bool:
+        """Truth value of the top event for one basic-event configuration."""
+        missing = set(self._basic_events) - set(state)
+        if missing:
+            raise FaultTreeError(f"state missing basic events {sorted(missing)}")
+        return self.top.evaluate(state)
+
+    def has_negation(self) -> bool:
+        return any(g.gate_type is GateType.NOT for g in self._gates.values())
+
+    def __repr__(self) -> str:
+        return (f"FaultTree(top={self.top.name!r}, gates={len(self._gates)}, "
+                f"basic_events={len(self._basic_events)})")
+
+
+def and_gate(name: str, children: Sequence[Node]) -> Gate:
+    """Convenience constructor for AND gates."""
+    return Gate(name, GateType.AND, children)
+
+
+def or_gate(name: str, children: Sequence[Node]) -> Gate:
+    """Convenience constructor for OR gates."""
+    return Gate(name, GateType.OR, children)
+
+
+def kofn_gate(name: str, k: int, children: Sequence[Node]) -> Gate:
+    """Convenience constructor for k-of-n voting gates."""
+    return Gate(name, GateType.KOFN, children, k=k)

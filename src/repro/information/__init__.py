@@ -1,0 +1,36 @@
+"""Information-theoretic measures: entropy, divergences, and surprise.
+
+The paper grounds the epistemic/ontological distinction in information
+theory: "Mathematically the conditional entropy between the system and its
+model can be used as a formal expression for the surprise factor"
+(§III-C, refs [28], [29]).  This package provides those measures and a
+runtime surprise monitor built on them.
+"""
+
+from repro.information.entropy import (
+    conditional_entropy,
+    cross_entropy,
+    entropy,
+    entropy_categorical,
+    jensen_shannon_divergence,
+    joint_entropy,
+    kl_divergence,
+    kl_divergence_categorical,
+    mutual_information,
+)
+from repro.information.surprise import SurpriseMonitor, SurpriseReport, model_system_gap
+
+__all__ = [
+    "conditional_entropy",
+    "cross_entropy",
+    "entropy",
+    "entropy_categorical",
+    "jensen_shannon_divergence",
+    "joint_entropy",
+    "kl_divergence",
+    "kl_divergence_categorical",
+    "mutual_information",
+    "SurpriseMonitor",
+    "SurpriseReport",
+    "model_system_gap",
+]

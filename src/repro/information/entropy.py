@@ -1,0 +1,173 @@
+"""Shannon entropy, conditional entropy, and divergences (all in nats).
+
+All functions accept probability vectors/matrices as numpy arrays (or
+nested sequences) and validate normalization.  Categorical-distribution
+convenience wrappers interoperate with :mod:`repro.probability`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Union
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.probability.distributions import Categorical
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def _validate_pmf(p: ArrayLike, name: str = "p", atol: float = 1e-6) -> np.ndarray:
+    p = np.asarray(p, dtype=float).ravel()
+    if p.size == 0:
+        raise DistributionError(f"{name} must be non-empty")
+    if np.any(p < -1e-12):
+        raise DistributionError(f"{name} has negative entries")
+    total = float(p.sum())
+    if abs(total - 1.0) > atol:
+        raise DistributionError(f"{name} must sum to 1, got {total}")
+    return np.clip(p, 0.0, 1.0)
+
+
+def entropy(p: ArrayLike) -> float:
+    """Shannon entropy H(p) = -sum p log p, in nats."""
+    p = _validate_pmf(p)
+    nz = p[p > 0.0]
+    return float(-np.sum(nz * np.log(nz)))
+
+
+def entropy_categorical(dist: Categorical) -> float:
+    """Entropy of a :class:`Categorical`."""
+    return entropy(list(dist.probabilities.values()))
+
+
+def joint_entropy(joint: ArrayLike) -> float:
+    """Entropy of a joint pmf given as a matrix P[x, y]."""
+    j = np.asarray(joint, dtype=float)
+    return entropy(j.ravel())
+
+
+def conditional_entropy(joint: ArrayLike) -> float:
+    """Conditional entropy H(Y|X) of a joint pmf matrix P[x, y].
+
+    This is the paper's formal "surprise factor": the residual uncertainty
+    about the system (Y) given the model's prediction (X).  Computed as
+    H(X, Y) - H(X).
+    """
+    j = np.asarray(joint, dtype=float)
+    if j.ndim != 2:
+        raise DistributionError("joint pmf must be a 2-d matrix P[x, y]")
+    _validate_pmf(j.ravel(), "joint")
+    marginal_x = j.sum(axis=1)
+    return joint_entropy(j) - entropy(marginal_x)
+
+
+def mutual_information(joint: ArrayLike) -> float:
+    """Mutual information I(X; Y) = H(Y) - H(Y|X) of a joint pmf matrix."""
+    j = np.asarray(joint, dtype=float)
+    if j.ndim != 2:
+        raise DistributionError("joint pmf must be a 2-d matrix P[x, y]")
+    marginal_y = j.sum(axis=0)
+    return entropy(marginal_y) - conditional_entropy(j)
+
+
+def cross_entropy(p: ArrayLike, q: ArrayLike) -> float:
+    """Cross entropy H(p, q) = -sum p log q. Infinite if q excludes support of p."""
+    p = _validate_pmf(p, "p")
+    q = _validate_pmf(q, "q")
+    if p.size != q.size:
+        raise DistributionError("p and q must have equal length")
+    out = 0.0
+    for pi, qi in zip(p, q):
+        if pi > 0.0:
+            if qi <= 0.0:
+                return float("inf")
+            out -= pi * math.log(qi)
+    return out
+
+
+def kl_divergence(p: ArrayLike, q: ArrayLike) -> float:
+    """KL divergence D(p || q) in nats; +inf where q lacks support of p.
+
+    D(p || q) quantifies the *epistemic* penalty of using model q when the
+    system behaves as p — the information lost by the inexact encoding.
+    """
+    ce = cross_entropy(p, q)
+    if math.isinf(ce):
+        return float("inf")
+    return ce - entropy(p)
+
+
+def kl_divergence_categorical(p: Categorical, q: Categorical) -> float:
+    """KL divergence between two Categoricals over a shared outcome set.
+
+    Outcomes present in ``p`` but absent from ``q``'s support yield +inf:
+    the signature of an *ontological* gap rather than a merely epistemic
+    one — ``q``'s ontology simply does not contain the event.
+    """
+    out = 0.0
+    for outcome, pp in p.probabilities.items():
+        if pp <= 0.0:
+            continue
+        qq = q.prob(outcome)
+        if qq <= 0.0:
+            return float("inf")
+        out += pp * math.log(pp / qq)
+    return out
+
+
+def jensen_shannon_divergence(p: ArrayLike, q: ArrayLike) -> float:
+    """Jensen-Shannon divergence (symmetric, bounded by log 2)."""
+    p = _validate_pmf(p, "p")
+    q = _validate_pmf(q, "q")
+    if p.size != q.size:
+        raise DistributionError("p and q must have equal length")
+    m = 0.5 * (p + q)
+    return 0.5 * kl_divergence(p, m) + 0.5 * kl_divergence(q, m)
+
+
+def empirical_pmf(samples: Sequence[str], support: Sequence[str]) -> np.ndarray:
+    """Relative frequencies of ``samples`` over an explicit support."""
+    support = list(support)
+    if not support:
+        raise DistributionError("support must be non-empty")
+    counts = {s: 0 for s in support}
+    unknown = 0
+    for s in samples:
+        if s in counts:
+            counts[s] += 1
+        else:
+            unknown += 1
+    total = len(list(samples))
+    if total == 0:
+        raise DistributionError("samples must be non-empty")
+    if unknown:
+        raise DistributionError(
+            f"{unknown} samples fall outside the declared support — extend the "
+            "support (ontological re-modeling) before computing frequencies")
+    return np.array([counts[s] / total for s in support])
+
+
+def joint_pmf_from_conditionals(prior: Dict[str, float],
+                                conditionals: Dict[str, Dict[str, float]]) -> np.ndarray:
+    """Build the joint matrix P[x, y] = P(x) P(y|x) from dict inputs.
+
+    Row order follows ``prior`` insertion order; column order follows the
+    first conditional row's insertion order.
+    """
+    xs = list(prior)
+    if not xs:
+        raise DistributionError("prior must be non-empty")
+    ys = list(conditionals[xs[0]])
+    joint = np.zeros((len(xs), len(ys)))
+    for i, x in enumerate(xs):
+        row = conditionals.get(x)
+        if row is None:
+            raise DistributionError(f"missing conditional row for {x!r}")
+        if list(row) != ys:
+            raise DistributionError("conditional rows must share outcome order")
+        for j, y in enumerate(ys):
+            joint[i, j] = prior[x] * row[y]
+    _validate_pmf(joint.ravel(), "joint")
+    return joint

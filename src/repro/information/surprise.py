@@ -1,0 +1,207 @@
+"""Surprise monitoring: detecting when observations contradict the model.
+
+The paper (§III-C) characterizes the epistemic/ontological boundary
+"subjectively ... by the surprise factor when we observe new behavior" and
+formally by the conditional entropy between system and model.  This module
+implements a runtime monitor that scores each observation's surprisal under
+the current model and flags two regimes:
+
+- *epistemic surprise*: the observation is inside the model's ontology but
+  improbable — parameters should be updated;
+- *ontological surprise*: the observation is outside the model's support
+  (infinite surprisal) or a persistent residual trend indicates a missing
+  phenomenon — the model's structure must be extended.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.information.entropy import entropy_categorical
+from repro.probability.distributions import Categorical
+
+
+@dataclass
+class SurpriseReport:
+    """Result of scoring one observation against the model."""
+
+    observation: str
+    surprisal: float
+    in_ontology: bool
+    epistemic_alarm: bool
+    ontological_alarm: bool
+
+    @property
+    def any_alarm(self) -> bool:
+        return self.epistemic_alarm or self.ontological_alarm
+
+
+class SurpriseMonitor:
+    """Streaming surprise monitor over categorical observations.
+
+    Parameters
+    ----------
+    model:
+        The Categorical the deployed model assigns to observations.
+    epistemic_threshold_nats:
+        Alarm when the rolling mean surprisal exceeds the model entropy by
+        this margin (the model is *miscalibrated*: epistemic drift).
+    window:
+        Rolling-window length for the epistemic test.
+    """
+
+    def __init__(self, model: Categorical, *,
+                 epistemic_threshold_nats: float = 0.5,
+                 window: int = 50):
+        if epistemic_threshold_nats <= 0:
+            raise DistributionError("epistemic_threshold_nats must be positive")
+        if window < 2:
+            raise DistributionError("window must be at least 2")
+        self.model = model
+        self.epistemic_threshold_nats = epistemic_threshold_nats
+        self.window = window
+        self._recent: Deque[float] = deque(maxlen=window)
+        self._n_seen = 0
+        self._n_outside = 0
+        self.history: List[SurpriseReport] = []
+
+    @property
+    def n_seen(self) -> int:
+        return self._n_seen
+
+    @property
+    def n_outside_ontology(self) -> int:
+        return self._n_outside
+
+    def expected_surprisal(self) -> float:
+        """The model's own entropy: baseline surprisal if it is correct."""
+        return entropy_categorical(self.model)
+
+    def rolling_mean_surprisal(self) -> float:
+        if not self._recent:
+            return 0.0
+        return float(np.mean(self._recent))
+
+    def score(self, observation: str) -> SurpriseReport:
+        """Score one observation; updates rolling statistics."""
+        self._n_seen += 1
+        p = self.model.prob(observation)
+        in_ontology = observation in self.model.outcomes
+        if not in_ontology or p <= 0.0:
+            # Infinite surprisal: ontological event (outside the support).
+            self._n_outside += 1
+            report = SurpriseReport(observation=observation, surprisal=math.inf,
+                                    in_ontology=in_ontology,
+                                    epistemic_alarm=False, ontological_alarm=True)
+            self.history.append(report)
+            return report
+        surprisal = -math.log(p)
+        self._recent.append(surprisal)
+        epistemic_alarm = (len(self._recent) == self.window and
+                           self.rolling_mean_surprisal() >
+                           self.expected_surprisal() + self.epistemic_threshold_nats)
+        report = SurpriseReport(observation=observation, surprisal=surprisal,
+                                in_ontology=True,
+                                epistemic_alarm=epistemic_alarm,
+                                ontological_alarm=False)
+        self.history.append(report)
+        return report
+
+    def score_sequence(self, observations: Sequence[str]) -> List[SurpriseReport]:
+        return [self.score(o) for o in observations]
+
+    def ontological_event_rate(self) -> float:
+        """Fraction of observations outside the model's ontology."""
+        if self._n_seen == 0:
+            return 0.0
+        return self._n_outside / self._n_seen
+
+    def update_model(self, model: Categorical) -> None:
+        """Swap in a refined model (uncertainty removal during use)."""
+        self.model = model
+        self._recent.clear()
+
+
+class ResidualSurpriseMonitor:
+    """Surprise monitor over continuous prediction residuals.
+
+    Used in the orbital third-planet experiment: a deterministic model
+    predicts a trajectory; residuals between prediction and observation are
+    scored against the model's declared noise level.  A persistent
+    standardized-residual drift beyond ``z_threshold`` flags a *model-form*
+    (ontological) problem, while white heavy-tailed residuals suggest an
+    underestimated noise model (epistemic).
+    """
+
+    def __init__(self, noise_std: float, *, z_threshold: float = 4.0,
+                 window: int = 20):
+        if noise_std <= 0:
+            raise DistributionError("noise_std must be positive")
+        if window < 2:
+            raise DistributionError("window must be at least 2")
+        self.noise_std = noise_std
+        self.z_threshold = z_threshold
+        self.window = window
+        self._recent: Deque[float] = deque(maxlen=window)
+        self._alarm_step: Optional[int] = None
+        self._step = 0
+
+    @property
+    def alarm_step(self) -> Optional[int]:
+        """Step index at which the ontological alarm first fired."""
+        return self._alarm_step
+
+    def score(self, residual: float) -> bool:
+        """Feed one residual; returns True if the ontological alarm is raised."""
+        self._step += 1
+        self._recent.append(float(residual) / self.noise_std)
+        if len(self._recent) < self.window:
+            return False
+        # Mean of n standardized residuals ~ N(0, 1/n) under the model;
+        # compare against z_threshold / sqrt(n).
+        z_mean = float(np.mean(self._recent)) * math.sqrt(len(self._recent))
+        alarmed = abs(z_mean) > self.z_threshold
+        if alarmed and self._alarm_step is None:
+            self._alarm_step = self._step
+        return alarmed
+
+
+def model_system_gap(system: Categorical, model: Categorical) -> Dict[str, float]:
+    """Decompose the system/model mismatch into epistemic and ontological parts.
+
+    Returns a dict with:
+
+    - ``ontological_mass``: probability the system puts on outcomes missing
+      from the model's ontology (the unknown-unknown mass);
+    - ``epistemic_kl``: KL divergence of the overlapping (renormalized)
+      parts — the reducible, parameter-level mismatch;
+    - ``system_entropy``: the aleatory content of the system itself.
+    """
+    model_support = set(model.outcomes)
+    p_sys = system.probabilities
+    onto_mass = sum(p for o, p in p_sys.items()
+                    if o not in model_support or model.prob(o) <= 0.0)
+    overlap = {o: p for o, p in p_sys.items()
+               if o in model_support and model.prob(o) > 0.0 and p > 0.0}
+    if overlap and onto_mass < 1.0:
+        norm = sum(overlap.values())
+        epi = 0.0
+        # Renormalized model over the overlap support.
+        q_norm = sum(model.prob(o) for o in overlap)
+        for o, p in overlap.items():
+            pi = p / norm
+            qi = model.prob(o) / q_norm
+            epi += pi * math.log(pi / qi)
+    else:
+        epi = 0.0
+    return {
+        "ontological_mass": float(onto_mass),
+        "epistemic_kl": float(max(epi, 0.0)),
+        "system_entropy": entropy_categorical(system),
+    }

@@ -1,0 +1,108 @@
+"""Value of information: which observation to buy next.
+
+The strategy engine decides *which means*; VoI decides *which concrete
+observation* within the removal means: for a decision with costs, the
+expected value of observing a variable before deciding is the expected
+drop in Bayes risk.  Zero-VoI observations are epistemically idle — data
+collection effort belongs on the variables this module ranks highest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bayesnet.network import BayesianNetwork
+from repro.errors import InferenceError
+
+
+@dataclass(frozen=True)
+class DecisionProblem:
+    """A single-shot decision attached to a BN variable.
+
+    ``utilities[(action, state)]`` is the payoff of taking ``action`` when
+    the target variable turns out to be ``state``.
+    """
+
+    target: str
+    actions: Tuple[str, ...]
+    utilities: Mapping[Tuple[str, str], float]
+
+    def __post_init__(self) -> None:
+        if not self.actions:
+            raise InferenceError("at least one action required")
+
+    def utility(self, action: str, state: str) -> float:
+        try:
+            return float(self.utilities[(action, state)])
+        except KeyError:
+            raise InferenceError(
+                f"no utility for action {action!r} in state {state!r}") from None
+
+
+def best_action(problem: DecisionProblem,
+                posterior: Mapping[str, float]) -> Tuple[str, float]:
+    """Max-expected-utility action under a posterior over the target."""
+    best, best_eu = None, float("-inf")
+    for action in problem.actions:
+        eu = sum(p * problem.utility(action, state)
+                 for state, p in posterior.items())
+        if eu > best_eu:
+            best, best_eu = action, eu
+    assert best is not None
+    return best, best_eu
+
+
+def expected_value_of_observation(network: BayesianNetwork,
+                                  problem: DecisionProblem,
+                                  observable: str,
+                                  evidence: Optional[Mapping[str, str]] = None
+                                  ) -> float:
+    """EVO of observing ``observable`` before deciding about the target.
+
+    EVO = E_over_observation_outcomes[ max_a EU(a | outcome) ]
+          - max_a EU(a | current evidence),  always >= 0.
+    """
+    evidence = dict(evidence or {})
+    if observable in evidence:
+        raise InferenceError(f"{observable!r} is already observed")
+    if observable == problem.target:
+        raise InferenceError("observing the target itself is clairvoyance; "
+                             "use expected_value_of_perfect_information")
+    prior_posterior = network.query(problem.target, evidence)
+    _, eu_now = best_action(problem, prior_posterior)
+    obs_dist = network.query(observable, evidence)
+    eu_with = 0.0
+    for outcome, p_outcome in obs_dist.items():
+        if p_outcome <= 0.0:
+            continue
+        extended = dict(evidence)
+        extended[outcome_key := observable] = outcome
+        posterior = network.query(problem.target, extended)
+        _, eu = best_action(problem, posterior)
+        eu_with += p_outcome * eu
+    return max(0.0, eu_with - eu_now)
+
+
+def expected_value_of_perfect_information(
+        network: BayesianNetwork, problem: DecisionProblem,
+        evidence: Optional[Mapping[str, str]] = None) -> float:
+    """EVPI: the ceiling on what any observation can be worth."""
+    evidence = dict(evidence or {})
+    posterior = network.query(problem.target, evidence)
+    _, eu_now = best_action(problem, posterior)
+    eu_perfect = sum(
+        p * max(problem.utility(a, state) for a in problem.actions)
+        for state, p in posterior.items())
+    return max(0.0, eu_perfect - eu_now)
+
+
+def rank_observables(network: BayesianNetwork, problem: DecisionProblem,
+                     observables: Sequence[str],
+                     evidence: Optional[Mapping[str, str]] = None
+                     ) -> List[Tuple[str, float]]:
+    """Observables ranked by EVO (descending) — the data-shopping list."""
+    scored = [(name, expected_value_of_observation(network, problem, name,
+                                                   evidence))
+              for name in observables]
+    return sorted(scored, key=lambda t: -t[1])

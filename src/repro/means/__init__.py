@@ -1,0 +1,32 @@
+"""The four means to cope with uncertainty (paper §IV), as working code.
+
+Each submodule operationalizes one column of the taxonomy:
+
+- :mod:`repro.means.prevention` — ODD restriction and architectural
+  complexity budgets;
+- :mod:`repro.means.removal` — design of experiments, the §V BN+evidence
+  safety analysis, and the field-observation monitor;
+- :mod:`repro.means.tolerance` — diverse redundancy and uncertainty-aware
+  fallback behavior;
+- :mod:`repro.means.forecasting` — residual-uncertainty estimation and the
+  release decision.
+"""
+
+from repro.means.forecasting import ReleaseCriteria, ReleaseDecision, ResidualUncertaintyForecast
+from repro.means.prevention import ArchitectureComplexity, PreventionOutcome, apply_odd_prevention
+from repro.means.removal import FieldObservationMonitor, SafetyAnalysisWithUncertainty
+from repro.means.tolerance import FallbackPolicy, ToleranceOutcome, evaluate_tolerance
+
+__all__ = [
+    "ReleaseCriteria",
+    "ReleaseDecision",
+    "ResidualUncertaintyForecast",
+    "ArchitectureComplexity",
+    "PreventionOutcome",
+    "apply_odd_prevention",
+    "FieldObservationMonitor",
+    "SafetyAnalysisWithUncertainty",
+    "FallbackPolicy",
+    "ToleranceOutcome",
+    "evaluate_tolerance",
+]

@@ -1,0 +1,137 @@
+"""Uncertainty forecasting and the release decision (§IV).
+
+"Uncertainty forecasting is based on estimating the present level and
+future occurrence of uncertainties.  These are relevant to make a decision
+about the release of a product by e.g. arguing about a sufficiently low
+ontological uncertainty."
+
+The forecast combines:
+
+- an *aleatory/epistemic* hazard-rate posterior (Gamma-Poisson over field
+  exposure) with its one-sided upper credible bound, and
+- an *ontological* residual: the Good-Turing bound on the unseen-kind
+  probability mass of the operational domain.
+
+Release is granted only when both bounds are under their targets — the
+paper's "sufficiently low ontological uncertainty" made precise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StrategyError
+from repro.probability.estimation import BayesianRateEstimator, GoodTuringEstimator
+
+
+@dataclass(frozen=True)
+class ReleaseCriteria:
+    """Acceptance targets for the release decision."""
+
+    max_hazard_rate: float = 1e-3      # hazards per encounter, upper bound
+    max_missing_mass: float = 0.01     # residual ontological mass
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.max_hazard_rate <= 0.0:
+            raise StrategyError("max_hazard_rate must be positive")
+        if not 0.0 < self.max_missing_mass <= 1.0:
+            raise StrategyError("max_missing_mass must be in (0, 1]")
+        if not 0.0 < self.confidence < 1.0:
+            raise StrategyError("confidence must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class ReleaseDecision:
+    """Outcome of a release assessment."""
+
+    release: bool
+    hazard_rate_bound: float
+    missing_mass_bound: float
+    hazard_ok: bool
+    ontology_ok: bool
+    exposure: float
+    n_hazards: int
+
+    def blocking_reasons(self) -> List[str]:
+        reasons = []
+        if not self.hazard_ok:
+            reasons.append(
+                f"hazard-rate upper bound {self.hazard_rate_bound:.3g} exceeds target")
+        if not self.ontology_ok:
+            reasons.append(
+                f"residual ontological mass bound {self.missing_mass_bound:.3g} "
+                "exceeds target")
+        return reasons
+
+
+class ResidualUncertaintyForecast:
+    """Accumulates field evidence and issues release assessments."""
+
+    def __init__(self, criteria: Optional[ReleaseCriteria] = None,
+                 prior_shape: float = 0.5, prior_rate: float = 10.0):
+        self.criteria = criteria or ReleaseCriteria()
+        self._rate = BayesianRateEstimator(prior_shape=prior_shape,
+                                           prior_rate=prior_rate)
+        self._good_turing = GoodTuringEstimator()
+
+    @property
+    def exposure(self) -> float:
+        return self._rate.exposure
+
+    def observe_campaign(self, n_encounters: int, n_hazards: int,
+                         encountered_kinds: Sequence[str]) -> None:
+        """Fold one observation campaign into the forecast."""
+        if n_encounters <= 0:
+            raise StrategyError("n_encounters must be positive")
+        if n_hazards < 0 or n_hazards > n_encounters:
+            raise StrategyError("n_hazards must be in [0, n_encounters]")
+        self._rate.observe(n_hazards, float(n_encounters))
+        self._good_turing.observe_sequence(encountered_kinds)
+
+    def hazard_rate_bound(self) -> float:
+        return self._rate.upper_bound(self.criteria.confidence)
+
+    def missing_mass_bound(self) -> float:
+        return self._good_turing.missing_mass_confidence_bound(
+            self.criteria.confidence)
+
+    def assess(self) -> ReleaseDecision:
+        hz = self.hazard_rate_bound()
+        mm = self.missing_mass_bound()
+        hazard_ok = hz <= self.criteria.max_hazard_rate
+        ontology_ok = mm <= self.criteria.max_missing_mass
+        return ReleaseDecision(
+            release=hazard_ok and ontology_ok,
+            hazard_rate_bound=hz,
+            missing_mass_bound=mm,
+            hazard_ok=hazard_ok,
+            ontology_ok=ontology_ok,
+            exposure=self._rate.exposure,
+            n_hazards=self._rate.events,
+        )
+
+    def required_exposure_estimate(self) -> float:
+        """Rough additional exposure needed for the ontological criterion.
+
+        From the McAllester-Schapire slack term: with zero further novel
+        singletons, the bound reaches the target when
+        ``sqrt(2 ln(1/delta) / N) <= target`` — solve for N.  Returns 0
+        when already satisfied.  This is the quantitative face of the
+        long-tail validation challenge (refs [30], [31]).
+        """
+        import math
+        target = self.criteria.max_missing_mass
+        current = self._good_turing.missing_mass()
+        if current >= target:
+            return float("inf")  # new singletons keep arriving; no finite bound
+        delta = 1.0 - self.criteria.confidence
+        needed = 2.0 * math.log(1.0 / delta) / (target - current) ** 2
+        return max(0.0, needed - self._good_turing.total)
+
+    def __repr__(self) -> str:
+        return (f"ResidualUncertaintyForecast(exposure={self.exposure}, "
+                f"hazards={self._rate.events})")

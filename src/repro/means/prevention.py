@@ -1,0 +1,145 @@
+"""Uncertainty prevention: avoid complexity, restrict the domain (§IV).
+
+"Uncertainty prevention can e.g. be achieved by avoiding complexity in the
+system.  This can be done by using simple architectures not prone to
+emergent behavior or restriction of the operational design domain."
+
+Two tools:
+
+- :func:`apply_odd_prevention` — quantify the hazard-vs-availability trade
+  of an ODD restriction on a given world and chain;
+- :class:`ArchitectureComplexity` — an interaction-count complexity budget
+  for architectures, flagging emergent-behavior-prone designs before they
+  are built.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import StrategyError
+from repro.perception.chain import PerceptionChain, hazardous_misperception_rate
+from repro.perception.odd import OperationalDesignDomain
+from repro.perception.world import WorldModel
+
+
+@dataclass(frozen=True)
+class PreventionOutcome:
+    """Measured effect of a prevention measure."""
+
+    hazard_rate_before: float
+    hazard_rate_after: float
+    availability: float
+
+    @property
+    def hazard_reduction(self) -> float:
+        """Relative hazard reduction achieved by prevention."""
+        if self.hazard_rate_before <= 0.0:
+            return 0.0
+        return 1.0 - self.hazard_rate_after / self.hazard_rate_before
+
+    @property
+    def cost_effectiveness(self) -> float:
+        """Hazard reduction per unit availability given up (inf if free)."""
+        given_up = 1.0 - self.availability
+        if given_up <= 0.0:
+            return float("inf") if self.hazard_reduction > 0 else 0.0
+        return self.hazard_reduction / given_up
+
+
+def apply_odd_prevention(world: WorldModel, chain: PerceptionChain,
+                         odd: OperationalDesignDomain,
+                         rng: np.random.Generator,
+                         n_eval: int = 3000) -> PreventionOutcome:
+    """Measure an ODD restriction's prevention effect by simulation."""
+    if n_eval <= 0:
+        raise StrategyError("n_eval must be positive")
+    before = hazardous_misperception_rate(chain, world, rng, n_eval)
+    restricted = odd.restricted_world(world)
+    after = hazardous_misperception_rate(chain, restricted, rng, n_eval)
+    availability = odd.availability(world, rng, n_samples=min(n_eval, 2000))
+    return PreventionOutcome(hazard_rate_before=before,
+                             hazard_rate_after=after,
+                             availability=availability)
+
+
+class ArchitectureComplexity:
+    """An interaction-graph complexity budget for system architectures.
+
+    Emergent behavior risk grows with the number of *interaction paths*
+    between components, not with component count per se.  The metric here
+    is deliberately simple — pairwise interface count, feedback-loop count
+    and maximum fan-in — because prevention happens at the whiteboard,
+    before anything is measurable.
+    """
+
+    def __init__(self) -> None:
+        self._components: Set[str] = set()
+        self._interfaces: Set[Tuple[str, str]] = set()
+
+    def add_component(self, name: str) -> None:
+        if not name:
+            raise StrategyError("component name must be non-empty")
+        self._components.add(name)
+
+    def add_interface(self, source: str, target: str) -> None:
+        """A directed interaction source -> target."""
+        if source == target:
+            raise StrategyError("self-interfaces are not counted")
+        for n in (source, target):
+            if n not in self._components:
+                raise StrategyError(f"unknown component {n!r}")
+        self._interfaces.add((source, target))
+
+    @property
+    def n_components(self) -> int:
+        return len(self._components)
+
+    @property
+    def n_interfaces(self) -> int:
+        return len(self._interfaces)
+
+    def feedback_pairs(self) -> int:
+        """Count of mutual (A->B and B->A) interaction pairs — the basic
+        emergent-behavior generator."""
+        return sum(1 for (a, b) in self._interfaces
+                   if (b, a) in self._interfaces and a < b)
+
+    def max_fan_in(self) -> int:
+        fan: Dict[str, int] = {}
+        for _, target in self._interfaces:
+            fan[target] = fan.get(target, 0) + 1
+        return max(fan.values(), default=0)
+
+    def interface_density(self) -> float:
+        """Interfaces / possible directed pairs in [0, 1]."""
+        n = self.n_components
+        possible = n * (n - 1)
+        if possible == 0:
+            return 0.0
+        return self.n_interfaces / possible
+
+    def emergence_score(self) -> float:
+        """Composite [0, 1] emergent-behavior-proneness score."""
+        density = self.interface_density()
+        feedback = self.feedback_pairs()
+        n = max(self.n_components, 1)
+        feedback_norm = min(1.0, 2.0 * feedback / n)
+        fanin_norm = min(1.0, self.max_fan_in() / max(n - 1, 1))
+        return float(np.clip(0.5 * density + 0.3 * feedback_norm +
+                             0.2 * fanin_norm, 0.0, 1.0))
+
+    def within_budget(self, max_score: float = 0.4) -> bool:
+        """Prevention gate: is the architecture simple enough to build?"""
+        if not 0.0 <= max_score <= 1.0:
+            raise StrategyError("max_score must be in [0, 1]")
+        return self.emergence_score() <= max_score
+
+    def __repr__(self) -> str:
+        return (f"ArchitectureComplexity(components={self.n_components}, "
+                f"interfaces={self.n_interfaces}, "
+                f"score={self.emergence_score():.3f})")

@@ -1,0 +1,143 @@
+"""Uncertainty tolerance: cope at runtime with what remains (§IV).
+
+"Uncertainty tolerance can typically be obtained by using redundant
+architectures ... or using components that can detect uncertainty."
+
+Two mechanisms, composable:
+
+- diverse redundancy (:mod:`repro.perception.redundancy`), and
+- an uncertainty-aware *fallback policy*: when the system knows it does
+  not know (the ``car/pedestrian`` output, or a high epistemic score), it
+  degrades to a safe behavior instead of acting on a guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StrategyError
+from repro.perception.chain import PerceptionChain
+from repro.perception.redundancy import RedundantPerceptionSystem, make_diverse_chains
+from repro.perception.world import (
+    CAR,
+    NONE_LABEL,
+    PEDESTRIAN,
+    UNCERTAIN_LABEL,
+    UNKNOWN,
+    ObjectInstance,
+    WorldModel,
+)
+
+#: Vehicle-level reactions a perception output can trigger.
+ACT_NORMALLY = "act_normally"
+CAUTIOUS_MODE = "cautious_mode"
+MINIMAL_RISK = "minimal_risk_maneuver"
+
+
+class FallbackPolicy:
+    """Map perception outputs (and epistemic scores) to vehicle behavior.
+
+    The hazard semantics change once a fallback exists: an encounter that
+    ends in ``cautious_mode`` is degraded but *safe* — the system tolerated
+    its uncertainty.  Only acting normally on a wrong belief, or not
+    reacting to a real object, counts as hazardous.
+    """
+
+    def __init__(self, epistemic_threshold: float = 0.4,
+                 treat_uncertain_as: str = CAUTIOUS_MODE):
+        if not 0.0 <= epistemic_threshold <= 1.0:
+            raise StrategyError("epistemic_threshold must be in [0, 1]")
+        if treat_uncertain_as not in (CAUTIOUS_MODE, MINIMAL_RISK):
+            raise StrategyError(
+                "treat_uncertain_as must be a degraded mode")
+        self.epistemic_threshold = epistemic_threshold
+        self.treat_uncertain_as = treat_uncertain_as
+
+    def decide(self, output: str, epistemic_score: float = 0.0) -> str:
+        if output == UNCERTAIN_LABEL:
+            return self.treat_uncertain_as
+        if epistemic_score >= self.epistemic_threshold:
+            return CAUTIOUS_MODE
+        return ACT_NORMALLY
+
+    def is_hazardous(self, obj: ObjectInstance, output: str,
+                     action: str) -> bool:
+        """Hazard under fallback semantics."""
+        if action in (CAUTIOUS_MODE, MINIMAL_RISK):
+            return False  # degraded but safe
+        if output == NONE_LABEL:
+            return True  # real object, no reaction
+        if obj.label == UNKNOWN and output in (CAR, PEDESTRIAN):
+            return True  # confident misbelief about a novel object
+        return False
+
+
+@dataclass(frozen=True)
+class ToleranceOutcome:
+    """Measured effect of a tolerance architecture."""
+
+    hazard_rate: float
+    degraded_rate: float
+    n_encounters: int
+
+    @property
+    def availability(self) -> float:
+        """Fraction of encounters handled at full capability."""
+        return 1.0 - self.degraded_rate
+
+
+def evaluate_tolerance(world: WorldModel, rng: np.random.Generator,
+                       *, n_channels: int = 3, diversity: float = 0.12,
+                       fusion: str = "conservative",
+                       policy: Optional[FallbackPolicy] = None,
+                       n_eval: int = 3000) -> ToleranceOutcome:
+    """Measure hazard/availability of a redundant + fallback architecture.
+
+    With ``n_channels=1`` and no diversity this degenerates to the single
+    uncertainty-aware chain — the baseline of the EXT-E benchmark.
+    """
+    if n_eval <= 0:
+        raise StrategyError("n_eval must be positive")
+    policy = policy or FallbackPolicy()
+    chains = make_diverse_chains(n_channels, rng, diversity=diversity)
+    system = RedundantPerceptionSystem(chains, fusion=fusion)
+    hazards = 0
+    degraded = 0
+    for _ in range(n_eval):
+        obj = world.sample_object(rng)
+        output = system.perceive(obj, rng)
+        action = policy.decide(output)
+        if action != ACT_NORMALLY:
+            degraded += 1
+        if policy.is_hazardous(obj, output, action):
+            hazards += 1
+    return ToleranceOutcome(hazard_rate=hazards / n_eval,
+                            degraded_rate=degraded / n_eval,
+                            n_encounters=n_eval)
+
+
+def evaluate_single_chain(world: WorldModel, rng: np.random.Generator,
+                          *, uncertainty_aware: bool = True,
+                          policy: Optional[FallbackPolicy] = None,
+                          n_eval: int = 3000) -> ToleranceOutcome:
+    """Baseline: one chain, with or without uncertainty awareness."""
+    if n_eval <= 0:
+        raise StrategyError("n_eval must be positive")
+    policy = policy or FallbackPolicy()
+    chain = PerceptionChain(uncertainty_aware=uncertainty_aware)
+    hazards = 0
+    degraded = 0
+    for _ in range(n_eval):
+        obj = world.sample_object(rng)
+        output, score = chain.perceive_with_score(obj, rng)
+        action = policy.decide(output, score)
+        if action != ACT_NORMALLY:
+            degraded += 1
+        if policy.is_hazardous(obj, output, action):
+            hazards += 1
+    return ToleranceOutcome(hazard_rate=hazards / n_eval,
+                            degraded_rate=degraded / n_eval,
+                            n_encounters=n_eval)

@@ -1,0 +1,55 @@
+"""Orbital mechanics: the paper's two-planet universe as executable code.
+
+The paper's Fig. 2 builds its whole uncertainty taxonomy on a running
+example — "a reality where only two planets exist" — modeled twice:
+
+- **Model A** (deterministic): Newton's laws as differential equations,
+  integrated numerically (:mod:`repro.orbital.nbody`,
+  :mod:`repro.orbital.integrators`) and validated against the analytic
+  Kepler solution (:mod:`repro.orbital.kepler`).
+- **Model B** (probabilistic): a frequentist spatial-occupancy
+  distribution estimated from repeated position observations
+  (:mod:`repro.orbital.observation`).
+
+Epistemic model-form error is injected through a heterogeneous
+(quadrupole-perturbed) body (:mod:`repro.orbital.gravity`), and the
+ontological "third planet" scenario of §III-C is a first-class simulation
+setup (:func:`repro.orbital.nbody.third_planet_scenario`).
+"""
+
+from repro.orbital.bodies import Body, make_two_planet_universe
+from repro.orbital.gravity import (
+    pairwise_accelerations,
+    point_mass_acceleration,
+    QuadrupolePerturbation,
+)
+from repro.orbital.integrators import (
+    euler_step,
+    INTEGRATORS,
+    leapfrog_step,
+    rk4_step,
+    velocity_verlet_step,
+)
+from repro.orbital.kepler import KeplerOrbit, orbital_elements_from_state
+from repro.orbital.nbody import NBodySimulator, Trajectory, third_planet_scenario
+from repro.orbital.observation import SpatialOccupancyModel, observe_positions
+
+__all__ = [
+    "Body",
+    "make_two_planet_universe",
+    "pairwise_accelerations",
+    "point_mass_acceleration",
+    "QuadrupolePerturbation",
+    "euler_step",
+    "leapfrog_step",
+    "rk4_step",
+    "velocity_verlet_step",
+    "INTEGRATORS",
+    "KeplerOrbit",
+    "orbital_elements_from_state",
+    "NBodySimulator",
+    "Trajectory",
+    "third_planet_scenario",
+    "SpatialOccupancyModel",
+    "observe_positions",
+]

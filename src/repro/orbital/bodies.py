@@ -1,0 +1,114 @@
+"""Celestial bodies for the two-planet universe.
+
+Units are dimensionless simulation units with G = 1, the usual choice for
+didactic N-body work: masses, distances and times are all O(1), which
+keeps integrator error analyses readable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+GRAVITATIONAL_CONSTANT = 1.0
+
+
+@dataclass
+class Body:
+    """A celestial body: point mass, optionally with a quadrupole moment.
+
+    ``j2`` models a heterogeneous mass distribution (the paper's epistemic
+    example: "planets with a homogeneous mass distribution are replaced by
+    a heterogeneous body with an uneven surface").  A nonzero ``j2`` makes
+    the *true* field deviate from the point-mass model by a 1/r^4 term.
+    """
+
+    name: str
+    mass: float
+    position: np.ndarray
+    velocity: np.ndarray
+    j2: float = 0.0
+    radius: float = 0.1
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=float)
+        self.velocity = np.asarray(self.velocity, dtype=float)
+        if self.position.shape != (2,) or self.velocity.shape != (2,):
+            raise SimulationError(
+                f"body {self.name!r}: positions/velocities must be 2-vectors")
+        if self.mass <= 0.0:
+            raise SimulationError(f"body {self.name!r}: mass must be positive")
+        if self.radius <= 0.0:
+            raise SimulationError(f"body {self.name!r}: radius must be positive")
+
+    def copy(self) -> "Body":
+        return Body(self.name, self.mass, self.position.copy(),
+                    self.velocity.copy(), self.j2, self.radius)
+
+
+def system_arrays(bodies: Sequence[Body]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stack bodies into (masses, positions, velocities) arrays."""
+    if not bodies:
+        raise SimulationError("at least one body required")
+    masses = np.array([b.mass for b in bodies])
+    positions = np.stack([b.position for b in bodies])
+    velocities = np.stack([b.velocity for b in bodies])
+    return masses, positions, velocities
+
+
+def center_of_mass_frame(bodies: Sequence[Body]) -> List[Body]:
+    """Shift to the barycentric frame (zero net momentum)."""
+    masses, positions, velocities = system_arrays(bodies)
+    total = masses.sum()
+    com = (masses[:, None] * positions).sum(axis=0) / total
+    vcom = (masses[:, None] * velocities).sum(axis=0) / total
+    out = []
+    for b in bodies:
+        nb = b.copy()
+        nb.position = b.position - com
+        nb.velocity = b.velocity - vcom
+        out.append(nb)
+    return out
+
+
+def make_two_planet_universe(mass_ratio: float = 0.5,
+                             separation: float = 1.0,
+                             eccentricity: float = 0.0,
+                             j2_planet2: float = 0.0) -> List[Body]:
+    """The paper's reality: exactly two planets in mutual orbit.
+
+    Creates a bound two-body system in the barycentric frame.  With
+    ``eccentricity=0`` the orbit is circular; ``j2_planet2`` gives planet 2
+    a heterogeneous mass distribution (epistemic model-form error when the
+    analyst still assumes point masses).
+    """
+    if not 0.0 < mass_ratio <= 1.0:
+        raise SimulationError("mass_ratio must be in (0, 1]")
+    if separation <= 0.0:
+        raise SimulationError("separation must be positive")
+    if not 0.0 <= eccentricity < 1.0:
+        raise SimulationError("eccentricity must be in [0, 1) for a bound orbit")
+    m1 = 1.0
+    m2 = mass_ratio
+    mu = GRAVITATIONAL_CONSTANT * (m1 + m2)
+    # Start at apoapsis of an orbit with semi-major axis a such that the
+    # apoapsis distance equals `separation`: r_apo = a (1 + e).
+    a = separation / (1.0 + eccentricity)
+    # Vis-viva at apoapsis.
+    speed_rel = math.sqrt(mu * (2.0 / separation - 1.0 / a))
+    # Split position/velocity by mass ratio around the barycenter.
+    r1 = -separation * m2 / (m1 + m2)
+    r2 = separation * m1 / (m1 + m2)
+    v1 = -speed_rel * m2 / (m1 + m2)
+    v2 = speed_rel * m1 / (m1 + m2)
+    bodies = [
+        Body("planet1", m1, np.array([r1, 0.0]), np.array([0.0, v1])),
+        Body("planet2", m2, np.array([r2, 0.0]), np.array([0.0, v2]),
+             j2=j2_planet2),
+    ]
+    return bodies

@@ -1,0 +1,133 @@
+"""Gravitational force models: point mass and quadrupole perturbation.
+
+The point-mass field is the analyst's idealized model; the quadrupole
+(J2-style) correction is the physical truth when a body's mass
+distribution is heterogeneous.  The gap between the two is the concrete
+realization of the paper's epistemic model-form error (§III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.orbital.bodies import GRAVITATIONAL_CONSTANT, Body
+
+
+def point_mass_acceleration(target: np.ndarray, source: np.ndarray,
+                            source_mass: float,
+                            softening: float = 0.0) -> np.ndarray:
+    """Acceleration of a test point due to one point mass."""
+    delta = np.asarray(source, dtype=float) - np.asarray(target, dtype=float)
+    r2 = float(delta @ delta) + softening * softening
+    if r2 <= 0.0:
+        raise SimulationError("coincident bodies with zero softening")
+    r = np.sqrt(r2)
+    return GRAVITATIONAL_CONSTANT * source_mass * delta / (r2 * r)
+
+
+@dataclass
+class QuadrupolePerturbation:
+    """Radial 1/r^4 correction of a heterogeneous body's field.
+
+    A planar reduction of the oblateness (J2) perturbation: the
+    acceleration magnitude gains a term
+    ``(3/2) J2 R^2 G m / r^4`` directed radially.  Enough structure to make
+    point-mass predictions measurably wrong while keeping the dynamics
+    integrable by the same machinery.
+    """
+
+    j2: float
+    reference_radius: float
+
+    def acceleration(self, target: np.ndarray, source: np.ndarray,
+                     source_mass: float) -> np.ndarray:
+        delta = np.asarray(source, dtype=float) - np.asarray(target, dtype=float)
+        r2 = float(delta @ delta)
+        if r2 <= 0.0:
+            raise SimulationError("coincident bodies in quadrupole evaluation")
+        r = np.sqrt(r2)
+        magnitude = (1.5 * self.j2 * self.reference_radius ** 2 *
+                     GRAVITATIONAL_CONSTANT * source_mass / (r2 * r2))
+        return magnitude * delta / r
+
+
+def pairwise_accelerations(masses: np.ndarray, positions: np.ndarray,
+                           j2: Optional[np.ndarray] = None,
+                           radii: Optional[np.ndarray] = None,
+                           softening: float = 0.0) -> np.ndarray:
+    """Accelerations of all bodies under mutual gravity (vectorized).
+
+    Parameters
+    ----------
+    masses: shape (n,)
+    positions: shape (n, 2)
+    j2, radii: optional per-body quadrupole coefficients and reference
+        radii; body i sources an extra 1/r^4 term when ``j2[i] != 0``.
+    """
+    masses = np.asarray(masses, dtype=float)
+    positions = np.asarray(positions, dtype=float)
+    n = masses.size
+    if positions.shape != (n, 2):
+        raise SimulationError(f"positions must be ({n}, 2), got {positions.shape}")
+    delta = positions[None, :, :] - positions[:, None, :]  # delta[i, j] = r_j - r_i
+    dist2 = (delta ** 2).sum(axis=2) + softening ** 2
+    np.fill_diagonal(dist2, 1.0)  # avoid divide-by-zero on the diagonal
+    inv_r3 = dist2 ** (-1.5)
+    np.fill_diagonal(inv_r3, 0.0)
+    acc = GRAVITATIONAL_CONSTANT * (delta * (masses[None, :, None] *
+                                             inv_r3[:, :, None])).sum(axis=1)
+    if j2 is not None:
+        j2 = np.asarray(j2, dtype=float)
+        radii = np.asarray(radii if radii is not None else np.full(n, 0.1),
+                           dtype=float)
+        inv_r5 = dist2 ** (-2.5)
+        np.fill_diagonal(inv_r5, 0.0)
+        coeff = 1.5 * j2[None, :] * (radii[None, :] ** 2) * masses[None, :]
+        acc += GRAVITATIONAL_CONSTANT * (delta * (coeff * inv_r5 *
+                                                  np.sqrt(dist2))[:, :, None]).sum(axis=1)
+    return acc
+
+
+def make_acceleration_function(bodies: Sequence[Body],
+                               include_quadrupole: bool = True,
+                               softening: float = 0.0):
+    """Build an ``accel(positions) -> accelerations`` closure for a system."""
+    masses = np.array([b.mass for b in bodies])
+    if include_quadrupole and any(b.j2 != 0.0 for b in bodies):
+        j2 = np.array([b.j2 for b in bodies])
+        radii = np.array([b.radius for b in bodies])
+    else:
+        j2, radii = None, None
+
+    def accel(positions: np.ndarray) -> np.ndarray:
+        return pairwise_accelerations(masses, positions, j2=j2, radii=radii,
+                                      softening=softening)
+
+    return accel
+
+
+def total_energy(masses: np.ndarray, positions: np.ndarray,
+                 velocities: np.ndarray) -> float:
+    """Kinetic + potential energy (conserved diagnostic for integrators)."""
+    masses = np.asarray(masses, dtype=float)
+    kinetic = 0.5 * float((masses * (velocities ** 2).sum(axis=1)).sum())
+    potential = 0.0
+    n = masses.size
+    for i in range(n):
+        for j in range(i + 1, n):
+            r = float(np.linalg.norm(positions[j] - positions[i]))
+            potential -= GRAVITATIONAL_CONSTANT * masses[i] * masses[j] / r
+    return kinetic + potential
+
+
+def total_angular_momentum(masses: np.ndarray, positions: np.ndarray,
+                           velocities: np.ndarray) -> float:
+    """Scalar (z) angular momentum of the planar system."""
+    masses = np.asarray(masses, dtype=float)
+    lz = masses * (positions[:, 0] * velocities[:, 1] -
+                   positions[:, 1] * velocities[:, 0])
+    return float(lz.sum())

@@ -1,0 +1,97 @@
+"""Numerical integrators for the N-body equations of motion.
+
+Each step function maps ``(positions, velocities, accel, dt)`` to new
+``(positions, velocities)``.  The menu spans the classic accuracy/
+structure-preservation trade-off:
+
+- ``euler``: first order, energy-drifting — the "wrong model" baseline;
+- ``rk4``: fourth order, accurate short-term, slow energy drift;
+- ``velocity_verlet`` / ``leapfrog``: second order *symplectic*, bounded
+  energy error — the structurally right choice for Hamiltonian systems.
+
+Integrator choice is itself an epistemic model decision: a perfect
+formal model (Newton's equations) still acquires encoding error through
+discretization (paper §II-A's "inexact encoding").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+AccelFn = Callable[[np.ndarray], np.ndarray]
+StepFn = Callable[[np.ndarray, np.ndarray, AccelFn, float],
+                  Tuple[np.ndarray, np.ndarray]]
+
+
+def euler_step(positions: np.ndarray, velocities: np.ndarray,
+               accel: AccelFn, dt: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Explicit (forward) Euler: O(dt) local truncation error."""
+    a = accel(positions)
+    return positions + dt * velocities, velocities + dt * a
+
+
+def semi_implicit_euler_step(positions: np.ndarray, velocities: np.ndarray,
+                             accel: AccelFn, dt: float
+                             ) -> Tuple[np.ndarray, np.ndarray]:
+    """Symplectic Euler: first order but structure preserving."""
+    v_new = velocities + dt * accel(positions)
+    return positions + dt * v_new, v_new
+
+
+def velocity_verlet_step(positions: np.ndarray, velocities: np.ndarray,
+                         accel: AccelFn, dt: float
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+    """Velocity Verlet: second order, symplectic, time reversible."""
+    a0 = accel(positions)
+    p_new = positions + dt * velocities + 0.5 * dt * dt * a0
+    a1 = accel(p_new)
+    v_new = velocities + 0.5 * dt * (a0 + a1)
+    return p_new, v_new
+
+
+def leapfrog_step(positions: np.ndarray, velocities: np.ndarray,
+                  accel: AccelFn, dt: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Kick-drift-kick leapfrog (equivalent to velocity Verlet)."""
+    v_half = velocities + 0.5 * dt * accel(positions)
+    p_new = positions + dt * v_half
+    v_new = v_half + 0.5 * dt * accel(p_new)
+    return p_new, v_new
+
+
+def rk4_step(positions: np.ndarray, velocities: np.ndarray,
+             accel: AccelFn, dt: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Classic fourth-order Runge-Kutta on the (q, v) system."""
+    k1_p = velocities
+    k1_v = accel(positions)
+    k2_p = velocities + 0.5 * dt * k1_v
+    k2_v = accel(positions + 0.5 * dt * k1_p)
+    k3_p = velocities + 0.5 * dt * k2_v
+    k3_v = accel(positions + 0.5 * dt * k2_p)
+    k4_p = velocities + dt * k3_v
+    k4_v = accel(positions + dt * k3_p)
+    p_new = positions + dt / 6.0 * (k1_p + 2 * k2_p + 2 * k3_p + k4_p)
+    v_new = velocities + dt / 6.0 * (k1_v + 2 * k2_v + 2 * k3_v + k4_v)
+    return p_new, v_new
+
+
+INTEGRATORS: Dict[str, StepFn] = {
+    "euler": euler_step,
+    "semi_implicit_euler": semi_implicit_euler_step,
+    "velocity_verlet": velocity_verlet_step,
+    "leapfrog": leapfrog_step,
+    "rk4": rk4_step,
+}
+
+
+def get_integrator(name: str) -> StepFn:
+    """Look up an integrator by name."""
+    try:
+        return INTEGRATORS[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown integrator {name!r}; choose from {sorted(INTEGRATORS)}"
+        ) from None

@@ -1,0 +1,138 @@
+"""Analytic Kepler two-body solution (validation oracle for model A).
+
+For the idealized point-mass two-planet universe the deterministic model
+is *exactly* solvable: "For the idealized point masses the model is
+completely accurate and there is no uncertainty in this model" (paper
+§III-B).  This module computes orbital elements from a state vector and
+propagates the relative orbit analytically by solving Kepler's equation,
+providing the ground truth against which numerical integrators (and
+perturbed physics) are measured.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.orbital.bodies import GRAVITATIONAL_CONSTANT
+
+
+@dataclass(frozen=True)
+class KeplerOrbit:
+    """Planar elliptic orbital elements of the relative two-body motion."""
+
+    semi_major_axis: float
+    eccentricity: float
+    argument_of_periapsis: float
+    mean_anomaly_epoch: float
+    mu: float  # gravitational parameter G (m1 + m2)
+
+    @property
+    def period(self) -> float:
+        return 2.0 * math.pi * math.sqrt(self.semi_major_axis ** 3 / self.mu)
+
+    @property
+    def mean_motion(self) -> float:
+        return 2.0 * math.pi / self.period
+
+    def mean_anomaly(self, t: float) -> float:
+        return self.mean_anomaly_epoch + self.mean_motion * t
+
+    def eccentric_anomaly(self, t: float, tol: float = 1e-13,
+                          max_iter: int = 64) -> float:
+        """Solve Kepler's equation M = E - e sin E by Newton iteration."""
+        m = math.fmod(self.mean_anomaly(t), 2.0 * math.pi)
+        e = self.eccentricity
+        big_e = m if e < 0.8 else math.pi
+        for _ in range(max_iter):
+            f = big_e - e * math.sin(big_e) - m
+            fp = 1.0 - e * math.cos(big_e)
+            step = f / fp
+            big_e -= step
+            if abs(step) < tol:
+                break
+        return big_e
+
+    def true_anomaly(self, t: float) -> float:
+        big_e = self.eccentric_anomaly(t)
+        e = self.eccentricity
+        return 2.0 * math.atan2(math.sqrt(1.0 + e) * math.sin(big_e / 2.0),
+                                math.sqrt(1.0 - e) * math.cos(big_e / 2.0))
+
+    def radius(self, t: float) -> float:
+        big_e = self.eccentric_anomaly(t)
+        return self.semi_major_axis * (1.0 - self.eccentricity * math.cos(big_e))
+
+    def relative_position(self, t: float) -> np.ndarray:
+        """Relative position vector r2 - r1 at time t."""
+        nu = self.true_anomaly(t)
+        r = self.radius(t)
+        angle = nu + self.argument_of_periapsis
+        return np.array([r * math.cos(angle), r * math.sin(angle)])
+
+    def relative_velocity(self, t: float) -> np.ndarray:
+        """Relative velocity vector at time t (from the vis-viva geometry)."""
+        nu = self.true_anomaly(t)
+        e = self.eccentricity
+        p = self.semi_major_axis * (1.0 - e * e)
+        h = math.sqrt(self.mu * p)
+        r = self.radius(t)
+        # Perifocal-frame velocity rotated by the argument of periapsis.
+        v_pf = np.array([-self.mu / h * math.sin(nu),
+                         self.mu / h * (e + math.cos(nu))])
+        w = self.argument_of_periapsis
+        rot = np.array([[math.cos(w), -math.sin(w)],
+                        [math.sin(w), math.cos(w)]])
+        del r  # radius not needed beyond clarity
+        return rot @ v_pf
+
+
+def orbital_elements_from_state(rel_position: np.ndarray,
+                                rel_velocity: np.ndarray,
+                                total_mass: float) -> KeplerOrbit:
+    """Orbital elements of the relative orbit from one state vector."""
+    r_vec = np.asarray(rel_position, dtype=float)
+    v_vec = np.asarray(rel_velocity, dtype=float)
+    if r_vec.shape != (2,) or v_vec.shape != (2,):
+        raise SimulationError("state vectors must be 2-vectors")
+    mu = GRAVITATIONAL_CONSTANT * total_mass
+    r = float(np.linalg.norm(r_vec))
+    v2 = float(v_vec @ v_vec)
+    if r <= 0.0:
+        raise SimulationError("degenerate state: zero separation")
+    energy = v2 / 2.0 - mu / r
+    if energy >= 0.0:
+        raise SimulationError(
+            "state is unbound (parabolic/hyperbolic); Kepler ellipse undefined")
+    a = -mu / (2.0 * energy)
+    # Planar angular momentum (z component) and eccentricity vector.
+    h = r_vec[0] * v_vec[1] - r_vec[1] * v_vec[0]
+    e_vec = np.array([
+        (v_vec[1] * h) / mu - r_vec[0] / r,
+        (-v_vec[0] * h) / mu - r_vec[1] / r,
+    ])
+    e = float(np.linalg.norm(e_vec))
+    if e < 1e-12:
+        argp = 0.0
+        nu = math.atan2(r_vec[1], r_vec[0])
+    else:
+        argp = math.atan2(e_vec[1], e_vec[0])
+        nu = math.atan2(r_vec[1], r_vec[0]) - argp
+    # Eccentric anomaly from the true anomaly, then the mean anomaly.
+    big_e = 2.0 * math.atan2(math.sqrt(1.0 - e) * math.sin(nu / 2.0),
+                             math.sqrt(1.0 + e) * math.cos(nu / 2.0))
+    m0 = big_e - e * math.sin(big_e)
+    return KeplerOrbit(semi_major_axis=a, eccentricity=e,
+                       argument_of_periapsis=argp, mean_anomaly_epoch=m0, mu=mu)
+
+
+def two_body_positions(orbit: KeplerOrbit, t: float, m1: float, m2: float
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Barycentric positions of both bodies from the relative orbit."""
+    rel = orbit.relative_position(t)
+    total = m1 + m2
+    return -rel * m2 / total, rel * m1 / total

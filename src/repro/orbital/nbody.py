@@ -1,0 +1,169 @@
+"""The N-body simulator and the paper's narrative scenarios.
+
+The simulator plays the role of the *physical system* (the paper's
+"reality"); the analyst's formal models (point-mass two-body, Kepler,
+occupancy histograms) are compared against it to realize the aleatory /
+epistemic / ontological storyline of §III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.orbital.bodies import Body, make_two_planet_universe, system_arrays
+from repro.orbital.gravity import (
+    make_acceleration_function,
+    total_angular_momentum,
+    total_energy,
+)
+from repro.orbital.integrators import get_integrator
+
+
+@dataclass
+class Trajectory:
+    """Time series of an N-body run: times (s,), positions (s, n, 2),
+    velocities (s, n, 2)."""
+
+    times: np.ndarray
+    positions: np.ndarray
+    velocities: np.ndarray
+    body_names: Tuple[str, ...]
+    masses: np.ndarray
+
+    @property
+    def n_steps(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def n_bodies(self) -> int:
+        return len(self.body_names)
+
+    def body_index(self, name: str) -> int:
+        try:
+            return self.body_names.index(name)
+        except ValueError:
+            raise SimulationError(f"unknown body {name!r}") from None
+
+    def body_positions(self, name: str) -> np.ndarray:
+        return self.positions[:, self.body_index(name), :]
+
+    def relative_positions(self, a: str, b: str) -> np.ndarray:
+        return self.body_positions(b) - self.body_positions(a)
+
+    def energy_series(self) -> np.ndarray:
+        return np.array([total_energy(self.masses, self.positions[i],
+                                      self.velocities[i])
+                         for i in range(self.n_steps)])
+
+    def angular_momentum_series(self) -> np.ndarray:
+        return np.array([total_angular_momentum(self.masses, self.positions[i],
+                                                self.velocities[i])
+                         for i in range(self.n_steps)])
+
+    def max_energy_drift(self) -> float:
+        """Max relative energy error — integrator quality diagnostic."""
+        e = self.energy_series()
+        e0 = e[0]
+        if e0 == 0.0:
+            return float(np.max(np.abs(e - e0)))
+        return float(np.max(np.abs((e - e0) / e0)))
+
+
+class NBodySimulator:
+    """Integrate an N-body system with a chosen integrator and force model."""
+
+    def __init__(self, bodies: Sequence[Body], integrator: str = "leapfrog",
+                 include_quadrupole: bool = True, softening: float = 0.0):
+        if not bodies:
+            raise SimulationError("at least one body required")
+        names = [b.name for b in bodies]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"duplicate body names: {names}")
+        self.bodies = [b.copy() for b in bodies]
+        self.step_fn = get_integrator(integrator)
+        self.integrator_name = integrator
+        self.accel = make_acceleration_function(self.bodies,
+                                                include_quadrupole=include_quadrupole,
+                                                softening=softening)
+
+    def run(self, dt: float, n_steps: int, record_every: int = 1) -> Trajectory:
+        """Integrate forward and record every ``record_every`` steps."""
+        if dt <= 0.0:
+            raise SimulationError("dt must be positive")
+        if n_steps <= 0:
+            raise SimulationError("n_steps must be positive")
+        if record_every < 1:
+            raise SimulationError("record_every must be >= 1")
+        masses, positions, velocities = system_arrays(self.bodies)
+        times = [0.0]
+        pos_hist = [positions.copy()]
+        vel_hist = [velocities.copy()]
+        t = 0.0
+        for step in range(1, n_steps + 1):
+            positions, velocities = self.step_fn(positions, velocities,
+                                                 self.accel, dt)
+            t += dt
+            if step % record_every == 0:
+                times.append(t)
+                pos_hist.append(positions.copy())
+                vel_hist.append(velocities.copy())
+        return Trajectory(times=np.array(times),
+                          positions=np.stack(pos_hist),
+                          velocities=np.stack(vel_hist),
+                          body_names=tuple(b.name for b in self.bodies),
+                          masses=masses)
+
+
+def third_planet_scenario(third_mass: float = 0.05,
+                          third_distance: float = 3.0,
+                          mass_ratio: float = 0.5,
+                          separation: float = 1.0) -> List[Body]:
+    """The §III-C ontological scenario: reality contains a third planet.
+
+    "We assumed that there are only two planets ... However, at some point
+    we observe a behavior of the planets that contradicts the prediction by
+    the models due to the influence of a third planet."
+
+    Returns the *true* three-body system; the analyst's two-body models are
+    built from the first two bodies only.  The third planet is placed on a
+    wide circular orbit around the inner pair's barycenter.
+    """
+    if third_mass < 0.0:
+        raise SimulationError("third_mass must be non-negative")
+    if third_distance <= separation:
+        raise SimulationError(
+            "third planet must be outside the inner pair "
+            f"(third_distance={third_distance} <= separation={separation})")
+    bodies = make_two_planet_universe(mass_ratio=mass_ratio, separation=separation)
+    inner_mass = sum(b.mass for b in bodies)
+    import math
+    speed = math.sqrt((inner_mass + third_mass) / third_distance)
+    third = Body("planet3", max(third_mass, 1e-12),
+                 np.array([0.0, third_distance]),
+                 np.array([-speed, 0.0]))
+    bodies.append(third)
+    # Re-zero total momentum so the barycenter stays put.
+    masses, _, velocities = system_arrays(bodies)
+    vcom = (masses[:, None] * velocities).sum(axis=0) / masses.sum()
+    for b in bodies:
+        b.velocity = b.velocity - vcom
+    return bodies
+
+
+def prediction_residuals(truth: Trajectory, model: Trajectory,
+                         body: str) -> np.ndarray:
+    """Per-step Euclidean prediction error of one body's position.
+
+    Both trajectories must share the recording grid (same dt / steps); this
+    is the residual stream fed to the surprise monitors.
+    """
+    if truth.n_steps != model.n_steps:
+        raise SimulationError(
+            f"trajectories have different lengths ({truth.n_steps} vs "
+            f"{model.n_steps}); rerun with matching recording grids")
+    delta = truth.body_positions(body) - model.body_positions(body)
+    return np.linalg.norm(delta, axis=1)

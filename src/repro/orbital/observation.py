@@ -1,0 +1,139 @@
+"""Model B: the frequentist spatial-occupancy model of the two planets.
+
+"Another way to describe the system ... is to adopt the frequentist point
+of view.  This means, to build a probabilistic model by repeated
+observation of the positions.  With an infinite amount of observations,
+the exact probabilities to find either of the two bodies within a spatial
+frame can be inferred" (paper §II-A).
+
+With *finite* observations the estimated occupancy deviates from the true
+one — that gap is the epistemic uncertainty of model B, and it shrinks as
+observations accumulate (§III-B).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.information.entropy import entropy
+from repro.orbital.nbody import Trajectory
+
+
+def observe_positions(trajectory: Trajectory, body: str,
+                      rng: np.random.Generator, n_observations: int,
+                      noise_std: float = 0.0) -> np.ndarray:
+    """Sample observation times uniformly and return (noisy) positions.
+
+    This is the paper's "repeated observation" channel; measurement noise
+    adds an aleatory layer on top of the deterministic dynamics.
+    """
+    if n_observations <= 0:
+        raise SimulationError("n_observations must be positive")
+    idx = rng.integers(0, trajectory.n_steps, size=n_observations)
+    pos = trajectory.body_positions(body)[idx]
+    if noise_std > 0.0:
+        pos = pos + rng.normal(0.0, noise_std, size=pos.shape)
+    return pos
+
+
+class SpatialOccupancyModel:
+    """A 2-D histogram estimate of where a planet is found.
+
+    The "spatial frame" of the paper is one grid cell; ``probability_in``
+    answers the paper's canonical query "the probability that a planet is
+    found in a given spatial frame".
+    """
+
+    def __init__(self, extent: float, n_cells: int = 32,
+                 pseudocount: float = 0.0):
+        if extent <= 0.0:
+            raise SimulationError("extent must be positive")
+        if n_cells < 2:
+            raise SimulationError("need at least 2 cells per axis")
+        if pseudocount < 0.0:
+            raise SimulationError("pseudocount must be non-negative")
+        self.extent = float(extent)
+        self.n_cells = int(n_cells)
+        self.pseudocount = float(pseudocount)
+        self._counts = np.zeros((n_cells, n_cells))
+        self._n_inside = 0
+        self._n_outside = 0
+
+    @property
+    def edges(self) -> np.ndarray:
+        return np.linspace(-self.extent, self.extent, self.n_cells + 1)
+
+    @property
+    def n_observations(self) -> int:
+        return self._n_inside + self._n_outside
+
+    @property
+    def n_outside(self) -> int:
+        """Observations outside the modeled region.
+
+        A persistent excess here is an *ontological* signal: the body
+        visits space the model never considered.
+        """
+        return self._n_outside
+
+    def observe(self, positions: np.ndarray) -> None:
+        positions = np.atleast_2d(np.asarray(positions, dtype=float))
+        if positions.shape[1] != 2:
+            raise SimulationError("positions must be (n, 2)")
+        for x, y in positions:
+            i = self._cell_index(x)
+            j = self._cell_index(y)
+            if i is None or j is None:
+                self._n_outside += 1
+            else:
+                self._counts[i, j] += 1.0
+                self._n_inside += 1
+
+    def _cell_index(self, value: float) -> Optional[int]:
+        if not -self.extent <= value < self.extent:
+            return None
+        return int((value + self.extent) / (2.0 * self.extent) * self.n_cells)
+
+    def occupancy(self) -> np.ndarray:
+        """Estimated occupancy probabilities per cell (sums to ~1)."""
+        counts = self._counts + self.pseudocount
+        total = counts.sum()
+        if total <= 0.0:
+            raise SimulationError("no observations recorded yet")
+        return counts / total
+
+    def probability_in(self, x_range: Tuple[float, float],
+                       y_range: Tuple[float, float]) -> float:
+        """P(body in the axis-aligned frame), summing whole covered cells."""
+        occ = self.occupancy()
+        edges = self.edges
+        x_mask = (edges[:-1] >= x_range[0]) & (edges[1:] <= x_range[1])
+        y_mask = (edges[:-1] >= y_range[0]) & (edges[1:] <= y_range[1])
+        return float(occ[np.ix_(x_mask, y_mask)].sum())
+
+    def entropy(self) -> float:
+        """Shannon entropy of the occupancy distribution (nats)."""
+        occ = self.occupancy().ravel()
+        occ = occ[occ > 0]
+        return float(-(occ * np.log(occ)).sum())
+
+    def total_variation_distance(self, other: "SpatialOccupancyModel") -> float:
+        """TV distance between two occupancy estimates on the same grid.
+
+        Used as the epistemic-convergence metric: the distance between the
+        finite-sample model and a (large-sample) reference shrinks as
+        O(1/sqrt(n)).
+        """
+        if (self.n_cells != other.n_cells or
+                not math.isclose(self.extent, other.extent)):
+            raise SimulationError("occupancy grids are incompatible")
+        return float(0.5 * np.abs(self.occupancy() - other.occupancy()).sum())
+
+    def __repr__(self) -> str:
+        return (f"SpatialOccupancyModel(extent={self.extent}, "
+                f"cells={self.n_cells}x{self.n_cells}, "
+                f"n={self.n_observations})")

@@ -1,0 +1,57 @@
+"""Perception-chain simulation: the paper's §V-B worked example as a system.
+
+"Consider we want to develop a perception chain consisting of a camera
+with a machine learning algorithm that classifies objects."  This package
+provides:
+
+- a world/scenario generator whose ground-truth ontology is *larger* than
+  the deployed model's (cars, pedestrians, and a long tail of novel
+  objects — the controllable unknown-unknown rate),
+- sensor and classifier simulations parameterized by confusion matrices,
+- an uncertainty-aware ensemble classifier (epistemic output, refs [5,6]),
+- redundant diverse chains with voting and evidential fusion,
+- operational-design-domain (ODD) restriction, the prevention mean.
+"""
+
+from repro.perception.chain import (
+    PerceptionChain,
+    build_fig4_network,
+    estimate_cpt_from_simulation,
+    table1_cpt_rows,
+)
+from repro.perception.classifier import (
+    ConfusionMatrixClassifier,
+    UncertaintyAwareClassifier,
+)
+from repro.perception.odd import OperationalDesignDomain
+from repro.perception.redundancy import RedundantPerceptionSystem
+from repro.perception.sensors import CameraModel, SensorReading
+from repro.perception.world import (
+    CAR,
+    NONE_LABEL,
+    PEDESTRIAN,
+    UNCERTAIN_LABEL,
+    UNKNOWN,
+    ObjectInstance,
+    WorldModel,
+)
+
+__all__ = [
+    "PerceptionChain",
+    "build_fig4_network",
+    "estimate_cpt_from_simulation",
+    "table1_cpt_rows",
+    "ConfusionMatrixClassifier",
+    "UncertaintyAwareClassifier",
+    "OperationalDesignDomain",
+    "RedundantPerceptionSystem",
+    "CameraModel",
+    "SensorReading",
+    "ObjectInstance",
+    "WorldModel",
+    "CAR",
+    "PEDESTRIAN",
+    "UNKNOWN",
+    "NONE_LABEL",
+    "UNCERTAIN_LABEL",
+]

@@ -1,0 +1,150 @@
+"""Calibration analysis of uncertainty-aware classifiers.
+
+"Machine learning with epistemic uncertainty outputs" (paper §IV) is only
+an uncertainty-*tolerance* mean if the reported uncertainty is honest:
+when the ensemble says 80% confidence, it should be right ~80% of the
+time.  This module measures that — reliability diagrams, expected
+calibration error (ECE), and Brier score — for the chain's confidence
+signal, plus a selective-prediction (risk-coverage) analysis that shows
+what honest uncertainty buys at the vehicle level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.perception.chain import PerceptionChain
+from repro.perception.world import (
+    CAR,
+    NONE_LABEL,
+    PEDESTRIAN,
+    UNCERTAIN_LABEL,
+    UNKNOWN,
+    WorldModel,
+)
+
+
+@dataclass
+class CalibrationReport:
+    """Binned reliability statistics of a confidence signal."""
+
+    bin_edges: np.ndarray
+    bin_confidence: np.ndarray   # mean predicted confidence per bin
+    bin_accuracy: np.ndarray     # empirical accuracy per bin
+    bin_counts: np.ndarray
+    ece: float
+    brier: float
+    n: int
+
+    def reliability_rows(self) -> List[Tuple[float, float, int]]:
+        """(mean confidence, accuracy, count) per non-empty bin."""
+        return [(float(c), float(a), int(n))
+                for c, a, n in zip(self.bin_confidence, self.bin_accuracy,
+                                   self.bin_counts) if n > 0]
+
+
+def calibration_report(confidences: Sequence[float],
+                       correct: Sequence[bool],
+                       n_bins: int = 10) -> CalibrationReport:
+    """ECE / Brier / reliability bins for (confidence, correctness) pairs."""
+    conf = np.asarray(confidences, dtype=float)
+    corr = np.asarray(correct, dtype=bool)
+    if conf.shape != corr.shape or conf.size == 0:
+        raise SimulationError("confidences and correct must be equal-length, non-empty")
+    if np.any((conf < 0.0) | (conf > 1.0)):
+        raise SimulationError("confidences must be in [0, 1]")
+    if n_bins < 2:
+        raise SimulationError("n_bins must be >= 2")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    which = np.clip(np.digitize(conf, edges) - 1, 0, n_bins - 1)
+    bin_conf = np.zeros(n_bins)
+    bin_acc = np.zeros(n_bins)
+    counts = np.zeros(n_bins, dtype=int)
+    for b in range(n_bins):
+        mask = which == b
+        counts[b] = int(mask.sum())
+        if counts[b]:
+            bin_conf[b] = conf[mask].mean()
+            bin_acc[b] = corr[mask].mean()
+    weights = counts / conf.size
+    ece = float(np.sum(weights * np.abs(bin_acc - bin_conf)))
+    brier = float(np.mean((conf - corr.astype(float)) ** 2))
+    return CalibrationReport(bin_edges=edges, bin_confidence=bin_conf,
+                             bin_accuracy=bin_acc, bin_counts=counts,
+                             ece=ece, brier=brier, n=conf.size)
+
+
+def chain_calibration(chain: PerceptionChain, world: WorldModel,
+                      rng: np.random.Generator, n: int,
+                      n_bins: int = 10) -> CalibrationReport:
+    """Calibration of the chain's confidence (1 - epistemic score).
+
+    Scope: only *classification claims* are calibrated — outputs of
+    ``car``, ``pedestrian`` or the explicit ``car/pedestrian`` set-claim.
+    A ``none`` output is a detection outcome, not a confidence-bearing
+    claim about an object's class, so it is excluded here (its risk is
+    measured by the hazard-rate analyses instead).  The set-claim is
+    graded as correct iff the truth is one of the two classes.
+    """
+    if n <= 0:
+        raise SimulationError("n must be positive")
+    confidences, correct = [], []
+    while len(confidences) < n:
+        obj = world.sample_object(rng)
+        output, score = chain.perceive_with_score(obj, rng)
+        if output == NONE_LABEL:
+            continue
+        confidence = 1.0 - score
+        if output == UNCERTAIN_LABEL:
+            is_correct = obj.label in (CAR, PEDESTRIAN)
+        else:
+            is_correct = output == obj.label
+        confidences.append(confidence)
+        correct.append(is_correct)
+    return calibration_report(confidences, correct, n_bins)
+
+
+@dataclass
+class RiskCoveragePoint:
+    threshold: float
+    coverage: float
+    selective_risk: float
+
+
+def risk_coverage_curve(chain: PerceptionChain, world: WorldModel,
+                        rng: np.random.Generator, n: int,
+                        thresholds: Sequence[float] = (0.0, 0.1, 0.2, 0.3,
+                                                       0.4, 0.5)
+                        ) -> List[RiskCoveragePoint]:
+    """Selective prediction: refuse to commit when the epistemic score
+    exceeds a threshold; report (coverage, risk-on-accepted) per threshold.
+
+    The tolerance argument in one curve: honest uncertainty lets the
+    system trade coverage for a lower committed-error rate.
+    """
+    if n <= 0:
+        raise SimulationError("n must be positive")
+    samples = []
+    while len(samples) < n:
+        obj = world.sample_object(rng)
+        output, score = chain.perceive_with_score(obj, rng)
+        if output == NONE_LABEL:
+            continue  # detection outcome, not a classification claim
+        committed_wrong = (output in (CAR, PEDESTRIAN) and
+                           output != obj.label)
+        samples.append((score, output, committed_wrong))
+    curve = []
+    for threshold in thresholds:
+        accepted = [(s, o, w) for s, o, w in samples
+                    if s <= threshold and o != UNCERTAIN_LABEL]
+        coverage = len(accepted) / n
+        risk = (sum(w for _, _, w in accepted) / len(accepted)
+                if accepted else 0.0)
+        curve.append(RiskCoveragePoint(threshold=threshold,
+                                       coverage=coverage,
+                                       selective_risk=risk))
+    return curve

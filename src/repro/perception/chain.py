@@ -1,0 +1,198 @@
+"""The perception chain and the paper's Fig. 4 / Table I artifacts.
+
+Combines camera and classifier into an end-to-end chain, provides the
+exact Table I CPT (with the published normalization defect documented and
+repaired), builds the Fig. 4 Bayesian network, and re-estimates the CPT
+from simulation — the TAB1 reproduction experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.variable import Variable
+from repro.errors import SimulationError
+from repro.perception.classifier import (
+    ASSESSMENT_LABELS,
+    ConfusionMatrixClassifier,
+    UncertaintyAwareClassifier,
+)
+from repro.perception.sensors import CameraModel
+from repro.perception.world import (
+    CAR,
+    NONE_LABEL,
+    PEDESTRIAN,
+    UNCERTAIN_LABEL,
+    UNKNOWN,
+    ObjectInstance,
+    WorldModel,
+)
+
+GROUND_TRUTH_STATES = (CAR, PEDESTRIAN, UNKNOWN)
+PERCEPTION_STATES = ASSESSMENT_LABELS  # car, pedestrian, car/pedestrian, none
+
+#: The paper's ground-truth prior: "P_car = 0.6, P_ped = 0.3, P_unknown = 0.1".
+PAPER_PRIOR: Dict[str, float] = {CAR: 0.6, PEDESTRIAN: 0.3, UNKNOWN: 0.1}
+
+#: Table I exactly as printed.  NOTE a published defect: the "unknown" row
+#: sums to 0.9 (0 + 0 + 0.2 + 0.7), not 1.0.  ``table1_cpt_rows`` repairs it
+#: by proportional renormalization (documented in EXPERIMENTS.md).
+PAPER_TABLE1_RAW: Dict[str, Dict[str, float]] = {
+    CAR: {CAR: 0.9, PEDESTRIAN: 0.005, UNCERTAIN_LABEL: 0.05, NONE_LABEL: 0.045},
+    PEDESTRIAN: {CAR: 0.005, PEDESTRIAN: 0.9, UNCERTAIN_LABEL: 0.05,
+                 NONE_LABEL: 0.045},
+    UNKNOWN: {CAR: 0.0, PEDESTRIAN: 0.0, UNCERTAIN_LABEL: 0.2, NONE_LABEL: 0.7},
+}
+
+
+def table1_cpt_rows(repair: str = "renormalize") -> Dict[Tuple[str, ...],
+                                                         Dict[str, float]]:
+    """The Table I CPT rows, with the unknown-row defect repaired.
+
+    Parameters
+    ----------
+    repair:
+        ``"renormalize"`` scales the unknown row by 1/0.9 (preserves the
+        printed 2:7 odds); ``"none_absorbs"`` adds the missing 0.1 to the
+        ``none`` state (assumes a typo for 0.8).
+    """
+    if repair not in ("renormalize", "none_absorbs"):
+        raise SimulationError(f"unknown repair mode {repair!r}")
+    rows: Dict[Tuple[str, ...], Dict[str, float]] = {}
+    for truth, row in PAPER_TABLE1_RAW.items():
+        fixed = dict(row)
+        total = sum(fixed.values())
+        if abs(total - 1.0) > 1e-9:
+            if repair == "renormalize":
+                fixed = {k: v / total for k, v in fixed.items()}
+            else:
+                fixed[NONE_LABEL] += 1.0 - total
+        rows[(truth,)] = fixed
+    return rows
+
+
+def ground_truth_variable() -> Variable:
+    return Variable("ground_truth", GROUND_TRUTH_STATES)
+
+
+def perception_variable() -> Variable:
+    return Variable("perception", PERCEPTION_STATES)
+
+
+def build_fig4_network(prior: Optional[Mapping[str, float]] = None,
+                       cpt_rows: Optional[Mapping[Tuple[str, ...],
+                                                  Mapping[str, float]]] = None,
+                       repair: str = "renormalize") -> BayesianNetwork:
+    """The Fig. 4 Bayesian network: ground_truth -> perception."""
+    gt = ground_truth_variable()
+    pc = perception_variable()
+    bn = BayesianNetwork("fig4-perception-chain")
+    bn.add_cpt(CPT.prior(gt, dict(prior or PAPER_PRIOR)))
+    rows = {tuple(k): dict(v) for k, v in
+            (cpt_rows or table1_cpt_rows(repair)).items()}
+    bn.add_cpt(CPT.from_dict(pc, [gt], rows))
+    return bn
+
+
+class PerceptionChain:
+    """Camera + classifier end-to-end, with uncertainty-aware option.
+
+    ``perceive`` returns one of the four Fig. 4 perception states: the
+    uncertainty-aware classifier can emit the epistemic ``car/pedestrian``
+    state, a plain classifier never does.
+    """
+
+    def __init__(self, camera: Optional[CameraModel] = None,
+                 classifier: Optional[ConfusionMatrixClassifier] = None,
+                 uncertainty_aware: bool = True,
+                 ensemble_seed: int = 1234):
+        self.camera = camera or CameraModel()
+        base = classifier or ConfusionMatrixClassifier()
+        self.base_classifier = base
+        self.uncertainty_aware = uncertainty_aware
+        self._ensemble = (UncertaintyAwareClassifier(base, seed=ensemble_seed)
+                          if uncertainty_aware else None)
+
+    def perceive(self, obj: ObjectInstance, rng: np.random.Generator) -> str:
+        reading = self.camera.sense(obj, rng)
+        if self._ensemble is not None:
+            label, _ = self._ensemble.classify(reading, rng)
+            return label
+        return self.base_classifier.classify(reading, rng)
+
+    def perceive_with_score(self, obj: ObjectInstance,
+                            rng: np.random.Generator) -> Tuple[str, float]:
+        """(label, epistemic score); score is 0 for the plain classifier."""
+        reading = self.camera.sense(obj, rng)
+        if self._ensemble is not None:
+            return self._ensemble.classify(reading, rng)
+        return self.base_classifier.classify(reading, rng), 0.0
+
+    def run_campaign(self, world: WorldModel, rng: np.random.Generator,
+                     n_objects: int) -> List[Tuple[ObjectInstance, str]]:
+        """Simulate ``n_objects`` encounters; returns (object, output) pairs."""
+        out = []
+        for _ in range(n_objects):
+            obj = world.sample_object(rng)
+            out.append((obj, self.perceive(obj, rng)))
+        return out
+
+    def __repr__(self) -> str:
+        return (f"PerceptionChain(uncertainty_aware={self.uncertainty_aware})")
+
+
+def estimate_cpt_from_simulation(chain: PerceptionChain, world: WorldModel,
+                                 rng: np.random.Generator, n_objects: int,
+                                 pseudocount: float = 1.0) -> CPT:
+    """Re-estimate the Table I CPT empirically from simulated encounters.
+
+    This is the TAB1 experiment: how close does a measured perception CPT
+    come to the elicited one, and how do its credible intervals shrink.
+    """
+    if n_objects <= 0:
+        raise SimulationError("n_objects must be positive")
+    counts = {truth: {out: pseudocount for out in PERCEPTION_STATES}
+              for truth in GROUND_TRUTH_STATES}
+    for obj, output in chain.run_campaign(world, rng, n_objects):
+        counts[obj.label][output] += 1.0
+    rows: Dict[Tuple[str, ...], Dict[str, float]] = {}
+    for truth, row in counts.items():
+        total = sum(row.values())
+        rows[(truth,)] = {out: c / total for out, c in row.items()}
+    return CPT.from_dict(perception_variable(), [ground_truth_variable()], rows)
+
+
+def empirical_label_counts(chain: PerceptionChain, world: WorldModel,
+                           rng: np.random.Generator,
+                           n_objects: int) -> Dict[str, Dict[str, int]]:
+    """Raw (ground truth x output) counts from a simulated campaign."""
+    counts = {truth: {out: 0 for out in PERCEPTION_STATES}
+              for truth in GROUND_TRUTH_STATES}
+    for obj, output in chain.run_campaign(world, rng, n_objects):
+        counts[obj.label][output] += 1
+    return counts
+
+
+def hazardous_misperception_rate(chain: PerceptionChain, world: WorldModel,
+                                 rng: np.random.Generator,
+                                 n_objects: int) -> float:
+    """Fraction of encounters ending in a hazardous misperception.
+
+    Hazard definition used across the means benchmarks: a real object
+    (any label) perceived as ``none`` — the vehicle would not react —
+    or an ``unknown`` object confidently classified as car/pedestrian
+    (the system believes it understands something it does not).
+    """
+    if n_objects <= 0:
+        raise SimulationError("n_objects must be positive")
+    hazards = 0
+    for obj, output in chain.run_campaign(world, rng, n_objects):
+        if output == NONE_LABEL:
+            hazards += 1
+        elif obj.label == UNKNOWN and output in (CAR, PEDESTRIAN):
+            hazards += 1
+    return hazards / n_objects

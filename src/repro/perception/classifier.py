@@ -1,0 +1,157 @@
+"""Classifier simulations: plain confusion-matrix and uncertainty-aware.
+
+The plain classifier reproduces the abstraction of the paper's Table I — a
+stochastic map from ground truth to an output label.  The
+uncertainty-aware variant simulates the "machine learning with epistemic
+uncertainty outputs" the paper lists as an uncertainty-*tolerance* means
+(refs [5], [6]): an ensemble whose member disagreement is surfaced as an
+explicit "car/pedestrian" (don't-know-which) output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.perception.sensors import SensorReading
+from repro.perception.world import (
+    CAR,
+    NONE_LABEL,
+    PEDESTRIAN,
+    UNCERTAIN_LABEL,
+    UNKNOWN,
+)
+
+OUTPUT_LABELS = (CAR, PEDESTRIAN, NONE_LABEL)
+ASSESSMENT_LABELS = (CAR, PEDESTRIAN, UNCERTAIN_LABEL, NONE_LABEL)
+
+
+def _validate_confusion(confusion: Mapping[str, Mapping[str, float]]) -> None:
+    for truth, row in confusion.items():
+        extra = set(row) - set(OUTPUT_LABELS)
+        if extra:
+            raise SimulationError(
+                f"confusion row {truth!r} has invalid outputs {sorted(extra)}")
+        total = sum(row.values())
+        if abs(total - 1.0) > 1e-9:
+            raise SimulationError(
+                f"confusion row {truth!r} sums to {total}, expected 1")
+        if any(p < 0 for p in row.values()):
+            raise SimulationError(f"confusion row {truth!r} has negative entries")
+
+
+DEFAULT_CONFUSION: Dict[str, Dict[str, float]] = {
+    # Rows consistent with the spirit of Table I (collapsing the paper's
+    # epistemic 'car/pedestrian' column back into the error budget).
+    CAR: {CAR: 0.93, PEDESTRIAN: 0.02, NONE_LABEL: 0.05},
+    PEDESTRIAN: {CAR: 0.02, PEDESTRIAN: 0.93, NONE_LABEL: 0.05},
+    UNKNOWN: {CAR: 0.12, PEDESTRIAN: 0.12, NONE_LABEL: 0.76},
+}
+
+
+class ConfusionMatrixClassifier:
+    """A classifier defined by per-ground-truth output distributions.
+
+    Feature quality modulates the confusion: at quality 1 the nominal
+    matrix applies; as quality drops, mass shifts toward errors and
+    ``none``.  Undetected objects are always ``none``.
+    """
+
+    def __init__(self, confusion: Optional[Mapping[str, Mapping[str, float]]] = None,
+                 quality_sensitivity: float = 0.35):
+        confusion = {k: dict(v) for k, v in (confusion or DEFAULT_CONFUSION).items()}
+        _validate_confusion(confusion)
+        missing = {CAR, PEDESTRIAN, UNKNOWN} - set(confusion)
+        if missing:
+            raise SimulationError(f"confusion matrix missing rows {sorted(missing)}")
+        if not 0.0 <= quality_sensitivity <= 1.0:
+            raise SimulationError("quality_sensitivity must be in [0, 1]")
+        self.confusion = confusion
+        self.quality_sensitivity = quality_sensitivity
+
+    def output_distribution(self, label: str, quality: float) -> Dict[str, float]:
+        """Output distribution for a ground-truth label at given quality."""
+        if label not in self.confusion:
+            raise SimulationError(f"unknown ground-truth label {label!r}")
+        if not 0.0 <= quality <= 1.0:
+            raise SimulationError("quality must be in [0, 1]")
+        nominal = self.confusion[label]
+        # Blend toward the 'degraded' distribution (mostly none + confusion).
+        degraded = {CAR: 0.15, PEDESTRIAN: 0.15, NONE_LABEL: 0.70}
+        w = 1.0 - self.quality_sensitivity * (1.0 - quality)
+        return {out: w * nominal[out] + (1.0 - w) * degraded[out]
+                for out in OUTPUT_LABELS}
+
+    def classify(self, reading: SensorReading, rng: np.random.Generator) -> str:
+        if not reading.detected:
+            return NONE_LABEL
+        dist = self.output_distribution(reading.label, reading.quality)
+        labels = list(dist)
+        probs = np.array([dist[l] for l in labels])
+        return labels[int(rng.choice(len(labels), p=probs / probs.sum()))]
+
+    def perturbed(self, rng: np.random.Generator, scale: float = 0.05
+                  ) -> "ConfusionMatrixClassifier":
+        """A randomly perturbed copy (ensemble member / diverse channel)."""
+        if scale < 0.0:
+            raise SimulationError("scale must be non-negative")
+        new_conf: Dict[str, Dict[str, float]] = {}
+        for truth, row in self.confusion.items():
+            probs = np.array([row[l] for l in OUTPUT_LABELS])
+            noise = rng.normal(0.0, scale, size=probs.shape)
+            perturbed = np.clip(probs + noise, 1e-4, None)
+            perturbed = perturbed / perturbed.sum()
+            new_conf[truth] = dict(zip(OUTPUT_LABELS, (float(p) for p in perturbed)))
+        return ConfusionMatrixClassifier(new_conf, self.quality_sensitivity)
+
+    def __repr__(self) -> str:
+        return f"ConfusionMatrixClassifier(sensitivity={self.quality_sensitivity})"
+
+
+class UncertaintyAwareClassifier:
+    """Ensemble classifier that exposes epistemic uncertainty.
+
+    Runs ``n_members`` perturbed confusion classifiers; when members
+    disagree between ``car`` and ``pedestrian`` beyond
+    ``disagreement_threshold``, it outputs the paper's explicit epistemic
+    state ``car/pedestrian`` instead of committing.  This realizes
+    "components that can detect uncertainty" (uncertainty tolerance, §IV).
+    """
+
+    def __init__(self, base: Optional[ConfusionMatrixClassifier] = None,
+                 n_members: int = 7, perturbation: float = 0.06,
+                 disagreement_threshold: float = 0.3,
+                 seed: int = 1234):
+        if n_members < 2:
+            raise SimulationError("ensemble needs at least 2 members")
+        if not 0.0 <= disagreement_threshold <= 1.0:
+            raise SimulationError("disagreement_threshold must be in [0, 1]")
+        base = base or ConfusionMatrixClassifier()
+        member_rng = np.random.default_rng(seed)
+        self.members = [base.perturbed(member_rng, perturbation)
+                        for _ in range(n_members)]
+        self.disagreement_threshold = disagreement_threshold
+
+    def classify(self, reading: SensorReading,
+                 rng: np.random.Generator) -> Tuple[str, float]:
+        """Return (assessment label, epistemic disagreement score)."""
+        if not reading.detected:
+            return NONE_LABEL, 0.0
+        votes = [m.classify(reading, rng) for m in self.members]
+        counts = {l: votes.count(l) for l in OUTPUT_LABELS}
+        n = len(votes)
+        top_label = max(counts, key=lambda l: counts[l])
+        # Epistemic score: 1 - margin of the winning label.
+        disagreement = 1.0 - counts[top_label] / n
+        cp = counts[CAR] + counts[PEDESTRIAN]
+        if (cp > counts[NONE_LABEL] and
+                min(counts[CAR], counts[PEDESTRIAN]) / n >= self.disagreement_threshold / 2
+                and disagreement >= self.disagreement_threshold):
+            return UNCERTAIN_LABEL, disagreement
+        return top_label, disagreement
+
+    def __repr__(self) -> str:
+        return (f"UncertaintyAwareClassifier(members={len(self.members)}, "
+                f"threshold={self.disagreement_threshold})")

@@ -1,0 +1,80 @@
+"""Operational design domain (ODD) restriction — uncertainty prevention.
+
+"Uncertainty prevention can e.g. be achieved by ... restriction of the
+operational design domain" (paper §IV).  An ODD is a predicate over
+scenario attributes; restricting it changes the encounter distribution the
+deployed system faces, trading availability for a lower unknown-unknown
+rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.perception.world import ObjectInstance, WorldModel
+
+
+@dataclass(frozen=True)
+class OperationalDesignDomain:
+    """Constraints on the conditions under which the system may operate."""
+
+    allow_night: bool = True
+    allow_rain: bool = True
+    max_distance: float = float("inf")
+    max_occlusion: float = 1.0
+    unknown_exposure_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_distance <= 0.0:
+            raise SimulationError("max_distance must be positive")
+        if not 0.0 <= self.max_occlusion <= 1.0:
+            raise SimulationError("max_occlusion must be in [0, 1]")
+        if not 0.0 <= self.unknown_exposure_factor <= 1.0:
+            raise SimulationError("unknown_exposure_factor must be in [0, 1]")
+
+    def admits(self, obj: ObjectInstance) -> bool:
+        """Is this encounter inside the ODD?"""
+        if obj.night and not self.allow_night:
+            return False
+        if obj.rain and not self.allow_rain:
+            return False
+        if obj.distance > self.max_distance:
+            return False
+        if obj.occlusion > self.max_occlusion:
+            return False
+        return True
+
+    def restricted_world(self, world: WorldModel) -> WorldModel:
+        """The encounter distribution inside the ODD.
+
+        Condition rates collapse for excluded conditions; the unknown rate
+        scales by ``unknown_exposure_factor`` (a geo-fenced domain exposes
+        the vehicle to fewer novel object kinds).
+        """
+        return world.restricted(
+            p_unknown=world.p_unknown * self.unknown_exposure_factor,
+            night_rate=world.night_rate if self.allow_night else 0.0,
+            rain_rate=world.rain_rate if self.allow_rain else 0.0,
+        )
+
+    def availability(self, world: WorldModel, rng: np.random.Generator,
+                     n_samples: int = 2000) -> float:
+        """Fraction of unrestricted encounters the ODD admits — the cost of
+        prevention (a tighter ODD means the function is available less)."""
+        if n_samples <= 0:
+            raise SimulationError("n_samples must be positive")
+        admitted = sum(self.admits(world.sample_object(rng))
+                       for _ in range(n_samples))
+        return admitted / n_samples
+
+
+FULL_ODD = OperationalDesignDomain()
+
+#: A conservative launch ODD: daytime, dry, close range, geo-fenced.
+RESTRICTED_ODD = OperationalDesignDomain(
+    allow_night=False, allow_rain=False, max_distance=60.0,
+    max_occlusion=0.5, unknown_exposure_factor=0.3)

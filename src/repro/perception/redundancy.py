@@ -1,0 +1,160 @@
+"""Redundant perception architectures with diverse uncertainties.
+
+The paper's §V closes: "it can also be demonstrated that redundant
+architectures with diverse uncertainties can be used to build uncertainty
+tolerant systems", and §IV lists "redundant architectures (e.g.
+overlapping field of views of sensors)" as a tolerance mean.  This module
+builds multi-channel perception systems whose channels have *different*
+confusion profiles (diversity) and fuses them by voting or by
+Dempster-Shafer combination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.evidence.combination import combine_many
+from repro.evidence.mass_function import FrameOfDiscernment, MassFunction
+from repro.perception.chain import PerceptionChain
+from repro.perception.world import (
+    CAR,
+    NONE_LABEL,
+    PEDESTRIAN,
+    UNCERTAIN_LABEL,
+    UNKNOWN,
+    ObjectInstance,
+    WorldModel,
+)
+
+PERCEPTION_FRAME = FrameOfDiscernment([CAR, PEDESTRIAN, NONE_LABEL])
+
+
+def output_to_mass(output: str, reliability: float = 0.9) -> MassFunction:
+    """Encode one channel's output as a discounted mass function.
+
+    ``car/pedestrian`` maps to mass on the *set* {car, pedestrian} — the
+    epistemic output becomes first-class evidence rather than being forced
+    into a point label.
+    """
+    if not 0.0 < reliability <= 1.0:
+        raise SimulationError("reliability must be in (0, 1]")
+    if output == UNCERTAIN_LABEL:
+        focal = [CAR, PEDESTRIAN]
+    elif output in (CAR, PEDESTRIAN, NONE_LABEL):
+        focal = [output]
+    else:
+        raise SimulationError(f"invalid channel output {output!r}")
+    return MassFunction.simple_support(PERCEPTION_FRAME, focal, reliability)
+
+
+class RedundantPerceptionSystem:
+    """N diverse perception chains + a fusion rule.
+
+    Fusion rules
+    ------------
+    - ``majority``: plain vote over {car, pedestrian, none};
+      ``car/pedestrian`` outputs count half for each.
+    - ``conservative``: any channel reporting an object (car/pedestrian/
+      uncertain) wins over ``none`` — prioritizes not missing objects.
+    - ``dempster`` / ``yager``: evidential fusion of the channels' mass
+      functions, decided by maximum pignistic probability.
+    """
+
+    FUSIONS = ("majority", "conservative", "dempster", "yager")
+
+    def __init__(self, chains: Sequence[PerceptionChain],
+                 fusion: str = "dempster",
+                 channel_reliability: float = 0.9):
+        if not chains:
+            raise SimulationError("at least one chain required")
+        if fusion not in self.FUSIONS:
+            raise SimulationError(f"unknown fusion {fusion!r}; "
+                                  f"choose from {self.FUSIONS}")
+        self.chains = list(chains)
+        self.fusion = fusion
+        self.channel_reliability = channel_reliability
+
+    @property
+    def n_channels(self) -> int:
+        return len(self.chains)
+
+    def channel_outputs(self, obj: ObjectInstance,
+                        rng: np.random.Generator) -> List[str]:
+        return [chain.perceive(obj, rng) for chain in self.chains]
+
+    def fuse(self, outputs: Sequence[str]) -> str:
+        if self.fusion == "majority":
+            scores = {CAR: 0.0, PEDESTRIAN: 0.0, NONE_LABEL: 0.0}
+            for out in outputs:
+                if out == UNCERTAIN_LABEL:
+                    scores[CAR] += 0.5
+                    scores[PEDESTRIAN] += 0.5
+                else:
+                    scores[out] += 1.0
+            return max(scores, key=lambda k: scores[k])
+        if self.fusion == "conservative":
+            object_votes = [o for o in outputs if o != NONE_LABEL]
+            if not object_votes:
+                return NONE_LABEL
+            if all(o == CAR for o in object_votes):
+                return CAR
+            if all(o == PEDESTRIAN for o in object_votes):
+                return PEDESTRIAN
+            return UNCERTAIN_LABEL
+        # Evidential fusion.
+        masses = [output_to_mass(o, self.channel_reliability) for o in outputs]
+        rule = "dempster" if self.fusion == "dempster" else "yager"
+        combined = combine_many(masses, rule=rule)
+        pig = combined.to_categorical_pignistic().probabilities
+        return max(pig, key=lambda k: pig[k])
+
+    def perceive(self, obj: ObjectInstance, rng: np.random.Generator) -> str:
+        return self.fuse(self.channel_outputs(obj, rng))
+
+    def hazard_rate(self, world: WorldModel, rng: np.random.Generator,
+                    n_objects: int) -> float:
+        """Hazardous-misperception rate of the fused system.
+
+        Same hazard definition as
+        :func:`repro.perception.chain.hazardous_misperception_rate`.
+        """
+        if n_objects <= 0:
+            raise SimulationError("n_objects must be positive")
+        hazards = 0
+        for _ in range(n_objects):
+            obj = world.sample_object(rng)
+            output = self.perceive(obj, rng)
+            if output == NONE_LABEL:
+                hazards += 1
+            elif obj.label == UNKNOWN and output in (CAR, PEDESTRIAN):
+                hazards += 1
+        return hazards / n_objects
+
+    def __repr__(self) -> str:
+        return (f"RedundantPerceptionSystem(channels={self.n_channels}, "
+                f"fusion={self.fusion!r})")
+
+
+def make_diverse_chains(n: int, rng: np.random.Generator,
+                        diversity: float = 0.1,
+                        uncertainty_aware: bool = True) -> List[PerceptionChain]:
+    """Build ``n`` chains with perturbed (diverse) confusion profiles.
+
+    ``diversity`` controls how different the channels' uncertainty
+    profiles are; 0 reproduces identical (common-cause-prone) channels —
+    the EXT-E ablation axis.
+    """
+    if n < 1:
+        raise SimulationError("n must be at least 1")
+    from repro.perception.classifier import ConfusionMatrixClassifier
+    base = ConfusionMatrixClassifier()
+    chains = []
+    for i in range(n):
+        clf = base.perturbed(rng, diversity) if diversity > 0 else base
+        chains.append(PerceptionChain(classifier=clf,
+                                      uncertainty_aware=uncertainty_aware,
+                                      ensemble_seed=1000 + i))
+    return chains

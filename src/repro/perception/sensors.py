@@ -1,0 +1,92 @@
+"""Sensor (camera) simulation for the perception chain.
+
+The camera degrades with distance, occlusion, night and rain; its output
+is an abstract feature-quality score that the downstream classifier
+consumes.  This keeps the chain faithful to the paper's abstraction level
+(a CPT) while giving the context attributes a causal path into
+misclassification — the hook for ODD-restriction experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.perception.world import ObjectInstance
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """Output of one camera exposure on one object."""
+
+    detected: bool
+    quality: float  # feature quality in [0, 1]; 0 when not detected
+    true_class: str
+    label: str
+
+
+class CameraModel:
+    """A camera with distance/occlusion/weather-dependent performance.
+
+    Parameters
+    ----------
+    max_range:
+        Distance at which detection probability reaches its floor.
+    base_detection:
+        Detection probability for a close, unoccluded object in daylight.
+    night_penalty, rain_penalty:
+        Multiplicative quality penalties for adverse conditions.
+    """
+
+    def __init__(self, max_range: float = 150.0, base_detection: float = 0.995,
+                 night_penalty: float = 0.8, rain_penalty: float = 0.9):
+        if max_range <= 0.0:
+            raise SimulationError("max_range must be positive")
+        for name, v in (("base_detection", base_detection),
+                        ("night_penalty", night_penalty),
+                        ("rain_penalty", rain_penalty)):
+            if not 0.0 <= v <= 1.0:
+                raise SimulationError(f"{name} must be in [0, 1], got {v}")
+        self.max_range = max_range
+        self.base_detection = base_detection
+        self.night_penalty = night_penalty
+        self.rain_penalty = rain_penalty
+
+    def quality_of(self, obj: ObjectInstance) -> float:
+        """Deterministic expected feature quality for an object's context."""
+        distance_factor = max(0.15, 1.0 - 0.7 * obj.distance / self.max_range)
+        quality = distance_factor * (1.0 - 0.8 * obj.occlusion)
+        if obj.night:
+            quality *= self.night_penalty
+        if obj.rain:
+            quality *= self.rain_penalty
+        return float(np.clip(quality, 0.0, 1.0))
+
+    def detection_probability(self, obj: ObjectInstance) -> float:
+        """P(object detected at all) as a function of feature quality."""
+        q = self.quality_of(obj)
+        return self.base_detection * (0.7 + 0.3 * q)
+
+    def sense(self, obj: ObjectInstance, rng: np.random.Generator) -> SensorReading:
+        """One stochastic exposure."""
+        p_det = self.detection_probability(obj)
+        detected = bool(rng.random() < p_det)
+        if not detected:
+            return SensorReading(detected=False, quality=0.0,
+                                 true_class=obj.true_class, label=obj.label)
+        # Beta noise around the deterministic quality.
+        q = self.quality_of(obj)
+        concentration = 30.0
+        a = max(q * concentration, 1e-3)
+        b = max((1.0 - q) * concentration, 1e-3)
+        noisy_q = float(rng.beta(a, b))
+        return SensorReading(detected=True, quality=noisy_q,
+                             true_class=obj.true_class, label=obj.label)
+
+    def __repr__(self) -> str:
+        return (f"CameraModel(max_range={self.max_range}, "
+                f"base_detection={self.base_detection})")

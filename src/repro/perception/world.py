@@ -1,0 +1,156 @@
+"""Ground-truth world model and scenario generation.
+
+The deployed perception model's ontology is {car, pedestrian}; the *world*
+additionally contains a long tail of novel object kinds (the paper's
+"unknown" state, §V-B, and the "long furry tail of unlikely events" of
+refs [30, 31]).  The generator makes the unknown-unknown rate an explicit,
+controllable parameter so ontological uncertainty becomes measurable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.probability.distributions import Categorical
+
+CAR = "car"
+PEDESTRIAN = "pedestrian"
+UNKNOWN = "unknown"  # aggregate label for everything outside the ontology
+NONE_LABEL = "none"
+UNCERTAIN_LABEL = "car/pedestrian"  # the paper's epistemic assessment state
+
+KNOWN_CLASSES = (CAR, PEDESTRIAN)
+
+# A long tail of concrete novel object kinds aggregated as "unknown".
+DEFAULT_NOVEL_KINDS = (
+    "kangaroo", "deer", "moose", "debris", "shopping_cart", "wheelchair",
+    "horse_carriage", "construction_barrel", "couch", "ladder",
+    "tumbleweed", "escaped_zoo_animal",
+)
+
+
+@dataclass(frozen=True)
+class ObjectInstance:
+    """One object encountered by the vehicle.
+
+    ``true_class`` is the fine-grained reality ("kangaroo"); ``label`` is
+    its coarse ground-truth category ("car"/"pedestrian"/"unknown") — the
+    resolution at which the paper's Fig. 4 BN operates.  Context attributes
+    modulate sensor performance.
+    """
+
+    true_class: str
+    label: str
+    distance: float
+    occlusion: float
+    night: bool
+    rain: bool
+
+    def __post_init__(self) -> None:
+        if self.label not in (CAR, PEDESTRIAN, UNKNOWN):
+            raise SimulationError(f"invalid label {self.label!r}")
+        if self.distance <= 0.0:
+            raise SimulationError("distance must be positive")
+        if not 0.0 <= self.occlusion <= 1.0:
+            raise SimulationError("occlusion must be in [0, 1]")
+
+
+class WorldModel:
+    """The aleatory model of what the vehicle encounters.
+
+    Parameters mirror the paper's priors: P(car)=0.6, P(pedestrian)=0.3,
+    P(unknown)=0.1.  The unknown mass is spread over ``novel_kinds`` with a
+    Zipf (power-law) tail so that some kinds stay unobserved for a long
+    time — the substrate for Good-Turing forecasting experiments.
+    """
+
+    def __init__(self, p_car: float = 0.6, p_pedestrian: float = 0.3,
+                 p_unknown: float = 0.1,
+                 novel_kinds: Sequence[str] = DEFAULT_NOVEL_KINDS,
+                 zipf_exponent: float = 1.5,
+                 night_rate: float = 0.3, rain_rate: float = 0.2):
+        total = p_car + p_pedestrian + p_unknown
+        if abs(total - 1.0) > 1e-9:
+            raise SimulationError(f"class priors must sum to 1, got {total}")
+        if p_unknown > 0 and not novel_kinds:
+            raise SimulationError("p_unknown > 0 requires novel kinds")
+        if not 0.0 <= night_rate <= 1.0 or not 0.0 <= rain_rate <= 1.0:
+            raise SimulationError("rates must be in [0, 1]")
+        self.p_car = p_car
+        self.p_pedestrian = p_pedestrian
+        self.p_unknown = p_unknown
+        self.novel_kinds = tuple(novel_kinds)
+        self.night_rate = night_rate
+        self.rain_rate = rain_rate
+        if self.novel_kinds:
+            ranks = np.arange(1, len(self.novel_kinds) + 1, dtype=float)
+            weights = ranks ** (-zipf_exponent)
+            self._novel_probs = weights / weights.sum()
+        else:
+            self._novel_probs = np.array([])
+
+    def label_prior(self) -> Categorical:
+        """The coarse ground-truth prior of the paper's Fig. 4 root node."""
+        return Categorical({CAR: self.p_car, PEDESTRIAN: self.p_pedestrian,
+                            UNKNOWN: self.p_unknown})
+
+    def fine_grained_prior(self) -> Categorical:
+        """The full aleatory world distribution over concrete kinds."""
+        probs: Dict[str, float] = {CAR: self.p_car, PEDESTRIAN: self.p_pedestrian}
+        for kind, w in zip(self.novel_kinds, self._novel_probs):
+            probs[kind] = self.p_unknown * float(w)
+        return Categorical(probs)
+
+    def sample_object(self, rng: np.random.Generator) -> ObjectInstance:
+        u = rng.random()
+        if u < self.p_car:
+            true_class, label = CAR, CAR
+        elif u < self.p_car + self.p_pedestrian:
+            true_class, label = PEDESTRIAN, PEDESTRIAN
+        else:
+            idx = int(rng.choice(len(self.novel_kinds), p=self._novel_probs))
+            true_class, label = self.novel_kinds[idx], UNKNOWN
+        distance = float(rng.uniform(5.0, 100.0))
+        occlusion = float(np.clip(rng.beta(1.2, 4.0), 0.0, 1.0))
+        night = bool(rng.random() < self.night_rate)
+        rain = bool(rng.random() < self.rain_rate)
+        return ObjectInstance(true_class=true_class, label=label,
+                              distance=distance, occlusion=occlusion,
+                              night=night, rain=rain)
+
+    def sample_scene(self, rng: np.random.Generator,
+                     n_objects: int) -> List[ObjectInstance]:
+        if n_objects < 0:
+            raise SimulationError("n_objects must be non-negative")
+        return [self.sample_object(rng) for _ in range(n_objects)]
+
+    def restricted(self, *, p_unknown: Optional[float] = None,
+                   night_rate: Optional[float] = None,
+                   rain_rate: Optional[float] = None) -> "WorldModel":
+        """A re-weighted world (used by ODD restriction).
+
+        Lowering ``p_unknown`` renormalizes the known-class mass up —
+        restricting where the vehicle drives changes what it encounters.
+        """
+        new_unknown = self.p_unknown if p_unknown is None else p_unknown
+        if not 0.0 <= new_unknown < 1.0:
+            raise SimulationError("p_unknown must be in [0, 1)")
+        known = self.p_car + self.p_pedestrian
+        scale = (1.0 - new_unknown) / known
+        return WorldModel(
+            p_car=self.p_car * scale,
+            p_pedestrian=self.p_pedestrian * scale,
+            p_unknown=new_unknown,
+            novel_kinds=self.novel_kinds,
+            night_rate=self.night_rate if night_rate is None else night_rate,
+            rain_rate=self.rain_rate if rain_rate is None else rain_rate,
+        )
+
+    def __repr__(self) -> str:
+        return (f"WorldModel(car={self.p_car}, ped={self.p_pedestrian}, "
+                f"unknown={self.p_unknown}, kinds={len(self.novel_kinds)})")

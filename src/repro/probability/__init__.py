@@ -1,0 +1,91 @@
+"""Probability substrate: distributions, sampling, estimation, imprecision.
+
+This package provides the probabilistic machinery every other subsystem
+builds on:
+
+- :mod:`repro.probability.distributions` — parametric distributions with
+  pdf/cdf/ppf/sampling/entropy implemented from scratch on numpy.
+- :mod:`repro.probability.sampling` — Monte Carlo, Latin hypercube and
+  low-discrepancy (Halton, Sobol-like) designs.
+- :mod:`repro.probability.estimation` — frequentist and Bayesian estimators,
+  credible intervals, and the Good-Turing unseen-mass estimator used for
+  ontological-uncertainty forecasting.
+- :mod:`repro.probability.intervals` — interval probabilities and p-boxes
+  (imprecise probability; epistemic uncertainty about probabilities).
+- :mod:`repro.probability.fuzzy` — fuzzy numbers with alpha-cut arithmetic,
+  the substrate for fuzzy fault tree analysis (Tanaka et al.).
+"""
+
+from repro.probability.distributions import (
+    Bernoulli,
+    Beta,
+    Binomial,
+    Categorical,
+    Dirichlet,
+    Distribution,
+    DiscreteDistribution,
+    Empirical,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Mixture,
+    Normal,
+    Poisson,
+    Triangular,
+    Uniform,
+)
+from repro.probability.estimation import (
+    BayesianCategoricalEstimator,
+    BayesianRateEstimator,
+    FrequentistEstimator,
+    GoodTuringEstimator,
+    beta_credible_interval,
+    wilson_interval,
+)
+from repro.probability.credal import ImpreciseDirichletModel
+from repro.probability.fuzzy import FuzzyNumber, TrapezoidalFuzzyNumber, TriangularFuzzyNumber
+from repro.probability.intervals import IntervalProbability, PBox
+from repro.probability.sensitivity import SobolResult, sobol_indices
+from repro.probability.sampling import (
+    halton_sequence,
+    latin_hypercube,
+    monte_carlo,
+    van_der_corput,
+)
+
+__all__ = [
+    "Bernoulli",
+    "Beta",
+    "Binomial",
+    "Categorical",
+    "Dirichlet",
+    "Distribution",
+    "DiscreteDistribution",
+    "Empirical",
+    "Exponential",
+    "Gamma",
+    "LogNormal",
+    "Mixture",
+    "Normal",
+    "Poisson",
+    "Triangular",
+    "Uniform",
+    "BayesianCategoricalEstimator",
+    "BayesianRateEstimator",
+    "FrequentistEstimator",
+    "GoodTuringEstimator",
+    "beta_credible_interval",
+    "wilson_interval",
+    "FuzzyNumber",
+    "TrapezoidalFuzzyNumber",
+    "TriangularFuzzyNumber",
+    "IntervalProbability",
+    "PBox",
+    "ImpreciseDirichletModel",
+    "SobolResult",
+    "sobol_indices",
+    "halton_sequence",
+    "latin_hypercube",
+    "monte_carlo",
+    "van_der_corput",
+]

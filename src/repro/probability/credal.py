@@ -1,0 +1,107 @@
+"""The Imprecise Dirichlet Model (Walley, paper ref. [23] lineage).
+
+Bayesian estimation needs a prior; with very little data the prior choice
+dominates, which is itself an epistemic-uncertainty problem.  Walley's
+IDM sidesteps it: instead of one Dirichlet prior, use the *set* of all
+Dirichlet priors with total concentration ``s``.  The posterior is then a
+set too, and every event probability gets an interval
+
+    P(o) in [ n_o / (n + s),  (n_o + s) / (n + s) ]
+
+whose width s/(n+s) shrinks with data but never depends on an arbitrary
+prior — the honest small-sample companion to
+:class:`~repro.probability.estimation.BayesianCategoricalEstimator`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import DistributionError
+from repro.probability.intervals import IntervalProbability
+
+
+class ImpreciseDirichletModel:
+    """IDM over a fixed outcome set with hyperparameter ``s``.
+
+    ``s`` (commonly 1 or 2) is the number of pseudo-observations the
+    adversarial prior may place anywhere; larger ``s`` = more caution.
+    """
+
+    def __init__(self, outcomes: Sequence[str], s: float = 2.0):
+        outcomes = [str(o) for o in outcomes]
+        if len(set(outcomes)) != len(outcomes) or not outcomes:
+            raise DistributionError("outcomes must be unique and non-empty")
+        if s <= 0.0:
+            raise DistributionError("s must be positive")
+        self.s = float(s)
+        self._counts: Dict[str, int] = {o: 0 for o in outcomes}
+        self._n = 0
+
+    @property
+    def outcomes(self) -> List[str]:
+        return list(self._counts)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def observe(self, outcome: str, count: int = 1) -> None:
+        if outcome not in self._counts:
+            raise DistributionError(
+                f"outcome {outcome!r} outside the declared set — extend the "
+                "model (ontological event), do not silently coerce")
+        if count < 0:
+            raise DistributionError("count must be non-negative")
+        self._counts[outcome] += count
+        self._n += count
+
+    def observe_sequence(self, outcomes: Iterable[str]) -> None:
+        for o in outcomes:
+            self.observe(o)
+
+    def probability_interval(self, outcome: str) -> IntervalProbability:
+        """[lower, upper] posterior probability of one outcome."""
+        if outcome not in self._counts:
+            raise DistributionError(f"unknown outcome {outcome!r}")
+        denom = self._n + self.s
+        lower = self._counts[outcome] / denom
+        upper = (self._counts[outcome] + self.s) / denom
+        return IntervalProbability(lower, upper)
+
+    def event_interval(self, event: Iterable[str]) -> IntervalProbability:
+        """[lower, upper] for a set of outcomes."""
+        members = set(event)
+        unknown = members - set(self._counts)
+        if unknown:
+            raise DistributionError(f"unknown outcomes {sorted(unknown)}")
+        count = sum(self._counts[o] for o in members)
+        denom = self._n + self.s
+        return IntervalProbability(count / denom,
+                                   min(1.0, (count + self.s) / denom))
+
+    def imprecision(self) -> float:
+        """Interval width s/(n+s): prior-free epistemic uncertainty."""
+        return self.s / (self._n + self.s)
+
+    def intervals(self) -> Dict[str, IntervalProbability]:
+        return {o: self.probability_interval(o) for o in self._counts}
+
+    def decide(self, outcome_a: str, outcome_b: str) -> Optional[str]:
+        """Interval dominance: which outcome is more probable, if decidable.
+
+        Returns the dominant outcome, or None when the intervals overlap —
+        the *undecided* verdict that point-valued estimation never gives,
+        telling the caller to gather data instead of guessing.
+        """
+        ia = self.probability_interval(outcome_a)
+        ib = self.probability_interval(outcome_b)
+        if ia.lower > ib.upper:
+            return outcome_a
+        if ib.lower > ia.upper:
+            return outcome_b
+        return None
+
+    def __repr__(self) -> str:
+        return (f"ImpreciseDirichletModel(n={self._n}, s={self.s}, "
+                f"imprecision={self.imprecision():.4g})")

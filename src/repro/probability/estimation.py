@@ -1,0 +1,348 @@
+"""Frequentist and Bayesian estimators of probabilistic model parameters.
+
+This module quantifies the paper's §III-B claim operationally: "With each
+new observation, our distribution parameters become more credible.  Hence,
+our knowledge increases and the epistemic uncertainty decreases with every
+observation."  The estimators here expose exactly that: point estimates
+(frequentist), credible intervals that shrink with data (Bayesian), and —
+for *ontological* uncertainty forecasting (§IV) — the Good-Turing estimate
+of the probability mass of categories never yet observed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.probability.distributions import Beta, Categorical, Dirichlet, Gamma, normal_ppf
+
+
+def wilson_interval(successes: int, trials: int,
+                    confidence: float = 0.95) -> Tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Preferred over the normal (Wald) interval for the small counts typical
+    of safety-relevant events; never escapes [0, 1].
+    """
+    if trials <= 0:
+        raise DistributionError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise DistributionError("successes must lie in [0, trials]")
+    if not 0.0 < confidence < 1.0:
+        raise DistributionError("confidence must be in (0, 1)")
+    z = float(normal_ppf(0.5 + confidence / 2.0))
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (phat + z * z / (2 * trials)) / denom
+    half = z * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials)) / denom
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+def beta_credible_interval(posterior: Beta, mass: float = 0.95) -> Tuple[float, float]:
+    """Equal-tailed credible interval of a Beta posterior."""
+    if not 0.0 < mass < 1.0:
+        raise DistributionError("mass must be in (0, 1)")
+    tail = (1.0 - mass) / 2.0
+    lo = float(posterior.ppf(tail))
+    hi = float(posterior.ppf(1.0 - tail))
+    return lo, hi
+
+
+class FrequentistEstimator:
+    """Frequentist estimation of a categorical distribution from counts.
+
+    This is the paper's "model B by repeated observation": with an infinite
+    number of observations the exact probabilities would be recovered; with
+    finitely many the gap between actual and observed frequencies is the
+    *epistemic* uncertainty of the probabilistic model.
+    """
+
+    def __init__(self, outcomes: Sequence[str]):
+        if not outcomes:
+            raise DistributionError("at least one outcome required")
+        self._counts: Counter = Counter({str(o): 0 for o in outcomes})
+        self._total = 0
+
+    @property
+    def outcomes(self) -> List[str]:
+        return list(self._counts)
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def observe(self, outcome: str, count: int = 1) -> None:
+        """Record observations; unseen outcomes extend the support
+        (an ontological event made epistemic by re-modeling)."""
+        if count < 0:
+            raise DistributionError("count must be non-negative")
+        self._counts[str(outcome)] += count
+        self._total += count
+
+    def observe_sequence(self, outcomes: Iterable[str]) -> None:
+        for o in outcomes:
+            self.observe(o)
+
+    def estimate(self) -> Categorical:
+        """Maximum-likelihood Categorical (relative frequencies)."""
+        if self._total == 0:
+            raise DistributionError("no observations recorded yet")
+        return Categorical({o: c / self._total for o, c in self._counts.items()})
+
+    def estimate_smoothed(self, pseudocount: float = 1.0) -> Categorical:
+        """Laplace-smoothed estimate; never assigns exactly zero mass."""
+        if pseudocount <= 0:
+            raise DistributionError("pseudocount must be positive")
+        denom = self._total + pseudocount * len(self._counts)
+        return Categorical({o: (c + pseudocount) / denom for o, c in self._counts.items()})
+
+    def standard_error(self, outcome: str) -> float:
+        """Standard error of the relative-frequency estimate of one outcome."""
+        if self._total == 0:
+            return float("inf")
+        p = self._counts.get(outcome, 0) / self._total
+        return math.sqrt(p * (1.0 - p) / self._total)
+
+
+class BayesianCategoricalEstimator:
+    """Dirichlet-conjugate estimation of a categorical distribution.
+
+    Carries *epistemic* uncertainty explicitly as a Dirichlet posterior; the
+    scalar :meth:`epistemic_uncertainty` shrinks as O(1/n), the quantitative
+    content of the paper's Fig. 2 model B discussion.
+    """
+
+    def __init__(self, outcomes: Sequence[str], prior_strength: float = 1.0):
+        if prior_strength <= 0:
+            raise DistributionError("prior_strength must be positive")
+        if not outcomes:
+            raise DistributionError("at least one outcome required")
+        self._posterior = Dirichlet({str(o): prior_strength for o in outcomes})
+        self._n_observed = 0
+
+    @property
+    def posterior(self) -> Dirichlet:
+        return self._posterior
+
+    @property
+    def n_observed(self) -> int:
+        return self._n_observed
+
+    def observe(self, outcome: str, count: int = 1) -> None:
+        self._posterior = self._posterior.updated({outcome: count})
+        self._n_observed += count
+
+    def observe_counts(self, counts: Mapping[str, int]) -> None:
+        self._posterior = self._posterior.updated(dict(counts))
+        self._n_observed += sum(counts.values())
+
+    def point_estimate(self) -> Categorical:
+        return self._posterior.mean()
+
+    def credible_interval(self, outcome: str, mass: float = 0.95) -> Tuple[float, float]:
+        return beta_credible_interval(self._posterior.marginal(outcome), mass)
+
+    def epistemic_uncertainty(self) -> float:
+        """Scalar epistemic-uncertainty measure (expected KL proxy)."""
+        return self._posterior.expected_entropy_gap()
+
+    def predictive(self) -> Categorical:
+        """Posterior predictive distribution for the next observation."""
+        return self._posterior.mean()
+
+
+class BayesianRateEstimator:
+    """Gamma-conjugate estimation of a Poisson event rate.
+
+    Used by the field-observation monitor: events per exposure (e.g. unknown
+    objects per driven kilometre) with a credible interval that narrows with
+    fleet mileage.
+    """
+
+    def __init__(self, prior_shape: float = 0.5, prior_rate: float = 1e-6):
+        self._posterior = Gamma(prior_shape, prior_rate)
+        self._events = 0
+        self._exposure = 0.0
+
+    @property
+    def posterior(self) -> Gamma:
+        return self._posterior
+
+    @property
+    def events(self) -> int:
+        return self._events
+
+    @property
+    def exposure(self) -> float:
+        return self._exposure
+
+    def observe(self, event_count: int, exposure: float) -> None:
+        if exposure < 0:
+            raise DistributionError("exposure must be non-negative")
+        self._posterior = self._posterior.updated(event_count, exposure)
+        self._events += event_count
+        self._exposure += exposure
+
+    def point_estimate(self) -> float:
+        return self._posterior.mean()
+
+    def credible_interval(self, mass: float = 0.95) -> Tuple[float, float]:
+        tail = (1.0 - mass) / 2.0
+        lo = float(self._posterior.ppf(tail))
+        hi = float(self._posterior.ppf(1.0 - tail))
+        return lo, hi
+
+    def upper_bound(self, confidence: float = 0.95) -> float:
+        """One-sided upper credible bound — the release-decision quantity."""
+        return float(self._posterior.ppf(confidence))
+
+
+class GoodTuringEstimator:
+    """Good-Turing estimation of unseen-category probability mass.
+
+    The paper's §IV calls for *uncertainty forecasting*: "estimation of
+    residual uncertainty", in particular arguing about "a sufficiently low
+    ontological uncertainty" before release.  Good-Turing provides exactly
+    this: from the frequency-of-frequencies of observed categories it
+    estimates the total probability of categories never observed — the
+    unknown-unknown mass of the operational domain.
+
+    The implementation uses the simple Good-Turing missing-mass estimate
+    ``N1 / N`` with an optional linear-smoothed (Gale & Sampson style)
+    adjusted count table.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+        self._total = 0
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def n_species(self) -> int:
+        return len(self._counts)
+
+    def observe(self, category: str, count: int = 1) -> None:
+        if count < 0:
+            raise DistributionError("count must be non-negative")
+        if count:
+            self._counts[str(category)] += count
+            self._total += count
+
+    def observe_sequence(self, categories: Iterable[str]) -> None:
+        for c in categories:
+            self.observe(c)
+
+    def frequency_of_frequencies(self) -> Dict[int, int]:
+        """Map r -> number of categories observed exactly r times."""
+        fof: Counter = Counter()
+        for c in self._counts.values():
+            fof[c] += 1
+        return dict(fof)
+
+    def missing_mass(self) -> float:
+        """Good-Turing estimate of the total unseen-category probability.
+
+        ``P0 = N1 / N`` where ``N1`` is the number of singleton categories.
+        Returns 1.0 before any observation (total ignorance).
+        """
+        if self._total == 0:
+            return 1.0
+        n1 = sum(1 for c in self._counts.values() if c == 1)
+        return n1 / self._total
+
+    def missing_mass_confidence_bound(self, confidence: float = 0.95) -> float:
+        """McAllester-Schapire style high-probability upper bound on the
+        missing mass: ``N1/N + (2 ln(1/delta) / N)^(1/2)``."""
+        if not 0.0 < confidence < 1.0:
+            raise DistributionError("confidence must be in (0, 1)")
+        if self._total == 0:
+            return 1.0
+        delta = 1.0 - confidence
+        slack = math.sqrt(2.0 * math.log(1.0 / delta) / self._total)
+        return min(1.0, self.missing_mass() + slack)
+
+    def adjusted_counts(self) -> Dict[str, float]:
+        """Gale-Sampson smoothed Good-Turing adjusted counts r*.
+
+        Fits log(Z_r) ~ a + b log(r) where Z_r averages the frequency of
+        frequencies over the gap to neighbouring non-zero r, then uses
+        ``r* = (r+1) S(r+1)/S(r)``.
+        """
+        fof = self.frequency_of_frequencies()
+        if not fof:
+            return {}
+        rs = sorted(fof)
+        z: Dict[int, float] = {}
+        for i, r in enumerate(rs):
+            lower = rs[i - 1] if i > 0 else 0
+            upper = rs[i + 1] if i + 1 < len(rs) else 2 * r - lower
+            z[r] = 2.0 * fof[r] / max(upper - lower, 1)
+        xs = np.log(np.array(rs, dtype=float))
+        ys = np.log(np.array([z[r] for r in rs]))
+        if len(rs) >= 2:
+            b, a = np.polyfit(xs, ys, 1)
+        else:
+            a, b = math.log(z[rs[0]]), -1.0
+
+        def smoothed(r: int) -> float:
+            return math.exp(a + b * math.log(r))
+
+        out: Dict[str, float] = {}
+        for cat, r in self._counts.items():
+            out[cat] = (r + 1) * smoothed(r + 1) / smoothed(r)
+        return out
+
+    def discounted_estimate(self) -> Dict[str, float]:
+        """Probability estimate per seen category, leaving room for P0."""
+        if self._total == 0:
+            return {}
+        p0 = self.missing_mass()
+        adjusted = self.adjusted_counts()
+        norm = sum(adjusted.values())
+        if norm <= 0.0:
+            return {c: (1.0 - p0) / len(self._counts) for c in self._counts}
+        return {c: (1.0 - p0) * v / norm for c, v in adjusted.items()}
+
+
+def kaplan_meier_survival(durations: Sequence[float],
+                          observed: Sequence[bool]) -> List[Tuple[float, float]]:
+    """Kaplan-Meier survival estimate for censored lifetime data.
+
+    Supports field-observation analyses where most exposure ends without an
+    event (right-censoring).  Returns (time, survival) steps.
+    """
+    if len(durations) != len(observed):
+        raise DistributionError("durations and observed must have equal length")
+    if not durations:
+        raise DistributionError("at least one duration required")
+    order = np.argsort(np.asarray(durations, dtype=float))
+    times = np.asarray(durations, dtype=float)[order]
+    events = np.asarray(observed, dtype=bool)[order]
+    n_at_risk = len(times)
+    survival = 1.0
+    steps: List[Tuple[float, float]] = []
+    i = 0
+    while i < len(times):
+        t = times[i]
+        deaths = 0
+        removed = 0
+        while i < len(times) and times[i] == t:
+            deaths += int(events[i])
+            removed += 1
+            i += 1
+        if deaths and n_at_risk > 0:
+            survival *= 1.0 - deaths / n_at_risk
+            steps.append((float(t), float(survival)))
+        n_at_risk -= removed
+    return steps

@@ -1,0 +1,204 @@
+"""Fuzzy numbers with alpha-cut interval arithmetic.
+
+Substrate for the fuzzy-probability fault tree analysis of Tanaka et al.
+(paper §V-A, ref. [34]): basic-event probabilities elicited as fuzzy
+numbers propagate through AND/OR gates by alpha-cut interval arithmetic,
+yielding a fuzzy top-event probability whose spread encodes epistemic
+uncertainty of the analysts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DistributionError
+
+
+class FuzzyNumber:
+    """A fuzzy number represented by its alpha-cut intervals.
+
+    The representation stores, for each alpha level in a fixed ladder,
+    the interval ``[lo(alpha), hi(alpha)]`` of values whose membership is at
+    least alpha.  All arithmetic is performed levelwise with interval rules,
+    which is exact for monotone operations.
+    """
+
+    DEFAULT_LEVELS = 21
+
+    def __init__(self, alphas: Sequence[float], lowers: Sequence[float],
+                 uppers: Sequence[float]):
+        self.alphas = np.asarray(alphas, dtype=float)
+        self.lowers = np.asarray(lowers, dtype=float)
+        self.uppers = np.asarray(uppers, dtype=float)
+        if not (self.alphas.shape == self.lowers.shape == self.uppers.shape):
+            raise DistributionError("alphas, lowers, uppers must share a shape")
+        if self.alphas.size < 2:
+            raise DistributionError("need at least two alpha levels")
+        if np.any(np.diff(self.alphas) <= 0):
+            raise DistributionError("alpha levels must be strictly increasing")
+        if not (math.isclose(self.alphas[0], 0.0) and math.isclose(self.alphas[-1], 1.0)):
+            raise DistributionError("alpha ladder must span [0, 1]")
+        if np.any(self.lowers > self.uppers + 1e-12):
+            raise DistributionError("lower cut bound exceeds upper bound")
+        # Nestedness: higher alpha-cuts must be contained in lower ones.
+        if np.any(np.diff(self.lowers) < -1e-9) or np.any(np.diff(self.uppers) > 1e-9):
+            raise DistributionError("alpha-cuts must be nested")
+
+    @classmethod
+    def crisp(cls, value: float, levels: int = DEFAULT_LEVELS) -> "FuzzyNumber":
+        alphas = np.linspace(0.0, 1.0, levels)
+        vals = np.full(levels, float(value))
+        return cls(alphas, vals, vals)
+
+    @classmethod
+    def from_membership(cls, lo_of_alpha: Callable[[float], float],
+                        hi_of_alpha: Callable[[float], float],
+                        levels: int = DEFAULT_LEVELS) -> "FuzzyNumber":
+        alphas = np.linspace(0.0, 1.0, levels)
+        return cls(alphas, [lo_of_alpha(a) for a in alphas],
+                   [hi_of_alpha(a) for a in alphas])
+
+    def cut(self, alpha: float) -> Tuple[float, float]:
+        """Alpha-cut interval at the requested level (interpolated)."""
+        if not 0.0 <= alpha <= 1.0:
+            raise DistributionError("alpha must be in [0, 1]")
+        lo = float(np.interp(alpha, self.alphas, self.lowers))
+        hi = float(np.interp(alpha, self.alphas, self.uppers))
+        return lo, hi
+
+    @property
+    def support(self) -> Tuple[float, float]:
+        return float(self.lowers[0]), float(self.uppers[0])
+
+    @property
+    def core(self) -> Tuple[float, float]:
+        return float(self.lowers[-1]), float(self.uppers[-1])
+
+    def membership(self, x: float) -> float:
+        """Membership degree of a crisp value (max alpha whose cut contains x)."""
+        inside = (self.lowers <= x + 1e-15) & (x <= self.uppers + 1e-15)
+        if not np.any(inside):
+            return 0.0
+        return float(self.alphas[inside].max())
+
+    def defuzzify_centroid(self) -> float:
+        """Centroid defuzzification via the mean of cut midpoints weighted
+        by level spacing (equivalent to the center-of-gravity for the
+        piecewise-linear membership this class represents)."""
+        mids = 0.5 * (self.lowers + self.uppers)
+        return float(np.trapezoid(mids, self.alphas) / np.trapezoid(np.ones_like(self.alphas),
+                                                            self.alphas))
+
+    def defuzzify_middle_of_max(self) -> float:
+        lo, hi = self.core
+        return 0.5 * (lo + hi)
+
+    def spread(self) -> float:
+        """Mean cut width — a scalar epistemic-imprecision measure."""
+        return float(np.trapezoid(self.uppers - self.lowers, self.alphas))
+
+    def _binary(self, other: "FuzzyNumber",
+                op: Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+                             Tuple[np.ndarray, np.ndarray]]) -> "FuzzyNumber":
+        if not isinstance(other, FuzzyNumber):
+            other = FuzzyNumber.crisp(float(other), levels=len(self.alphas))
+        if len(other.alphas) != len(self.alphas):
+            # Resample onto this ladder.
+            lo = np.interp(self.alphas, other.alphas, other.lowers)
+            hi = np.interp(self.alphas, other.alphas, other.uppers)
+            other = FuzzyNumber(self.alphas, lo, hi)
+        lo, hi = op(self.lowers, self.uppers, other.lowers, other.uppers)
+        return FuzzyNumber(self.alphas, lo, hi)
+
+    def __add__(self, other) -> "FuzzyNumber":
+        return self._binary(other, lambda al, au, bl, bu: (al + bl, au + bu))
+
+    def __radd__(self, other) -> "FuzzyNumber":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "FuzzyNumber":
+        return self._binary(other, lambda al, au, bl, bu: (al - bu, au - bl))
+
+    def __mul__(self, other) -> "FuzzyNumber":
+        def rule(al, au, bl, bu):
+            candidates = np.stack([al * bl, al * bu, au * bl, au * bu])
+            return candidates.min(axis=0), candidates.max(axis=0)
+        return self._binary(other, rule)
+
+    def __rmul__(self, other) -> "FuzzyNumber":
+        return self.__mul__(other)
+
+    def complement_probability(self) -> "FuzzyNumber":
+        """1 - p with interval reversal (for OR-gate de Morgan forms)."""
+        return FuzzyNumber(self.alphas, 1.0 - self.uppers, 1.0 - self.lowers)
+
+    def clip_probability(self) -> "FuzzyNumber":
+        """Clip cuts into [0, 1] (after arithmetic on probabilities)."""
+        return FuzzyNumber(self.alphas, np.clip(self.lowers, 0.0, 1.0),
+                           np.clip(self.uppers, 0.0, 1.0))
+
+    def __repr__(self) -> str:
+        s_lo, s_hi = self.support
+        c_lo, c_hi = self.core
+        return (f"FuzzyNumber(support=[{s_lo:.4g},{s_hi:.4g}], "
+                f"core=[{c_lo:.4g},{c_hi:.4g}])")
+
+
+class TriangularFuzzyNumber(FuzzyNumber):
+    """Triangular fuzzy number (a, m, b): support [a, b], core {m}."""
+
+    def __init__(self, low: float, mode: float, high: float,
+                 levels: int = FuzzyNumber.DEFAULT_LEVELS):
+        low, mode, high = float(low), float(mode), float(high)
+        if not low <= mode <= high:
+            raise DistributionError(
+                f"require low <= mode <= high, got ({low}, {mode}, {high})")
+        alphas = np.linspace(0.0, 1.0, levels)
+        lowers = low + alphas * (mode - low)
+        uppers = high - alphas * (high - mode)
+        super().__init__(alphas, lowers, uppers)
+        self.low, self.mode, self.high = low, mode, high
+
+    def __repr__(self) -> str:
+        return f"TriangularFuzzyNumber({self.low}, {self.mode}, {self.high})"
+
+
+class TrapezoidalFuzzyNumber(FuzzyNumber):
+    """Trapezoidal fuzzy number (a, b, c, d): support [a, d], core [b, c]."""
+
+    def __init__(self, a: float, b: float, c: float, d: float,
+                 levels: int = FuzzyNumber.DEFAULT_LEVELS):
+        a, b, c, d = float(a), float(b), float(c), float(d)
+        if not a <= b <= c <= d:
+            raise DistributionError(f"require a <= b <= c <= d, got ({a},{b},{c},{d})")
+        alphas = np.linspace(0.0, 1.0, levels)
+        lowers = a + alphas * (b - a)
+        uppers = d - alphas * (d - c)
+        super().__init__(alphas, lowers, uppers)
+        self.a, self.b, self.c, self.d = a, b, c, d
+
+    def __repr__(self) -> str:
+        return f"TrapezoidalFuzzyNumber({self.a}, {self.b}, {self.c}, {self.d})"
+
+
+def fuzzy_and(probabilities: Sequence[FuzzyNumber]) -> FuzzyNumber:
+    """Fuzzy AND-gate probability: product of independent fuzzy probabilities."""
+    if not probabilities:
+        raise DistributionError("fuzzy_and requires at least one operand")
+    out = probabilities[0]
+    for p in probabilities[1:]:
+        out = (out * p)
+    return out.clip_probability()
+
+
+def fuzzy_or(probabilities: Sequence[FuzzyNumber]) -> FuzzyNumber:
+    """Fuzzy OR-gate probability: 1 - prod(1 - p_i), by de Morgan."""
+    if not probabilities:
+        raise DistributionError("fuzzy_or requires at least one operand")
+    comp = probabilities[0].complement_probability()
+    for p in probabilities[1:]:
+        comp = comp * p.complement_probability()
+    return comp.clip_probability().complement_probability().clip_probability()

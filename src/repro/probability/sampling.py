@@ -1,0 +1,215 @@
+"""Sampling designs: Monte Carlo, Latin hypercube and low-discrepancy sets.
+
+These designs are the workhorses of *uncertainty removal at design time by
+design of experiment* (paper §IV): exploring a parameter space efficiently
+reduces epistemic uncertainty per simulation spent.  All designs produce
+points in the unit hypercube which are pushed through marginal ``ppf``'s to
+obtain samples of arbitrary distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.probability.distributions import Distribution
+
+
+def monte_carlo(rng: np.random.Generator, n: int, dim: int) -> np.ndarray:
+    """Plain i.i.d. uniform design of shape (n, dim)."""
+    if n <= 0 or dim <= 0:
+        raise DistributionError("n and dim must be positive")
+    return rng.random((n, dim))
+
+
+def latin_hypercube(rng: np.random.Generator, n: int, dim: int) -> np.ndarray:
+    """Latin hypercube design: one point per axis-stratum in every dimension.
+
+    Stratifies each marginal into ``n`` equiprobable bins, guaranteeing
+    coverage of the full range of every input with only ``n`` samples —
+    variance reduction over plain Monte Carlo for well-behaved integrands.
+    """
+    if n <= 0 or dim <= 0:
+        raise DistributionError("n and dim must be positive")
+    cut = (np.arange(n)[:, None] + rng.random((n, dim))) / n
+    design = np.empty_like(cut)
+    for j in range(dim):
+        design[:, j] = cut[rng.permutation(n), j]
+    return design
+
+
+def van_der_corput(n: int, base: int = 2, start: int = 0) -> np.ndarray:
+    """Van der Corput low-discrepancy sequence in the given base."""
+    if base < 2:
+        raise DistributionError("base must be >= 2")
+    if n <= 0:
+        raise DistributionError("n must be positive")
+    out = np.empty(n)
+    for i in range(n):
+        k = start + i + 1  # skip 0 to avoid the origin
+        value, denom = 0.0, 1.0
+        while k > 0:
+            k, digit = divmod(k, base)
+            denom *= base
+            value += digit / denom
+        out[i] = value
+    return out
+
+
+_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59,
+           61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113]
+
+
+def halton_sequence(n: int, dim: int, start: int = 0) -> np.ndarray:
+    """Halton low-discrepancy set of shape (n, dim) (prime bases per axis)."""
+    if dim > len(_PRIMES):
+        raise DistributionError(f"halton supports at most {len(_PRIMES)} dimensions")
+    if n <= 0 or dim <= 0:
+        raise DistributionError("n and dim must be positive")
+    return np.column_stack([van_der_corput(n, _PRIMES[j], start=start) for j in range(dim)])
+
+
+def push_through(design: np.ndarray,
+                 marginals: Sequence[Distribution]) -> np.ndarray:
+    """Transform a unit-cube design into samples of the given marginals."""
+    design = np.asarray(design, dtype=float)
+    if design.ndim != 2:
+        raise DistributionError("design must be 2-d (n, dim)")
+    if design.shape[1] != len(marginals):
+        raise DistributionError(
+            f"design has {design.shape[1]} columns but {len(marginals)} marginals given")
+    cols = [np.atleast_1d(m.ppf(design[:, j])) for j, m in enumerate(marginals)]
+    return np.column_stack(cols)
+
+
+def stratified_rates(n_strata: int) -> np.ndarray:
+    """Midpoints of ``n_strata`` equiprobable strata of [0, 1]."""
+    if n_strata <= 0:
+        raise DistributionError("n_strata must be positive")
+    return (np.arange(n_strata) + 0.5) / n_strata
+
+
+def discrepancy_l2_star(design: np.ndarray) -> float:
+    """Centered L2-star discrepancy (lower = more uniform design).
+
+    Implements the Warnock formula.  Used in tests/benches to verify the
+    low-discrepancy sequences beat i.i.d. sampling in uniformity.
+    """
+    x = np.asarray(design, dtype=float)
+    if x.ndim != 2:
+        raise DistributionError("design must be 2-d")
+    n, d = x.shape
+    term1 = 3.0 ** (-d)
+    prod2 = np.prod((1.0 - x ** 2) / 2.0, axis=1)
+    term2 = prod2.sum() * (2.0 / n)
+    # Pairwise term: prod_j (1 - max(x_ij, x_kj))
+    maxes = np.maximum(x[:, None, :], x[None, :, :])
+    prod3 = np.prod(1.0 - maxes, axis=2)
+    term3 = prod3.sum() / (n * n)
+    value = term1 - term2 + term3
+    return math.sqrt(max(value, 0.0))
+
+
+class ExperimentDesign:
+    """A named design-of-experiments over distribution marginals.
+
+    Part of the *uncertainty removal during design time* toolbox (paper
+    §IV): given uncertain inputs, produce an efficient sampling plan and run
+    a model over it.
+    """
+
+    METHODS = ("monte_carlo", "latin_hypercube", "halton")
+
+    def __init__(self, marginals: Sequence[Distribution],
+                 method: str = "latin_hypercube"):
+        if method not in self.METHODS:
+            raise DistributionError(f"unknown design method {method!r}; "
+                                    f"choose from {self.METHODS}")
+        if not marginals:
+            raise DistributionError("at least one marginal required")
+        self.marginals = list(marginals)
+        self.method = method
+
+    @property
+    def dim(self) -> int:
+        return len(self.marginals)
+
+    def unit_design(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        if self.method == "monte_carlo":
+            if rng is None:
+                raise DistributionError("monte_carlo design requires an rng")
+            return monte_carlo(rng, n, self.dim)
+        if self.method == "latin_hypercube":
+            if rng is None:
+                raise DistributionError("latin_hypercube design requires an rng")
+            return latin_hypercube(rng, n, self.dim)
+        return halton_sequence(n, self.dim)
+
+    def sample(self, n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Generate ``n`` joint samples of the marginals, shape (n, dim)."""
+        return push_through(self.unit_design(n, rng), self.marginals)
+
+    def evaluate(self, model, n: int,
+                 rng: Optional[np.random.Generator] = None) -> "DesignResult":
+        """Run ``model(row) -> float`` over the design and summarize."""
+        points = self.sample(n, rng)
+        values = np.array([float(model(row)) for row in points])
+        return DesignResult(points=points, values=values)
+
+
+class DesignResult:
+    """Outcome of an :class:`ExperimentDesign` evaluation."""
+
+    def __init__(self, points: np.ndarray, values: np.ndarray):
+        self.points = points
+        self.values = values
+
+    @property
+    def n(self) -> int:
+        return int(self.values.size)
+
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    def var(self) -> float:
+        return float(np.var(self.values, ddof=1)) if self.n > 1 else 0.0
+
+    def std_error(self) -> float:
+        return math.sqrt(self.var() / self.n) if self.n > 0 else float("inf")
+
+    def quantile(self, q: float) -> float:
+        return float(np.quantile(self.values, q))
+
+    def exceedance_probability(self, threshold: float) -> float:
+        """Fraction of runs whose output exceeds ``threshold``."""
+        return float(np.mean(self.values > threshold))
+
+    def main_effect_indices(self, n_bins: int = 10) -> List[float]:
+        """Crude first-order sensitivity: Var(E[Y|X_j binned]) / Var(Y).
+
+        A binned estimator of the Sobol first-order index; adequate for
+        ranking which uncertain input dominates the output epistemically.
+        """
+        total_var = float(np.var(self.values))
+        if total_var == 0.0:
+            return [0.0] * self.points.shape[1]
+        indices = []
+        for j in range(self.points.shape[1]):
+            col = self.points[:, j]
+            edges = np.quantile(col, np.linspace(0.0, 1.0, n_bins + 1))
+            which = np.clip(np.searchsorted(edges, col, side="right") - 1, 0, n_bins - 1)
+            bin_means, bin_weights = [], []
+            for b in range(n_bins):
+                mask = which == b
+                if np.any(mask):
+                    bin_means.append(float(np.mean(self.values[mask])))
+                    bin_weights.append(float(np.mean(mask)))
+            bin_means = np.asarray(bin_means)
+            bin_weights = np.asarray(bin_weights)
+            overall = float(np.sum(bin_weights * bin_means))
+            var_cond = float(np.sum(bin_weights * (bin_means - overall) ** 2))
+            indices.append(min(var_cond / total_var, 1.0))
+        return indices

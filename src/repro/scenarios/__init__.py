@@ -1,0 +1,27 @@
+"""Scenario-based testing: parameter spaces, coverage, falsification.
+
+Uncertainty removal at the *system* level (paper §IV): instead of passive
+sampling, actively search the scenario space for the conditions under
+which the SuD misbehaves.  The modules provide a typed scenario parameter
+space, coverage accounting over its discretization (how much of the ODD
+has been exercised — an epistemic-reduction ledger), and falsification
+search (random / low-discrepancy / local hill climbing) for
+high-hazard scenarios — the long tail hunted deliberately.
+"""
+
+from repro.scenarios.falsification import FalsificationResult, Falsifier
+from repro.scenarios.space import (
+    CategoricalParameter,
+    ContinuousParameter,
+    CoverageTracker,
+    ScenarioSpace,
+)
+
+__all__ = [
+    "CategoricalParameter",
+    "ContinuousParameter",
+    "ScenarioSpace",
+    "CoverageTracker",
+    "Falsifier",
+    "FalsificationResult",
+]

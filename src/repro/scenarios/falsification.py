@@ -1,0 +1,187 @@
+"""Falsification search: hunting the scenario space for failures.
+
+Passive sampling finds frequent failures; falsification finds *worst*
+ones.  Strategies:
+
+- ``random``: i.i.d. baseline,
+- ``halton``: low-discrepancy space sweep (systematic coverage),
+- ``local``: (1+1)-style hill climbing from the best sweep point, with
+  shrinking Gaussian steps in the unit cube.
+
+The objective is an arbitrary scenario -> score function (here typically
+an estimated hazard probability from repeated chain simulations); the
+search is noise-aware through re-evaluation averaging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.scenarios.space import CoverageTracker, Scenario, ScenarioSpace
+
+Objective = Callable[[Scenario], float]
+
+
+@dataclass
+class FalsificationResult:
+    """Outcome of one search run."""
+
+    best_scenario: Scenario
+    best_score: float
+    n_evaluations: int
+    history: List[Tuple[Scenario, float]] = field(default_factory=list)
+    coverage: Optional[float] = None
+
+    def top(self, k: int = 5) -> List[Tuple[Scenario, float]]:
+        return sorted(self.history, key=lambda t: -t[1])[:k]
+
+
+class Falsifier:
+    """Search driver over a scenario space.
+
+    Parameters
+    ----------
+    space:
+        The scenario parameter space.
+    objective:
+        Scenario -> score; higher = worse behavior (e.g. hazard estimate).
+        The objective owns its randomness; pass an averaged estimator for
+        noisy simulations.
+    """
+
+    def __init__(self, space: ScenarioSpace, objective: Objective):
+        self.space = space
+        self.objective = objective
+
+    def _evaluate(self, scenario: Scenario,
+                  history: List[Tuple[Scenario, float]]) -> float:
+        score = float(self.objective(scenario))
+        history.append((scenario, score))
+        return score
+
+    def random_search(self, rng: np.random.Generator,
+                      n: int) -> FalsificationResult:
+        if n <= 0:
+            raise SimulationError("n must be positive")
+        tracker = CoverageTracker(self.space)
+        history: List[Tuple[Scenario, float]] = []
+        best, best_score = None, -np.inf
+        for scenario in self.space.sample(rng, n):
+            tracker.record(scenario)
+            score = self._evaluate(scenario, history)
+            if score > best_score:
+                best, best_score = scenario, score
+        assert best is not None
+        return FalsificationResult(best_scenario=best, best_score=best_score,
+                                   n_evaluations=n, history=history,
+                                   coverage=tracker.coverage())
+
+    def halton_sweep(self, n: int) -> FalsificationResult:
+        if n <= 0:
+            raise SimulationError("n must be positive")
+        tracker = CoverageTracker(self.space)
+        history: List[Tuple[Scenario, float]] = []
+        best, best_score = None, -np.inf
+        for scenario in self.space.halton_sample(n):
+            tracker.record(scenario)
+            score = self._evaluate(scenario, history)
+            if score > best_score:
+                best, best_score = scenario, score
+        assert best is not None
+        return FalsificationResult(best_scenario=best, best_score=best_score,
+                                   n_evaluations=n, history=history,
+                                   coverage=tracker.coverage())
+
+    def local_search(self, rng: np.random.Generator, n_sweep: int,
+                     n_local: int, initial_step: float = 0.2,
+                     shrink: float = 0.9) -> FalsificationResult:
+        """Halton sweep for a seed, then (1+1) hill climbing around it."""
+        if n_sweep <= 0 or n_local < 0:
+            raise SimulationError("n_sweep must be positive, n_local >= 0")
+        if not 0.0 < shrink < 1.0 or initial_step <= 0.0:
+            raise SimulationError("invalid step-control parameters")
+        sweep = self.halton_sweep(n_sweep)
+        history = list(sweep.history)
+        current_unit = self.space.encode(sweep.best_scenario)
+        current_score = sweep.best_score
+        step = initial_step
+        for _ in range(n_local):
+            proposal_unit = np.clip(
+                current_unit + rng.normal(0.0, step, size=self.space.dim),
+                0.0, 1.0)
+            proposal = self.space.decode(proposal_unit)
+            score = self._evaluate(proposal, history)
+            if score > current_score:
+                current_unit, current_score = proposal_unit, score
+            else:
+                step *= shrink
+        return FalsificationResult(
+            best_scenario=self.space.decode(current_unit),
+            best_score=current_score,
+            n_evaluations=n_sweep + n_local,
+            history=history)
+
+    def compare_strategies(self, rng: np.random.Generator,
+                           budget: int) -> Dict[str, FalsificationResult]:
+        """Same evaluation budget, three strategies — the bench harness."""
+        if budget < 10:
+            raise SimulationError("budget must be at least 10")
+        return {
+            "random": self.random_search(rng, budget),
+            "halton": self.halton_sweep(budget),
+            "local": self.local_search(rng, n_sweep=budget // 2,
+                                       n_local=budget - budget // 2),
+        }
+
+
+def perception_hazard_objective(n_repeats: int = 30,
+                                seed: int = 0) -> Objective:
+    """Standard objective: hazard probability of the perception chain in
+    a fixed scenario, estimated by repeated simulation.
+
+    Scenario parameters: distance, occlusion, night (yes/no),
+    rain (yes/no), object_class (car/pedestrian/unknown).
+    """
+    from repro.perception.chain import PerceptionChain
+    from repro.perception.world import CAR, ObjectInstance, PEDESTRIAN, UNKNOWN
+
+    chain = PerceptionChain()
+
+    def objective(scenario: Scenario) -> float:
+        rng = np.random.default_rng(
+            seed + hash(tuple(sorted(scenario.items()))) % (2 ** 31))
+        label = str(scenario["object_class"])
+        true_class = {"car": CAR, "pedestrian": PEDESTRIAN,
+                      "unknown": "kangaroo"}[label]
+        obj = ObjectInstance(
+            true_class=true_class, label=label,
+            distance=float(scenario["distance"]),
+            occlusion=float(scenario["occlusion"]),
+            night=scenario["night"] == "yes",
+            rain=scenario["rain"] == "yes")
+        hazards = 0
+        for _ in range(n_repeats):
+            output = chain.perceive(obj, rng)
+            if output == "none":
+                hazards += 1
+            elif label == UNKNOWN and output in (CAR, PEDESTRIAN):
+                hazards += 1
+        return hazards / n_repeats
+
+    return objective
+
+
+def default_perception_space() -> ScenarioSpace:
+    """The scenario space matching :func:`perception_hazard_objective`."""
+    from repro.scenarios.space import CategoricalParameter, ContinuousParameter
+    return ScenarioSpace([
+        ContinuousParameter("distance", 5.0, 100.0),
+        ContinuousParameter("occlusion", 0.0, 0.95),
+        CategoricalParameter("night", ("no", "yes")),
+        CategoricalParameter("rain", ("no", "yes")),
+        CategoricalParameter("object_class", ("car", "pedestrian", "unknown")),
+    ])

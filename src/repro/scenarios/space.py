@@ -1,0 +1,177 @@
+"""Typed scenario parameter spaces and coverage accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+Scenario = Dict[str, Union[float, str]]
+
+
+@dataclass(frozen=True)
+class ContinuousParameter:
+    """A bounded continuous scenario parameter (e.g. distance in metres)."""
+
+    name: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("parameter name must be non-empty")
+        if not self.high > self.low:
+            raise SimulationError(
+                f"parameter {self.name!r}: require high > low")
+
+    def from_unit(self, u: float) -> float:
+        return self.low + float(np.clip(u, 0.0, 1.0)) * (self.high - self.low)
+
+    def to_unit(self, value: float) -> float:
+        return (float(value) - self.low) / (self.high - self.low)
+
+
+@dataclass(frozen=True)
+class CategoricalParameter:
+    """A finite-choice scenario parameter (e.g. weather)."""
+
+    name: str
+    choices: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("parameter name must be non-empty")
+        if len(self.choices) < 2:
+            raise SimulationError(
+                f"parameter {self.name!r} needs at least 2 choices")
+        if len(set(self.choices)) != len(self.choices):
+            raise SimulationError(f"duplicate choices in {self.name!r}")
+
+    def from_unit(self, u: float) -> str:
+        idx = min(int(np.clip(u, 0.0, 1.0) * len(self.choices)),
+                  len(self.choices) - 1)
+        return self.choices[idx]
+
+    def to_unit(self, value: str) -> float:
+        try:
+            idx = self.choices.index(value)
+        except ValueError:
+            raise SimulationError(
+                f"{value!r} is not a choice of {self.name!r}") from None
+        return (idx + 0.5) / len(self.choices)
+
+
+Parameter = Union[ContinuousParameter, CategoricalParameter]
+
+
+class ScenarioSpace:
+    """An ordered set of scenario parameters with unit-cube encoding."""
+
+    def __init__(self, parameters: Sequence[Parameter]):
+        if not parameters:
+            raise SimulationError("at least one parameter required")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"duplicate parameter names: {names}")
+        self.parameters = list(parameters)
+
+    @property
+    def dim(self) -> int:
+        return len(self.parameters)
+
+    @property
+    def names(self) -> List[str]:
+        return [p.name for p in self.parameters]
+
+    def decode(self, unit_point: Sequence[float]) -> Scenario:
+        unit_point = np.asarray(unit_point, dtype=float)
+        if unit_point.shape != (self.dim,):
+            raise SimulationError(
+                f"unit point must have shape ({self.dim},)")
+        return {p.name: p.from_unit(float(u))
+                for p, u in zip(self.parameters, unit_point)}
+
+    def encode(self, scenario: Scenario) -> np.ndarray:
+        missing = set(self.names) - set(scenario)
+        if missing:
+            raise SimulationError(f"scenario missing parameters {sorted(missing)}")
+        return np.array([p.to_unit(scenario[p.name])
+                         for p in self.parameters])
+
+    def sample(self, rng: np.random.Generator, n: int) -> List[Scenario]:
+        if n <= 0:
+            raise SimulationError("n must be positive")
+        return [self.decode(rng.random(self.dim)) for _ in range(n)]
+
+    def halton_sample(self, n: int, start: int = 0) -> List[Scenario]:
+        from repro.probability.sampling import halton_sequence
+        design = halton_sequence(n, self.dim, start=start)
+        return [self.decode(row) for row in design]
+
+    def __repr__(self) -> str:
+        return f"ScenarioSpace({self.names})"
+
+
+class CoverageTracker:
+    """Discretized-cell coverage of a scenario space.
+
+    The fraction of visited cells is a crude but auditable measure of how
+    much of the declared ODD has been exercised; the *unvisited* cells are
+    a concrete to-do list for uncertainty removal.
+    """
+
+    def __init__(self, space: ScenarioSpace, cells_per_axis: int = 4):
+        if cells_per_axis < 2:
+            raise SimulationError("cells_per_axis must be >= 2")
+        self.space = space
+        self.cells_per_axis = cells_per_axis
+        self._visited: set = set()
+
+    def _cell_of(self, scenario: Scenario) -> Tuple[int, ...]:
+        unit = self.space.encode(scenario)
+        return tuple(min(int(u * self.cells_per_axis),
+                         self.cells_per_axis - 1) for u in unit)
+
+    def record(self, scenario: Scenario) -> None:
+        self._visited.add(self._cell_of(scenario))
+
+    @property
+    def n_cells(self) -> int:
+        total = 1
+        for p in self.space.parameters:
+            if isinstance(p, CategoricalParameter):
+                total *= min(self.cells_per_axis, len(p.choices))
+            else:
+                total *= self.cells_per_axis
+        return total
+
+    @property
+    def n_visited(self) -> int:
+        return len(self._visited)
+
+    def coverage(self) -> float:
+        return self.n_visited / self.n_cells
+
+    def unvisited_example_cells(self, limit: int = 10) -> List[Tuple[int, ...]]:
+        """Up to ``limit`` unvisited cell indices (the removal to-do list)."""
+        out = []
+        axes = []
+        for p in self.space.parameters:
+            if isinstance(p, CategoricalParameter):
+                axes.append(range(min(self.cells_per_axis, len(p.choices))))
+            else:
+                axes.append(range(self.cells_per_axis))
+        import itertools
+        for cell in itertools.product(*axes):
+            if cell not in self._visited:
+                out.append(cell)
+                if len(out) >= limit:
+                    break
+        return out
+
+    def __repr__(self) -> str:
+        return (f"CoverageTracker({self.n_visited}/{self.n_cells} cells, "
+                f"{self.coverage():.1%})")

@@ -1,0 +1,17 @@
+"""State estimation: Kalman filtering with innovation-based monitoring.
+
+The paper notes models "can also be a mixture of deterministic and
+probabilistic elements" (§II-A); the Kalman filter is the canonical such
+mixture — deterministic dynamics plus Gaussian noise — and its innovation
+sequence is a calibrated surprise signal: white and chi-square-sized when
+the model is right, biased when the model is structurally wrong.  The NIS
+(normalized innovation squared) monitor here is the principled version of
+the residual surprise monitor, and is applied to both the orbital
+third-planet scenario and object tracking in the perception chain.
+"""
+
+from repro.tracking.hmm import HiddenMarkovModel, degradation_hmm
+from repro.tracking.kalman import KalmanFilter, NISMonitor, constant_velocity_model
+
+__all__ = ["KalmanFilter", "NISMonitor", "constant_velocity_model",
+           "HiddenMarkovModel", "degradation_hmm"]

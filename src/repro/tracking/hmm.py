@@ -1,0 +1,208 @@
+"""Hidden Markov models: runtime mode estimation under uncertainty.
+
+The SuD's health mode (nominal / degraded / faulty) is not directly
+observable; only symptoms are.  An HMM filter maintains the belief over
+modes (the runtime twin of the BN diagnostic queries), supporting:
+
+- ``filter``: forward algorithm (online belief),
+- ``smooth``: forward-backward (post-drive analysis),
+- ``most_likely_path``: Viterbi (incident reconstruction),
+- log likelihood (model selection between competing health models).
+
+All from scratch on numpy, in normalized (scaled) form for numerical
+stability on long traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class HiddenMarkovModel:
+    """Discrete HMM over named hidden states and observation symbols."""
+
+    def __init__(self, states: Sequence[str], symbols: Sequence[str],
+                 transition: Mapping[str, Mapping[str, float]],
+                 emission: Mapping[str, Mapping[str, float]],
+                 initial: Mapping[str, float], *, atol: float = 1e-9):
+        self._states = [str(s) for s in states]
+        self._symbols = [str(o) for o in symbols]
+        if len(set(self._states)) != len(self._states) or not self._states:
+            raise ModelError("states must be unique and non-empty")
+        if len(set(self._symbols)) != len(self._symbols) or not self._symbols:
+            raise ModelError("symbols must be unique and non-empty")
+        self._sidx = {s: i for i, s in enumerate(self._states)}
+        self._oidx = {o: i for i, o in enumerate(self._symbols)}
+        n, m = len(self._states), len(self._symbols)
+
+        self._t = np.zeros((n, n))
+        for s, row in transition.items():
+            self._require_state(s)
+            for dst, p in row.items():
+                self._require_state(dst)
+                self._t[self._sidx[s], self._sidx[dst]] = float(p)
+        self._e = np.zeros((n, m))
+        for s, row in emission.items():
+            self._require_state(s)
+            for symbol, p in row.items():
+                if symbol not in self._oidx:
+                    raise ModelError(f"unknown symbol {symbol!r}")
+                self._e[self._sidx[s], self._oidx[symbol]] = float(p)
+        self._pi = np.zeros(n)
+        for s, p in initial.items():
+            self._require_state(s)
+            self._pi[self._sidx[s]] = float(p)
+
+        for name, matrix in (("transition", self._t), ("emission", self._e)):
+            if np.any(matrix < -atol):
+                raise ModelError(f"{name} has negative probabilities")
+            sums = matrix.sum(axis=1)
+            if not np.allclose(sums, 1.0, atol=max(atol, 1e-6)):
+                raise ModelError(f"{name} rows must sum to 1, got {sums}")
+        if abs(self._pi.sum() - 1.0) > max(atol, 1e-6) or np.any(self._pi < -atol):
+            raise ModelError("initial distribution must be a distribution")
+
+    def _require_state(self, s: str) -> None:
+        if s not in self._sidx:
+            raise ModelError(f"unknown state {s!r}")
+
+    @property
+    def states(self) -> List[str]:
+        return list(self._states)
+
+    def _encode(self, observations: Sequence[str]) -> np.ndarray:
+        try:
+            return np.array([self._oidx[o] for o in observations], dtype=int)
+        except KeyError as exc:
+            raise ModelError(
+                f"observation {exc} outside the symbol set — an ontological "
+                "event for this health model") from None
+
+    # -- inference ----------------------------------------------------------------
+
+    def filter(self, observations: Sequence[str]
+               ) -> Tuple[List[Dict[str, float]], float]:
+        """Forward algorithm; returns per-step beliefs and log likelihood."""
+        obs = self._encode(observations)
+        if obs.size == 0:
+            raise ModelError("need at least one observation")
+        beliefs: List[Dict[str, float]] = []
+        log_likelihood = 0.0
+        alpha = self._pi * self._e[:, obs[0]]
+        for t, o in enumerate(obs):
+            if t > 0:
+                alpha = (alpha @ self._t) * self._e[:, o]
+            total = alpha.sum()
+            if total <= 0.0:
+                raise ModelError(
+                    f"observation sequence impossible under the model at "
+                    f"step {t}")
+            alpha = alpha / total
+            log_likelihood += float(np.log(total))
+            beliefs.append({s: float(alpha[i])
+                            for i, s in enumerate(self._states)})
+        return beliefs, log_likelihood
+
+    def smooth(self, observations: Sequence[str]) -> List[Dict[str, float]]:
+        """Forward-backward posterior marginals per step."""
+        obs = self._encode(observations)
+        n_steps = obs.size
+        if n_steps == 0:
+            raise ModelError("need at least one observation")
+        n = len(self._states)
+        alphas = np.zeros((n_steps, n))
+        scales = np.zeros(n_steps)
+        alpha = self._pi * self._e[:, obs[0]]
+        for t in range(n_steps):
+            if t > 0:
+                alpha = (alpha @ self._t) * self._e[:, obs[t]]
+            scales[t] = alpha.sum()
+            if scales[t] <= 0.0:
+                raise ModelError("impossible observation sequence")
+            alpha = alpha / scales[t]
+            alphas[t] = alpha
+        beta = np.ones(n)
+        out: List[Dict[str, float]] = [dict()] * n_steps
+        for t in range(n_steps - 1, -1, -1):
+            gamma = alphas[t] * beta
+            gamma = gamma / gamma.sum()
+            out[t] = {s: float(gamma[i]) for i, s in enumerate(self._states)}
+            if t > 0:
+                beta = (self._t @ (self._e[:, obs[t]] * beta)) / scales[t]
+        return out
+
+    def most_likely_path(self, observations: Sequence[str]) -> List[str]:
+        """Viterbi decoding in log space."""
+        obs = self._encode(observations)
+        if obs.size == 0:
+            raise ModelError("need at least one observation")
+        with np.errstate(divide="ignore"):
+            log_t = np.log(self._t)
+            log_e = np.log(self._e)
+            log_pi = np.log(self._pi)
+        n_steps, n = obs.size, len(self._states)
+        delta = log_pi + log_e[:, obs[0]]
+        back = np.zeros((n_steps, n), dtype=int)
+        for t in range(1, n_steps):
+            candidate = delta[:, None] + log_t
+            back[t] = np.argmax(candidate, axis=0)
+            delta = candidate[back[t], np.arange(n)] + log_e[:, obs[t]]
+        path = [int(np.argmax(delta))]
+        for t in range(n_steps - 1, 0, -1):
+            path.append(int(back[t, path[-1]]))
+        return [self._states[i] for i in reversed(path)]
+
+    def log_likelihood(self, observations: Sequence[str]) -> float:
+        return self.filter(observations)[1]
+
+    def sample(self, rng: np.random.Generator, n_steps: int
+               ) -> Tuple[List[str], List[str]]:
+        """Generate (hidden path, observations)."""
+        if n_steps <= 0:
+            raise ModelError("n_steps must be positive")
+        states, symbols = [], []
+        i = int(rng.choice(len(self._states), p=self._pi))
+        for _ in range(n_steps):
+            states.append(self._states[i])
+            o = int(rng.choice(len(self._symbols), p=self._e[i]))
+            symbols.append(self._symbols[o])
+            i = int(rng.choice(len(self._states), p=self._t[i]))
+        return states, symbols
+
+    def __repr__(self) -> str:
+        return (f"HiddenMarkovModel(states={len(self._states)}, "
+                f"symbols={len(self._symbols)})")
+
+
+def degradation_hmm(p_degrade: float = 0.02, p_fail: float = 0.05,
+                    p_repair: float = 0.1,
+                    symptom_rates: Optional[Mapping[str, float]] = None
+                    ) -> HiddenMarkovModel:
+    """A standard 3-mode health model: nominal -> degraded -> faulty.
+
+    ``symptom_rates[s]`` is P(symptom | mode s); the default makes
+    symptoms rare in nominal, common in degraded, near-certain in faulty.
+    """
+    rates = dict(symptom_rates or
+                 {"nominal": 0.02, "degraded": 0.4, "faulty": 0.95})
+    for mode in ("nominal", "degraded", "faulty"):
+        if mode not in rates or not 0.0 <= rates[mode] <= 1.0:
+            raise ModelError(f"symptom rate for {mode!r} must be in [0, 1]")
+    return HiddenMarkovModel(
+        states=["nominal", "degraded", "faulty"],
+        symbols=["ok", "symptom"],
+        transition={
+            "nominal": {"nominal": 1 - p_degrade, "degraded": p_degrade},
+            "degraded": {"nominal": p_repair,
+                         "degraded": 1 - p_repair - p_fail,
+                         "faulty": p_fail},
+            "faulty": {"faulty": 1.0},
+        },
+        emission={mode: {"symptom": rates[mode], "ok": 1 - rates[mode]}
+                  for mode in ("nominal", "degraded", "faulty")},
+        initial={"nominal": 1.0},
+    )

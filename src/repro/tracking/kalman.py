@@ -1,0 +1,212 @@
+"""Linear Kalman filter and innovation-based model monitoring.
+
+Implemented from scratch on numpy: predict/update recursions, log
+likelihood, and the normalized-innovation-squared (NIS) consistency test.
+The filter's error covariance is an explicit, self-assessed *epistemic*
+uncertainty; the NIS test checks whether that self-assessment is honest —
+persistent NIS inflation is the filter-world signature of a missing model
+term (the paper's ontological case), while a merely miscalibrated noise
+level shows up as a constant NIS offset (epistemic).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def _validate_matrix(name: str, m: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
+    m = np.asarray(m, dtype=float)
+    if m.shape != shape:
+        raise ModelError(f"{name} must have shape {shape}, got {m.shape}")
+    return m
+
+
+def _validate_covariance(name: str, m: np.ndarray, n: int) -> np.ndarray:
+    m = _validate_matrix(name, m, (n, n))
+    if not np.allclose(m, m.T, atol=1e-9):
+        raise ModelError(f"{name} must be symmetric")
+    eigenvalues = np.linalg.eigvalsh(m)
+    if np.any(eigenvalues < -1e-9):
+        raise ModelError(f"{name} must be positive semi-definite")
+    return m
+
+
+@dataclass
+class KalmanStep:
+    """Diagnostics of one filter update."""
+
+    state: np.ndarray
+    covariance: np.ndarray
+    innovation: np.ndarray
+    innovation_covariance: np.ndarray
+    nis: float
+    log_likelihood: float
+
+
+class KalmanFilter:
+    """Linear-Gaussian filter: x' = F x + w,  z = H x + v."""
+
+    def __init__(self, transition: np.ndarray, observation: np.ndarray,
+                 process_noise: np.ndarray, measurement_noise: np.ndarray,
+                 initial_state: np.ndarray, initial_covariance: np.ndarray):
+        self.f = np.asarray(transition, dtype=float)
+        if self.f.ndim != 2 or self.f.shape[0] != self.f.shape[1]:
+            raise ModelError("transition matrix must be square")
+        self.n = self.f.shape[0]
+        self.h = np.asarray(observation, dtype=float)
+        if self.h.ndim != 2 or self.h.shape[1] != self.n:
+            raise ModelError(
+                f"observation matrix must have {self.n} columns")
+        self.m = self.h.shape[0]
+        self.q = _validate_covariance("process_noise", process_noise, self.n)
+        self.r = _validate_covariance("measurement_noise", measurement_noise,
+                                      self.m)
+        self.x = np.asarray(initial_state, dtype=float).reshape(self.n)
+        self.p = _validate_covariance("initial_covariance",
+                                      initial_covariance, self.n)
+
+    # -- recursions ------------------------------------------------------------
+
+    def predict(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Time update; returns the predicted (state, covariance)."""
+        self.x = self.f @ self.x
+        self.p = self.f @ self.p @ self.f.T + self.q
+        return self.x.copy(), self.p.copy()
+
+    def update(self, measurement: np.ndarray) -> KalmanStep:
+        """Measurement update; returns full step diagnostics."""
+        z = np.asarray(measurement, dtype=float).reshape(self.m)
+        innovation = z - self.h @ self.x
+        s = self.h @ self.p @ self.h.T + self.r
+        s_inv = np.linalg.inv(s)
+        gain = self.p @ self.h.T @ s_inv
+        self.x = self.x + gain @ innovation
+        identity = np.eye(self.n)
+        # Joseph form for numerical symmetry.
+        factor = identity - gain @ self.h
+        self.p = factor @ self.p @ factor.T + gain @ self.r @ gain.T
+        nis = float(innovation @ s_inv @ innovation)
+        sign, logdet = np.linalg.slogdet(s)
+        if sign <= 0:
+            raise ModelError("innovation covariance lost positive definiteness")
+        log_likelihood = -0.5 * (nis + logdet + self.m * np.log(2 * np.pi))
+        return KalmanStep(state=self.x.copy(), covariance=self.p.copy(),
+                          innovation=innovation.copy(),
+                          innovation_covariance=s, nis=nis,
+                          log_likelihood=float(log_likelihood))
+
+    def step(self, measurement: np.ndarray) -> KalmanStep:
+        """Predict then update with one measurement."""
+        self.predict()
+        return self.update(measurement)
+
+    def filter_sequence(self, measurements: Sequence[np.ndarray]
+                        ) -> List[KalmanStep]:
+        return [self.step(z) for z in measurements]
+
+    def epistemic_trace(self) -> float:
+        """Trace of the error covariance — the filter's own uncertainty."""
+        return float(np.trace(self.p))
+
+    def __repr__(self) -> str:
+        return f"KalmanFilter(n={self.n}, m={self.m})"
+
+
+def constant_velocity_model(dt: float, process_std: float,
+                            measurement_std: float,
+                            dims: int = 2) -> Tuple[np.ndarray, np.ndarray,
+                                                    np.ndarray, np.ndarray]:
+    """(F, H, Q, R) of the standard constant-velocity tracker.
+
+    State per spatial dimension: [position, velocity]; measurements are
+    positions.  Q uses the white-acceleration discretization.
+    """
+    if dt <= 0:
+        raise ModelError("dt must be positive")
+    if process_std < 0 or measurement_std <= 0:
+        raise ModelError("noise levels must be positive")
+    f1 = np.array([[1.0, dt], [0.0, 1.0]])
+    q1 = process_std ** 2 * np.array([[dt ** 4 / 4, dt ** 3 / 2],
+                                      [dt ** 3 / 2, dt ** 2]])
+    f = np.kron(np.eye(dims), f1)
+    q = np.kron(np.eye(dims), q1)
+    h = np.kron(np.eye(dims), np.array([[1.0, 0.0]]))
+    r = measurement_std ** 2 * np.eye(dims)
+    return f, h, q, r
+
+
+class NISMonitor:
+    """Chi-square consistency test on the innovation sequence.
+
+    Under a correct model, NIS values are chi-square with ``dim`` degrees
+    of freedom; the windowed mean times the window size is chi-square with
+    ``window * dim`` degrees.  The monitor flags:
+
+    - ``epistemic_alarm`` — windowed mean outside the two-sided band
+      (mis-sized noise model: re-estimate Q/R);
+    - ``ontological_alarm`` — windowed mean above the one-sided band for
+      ``persistence`` consecutive windows (a biased innovation mean, the
+      structural-error signature).
+    """
+
+    def __init__(self, dim: int, window: int = 20,
+                 confidence: float = 0.99, persistence: int = 3):
+        if dim < 1 or window < 2 or persistence < 1:
+            raise ModelError("invalid monitor configuration")
+        if not 0.5 < confidence < 1.0:
+            raise ModelError("confidence must be in (0.5, 1)")
+        self.dim = dim
+        self.window = window
+        self.persistence = persistence
+        self._recent: Deque[float] = deque(maxlen=window)
+        self._exceed_streak = 0
+        self._step = 0
+        self.epistemic_alarm = False
+        self.ontological_alarm_step: Optional[int] = None
+        # Chi-square band via the Wilson-Hilferty approximation.
+        k = window * dim
+        from repro.probability.distributions import normal_ppf
+        z = float(normal_ppf(confidence))
+        self._upper = k * (1 - 2 / (9 * k) + z * (2 / (9 * k)) ** 0.5) ** 3
+        z2 = float(normal_ppf(1 - confidence))
+        self._lower = k * (1 - 2 / (9 * k) + z2 * (2 / (9 * k)) ** 0.5) ** 3
+
+    def observe(self, nis: float) -> bool:
+        """Feed one NIS value; returns True when any alarm is active.
+
+        Windows are *non-overlapping*: the statistic is evaluated once per
+        ``window`` samples, so consecutive evaluations are independent
+        under the null and ``persistence`` has its nominal false-alarm
+        rate (band miss probability ** persistence).
+        """
+        if nis < 0:
+            raise ModelError("NIS must be non-negative")
+        self._step += 1
+        self._recent.append(float(nis))
+        if len(self._recent) < self.window:
+            return self.ontological_alarm_step is not None
+        total = sum(self._recent)
+        self._recent.clear()
+        high = total > self._upper
+        low = total < self._lower
+        self.epistemic_alarm = high or low
+        if high:
+            self._exceed_streak += 1
+            if (self._exceed_streak >= self.persistence and
+                    self.ontological_alarm_step is None):
+                self.ontological_alarm_step = self._step
+        else:
+            self._exceed_streak = 0
+        return self.epistemic_alarm or self.ontological_alarm_step is not None
+
+    @property
+    def windowed_mean_nis(self) -> float:
+        if not self._recent:
+            return 0.0
+        return float(np.mean(self._recent))

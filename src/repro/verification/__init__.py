@@ -1,0 +1,17 @@
+"""Probabilistic formal verification (paper refs [9], [10]).
+
+The paper lists "verification with probabilistic formal methods" among the
+lifecycle methods for handling uncertainty.  This package provides a
+discrete-time Markov chain (DTMC) model checker for reachability and
+step-bounded properties, plus an interval-DTMC variant whose transition
+probabilities carry epistemic uncertainty — the verification-time
+counterpart of the interval-valued safety analyses elsewhere in the
+framework.
+"""
+
+from repro.verification.dtmc import DTMC, PropertyResult, check_reachability
+from repro.verification.interval_dtmc import IntervalDTMC
+from repro.verification.mdp import MDP, fallback_policy_mdp
+
+__all__ = ["DTMC", "PropertyResult", "check_reachability", "IntervalDTMC",
+           "MDP", "fallback_policy_mdp"]

@@ -1,0 +1,244 @@
+"""Discrete-time Markov chains and reachability model checking.
+
+A DTMC models the SuD's behavioral abstraction (e.g. the perceive-decide-
+act cycle with failure states).  The checker computes
+
+- unbounded reachability  P(eventually reach T)  by solving the linear
+  system over the non-target states (Gaussian elimination, no scipy), and
+- step-bounded reachability  P(reach T within k steps)  by value
+  iteration,
+
+and verifies threshold properties of the PCTL shape ``P<=p [F target]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class DTMC:
+    """A finite discrete-time Markov chain over named states."""
+
+    def __init__(self, states: Sequence[str],
+                 transitions: Mapping[str, Mapping[str, float]],
+                 *, atol: float = 1e-9):
+        states = [str(s) for s in states]
+        if len(set(states)) != len(states):
+            raise ModelError(f"duplicate states: {states}")
+        if not states:
+            raise ModelError("a DTMC needs at least one state")
+        self._states = states
+        self._index = {s: i for i, s in enumerate(states)}
+        n = len(states)
+        matrix = np.zeros((n, n))
+        for src, row in transitions.items():
+            if src not in self._index:
+                raise ModelError(f"unknown source state {src!r}")
+            for dst, p in row.items():
+                if dst not in self._index:
+                    raise ModelError(f"unknown target state {dst!r}")
+                if p < -atol:
+                    raise ModelError(f"negative probability {src!r}->{dst!r}")
+                matrix[self._index[src], self._index[dst]] = max(float(p), 0.0)
+        sums = matrix.sum(axis=1)
+        for i, s in enumerate(states):
+            if abs(sums[i]) < atol:
+                # Absorbing by omission: add the self-loop.
+                matrix[i, i] = 1.0
+            elif abs(sums[i] - 1.0) > max(atol, 1e-6):
+                raise ModelError(
+                    f"transitions out of {s!r} sum to {sums[i]}, expected 1")
+        self._matrix = matrix / matrix.sum(axis=1, keepdims=True)
+
+    @property
+    def states(self) -> List[str]:
+        return list(self._states)
+
+    @property
+    def n_states(self) -> int:
+        return len(self._states)
+
+    def transition_matrix(self) -> np.ndarray:
+        return self._matrix.copy()
+
+    def probability(self, src: str, dst: str) -> float:
+        return float(self._matrix[self._index[src], self._index[dst]])
+
+    def successors(self, state: str) -> Dict[str, float]:
+        i = self._index[state]
+        return {self._states[j]: float(p)
+                for j, p in enumerate(self._matrix[i]) if p > 0.0}
+
+    # -- analysis ----------------------------------------------------------------
+
+    def _target_set(self, targets: Iterable[str]) -> Set[int]:
+        out = set()
+        for t in targets:
+            if t not in self._index:
+                raise ModelError(f"unknown target state {t!r}")
+            out.add(self._index[t])
+        if not out:
+            raise ModelError("target set must be non-empty")
+        return out
+
+    def _can_reach(self, targets: Set[int]) -> Set[int]:
+        """Backward reachability: states with a path into the target set."""
+        reach = set(targets)
+        changed = True
+        while changed:
+            changed = False
+            for i in range(self.n_states):
+                if i in reach:
+                    continue
+                if any(self._matrix[i, j] > 0.0 for j in reach):
+                    reach.add(i)
+                    changed = True
+        return reach
+
+    def reachability(self, targets: Iterable[str]) -> Dict[str, float]:
+        """P(eventually reach the target set) from every state.
+
+        States that cannot reach the target have probability 0; target
+        states have 1; the rest solve ``x = P x`` restricted to the
+        transient block (standard first-step analysis).
+        """
+        target_idx = self._target_set(targets)
+        can = self._can_reach(target_idx)
+        probs = np.zeros(self.n_states)
+        for i in target_idx:
+            probs[i] = 1.0
+        unknown = sorted(can - target_idx)
+        if unknown:
+            k = len(unknown)
+            pos = {i: r for r, i in enumerate(unknown)}
+            a = np.eye(k)
+            b = np.zeros(k)
+            for i in unknown:
+                r = pos[i]
+                for j in range(self.n_states):
+                    p = self._matrix[i, j]
+                    if p == 0.0:
+                        continue
+                    if j in target_idx:
+                        b[r] += p
+                    elif j in pos:
+                        a[r, pos[j]] -= p
+                    # transitions to non-reaching states contribute 0
+            solution = np.linalg.solve(a, b)
+            for i in unknown:
+                probs[i] = float(np.clip(solution[pos[i]], 0.0, 1.0))
+        return {s: float(probs[self._index[s]]) for s in self._states}
+
+    def bounded_reachability(self, targets: Iterable[str],
+                             steps: int) -> Dict[str, float]:
+        """P(reach target within ``steps`` steps) by value iteration."""
+        if steps < 0:
+            raise ModelError("steps must be non-negative")
+        target_idx = self._target_set(targets)
+        x = np.zeros(self.n_states)
+        for i in target_idx:
+            x[i] = 1.0
+        for _ in range(steps):
+            x_new = self._matrix @ x
+            for i in target_idx:
+                x_new[i] = 1.0
+            x = x_new
+        return {s: float(x[self._index[s]]) for s in self._states}
+
+    def expected_steps_to(self, targets: Iterable[str]) -> Dict[str, float]:
+        """Expected hitting time of the target set (inf where unreachable)."""
+        target_idx = self._target_set(targets)
+        reach = self.reachability(list(targets))
+        out: Dict[str, float] = {}
+        transient = [i for i, s in enumerate(self._states)
+                     if i not in target_idx and reach[s] > 1.0 - 1e-12]
+        pos = {i: r for r, i in enumerate(transient)}
+        if transient:
+            k = len(transient)
+            a = np.eye(k)
+            b = np.ones(k)
+            for i in transient:
+                r = pos[i]
+                for j in range(self.n_states):
+                    p = self._matrix[i, j]
+                    if p > 0.0 and j in pos:
+                        a[r, pos[j]] -= p
+            solution = np.linalg.solve(a, b)
+        for i, s in enumerate(self._states):
+            if i in target_idx:
+                out[s] = 0.0
+            elif i in pos:
+                out[s] = float(solution[pos[i]])
+            else:
+                out[s] = float("inf")
+        return out
+
+    def stationary_distribution(self, tol: float = 1e-12,
+                                max_iter: int = 100000) -> Dict[str, float]:
+        """Stationary distribution by power iteration (ergodic chains)."""
+        x = np.full(self.n_states, 1.0 / self.n_states)
+        for _ in range(max_iter):
+            x_new = x @ self._matrix
+            if np.max(np.abs(x_new - x)) < tol:
+                x = x_new
+                break
+            x = x_new
+        return {s: float(x[i]) for i, s in enumerate(self._states)}
+
+    def simulate(self, rng: np.random.Generator, start: str,
+                 n_steps: int) -> List[str]:
+        """One trajectory (for cross-validation of the analytic answers)."""
+        if start not in self._index:
+            raise ModelError(f"unknown start state {start!r}")
+        path = [start]
+        i = self._index[start]
+        for _ in range(n_steps):
+            i = int(rng.choice(self.n_states, p=self._matrix[i]))
+            path.append(self._states[i])
+        return path
+
+    def __repr__(self) -> str:
+        return f"DTMC(states={self.n_states})"
+
+
+@dataclass(frozen=True)
+class PropertyResult:
+    """Verdict of a threshold property ``P<=bound [F target]``."""
+
+    probability: float
+    bound: float
+    satisfied: bool
+    from_state: str
+
+    def __repr__(self) -> str:
+        verdict = "SAT" if self.satisfied else "VIOLATED"
+        return (f"PropertyResult(P={self.probability:.6g} <= "
+                f"{self.bound} from {self.from_state!r}: {verdict})")
+
+
+def check_reachability(chain: DTMC, start: str, targets: Iterable[str],
+                       bound: float,
+                       steps: Optional[int] = None) -> PropertyResult:
+    """Check ``P<=bound [F target]`` (or step-bounded ``F<=k``) from start.
+
+    This is the probabilistic-verification entry point the paper's
+    lifecycle calls for: a quantitative safety requirement ("the hazard
+    state is reached with probability at most ``bound``") checked against
+    the behavioral model.
+    """
+    if not 0.0 <= bound <= 1.0:
+        raise ModelError("bound must be in [0, 1]")
+    if steps is None:
+        probs = chain.reachability(targets)
+    else:
+        probs = chain.bounded_reachability(targets, steps)
+    if start not in probs:
+        raise ModelError(f"unknown start state {start!r}")
+    p = probs[start]
+    return PropertyResult(probability=p, bound=bound,
+                          satisfied=p <= bound + 1e-12, from_state=start)

@@ -1,0 +1,145 @@
+"""Interval DTMCs: verification under epistemic transition uncertainty.
+
+When transition probabilities are only known to intervals (elicited or
+estimated from finite data), a reachability probability becomes an
+interval too.  This module computes best/worst-case reachability by
+interval value iteration: at every step the adversary (resp. the angel)
+picks, per state, the transition distribution inside the intervals that
+maximizes (resp. minimizes) the reachability value — the standard
+interval-Markov-chain semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.probability.intervals import IntervalProbability
+
+
+class IntervalDTMC:
+    """A DTMC whose transition probabilities are intervals."""
+
+    def __init__(self, states: Sequence[str],
+                 transitions: Mapping[str, Mapping[str, IntervalProbability]]):
+        states = [str(s) for s in states]
+        if len(set(states)) != len(states):
+            raise ModelError(f"duplicate states: {states}")
+        self._states = states
+        self._index = {s: i for i, s in enumerate(states)}
+        n = len(states)
+        self._lower = np.zeros((n, n))
+        self._upper = np.zeros((n, n))
+        for src, row in transitions.items():
+            if src not in self._index:
+                raise ModelError(f"unknown source state {src!r}")
+            for dst, iv in row.items():
+                if dst not in self._index:
+                    raise ModelError(f"unknown target state {dst!r}")
+                self._lower[self._index[src], self._index[dst]] = iv.lower
+                self._upper[self._index[src], self._index[dst]] = iv.upper
+        for i, s in enumerate(states):
+            lo, hi = self._lower[i].sum(), self._upper[i].sum()
+            if lo == 0.0 and hi == 0.0:
+                # Absorbing by omission.
+                self._lower[i, i] = self._upper[i, i] = 1.0
+                lo = hi = 1.0
+            if lo > 1.0 + 1e-9 or hi < 1.0 - 1e-9:
+                raise ModelError(
+                    f"intervals out of {s!r} cannot form a distribution "
+                    f"(sum lower {lo}, sum upper {hi})")
+
+    @property
+    def states(self) -> List[str]:
+        return list(self._states)
+
+    @property
+    def n_states(self) -> int:
+        return len(self._states)
+
+    def _extremal_row_value(self, i: int, values: np.ndarray,
+                            maximize: bool) -> float:
+        """Best/worst expected value over distributions within row i's
+        intervals.
+
+        Greedy water-filling: start every successor at its lower bound,
+        then spend the remaining mass on successors in order of value
+        (descending for max, ascending for min), capped by the upper
+        bounds.  Optimal because the feasible set is a polytope whose
+        vertices follow exactly this structure.
+        """
+        lower = self._lower[i]
+        upper = self._upper[i]
+        base = lower.copy()
+        remaining = 1.0 - base.sum()
+        if remaining < -1e-12:
+            raise ModelError("infeasible interval row")
+        order = np.argsort(-values if maximize else values)
+        for j in order:
+            if remaining <= 0.0:
+                break
+            room = upper[j] - base[j]
+            take = min(room, remaining)
+            base[j] += take
+            remaining -= take
+        if remaining > 1e-9:
+            raise ModelError("interval row cannot absorb all probability mass")
+        return float(base @ values)
+
+    def reachability_bounds(self, targets: Iterable[str],
+                            tol: float = 1e-10,
+                            max_iter: int = 100000
+                            ) -> Dict[str, IntervalProbability]:
+        """[min, max] reachability probability per state."""
+        target_idx: Set[int] = set()
+        for t in targets:
+            if t not in self._index:
+                raise ModelError(f"unknown target state {t!r}")
+            target_idx.add(self._index[t])
+        if not target_idx:
+            raise ModelError("target set must be non-empty")
+
+        def iterate(maximize: bool) -> np.ndarray:
+            x = np.zeros(self.n_states)
+            for i in target_idx:
+                x[i] = 1.0
+            for _ in range(max_iter):
+                x_new = np.array([
+                    1.0 if i in target_idx else
+                    self._extremal_row_value(i, x, maximize)
+                    for i in range(self.n_states)])
+                if np.max(np.abs(x_new - x)) < tol:
+                    return x_new
+                x = x_new
+            return x
+
+        lo = iterate(maximize=False)
+        hi = iterate(maximize=True)
+        return {s: IntervalProbability(float(np.clip(lo[i], 0.0, 1.0)),
+                                       float(np.clip(max(hi[i], lo[i]), 0.0, 1.0)))
+                for i, s in enumerate(self._states)}
+
+    def verify(self, start: str, targets: Iterable[str],
+               bound: float) -> Tuple[bool, bool, IntervalProbability]:
+        """Check ``P<=bound [F target]`` under epistemic uncertainty.
+
+        Returns (certainly_satisfied, possibly_satisfied, interval):
+        certainly = even the worst-case probability meets the bound;
+        possibly = at least the best case does.  The gap between the two
+        verdicts is exactly the epistemic uncertainty of the model — when
+        they disagree, the right response is uncertainty *removal* (better
+        transition estimates), not a redesign.
+        """
+        if start not in self._index:
+            raise ModelError(f"unknown start state {start!r}")
+        if not 0.0 <= bound <= 1.0:
+            raise ModelError("bound must be in [0, 1]")
+        interval = self.reachability_bounds(targets)[start]
+        certainly = interval.upper <= bound + 1e-12
+        possibly = interval.lower <= bound + 1e-12
+        return certainly, possibly, interval
+
+    def __repr__(self) -> str:
+        return f"IntervalDTMC(states={self.n_states})"

@@ -1,0 +1,203 @@
+"""Markov decision processes: synthesizing uncertainty-tolerant policies.
+
+The fallback policies of :mod:`repro.means.tolerance` are hand-written;
+an MDP makes the degraded-mode decision *derivable*: states describe the
+SuD's situation (confidence level, environment condition), actions are
+the vehicle-level reactions, costs encode hazard vs availability, and
+value iteration returns the optimal policy — including where the optimal
+action is to degrade, which is the tolerance means derived rather than
+assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class MDP:
+    """Finite MDP with per-(state, action) transition rows and costs.
+
+    ``transitions[state][action]`` is a distribution over next states;
+    ``costs[state][action]`` an immediate cost.  States missing from
+    ``transitions`` are absorbing with zero cost.
+    """
+
+    def __init__(self, states: Sequence[str], actions: Sequence[str],
+                 transitions: Mapping[str, Mapping[str, Mapping[str, float]]],
+                 costs: Mapping[str, Mapping[str, float]],
+                 *, atol: float = 1e-9):
+        states = [str(s) for s in states]
+        actions = [str(a) for a in actions]
+        if len(set(states)) != len(states) or not states:
+            raise ModelError("states must be unique and non-empty")
+        if len(set(actions)) != len(actions) or not actions:
+            raise ModelError("actions must be unique and non-empty")
+        self._states = states
+        self._actions = actions
+        self._sindex = {s: i for i, s in enumerate(states)}
+        self._transitions: Dict[str, Dict[str, Dict[str, float]]] = {}
+        self._costs: Dict[str, Dict[str, float]] = {}
+        for s, per_action in transitions.items():
+            if s not in self._sindex:
+                raise ModelError(f"unknown state {s!r}")
+            self._transitions[s] = {}
+            for a, row in per_action.items():
+                if a not in actions:
+                    raise ModelError(f"unknown action {a!r}")
+                total = 0.0
+                clean = {}
+                for dst, p in row.items():
+                    if dst not in self._sindex:
+                        raise ModelError(f"unknown target state {dst!r}")
+                    if p < -atol:
+                        raise ModelError("negative transition probability")
+                    clean[dst] = float(p)
+                    total += float(p)
+                if abs(total - 1.0) > max(atol, 1e-6):
+                    raise ModelError(
+                        f"transitions for ({s!r}, {a!r}) sum to {total}")
+                self._transitions[s][a] = clean
+                cost = costs.get(s, {}).get(a)
+                if cost is None:
+                    raise ModelError(f"missing cost for ({s!r}, {a!r})")
+                self._costs.setdefault(s, {})[a] = float(cost)
+
+    @property
+    def states(self) -> List[str]:
+        return list(self._states)
+
+    @property
+    def actions(self) -> List[str]:
+        return list(self._actions)
+
+    def enabled_actions(self, state: str) -> List[str]:
+        return sorted(self._transitions.get(state, {}))
+
+    def is_absorbing(self, state: str) -> bool:
+        return state not in self._transitions
+
+    def value_iteration(self, discount: float = 0.95, tol: float = 1e-10,
+                        max_iter: int = 100000
+                        ) -> Tuple[Dict[str, float], Dict[str, str]]:
+        """Minimize expected discounted cost; returns (values, policy)."""
+        if not 0.0 < discount < 1.0:
+            raise ModelError("discount must be in (0, 1)")
+        values = {s: 0.0 for s in self._states}
+        for _ in range(max_iter):
+            delta = 0.0
+            new_values = dict(values)
+            for s in self._states:
+                if self.is_absorbing(s):
+                    continue
+                best = np.inf
+                for a, row in self._transitions[s].items():
+                    q = self._costs[s][a] + discount * sum(
+                        p * values[dst] for dst, p in row.items())
+                    best = min(best, q)
+                new_values[s] = best
+                delta = max(delta, abs(best - values[s]))
+            values = new_values
+            if delta < tol:
+                break
+        policy: Dict[str, str] = {}
+        for s in self._states:
+            if self.is_absorbing(s):
+                continue
+            best_a, best_q = None, np.inf
+            for a, row in self._transitions[s].items():
+                q = self._costs[s][a] + discount * sum(
+                    p * values[dst] for dst, p in row.items())
+                if q < best_q:
+                    best_a, best_q = a, q
+            assert best_a is not None
+            policy[s] = best_a
+        return values, policy
+
+    def policy_value(self, policy: Mapping[str, str],
+                     discount: float = 0.95) -> Dict[str, float]:
+        """Exact policy evaluation by linear solve."""
+        if not 0.0 < discount < 1.0:
+            raise ModelError("discount must be in (0, 1)")
+        live = [s for s in self._states if not self.is_absorbing(s)]
+        pos = {s: i for i, s in enumerate(live)}
+        k = len(live)
+        a = np.eye(k)
+        b = np.zeros(k)
+        for s in live:
+            action = policy.get(s)
+            if action is None or action not in self._transitions[s]:
+                raise ModelError(f"policy missing/invalid action for {s!r}")
+            b[pos[s]] = self._costs[s][action]
+            for dst, p in self._transitions[s][action].items():
+                if dst in pos:
+                    a[pos[s], pos[dst]] -= discount * p
+        solution = np.linalg.solve(a, b)
+        values = {s: 0.0 for s in self._states}
+        for s in live:
+            values[s] = float(solution[pos[s]])
+        return values
+
+    def __repr__(self) -> str:
+        return f"MDP(states={len(self._states)}, actions={len(self._actions)})"
+
+
+def fallback_policy_mdp(p_hazard_commit_uncertain: float = 0.3,
+                        p_hazard_commit_confident: float = 0.02,
+                        degraded_cost: float = 1.0,
+                        hazard_cost: float = 100.0) -> MDP:
+    """The degraded-mode decision as an MDP.
+
+    States: the perception situation per cycle — ``confident``,
+    ``uncertain`` (epistemic flag raised), ``hazard`` (absorbing) and
+    ``done`` (absorbing, episode ends safely).  Actions: ``commit`` (act
+    on the belief) or ``degrade`` (cautious mode, costs availability).
+    The optimal policy quantifies when tolerance pays: committing under
+    uncertainty is optimal only when the hazard risk is small relative to
+    the availability cost.
+    """
+    for name, p in (("p_hazard_commit_uncertain", p_hazard_commit_uncertain),
+                    ("p_hazard_commit_confident", p_hazard_commit_confident)):
+        if not 0.0 <= p <= 1.0:
+            raise ModelError(f"{name} must be in [0, 1]")
+    if degraded_cost < 0 or hazard_cost < 0:
+        raise ModelError("costs must be non-negative")
+    p_uncertain = 0.2  # chance the next cycle raises the epistemic flag
+    next_dist = {"confident": (1 - p_uncertain) * 0.9,
+                 "uncertain": p_uncertain * 0.9, "done": 0.1}
+
+    def after(p_hazard: float) -> Dict[str, float]:
+        out = {k: v * (1.0 - p_hazard) for k, v in next_dist.items()}
+        out["hazard"] = p_hazard
+        return out
+
+    return MDP(
+        states=["confident", "uncertain", "hazard", "done"],
+        actions=["commit", "degrade"],
+        transitions={
+            "confident": {
+                "commit": after(p_hazard_commit_confident),
+                "degrade": dict(next_dist),
+            },
+            "uncertain": {
+                "commit": after(p_hazard_commit_uncertain),
+                "degrade": dict(next_dist),
+            },
+        },
+        costs={
+            # Hazard entry is charged as an expected immediate cost of the
+            # committing action (the hazard state itself is absorbing).
+            "confident": {
+                "commit": p_hazard_commit_confident * hazard_cost,
+                "degrade": degraded_cost,
+            },
+            "uncertain": {
+                "commit": p_hazard_commit_uncertain * hazard_cost,
+                "degrade": degraded_cost,
+            },
+        },
+    )

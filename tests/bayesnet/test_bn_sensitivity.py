@@ -1,0 +1,97 @@
+"""Tests for BN sensitivity analysis (CPT-entry robustness)."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.sensitivity import (
+    SensitivityFunction,
+    sensitivity_function,
+    tornado_analysis,
+)
+from repro.errors import InferenceError
+from repro.perception.chain import build_fig4_network
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return build_fig4_network()
+
+
+class TestSensitivityFunction:
+    def test_exactness_against_reevaluation(self, fig4):
+        """The rational fit must reproduce direct re-evaluation exactly."""
+        fn = sensitivity_function(
+            fig4, node="perception", parent_states=("unknown",),
+            child_state="none", query="ground_truth", query_state="unknown",
+            evidence={"perception": "none"})
+        from repro.bayesnet.sensitivity import _network_with_entry
+        for x in (0.3, 0.5, 0.9):
+            trial = _network_with_entry(fig4, "perception", ("unknown",),
+                                        "none", x)
+            direct = trial.query("ground_truth",
+                                 {"perception": "none"})["unknown"]
+            assert fn(x) == pytest.approx(direct, abs=1e-12)
+
+    def test_baseline_recovered_at_x0(self, fig4):
+        fn = sensitivity_function(
+            fig4, node="perception", parent_states=("unknown",),
+            child_state="none", query="ground_truth", query_state="unknown",
+            evidence={"perception": "none"})
+        baseline = fig4.query("ground_truth", {"perception": "none"})["unknown"]
+        assert fn(fn.x0) == pytest.approx(baseline, abs=1e-12)
+
+    def test_monotone_direction(self, fig4):
+        """Raising P(none | unknown) must raise P(unknown | none)."""
+        fn = sensitivity_function(
+            fig4, node="perception", parent_states=("unknown",),
+            child_state="none", query="ground_truth", query_state="unknown",
+            evidence={"perception": "none"})
+        assert fn(0.9) > fn(0.5) > fn(0.1)
+        assert fn.derivative_at(fn.x0) > 0.0
+
+    def test_prior_query_no_evidence(self, fig4):
+        """Without evidence the posterior of the prior node is insensitive
+        to the child CPT."""
+        fn = sensitivity_function(
+            fig4, node="perception", parent_states=("car",),
+            child_state="car", query="ground_truth", query_state="car")
+        assert fn(0.2) == pytest.approx(fn(0.9), abs=1e-12)
+
+    def test_range_over(self, fig4):
+        fn = sensitivity_function(
+            fig4, node="perception", parent_states=("unknown",),
+            child_state="none", query="ground_truth", query_state="unknown",
+            evidence={"perception": "none"})
+        lo, hi = fn.range_over(0.5, 0.9)
+        assert lo < hi
+        assert lo <= fn(0.7) <= hi
+
+
+class TestTornado:
+    def test_rankings_and_baseline(self, fig4):
+        entries = tornado_analysis(fig4, query="ground_truth",
+                                   query_state="unknown",
+                                   evidence={"perception": "none"},
+                                   relative_band=0.3)
+        assert entries  # non-empty
+        swings = [e.swing for e in entries]
+        assert swings == sorted(swings, reverse=True)
+        baseline = fig4.query("ground_truth", {"perception": "none"})["unknown"]
+        for e in entries[:3]:
+            assert e.low - 1e-9 <= baseline <= e.high + 1e-9
+
+    def test_dominant_entry_is_plausible(self, fig4):
+        """The conclusion P(unknown|none) should hinge on the unknown-row
+        or prior entries, not on the car/pedestrian confusion entries."""
+        entries = tornado_analysis(fig4, query="ground_truth",
+                                   query_state="unknown",
+                                   evidence={"perception": "none"},
+                                   relative_band=0.3)
+        top_nodes = {(e.node, e.parent_states) for e in entries[:4]}
+        assert any(ps == ("unknown",) or node == "ground_truth"
+                   for node, ps in top_nodes)
+
+    def test_band_validation(self, fig4):
+        with pytest.raises(InferenceError):
+            tornado_analysis(fig4, query="ground_truth",
+                             query_state="unknown", relative_band=0.0)

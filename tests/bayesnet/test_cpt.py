@@ -1,0 +1,123 @@
+"""Tests for conditional probability tables."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.variable import Variable, boolean_variable
+from repro.errors import GraphError, InferenceError
+
+GT = Variable("ground_truth", ["car", "pedestrian", "unknown"])
+PC = Variable("perception", ["car", "pedestrian", "car/pedestrian", "none"])
+
+
+class TestVariable:
+    def test_states_and_cardinality(self):
+        assert GT.cardinality == 3
+        assert GT.index_of("unknown") == 2
+
+    def test_state_outside_ontology(self):
+        with pytest.raises(GraphError, match="ontology"):
+            GT.index_of("kangaroo")
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(GraphError):
+            Variable("x", ["a", "a"])
+
+    def test_min_two_states(self):
+        with pytest.raises(GraphError):
+            Variable("x", ["only"])
+
+    def test_equality_and_hash(self):
+        v1 = Variable("x", ["a", "b"])
+        v2 = Variable("x", ["a", "b"])
+        v3 = Variable("x", ["a", "c"])
+        assert v1 == v2 and hash(v1) == hash(v2)
+        assert v1 != v3
+
+    def test_boolean_variable(self):
+        b = boolean_variable("fault")
+        assert b.states == ("false", "true")
+
+
+class TestCPTConstruction:
+    def test_prior(self):
+        cpt = CPT.prior(GT, {"car": 0.6, "pedestrian": 0.3, "unknown": 0.1})
+        assert cpt.prob("car") == pytest.approx(0.6)
+        assert cpt.parents == ()
+
+    def test_from_dict_missing_entry(self):
+        with pytest.raises(InferenceError, match="missing"):
+            CPT.from_dict(PC, [GT], {("car",): {"car": 1.0, "pedestrian": 0.0,
+                                                "car/pedestrian": 0.0,
+                                                "none": 0.0}})
+
+    def test_non_normalized_row_rejected(self):
+        """The validator that caught the paper's Table I defect."""
+        with pytest.raises(InferenceError, match="normalize"):
+            CPT.prior(GT, {"car": 0.6, "pedestrian": 0.3, "unknown": 0.05})
+
+    def test_uniform(self):
+        cpt = CPT.uniform(PC, [GT])
+        assert cpt.prob("car", ("unknown",)) == pytest.approx(0.25)
+
+    def test_deterministic(self):
+        x = boolean_variable("x")
+        y = boolean_variable("y")
+        z = boolean_variable("z")
+        cpt = CPT.deterministic(z, [x, y],
+                                lambda a, b: "true" if a == b == "true" else "false")
+        assert cpt.prob("true", ("true", "true")) == 1.0
+        assert cpt.prob("true", ("true", "false")) == 0.0
+
+    def test_wrong_shape(self):
+        with pytest.raises(InferenceError):
+            CPT(PC, [GT], np.ones((2, 4)) / 4)
+
+    def test_duplicate_variable_names(self):
+        with pytest.raises(InferenceError):
+            CPT(GT, [GT], np.ones((3, 3)) / 3)
+
+
+class TestCPTQueries:
+    @pytest.fixture
+    def fig4_cpt(self):
+        rows = {
+            ("car",): {"car": 0.9, "pedestrian": 0.005,
+                       "car/pedestrian": 0.05, "none": 0.045},
+            ("pedestrian",): {"car": 0.005, "pedestrian": 0.9,
+                              "car/pedestrian": 0.05, "none": 0.045},
+            ("unknown",): {"car": 0.0, "pedestrian": 0.0,
+                           "car/pedestrian": 0.2 / 0.9, "none": 0.7 / 0.9},
+        }
+        return CPT.from_dict(PC, [GT], rows)
+
+    def test_row_access(self, fig4_cpt):
+        row = fig4_cpt.row(("car",))
+        assert row["car"] == pytest.approx(0.9)
+        assert sum(row.values()) == pytest.approx(1.0)
+
+    def test_row_wrong_arity(self, fig4_cpt):
+        with pytest.raises(InferenceError):
+            fig4_cpt.row(())
+
+    def test_n_parameters_exponential_growth(self):
+        """The paper's CPT-growth warning, quantified."""
+        five = Variable("c", [f"s{i}" for i in range(5)])
+        parents1 = [Variable("p0", [f"s{i}" for i in range(5)])]
+        parents3 = [Variable(f"p{i}", [f"s{j}" for j in range(5)])
+                    for i in range(3)]
+        cpt1 = CPT.uniform(five, parents1)
+        cpt3 = CPT.uniform(five, parents3)
+        assert cpt1.n_parameters() == 5 * 4
+        assert cpt3.n_parameters() == 125 * 4
+
+    def test_to_factor_shares_table(self, fig4_cpt):
+        f = fig4_cpt.to_factor()
+        assert f.names == ["ground_truth", "perception"]
+        assert f.prob({"ground_truth": "car",
+                       "perception": "car"}) == pytest.approx(0.9)
+
+    def test_sample_child_frequencies(self, fig4_cpt, rng):
+        outs = [fig4_cpt.sample_child(rng, ("car",)) for _ in range(5000)]
+        assert outs.count("car") / 5000 == pytest.approx(0.9, abs=0.02)

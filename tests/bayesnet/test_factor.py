@@ -1,0 +1,143 @@
+"""Tests for factor algebra (products, marginalization, reduction)."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.factor import Factor, ScalarFactor, multiply_all
+from repro.bayesnet.variable import Variable
+from repro.errors import InferenceError
+
+A = Variable("A", ["a0", "a1"])
+B = Variable("B", ["b0", "b1", "b2"])
+C = Variable("C", ["c0", "c1"])
+
+
+class TestFactorBasics:
+    def test_shape_validation(self):
+        with pytest.raises(InferenceError):
+            Factor([A, B], np.ones((2, 2)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(InferenceError):
+            Factor([A], np.array([-0.1, 1.1]))
+
+    def test_indicator(self):
+        f = Factor.indicator(A, "a1")
+        assert f.prob({"A": "a1"}) == 1.0
+        assert f.prob({"A": "a0"}) == 0.0
+
+    def test_prob_requires_full_assignment(self):
+        f = Factor.ones([A, B])
+        with pytest.raises(InferenceError):
+            f.prob({"A": "a0"})
+
+    def test_as_dict_roundtrip(self):
+        table = np.arange(6, dtype=float).reshape(2, 3)
+        f = Factor([A, B], table)
+        d = f.as_dict()
+        assert d[("a1", "b2")] == 5.0
+        assert len(d) == 6
+
+
+class TestProduct:
+    def test_disjoint_scopes_outer_product(self):
+        fa = Factor([A], np.array([0.4, 0.6]))
+        fb = Factor([B], np.array([0.2, 0.3, 0.5]))
+        prod = fa.multiply(fb)
+        assert prod.table.shape == (2, 3)
+        assert prod.prob({"A": "a1", "B": "b2"}) == pytest.approx(0.3)
+
+    def test_overlapping_scopes(self):
+        fab = Factor([A, B], np.ones((2, 3)))
+        fb = Factor([B], np.array([1.0, 2.0, 3.0]))
+        prod = fab.multiply(fb)
+        assert prod.prob({"A": "a0", "B": "b2"}) == pytest.approx(3.0)
+
+    def test_product_commutative(self):
+        fa = Factor([A, B], np.random.default_rng(0).random((2, 3)))
+        fb = Factor([B, C], np.random.default_rng(1).random((3, 2)))
+        p1 = fa.multiply(fb)
+        p2 = fb.multiply(fa)
+        for key, v in p1.as_dict().items():
+            assignment = dict(zip(p1.names, key))
+            assert p2.prob(assignment) == pytest.approx(v)
+
+    def test_conflicting_state_sets_rejected(self):
+        A2 = Variable("A", ["x", "y"])
+        with pytest.raises(InferenceError):
+            Factor([A], np.ones(2)).multiply(Factor([A2], np.ones(2)))
+
+    def test_multiply_all_empty(self):
+        out = multiply_all([])
+        assert isinstance(out, ScalarFactor)
+        assert out.partition() == 1.0
+
+
+class TestMarginalizeReduce:
+    def test_marginalize_sums(self):
+        f = Factor([A, B], np.arange(6, dtype=float).reshape(2, 3))
+        m = f.marginalize(["B"])
+        assert m.table.tolist() == [3.0, 12.0]
+
+    def test_marginalize_all_gives_scalar(self):
+        f = Factor([A], np.array([0.4, 0.6]))
+        s = f.marginalize(["A"])
+        assert isinstance(s, ScalarFactor)
+        assert s.partition() == pytest.approx(1.0)
+
+    def test_marginalize_absent_raises(self):
+        f = Factor([A], np.ones(2))
+        with pytest.raises(InferenceError):
+            f.marginalize(["Z"])
+
+    def test_reduce_slices(self):
+        f = Factor([A, B], np.arange(6, dtype=float).reshape(2, 3))
+        r = f.reduce({"A": "a1"})
+        assert r.names == ["B"]
+        assert r.table.tolist() == [3.0, 4.0, 5.0]
+
+    def test_reduce_irrelevant_evidence_noop(self):
+        f = Factor([A], np.ones(2))
+        assert f.reduce({"C": "c0"}) is f
+
+    def test_reduce_to_scalar(self):
+        f = Factor([A], np.array([0.3, 0.7]))
+        s = f.reduce({"A": "a1"})
+        assert isinstance(s, ScalarFactor)
+        assert s.partition() == pytest.approx(0.7)
+
+    def test_max_out(self):
+        f = Factor([A, B], np.arange(6, dtype=float).reshape(2, 3))
+        m = f.max_out(["B"])
+        assert m.table.tolist() == [2.0, 5.0]
+
+
+class TestNormalization:
+    def test_normalize(self):
+        f = Factor([A], np.array([2.0, 6.0]))
+        n = f.normalize()
+        assert n.distribution() == {"a0": pytest.approx(0.25),
+                                    "a1": pytest.approx(0.75)}
+
+    def test_normalize_zero_raises(self):
+        f = Factor([A], np.zeros(2))
+        with pytest.raises(InferenceError):
+            f.normalize()
+
+    def test_distribution_requires_single_variable(self):
+        f = Factor.ones([A, B])
+        with pytest.raises(InferenceError):
+            f.distribution()
+
+
+class TestScalarFactor:
+    def test_multiply_scales(self):
+        f = Factor([A], np.array([1.0, 3.0]))
+        s = ScalarFactor(0.5)
+        out = s.multiply(f)
+        assert out.table.tolist() == [0.5, 1.5]
+
+    def test_scalar_normalize(self):
+        assert ScalarFactor(2.0).normalize().partition() == 1.0
+        with pytest.raises(InferenceError):
+            ScalarFactor(0.0).normalize()

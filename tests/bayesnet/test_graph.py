@@ -1,0 +1,147 @@
+"""Tests for the DAG structure and graph algorithms."""
+
+import pytest
+
+from repro.bayesnet.graph import (
+    DAG,
+    maximum_spanning_junction_tree,
+    min_fill_elimination_order,
+    triangulate,
+)
+from repro.errors import GraphError
+
+
+def diamond():
+    """a -> b, a -> c, b -> d, c -> d."""
+    g = DAG()
+    g.add_edge("a", "b")
+    g.add_edge("a", "c")
+    g.add_edge("b", "d")
+    g.add_edge("c", "d")
+    return g
+
+
+class TestDAG:
+    def test_add_edge_creates_nodes(self):
+        g = DAG()
+        g.add_edge("x", "y")
+        assert set(g.nodes) == {"x", "y"}
+        assert g.parents("y") == {"x"}
+        assert g.children("x") == {"y"}
+
+    def test_self_loop_rejected(self):
+        g = DAG()
+        with pytest.raises(GraphError):
+            g.add_edge("a", "a")
+
+    def test_cycle_rejected(self):
+        g = DAG()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        with pytest.raises(GraphError):
+            g.add_edge("c", "a")
+
+    def test_remove_edge(self):
+        g = diamond()
+        g.remove_edge("a", "b")
+        assert "a" not in g.parents("b")
+        with pytest.raises(GraphError):
+            g.remove_edge("a", "b")
+
+    def test_roots_and_leaves(self):
+        g = diamond()
+        assert g.roots() == ["a"]
+        assert g.leaves() == ["d"]
+
+    def test_ancestors_descendants(self):
+        g = diamond()
+        assert g.ancestors("d") == {"a", "b", "c"}
+        assert g.descendants("a") == {"b", "c", "d"}
+        assert g.ancestors("a") == set()
+
+    def test_topological_order(self):
+        g = diamond()
+        order = g.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_markov_blanket(self):
+        g = diamond()
+        # blanket of b: parent a, child d, d's other parent c
+        assert g.markov_blanket("b") == {"a", "c", "d"}
+
+    def test_moralize_marries_coparents(self):
+        g = diamond()
+        adj = g.moralize()
+        assert "c" in adj["b"] and "b" in adj["c"]
+
+    def test_unknown_node_raises(self):
+        g = diamond()
+        with pytest.raises(GraphError):
+            g.parents("zz")
+
+
+class TestDSeparation:
+    def test_chain_blocked_by_middle(self):
+        g = DAG()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        assert g.d_separated("a", "c", ["b"])
+        assert not g.d_separated("a", "c", [])
+
+    def test_fork_blocked_by_root(self):
+        g = DAG()
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        assert g.d_separated("b", "c", ["a"])
+        assert not g.d_separated("b", "c", [])
+
+    def test_collider_opens_when_observed(self):
+        g = DAG()
+        g.add_edge("a", "c")
+        g.add_edge("b", "c")
+        assert g.d_separated("a", "b", [])
+        assert not g.d_separated("a", "b", ["c"])
+
+    def test_collider_descendant_opens(self):
+        g = DAG()
+        g.add_edge("a", "c")
+        g.add_edge("b", "c")
+        g.add_edge("c", "d")
+        assert not g.d_separated("a", "b", ["d"])
+
+
+class TestEliminationAndTriangulation:
+    def test_min_fill_prefers_cheap_nodes(self):
+        # Star graph: center has fill-in, leaves do not.
+        adj = {"center": {"l1", "l2", "l3"},
+               "l1": {"center"}, "l2": {"center"}, "l3": {"center"}}
+        order = min_fill_elimination_order(adj)
+        assert order[-1] == "center" or order.index("l1") < order.index("center")
+
+    def test_keep_nodes_not_eliminated(self):
+        adj = {"a": {"b"}, "b": {"a", "c"}, "c": {"b"}}
+        order = min_fill_elimination_order(adj, keep=["b"])
+        assert "b" not in order
+        assert set(order) == {"a", "c"}
+
+    def test_triangulate_cycle(self):
+        # 4-cycle needs one chord.
+        adj = {"a": {"b", "d"}, "b": {"a", "c"}, "c": {"b", "d"},
+               "d": {"c", "a"}}
+        chordal, cliques = triangulate(adj)
+        # All cliques must be triangles in a triangulated 4-cycle.
+        assert all(len(c) <= 3 for c in cliques)
+        assert len(cliques) == 2
+
+    def test_junction_tree_connects_cliques(self):
+        adj = {"a": {"b", "d"}, "b": {"a", "c"}, "c": {"b", "d"},
+               "d": {"c", "a"}}
+        _, cliques = triangulate(adj)
+        tree = maximum_spanning_junction_tree(cliques)
+        assert len(tree) == len(cliques) - 1
+        # Separator of the two triangles is the chord (2 nodes).
+        assert all(len(sep) >= 1 for _, _, sep in tree)
+
+    def test_empty_cliques(self):
+        assert maximum_spanning_junction_tree([]) == []

@@ -1,0 +1,174 @@
+"""Tests for CPT learning and ranked-node elicitation."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.learning import (
+    DirichletCPT,
+    bayesian_update_cpts,
+    fit_cpt_mle,
+    fit_cpts_mle,
+    log_likelihood,
+)
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.ranked_nodes import (
+    RankedNode,
+    make_ranked_variable,
+    ranked_cpt,
+    ranked_parameter_savings,
+)
+from repro.bayesnet.variable import Variable, boolean_variable
+from repro.errors import InferenceError
+
+
+def two_node_network():
+    a = boolean_variable("a")
+    b = boolean_variable("b")
+    bn = BayesianNetwork("ab")
+    bn.add_cpt(CPT.prior(a, {"true": 0.3, "false": 0.7}))
+    bn.add_cpt(CPT.from_dict(b, [a], {
+        ("true",): {"true": 0.9, "false": 0.1},
+        ("false",): {"true": 0.2, "false": 0.8}}))
+    return bn
+
+
+class TestMLE:
+    def test_recovers_generating_cpts(self, rng):
+        bn = two_node_network()
+        records = bn.sample(rng, 20000)
+        fitted = fit_cpts_mle(bn, records)
+        assert fitted.cpt("a").prob("true") == pytest.approx(0.3, abs=0.02)
+        assert fitted.cpt("b").prob("true", ("true",)) == pytest.approx(
+            0.9, abs=0.02)
+
+    def test_unseen_configuration_uniform_fallback(self):
+        a = boolean_variable("a")
+        b = boolean_variable("b")
+        records = [{"a": "true", "b": "true"}]  # a=false never seen
+        cpt = fit_cpt_mle(b, [a], records)
+        assert cpt.prob("true", ("false",)) == pytest.approx(0.5)
+
+    def test_smoothing_avoids_zeros(self):
+        a = boolean_variable("a")
+        b = boolean_variable("b")
+        records = [{"a": "true", "b": "true"}] * 10
+        cpt = fit_cpt_mle(b, [a], records, pseudocount=1.0)
+        assert cpt.prob("false", ("true",)) > 0.0
+
+    def test_missing_variable_in_record(self):
+        a = boolean_variable("a")
+        b = boolean_variable("b")
+        with pytest.raises(InferenceError):
+            fit_cpt_mle(b, [a], [{"a": "true"}])
+
+    def test_log_likelihood_improves_with_fit(self, rng):
+        bn = two_node_network()
+        records = bn.sample(rng, 2000)
+        fitted = fit_cpts_mle(bn, records)
+        bad = two_node_network()
+        bad.replace_cpt(CPT.from_dict(bad.variable("b"), [bad.variable("a")], {
+            ("true",): {"true": 0.1, "false": 0.9},
+            ("false",): {"true": 0.9, "false": 0.1}}))
+        assert log_likelihood(fitted, records) > log_likelihood(bad, records)
+
+    def test_log_likelihood_impossible_record(self):
+        bn = two_node_network()
+        bn.replace_cpt(CPT.from_dict(bn.variable("b"), [bn.variable("a")], {
+            ("true",): {"true": 1.0, "false": 0.0},
+            ("false",): {"true": 0.2, "false": 0.8}}))
+        rec = [{"a": "true", "b": "false"}]
+        assert log_likelihood(bn, rec) == float("-inf")
+
+
+class TestDirichletCPT:
+    def test_mean_cpt_moves_with_data(self):
+        a = boolean_variable("a")
+        b = boolean_variable("b")
+        dc = DirichletCPT(b, [a], prior_strength=1.0)
+        for _ in range(50):
+            dc.observe(("true",), "true")
+        assert dc.mean_cpt().prob("true", ("true",)) > 0.9
+
+    def test_credible_interval_shrinks(self):
+        a = boolean_variable("a")
+        b = boolean_variable("b")
+        dc = DirichletCPT(b, [a])
+        lo1, hi1 = dc.credible_interval(("true",), "true")
+        for _ in range(200):
+            dc.observe(("true",), "true")
+            dc.observe(("true",), "false")
+        lo2, hi2 = dc.credible_interval(("true",), "true")
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_epistemic_uncertainty_decreases(self, rng):
+        bn = two_node_network()
+        records = bn.sample(rng, 500)
+        dc_small = bayesian_update_cpts(bn, records[:50])
+        dc_large = bayesian_update_cpts(bn, records)
+        assert (dc_large["b"].epistemic_uncertainty() <
+                dc_small["b"].epistemic_uncertainty())
+
+    def test_unknown_parent_config(self):
+        a = boolean_variable("a")
+        b = boolean_variable("b")
+        dc = DirichletCPT(b, [a])
+        with pytest.raises(InferenceError):
+            dc.observe(("maybe",), "true")
+
+
+class TestRankedNodes:
+    def test_midpoints(self):
+        rn = RankedNode(make_ranked_variable("x"))
+        assert rn.midpoint("very_low") == pytest.approx(0.1)
+        assert rn.midpoint("very_high") == pytest.approx(0.9)
+
+    def test_discretize_normalizes(self):
+        rn = RankedNode(make_ranked_variable("x"))
+        probs = rn.discretize(0.5, 0.2)
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[2] == max(probs)  # mass peaks at the middle state
+
+    def test_discretize_deterministic_sigma_zero(self):
+        rn = RankedNode(make_ranked_variable("x"))
+        probs = rn.discretize(0.85, 0.0)
+        assert probs[4] == 1.0
+
+    def test_ranked_cpt_monotone_in_parents(self):
+        child = make_ranked_variable("quality")
+        p1 = make_ranked_variable("effort")
+        p2 = make_ranked_variable("skill")
+        cpt = ranked_cpt(child, [p1, p2], weights=[1.0, 1.0], sigma=0.15)
+        # High parents -> expected child index higher than with low parents.
+        def expected_index(row):
+            return sum(i * p for i, p in enumerate(row.values()))
+        low = cpt.row(("very_low", "very_low"))
+        high = cpt.row(("very_high", "very_high"))
+        assert expected_index(high) > expected_index(low)
+
+    def test_inverted_parent(self):
+        child = make_ranked_variable("risk")
+        p = make_ranked_variable("maturity")
+        cpt = ranked_cpt(child, [p], weights=[1.0], sigma=0.1,
+                         inverted=[True])
+        def expected_index(row):
+            return sum(i * pr for i, pr in enumerate(row.values()))
+        assert (expected_index(cpt.row(("very_high",))) <
+                expected_index(cpt.row(("very_low",))))
+
+    def test_weight_validation(self):
+        child = make_ranked_variable("c")
+        p = make_ranked_variable("p")
+        with pytest.raises(InferenceError):
+            ranked_cpt(child, [p], weights=[], sigma=0.1)
+        with pytest.raises(InferenceError):
+            ranked_cpt(child, [p], weights=[-1.0], sigma=0.1)
+
+    def test_parameter_savings_exponential(self):
+        """The Fenton et al. exponential-to-linear reduction."""
+        child = make_ranked_variable("c")
+        parents = [make_ranked_variable(f"p{i}") for i in range(3)]
+        savings = ranked_parameter_savings(child, parents)
+        assert savings["full_cpt"] == 125 * 4
+        assert savings["ranked"] == 4
+        assert savings["ratio"] >= 100

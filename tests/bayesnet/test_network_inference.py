@@ -1,0 +1,254 @@
+"""Network construction + cross-method inference agreement tests.
+
+The central correctness test battery: variable elimination, junction tree,
+likelihood weighting, rejection and Gibbs must all agree on the same
+posteriors (exact methods to machine precision, samplers within
+Monte-Carlo tolerance).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.inference.junction_tree import JunctionTree
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.variable import Variable, boolean_variable
+from repro.errors import GraphError, InferenceError
+
+
+def fig4_network():
+    from repro.perception.chain import build_fig4_network
+    return build_fig4_network()
+
+
+def sprinkler_network():
+    """The classic cloudy/sprinkler/rain/wet-grass network."""
+    cloudy = boolean_variable("cloudy")
+    sprinkler = boolean_variable("sprinkler")
+    rain = boolean_variable("rain")
+    wet = boolean_variable("wet")
+    bn = BayesianNetwork("sprinkler")
+    bn.add_cpt(CPT.prior(cloudy, {"true": 0.5, "false": 0.5}))
+    bn.add_cpt(CPT.from_dict(sprinkler, [cloudy], {
+        ("true",): {"true": 0.1, "false": 0.9},
+        ("false",): {"true": 0.5, "false": 0.5}}))
+    bn.add_cpt(CPT.from_dict(rain, [cloudy], {
+        ("true",): {"true": 0.8, "false": 0.2},
+        ("false",): {"true": 0.2, "false": 0.8}}))
+    bn.add_cpt(CPT.from_dict(wet, [sprinkler, rain], {
+        ("true", "true"): {"true": 0.99, "false": 0.01},
+        ("true", "false"): {"true": 0.9, "false": 0.1},
+        ("false", "true"): {"true": 0.9, "false": 0.1},
+        ("false", "false"): {"true": 0.0, "false": 1.0}}))
+    return bn
+
+
+class TestConstruction:
+    def test_parent_must_exist(self):
+        bn = BayesianNetwork()
+        child = boolean_variable("c")
+        parent = boolean_variable("p")
+        with pytest.raises(GraphError):
+            bn.add_cpt(CPT.uniform(child, [parent]))
+
+    def test_duplicate_node_rejected(self):
+        bn = BayesianNetwork()
+        v = boolean_variable("v")
+        bn.add_cpt(CPT.prior(v, {"true": 0.5, "false": 0.5}))
+        with pytest.raises(GraphError):
+            bn.add_cpt(CPT.prior(v, {"true": 0.1, "false": 0.9}))
+
+    def test_replace_cpt_preserves_structure(self):
+        bn = sprinkler_network()
+        rain = bn.variable("rain")
+        cloudy = bn.variable("cloudy")
+        bn.replace_cpt(CPT.from_dict(rain, [cloudy], {
+            ("true",): {"true": 0.9, "false": 0.1},
+            ("false",): {"true": 0.1, "false": 0.9}}))
+        assert bn.query("rain")["true"] == pytest.approx(0.5)
+
+    def test_replace_cpt_structure_change_rejected(self):
+        bn = sprinkler_network()
+        rain = bn.variable("rain")
+        with pytest.raises(GraphError):
+            bn.replace_cpt(CPT.prior(rain, {"true": 0.5, "false": 0.5}))
+
+    def test_n_parameters(self):
+        bn = sprinkler_network()
+        assert bn.n_parameters() == 1 + 2 + 2 + 4
+
+    def test_validate_passes(self):
+        sprinkler_network().validate()
+
+
+class TestSprinklerPosteriors:
+    """Hand-computable reference values for the classic network."""
+
+    def test_prior_wet(self):
+        bn = sprinkler_network()
+        # P(wet) by full enumeration = 0.6471
+        assert bn.query("wet")["true"] == pytest.approx(0.6471, abs=1e-4)
+
+    def test_diagnostic_rain_given_wet(self):
+        bn = sprinkler_network()
+        post = bn.query("rain", {"wet": "true"})
+        assert post["true"] == pytest.approx(0.7079, abs=1e-3)
+
+    def test_explaining_away(self):
+        """Observing the sprinkler lowers the rain posterior."""
+        bn = sprinkler_network()
+        p_rain_wet = bn.query("rain", {"wet": "true"})["true"]
+        p_rain_wet_sprinkler = bn.query(
+            "rain", {"wet": "true", "sprinkler": "true"})["true"]
+        assert p_rain_wet_sprinkler < p_rain_wet
+
+    def test_evidence_probability(self):
+        bn = sprinkler_network()
+        assert bn.probability_of_evidence({"wet": "true"}) == pytest.approx(
+            0.6471, abs=1e-4)
+
+    def test_impossible_evidence(self):
+        bn = sprinkler_network()
+        p = bn.probability_of_evidence(
+            {"wet": "true", "sprinkler": "false", "rain": "false"})
+        assert p == pytest.approx(0.0, abs=1e-12)
+        with pytest.raises(InferenceError):
+            bn.query("cloudy", {"wet": "true", "sprinkler": "false",
+                                "rain": "false"})
+
+
+class TestCrossMethodAgreement:
+    @pytest.mark.parametrize("evidence", [
+        {},
+        {"wet": "true"},
+        {"wet": "true", "sprinkler": "false"},
+    ])
+    def test_ve_equals_junction_tree(self, evidence):
+        bn = sprinkler_network()
+        for target in ("cloudy", "rain", "sprinkler", "wet"):
+            if target in evidence:
+                continue
+            ve = bn.query(target, evidence, method="exact")
+            jt = bn.query(target, evidence, method="junction_tree")
+            for state in ve:
+                assert ve[state] == pytest.approx(jt[state], abs=1e-10)
+
+    def test_samplers_agree_with_exact(self, rng):
+        bn = sprinkler_network()
+        evidence = {"wet": "true"}
+        exact = bn.query("rain", evidence)
+        lw = bn.query("rain", evidence, method="likelihood_weighting",
+                      rng=rng, n_samples=30000)
+        rej = bn.query("rain", evidence, method="rejection",
+                       rng=rng, n_samples=30000)
+        gibbs = bn.query("rain", evidence, method="gibbs",
+                         rng=rng, n_samples=8000)
+        for approx in (lw, rej, gibbs):
+            assert approx["true"] == pytest.approx(exact["true"], abs=0.03)
+
+    def test_fig4_all_methods(self, rng):
+        bn = fig4_network()
+        evidence = {"perception": "none"}
+        exact = bn.query("ground_truth", evidence)
+        assert exact["unknown"] == pytest.approx(0.6576, abs=1e-3)
+        jt = bn.query("ground_truth", evidence, method="junction_tree")
+        lw = bn.query("ground_truth", evidence,
+                      method="likelihood_weighting", rng=rng, n_samples=30000)
+        for state in exact:
+            assert jt[state] == pytest.approx(exact[state], abs=1e-10)
+            assert lw[state] == pytest.approx(exact[state], abs=0.02)
+
+    def test_unknown_method(self, rng):
+        bn = fig4_network()
+        with pytest.raises(InferenceError):
+            bn.query("ground_truth", method="belief_propagation_deluxe", rng=rng)
+
+    def test_sampling_requires_rng(self):
+        bn = fig4_network()
+        with pytest.raises(InferenceError):
+            bn.query("ground_truth", method="gibbs")
+
+
+class TestJointAndMap:
+    def test_joint_query_normalizes(self):
+        bn = sprinkler_network()
+        joint = bn.joint_query(["sprinkler", "rain"], {"wet": "true"})
+        assert joint.partition() == pytest.approx(1.0)
+
+    def test_joint_query_consistency_with_marginal(self):
+        bn = sprinkler_network()
+        joint = bn.joint_query(["sprinkler", "rain"], {"wet": "true"})
+        marginal = joint.marginalize(["sprinkler"]).distribution()
+        direct = bn.query("rain", {"wet": "true"})
+        assert marginal["true"] == pytest.approx(direct["true"], abs=1e-10)
+
+    def test_map_explanation_consistent(self):
+        bn = sprinkler_network()
+        mpe = bn.map_explanation({"wet": "true"})
+        assert set(mpe) == {"cloudy", "sprinkler", "rain"}
+        # MPE matches brute-force maximization.
+        best, best_p = None, -1.0
+        for c in ("true", "false"):
+            for s in ("true", "false"):
+                for r in ("true", "false"):
+                    p = bn.probability_of_evidence(
+                        {"cloudy": c, "sprinkler": s, "rain": r, "wet": "true"})
+                    if p > best_p:
+                        best, best_p = {"cloudy": c, "sprinkler": s, "rain": r}, p
+        assert mpe == best
+
+    def test_forward_sampling_matches_prior(self, rng):
+        bn = sprinkler_network()
+        samples = bn.sample(rng, 20000)
+        p_wet = sum(s["wet"] == "true" for s in samples) / len(samples)
+        assert p_wet == pytest.approx(0.6471, abs=0.02)
+
+    def test_marginals_all_nodes(self):
+        bn = sprinkler_network()
+        margs = bn.marginals({"wet": "true"})
+        assert set(margs) == {"cloudy", "sprinkler", "rain", "wet"}
+        assert margs["wet"]["true"] == 1.0
+
+
+class TestJunctionTreeInternals:
+    def test_clique_tree_properties(self):
+        bn = sprinkler_network()
+        jt = JunctionTree(bn.factors())
+        assert jt.width >= 2
+        jt.calibrate({})
+        assert math.exp(jt.log_evidence()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_log_evidence_matches_ve(self):
+        bn = sprinkler_network()
+        jt = JunctionTree(bn.factors())
+        jt.calibrate({"wet": "true"})
+        assert math.exp(jt.log_evidence()) == pytest.approx(
+            bn.probability_of_evidence({"wet": "true"}), abs=1e-9)
+
+    def test_query_before_calibrate_raises(self):
+        jt = JunctionTree(fig4_network().factors())
+        with pytest.raises(InferenceError):
+            jt.marginal("ground_truth")
+
+    def test_evidence_marginal_is_delta(self):
+        bn = sprinkler_network()
+        jt = JunctionTree(bn.factors())
+        jt.calibrate({"rain": "true"})
+        assert jt.marginal("rain") == {"false": 0.0, "true": 1.0}
+
+    def test_chain_network_many_nodes(self):
+        """A 12-node chain: junction tree handles it and matches VE."""
+        bn = BayesianNetwork("chain")
+        prev = boolean_variable("n0")
+        bn.add_cpt(CPT.prior(prev, {"true": 0.5, "false": 0.5}))
+        for i in range(1, 12):
+            cur = boolean_variable(f"n{i}")
+            bn.add_cpt(CPT.from_dict(cur, [prev], {
+                ("true",): {"true": 0.9, "false": 0.1},
+                ("false",): {"true": 0.2, "false": 0.8}}))
+            prev = cur
+        ve = bn.query("n11", {"n0": "true"})
+        jt = bn.query("n11", {"n0": "true"}, method="junction_tree")
+        assert ve["true"] == pytest.approx(jt["true"], abs=1e-10)

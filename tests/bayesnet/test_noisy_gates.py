@@ -1,0 +1,123 @@
+"""Tests for noisy-OR / noisy-AND canonical CPTs."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.noisy_gates import (
+    fit_noisy_or,
+    noisy_and_cpt,
+    noisy_or_cpt,
+    noisy_or_parameter_savings,
+)
+from repro.bayesnet.variable import boolean_variable
+from repro.errors import InferenceError
+
+
+def binaries(*names):
+    return [boolean_variable(n) for n in names]
+
+
+class TestNoisyOr:
+    def test_leak_only_row(self):
+        c, a, b = binaries("c", "a", "b")
+        cpt = noisy_or_cpt(c, [a, b], {"a": 0.8, "b": 0.6}, leak=0.1)
+        assert cpt.prob("true", ("false", "false")) == pytest.approx(0.1)
+
+    def test_single_cause_rows(self):
+        c, a, b = binaries("c", "a", "b")
+        cpt = noisy_or_cpt(c, [a, b], {"a": 0.8, "b": 0.6}, leak=0.0)
+        assert cpt.prob("true", ("true", "false")) == pytest.approx(0.8)
+        assert cpt.prob("true", ("false", "true")) == pytest.approx(0.6)
+
+    def test_both_causes_compose(self):
+        c, a, b = binaries("c", "a", "b")
+        cpt = noisy_or_cpt(c, [a, b], {"a": 0.8, "b": 0.6})
+        assert cpt.prob("true", ("true", "true")) == pytest.approx(
+            1.0 - 0.2 * 0.4)
+
+    def test_leak_composes(self):
+        c, a = binaries("c", "a")
+        cpt = noisy_or_cpt(c, [a], {"a": 0.5}, leak=0.2)
+        assert cpt.prob("true", ("true",)) == pytest.approx(1.0 - 0.8 * 0.5)
+
+    def test_monotone_in_causes(self):
+        c, a, b = binaries("c", "a", "b")
+        cpt = noisy_or_cpt(c, [a, b], {"a": 0.7, "b": 0.4}, leak=0.05)
+        p00 = cpt.prob("true", ("false", "false"))
+        p10 = cpt.prob("true", ("true", "false"))
+        p11 = cpt.prob("true", ("true", "true"))
+        assert p00 < p10 < p11
+
+    def test_validation(self):
+        c, a = binaries("c", "a")
+        with pytest.raises(InferenceError):
+            noisy_or_cpt(c, [a], {})
+        with pytest.raises(InferenceError):
+            noisy_or_cpt(c, [a], {"a": 1.5})
+        with pytest.raises(InferenceError):
+            noisy_or_cpt(c, [a], {"a": 0.5}, leak=1.0)
+
+    def test_requires_binary(self):
+        from repro.bayesnet.variable import Variable
+        c = Variable("c", ["low", "mid", "high"])
+        a = boolean_variable("a")
+        with pytest.raises(InferenceError):
+            noisy_or_cpt(c, [a], {"a": 0.5})
+
+    def test_parameter_savings(self):
+        savings = noisy_or_parameter_savings(10)
+        assert savings["full_cpt"] == 1024
+        assert savings["noisy_or"] == 11
+
+    def test_usable_in_network(self):
+        c, a, b = binaries("c", "a", "b")
+        bn = BayesianNetwork("noisy")
+        bn.add_cpt(CPT.prior(a, {"true": 0.3, "false": 0.7}))
+        bn.add_cpt(CPT.prior(b, {"true": 0.5, "false": 0.5}))
+        bn.add_cpt(noisy_or_cpt(c, [a, b], {"a": 0.9, "b": 0.7}))
+        post = bn.query("a", {"c": "true"})
+        prior = bn.query("a")
+        assert post["true"] > prior["true"]  # diagnostic reasoning works
+
+
+class TestNoisyAnd:
+    def test_all_causes_base(self):
+        c, a, b = binaries("c", "a", "b")
+        cpt = noisy_and_cpt(c, [a, b], {"a": 0.1, "b": 0.2}, base=0.95)
+        assert cpt.prob("true", ("true", "true")) == pytest.approx(0.95)
+
+    def test_absent_causes_inhibit(self):
+        c, a, b = binaries("c", "a", "b")
+        cpt = noisy_and_cpt(c, [a, b], {"a": 0.1, "b": 0.2}, base=1.0)
+        assert cpt.prob("true", ("false", "true")) == pytest.approx(0.1)
+        assert cpt.prob("true", ("false", "false")) == pytest.approx(0.02)
+
+    def test_validation(self):
+        c, a = binaries("c", "a")
+        with pytest.raises(InferenceError):
+            noisy_and_cpt(c, [a], {"a": 0.5}, base=0.0)
+        with pytest.raises(InferenceError):
+            noisy_and_cpt(c, [a], {})
+
+
+class TestFitNoisyOr:
+    def test_recovers_generating_parameters(self, rng):
+        c, a, b = binaries("c", "a", "b")
+        true_cpt = noisy_or_cpt(c, [a, b], {"a": 0.8, "b": 0.4}, leak=0.0)
+        bn = BayesianNetwork("gen")
+        bn.add_cpt(CPT.prior(a, {"true": 0.5, "false": 0.5}))
+        bn.add_cpt(CPT.prior(b, {"true": 0.5, "false": 0.5}))
+        bn.add_cpt(true_cpt)
+        records = bn.sample(rng, 20000)
+        fitted = fit_noisy_or(c, [a, b], records)
+        assert fitted.prob("true", ("true", "false")) == pytest.approx(0.8, abs=0.05)
+        assert fitted.prob("true", ("false", "true")) == pytest.approx(0.4, abs=0.05)
+
+    def test_empty_stratum_falls_back(self):
+        c, a, b = binaries("c", "a", "b")
+        records = [{"a": "false", "b": "false", "c": "false"}] * 10
+        fitted = fit_noisy_or(c, [a, b], records)
+        for p in ("a", "b"):
+            assert 0.0 <= fitted.prob("true", ("true", "false")) <= 1.0

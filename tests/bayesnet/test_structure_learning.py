@@ -1,0 +1,128 @@
+"""Tests for BIC structure learning and bootstrap edge confidence."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.structure_learning import (
+    edge_confidence,
+    family_bic_score,
+    hill_climb_structure,
+    network_bic_score,
+)
+from repro.bayesnet.variable import boolean_variable
+from repro.errors import InferenceError
+
+
+def chain_generator():
+    """a -> b -> c with strong dependencies."""
+    a = boolean_variable("a")
+    b = boolean_variable("b")
+    c = boolean_variable("c")
+    bn = BayesianNetwork("gen")
+    bn.add_cpt(CPT.prior(a, {"true": 0.5, "false": 0.5}))
+    bn.add_cpt(CPT.from_dict(b, [a], {
+        ("true",): {"true": 0.9, "false": 0.1},
+        ("false",): {"true": 0.1, "false": 0.9}}))
+    bn.add_cpt(CPT.from_dict(c, [b], {
+        ("true",): {"true": 0.85, "false": 0.15},
+        ("false",): {"true": 0.15, "false": 0.85}}))
+    return bn, [a, b, c]
+
+
+class TestScores:
+    def test_dependent_family_beats_independent(self, rng):
+        bn, (a, b, c) = chain_generator()
+        records = bn.sample(rng, 2000)
+        with_parent = family_bic_score(b, [a], records)
+        without = family_bic_score(b, [], records)
+        assert with_parent > without
+
+    def test_penalty_rejects_spurious_parent(self, rng):
+        """For independent variables the BIC penalty outweighs noise gain."""
+        a = boolean_variable("a")
+        d = boolean_variable("d")
+        bn = BayesianNetwork("ind")
+        bn.add_cpt(CPT.prior(a, {"true": 0.5, "false": 0.5}))
+        bn.add_cpt(CPT.prior(d, {"true": 0.3, "false": 0.7}))
+        records = bn.sample(rng, 2000)
+        assert family_bic_score(d, [], records) > family_bic_score(d, [a],
+                                                                   records)
+
+    def test_network_score_decomposes(self, rng):
+        bn, variables = chain_generator()
+        records = bn.sample(rng, 500)
+        total = network_bic_score(variables,
+                                  {"a": [], "b": ["a"], "c": ["b"]}, records)
+        parts = (family_bic_score(variables[0], [], records) +
+                 family_bic_score(variables[1], [variables[0]], records) +
+                 family_bic_score(variables[2], [variables[1]], records))
+        assert total == pytest.approx(parts)
+
+    def test_empty_records(self):
+        _, (a, b, c) = chain_generator()
+        with pytest.raises(InferenceError):
+            family_bic_score(a, [], [])
+
+
+class TestHillClimbing:
+    def test_recovers_chain_skeleton(self, rng):
+        bn, variables = chain_generator()
+        records = bn.sample(rng, 3000)
+        learned = hill_climb_structure(variables, records)
+        undirected = {tuple(sorted(e)) for e in learned.edges()}
+        assert ("a", "b") in undirected
+        assert ("b", "c") in undirected
+        # No direct a-c edge: the chain explains the data.
+        assert ("a", "c") not in undirected
+
+    def test_independent_variables_stay_unconnected(self, rng):
+        a = boolean_variable("a")
+        d = boolean_variable("d")
+        bn = BayesianNetwork("ind")
+        bn.add_cpt(CPT.prior(a, {"true": 0.5, "false": 0.5}))
+        bn.add_cpt(CPT.prior(d, {"true": 0.3, "false": 0.7}))
+        records = bn.sample(rng, 2000)
+        learned = hill_climb_structure([a, d], records)
+        assert learned.edges() == []
+
+    def test_learned_structure_is_acyclic(self, rng):
+        bn, variables = chain_generator()
+        records = bn.sample(rng, 1000)
+        learned = hill_climb_structure(variables, records)
+        learned._topological_order()  # raises on cycles
+
+    def test_to_network_queryable(self, rng):
+        bn, variables = chain_generator()
+        records = bn.sample(rng, 3000)
+        learned = hill_climb_structure(variables, records)
+        fitted = learned.to_network(variables, records)
+        post = fitted.query("c", {"a": "true"})
+        exact = bn.query("c", {"a": "true"})
+        assert post["true"] == pytest.approx(exact["true"], abs=0.05)
+
+    def test_max_parents_respected(self, rng):
+        bn, variables = chain_generator()
+        records = bn.sample(rng, 1000)
+        learned = hill_climb_structure(variables, records, max_parents=1)
+        assert all(len(ps) <= 1 for ps in learned.parent_map.values())
+
+    def test_validation(self, rng):
+        with pytest.raises(InferenceError):
+            hill_climb_structure([], [])
+
+
+class TestEdgeConfidence:
+    def test_true_edges_high_spurious_low(self, rng):
+        bn, variables = chain_generator()
+        records = bn.sample(rng, 1500)
+        confidence = edge_confidence(variables, records, rng, n_bootstrap=10)
+        assert confidence.get(("a", "b"), 0.0) > 0.8
+        assert confidence.get(("b", "c"), 0.0) > 0.8
+        assert confidence.get(("a", "c"), 0.0) < 0.5
+
+    def test_validation(self, rng):
+        _, variables = chain_generator()
+        with pytest.raises(InferenceError):
+            edge_confidence(variables, [{"a": "true"}], rng, n_bootstrap=1)

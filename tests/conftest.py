@@ -1,0 +1,16 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng2():
+    """A second independent generator for two-stream tests."""
+    return np.random.default_rng(67890)

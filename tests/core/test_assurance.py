@@ -1,0 +1,187 @@
+"""Tests for assurance cases with DS confidence (ref [11])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assurance import (
+    AssuranceCase,
+    AssuranceNode,
+    Confidence,
+    combine_alternative,
+    combine_conjunctive,
+    combine_cumulative,
+    evidence,
+    goal,
+    strategy,
+)
+from repro.errors import StrategyError
+
+
+def conf(b, pl):
+    return Confidence(b, pl)
+
+
+class TestConfidence:
+    def test_ordering_enforced(self):
+        with pytest.raises(StrategyError):
+            Confidence(0.8, 0.5)
+        with pytest.raises(StrategyError):
+            Confidence(-0.1, 0.5)
+
+    def test_triple_roundtrip(self):
+        c = Confidence.from_triple(0.6, 0.1, 0.3)
+        assert c.belief == pytest.approx(0.6)
+        assert c.disbelief == pytest.approx(0.1)
+        assert c.ignorance == pytest.approx(0.3)
+
+    def test_bad_triple(self):
+        with pytest.raises(StrategyError):
+            Confidence.from_triple(0.5, 0.4, 0.3)
+
+    def test_discounting_increases_ignorance(self):
+        c = conf(0.8, 0.9).discounted(0.5)
+        assert c.belief == pytest.approx(0.4)
+        assert c.ignorance > conf(0.8, 0.9).ignorance
+
+    def test_vacuous_certain(self):
+        assert Confidence.vacuous().ignorance == 1.0
+        assert Confidence.certain().ignorance == 0.0
+
+
+class TestCombinators:
+    def test_conjunctive_products(self):
+        c = combine_conjunctive([conf(0.9, 1.0), conf(0.8, 0.9)])
+        assert c.belief == pytest.approx(0.72)
+        assert c.plausibility == pytest.approx(0.9)
+
+    def test_conjunctive_weakest_link(self):
+        """The chain is no stronger than its weakest premise."""
+        c = combine_conjunctive([conf(0.95, 1.0), conf(0.3, 1.0)])
+        assert c.belief <= 0.3
+
+    def test_alternative_reinforces(self):
+        c = combine_alternative([conf(0.5, 0.8), conf(0.5, 0.8)])
+        assert c.belief == pytest.approx(0.75)
+        assert c.belief > 0.5
+
+    def test_cumulative_reinforces_same_claim(self):
+        c = combine_cumulative([conf(0.6, 1.0), conf(0.6, 1.0)])
+        assert c.belief > 0.6
+        assert c.plausibility == pytest.approx(1.0)
+
+    def test_cumulative_conflict_renormalizes(self):
+        c = combine_cumulative([conf(0.7, 1.0), conf(0.0, 0.3)])
+        assert 0.0 < c.belief < 0.7
+        assert c.disbelief > 0.0
+
+    def test_cumulative_total_conflict_raises(self):
+        with pytest.raises(StrategyError):
+            combine_cumulative([conf(1.0, 1.0), conf(0.0, 0.0)])
+
+    def test_empty_inputs(self):
+        for fn in (combine_conjunctive, combine_alternative,
+                   combine_cumulative):
+            with pytest.raises(StrategyError):
+                fn([])
+
+    @given(st.lists(st.tuples(st.floats(0, 1), st.floats(0, 1)),
+                    min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_combinators_stay_valid_property(self, pairs):
+        parts = [Confidence(min(a, b), max(a, b)) for a, b in pairs]
+        for fn in (combine_conjunctive, combine_alternative):
+            c = fn(parts)
+            assert 0.0 <= c.belief <= c.plausibility <= 1.0
+
+
+class TestArgumentTree:
+    def build_case(self):
+        top = goal("G1", "The SuD is acceptably safe in its ODD")
+        s1 = top.add(strategy("S1", "argue over uncertainty types"))
+        g_epi = s1.add(goal("G2", "epistemic uncertainty sufficiently reduced",
+                            decomposition="cumulative"))
+        g_epi.add(evidence("E1", belief=0.8, reliability=0.9,
+                           statement="DoE campaign"))
+        g_epi.add(evidence("E2", belief=0.7, statement="field validation"))
+        g_onto = s1.add(goal("G3", "ontological uncertainty monitored"))
+        g_onto.add(evidence("E3", belief=0.85,
+                            statement="Good-Turing bound under target"))
+        return AssuranceCase(top)
+
+    def test_confidence_propagates(self):
+        case = self.build_case()
+        c = case.confidence()
+        assert 0.0 < c.belief < 1.0
+        assert c.ignorance > 0.0
+
+    def test_evidence_is_leaf(self):
+        e = evidence("E", 0.5)
+        with pytest.raises(StrategyError):
+            e.add(goal("g"))
+
+    def test_evidence_requires_assessment(self):
+        with pytest.raises(StrategyError):
+            AssuranceNode("evidence", "E")
+
+    def test_goal_cannot_carry_assessment(self):
+        with pytest.raises(StrategyError):
+            AssuranceNode("goal", "G", assessment=Confidence(0.5, 1.0))
+
+    def test_undeveloped_goal_is_vacuous_and_reported(self):
+        top = goal("G1")
+        sub = top.add(goal("G2"))  # never developed
+        case = AssuranceCase(top)
+        assert case.confidence().ignorance == 1.0
+        assert case.top_goal.undeveloped() == ["G2"]
+
+    def test_better_evidence_raises_confidence(self):
+        weak = goal("G")
+        weak.add(evidence("E", belief=0.5))
+        strong = goal("G")
+        strong.add(evidence("E", belief=0.9))
+        assert strong.confidence().belief > weak.confidence().belief
+
+    def test_top_must_be_goal(self):
+        with pytest.raises(StrategyError):
+            AssuranceCase(strategy("S"))
+
+
+class TestDefeatersAndRelease:
+    def simple_case(self, belief=0.9):
+        top = goal("G1")
+        top.add(evidence("E1", belief=belief))
+        return AssuranceCase(top)
+
+    def test_defeater_caps_confidence(self):
+        case = self.simple_case()
+        base = case.confidence().belief
+        case.add_defeater("ODD analysis may be incomplete", severity=0.3)
+        after = case.confidence()
+        assert after.belief < base
+        assert after.ignorance > 0.0
+
+    def test_defeater_severity_validation(self):
+        with pytest.raises(StrategyError):
+            self.simple_case().add_defeater("d", 1.5)
+
+    def test_release_verdict_pass(self):
+        case = self.simple_case(belief=0.95)
+        verdict = case.release_verdict(min_belief=0.9, max_ignorance=0.1)
+        assert verdict["release"]
+
+    def test_release_blocked_by_ignorance(self):
+        case = self.simple_case(belief=0.95)
+        case.add_defeater("unresolved doubt", severity=0.5)
+        verdict = case.release_verdict(min_belief=0.4, max_ignorance=0.1)
+        assert not verdict["release"]
+        assert not verdict["ignorance_ok"]
+
+    def test_release_blocked_by_undeveloped_goal(self):
+        top = goal("G1")
+        top.add(evidence("E1", belief=0.99))
+        top.add(goal("G-unfinished"))
+        case = AssuranceCase(top)
+        verdict = case.release_verdict(min_belief=0.1, max_ignorance=1.0)
+        assert not verdict["release"]
+        assert "G-unfinished" in verdict["undeveloped"]

@@ -1,0 +1,144 @@
+"""Tests for the modeling relation and the cybernetic development loop."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.lifecycle import DevelopmentLoop, good_regulator_experiment
+from repro.core.modeling import (
+    DeterministicModel,
+    ModelingRelation,
+    PhysicalSystem,
+    ProbabilisticModel,
+    log_score,
+)
+from repro.errors import ModelError, SimulationError
+from repro.perception.world import WorldModel
+from repro.probability.distributions import Categorical
+
+
+class TestModelingRelation:
+    """Rosen's commuting square on a decaying-exponential system."""
+
+    def physical(self):
+        # True dynamics: x(t) = x0 * exp(-t) (exact).
+        return PhysicalSystem("decay", advance=lambda x, t: x * math.exp(-t))
+
+    def test_exact_model_commutes(self):
+        system = self.physical()
+        model = DeterministicModel("exact",
+                                   predict=lambda x, t: x * math.exp(-t))
+        relation = ModelingRelation(system, model)
+        assert relation.fidelity([1.0, 2.0, 5.0], t=1.0) == pytest.approx(0.0)
+        assert relation.is_valid([1.0, 2.0], t=1.0, tolerance=1e-9)
+
+    def test_approximate_model_epistemic_error(self):
+        """A linearized model commutes only for small t (validity domain)."""
+        system = self.physical()
+        linear = DeterministicModel("linearized",
+                                    predict=lambda x, t: x * (1.0 - t))
+        relation = ModelingRelation(system, linear)
+        assert relation.fidelity([1.0], t=0.01) < 1e-4
+        assert relation.fidelity([1.0], t=1.0) > 0.1
+        assert relation.is_valid([1.0], t=0.01, tolerance=1e-3)
+        assert not relation.is_valid([1.0], t=1.0, tolerance=1e-3)
+
+    def test_encoding_decoding_applied(self):
+        """Model operates in log space; relation still commutes."""
+        system = self.physical()
+        model = DeterministicModel("log-space",
+                                   predict=lambda logx, t: logx - t)
+        relation = ModelingRelation(system, model,
+                                    encode=math.log, decode=math.exp)
+        assert relation.fidelity([1.0, 3.0], t=0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_flag(self):
+        d = DeterministicModel("d", predict=lambda x, t: x)
+        p = ProbabilisticModel("p", predict=lambda x, t: Categorical({"a": 1.0}))
+        assert d.is_deterministic and not p.is_deterministic
+
+    def test_fidelity_requires_states(self):
+        relation = ModelingRelation(self.physical(),
+                                    DeterministicModel("m", lambda x, t: x))
+        with pytest.raises(ModelError):
+            relation.fidelity([], t=1.0)
+
+    def test_log_score(self):
+        c = Categorical({"a": 0.5, "b": 0.5})
+        assert log_score(c, "a") == pytest.approx(math.log(2.0))
+        assert log_score(c, "zebra") == float("inf")
+
+    def test_shape_mismatch(self):
+        system = PhysicalSystem("vec", advance=lambda x, t: np.array([1.0, 2.0]))
+        model = DeterministicModel("scalar", predict=lambda x, t: 1.0)
+        relation = ModelingRelation(system, model)
+        with pytest.raises(ModelError):
+            relation.commutation_error(np.zeros(2), 1.0)
+
+
+class TestDevelopmentLoop:
+    def test_ontology_grows_only_when_extension_enabled(self, rng):
+        world = WorldModel()
+        learning = DevelopmentLoop(world, extend_ontology=True)
+        learning.run(rng, 5, analysis_per_iteration=100,
+                     field_per_iteration=100)
+        assert len(learning.ontology) > 2
+
+        frozen = DevelopmentLoop(world, extend_ontology=False)
+        frozen.run(np.random.default_rng(1), 5, analysis_per_iteration=100,
+                   field_per_iteration=100)
+        assert frozen.ontology == ["car", "pedestrian"]
+
+    def test_epistemic_uncertainty_decreases(self, rng):
+        loop = DevelopmentLoop(WorldModel())
+        reports = loop.run(rng, 8, analysis_per_iteration=100,
+                           field_per_iteration=100)
+        assert (reports[-1].epistemic_uncertainty <
+                reports[0].epistemic_uncertainty)
+
+    def test_divergence_infinite_until_ontology_complete(self, rng):
+        loop = DevelopmentLoop(WorldModel(), extend_ontology=False)
+        loop.run(rng, 3, analysis_per_iteration=50, field_per_iteration=50)
+        # With the ontology frozen at {car, pedestrian}, the fine-grained
+        # world puts mass outside the model: KL must be infinite.
+        assert loop.model_world_divergence() == float("inf")
+
+    def test_divergence_becomes_finite_after_full_coverage(self, rng):
+        loop = DevelopmentLoop(WorldModel())
+        loop.run(rng, 30, analysis_per_iteration=200,
+                 field_per_iteration=200)
+        assert loop.true_unobserved_mass() == pytest.approx(0.0, abs=1e-12)
+        assert math.isfinite(loop.model_world_divergence())
+
+    def test_good_turing_tracks_true_missing_mass(self, rng):
+        loop = DevelopmentLoop(WorldModel())
+        loop.run(rng, 10, analysis_per_iteration=50, field_per_iteration=100)
+        report = loop.reports[-1]
+        assert abs(report.estimated_missing_mass -
+                   report.true_unobserved_mass) < 0.05
+
+    def test_run_validation(self, rng):
+        loop = DevelopmentLoop(WorldModel())
+        with pytest.raises(SimulationError):
+            loop.run(rng, 0)
+        with pytest.raises(SimulationError):
+            loop.domain_analysis(rng, 0)
+
+
+class TestGoodRegulator:
+    def test_control_degrades_with_model_divergence(self, rng):
+        results = good_regulator_experiment(rng, [0.0, 1.0], n_eval=2500)
+        perfect, broken = results
+        assert perfect["model_divergence"] < broken["model_divergence"]
+        # Conant-Ashby: worse model -> worse (or equal) realized control.
+        assert perfect["hazard_rate"] <= broken["hazard_rate"]
+
+    def test_distortion_validation(self, rng):
+        with pytest.raises(SimulationError):
+            good_regulator_experiment(rng, [2.0], n_eval=100)
+
+    def test_records_schema(self, rng):
+        results = good_regulator_experiment(rng, [0.5], n_eval=200)
+        assert set(results[0]) == {"distortion", "model_divergence",
+                                   "restricted", "hazard_rate"}

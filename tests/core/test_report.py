@@ -1,0 +1,93 @@
+"""Tests for the uncertainty dossier report generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.assurance import AssuranceCase, evidence, goal
+from repro.core.report import UncertaintyDossier
+from repro.core.strategy import derive_strategy
+from repro.core.taxonomy import builtin_registry
+from repro.core.uncertainty import (
+    AleatoryUncertainty,
+    EpistemicUncertainty,
+    OntologicalUncertainty,
+    UncertaintyBudget,
+)
+from repro.errors import StrategyError
+from repro.means.forecasting import ReleaseCriteria, ResidualUncertaintyForecast
+from repro.means.removal import SafetyAnalysisWithUncertainty
+from repro.probability.distributions import Categorical, Dirichlet
+
+
+def full_dossier(release_clean=True):
+    budget = UncertaintyBudget("SuD")
+    budget.add(AleatoryUncertainty(
+        "world", Categorical({"car": 0.6, "ped": 0.3, "unk": 0.1})))
+    budget.add(EpistemicUncertainty("cpt", Dirichlet({"a": 9.0, "b": 1.0})))
+    budget.add(OntologicalUncertainty("unknowns", 0.1))
+    plan = derive_strategy(budget, builtin_registry())
+
+    forecast = ResidualUncertaintyForecast(
+        ReleaseCriteria(max_hazard_rate=0.5, max_missing_mass=0.5))
+    if release_clean:
+        forecast.observe_campaign(5000, 10, ["car"] * 3000 + ["ped"] * 2000)
+    else:
+        forecast.observe_campaign(100, 90, [f"novel{i}" for i in range(100)])
+
+    top = goal("G1")
+    top.add(evidence("E1", belief=0.9))
+    case = AssuranceCase(top)
+
+    dossier = UncertaintyDossier("SuD")
+    dossier.attach_budget(budget)
+    dossier.attach_strategy(plan)
+    dossier.attach_safety_analysis(SafetyAnalysisWithUncertainty())
+    dossier.attach_release_decision(forecast.assess())
+    dossier.attach_assurance_case(case)
+    return dossier
+
+
+class TestDossier:
+    def test_completeness_tracking(self):
+        dossier = UncertaintyDossier("SuD")
+        assert not any(dossier.completeness().values())
+        dossier.attach_safety_analysis(SafetyAnalysisWithUncertainty())
+        assert dossier.completeness()["safety_analysis"]
+
+    def test_incomplete_dossier_blocks(self):
+        dossier = UncertaintyDossier("SuD")
+        releasable, reasons = dossier.overall_verdict()
+        assert not releasable
+        assert any("incomplete" in r for r in reasons)
+
+    def test_full_clean_dossier_releasable(self):
+        releasable, reasons = full_dossier(True).overall_verdict()
+        assert releasable, reasons
+
+    def test_failed_forecast_blocks(self):
+        releasable, reasons = full_dossier(False).overall_verdict()
+        assert not releasable
+        assert reasons
+
+    def test_markdown_sections(self):
+        md = full_dossier(True).to_markdown()
+        for heading in ("# Uncertainty dossier", "## Uncertainty budget",
+                        "## Strategy", "## Safety analysis",
+                        "## Release forecast", "## Assurance case"):
+            assert heading in md
+
+    def test_markdown_contains_verdict_and_numbers(self):
+        md = full_dossier(True).to_markdown()
+        assert "RELEASABLE" in md
+        assert "P(ground truth | perception = none)" in md
+        assert "unknown=0.658" in md
+
+    def test_notes_rendered(self):
+        dossier = full_dossier(True).add_note("Table I repaired by renorm")
+        assert "Table I repaired" in dossier.to_markdown()
+
+    def test_validation(self):
+        with pytest.raises(StrategyError):
+            UncertaintyDossier("")
+        with pytest.raises(StrategyError):
+            UncertaintyDossier("x").add_note("")

@@ -1,0 +1,193 @@
+"""Tests for the uncertainty taxonomy, budgets, and strategy derivation."""
+
+import pytest
+
+from repro.core.strategy import MEANS_PRIORITY, derive_strategy
+from repro.core.taxonomy import (
+    LifecycleStage,
+    Means,
+    Method,
+    MethodRegistry,
+    UncertaintyType,
+    builtin_registry,
+)
+from repro.core.uncertainty import (
+    AleatoryUncertainty,
+    EpistemicUncertainty,
+    OntologicalUncertainty,
+    Uncertainty,
+    UncertaintyBudget,
+)
+from repro.errors import StrategyError
+from repro.probability.distributions import Categorical, Dirichlet
+
+A, E, O = (UncertaintyType.ALEATORY, UncertaintyType.EPISTEMIC,
+           UncertaintyType.ONTOLOGICAL)
+
+
+class TestTypes:
+    def test_only_epistemic_reducible_by_observation(self):
+        assert E.reducible_by_observation
+        assert not A.reducible_by_observation
+        assert not O.reducible_by_observation
+
+    def test_means_enumeration(self):
+        assert {m.value for m in Means} == {"prevention", "removal",
+                                            "tolerance", "forecasting"}
+
+
+class TestMethod:
+    def test_validation(self):
+        with pytest.raises(StrategyError):
+            Method("", Means.REMOVAL, LifecycleStage.DESIGN_TIME,
+                   frozenset({E}))
+        with pytest.raises(StrategyError):
+            Method("m", Means.REMOVAL, LifecycleStage.DESIGN_TIME,
+                   frozenset())
+
+    def test_effectiveness_must_match_addresses(self):
+        with pytest.raises(StrategyError):
+            Method("m", Means.REMOVAL, LifecycleStage.DESIGN_TIME,
+                   frozenset({E}), effectiveness={O: 0.5})
+
+    def test_effectiveness_default(self):
+        m = Method("m", Means.REMOVAL, LifecycleStage.DESIGN_TIME,
+                   frozenset({E}))
+        assert m.effectiveness_for(E) == 0.5
+        assert m.effectiveness_for(O) == 0.0
+
+
+class TestRegistry:
+    def test_builtin_covers_paper_examples(self):
+        reg = builtin_registry()
+        assert reg.get("odd_restriction").means is Means.PREVENTION
+        assert reg.get("field_observation").stage is LifecycleStage.POST_RELEASE
+        assert O in reg.get("field_observation").addresses
+
+    def test_builtin_gap_is_tolerance_ontological(self):
+        """The registry reproduces the paper's §IV claim: tolerance can
+        hardly cope with ontological uncertainty."""
+        gaps = builtin_registry().coverage_gaps()
+        assert (Means.TOLERANCE, O) in gaps
+        # And it is the *only* gap in the paper's own catalogue.
+        assert len(gaps) == 1
+
+    def test_query_combinations(self):
+        reg = builtin_registry()
+        removal_onto = reg.query(utype=O, means=Means.REMOVAL)
+        assert {m.name for m in removal_onto} >= {"field_observation"}
+        assert all(m.means is Means.REMOVAL for m in removal_onto)
+
+    def test_coverage_matrix_shape(self):
+        matrix = builtin_registry().coverage_matrix()
+        assert len(matrix) == len(Means) * len(UncertaintyType)
+
+    def test_duplicate_registration(self):
+        reg = MethodRegistry()
+        m = Method("m", Means.REMOVAL, LifecycleStage.DESIGN_TIME,
+                   frozenset({E}))
+        reg.register(m)
+        with pytest.raises(StrategyError):
+            reg.register(m)
+
+    def test_unknown_method(self):
+        with pytest.raises(StrategyError):
+            builtin_registry().get("teleportation")
+
+
+class TestBudget:
+    def make_budget(self):
+        budget = UncertaintyBudget("SuD")
+        budget.add(AleatoryUncertainty(
+            "world", Categorical({"car": 0.6, "ped": 0.3, "unk": 0.1})))
+        budget.add(EpistemicUncertainty(
+            "cpt", Dirichlet({"hit": 9.0, "miss": 1.0})))
+        budget.add(OntologicalUncertainty("unknowns", 0.1))
+        return budget
+
+    def test_constructors_set_types(self):
+        budget = self.make_budget()
+        assert budget.by_type(A)[0].name == "world"
+        assert budget.by_type(E)[0].name == "cpt"
+        assert budget.by_type(O)[0].name == "unknowns"
+
+    def test_magnitudes(self):
+        budget = self.make_budget()
+        assert budget.by_type(A)[0].magnitude == pytest.approx(0.8979, abs=1e-3)
+        assert budget.by_type(O)[0].magnitude == pytest.approx(0.1)
+
+    def test_duplicate_names_rejected(self):
+        budget = self.make_budget()
+        with pytest.raises(StrategyError):
+            budget.add(OntologicalUncertainty("unknowns", 0.2))
+
+    def test_cross_type_total_rejected(self):
+        with pytest.raises(StrategyError):
+            self.make_budget().total()
+
+    def test_dominant(self):
+        budget = UncertaintyBudget()
+        budget.add(OntologicalUncertainty("small", 0.01))
+        budget.add(OntologicalUncertainty("large", 0.2))
+        assert budget.dominant(O).name == "large"
+        assert budget.dominant(A) is None
+
+    def test_missing_mass_bounds(self):
+        with pytest.raises(StrategyError):
+            OntologicalUncertainty("x", 1.5)
+
+
+class TestStrategy:
+    def make_budget(self):
+        budget = UncertaintyBudget("SuD")
+        budget.add(AleatoryUncertainty(
+            "world", Categorical({"car": 0.6, "ped": 0.3, "unk": 0.1})))
+        budget.add(EpistemicUncertainty(
+            "cpt", Dirichlet({"hit": 9.0, "miss": 1.0})))
+        budget.add(OntologicalUncertainty("unknowns", 0.1))
+        return budget
+
+    def test_complete_plan_with_builtin_registry(self):
+        plan = derive_strategy(self.make_budget(), builtin_registry())
+        assert plan.is_complete
+        assert all(plan.methods_for(u.name) for u in plan.budget.items)
+
+    def test_prevention_considered_first(self):
+        """Every assignment list starts with the highest-priority means
+        available for that uncertainty type."""
+        plan = derive_strategy(self.make_budget(), builtin_registry(),
+                               max_methods_per_uncertainty=4)
+        for u in plan.budget.items:
+            methods = plan.methods_for(u.name)
+            order = [MEANS_PRIORITY.index(m.means) for m in methods]
+            assert order == sorted(order)
+
+    def test_gap_reported_for_uncovered_type(self):
+        reg = MethodRegistry()
+        reg.register(Method("only_epistemic", Means.REMOVAL,
+                            LifecycleStage.DESIGN_TIME, frozenset({E}),
+                            effectiveness={E: 0.9}))
+        budget = UncertaintyBudget()
+        budget.add(OntologicalUncertainty("unknowns", 0.1))
+        plan = derive_strategy(budget, reg)
+        assert not plan.is_complete
+        assert plan.gaps[0].name == "unknowns"
+
+    def test_residual_estimate_decreases_with_methods(self):
+        budget = self.make_budget()
+        plan1 = derive_strategy(budget, builtin_registry(),
+                                max_methods_per_uncertainty=1)
+        plan2 = derive_strategy(budget, builtin_registry(),
+                                max_methods_per_uncertainty=3)
+        assert plan2.residual_estimate(E) <= plan1.residual_estimate(E)
+
+    def test_summary_lines_render(self):
+        plan = derive_strategy(self.make_budget(), builtin_registry())
+        text = "\n".join(plan.summary_lines())
+        assert "prevention" in text
+        assert "unknowns" in text
+
+    def test_parameter_validation(self):
+        with pytest.raises(StrategyError):
+            derive_strategy(self.make_budget(), builtin_registry(),
+                            max_methods_per_uncertainty=0)

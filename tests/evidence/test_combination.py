@@ -1,0 +1,141 @@
+"""Tests for evidence-combination rules and their conflict behaviors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvidenceError
+from repro.evidence.combination import (
+    combine_averaging,
+    combine_dempster,
+    combine_disjunctive,
+    combine_dubois_prade,
+    combine_many,
+    combine_yager,
+    conflict_mass,
+)
+from repro.evidence.mass_function import FrameOfDiscernment, MassFunction
+
+FRAME = FrameOfDiscernment(["a", "b", "c"])
+
+
+class TestDempster:
+    def test_agreement_reinforces(self):
+        m1 = MassFunction.simple_support(FRAME, ["a"], 0.6)
+        m2 = MassFunction.simple_support(FRAME, ["a"], 0.6)
+        combined = combine_dempster(m1, m2)
+        assert combined.belief(["a"]) > 0.6
+
+    def test_vacuous_is_neutral(self):
+        m = MassFunction(FRAME, {("a",): 0.4, ("b",): 0.3, ("a", "b"): 0.3})
+        combined = combine_dempster(m, MassFunction.vacuous(FRAME))
+        assert combined == m
+
+    def test_zadeh_paradox_raises(self):
+        """Total conflict: Dempster's rule is undefined."""
+        m1 = MassFunction.certain(FRAME, "a")
+        m2 = MassFunction.certain(FRAME, "b")
+        with pytest.raises(EvidenceError, match="total conflict"):
+            combine_dempster(m1, m2)
+
+    def test_near_zadeh_counterintuitive(self):
+        """The classic pathology: tiny shared mass wins everything."""
+        m1 = MassFunction(FRAME, {("a",): 0.99, ("c",): 0.01})
+        m2 = MassFunction(FRAME, {("b",): 0.99, ("c",): 0.01})
+        combined = combine_dempster(m1, m2)
+        assert combined.belief(["c"]) == pytest.approx(1.0)
+
+    def test_commutative(self):
+        m1 = MassFunction(FRAME, {("a",): 0.5, ("a", "b"): 0.5})
+        m2 = MassFunction(FRAME, {("b",): 0.3, ("a", "b", "c"): 0.7})
+        assert combine_dempster(m1, m2) == combine_dempster(m2, m1)
+
+    def test_known_numeric_example(self):
+        m1 = MassFunction.simple_support(FRAME, ["a"], 0.5)
+        m2 = MassFunction.simple_support(FRAME, ["b"], 0.4)
+        k = conflict_mass(m1, m2)
+        assert k == pytest.approx(0.2)
+        combined = combine_dempster(m1, m2)
+        assert combined.mass(["a"]) == pytest.approx(0.5 * 0.6 / 0.8)
+
+
+class TestYager:
+    def test_conflict_goes_to_ignorance(self):
+        m1 = MassFunction(FRAME, {("a",): 0.99, ("c",): 0.01})
+        m2 = MassFunction(FRAME, {("b",): 0.99, ("c",): 0.01})
+        combined = combine_yager(m1, m2)
+        assert combined.total_ignorance_mass() > 0.9
+        assert combined.belief(["c"]) < 0.01
+
+    def test_no_conflict_matches_dempster(self):
+        m1 = MassFunction.simple_support(FRAME, ["a"], 0.6)
+        m2 = MassFunction.simple_support(FRAME, ["a", "b"], 0.5)
+        assert combine_yager(m1, m2) == combine_dempster(m1, m2)
+
+    def test_zadeh_well_defined(self):
+        m1 = MassFunction.certain(FRAME, "a")
+        m2 = MassFunction.certain(FRAME, "b")
+        combined = combine_yager(m1, m2)
+        assert combined.total_ignorance_mass() == pytest.approx(1.0)
+
+
+class TestDuboisPrade:
+    def test_conflict_goes_to_union(self):
+        m1 = MassFunction.certain(FRAME, "a")
+        m2 = MassFunction.certain(FRAME, "b")
+        combined = combine_dubois_prade(m1, m2)
+        assert combined.mass(["a", "b"]) == pytest.approx(1.0)
+
+    def test_less_ignorant_than_yager(self):
+        m1 = MassFunction(FRAME, {("a",): 0.8, ("a", "b", "c"): 0.2})
+        m2 = MassFunction(FRAME, {("b",): 0.8, ("a", "b", "c"): 0.2})
+        dp = combine_dubois_prade(m1, m2)
+        yg = combine_yager(m1, m2)
+        assert dp.nonspecificity() <= yg.nonspecificity()
+
+
+class TestDisjunctiveAveraging:
+    def test_disjunctive_widens(self):
+        m1 = MassFunction.certain(FRAME, "a")
+        m2 = MassFunction.certain(FRAME, "b")
+        combined = combine_disjunctive(m1, m2)
+        assert combined.mass(["a", "b"]) == pytest.approx(1.0)
+
+    def test_averaging_is_mean(self):
+        m1 = MassFunction.certain(FRAME, "a")
+        m2 = MassFunction.certain(FRAME, "b")
+        avg = combine_averaging([m1, m2])
+        assert avg.mass(["a"]) == pytest.approx(0.5)
+        assert avg.mass(["b"]) == pytest.approx(0.5)
+
+    def test_averaging_idempotent(self):
+        m = MassFunction(FRAME, {("a",): 0.7, ("a", "b"): 0.3})
+        assert combine_averaging([m, m, m]) == m
+
+    def test_averaging_empty_rejected(self):
+        with pytest.raises(EvidenceError):
+            combine_averaging([])
+
+
+class TestCombineMany:
+    def test_fold_three_sources(self):
+        sources = [MassFunction.simple_support(FRAME, ["a"], 0.5)
+                   for _ in range(3)]
+        combined = combine_many(sources, rule="dempster")
+        assert combined.belief(["a"]) > 0.8
+
+    def test_unknown_rule(self):
+        with pytest.raises(EvidenceError):
+            combine_many([MassFunction.vacuous(FRAME)], rule="quantum")
+
+    def test_frame_mismatch(self):
+        other = FrameOfDiscernment(["x", "y"])
+        with pytest.raises(EvidenceError):
+            combine_dempster(MassFunction.vacuous(FRAME),
+                             MassFunction.vacuous(other))
+
+    def test_conflict_mass_bounds(self):
+        m1 = MassFunction(FRAME, {("a",): 0.5, ("b",): 0.5})
+        m2 = MassFunction(FRAME, {("a",): 0.5, ("b",): 0.5})
+        k = conflict_mass(m1, m2)
+        assert 0.0 <= k <= 1.0
+        assert k == pytest.approx(0.5)

@@ -1,0 +1,168 @@
+"""Tests for frames of discernment and mass functions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvidenceError
+from repro.evidence.mass_function import FrameOfDiscernment, MassFunction
+
+FRAME = FrameOfDiscernment(["car", "pedestrian", "unknown"])
+
+
+def random_mass_strategy():
+    """Random mass functions over the 3-element frame."""
+    subsets = [("car",), ("pedestrian",), ("unknown",),
+               ("car", "pedestrian"), ("car", "unknown"),
+               ("pedestrian", "unknown"), ("car", "pedestrian", "unknown")]
+    return st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=7,
+                    max_size=7).map(lambda ws: MassFunction(
+                        FRAME, dict(zip(subsets, np.array(ws) / sum(ws)))))
+
+
+class TestFrame:
+    def test_requires_two_hypotheses(self):
+        with pytest.raises(EvidenceError):
+            FrameOfDiscernment(["only"])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(EvidenceError):
+            FrameOfDiscernment(["a", "a"])
+
+    def test_subset_outside_frame_is_ontological(self):
+        with pytest.raises(EvidenceError, match="ontological"):
+            FRAME.subset(["kangaroo"])
+
+    def test_power_set_size(self):
+        assert len(FRAME.power_set()) == 7  # 2^3 - 1 (no empty set)
+        assert len(FRAME.power_set(include_empty=True)) == 8
+
+    def test_equality_order_independent(self):
+        assert FRAME == FrameOfDiscernment(["unknown", "car", "pedestrian"])
+
+
+class TestMassFunction:
+    def test_must_sum_to_one(self):
+        with pytest.raises(EvidenceError):
+            MassFunction(FRAME, {("car",): 0.5})
+
+    def test_mass_on_empty_set_rejected(self):
+        with pytest.raises(EvidenceError):
+            MassFunction(FRAME, {(): 0.5, ("car",): 0.5})
+
+    def test_vacuous_total_ignorance(self):
+        m = MassFunction.vacuous(FRAME)
+        assert m.total_ignorance_mass() == 1.0
+        assert m.belief(["car"]) == 0.0
+        assert m.plausibility(["car"]) == 1.0
+
+    def test_certain(self):
+        m = MassFunction.certain(FRAME, "car")
+        assert m.belief(["car"]) == 1.0
+        assert m.plausibility(["pedestrian"]) == 0.0
+
+    def test_bayesian_mass_function(self):
+        m = MassFunction.from_probabilities(
+            FRAME, {"car": 0.6, "pedestrian": 0.3, "unknown": 0.1})
+        assert m.is_bayesian()
+        # For Bayesian bba Bel == Pl on all sets.
+        assert m.belief(["car"]) == m.plausibility(["car"])
+
+    def test_simple_support(self):
+        m = MassFunction.simple_support(FRAME, ["car"], 0.8)
+        assert m.mass(["car"]) == pytest.approx(0.8)
+        assert m.total_ignorance_mass() == pytest.approx(0.2)
+
+
+class TestBeliefMeasures:
+    @pytest.fixture
+    def table1_mass(self):
+        """The Table I car-row epistemics as a mass function."""
+        pframe = FrameOfDiscernment(["car", "pedestrian", "none"])
+        return MassFunction(pframe, {
+            ("car",): 0.9, ("pedestrian",): 0.005,
+            ("car", "pedestrian"): 0.05, ("none",): 0.045})
+
+    def test_belief_plausibility_order(self, table1_mass):
+        bel, pl = table1_mass.belief_interval(["car"])
+        assert bel == pytest.approx(0.9)
+        assert pl == pytest.approx(0.95)
+        assert bel <= pl
+
+    def test_ignorance_is_interval_width(self, table1_mass):
+        assert table1_mass.ignorance(["car"]) == pytest.approx(0.05)
+
+    def test_belief_of_theta_is_one(self, table1_mass):
+        assert table1_mass.belief(["car", "pedestrian", "none"]) == pytest.approx(1.0)
+
+    def test_commonality(self, table1_mass):
+        # Q({car}) counts {car} and {car, pedestrian}.
+        assert table1_mass.commonality(["car"]) == pytest.approx(0.95)
+
+    def test_pignistic_splits_set_mass(self, table1_mass):
+        pig = table1_mass.to_categorical_pignistic()
+        assert pig.prob("car") == pytest.approx(0.9 + 0.025)
+        assert pig.prob("pedestrian") == pytest.approx(0.005 + 0.025)
+
+    def test_nonspecificity_zero_for_bayesian(self):
+        m = MassFunction.from_probabilities(
+            FRAME, {"car": 0.6, "pedestrian": 0.3, "unknown": 0.1})
+        assert m.nonspecificity() == 0.0
+
+    def test_nonspecificity_max_for_vacuous(self):
+        m = MassFunction.vacuous(FRAME)
+        assert m.nonspecificity() == pytest.approx(math.log2(3))
+
+    def test_consonance(self):
+        consonant = MassFunction(FRAME, {("car",): 0.5,
+                                         ("car", "pedestrian"): 0.3,
+                                         ("car", "pedestrian", "unknown"): 0.2})
+        assert consonant.is_consonant()
+        dissonant = MassFunction(FRAME, {("car",): 0.5, ("pedestrian",): 0.5})
+        assert not dissonant.is_consonant()
+
+    @given(random_mass_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_bel_le_pl_property(self, m):
+        for subset in (["car"], ["pedestrian"], ["car", "unknown"]):
+            bel, pl = m.belief_interval(subset)
+            assert bel <= pl + 1e-12
+
+    @given(random_mass_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_bel_pl_duality_property(self, m):
+        """Pl(A) = 1 - Bel(not A)."""
+        a = ["car", "pedestrian"]
+        complement = ["unknown"]
+        assert m.plausibility(a) == pytest.approx(1.0 - m.belief(complement))
+
+
+class TestOperations:
+    def test_discount_moves_mass_to_theta(self):
+        m = MassFunction.certain(FRAME, "car").discount(0.7)
+        assert m.mass(["car"]) == pytest.approx(0.7)
+        assert m.total_ignorance_mass() == pytest.approx(0.3)
+
+    def test_discount_zero_gives_vacuous(self):
+        m = MassFunction.certain(FRAME, "car").discount(0.0)
+        assert m == MassFunction.vacuous(FRAME)
+
+    def test_condition(self):
+        m = MassFunction(FRAME, {("car",): 0.5, ("pedestrian",): 0.3,
+                                 ("car", "pedestrian", "unknown"): 0.2})
+        c = m.condition(["car", "unknown"])
+        assert c.mass(["car"]) == pytest.approx(0.5 / 0.7)
+        assert c.mass(["car", "unknown"]) == pytest.approx(0.2 / 0.7)
+
+    def test_condition_total_conflict(self):
+        m = MassFunction.certain(FRAME, "car")
+        with pytest.raises(EvidenceError):
+            m.condition(["pedestrian"])
+
+    def test_equality(self):
+        m1 = MassFunction(FRAME, {("car",): 0.5, ("pedestrian",): 0.5})
+        m2 = MassFunction(FRAME, {("pedestrian",): 0.5, ("car",): 0.5})
+        assert m1 == m2

@@ -1,0 +1,93 @@
+"""Tests for possibility theory and its bridges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvidenceError
+from repro.evidence.mass_function import FrameOfDiscernment, MassFunction
+from repro.evidence.possibility import PossibilityDistribution
+
+FRAME = FrameOfDiscernment(["car", "pedestrian", "unknown"])
+
+
+def pi(car=1.0, ped=0.7, unk=0.2):
+    return PossibilityDistribution(FRAME, {"car": car, "pedestrian": ped,
+                                           "unknown": unk})
+
+
+class TestBasics:
+    def test_normalization_required(self):
+        with pytest.raises(EvidenceError):
+            PossibilityDistribution(FRAME, {"car": 0.9, "pedestrian": 0.5,
+                                            "unknown": 0.1})
+
+    def test_missing_hypothesis(self):
+        with pytest.raises(EvidenceError):
+            PossibilityDistribution(FRAME, {"car": 1.0})
+
+    def test_possibility_is_max(self):
+        p = pi()
+        assert p.possibility(["pedestrian", "unknown"]) == pytest.approx(0.7)
+        assert p.possibility(FRAME.hypotheses) == 1.0
+        assert p.possibility([]) == 0.0
+
+    def test_necessity_duality(self):
+        p = pi()
+        for event in (["car"], ["car", "pedestrian"], ["unknown"]):
+            complement = set(FRAME.hypotheses) - set(event)
+            assert p.necessity(event) == pytest.approx(
+                1.0 - p.possibility(complement))
+
+    def test_necessity_le_possibility(self):
+        p = pi()
+        for event in (["car"], ["pedestrian"], ["car", "unknown"]):
+            nec, pos = p.probability_bounds(event)
+            assert nec <= pos + 1e-12
+
+
+class TestMassFunctionBridge:
+    def test_roundtrip_through_consonant_mass(self):
+        p = pi(1.0, 0.7, 0.2)
+        m = p.to_mass_function()
+        assert m.is_consonant()
+        back = PossibilityDistribution.from_mass_function(m)
+        for h in FRAME.hypotheses:
+            assert back.degree(h) == pytest.approx(p.degree(h))
+
+    def test_mass_levels(self):
+        m = pi(1.0, 0.7, 0.2).to_mass_function()
+        assert m.mass(["car"]) == pytest.approx(0.3)
+        assert m.mass(["car", "pedestrian"]) == pytest.approx(0.5)
+        assert m.mass(FRAME.hypotheses) == pytest.approx(0.2)
+
+    def test_plausibility_equals_possibility(self):
+        p = pi(1.0, 0.6, 0.3)
+        m = p.to_mass_function()
+        for h in FRAME.hypotheses:
+            assert m.plausibility([h]) == pytest.approx(p.degree(h))
+        for event in (["car", "unknown"], ["pedestrian"]):
+            assert m.belief(event) == pytest.approx(p.necessity(event))
+
+    def test_non_consonant_rejected(self):
+        dissonant = MassFunction(FRAME, {("car",): 0.5, ("pedestrian",): 0.5})
+        with pytest.raises(EvidenceError):
+            PossibilityDistribution.from_mass_function(dissonant)
+
+    def test_fuzzy_bridge(self):
+        p = PossibilityDistribution.from_fuzzy_membership(
+            FRAME, {"car": 1.0, "pedestrian": 0.4, "unknown": 0.0})
+        assert p.degree("pedestrian") == 0.4
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_consistent_property(self, a, b):
+        degrees = {"car": 1.0, "pedestrian": a, "unknown": b}
+        p = PossibilityDistribution(FRAME, degrees)
+        m = p.to_mass_function()
+        for event in (["car"], ["pedestrian"], ["unknown"],
+                      ["car", "pedestrian"]):
+            nec, pos = p.probability_bounds(event)
+            assert m.belief(event) == pytest.approx(nec, abs=1e-9)
+            assert m.plausibility(event) == pytest.approx(pos, abs=1e-9)

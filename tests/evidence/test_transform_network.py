@@ -1,0 +1,214 @@
+"""Tests for probability transforms and the evidential network."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvidenceError
+from repro.evidence.evidential_network import (
+    EvidentialNetwork,
+    EvidentialNode,
+    focal_label,
+    label_to_set,
+)
+from repro.evidence.mass_function import FrameOfDiscernment, MassFunction
+from repro.evidence.transform import (
+    from_belief_interval,
+    interval_dict,
+    pignistic_transform,
+    plausibility_transform,
+)
+
+FRAME = FrameOfDiscernment(["car", "pedestrian", "unknown"])
+
+
+class TestTransforms:
+    def test_pignistic_of_vacuous_is_uniform(self):
+        pig = pignistic_transform(MassFunction.vacuous(FRAME))
+        for h in FRAME.hypotheses:
+            assert pig.prob(h) == pytest.approx(1.0 / 3.0)
+
+    def test_plausibility_transform_normalizes(self):
+        m = MassFunction(FRAME, {("car",): 0.5, ("car", "pedestrian"): 0.5})
+        pl = plausibility_transform(m)
+        assert sum(pl.probabilities.values()) == pytest.approx(1.0)
+        assert pl.prob("car") > pl.prob("pedestrian")
+
+    def test_bayesian_mass_transforms_are_identity(self):
+        probs = {"car": 0.6, "pedestrian": 0.3, "unknown": 0.1}
+        m = MassFunction.from_probabilities(FRAME, probs)
+        pig = pignistic_transform(m)
+        for h, p in probs.items():
+            assert pig.prob(h) == pytest.approx(p)
+
+    def test_from_belief_interval_roundtrip(self):
+        m = from_belief_interval(FRAME, "car", 0.5, 0.8)
+        bel, pl = m.belief_interval(["car"])
+        assert bel == pytest.approx(0.5)
+        assert pl == pytest.approx(0.8)
+
+    def test_from_belief_interval_validation(self):
+        with pytest.raises(EvidenceError):
+            from_belief_interval(FRAME, "car", 0.8, 0.5)
+        with pytest.raises(EvidenceError):
+            from_belief_interval(FRAME, "zebra", 0.1, 0.2)
+
+    def test_interval_dict(self):
+        m = MassFunction.vacuous(FRAME)
+        d = interval_dict(m)
+        assert d["car"] == (0.0, 1.0)
+
+
+class TestFocalLabels:
+    def test_canonical_sorted(self):
+        assert focal_label(["pedestrian", "car"]) == "car|pedestrian"
+
+    def test_roundtrip(self):
+        s = frozenset(["car", "unknown"])
+        assert label_to_set(focal_label(s)) == s
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvidenceError):
+            focal_label([])
+
+
+class TestEvidentialNode:
+    def test_default_power_set_states(self):
+        node = EvidentialNode("x", FRAME)
+        assert node.variable.cardinality == 7
+
+    def test_restricted_focal_sets(self):
+        node = EvidentialNode("x", FRAME, [["car"], ["pedestrian"],
+                                           ["car", "pedestrian"]])
+        assert node.variable.cardinality == 3
+
+    def test_duplicate_focal_sets_rejected(self):
+        with pytest.raises(EvidenceError):
+            EvidentialNode("x", FRAME, [["car"], ["car"]])
+
+    def test_mass_outside_declared_sets_rejected(self):
+        node = EvidentialNode("x", FRAME, [["car"], ["pedestrian"]])
+        m = MassFunction(FRAME, {("car", "pedestrian"): 1.0})
+        with pytest.raises(EvidenceError):
+            node.mass_to_distribution(m)
+
+    def test_distribution_mass_roundtrip(self):
+        node = EvidentialNode("x", FRAME)
+        m = MassFunction(FRAME, {("car",): 0.5, ("car", "pedestrian"): 0.3,
+                                 ("car", "pedestrian", "unknown"): 0.2})
+        dist = node.mass_to_distribution(m)
+        back = node.distribution_to_mass(dist)
+        assert back == m
+
+
+def build_fig4_evidential():
+    gt_frame = FrameOfDiscernment(["car", "pedestrian", "unknown"])
+    pc_frame = FrameOfDiscernment(["car", "pedestrian", "none"])
+    gt = EvidentialNode("ground_truth", gt_frame,
+                        [["car"], ["pedestrian"], ["unknown"]])
+    pc = EvidentialNode("perception", pc_frame,
+                        [["car"], ["pedestrian"], ["car", "pedestrian"],
+                         ["none"]])
+    en = EvidentialNetwork("fig4")
+    en.add_root(gt, MassFunction.from_probabilities(
+        gt_frame, {"car": 0.6, "pedestrian": 0.3, "unknown": 0.1}))
+    rows = {
+        ("car",): MassFunction(pc_frame, {
+            ("car",): 0.9, ("pedestrian",): 0.005,
+            ("car", "pedestrian"): 0.05, ("none",): 0.045}),
+        ("pedestrian",): MassFunction(pc_frame, {
+            ("car",): 0.005, ("pedestrian",): 0.9,
+            ("car", "pedestrian"): 0.05, ("none",): 0.045}),
+        ("unknown",): MassFunction(pc_frame, {
+            ("car", "pedestrian"): 0.2 / 0.9, ("none",): 0.7 / 0.9}),
+    }
+    en.add_child(pc, ["ground_truth"], rows)
+    return en
+
+
+class TestEvidentialNetwork:
+    def test_forward_intervals_bracket_truth(self):
+        en = build_fig4_evidential()
+        intervals = en.singleton_intervals("perception")
+        bel, pl = intervals["car"]
+        assert bel < pl  # genuine epistemic width from the set-state mass
+        # Pignistic point lies within [Bel, Pl].
+        pig = en.pignistic("perception")
+        assert bel <= pig["car"] <= pl
+
+    def test_none_is_precise(self):
+        """No set-state overlaps 'none', so its interval is degenerate."""
+        en = build_fig4_evidential()
+        bel, pl = en.singleton_intervals("perception")["none"]
+        assert bel == pytest.approx(pl)
+
+    def test_posterior_matches_bn_for_point_evidence(self):
+        """With precise (singleton) evidence the evidential network must
+        reproduce the BN posterior of the paper's Fig. 4."""
+        en = build_fig4_evidential()
+        intervals = en.singleton_intervals("ground_truth",
+                                           {"perception": "none"})
+        assert intervals["unknown"][0] == pytest.approx(0.6576, abs=1e-3)
+        assert intervals["unknown"][0] == pytest.approx(intervals["unknown"][1])
+
+    def test_set_evidence(self):
+        """Evidence can be a focal set: 'the output was car-or-pedestrian'."""
+        en = build_fig4_evidential()
+        intervals = en.singleton_intervals(
+            "ground_truth", {"perception": "car|pedestrian"})
+        # All three ground truths plausible; unknown least believed.
+        assert intervals["unknown"][0] < intervals["car"][0]
+
+    def test_ignorance_prior_widens_intervals(self):
+        """Epistemic ignorance mass on the prior must widen the output
+        interval — the EXT-C effect."""
+        gt_frame = FrameOfDiscernment(["car", "pedestrian", "unknown"])
+        pc_frame = FrameOfDiscernment(["car", "pedestrian", "none"])
+
+        def network_with_ignorance(eps):
+            gt = EvidentialNode("ground_truth", gt_frame)
+            pc = EvidentialNode("perception", pc_frame,
+                                [["car"], ["pedestrian"],
+                                 ["car", "pedestrian"], ["none"],
+                                 ["car", "pedestrian", "none"]])
+            en = EvidentialNetwork("ign")
+            prior = {("car",): 0.6 * (1 - eps), ("pedestrian",): 0.3 * (1 - eps),
+                     ("unknown",): 0.1 * (1 - eps),
+                     ("car", "pedestrian", "unknown"): eps}
+            en.add_root(gt, MassFunction(gt_frame, prior))
+            row_known = MassFunction(pc_frame, {
+                ("car",): 0.9, ("pedestrian",): 0.005,
+                ("car", "pedestrian"): 0.05, ("none",): 0.045})
+            row_ped = MassFunction(pc_frame, {
+                ("car",): 0.005, ("pedestrian",): 0.9,
+                ("car", "pedestrian"): 0.05, ("none",): 0.045})
+            row_unknown = MassFunction(pc_frame, {
+                ("car", "pedestrian"): 0.2 / 0.9, ("none",): 0.7 / 0.9})
+            vac = MassFunction.vacuous(pc_frame)
+            rows = {}
+            for label in gt.variable.states:
+                if label == "car":
+                    rows[(label,)] = row_known
+                elif label == "pedestrian":
+                    rows[(label,)] = row_ped
+                elif label == "unknown":
+                    rows[(label,)] = row_unknown
+                else:
+                    rows[(label,)] = vac  # set-states: total output ignorance
+            en.add_child(pc, ["ground_truth"], rows)
+            return en
+
+        w0 = network_with_ignorance(0.0).singleton_intervals("perception")
+        w3 = network_with_ignorance(0.3).singleton_intervals("perception")
+        width0 = w0["car"][1] - w0["car"][0]
+        width3 = w3["car"][1] - w3["car"][0]
+        assert width3 > width0
+
+    def test_unknown_node_rejected(self):
+        en = build_fig4_evidential()
+        with pytest.raises(EvidenceError):
+            en.posterior_mass("nonexistent")
+
+    def test_invalid_evidence_state(self):
+        en = build_fig4_evidential()
+        with pytest.raises(EvidenceError):
+            en.posterior_mass("ground_truth", {"perception": "zebra"})

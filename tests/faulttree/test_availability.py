@@ -1,0 +1,135 @@
+"""Tests for Markov availability models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultTreeError
+from repro.faulttree.markov_availability import (
+    RepairableComponent,
+    downtime_minutes_per_year,
+    kofn_availability,
+    parallel_availability,
+    series_availability,
+    steady_state_availability_ctmc,
+)
+
+
+def comp(lam=0.01, mu=1.0, name="c"):
+    return RepairableComponent(name, lam, mu)
+
+
+class TestComponent:
+    def test_availability_formula(self):
+        c = comp(0.01, 1.0)
+        assert c.availability == pytest.approx(1.0 / 1.01)
+        assert c.mtbf == 100.0
+        assert c.mttr == 1.0
+
+    def test_validation(self):
+        with pytest.raises(FaultTreeError):
+            RepairableComponent("", 0.1, 1.0)
+        with pytest.raises(FaultTreeError):
+            RepairableComponent("c", 0.0, 1.0)
+
+
+class TestCompositions:
+    def test_series_below_weakest(self):
+        c1, c2 = comp(0.01, 1.0, "a"), comp(0.1, 1.0, "b")
+        a = series_availability([c1, c2])
+        assert a == pytest.approx(c1.availability * c2.availability)
+        assert a < min(c1.availability, c2.availability)
+
+    def test_parallel_above_best(self):
+        c1, c2 = comp(0.1, 1.0, "a"), comp(0.1, 1.0, "b")
+        a = parallel_availability([c1, c2])
+        assert a > max(c1.availability, c2.availability)
+        assert a == pytest.approx(1.0 - (1 - c1.availability) ** 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(FaultTreeError):
+            series_availability([])
+
+
+class TestKofN:
+    def test_1oo1_equals_component(self):
+        c = comp(0.05, 0.5)
+        assert kofn_availability(c, 1, 1) == pytest.approx(c.availability)
+
+    def test_1oo2_unlimited_crews_equals_parallel(self):
+        c = comp(0.05, 0.5)
+        a = kofn_availability(c, 2, 1)
+        expected = 1.0 - (1 - c.availability) ** 2
+        assert a == pytest.approx(expected, rel=1e-9)
+
+    def test_2oo2_equals_series(self):
+        c = comp(0.05, 0.5)
+        a = kofn_availability(c, 2, 2)
+        assert a == pytest.approx(c.availability ** 2, rel=1e-9)
+
+    def test_limited_crew_hurts(self):
+        c = comp(0.2, 0.5)
+        full = kofn_availability(c, 4, 2, n_repair_crews=4)
+        limited = kofn_availability(c, 4, 2, n_repair_crews=1)
+        assert limited < full
+
+    def test_redundancy_monotone(self):
+        c = comp(0.1, 1.0)
+        avail = [kofn_availability(c, n, 1) for n in (1, 2, 3)]
+        assert avail == sorted(avail)
+
+    def test_validation(self):
+        with pytest.raises(FaultTreeError):
+            kofn_availability(comp(), 2, 3)
+        with pytest.raises(FaultTreeError):
+            kofn_availability(comp(), 2, 1, n_repair_crews=0)
+
+
+class TestGeneralCTMC:
+    def test_two_state_matches_formula(self):
+        lam, mu = 0.02, 0.8
+        a = steady_state_availability_ctmc(
+            {("up", "down"): lam, ("down", "up"): mu}, up_states=["up"])
+        assert a == pytest.approx(mu / (lam + mu))
+
+    def test_degraded_intermediate_state(self):
+        a = steady_state_availability_ctmc(
+            {("up", "degraded"): 0.1, ("degraded", "up"): 0.5,
+             ("degraded", "down"): 0.1, ("down", "up"): 0.2},
+            up_states=["up", "degraded"])
+        assert 0.0 < a < 1.0
+        strict = steady_state_availability_ctmc(
+            {("up", "degraded"): 0.1, ("degraded", "up"): 0.5,
+             ("degraded", "down"): 0.1, ("down", "up"): 0.2},
+            up_states=["up"])
+        assert strict < a
+
+    def test_agreement_with_kofn(self):
+        """The generic CTMC solver reproduces the birth-death formula."""
+        c = comp(0.1, 0.6)
+        rates = {
+            ("0", "1"): 2 * c.failure_rate,
+            ("1", "0"): c.repair_rate,
+            ("1", "2"): c.failure_rate,
+            ("2", "1"): c.repair_rate,  # single crew
+        }
+        generic = steady_state_availability_ctmc(rates, up_states=["0", "1"])
+        birth_death = kofn_availability(c, 2, 1, n_repair_crews=1)
+        assert generic == pytest.approx(birth_death, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(FaultTreeError):
+            steady_state_availability_ctmc({}, up_states=[])
+        with pytest.raises(FaultTreeError):
+            steady_state_availability_ctmc({("a", "a"): 1.0}, up_states=["a"])
+
+
+class TestDowntime:
+    def test_five_nines(self):
+        minutes = downtime_minutes_per_year(0.99999)
+        assert minutes == pytest.approx(5.26, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(FaultTreeError):
+            downtime_minutes_per_year(1.5)

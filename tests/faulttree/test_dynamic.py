@@ -1,0 +1,201 @@
+"""Tests for dynamic fault trees (CTMC analysis) against closed forms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultTreeError
+from repro.faulttree.dynamic import (
+    DynamicFaultTree,
+    DynamicGate,
+    ExponentialEvent,
+    and_gate_probability,
+    cold_spare_probability,
+    pand_probability,
+)
+
+
+def ev(name, rate):
+    return ExponentialEvent(name, rate)
+
+
+class TestConstruction:
+    def test_event_validation(self):
+        with pytest.raises(FaultTreeError):
+            ExponentialEvent("", 1.0)
+        with pytest.raises(FaultTreeError):
+            ExponentialEvent("a", 0.0)
+
+    def test_pand_binary_only(self):
+        with pytest.raises(FaultTreeError):
+            DynamicGate("p", "pand", [ev("a", 1), ev("b", 1), ev("c", 1)])
+
+    def test_wsp_validation(self):
+        with pytest.raises(FaultTreeError):
+            DynamicGate("w", "wsp", [ev("a", 1)])
+        with pytest.raises(FaultTreeError):
+            DynamicGate("w", "wsp", [ev("a", 1), ev("b", 1)], dormancy=2.0)
+
+    def test_duplicate_events_rejected(self):
+        g = DynamicGate("top", "and", [ev("a", 1.0), ev("a", 2.0)])
+        with pytest.raises(FaultTreeError):
+            DynamicFaultTree(g)
+
+    def test_unknown_gate_type(self):
+        with pytest.raises(FaultTreeError):
+            DynamicGate("g", "xor", [ev("a", 1.0)])
+
+
+class TestStaticGatesViaCTMC:
+    """Where static logic applies, the CTMC must match the closed forms."""
+
+    def test_single_event(self):
+        dft = DynamicFaultTree(DynamicGate("top", "or", [ev("a", 0.5)]))
+        for t in (0.1, 1.0, 3.0):
+            assert dft.top_failure_probability(t) == pytest.approx(
+                1.0 - math.exp(-0.5 * t), abs=1e-8)
+
+    def test_and_gate(self):
+        dft = DynamicFaultTree(
+            DynamicGate("top", "and", [ev("a", 0.4), ev("b", 0.9)]))
+        for t in (0.5, 1.0, 2.0):
+            assert dft.top_failure_probability(t) == pytest.approx(
+                and_gate_probability(0.4, 0.9, t), abs=1e-8)
+
+    def test_or_gate(self):
+        dft = DynamicFaultTree(
+            DynamicGate("top", "or", [ev("a", 0.4), ev("b", 0.9)]))
+        t = 1.5
+        expected = 1.0 - math.exp(-0.4 * t) * math.exp(-0.9 * t)
+        assert dft.top_failure_probability(t) == pytest.approx(expected, abs=1e-8)
+
+    def test_kofn_gate(self):
+        lam = 0.3
+        dft = DynamicFaultTree(DynamicGate(
+            "top", "kofn", [ev("a", lam), ev("b", lam), ev("c", lam)], k=2))
+        t = 2.0
+        p = 1.0 - math.exp(-lam * t)
+        expected = 3 * p * p * (1 - p) + p ** 3
+        assert dft.top_failure_probability(t) == pytest.approx(expected, abs=1e-8)
+
+    def test_zero_time(self):
+        dft = DynamicFaultTree(DynamicGate("top", "or", [ev("a", 1.0)]))
+        assert dft.top_failure_probability(0.0) == 0.0
+
+    def test_negative_time_rejected(self):
+        dft = DynamicFaultTree(DynamicGate("top", "or", [ev("a", 1.0)]))
+        with pytest.raises(FaultTreeError):
+            dft.top_failure_probability(-1.0)
+
+
+class TestPAND:
+    def test_pand_closed_form(self):
+        a, b = 0.6, 0.4
+        dft = DynamicFaultTree(
+            DynamicGate("top", "pand", [ev("a", a), ev("b", b)]))
+        for t in (0.5, 1.0, 3.0):
+            assert dft.top_failure_probability(t) == pytest.approx(
+                pand_probability(a, b, t), abs=1e-8)
+
+    def test_pand_below_and(self):
+        """Order constraint can only reduce the failure probability."""
+        a, b, t = 0.6, 0.4, 2.0
+        pand = DynamicFaultTree(
+            DynamicGate("top", "pand", [ev("a", a), ev("b", b)]))
+        land = DynamicFaultTree(
+            DynamicGate("top", "and", [ev("a", a), ev("b", b)]))
+        assert (pand.top_failure_probability(t) <
+                land.top_failure_probability(t))
+
+    def test_pand_order_asymmetry(self):
+        """PAND(a, b) != PAND(b, a) when the rates differ."""
+        t = 1.0
+        ab = DynamicFaultTree(
+            DynamicGate("top", "pand", [ev("a", 2.0), ev("b", 0.2)]))
+        ba = DynamicFaultTree(
+            DynamicGate("top", "pand", [ev("b", 0.2), ev("a", 2.0)]))
+        assert ab.top_failure_probability(t) > ba.top_failure_probability(t)
+
+    def test_pand_long_run_limit(self):
+        """As t -> inf, PAND probability -> P(A before B) = a/(a+b)."""
+        a, b = 0.6, 0.4
+        dft = DynamicFaultTree(
+            DynamicGate("top", "pand", [ev("a", a), ev("b", b)]))
+        assert dft.top_failure_probability(60.0) == pytest.approx(
+            a / (a + b), abs=1e-4)
+
+    def test_pand_monte_carlo(self, rng):
+        a, b, t = 0.7, 0.5, 1.2
+        dft = DynamicFaultTree(
+            DynamicGate("top", "pand", [ev("a", a), ev("b", b)]))
+        analytic = dft.top_failure_probability(t)
+        ta = rng.exponential(1 / a, 100000)
+        tb = rng.exponential(1 / b, 100000)
+        mc = np.mean((ta <= tb) & (tb <= t))
+        assert analytic == pytest.approx(mc, abs=0.005)
+
+
+class TestSpares:
+    def test_cold_spare_closed_form(self):
+        a, b = 0.5, 0.8
+        dft = DynamicFaultTree(DynamicGate(
+            "top", "wsp", [ev("primary", a), ev("spare", b)], dormancy=0.0))
+        for t in (0.5, 1.5, 4.0):
+            assert dft.top_failure_probability(t) == pytest.approx(
+                cold_spare_probability(a, b, t), abs=1e-8)
+
+    def test_hot_spare_equals_and(self):
+        """Dormancy 1.0: the spare ages like an active unit -> AND gate."""
+        a, b, t = 0.5, 0.8, 1.3
+        wsp = DynamicFaultTree(DynamicGate(
+            "top", "wsp", [ev("p", a), ev("s", b)], dormancy=1.0))
+        assert wsp.top_failure_probability(t) == pytest.approx(
+            and_gate_probability(a, b, t), abs=1e-8)
+
+    def test_colder_spare_is_more_reliable(self):
+        a, b, t = 0.5, 0.5, 2.0
+        probs = []
+        for dormancy in (0.0, 0.3, 0.7, 1.0):
+            dft = DynamicFaultTree(DynamicGate(
+                "top", "wsp", [ev("p", a), ev("s", b)], dormancy=dormancy))
+            probs.append(dft.top_failure_probability(t))
+        assert probs == sorted(probs)
+
+    def test_two_spares(self):
+        dft = DynamicFaultTree(DynamicGate(
+            "top", "wsp", [ev("p", 0.5), ev("s1", 0.5), ev("s2", 0.5)],
+            dormancy=0.0))
+        # Erlang(3, 0.5) cdf at t.
+        t, lam = 3.0, 0.5
+        x = lam * t
+        expected = 1.0 - math.exp(-x) * (1.0 + x + x * x / 2.0)
+        assert dft.top_failure_probability(t) == pytest.approx(expected, abs=1e-7)
+
+
+class TestComposite:
+    def test_mixed_tree(self):
+        """OR(PAND(a,b), c): probability via inclusion of independent parts."""
+        a, b, c, t = 0.3, 0.4, 0.1, 2.0
+        dft = DynamicFaultTree(DynamicGate("top", "or", [
+            DynamicGate("p", "pand", [ev("a", a), ev("b", b)]),
+            ev("c", c)]))
+        p_pand = pand_probability(a, b, t)
+        p_c = 1.0 - math.exp(-c * t)
+        expected = p_pand + p_c - p_pand * p_c
+        assert dft.top_failure_probability(t) == pytest.approx(expected, abs=1e-6)
+
+    def test_mttf_single_event(self):
+        dft = DynamicFaultTree(DynamicGate("top", "or", [ev("a", 0.25)]))
+        assert dft.mean_time_to_failure() == pytest.approx(4.0)
+
+    def test_mttf_cold_spare_adds(self):
+        """Cold spare MTTF = 1/a + 1/b."""
+        dft = DynamicFaultTree(DynamicGate(
+            "top", "wsp", [ev("p", 0.5), ev("s", 0.25)], dormancy=0.0))
+        assert dft.mean_time_to_failure() == pytest.approx(2.0 + 4.0)
+
+    def test_mttf_or_is_minimum_rate(self):
+        dft = DynamicFaultTree(DynamicGate(
+            "top", "or", [ev("a", 0.3), ev("b", 0.7)]))
+        assert dft.mean_time_to_failure() == pytest.approx(1.0)

@@ -1,0 +1,154 @@
+"""Tests for event trees and common-cause failure modeling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultTreeError
+from repro.faulttree.common_cause import (
+    beta_factor_system_probability,
+    beta_factor_tree,
+    ccf_diagnostic,
+    common_cause_bayesnet,
+)
+from repro.faulttree.event_tree import EventTree, SafetyFunction
+from repro.faulttree.quantify import top_event_probability
+from repro.probability.intervals import IntervalProbability
+
+
+def simple_tree(p_detect_fail=0.1, p_brake_fail=0.01):
+    return EventTree(
+        initiating_event="object_ahead",
+        initiating_frequency=0.001,
+        functions=[SafetyFunction.of("detection", p_detect_fail),
+                   SafetyFunction.of("braking", p_brake_fail)],
+        consequence_of={
+            frozenset(): "safe",
+            frozenset(["braking"]): "near_miss",
+            frozenset(["detection"]): "collision",
+            frozenset(["detection", "braking"]): "collision",
+        })
+
+
+class TestEventTree:
+    def test_sequence_count(self):
+        assert len(simple_tree().sequences()) == 4
+
+    def test_frequencies_sum_to_initiating(self):
+        tree = simple_tree()
+        total = sum(s.frequency.midpoint for s in tree.sequences())
+        assert total == pytest.approx(0.001)
+
+    def test_consequence_frequencies(self):
+        tree = simple_tree()
+        freqs = tree.consequence_frequencies()
+        expected_safe = 0.001 * 0.9 * 0.99
+        assert freqs["safe"].midpoint == pytest.approx(expected_safe)
+        expected_collision = 0.001 * 0.1  # detection failed, either branch
+        assert freqs["collision"].midpoint == pytest.approx(expected_collision)
+
+    def test_unmapped_path_goes_to_worst(self):
+        tree = EventTree("ie", 1.0,
+                         [SafetyFunction.of("f", 0.5)],
+                         consequence_of={frozenset(): "safe"},
+                         worst_consequence="severe")
+        freqs = tree.consequence_frequencies()
+        assert freqs["severe"].midpoint == pytest.approx(0.5)
+
+    def test_interval_branches_propagate(self):
+        tree = EventTree(
+            "ie", 0.01,
+            [SafetyFunction.of("f", IntervalProbability(0.05, 0.2))],
+            consequence_of={frozenset(): "safe",
+                            frozenset(["f"]): "collision"})
+        col = tree.consequence_frequencies()["collision"]
+        assert col.lower == pytest.approx(0.01 * 0.05)
+        assert col.upper == pytest.approx(0.01 * 0.2)
+
+    def test_dominant_sequence(self):
+        tree = simple_tree()
+        dom = tree.dominant_sequence("collision")
+        assert dom is not None
+        assert "detection" in dom.failed
+
+    def test_risk_profile(self):
+        tree = simple_tree()
+        lo, hi = tree.risk_profile({"safe": 0.0, "near_miss": 1.0,
+                                    "collision": 100.0})
+        assert lo == pytest.approx(hi)
+        assert lo > 0.0
+
+    def test_risk_profile_missing_weight(self):
+        with pytest.raises(FaultTreeError):
+            simple_tree().risk_profile({"safe": 0.0})
+
+    def test_validation(self):
+        with pytest.raises(FaultTreeError):
+            EventTree("", 0.1, [SafetyFunction.of("f", 0.5)], {})
+        with pytest.raises(FaultTreeError):
+            EventTree("ie", 0.1, [], {})
+        with pytest.raises(FaultTreeError):
+            EventTree("ie", 0.1, [SafetyFunction.of("f", 0.5),
+                                  SafetyFunction.of("f", 0.5)], {})
+
+
+class TestBetaFactor:
+    def test_closed_form_matches_tree(self):
+        for beta in (0.0, 0.1, 0.5):
+            tree = beta_factor_tree("sensor", 0.01, 2, beta)
+            assert top_event_probability(tree) == pytest.approx(
+                beta_factor_system_probability(0.01, 2, beta), abs=1e-12)
+
+    def test_beta_zero_is_independent(self):
+        assert beta_factor_system_probability(0.01, 3, 0.0) == pytest.approx(
+            0.01 ** 3)
+
+    def test_ccf_dominates_redundancy(self):
+        """With beta > 0 the system probability floors at beta*p — the
+        reason identical redundancy stops paying."""
+        independent = beta_factor_system_probability(0.01, 4, 0.0)
+        with_ccf = beta_factor_system_probability(0.01, 4, 0.1)
+        assert with_ccf > 100 * independent
+        assert with_ccf == pytest.approx(0.1 * 0.01, rel=0.01)
+
+    def test_monotone_in_beta(self):
+        probs = [beta_factor_system_probability(0.01, 2, b)
+                 for b in (0.0, 0.2, 0.5, 1.0)]
+        assert probs == sorted(probs)
+
+    def test_validation(self):
+        with pytest.raises(FaultTreeError):
+            beta_factor_tree("s", 0.01, 1, 0.1)
+        with pytest.raises(FaultTreeError):
+            beta_factor_tree("s", 0.01, 2, 1.5)
+
+
+class TestCommonCauseBN:
+    def test_system_probability_matches_beta_factor(self):
+        bn = common_cause_bayesnet(0.01, 0.1, 2)
+        p_sys = bn.query("system")["true"]
+        assert p_sys == pytest.approx(
+            beta_factor_system_probability(0.01, 2, 0.1), rel=0.01)
+
+    def test_diagnostic_query(self):
+        """Given both channels down, the common cause is the likely story."""
+        result = ccf_diagnostic(0.01, 0.1, 2)
+        assert result["p_ccf_given_all_failed"] > 0.9
+
+    def test_diagnostic_drops_with_beta(self):
+        high_beta = ccf_diagnostic(0.01, 0.5, 2)["p_ccf_given_all_failed"]
+        low_beta = ccf_diagnostic(0.01, 0.01, 2)["p_ccf_given_all_failed"]
+        assert high_beta > low_beta
+
+    def test_channels_dependent_through_parent(self):
+        """Observing one channel's failure raises the other's posterior —
+        the §V 'common parent node' dependency."""
+        bn = common_cause_bayesnet(0.01, 0.2, 2)
+        prior = bn.query("channel1")["true"]
+        posterior = bn.query("channel1", {"channel0": "true"})["true"]
+        assert posterior > 5 * prior
+
+    def test_validation(self):
+        with pytest.raises(FaultTreeError):
+            common_cause_bayesnet(0.01, 2.0)
+        with pytest.raises(FaultTreeError):
+            common_cause_bayesnet(0.01, 0.1, n_channels=1)

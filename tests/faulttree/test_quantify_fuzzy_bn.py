@@ -1,0 +1,222 @@
+"""Tests for FTA quantification, importance, fuzzy FTA, and BN conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultTreeError
+from repro.faulttree.fuzzy_fta import (
+    fuzzy_importance,
+    fuzzy_importance_ranking,
+    fuzzy_top_probability,
+)
+from repro.faulttree.quantify import (
+    birnbaum_importance,
+    fussell_vesely_importance,
+    importance_ranking,
+    interval_top_probability,
+    mcub,
+    monte_carlo_top_probability,
+    rare_event_approximation,
+    risk_achievement_worth,
+    risk_reduction_worth,
+    top_event_probability,
+)
+from repro.faulttree.to_bayesnet import (
+    diagnostic_posterior,
+    fault_tree_to_bayesnet,
+    top_probability_via_bn,
+)
+from repro.faulttree.tree import BasicEvent, FaultTree, and_gate, kofn_gate, or_gate
+from repro.probability.fuzzy import FuzzyNumber, TriangularFuzzyNumber
+from repro.probability.intervals import IntervalProbability
+
+
+def bridge_tree():
+    a = BasicEvent("a", 0.01)
+    b = BasicEvent("b", 0.02)
+    c = BasicEvent("c", 0.001)
+    return FaultTree(or_gate("top", [and_gate("g1", [a, b]), c]))
+
+
+def shared_event_tree():
+    """a appears in both branches: bottom-up arithmetic would be wrong."""
+    a = BasicEvent("a", 0.1)
+    b = BasicEvent("b", 0.2)
+    c = BasicEvent("c", 0.3)
+    return FaultTree(or_gate("top", [and_gate("g1", [a, b]),
+                                     and_gate("g2", [a, c])]))
+
+
+class TestTopProbability:
+    def test_bridge_exact(self):
+        # P = P(ab) + P(c) - P(abc)
+        expected = 0.01 * 0.02 + 0.001 - 0.01 * 0.02 * 0.001
+        assert top_event_probability(bridge_tree()) == pytest.approx(expected)
+
+    def test_shared_event_exact(self):
+        """Inclusion-exclusion must handle the shared event correctly:
+        P = P(ab) + P(ac) - P(abc)."""
+        expected = 0.1 * 0.2 + 0.1 * 0.3 - 0.1 * 0.2 * 0.3
+        assert top_event_probability(shared_event_tree()) == pytest.approx(expected)
+
+    def test_agreement_with_bn(self):
+        for tree in (bridge_tree(), shared_event_tree()):
+            assert top_event_probability(tree) == pytest.approx(
+                top_probability_via_bn(tree), abs=1e-12)
+
+    def test_agreement_with_monte_carlo(self, rng):
+        tree = shared_event_tree()
+        mc = monte_carlo_top_probability(tree, rng, 200000)
+        assert mc == pytest.approx(top_event_probability(tree), abs=0.005)
+
+    def test_rare_event_upper_bound(self):
+        tree = shared_event_tree()
+        assert rare_event_approximation(tree) >= top_event_probability(tree)
+
+    def test_mcub_between_exact_and_rare(self):
+        tree = shared_event_tree()
+        exact = top_event_probability(tree)
+        assert exact <= mcub(tree) + 1e-12
+        assert mcub(tree) <= rare_event_approximation(tree) + 1e-12
+
+    def test_missing_probability(self):
+        tree = bridge_tree()
+        with pytest.raises(FaultTreeError):
+            top_event_probability(tree, {"a": 0.1})
+
+    def test_kofn_quantification(self):
+        events = [BasicEvent(f"e{i}", 0.1) for i in range(3)]
+        tree = FaultTree(kofn_gate("vote", 2, events))
+        # P(at least 2 of 3 fail) with p=0.1: 3 * 0.01 * 0.9 + 0.001
+        assert top_event_probability(tree) == pytest.approx(0.028)
+
+
+class TestImportance:
+    def test_birnbaum_is_partial_derivative(self):
+        tree = bridge_tree()
+        base = tree.probabilities()
+        eps = 1e-6
+        bumped = dict(base)
+        bumped["c"] += eps
+        numeric = (top_event_probability(tree, bumped) -
+                   top_event_probability(tree, base)) / eps
+        assert birnbaum_importance(tree, "c") == pytest.approx(numeric, rel=1e-3)
+
+    def test_single_point_fault_dominates(self):
+        ranking = importance_ranking(bridge_tree(), measure="birnbaum")
+        assert ranking[0][0] == "c"
+
+    def test_fussell_vesely_fraction(self):
+        tree = bridge_tree()
+        fv_c = fussell_vesely_importance(tree, "c")
+        fv_a = fussell_vesely_importance(tree, "a")
+        assert 0.0 <= fv_a <= fv_c <= 1.0
+
+    def test_raw_rrw(self):
+        tree = bridge_tree()
+        assert risk_achievement_worth(tree, "c") > 1.0
+        assert risk_reduction_worth(tree, "c") > 1.0
+
+    def test_unknown_event(self):
+        with pytest.raises(FaultTreeError):
+            birnbaum_importance(bridge_tree(), "zz")
+
+    def test_unknown_measure(self):
+        with pytest.raises(FaultTreeError):
+            importance_ranking(bridge_tree(), measure="voodoo")
+
+
+class TestIntervalFTA:
+    def test_interval_top_contains_point(self):
+        tree = bridge_tree()
+        point = top_event_probability(tree)
+        intervals = {n: IntervalProbability(p * 0.5, min(1.0, p * 2.0))
+                     for n, p in tree.probabilities().items()}
+        iv = interval_top_probability(tree, intervals)
+        assert iv.lower <= point <= iv.upper
+
+    def test_degenerate_intervals_reproduce_point(self):
+        tree = bridge_tree()
+        intervals = {n: IntervalProbability.precise(p)
+                     for n, p in tree.probabilities().items()}
+        iv = interval_top_probability(tree, intervals)
+        assert iv.lower == pytest.approx(iv.upper)
+        assert iv.lower == pytest.approx(top_event_probability(tree))
+
+    def test_missing_interval(self):
+        with pytest.raises(FaultTreeError):
+            interval_top_probability(bridge_tree(),
+                                     {"a": IntervalProbability(0, 1)})
+
+
+class TestFuzzyFTA:
+    def make_fuzzy(self, tree, spread=2.0):
+        return {n: TriangularFuzzyNumber(p / spread, p, min(1.0, p * spread))
+                for n, p in tree.probabilities().items()}
+
+    def test_crisp_inputs_reproduce_point(self):
+        tree = bridge_tree()
+        fuzz = {n: FuzzyNumber.crisp(p) for n, p in tree.probabilities().items()}
+        top = fuzzy_top_probability(tree, fuzz)
+        assert top.core[0] == pytest.approx(top_event_probability(tree), rel=1e-6)
+        assert top.spread() == pytest.approx(0.0, abs=1e-12)
+
+    def test_core_matches_point_probability(self):
+        tree = bridge_tree()
+        top = fuzzy_top_probability(tree, self.make_fuzzy(tree))
+        assert top.core[0] == pytest.approx(top_event_probability(tree), rel=1e-6)
+
+    def test_spread_monotone_in_input_spread(self):
+        tree = bridge_tree()
+        narrow = fuzzy_top_probability(tree, self.make_fuzzy(tree, 1.2))
+        wide = fuzzy_top_probability(tree, self.make_fuzzy(tree, 4.0))
+        assert wide.spread() > narrow.spread()
+
+    def test_fuzzy_importance_identifies_spf(self):
+        tree = bridge_tree()
+        ranking = fuzzy_importance_ranking(tree, self.make_fuzzy(tree))
+        assert ranking[0][0] == "c"
+
+    def test_missing_fuzzy_probability(self):
+        tree = bridge_tree()
+        with pytest.raises(FaultTreeError):
+            fuzzy_top_probability(tree, {})
+
+
+class TestBNConversion:
+    def test_structure(self):
+        bn = fault_tree_to_bayesnet(bridge_tree())
+        assert set(bn.dag.nodes) == {"a", "b", "c", "g1", "top"}
+        assert bn.dag.parents("top") == {"g1", "c"}
+
+    def test_shared_event_single_root(self):
+        bn = fault_tree_to_bayesnet(shared_event_tree())
+        assert bn.dag.children("a") == {"g1", "g2"}
+
+    def test_diagnostic_query(self):
+        post = diagnostic_posterior(bridge_tree(), observed_top=True)
+        # Given the hazard, the single-point fault c is the likely culprit.
+        assert post["c"] > 0.8
+        assert post["c"] > post["a"]
+
+    def test_noisy_gates_soften(self):
+        tree = bridge_tree()
+        crisp = fault_tree_to_bayesnet(tree, noise=0.0)
+        noisy = fault_tree_to_bayesnet(tree, noise=0.05)
+        p_crisp = crisp.query("top")["true"]
+        p_noisy = noisy.query("top")["true"]
+        assert p_noisy > p_crisp  # noise dominates at low base probability
+
+    def test_noise_validation(self):
+        with pytest.raises(FaultTreeError):
+            fault_tree_to_bayesnet(bridge_tree(), noise=0.7)
+
+    def test_not_gate_supported_in_bn(self):
+        """Non-coherent logic works through the BN route."""
+        from repro.faulttree.tree import Gate, GateType
+        a = BasicEvent("a", 0.3)
+        b = BasicEvent("b", 0.4)
+        top = and_gate("top", [Gate("na", GateType.NOT, [a]), b])
+        tree = FaultTree(top)
+        bn = fault_tree_to_bayesnet(tree)
+        assert bn.query("top")["true"] == pytest.approx(0.7 * 0.4)

@@ -1,0 +1,149 @@
+"""Tests for fault tree structure and minimal cut set extraction."""
+
+import pytest
+
+from repro.errors import FaultTreeError
+from repro.faulttree.cutsets import (
+    cut_set_order_histogram,
+    minimal_cut_sets,
+    minimize,
+    path_sets,
+    single_point_faults,
+)
+from repro.faulttree.tree import (
+    BasicEvent,
+    FaultTree,
+    Gate,
+    GateType,
+    and_gate,
+    kofn_gate,
+    or_gate,
+)
+
+
+def bridge_tree():
+    """OR(AND(a, b), c) with probabilities 0.01 / 0.02 / 0.001."""
+    a = BasicEvent("a", 0.01)
+    b = BasicEvent("b", 0.02)
+    c = BasicEvent("c", 0.001)
+    return FaultTree(or_gate("top", [and_gate("g1", [a, b]), c]))
+
+
+class TestStructure:
+    def test_probability_bounds(self):
+        with pytest.raises(FaultTreeError):
+            BasicEvent("x", 1.5)
+        with pytest.raises(FaultTreeError):
+            BasicEvent("x", -0.1)
+
+    def test_gate_arity(self):
+        with pytest.raises(FaultTreeError):
+            Gate("g", GateType.AND, [])
+        with pytest.raises(FaultTreeError):
+            Gate("g", GateType.NOT, [BasicEvent("a", 0.1), BasicEvent("b", 0.1)])
+
+    def test_kofn_validation(self):
+        events = [BasicEvent(f"e{i}", 0.1) for i in range(3)]
+        with pytest.raises(FaultTreeError):
+            Gate("g", GateType.KOFN, events, k=4)
+        with pytest.raises(FaultTreeError):
+            Gate("g", GateType.AND, events, k=2)
+
+    def test_duplicate_gate_name(self):
+        a = BasicEvent("a", 0.1)
+        g1 = and_gate("same", [a])
+        g2 = or_gate("same", [a, g1])
+        with pytest.raises(FaultTreeError):
+            FaultTree(g2)
+
+    def test_shared_event_same_object_ok(self):
+        a = BasicEvent("a", 0.1)
+        tree = FaultTree(or_gate("top", [and_gate("g1", [a]),
+                                         and_gate("g2", [a])]))
+        assert len(tree.basic_events) == 1
+
+    def test_distinct_objects_same_name_rejected(self):
+        with pytest.raises(FaultTreeError):
+            FaultTree(or_gate("top", [BasicEvent("a", 0.1),
+                                      BasicEvent("a", 0.2)]))
+
+    def test_gate_event_name_clash(self):
+        a = BasicEvent("x", 0.1)
+        g = and_gate("x", [a])
+        with pytest.raises(FaultTreeError):
+            FaultTree(or_gate("top", [g, BasicEvent("y", 0.1)]))
+
+    def test_evaluate(self):
+        tree = bridge_tree()
+        assert tree.evaluate({"a": True, "b": True, "c": False})
+        assert tree.evaluate({"a": False, "b": False, "c": True})
+        assert not tree.evaluate({"a": True, "b": False, "c": False})
+
+    def test_evaluate_missing_events(self):
+        with pytest.raises(FaultTreeError):
+            bridge_tree().evaluate({"a": True})
+
+
+class TestCutSets:
+    def test_bridge_cut_sets(self):
+        mcs = minimal_cut_sets(bridge_tree())
+        assert frozenset({"c"}) in mcs
+        assert frozenset({"a", "b"}) in mcs
+        assert len(mcs) == 2
+
+    def test_minimality(self):
+        """AND over OR structure creates non-minimal candidates."""
+        a = BasicEvent("a", 0.1)
+        b = BasicEvent("b", 0.1)
+        tree = FaultTree(or_gate("top", [a, and_gate("g", [a, b])]))
+        mcs = minimal_cut_sets(tree)
+        assert mcs == [frozenset({"a"})]
+
+    def test_kofn_expansion(self):
+        events = [BasicEvent(f"e{i}", 0.1) for i in range(4)]
+        tree = FaultTree(kofn_gate("vote", 3, events))
+        mcs = minimal_cut_sets(tree)
+        assert len(mcs) == 4  # C(4,3)
+        assert all(len(cs) == 3 for cs in mcs)
+
+    def test_not_gate_rejected(self):
+        a = BasicEvent("a", 0.1)
+        tree = FaultTree(Gate("top", GateType.NOT, [a]))
+        with pytest.raises(FaultTreeError, match="non-coherent"):
+            minimal_cut_sets(tree)
+
+    def test_limit_enforced(self):
+        events = [BasicEvent(f"e{i}", 0.1) for i in range(20)]
+        tree = FaultTree(or_gate("top", events))
+        with pytest.raises(FaultTreeError):
+            minimal_cut_sets(tree, limit=10)
+
+    def test_single_point_faults(self):
+        assert single_point_faults(bridge_tree()) == ["c"]
+
+    def test_order_histogram(self):
+        hist = cut_set_order_histogram(bridge_tree())
+        assert hist == {1: 1, 2: 1}
+
+    def test_minimize_removes_supersets(self):
+        sets = [{"a"}, {"a", "b"}, {"c", "d"}, {"c", "d"}]
+        out = minimize(sets)
+        assert frozenset({"a"}) in out
+        assert frozenset({"a", "b"}) not in out
+        assert len(out) == 2
+
+
+class TestPathSets:
+    def test_bridge_path_sets(self):
+        """Success requires c working AND (a or b working)."""
+        ps = path_sets(bridge_tree())
+        assert frozenset({"c", "a"}) in ps
+        assert frozenset({"c", "b"}) in ps
+
+    def test_kofn_dual(self):
+        events = [BasicEvent(f"e{i}", 0.1) for i in range(3)]
+        tree = FaultTree(kofn_gate("vote", 2, events))
+        ps = path_sets(tree)
+        # 2-of-3 fails iff 2 fail; it works iff 2 work -> path sets of size 2.
+        assert all(len(p) == 2 for p in ps)
+        assert len(ps) == 3

@@ -1,0 +1,149 @@
+"""Tests for entropy and divergence measures."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.information.entropy import (
+    conditional_entropy,
+    cross_entropy,
+    empirical_pmf,
+    entropy,
+    entropy_categorical,
+    jensen_shannon_divergence,
+    joint_entropy,
+    joint_pmf_from_conditionals,
+    kl_divergence,
+    kl_divergence_categorical,
+    mutual_information,
+)
+from repro.probability.distributions import Categorical
+
+
+def pmf_strategy(n=4):
+    return st.lists(st.floats(min_value=0.01, max_value=10), min_size=2,
+                    max_size=n).map(lambda w: np.array(w) / sum(w))
+
+
+class TestEntropy:
+    def test_uniform_is_maximal(self):
+        assert entropy([0.25] * 4) == pytest.approx(math.log(4))
+        assert entropy([0.7, 0.1, 0.1, 0.1]) < math.log(4)
+
+    def test_deterministic_is_zero(self):
+        assert entropy([1.0, 0.0, 0.0]) == 0.0
+
+    def test_requires_normalization(self):
+        with pytest.raises(DistributionError):
+            entropy([0.5, 0.2])
+
+    def test_categorical_wrapper(self):
+        c = Categorical({"a": 0.5, "b": 0.5})
+        assert entropy_categorical(c) == pytest.approx(math.log(2))
+
+    @given(pmf_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_entropy_nonnegative_property(self, p):
+        assert entropy(p) >= 0.0
+
+
+class TestJointMeasures:
+    def test_independent_joint_entropy_adds(self):
+        px = np.array([0.3, 0.7])
+        py = np.array([0.4, 0.6])
+        joint = np.outer(px, py)
+        assert joint_entropy(joint) == pytest.approx(entropy(px) + entropy(py))
+
+    def test_conditional_entropy_independent(self):
+        joint = np.outer([0.5, 0.5], [0.2, 0.8])
+        assert conditional_entropy(joint) == pytest.approx(entropy([0.2, 0.8]))
+
+    def test_conditional_entropy_deterministic_channel(self):
+        """Perfect channel: knowing X removes all uncertainty about Y."""
+        joint = np.array([[0.5, 0.0], [0.0, 0.5]])
+        assert conditional_entropy(joint) == pytest.approx(0.0)
+
+    def test_mutual_information_independent_zero(self):
+        joint = np.outer([0.3, 0.7], [0.6, 0.4])
+        assert mutual_information(joint) == pytest.approx(0.0, abs=1e-12)
+
+    def test_mutual_information_perfect_channel(self):
+        joint = np.array([[0.5, 0.0], [0.0, 0.5]])
+        assert mutual_information(joint) == pytest.approx(math.log(2))
+
+    def test_chain_rule(self):
+        joint = np.array([[0.1, 0.2], [0.3, 0.4]])
+        hx = entropy(joint.sum(axis=1))
+        assert joint_entropy(joint) == pytest.approx(hx + conditional_entropy(joint))
+
+    def test_requires_matrix(self):
+        with pytest.raises(DistributionError):
+            conditional_entropy([0.5, 0.5])
+
+
+class TestDivergences:
+    def test_kl_zero_iff_equal(self):
+        p = [0.2, 0.3, 0.5]
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_kl_positive(self):
+        assert kl_divergence([0.9, 0.1], [0.5, 0.5]) > 0.0
+
+    def test_kl_infinite_outside_support(self):
+        """The ontological signature: support mismatch -> infinite KL."""
+        assert kl_divergence([0.5, 0.5], [1.0, 0.0]) == float("inf")
+
+    def test_cross_entropy_exceeds_entropy(self):
+        p = [0.7, 0.3]
+        q = [0.3, 0.7]
+        assert cross_entropy(p, q) > entropy(p)
+
+    def test_kl_categorical_support_mismatch(self):
+        p = Categorical({"car": 0.5, "kangaroo": 0.5})
+        q = Categorical({"car": 0.9, "pedestrian": 0.1})
+        assert kl_divergence_categorical(p, q) == float("inf")
+
+    def test_kl_categorical_finite_on_shared_support(self):
+        p = Categorical({"a": 0.6, "b": 0.4})
+        q = Categorical({"a": 0.4, "b": 0.6})
+        d = kl_divergence_categorical(p, q)
+        assert 0.0 < d < 1.0
+
+    def test_jsd_symmetric_and_bounded(self):
+        p = [0.9, 0.1]
+        q = [0.1, 0.9]
+        assert jensen_shannon_divergence(p, q) == pytest.approx(
+            jensen_shannon_divergence(q, p))
+        assert jensen_shannon_divergence(p, q) <= math.log(2) + 1e-12
+
+    @given(pmf_strategy(), pmf_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_kl_nonnegative_property(self, p, q):
+        if len(p) != len(q):
+            return
+        assert kl_divergence(p, q) >= -1e-12
+
+
+class TestHelpers:
+    def test_empirical_pmf(self):
+        p = empirical_pmf(["a", "a", "b", "c"], ["a", "b", "c"])
+        assert np.allclose(p, [0.5, 0.25, 0.25])
+
+    def test_empirical_pmf_rejects_out_of_support(self):
+        with pytest.raises(DistributionError, match="ontological"):
+            empirical_pmf(["a", "zebra"], ["a", "b"])
+
+    def test_joint_from_conditionals(self):
+        prior = {"x0": 0.5, "x1": 0.5}
+        cond = {"x0": {"y0": 1.0, "y1": 0.0}, "x1": {"y0": 0.0, "y1": 1.0}}
+        joint = joint_pmf_from_conditionals(prior, cond)
+        assert mutual_information(joint) == pytest.approx(math.log(2))
+
+    def test_joint_from_conditionals_missing_row(self):
+        with pytest.raises(DistributionError):
+            joint_pmf_from_conditionals({"x0": 1.0, "x1": 0.0},
+                                        {"x0": {"y0": 1.0}})

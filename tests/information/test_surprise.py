@@ -1,0 +1,121 @@
+"""Tests for the surprise monitors (epistemic vs ontological detection)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError
+from repro.information.surprise import (
+    ResidualSurpriseMonitor,
+    SurpriseMonitor,
+    model_system_gap,
+)
+from repro.probability.distributions import Categorical
+
+
+def model():
+    return Categorical({"car": 0.6, "pedestrian": 0.4})
+
+
+class TestSurpriseMonitor:
+    def test_in_ontology_finite_surprisal(self):
+        mon = SurpriseMonitor(model())
+        r = mon.score("car")
+        assert r.in_ontology
+        assert r.surprisal == pytest.approx(-math.log(0.6))
+        assert not r.ontological_alarm
+
+    def test_outside_ontology_infinite_surprisal(self):
+        mon = SurpriseMonitor(model())
+        r = mon.score("kangaroo")
+        assert not r.in_ontology
+        assert r.surprisal == math.inf
+        assert r.ontological_alarm
+
+    def test_ontological_event_rate(self):
+        mon = SurpriseMonitor(model())
+        mon.score_sequence(["car"] * 9 + ["kangaroo"])
+        assert mon.ontological_event_rate() == pytest.approx(0.1)
+
+    def test_no_epistemic_alarm_when_calibrated(self, rng):
+        mon = SurpriseMonitor(model(), window=50)
+        obs = model().sample_outcomes(rng, 500)
+        reports = mon.score_sequence(obs)
+        alarm_rate = sum(r.epistemic_alarm for r in reports) / len(reports)
+        assert alarm_rate < 0.05
+
+    def test_epistemic_alarm_on_drift(self, rng):
+        """World drifts to mostly pedestrians: surprisal rises, alarm fires."""
+        mon = SurpriseMonitor(Categorical({"car": 0.95, "pedestrian": 0.05}),
+                              window=50, epistemic_threshold_nats=0.5)
+        drifted = Categorical({"car": 0.05, "pedestrian": 0.95})
+        reports = mon.score_sequence(drifted.sample_outcomes(rng, 300))
+        assert any(r.epistemic_alarm for r in reports)
+
+    def test_model_update_resets_window(self, rng):
+        mon = SurpriseMonitor(model(), window=10)
+        mon.score_sequence(model().sample_outcomes(rng, 20))
+        mon.update_model(Categorical({"car": 0.5, "pedestrian": 0.5}))
+        assert mon.rolling_mean_surprisal() == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(DistributionError):
+            SurpriseMonitor(model(), epistemic_threshold_nats=0.0)
+        with pytest.raises(DistributionError):
+            SurpriseMonitor(model(), window=1)
+
+
+class TestResidualMonitor:
+    def test_no_alarm_on_white_noise(self, rng):
+        mon = ResidualSurpriseMonitor(noise_std=1.0, window=20)
+        for r in rng.normal(0.0, 1.0, 500):
+            mon.score(r)
+        assert mon.alarm_step is None
+
+    def test_alarm_on_systematic_drift(self, rng):
+        mon = ResidualSurpriseMonitor(noise_std=0.1, window=20)
+        for i in range(200):
+            mon.score(0.001 * i + rng.normal(0.0, 0.1))
+        assert mon.alarm_step is not None
+
+    def test_alarm_latency_decreases_with_signal(self, rng):
+        latencies = []
+        for slope in (0.002, 0.02):
+            mon = ResidualSurpriseMonitor(noise_std=0.1, window=20)
+            for i in range(500):
+                mon.score(slope * i + rng.normal(0.0, 0.1))
+                if mon.alarm_step is not None:
+                    break
+            latencies.append(mon.alarm_step or 501)
+        assert latencies[1] <= latencies[0]
+
+    def test_invalid_noise(self):
+        with pytest.raises(DistributionError):
+            ResidualSurpriseMonitor(noise_std=0.0)
+
+
+class TestModelSystemGap:
+    def test_pure_epistemic_gap(self):
+        system = Categorical({"car": 0.7, "pedestrian": 0.3})
+        bad_model = Categorical({"car": 0.5, "pedestrian": 0.5})
+        gap = model_system_gap(system, bad_model)
+        assert gap["ontological_mass"] == 0.0
+        assert gap["epistemic_kl"] > 0.0
+
+    def test_pure_ontological_gap(self):
+        system = Categorical({"car": 0.9, "kangaroo": 0.1})
+        model_ = Categorical({"car": 0.95, "pedestrian": 0.05})
+        gap = model_system_gap(system, model_)
+        assert gap["ontological_mass"] == pytest.approx(0.1)
+
+    def test_exact_model_zero_gap(self):
+        c = Categorical({"a": 0.4, "b": 0.6})
+        gap = model_system_gap(c, c)
+        assert gap["ontological_mass"] == 0.0
+        assert gap["epistemic_kl"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_system_entropy_is_aleatory_content(self):
+        system = Categorical({"a": 0.5, "b": 0.5})
+        gap = model_system_gap(system, system)
+        assert gap["system_entropy"] == pytest.approx(math.log(2))

@@ -1,0 +1,107 @@
+"""Tests for value-of-information analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InferenceError
+from repro.information.value_of_information import (
+    DecisionProblem,
+    best_action,
+    expected_value_of_observation,
+    expected_value_of_perfect_information,
+    rank_observables,
+)
+from repro.perception.chain import build_fig4_network
+
+
+def braking_problem():
+    """Brake vs proceed, depending on the ground truth."""
+    return DecisionProblem(
+        target="ground_truth",
+        actions=("brake", "proceed"),
+        utilities={
+            ("brake", "car"): -1.0, ("proceed", "car"): -50.0,
+            ("brake", "pedestrian"): -1.0, ("proceed", "pedestrian"): -200.0,
+            ("brake", "unknown"): -1.0, ("proceed", "unknown"): -100.0,
+        })
+
+
+class TestBestAction:
+    def test_prior_decision(self):
+        bn = build_fig4_network()
+        action, eu = best_action(braking_problem(),
+                                 bn.query("ground_truth"))
+        assert action == "brake"  # proceeding is always worse here
+        assert eu == pytest.approx(-1.0)
+
+    def test_benign_utilities_flip_decision(self):
+        problem = DecisionProblem(
+            target="ground_truth", actions=("brake", "proceed"),
+            utilities={("brake", s): -1.0 for s in
+                       ("car", "pedestrian", "unknown")} |
+                      {("proceed", s): 0.0 for s in
+                       ("car", "pedestrian", "unknown")})
+        bn = build_fig4_network()
+        action, _ = best_action(problem, bn.query("ground_truth"))
+        assert action == "proceed"
+
+    def test_missing_utility(self):
+        problem = DecisionProblem(target="t", actions=("a",),
+                                  utilities={})
+        with pytest.raises(InferenceError):
+            problem.utility("a", "s")
+
+
+class TestEVO:
+    @pytest.fixture
+    def mixed_problem(self):
+        """Utilities where the optimal action genuinely depends on state."""
+        return DecisionProblem(
+            target="ground_truth",
+            actions=("brake", "proceed"),
+            utilities={
+                ("brake", "car"): -5.0, ("proceed", "car"): 0.0,
+                ("brake", "pedestrian"): -5.0,
+                ("proceed", "pedestrian"): -300.0,
+                ("brake", "unknown"): -5.0, ("proceed", "unknown"): -50.0,
+            })
+
+    def test_evo_nonnegative(self, mixed_problem):
+        bn = build_fig4_network()
+        evo = expected_value_of_observation(bn, mixed_problem, "perception")
+        assert evo >= 0.0
+
+    def test_informative_observation_positive_evo(self, mixed_problem):
+        """Perception output changes the brake/proceed decision: EVO > 0."""
+        bn = build_fig4_network()
+        evo = expected_value_of_observation(bn, mixed_problem, "perception")
+        assert evo > 1.0
+
+    def test_evo_bounded_by_evpi(self, mixed_problem):
+        bn = build_fig4_network()
+        evo = expected_value_of_observation(bn, mixed_problem, "perception")
+        evpi = expected_value_of_perfect_information(bn, mixed_problem)
+        assert evo <= evpi + 1e-9
+
+    def test_evo_zero_when_decision_insensitive(self):
+        bn = build_fig4_network()
+        evo = expected_value_of_observation(bn, braking_problem(),
+                                            "perception")
+        assert evo == pytest.approx(0.0, abs=1e-9)
+
+    def test_already_observed_rejected(self, mixed_problem):
+        bn = build_fig4_network()
+        with pytest.raises(InferenceError):
+            expected_value_of_observation(bn, mixed_problem, "perception",
+                                          evidence={"perception": "none"})
+
+    def test_target_observation_rejected(self, mixed_problem):
+        bn = build_fig4_network()
+        with pytest.raises(InferenceError):
+            expected_value_of_observation(bn, mixed_problem, "ground_truth")
+
+    def test_ranking(self, mixed_problem):
+        bn = build_fig4_network()
+        ranked = rank_observables(bn, mixed_problem, ["perception"])
+        assert ranked[0][0] == "perception"
+        assert ranked[0][1] > 0.0

@@ -1,0 +1,117 @@
+"""Integration tests binding the extension subsystems to the paper story.
+
+Each test is a two-or-more-subsystem scenario that realizes a claim the
+paper makes in prose: structure learning as ontological removal, the NIS
+monitor agreeing with the residual monitor on the third planet, the
+verification-to-assurance pipeline, and the MDP-derived policy matching
+the hand-written tolerance policy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.structure_learning import hill_climb_structure
+from repro.bayesnet.variable import Variable, boolean_variable
+from repro.core.assurance import AssuranceCase, evidence, goal
+from repro.means.tolerance import FallbackPolicy
+from repro.verification.dtmc import DTMC, check_reachability
+from repro.verification.mdp import fallback_policy_mdp
+
+
+class TestStructureLearningAsOntologicalRemoval:
+    def test_missing_dependency_discovered_from_data(self, rng):
+        """The analyst's model omits a real dependency (weather -> failure);
+        structure learning recovers it from field data — removal applied to
+        the model's structure, the §III-C re-modeling step."""
+        weather = boolean_variable("bad_weather")
+        failure = boolean_variable("perception_failure")
+        truth = BayesianNetwork("truth")
+        truth.add_cpt(CPT.prior(weather, {"true": 0.3, "false": 0.7}))
+        truth.add_cpt(CPT.from_dict(failure, [weather], {
+            ("true",): {"true": 0.4, "false": 0.6},
+            ("false",): {"true": 0.02, "false": 0.98}}))
+        records = truth.sample(rng, 3000)
+        learned = hill_climb_structure([weather, failure], records)
+        undirected = {tuple(sorted(e)) for e in learned.edges()}
+        assert ("bad_weather", "perception_failure") in undirected
+
+    def test_no_edge_hallucinated_without_dependency(self, rng):
+        weather = boolean_variable("bad_weather")
+        failure = boolean_variable("perception_failure")
+        independent = BayesianNetwork("ind")
+        independent.add_cpt(CPT.prior(weather, {"true": 0.3, "false": 0.7}))
+        independent.add_cpt(CPT.prior(failure, {"true": 0.05, "false": 0.95}))
+        records = independent.sample(rng, 3000)
+        learned = hill_climb_structure([weather, failure], records)
+        assert learned.edges() == []
+
+
+class TestMonitorsAgree:
+    def test_nis_and_residual_monitor_consistent_on_third_planet(self):
+        """Both runtime monitors (heuristic residual test and chi-square
+        NIS) must flag the third planet and stay quiet without it."""
+        from repro.information.surprise import ResidualSurpriseMonitor
+        from repro.orbital.bodies import make_two_planet_universe
+        from repro.orbital.nbody import (
+            NBodySimulator,
+            prediction_residuals,
+            third_planet_scenario,
+        )
+
+        def residual_alarm(with_third):
+            bodies = make_two_planet_universe()
+            dt = 0.01
+            model = NBodySimulator(bodies, integrator="leapfrog").run(dt, 1200)
+            source = (third_planet_scenario(third_mass=0.1) if with_third
+                      else bodies)
+            truth = NBodySimulator(source, integrator="leapfrog").run(dt, 1200)
+            res = prediction_residuals(truth, model, "planet2")
+            monitor = ResidualSurpriseMonitor(noise_std=0.002, window=20)
+            for r in res:
+                monitor.score(r)
+            return monitor.alarm_step is not None
+
+        assert residual_alarm(True)
+        assert not residual_alarm(False)
+
+
+class TestVerificationToAssurance:
+    def test_verified_property_becomes_strong_evidence(self):
+        """A satisfied PCTL check feeds the assurance case; a violated one
+        collapses the same argument."""
+        chain = DTMC(
+            ["perceive", "ok", "hazard"],
+            {"perceive": {"ok": 0.999, "hazard": 0.001},
+             "ok": {"perceive": 1.0}})
+        result = check_reachability(chain, "perceive", ["hazard"],
+                                    bound=0.05, steps=20)
+
+        def case_with(belief):
+            top = goal("G")
+            top.add(evidence("E-verification", belief=belief))
+            return AssuranceCase(top)
+
+        good = case_with(0.95 if result.satisfied else 0.05)
+        bad = case_with(0.05)
+        assert result.satisfied
+        assert good.confidence().belief > bad.confidence().belief + 0.5
+
+
+class TestPolicyDerivationMatchesHandWritten:
+    def test_mdp_policy_agrees_with_fallback_policy_semantics(self):
+        """Where the MDP says degrade, the FallbackPolicy's decision for
+        the uncertain state agrees — the hand-written tolerance rule is
+        the optimal one under the safety-first cost structure."""
+        mdp = fallback_policy_mdp(p_hazard_commit_uncertain=0.3,
+                                  p_hazard_commit_confident=0.002,
+                                  degraded_cost=1.0, hazard_cost=100.0)
+        _, derived = mdp.value_iteration(discount=0.95)
+        hand_written = FallbackPolicy()
+        # Hand-written: car/pedestrian output (the uncertain state) degrades.
+        assert hand_written.decide("car/pedestrian") != "act_normally"
+        assert derived["uncertain"] == "degrade"
+        # And both commit when confident.
+        assert hand_written.decide("car", 0.05) == "act_normally"
+        assert derived["confident"] == "commit"

@@ -1,0 +1,257 @@
+"""Tests for the four means: prevention, removal, tolerance, forecasting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StrategyError
+from repro.means.forecasting import (
+    ReleaseCriteria,
+    ResidualUncertaintyForecast,
+)
+from repro.means.prevention import (
+    ArchitectureComplexity,
+    apply_odd_prevention,
+)
+from repro.means.removal import (
+    FieldObservationMonitor,
+    SafetyAnalysisWithUncertainty,
+)
+from repro.means.tolerance import (
+    ACT_NORMALLY,
+    CAUTIOUS_MODE,
+    FallbackPolicy,
+    evaluate_single_chain,
+    evaluate_tolerance,
+)
+from repro.perception.chain import PerceptionChain
+from repro.perception.odd import RESTRICTED_ODD
+from repro.perception.world import (
+    CAR,
+    NONE_LABEL,
+    PEDESTRIAN,
+    UNCERTAIN_LABEL,
+    UNKNOWN,
+    ObjectInstance,
+    WorldModel,
+)
+from repro.probability.distributions import Categorical
+
+
+def an_object(**overrides):
+    defaults = dict(true_class=CAR, label=CAR, distance=20.0, occlusion=0.1,
+                    night=False, rain=False)
+    defaults.update(overrides)
+    return ObjectInstance(**defaults)
+
+
+class TestPrevention:
+    def test_odd_prevention_reduces_hazard(self, rng):
+        outcome = apply_odd_prevention(WorldModel(), PerceptionChain(),
+                                       RESTRICTED_ODD, rng, n_eval=3000)
+        assert outcome.hazard_rate_after < outcome.hazard_rate_before
+        assert 0.0 < outcome.availability < 1.0
+        assert outcome.hazard_reduction > 0.0
+
+    def test_cost_effectiveness_finite(self, rng):
+        outcome = apply_odd_prevention(WorldModel(), PerceptionChain(),
+                                       RESTRICTED_ODD, rng, n_eval=1500)
+        assert outcome.cost_effectiveness > 0.0
+
+    def test_complexity_budget(self):
+        arch = ArchitectureComplexity()
+        for c in ("camera", "lidar", "fusion", "planner"):
+            arch.add_component(c)
+        arch.add_interface("camera", "fusion")
+        arch.add_interface("lidar", "fusion")
+        arch.add_interface("fusion", "planner")
+        assert arch.within_budget(0.4)
+        score_simple = arch.emergence_score()
+        # Add feedback loops: emergent-behavior-prone.
+        arch.add_interface("planner", "fusion")
+        arch.add_interface("fusion", "camera")
+        arch.add_interface("camera", "planner")
+        arch.add_interface("planner", "camera")
+        assert arch.emergence_score() > score_simple
+
+    def test_complexity_validation(self):
+        arch = ArchitectureComplexity()
+        arch.add_component("a")
+        with pytest.raises(StrategyError):
+            arch.add_interface("a", "a")
+        with pytest.raises(StrategyError):
+            arch.add_interface("a", "ghost")
+
+    def test_feedback_pairs_counted_once(self):
+        arch = ArchitectureComplexity()
+        arch.add_component("a")
+        arch.add_component("b")
+        arch.add_interface("a", "b")
+        arch.add_interface("b", "a")
+        assert arch.feedback_pairs() == 1
+
+
+class TestSafetyAnalysis:
+    def test_point_and_interval_queries_consistent(self):
+        sa = SafetyAnalysisWithUncertainty()
+        point = sa.diagnostic_posterior("none")
+        intervals = sa.diagnostic_intervals("none")
+        for state, p in point.items():
+            lo, hi = intervals[state]
+            assert lo - 1e-9 <= p <= hi + 1e-9
+
+    def test_fig4_headline_number(self):
+        sa = SafetyAnalysisWithUncertainty()
+        assert sa.diagnostic_posterior("none")[UNKNOWN] == pytest.approx(
+            0.6576, abs=1e-3)
+
+    def test_uncertainty_report_types(self):
+        report = SafetyAnalysisWithUncertainty().uncertainty_report()
+        assert report["ontological_mass"] == pytest.approx(0.1)
+        assert report["epistemic_mass"] > 0.0
+        assert report["aleatory_entropy"] > 0.0
+
+    def test_recommendations_cover_both_reducible_types(self):
+        recs = SafetyAnalysisWithUncertainty().removal_recommendations()
+        text = " ".join(recs)
+        assert "epistemic" in text and "ontological" in text
+
+    def test_no_unknown_prior_drops_ontological_rec(self):
+        sa = SafetyAnalysisWithUncertainty(
+            prior={CAR: 0.65, PEDESTRIAN: 0.35, UNKNOWN: 0.0})
+        recs = sa.removal_recommendations()
+        assert not any(r.startswith("ontological") for r in recs)
+
+    def test_forward_distribution_normalized(self):
+        dist = SafetyAnalysisWithUncertainty().predicted_output_distribution()
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+
+class TestFieldMonitor:
+    def test_novel_kind_collection(self):
+        monitor = FieldObservationMonitor(
+            Categorical({CAR: 0.65, PEDESTRIAN: 0.35}))
+        monitor.observe(CAR, CAR)
+        monitor.observe(UNKNOWN, "kangaroo")
+        assert monitor.novel_kinds == ["kangaroo"]
+        snap = monitor.snapshot()
+        assert snap.ontological_events == 1
+        assert snap.n_encounters == 2
+
+    def test_missing_mass_decreases_with_coverage(self, rng):
+        world = WorldModel()
+        monitor = FieldObservationMonitor(world.label_prior())
+        for _ in range(2000):
+            obj = world.sample_object(rng)
+            monitor.observe(obj.label, obj.true_class)
+        assert monitor.snapshot().estimated_missing_mass < 0.05
+
+    def test_extended_model_includes_novelties(self):
+        monitor = FieldObservationMonitor(
+            Categorical({CAR: 0.65, PEDESTRIAN: 0.35}))
+        monitor.observe(CAR, CAR)
+        monitor.observe(UNKNOWN, "deer")
+        extended = monitor.extended_model()
+        assert "deer" in extended.outcomes
+
+    def test_extended_model_requires_data(self):
+        monitor = FieldObservationMonitor(
+            Categorical({CAR: 0.5, PEDESTRIAN: 0.5}))
+        with pytest.raises(StrategyError):
+            monitor.extended_model()
+
+
+class TestTolerance:
+    def test_fallback_policy_decisions(self):
+        policy = FallbackPolicy(epistemic_threshold=0.4)
+        assert policy.decide(CAR, 0.1) == ACT_NORMALLY
+        assert policy.decide(UNCERTAIN_LABEL) == CAUTIOUS_MODE
+        assert policy.decide(CAR, 0.9) == CAUTIOUS_MODE
+
+    def test_hazard_semantics(self):
+        policy = FallbackPolicy()
+        unknown_obj = an_object(true_class="deer", label=UNKNOWN)
+        # Confident misbelief about a novel object is hazardous.
+        assert policy.is_hazardous(unknown_obj, CAR, ACT_NORMALLY)
+        # Degraded mode is safe by definition.
+        assert not policy.is_hazardous(unknown_obj, CAR, CAUTIOUS_MODE)
+        # Missing a real object is hazardous.
+        assert policy.is_hazardous(an_object(), NONE_LABEL, ACT_NORMALLY)
+
+    def test_tolerance_beats_single_chain(self):
+        world = WorldModel()
+        redundant = evaluate_tolerance(world, np.random.default_rng(2),
+                                       n_channels=3, n_eval=2500)
+        single = evaluate_single_chain(world, np.random.default_rng(2),
+                                       n_eval=2500)
+        assert redundant.hazard_rate < single.hazard_rate
+
+    def test_availability_complement(self):
+        world = WorldModel()
+        outcome = evaluate_tolerance(world, np.random.default_rng(3),
+                                     n_eval=500)
+        assert outcome.availability == pytest.approx(1.0 - outcome.degraded_rate)
+
+    def test_policy_validation(self):
+        with pytest.raises(StrategyError):
+            FallbackPolicy(epistemic_threshold=1.5)
+        with pytest.raises(StrategyError):
+            FallbackPolicy(treat_uncertain_as="full_speed_ahead")
+
+
+class TestForecasting:
+    def test_release_blocked_without_exposure(self):
+        forecast = ResidualUncertaintyForecast(
+            ReleaseCriteria(max_hazard_rate=1e-3, max_missing_mass=0.01))
+        decision = forecast.assess()
+        assert not decision.release
+        assert decision.blocking_reasons()
+
+    def test_release_granted_with_clean_evidence(self, rng):
+        forecast = ResidualUncertaintyForecast(
+            ReleaseCriteria(max_hazard_rate=0.01, max_missing_mass=0.2,
+                            confidence=0.9))
+        # Large hazard-free campaign over a small closed world.
+        kinds = ([CAR] * 4000 + [PEDESTRIAN] * 2000)
+        forecast.observe_campaign(6000, 0, kinds)
+        decision = forecast.assess()
+        assert decision.hazard_ok
+        assert decision.ontology_ok
+        assert decision.release
+
+    def test_hazards_block_release(self):
+        forecast = ResidualUncertaintyForecast(
+            ReleaseCriteria(max_hazard_rate=1e-4, max_missing_mass=0.9))
+        forecast.observe_campaign(1000, 50, [CAR] * 1000)
+        decision = forecast.assess()
+        assert not decision.hazard_ok
+        assert "hazard" in decision.blocking_reasons()[0]
+
+    def test_long_tail_blocks_release(self, rng):
+        """A heavy tail of novel kinds keeps the ontological bound high —
+        the long-tail validation challenge."""
+        world = WorldModel()
+        forecast = ResidualUncertaintyForecast(
+            ReleaseCriteria(max_hazard_rate=1.0, max_missing_mass=0.001))
+        kinds = [world.sample_object(rng).true_class for _ in range(2000)]
+        forecast.observe_campaign(2000, 0, kinds)
+        assert not forecast.assess().ontology_ok
+
+    def test_required_exposure_estimate(self):
+        forecast = ResidualUncertaintyForecast(
+            ReleaseCriteria(max_missing_mass=0.05, confidence=0.9))
+        forecast.observe_campaign(100, 0, [CAR] * 100)
+        needed = forecast.required_exposure_estimate()
+        assert needed > 0.0
+
+    def test_criteria_validation(self):
+        with pytest.raises(StrategyError):
+            ReleaseCriteria(max_hazard_rate=0.0)
+        with pytest.raises(StrategyError):
+            ReleaseCriteria(confidence=1.0)
+
+    def test_campaign_validation(self):
+        forecast = ResidualUncertaintyForecast()
+        with pytest.raises(StrategyError):
+            forecast.observe_campaign(0, 0, [])
+        with pytest.raises(StrategyError):
+            forecast.observe_campaign(10, 11, [CAR] * 10)

@@ -1,0 +1,87 @@
+"""Tests for the frequentist occupancy model (Fig. 2 model B)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.orbital.bodies import make_two_planet_universe
+from repro.orbital.nbody import NBodySimulator
+from repro.orbital.observation import SpatialOccupancyModel, observe_positions
+
+
+@pytest.fixture(scope="module")
+def trajectory():
+    bodies = make_two_planet_universe(eccentricity=0.3)
+    return NBodySimulator(bodies, integrator="leapfrog").run(0.005, 4000)
+
+
+class TestObservation:
+    def test_observe_positions_shape(self, trajectory, rng):
+        obs = observe_positions(trajectory, "planet2", rng, 100)
+        assert obs.shape == (100, 2)
+
+    def test_noise_increases_spread(self, trajectory, rng, rng2):
+        clean = observe_positions(trajectory, "planet2", rng, 2000)
+        noisy = observe_positions(trajectory, "planet2", rng2, 2000,
+                                  noise_std=0.2)
+        assert np.var(noisy) > np.var(clean)
+
+    def test_invalid_count(self, trajectory, rng):
+        with pytest.raises(SimulationError):
+            observe_positions(trajectory, "planet2", rng, 0)
+
+
+class TestOccupancyModel:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SpatialOccupancyModel(extent=0.0)
+        with pytest.raises(SimulationError):
+            SpatialOccupancyModel(extent=1.0, n_cells=1)
+
+    def test_occupancy_normalizes(self, trajectory, rng):
+        occ = SpatialOccupancyModel(extent=2.0, n_cells=8)
+        occ.observe(observe_positions(trajectory, "planet2", rng, 1000))
+        assert occ.occupancy().sum() == pytest.approx(1.0)
+
+    def test_no_observations_raises(self):
+        with pytest.raises(SimulationError):
+            SpatialOccupancyModel(extent=1.0).occupancy()
+
+    def test_probability_in_whole_region_one(self, trajectory, rng):
+        occ = SpatialOccupancyModel(extent=2.0, n_cells=8)
+        occ.observe(observe_positions(trajectory, "planet2", rng, 1000))
+        assert occ.probability_in((-2, 2), (-2, 2)) == pytest.approx(1.0)
+
+    def test_outside_counting_is_ontological_signal(self, trajectory, rng):
+        """A too-small modeled region accumulates out-of-frame observations."""
+        small = SpatialOccupancyModel(extent=0.05, n_cells=4)
+        small.observe(observe_positions(trajectory, "planet2", rng, 500))
+        assert small.n_outside > 0
+
+    def test_epistemic_convergence(self, trajectory):
+        """§III-B: occupancy estimate converges to the large-sample truth."""
+        reference = SpatialOccupancyModel(extent=2.0, n_cells=8,
+                                          pseudocount=0.5)
+        rng_ref = np.random.default_rng(0)
+        reference.observe(observe_positions(trajectory, "planet2", rng_ref,
+                                            200000))
+        distances = []
+        for n in (100, 1000, 10000):
+            m = SpatialOccupancyModel(extent=2.0, n_cells=8, pseudocount=0.5)
+            m.observe(observe_positions(trajectory, "planet2",
+                                        np.random.default_rng(n), n))
+            distances.append(m.total_variation_distance(reference))
+        assert distances[0] > distances[1] > distances[2]
+
+    def test_tv_distance_grid_mismatch(self):
+        a = SpatialOccupancyModel(extent=1.0, n_cells=4, pseudocount=1.0)
+        b = SpatialOccupancyModel(extent=2.0, n_cells=4, pseudocount=1.0)
+        a.observe(np.zeros((1, 2)))
+        b.observe(np.zeros((1, 2)))
+        with pytest.raises(SimulationError):
+            a.total_variation_distance(b)
+
+    def test_entropy_positive_for_orbit(self, trajectory, rng):
+        occ = SpatialOccupancyModel(extent=2.0, n_cells=16)
+        occ.observe(observe_positions(trajectory, "planet2", rng, 5000))
+        assert occ.entropy() > 0.0

@@ -1,0 +1,260 @@
+"""Tests for the orbital mechanics substrate (Fig. 2 model A)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.orbital.bodies import (
+    Body,
+    center_of_mass_frame,
+    make_two_planet_universe,
+    system_arrays,
+)
+from repro.orbital.gravity import (
+    pairwise_accelerations,
+    point_mass_acceleration,
+    QuadrupolePerturbation,
+    total_angular_momentum,
+    total_energy,
+)
+from repro.orbital.integrators import INTEGRATORS, get_integrator
+from repro.orbital.kepler import (
+    KeplerOrbit,
+    orbital_elements_from_state,
+    two_body_positions,
+)
+from repro.orbital.nbody import (
+    NBodySimulator,
+    prediction_residuals,
+    third_planet_scenario,
+)
+
+
+def orbit_of(bodies):
+    rel = bodies[1].position - bodies[0].position
+    relv = bodies[1].velocity - bodies[0].velocity
+    return orbital_elements_from_state(rel, relv,
+                                       bodies[0].mass + bodies[1].mass)
+
+
+class TestBodies:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Body("x", -1.0, np.zeros(2), np.zeros(2))
+        with pytest.raises(SimulationError):
+            Body("x", 1.0, np.zeros(3), np.zeros(2))
+
+    def test_two_planet_universe_barycentric(self):
+        bodies = make_two_planet_universe()
+        masses, positions, velocities = system_arrays(bodies)
+        com = (masses[:, None] * positions).sum(axis=0)
+        mom = (masses[:, None] * velocities).sum(axis=0)
+        assert np.allclose(com, 0.0, atol=1e-12)
+        assert np.allclose(mom, 0.0, atol=1e-12)
+
+    def test_eccentricity_setting(self):
+        bodies = make_two_planet_universe(eccentricity=0.4)
+        orbit = orbit_of(bodies)
+        assert orbit.eccentricity == pytest.approx(0.4, abs=1e-10)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            make_two_planet_universe(mass_ratio=0.0)
+        with pytest.raises(SimulationError):
+            make_two_planet_universe(eccentricity=1.0)
+
+    def test_center_of_mass_frame(self):
+        bodies = [Body("a", 1.0, np.array([1.0, 0.0]), np.array([0.0, 1.0])),
+                  Body("b", 1.0, np.array([3.0, 0.0]), np.array([0.0, -1.0]))]
+        shifted = center_of_mass_frame(bodies)
+        masses, positions, _ = system_arrays(shifted)
+        com = (masses[:, None] * positions).sum(axis=0)
+        assert np.allclose(com, 0.0)
+
+
+class TestGravity:
+    def test_point_mass_inverse_square(self):
+        a1 = point_mass_acceleration(np.zeros(2), np.array([1.0, 0.0]), 1.0)
+        a2 = point_mass_acceleration(np.zeros(2), np.array([2.0, 0.0]), 1.0)
+        assert np.linalg.norm(a1) == pytest.approx(4 * np.linalg.norm(a2))
+
+    def test_pairwise_newton_third_law(self):
+        masses = np.array([1.0, 2.0])
+        positions = np.array([[0.0, 0.0], [1.0, 0.0]])
+        acc = pairwise_accelerations(masses, positions)
+        forces = masses[:, None] * acc
+        assert np.allclose(forces.sum(axis=0), 0.0, atol=1e-12)
+
+    def test_quadrupole_falls_faster(self):
+        q = QuadrupolePerturbation(j2=0.1, reference_radius=0.1)
+        a1 = np.linalg.norm(q.acceleration(np.zeros(2), np.array([1.0, 0.0]), 1.0))
+        a2 = np.linalg.norm(q.acceleration(np.zeros(2), np.array([2.0, 0.0]), 1.0))
+        assert a1 / a2 == pytest.approx(16.0)
+
+    def test_j2_changes_field(self):
+        masses = np.array([1.0, 0.5])
+        positions = np.array([[0.0, 0.0], [1.0, 0.0]])
+        plain = pairwise_accelerations(masses, positions)
+        perturbed = pairwise_accelerations(masses, positions,
+                                           j2=np.array([0.0, 0.1]),
+                                           radii=np.array([0.1, 0.1]))
+        assert not np.allclose(plain[0], perturbed[0])
+
+    def test_coincident_bodies(self):
+        with pytest.raises(SimulationError):
+            point_mass_acceleration(np.zeros(2), np.zeros(2), 1.0)
+
+
+class TestIntegrators:
+    def test_registry(self):
+        assert set(INTEGRATORS) >= {"euler", "rk4", "leapfrog",
+                                    "velocity_verlet"}
+        with pytest.raises(SimulationError):
+            get_integrator("magic")
+
+    @pytest.mark.parametrize("name", ["rk4", "leapfrog", "velocity_verlet",
+                                      "semi_implicit_euler"])
+    def test_energy_conservation(self, name):
+        bodies = make_two_planet_universe(eccentricity=0.2)
+        orbit = orbit_of(bodies)
+        sim = NBodySimulator(bodies, integrator=name)
+        traj = sim.run(orbit.period / 500, 1000)
+        assert traj.max_energy_drift() < 5e-3
+
+    def test_euler_drifts_more_than_leapfrog(self):
+        bodies = make_two_planet_universe(eccentricity=0.2)
+        orbit = orbit_of(bodies)
+        dt = orbit.period / 500
+        euler = NBodySimulator(bodies, integrator="euler").run(dt, 1000)
+        leap = NBodySimulator(bodies, integrator="leapfrog").run(dt, 1000)
+        assert euler.max_energy_drift() > 10 * leap.max_energy_drift()
+
+    def test_rk4_order_of_accuracy(self):
+        """Halving dt should reduce RK4 error by roughly 2^4."""
+        bodies = make_two_planet_universe(eccentricity=0.3)
+        orbit = orbit_of(bodies)
+
+        def final_error(n_steps):
+            dt = orbit.period / n_steps
+            traj = NBodySimulator(bodies, integrator="rk4").run(dt, n_steps)
+            rel_num = traj.relative_positions("planet1", "planet2")[-1]
+            rel_ana = orbit.relative_position(traj.times[-1])
+            return np.linalg.norm(rel_num - rel_ana)
+
+        e1 = final_error(200)
+        e2 = final_error(400)
+        assert e1 / e2 > 8.0  # at least ~2^3 (orbit problem has error growth)
+
+    def test_angular_momentum_conserved(self):
+        bodies = make_two_planet_universe(eccentricity=0.5)
+        orbit = orbit_of(bodies)
+        traj = NBodySimulator(bodies, integrator="leapfrog").run(
+            orbit.period / 1000, 2000)
+        ell = traj.angular_momentum_series()
+        assert np.max(np.abs(ell - ell[0])) < 1e-9
+
+
+class TestKepler:
+    def test_period_keplers_third_law(self):
+        bodies = make_two_planet_universe(mass_ratio=1.0, separation=1.0)
+        orbit = orbit_of(bodies)
+        expected = 2 * math.pi * math.sqrt(orbit.semi_major_axis ** 3 / 2.0)
+        assert orbit.period == pytest.approx(expected)
+
+    def test_periodicity(self):
+        bodies = make_two_planet_universe(eccentricity=0.3)
+        orbit = orbit_of(bodies)
+        r0 = orbit.relative_position(0.0)
+        r1 = orbit.relative_position(orbit.period)
+        assert np.allclose(r0, r1, atol=1e-9)
+
+    def test_radius_bounds(self):
+        bodies = make_two_planet_universe(eccentricity=0.3)
+        orbit = orbit_of(bodies)
+        a, e = orbit.semi_major_axis, orbit.eccentricity
+        radii = [orbit.radius(t) for t in np.linspace(0, orbit.period, 100)]
+        assert min(radii) >= a * (1 - e) - 1e-9
+        assert max(radii) <= a * (1 + e) + 1e-9
+
+    def test_velocity_consistent_with_finite_difference(self):
+        bodies = make_two_planet_universe(eccentricity=0.2)
+        orbit = orbit_of(bodies)
+        t, h = 0.7, 1e-6
+        v_analytic = orbit.relative_velocity(t)
+        v_numeric = (orbit.relative_position(t + h) -
+                     orbit.relative_position(t - h)) / (2 * h)
+        assert np.allclose(v_analytic, v_numeric, atol=1e-5)
+
+    def test_unbound_state_rejected(self):
+        with pytest.raises(SimulationError):
+            orbital_elements_from_state(np.array([1.0, 0.0]),
+                                        np.array([0.0, 10.0]), 1.0)
+
+    def test_numeric_integration_matches_kepler(self):
+        """Model A validation: integrator vs analytic solution over 2 orbits."""
+        bodies = make_two_planet_universe(eccentricity=0.3)
+        orbit = orbit_of(bodies)
+        dt = orbit.period / 2000
+        traj = NBodySimulator(bodies, integrator="rk4").run(dt, 4000)
+        rel_num = traj.relative_positions("planet1", "planet2")[-1]
+        rel_ana = orbit.relative_position(traj.times[-1])
+        assert np.linalg.norm(rel_num - rel_ana) < 1e-6
+
+    def test_two_body_positions_split(self):
+        bodies = make_two_planet_universe(mass_ratio=0.5)
+        orbit = orbit_of(bodies)
+        p1, p2 = two_body_positions(orbit, 0.0, 1.0, 0.5)
+        assert np.allclose(p1 * 1.0 + p2 * 0.5, 0.0, atol=1e-12)
+
+
+class TestScenarios:
+    def test_third_planet_scenario_structure(self):
+        bodies = third_planet_scenario(third_mass=0.05)
+        assert [b.name for b in bodies] == ["planet1", "planet2", "planet3"]
+        masses, _, velocities = system_arrays(bodies)
+        assert np.allclose((masses[:, None] * velocities).sum(axis=0), 0.0,
+                           atol=1e-12)
+
+    def test_invalid_third_distance(self):
+        with pytest.raises(SimulationError):
+            third_planet_scenario(third_distance=0.5, separation=1.0)
+
+    def test_residuals_grow_with_hidden_mass(self):
+        """The §III-C effect: a more massive hidden planet perturbs more."""
+        bodies2 = make_two_planet_universe()
+        orbit = orbit_of(bodies2)
+        dt = orbit.period / 500
+        model = NBodySimulator(bodies2, integrator="leapfrog").run(dt, 1000)
+
+        finals = []
+        for m3 in (0.01, 0.1):
+            truth = NBodySimulator(third_planet_scenario(third_mass=m3),
+                                   integrator="leapfrog").run(dt, 1000)
+            res = prediction_residuals(truth, model, "planet2")
+            finals.append(res[-1])
+        assert finals[1] > finals[0]
+
+    def test_j2_epistemic_residual(self):
+        """Heterogeneous body vs point-mass model: small but nonzero error."""
+        bodies = make_two_planet_universe(eccentricity=0.3, j2_planet2=0.05)
+        orbit = orbit_of(bodies)
+        dt = orbit.period / 500
+        truth = NBodySimulator(bodies, include_quadrupole=True).run(dt, 1000)
+        model = NBodySimulator(bodies, include_quadrupole=False).run(dt, 1000)
+        res = prediction_residuals(truth, model, "planet2")
+        assert res[-1] > 1e-5
+        assert res[-1] < 0.5  # small relative to the orbit scale
+
+    def test_residuals_require_same_grid(self):
+        bodies = make_two_planet_universe()
+        t1 = NBodySimulator(bodies).run(0.01, 100)
+        t2 = NBodySimulator(bodies).run(0.01, 50)
+        with pytest.raises(SimulationError):
+            prediction_residuals(t1, t2, "planet1")
+
+    def test_record_every(self):
+        bodies = make_two_planet_universe()
+        traj = NBodySimulator(bodies).run(0.01, 100, record_every=10)
+        assert traj.n_steps == 11

@@ -1,0 +1,91 @@
+"""Tests for calibration analysis of the uncertainty-aware chain."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.perception.calibration import (
+    CalibrationReport,
+    calibration_report,
+    chain_calibration,
+    risk_coverage_curve,
+)
+from repro.perception.chain import PerceptionChain
+from repro.perception.world import WorldModel
+
+
+class TestCalibrationReport:
+    def test_perfectly_calibrated_synthetic(self, rng):
+        """Confidence drawn uniform; correct with that exact probability."""
+        conf = rng.uniform(0.0, 1.0, 20000)
+        correct = rng.random(20000) < conf
+        report = calibration_report(conf, correct)
+        assert report.ece < 0.03
+
+    def test_overconfident_signal_detected(self, rng):
+        conf = np.full(5000, 0.95)
+        correct = rng.random(5000) < 0.6  # actual accuracy 0.6
+        report = calibration_report(conf, correct)
+        assert report.ece > 0.25
+
+    def test_brier_bounds(self, rng):
+        conf = np.array([1.0, 1.0, 0.0, 0.0])
+        correct = np.array([True, True, False, False])
+        assert calibration_report(conf, correct, n_bins=2).brier == 0.0
+        worst = calibration_report(conf, ~correct, n_bins=2)
+        assert worst.brier == 1.0
+
+    def test_reliability_rows_nonempty_bins_only(self):
+        report = calibration_report([0.05, 0.06, 0.95], [False, False, True],
+                                    n_bins=10)
+        rows = report.reliability_rows()
+        assert len(rows) == 2
+        assert sum(n for _, _, n in rows) == 3
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            calibration_report([], [])
+        with pytest.raises(SimulationError):
+            calibration_report([0.5], [True], n_bins=1)
+        with pytest.raises(SimulationError):
+            calibration_report([1.5], [True])
+
+
+class TestChainCalibration:
+    def test_chain_confidence_informative(self, rng):
+        """High-confidence outputs must be more often correct than
+        low-confidence ones (the signal carries information)."""
+        report = chain_calibration(PerceptionChain(), WorldModel(), rng,
+                                   n=4000, n_bins=5)
+        rows = report.reliability_rows()
+        assert report.n == 4000
+        assert len(rows) >= 2
+        # Accuracy correlates with confidence across bins.
+        confs = [c for c, _, n in rows if n > 50]
+        accs = [a for _, a, n in rows if n > 50]
+        if len(confs) >= 2:
+            assert accs[-1] > accs[0] - 0.05
+
+    def test_invalid_n(self, rng):
+        with pytest.raises(SimulationError):
+            chain_calibration(PerceptionChain(), WorldModel(), rng, n=0)
+
+
+class TestRiskCoverage:
+    def test_monotone_coverage(self, rng):
+        curve = risk_coverage_curve(PerceptionChain(), WorldModel(), rng,
+                                    n=3000)
+        coverages = [p.coverage for p in curve]
+        assert coverages == sorted(coverages)
+
+    def test_selective_risk_improves_at_low_threshold(self, rng):
+        curve = risk_coverage_curve(PerceptionChain(), WorldModel(), rng,
+                                    n=5000, thresholds=(0.05, 0.5))
+        strict, lax = curve
+        assert strict.coverage < lax.coverage
+        # Committing only when confident lowers the committed-error rate.
+        assert strict.selective_risk <= lax.selective_risk + 0.02
+
+    def test_invalid_n(self, rng):
+        with pytest.raises(SimulationError):
+            risk_coverage_curve(PerceptionChain(), WorldModel(), rng, n=0)

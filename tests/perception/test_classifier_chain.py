@@ -1,0 +1,216 @@
+"""Tests for classifiers, the perception chain, and the Table I artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.network import BayesianNetwork
+from repro.errors import SimulationError
+from repro.perception.chain import (
+    PAPER_PRIOR,
+    PAPER_TABLE1_RAW,
+    PerceptionChain,
+    build_fig4_network,
+    empirical_label_counts,
+    estimate_cpt_from_simulation,
+    hazardous_misperception_rate,
+    table1_cpt_rows,
+)
+from repro.perception.classifier import (
+    ConfusionMatrixClassifier,
+    UncertaintyAwareClassifier,
+)
+from repro.perception.sensors import CameraModel, SensorReading
+from repro.perception.world import (
+    CAR,
+    NONE_LABEL,
+    PEDESTRIAN,
+    UNCERTAIN_LABEL,
+    UNKNOWN,
+    WorldModel,
+)
+
+
+def reading(label=CAR, quality=0.9, detected=True):
+    return SensorReading(detected=detected, quality=quality,
+                         true_class=label, label=label)
+
+
+class TestConfusionClassifier:
+    def test_default_rows_normalized(self):
+        clf = ConfusionMatrixClassifier()
+        for label in (CAR, PEDESTRIAN, UNKNOWN):
+            dist = clf.output_distribution(label, 1.0)
+            assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_quality_degrades_accuracy(self):
+        clf = ConfusionMatrixClassifier()
+        good = clf.output_distribution(CAR, 1.0)
+        bad = clf.output_distribution(CAR, 0.0)
+        assert good[CAR] > bad[CAR]
+        assert bad[NONE_LABEL] > good[NONE_LABEL]
+
+    def test_classify_frequencies(self, rng):
+        clf = ConfusionMatrixClassifier()
+        outs = [clf.classify(reading(quality=1.0), rng) for _ in range(5000)]
+        expected = clf.output_distribution(CAR, 1.0)[CAR]
+        assert outs.count(CAR) / 5000 == pytest.approx(expected, abs=0.02)
+
+    def test_undetected_always_none(self, rng):
+        clf = ConfusionMatrixClassifier()
+        assert clf.classify(reading(detected=False, quality=0.0), rng) == NONE_LABEL
+
+    def test_perturbed_stays_normalized(self, rng):
+        clf = ConfusionMatrixClassifier().perturbed(rng, 0.1)
+        for label in (CAR, PEDESTRIAN, UNKNOWN):
+            assert sum(clf.confusion[label].values()) == pytest.approx(1.0)
+
+    def test_invalid_confusion(self):
+        with pytest.raises(SimulationError):
+            ConfusionMatrixClassifier({CAR: {"car": 0.5, "pedestrian": 0.2,
+                                             "none": 0.2}})
+
+    def test_missing_row(self):
+        with pytest.raises(SimulationError):
+            ConfusionMatrixClassifier({CAR: {"car": 0.9, "pedestrian": 0.05,
+                                             "none": 0.05}})
+
+
+class TestUncertaintyAware:
+    def test_emits_uncertain_label_on_ambiguity(self, rng):
+        """An ambiguous confusion profile must surface car/pedestrian."""
+        ambiguous = ConfusionMatrixClassifier({
+            CAR: {CAR: 0.5, PEDESTRIAN: 0.45, NONE_LABEL: 0.05},
+            PEDESTRIAN: {CAR: 0.45, PEDESTRIAN: 0.5, NONE_LABEL: 0.05},
+            UNKNOWN: {CAR: 0.1, PEDESTRIAN: 0.1, NONE_LABEL: 0.8}})
+        clf = UncertaintyAwareClassifier(ambiguous, n_members=9)
+        outs = [clf.classify(reading(quality=1.0), rng)[0]
+                for _ in range(500)]
+        assert outs.count(UNCERTAIN_LABEL) > 50
+
+    def test_confident_on_clean_input(self, rng):
+        clf = UncertaintyAwareClassifier(n_members=9)
+        outs = [clf.classify(reading(quality=1.0), rng)[0]
+                for _ in range(500)]
+        assert outs.count(CAR) > 350
+
+    def test_score_in_unit_interval(self, rng):
+        clf = UncertaintyAwareClassifier()
+        _, score = clf.classify(reading(), rng)
+        assert 0.0 <= score <= 1.0
+
+    def test_undetected_passthrough(self, rng):
+        clf = UncertaintyAwareClassifier()
+        label, score = clf.classify(reading(detected=False, quality=0.0), rng)
+        assert label == NONE_LABEL and score == 0.0
+
+    def test_needs_two_members(self):
+        with pytest.raises(SimulationError):
+            UncertaintyAwareClassifier(n_members=1)
+
+
+class TestTable1:
+    def test_raw_table_unknown_row_defect(self):
+        """Documents the published inconsistency: the row sums to 0.9."""
+        total = sum(PAPER_TABLE1_RAW[UNKNOWN].values())
+        assert total == pytest.approx(0.9)
+
+    def test_renormalize_repair(self):
+        rows = table1_cpt_rows("renormalize")
+        unknown = rows[(UNKNOWN,)]
+        assert sum(unknown.values()) == pytest.approx(1.0)
+        # Printed 2:7 odds preserved.
+        assert unknown[UNCERTAIN_LABEL] / unknown[NONE_LABEL] == pytest.approx(2 / 7)
+
+    def test_none_absorbs_repair(self):
+        rows = table1_cpt_rows("none_absorbs")
+        unknown = rows[(UNKNOWN,)]
+        assert unknown[NONE_LABEL] == pytest.approx(0.8)
+        assert sum(unknown.values()) == pytest.approx(1.0)
+
+    def test_known_rows_unchanged(self):
+        rows = table1_cpt_rows()
+        assert rows[(CAR,)][CAR] == pytest.approx(0.9)
+        assert rows[(PEDESTRIAN,)][PEDESTRIAN] == pytest.approx(0.9)
+
+    def test_invalid_repair_mode(self):
+        with pytest.raises(SimulationError):
+            table1_cpt_rows("wish_away")
+
+
+class TestFig4Network:
+    def test_structure(self):
+        bn = build_fig4_network()
+        assert isinstance(bn, BayesianNetwork)
+        assert bn.dag.parents("perception") == {"ground_truth"}
+
+    def test_prior_matches_paper(self):
+        bn = build_fig4_network()
+        marg = bn.query("ground_truth")
+        for state, p in PAPER_PRIOR.items():
+            assert marg[state] == pytest.approx(p)
+
+    def test_diagnostic_none_posterior(self):
+        """The headline Fig. 4 number: P(unknown | none) ~ 0.66 — the
+        'none' output is dominated by unknown objects."""
+        bn = build_fig4_network()
+        post = bn.query("ground_truth", {"perception": "none"})
+        assert post[UNKNOWN] == pytest.approx(0.6576, abs=1e-3)
+        assert post[UNKNOWN] > post[CAR] > post[PEDESTRIAN]
+
+    def test_diagnostic_car_posterior(self):
+        bn = build_fig4_network()
+        post = bn.query("ground_truth", {"perception": CAR})
+        assert post[CAR] > 0.99
+
+    def test_repair_mode_changes_posterior(self):
+        bn_r = build_fig4_network(repair="renormalize")
+        bn_a = build_fig4_network(repair="none_absorbs")
+        p_r = bn_r.query("ground_truth", {"perception": "none"})[UNKNOWN]
+        p_a = bn_a.query("ground_truth", {"perception": "none"})[UNKNOWN]
+        assert p_r != pytest.approx(p_a, abs=1e-4)
+
+
+class TestChainSimulation:
+    def test_perceive_returns_valid_state(self, rng):
+        chain = PerceptionChain()
+        world = WorldModel()
+        for _ in range(50):
+            out = chain.perceive(world.sample_object(rng), rng)
+            assert out in (CAR, PEDESTRIAN, UNCERTAIN_LABEL, NONE_LABEL)
+
+    def test_plain_chain_never_uncertain(self, rng):
+        chain = PerceptionChain(uncertainty_aware=False)
+        world = WorldModel()
+        outs = [chain.perceive(world.sample_object(rng), rng)
+                for _ in range(300)]
+        assert UNCERTAIN_LABEL not in outs
+
+    def test_estimated_cpt_rows_normalized(self, rng):
+        cpt = estimate_cpt_from_simulation(PerceptionChain(), WorldModel(),
+                                           rng, 2000)
+        for truth in (CAR, PEDESTRIAN, UNKNOWN):
+            assert sum(cpt.row((truth,)).values()) == pytest.approx(1.0)
+
+    def test_estimated_cpt_diagonal_dominance(self, rng):
+        """The simulated chain is Table-I-like: correct class dominates."""
+        cpt = estimate_cpt_from_simulation(PerceptionChain(), WorldModel(),
+                                           rng, 8000)
+        assert cpt.prob(CAR, (CAR,)) > 0.6
+        assert cpt.prob(PEDESTRIAN, (PEDESTRIAN,)) > 0.6
+        assert cpt.prob(NONE_LABEL, (UNKNOWN,)) > 0.6
+
+    def test_hazard_rate_bounds(self, rng):
+        rate = hazardous_misperception_rate(PerceptionChain(), WorldModel(),
+                                            rng, 1000)
+        assert 0.0 <= rate <= 1.0
+
+    def test_empirical_counts_total(self, rng):
+        counts = empirical_label_counts(PerceptionChain(), WorldModel(),
+                                        rng, 500)
+        total = sum(sum(row.values()) for row in counts.values())
+        assert total == 500
+
+    def test_invalid_campaign_size(self, rng):
+        with pytest.raises(SimulationError):
+            hazardous_misperception_rate(PerceptionChain(), WorldModel(),
+                                         rng, 0)

@@ -1,0 +1,159 @@
+"""Tests for redundant architectures and ODD restriction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.evidence.mass_function import MassFunction
+from repro.perception.chain import PerceptionChain
+from repro.perception.odd import (
+    FULL_ODD,
+    RESTRICTED_ODD,
+    OperationalDesignDomain,
+)
+from repro.perception.redundancy import (
+    PERCEPTION_FRAME,
+    RedundantPerceptionSystem,
+    make_diverse_chains,
+    output_to_mass,
+)
+from repro.perception.world import (
+    CAR,
+    NONE_LABEL,
+    PEDESTRIAN,
+    UNCERTAIN_LABEL,
+    UNKNOWN,
+    ObjectInstance,
+    WorldModel,
+)
+
+
+def an_object(**overrides):
+    defaults = dict(true_class=CAR, label=CAR, distance=20.0, occlusion=0.1,
+                    night=False, rain=False)
+    defaults.update(overrides)
+    return ObjectInstance(**defaults)
+
+
+class TestOutputToMass:
+    def test_point_output(self):
+        m = output_to_mass(CAR, reliability=0.9)
+        assert m.mass([CAR]) == pytest.approx(0.9)
+        assert m.total_ignorance_mass() == pytest.approx(0.1)
+
+    def test_uncertain_output_is_set_mass(self):
+        """The paper's epistemic state becomes set-valued evidence."""
+        m = output_to_mass(UNCERTAIN_LABEL, reliability=0.8)
+        assert m.mass([CAR, PEDESTRIAN]) == pytest.approx(0.8)
+
+    def test_invalid_output(self):
+        with pytest.raises(SimulationError):
+            output_to_mass("zebra")
+
+
+class TestFusion:
+    @pytest.fixture
+    def system(self, rng):
+        return RedundantPerceptionSystem(make_diverse_chains(3, rng),
+                                         fusion="majority")
+
+    def test_majority_unanimous(self, system):
+        assert system.fuse([CAR, CAR, CAR]) == CAR
+
+    def test_majority_split_with_uncertain(self, system):
+        # car + car/pedestrian(0.5 each) + none -> car wins 1.5 : 0.5 : 1.
+        assert system.fuse([CAR, UNCERTAIN_LABEL, NONE_LABEL]) == CAR
+
+    def test_conservative_any_object_overrides_none(self, rng):
+        sys_c = RedundantPerceptionSystem(make_diverse_chains(3, rng),
+                                          fusion="conservative")
+        assert sys_c.fuse([NONE_LABEL, NONE_LABEL, CAR]) == CAR
+        assert sys_c.fuse([NONE_LABEL, NONE_LABEL, NONE_LABEL]) == NONE_LABEL
+        assert sys_c.fuse([CAR, PEDESTRIAN, NONE_LABEL]) == UNCERTAIN_LABEL
+
+    def test_dempster_fusion_agreement(self, rng):
+        sys_d = RedundantPerceptionSystem(make_diverse_chains(3, rng),
+                                          fusion="dempster")
+        assert sys_d.fuse([CAR, CAR, CAR]) == CAR
+
+    def test_dempster_set_evidence_resolution(self, rng):
+        """car + car/pedestrian evidence resolves to car."""
+        sys_d = RedundantPerceptionSystem(make_diverse_chains(2, rng),
+                                          fusion="dempster")
+        assert sys_d.fuse([CAR, UNCERTAIN_LABEL]) == CAR
+
+    def test_unknown_fusion_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            RedundantPerceptionSystem(make_diverse_chains(2, rng),
+                                      fusion="quantum_vote")
+
+    def test_empty_chains_rejected(self):
+        with pytest.raises(SimulationError):
+            RedundantPerceptionSystem([])
+
+
+class TestRedundancyEffect:
+    def test_redundancy_reduces_hazard(self):
+        """§V: redundant architectures with diverse uncertainties tolerate."""
+        world = WorldModel()
+        single = RedundantPerceptionSystem(
+            make_diverse_chains(1, np.random.default_rng(1), diversity=0.0),
+            fusion="conservative")
+        triple = RedundantPerceptionSystem(
+            make_diverse_chains(3, np.random.default_rng(1), diversity=0.12),
+            fusion="conservative")
+        h1 = single.hazard_rate(world, np.random.default_rng(9), 3000)
+        h3 = triple.hazard_rate(world, np.random.default_rng(9), 3000)
+        assert h3 < h1
+
+    def test_channel_outputs_length(self, rng):
+        system = RedundantPerceptionSystem(make_diverse_chains(4, rng))
+        outs = system.channel_outputs(an_object(), rng)
+        assert len(outs) == 4
+
+    def test_diversity_zero_identical_chains(self, rng):
+        chains = make_diverse_chains(3, rng, diversity=0.0,
+                                     uncertainty_aware=False)
+        base = chains[0].base_classifier.confusion
+        assert all(c.base_classifier.confusion == base for c in chains)
+
+
+class TestODD:
+    def test_admits_logic(self):
+        odd = OperationalDesignDomain(allow_night=False, max_distance=50.0)
+        assert odd.admits(an_object(distance=30.0))
+        assert not odd.admits(an_object(night=True))
+        assert not odd.admits(an_object(distance=80.0))
+
+    def test_restricted_world_lower_unknown(self):
+        world = WorldModel()
+        restricted = RESTRICTED_ODD.restricted_world(world)
+        assert restricted.p_unknown < world.p_unknown
+        assert restricted.night_rate == 0.0
+
+    def test_full_odd_admits_everything(self, rng):
+        world = WorldModel()
+        assert FULL_ODD.availability(world, rng, 500) == 1.0
+
+    def test_restricted_availability_below_one(self, rng):
+        world = WorldModel()
+        availability = RESTRICTED_ODD.availability(world, rng, 2000)
+        assert 0.0 < availability < 1.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            OperationalDesignDomain(max_distance=-1.0)
+        with pytest.raises(SimulationError):
+            OperationalDesignDomain(unknown_exposure_factor=2.0)
+
+    def test_prevention_effect_on_hazard(self):
+        """Restricting the ODD reduces the hazard rate (prevention works)."""
+        from repro.perception.chain import hazardous_misperception_rate
+        world = WorldModel()
+        chain = PerceptionChain()
+        h_full = hazardous_misperception_rate(
+            chain, world, np.random.default_rng(5), 4000)
+        h_restricted = hazardous_misperception_rate(
+            chain, RESTRICTED_ODD.restricted_world(world),
+            np.random.default_rng(5), 4000)
+        assert h_restricted < h_full

@@ -1,0 +1,136 @@
+"""Tests for the world model, scenario generation, and the camera."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.perception.sensors import CameraModel, SensorReading
+from repro.perception.world import (
+    CAR,
+    DEFAULT_NOVEL_KINDS,
+    PEDESTRIAN,
+    UNKNOWN,
+    ObjectInstance,
+    WorldModel,
+)
+
+
+def an_object(**overrides):
+    defaults = dict(true_class=CAR, label=CAR, distance=20.0, occlusion=0.1,
+                    night=False, rain=False)
+    defaults.update(overrides)
+    return ObjectInstance(**defaults)
+
+
+class TestObjectInstance:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            an_object(label="zebra")
+        with pytest.raises(SimulationError):
+            an_object(distance=0.0)
+        with pytest.raises(SimulationError):
+            an_object(occlusion=1.5)
+
+
+class TestWorldModel:
+    def test_priors_must_normalize(self):
+        with pytest.raises(SimulationError):
+            WorldModel(p_car=0.5, p_pedestrian=0.3, p_unknown=0.1)
+
+    def test_label_prior_matches_paper(self):
+        prior = WorldModel().label_prior()
+        assert prior.prob(CAR) == pytest.approx(0.6)
+        assert prior.prob(PEDESTRIAN) == pytest.approx(0.3)
+        assert prior.prob(UNKNOWN) == pytest.approx(0.1)
+
+    def test_fine_grained_prior_covers_novel_kinds(self):
+        fine = WorldModel().fine_grained_prior()
+        assert fine.prob("kangaroo") > 0.0
+        assert sum(fine.probabilities.values()) == pytest.approx(1.0)
+
+    def test_zipf_tail_ordering(self):
+        fine = WorldModel().fine_grained_prior()
+        kinds = list(DEFAULT_NOVEL_KINDS)
+        assert fine.prob(kinds[0]) > fine.prob(kinds[-1])
+
+    def test_sample_frequencies(self, rng):
+        world = WorldModel()
+        labels = [world.sample_object(rng).label for _ in range(20000)]
+        assert labels.count(CAR) / 20000 == pytest.approx(0.6, abs=0.02)
+        assert labels.count(UNKNOWN) / 20000 == pytest.approx(0.1, abs=0.01)
+
+    def test_unknown_objects_have_novel_true_class(self, rng):
+        world = WorldModel(p_car=0.0, p_pedestrian=0.0, p_unknown=1.0)
+        obj = world.sample_object(rng)
+        assert obj.label == UNKNOWN
+        assert obj.true_class in DEFAULT_NOVEL_KINDS
+
+    def test_restricted_renormalizes(self):
+        world = WorldModel()
+        restricted = world.restricted(p_unknown=0.02)
+        prior = restricted.label_prior()
+        assert prior.prob(UNKNOWN) == pytest.approx(0.02)
+        assert sum(prior.probabilities.values()) == pytest.approx(1.0)
+        # Known-class ratio preserved.
+        assert prior.prob(CAR) / prior.prob(PEDESTRIAN) == pytest.approx(2.0)
+
+    def test_scene_sampling(self, rng):
+        scene = WorldModel().sample_scene(rng, 5)
+        assert len(scene) == 5
+
+    def test_unknown_requires_novel_kinds(self):
+        with pytest.raises(SimulationError):
+            WorldModel(p_car=0.6, p_pedestrian=0.3, p_unknown=0.1,
+                       novel_kinds=())
+
+
+class TestCamera:
+    def test_quality_decreases_with_distance(self):
+        cam = CameraModel()
+        near = an_object(distance=10.0)
+        far = an_object(distance=120.0)
+        assert cam.quality_of(near) > cam.quality_of(far)
+
+    def test_quality_decreases_with_occlusion(self):
+        cam = CameraModel()
+        assert (cam.quality_of(an_object(occlusion=0.0)) >
+                cam.quality_of(an_object(occlusion=0.8)))
+
+    def test_night_rain_penalties(self):
+        cam = CameraModel()
+        day = cam.quality_of(an_object())
+        night = cam.quality_of(an_object(night=True))
+        rain = cam.quality_of(an_object(rain=True))
+        assert night < day and rain < day
+
+    def test_detection_probability_bounds(self):
+        cam = CameraModel()
+        p = cam.detection_probability(an_object())
+        assert 0.0 < p <= 1.0
+
+    def test_sense_detected_reading(self, rng):
+        cam = CameraModel(base_detection=1.0)
+        reading = cam.sense(an_object(), rng)
+        assert isinstance(reading, SensorReading)
+        assert reading.detected
+        assert 0.0 <= reading.quality <= 1.0
+        assert reading.label == CAR
+
+    def test_undetected_zero_quality(self, rng):
+        cam = CameraModel(base_detection=0.0)
+        reading = cam.sense(an_object(), rng)
+        assert not reading.detected
+        assert reading.quality == 0.0
+
+    def test_detection_rate_statistics(self, rng):
+        cam = CameraModel()
+        obj = an_object(distance=30.0)
+        p = cam.detection_probability(obj)
+        hits = sum(cam.sense(obj, rng).detected for _ in range(5000))
+        assert hits / 5000 == pytest.approx(p, abs=0.02)
+
+    def test_parameter_validation(self):
+        with pytest.raises(SimulationError):
+            CameraModel(max_range=-1.0)
+        with pytest.raises(SimulationError):
+            CameraModel(base_detection=1.5)

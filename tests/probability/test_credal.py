@@ -1,0 +1,104 @@
+"""Tests for the Imprecise Dirichlet Model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.probability.credal import ImpreciseDirichletModel
+
+
+class TestIDM:
+    def test_vacuous_before_data(self):
+        idm = ImpreciseDirichletModel(["a", "b"], s=2.0)
+        iv = idm.probability_interval("a")
+        assert iv.lower == 0.0
+        assert iv.upper == 1.0
+
+    def test_interval_formula(self):
+        idm = ImpreciseDirichletModel(["a", "b"], s=2.0)
+        idm.observe("a", 3)
+        idm.observe("b", 5)
+        iv = idm.probability_interval("a")
+        assert iv.lower == pytest.approx(3 / 10)
+        assert iv.upper == pytest.approx(5 / 10)
+
+    def test_imprecision_shrinks_with_data(self):
+        idm = ImpreciseDirichletModel(["a", "b"], s=2.0)
+        widths = [idm.imprecision()]
+        for n in (10, 100, 1000):
+            idm.observe("a", n)
+            widths.append(idm.imprecision())
+        assert widths == sorted(widths, reverse=True)
+
+    def test_larger_s_more_cautious(self):
+        cautious = ImpreciseDirichletModel(["a", "b"], s=8.0)
+        eager = ImpreciseDirichletModel(["a", "b"], s=1.0)
+        for idm in (cautious, eager):
+            idm.observe("a", 10)
+            idm.observe("b", 10)
+        assert cautious.imprecision() > eager.imprecision()
+
+    def test_interval_bounds_every_prior_choice(self, rng):
+        """The defining IDM property: for ANY Dirichlet prior with total
+        concentration s, the posterior mean lies inside the interval —
+        the interval is exactly the prior-sensitivity envelope."""
+        idm = ImpreciseDirichletModel(["a", "b", "c"], s=2.0)
+        counts = {"a": 7, "b": 2, "c": 1}
+        for o, c in counts.items():
+            idm.observe(o, c)
+        n = sum(counts.values())
+        iv = idm.probability_interval("a")
+        for _ in range(100):
+            alpha = rng.dirichlet([1.0, 1.0, 1.0]) * 2.0  # sums to s
+            posterior_mean = (counts["a"] + alpha[0]) / (n + 2.0)
+            assert iv.contains(posterior_mean)
+
+    def test_event_interval(self):
+        idm = ImpreciseDirichletModel(["a", "b", "c"], s=1.0)
+        idm.observe("a", 2)
+        idm.observe("b", 2)
+        iv = idm.event_interval(["a", "b"])
+        assert iv.lower == pytest.approx(4 / 5)
+        assert iv.upper == pytest.approx(1.0)
+
+    def test_ontological_outcome_rejected(self):
+        idm = ImpreciseDirichletModel(["a", "b"])
+        with pytest.raises(DistributionError, match="ontological"):
+            idm.observe("zebra")
+
+    def test_decide_interval_dominance(self):
+        idm = ImpreciseDirichletModel(["a", "b"], s=2.0)
+        # Few observations: undecidable.
+        idm.observe("a", 3)
+        idm.observe("b", 1)
+        assert idm.decide("a", "b") is None
+        # Plenty: decidable.
+        idm.observe("a", 300)
+        idm.observe("b", 100)
+        assert idm.decide("a", "b") == "a"
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            ImpreciseDirichletModel([])
+        with pytest.raises(DistributionError):
+            ImpreciseDirichletModel(["a", "a"])
+        with pytest.raises(DistributionError):
+            ImpreciseDirichletModel(["a", "b"], s=0.0)
+
+    @given(st.lists(st.sampled_from("abc"), min_size=0, max_size=100),
+           st.floats(min_value=0.5, max_value=8.0))
+    @settings(max_examples=60, deadline=None)
+    def test_intervals_valid_and_coherent_property(self, seq, s):
+        idm = ImpreciseDirichletModel(["a", "b", "c"], s=s)
+        idm.observe_sequence(seq)
+        lowers = uppers = 0.0
+        for o in idm.outcomes:
+            iv = idm.probability_interval(o)
+            assert 0.0 <= iv.lower <= iv.upper <= 1.0
+            lowers += iv.lower
+            uppers += iv.upper
+        # Avoiding sure loss: sum of lowers <= 1 <= sum of uppers.
+        assert lowers <= 1.0 + 1e-9
+        assert uppers >= 1.0 - 1e-9

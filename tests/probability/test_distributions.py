@@ -1,0 +1,429 @@
+"""Unit and property tests for repro.probability.distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.probability.distributions import (
+    Bernoulli,
+    Beta,
+    Binomial,
+    Categorical,
+    Dirichlet,
+    Empirical,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Mixture,
+    Normal,
+    Poisson,
+    Triangular,
+    Uniform,
+    normal_cdf,
+    normal_ppf,
+)
+
+
+class TestNormal:
+    def test_pdf_peak_at_mean(self):
+        n = Normal(2.0, 1.5)
+        assert n.pdf(2.0) > n.pdf(2.5)
+        assert n.pdf(2.0) > n.pdf(1.5)
+
+    def test_cdf_symmetry(self):
+        n = Normal(0.0, 1.0)
+        assert n.cdf(0.0) == pytest.approx(0.5)
+        assert n.cdf(1.0) + n.cdf(-1.0) == pytest.approx(1.0, abs=1e-12)
+
+    def test_known_quantiles(self):
+        n = Normal(0.0, 1.0)
+        assert n.ppf(0.975) == pytest.approx(1.959964, abs=1e-5)
+        assert n.ppf(0.5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_ppf_cdf_roundtrip(self):
+        n = Normal(-1.0, 2.0)
+        for q in (0.01, 0.1, 0.5, 0.9, 0.99):
+            assert n.cdf(n.ppf(q)) == pytest.approx(q, abs=1e-8)
+
+    def test_entropy_closed_form(self):
+        n = Normal(0.0, 2.0)
+        expected = 0.5 * math.log(2 * math.pi * math.e * 4.0)
+        assert n.entropy() == pytest.approx(expected)
+
+    def test_sampling_moments(self, rng):
+        n = Normal(3.0, 0.5)
+        samples = n.sample(rng, 50000)
+        assert np.mean(samples) == pytest.approx(3.0, abs=0.02)
+        assert np.std(samples) == pytest.approx(0.5, abs=0.02)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(DistributionError):
+            Normal(0.0, 0.0)
+        with pytest.raises(DistributionError):
+            Normal(0.0, -1.0)
+
+    def test_vector_input_returns_array(self):
+        n = Normal(0.0, 1.0)
+        out = n.cdf([0.0, 1.0])
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (2,)
+
+    def test_scalar_input_returns_float(self):
+        n = Normal(0.0, 1.0)
+        assert isinstance(n.cdf(0.3), float)
+        assert isinstance(n.ppf(0.3), float)
+
+    @given(st.floats(min_value=-5, max_value=5),
+           st.floats(min_value=0.1, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_cdf_monotone(self, mu, sigma):
+        n = Normal(mu, sigma)
+        xs = np.linspace(mu - 4 * sigma, mu + 4 * sigma, 25)
+        cdf = n.cdf(xs)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+
+class TestUniform:
+    def test_pdf_inside_outside(self):
+        u = Uniform(1.0, 3.0)
+        assert u.pdf(2.0) == pytest.approx(0.5)
+        assert u.pdf(0.5) == 0.0
+        assert u.pdf(3.5) == 0.0
+
+    def test_cdf_linear(self):
+        u = Uniform(0.0, 4.0)
+        assert u.cdf(1.0) == pytest.approx(0.25)
+        assert u.cdf(-1.0) == 0.0
+        assert u.cdf(5.0) == 1.0
+
+    def test_ppf_inverse(self):
+        u = Uniform(-2.0, 2.0)
+        assert u.ppf(0.5) == pytest.approx(0.0)
+
+    def test_moments(self):
+        u = Uniform(0.0, 12.0)
+        assert u.mean() == 6.0
+        assert u.var() == pytest.approx(12.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(DistributionError):
+            Uniform(1.0, 1.0)
+
+
+class TestBeta:
+    def test_mean_var(self):
+        b = Beta(2.0, 3.0)
+        assert b.mean() == pytest.approx(0.4)
+        assert b.var() == pytest.approx(0.04)
+
+    def test_cdf_uniform_special_case(self):
+        b = Beta(1.0, 1.0)  # uniform on [0, 1]
+        for x in (0.1, 0.5, 0.9):
+            assert b.cdf(x) == pytest.approx(x, abs=1e-10)
+
+    def test_cdf_symmetric(self):
+        b = Beta(3.0, 3.0)
+        assert b.cdf(0.5) == pytest.approx(0.5, abs=1e-10)
+
+    def test_cdf_against_samples(self, rng):
+        b = Beta(2.5, 4.0)
+        samples = b.sample(rng, 40000)
+        for x in (0.2, 0.4, 0.6):
+            assert b.cdf(x) == pytest.approx(np.mean(samples <= x), abs=0.01)
+
+    def test_conjugate_update(self):
+        prior = Beta(1.0, 1.0)
+        post = prior.updated(successes=7, failures=3)
+        assert post.alpha == 8.0 and post.beta == 4.0
+        assert post.mean() > prior.mean()
+
+    def test_update_shrinks_variance(self):
+        prior = Beta(1.0, 1.0)
+        post = prior.updated(50, 50)
+        assert post.var() < prior.var()
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(DistributionError):
+            Beta(1.0, 1.0).updated(-1, 0)
+
+    def test_ppf_bracket_limits(self):
+        b = Beta(2.0, 5.0)
+        assert 0.0 <= b.ppf(0.01) <= b.ppf(0.99) <= 1.0
+
+
+class TestGamma:
+    def test_moments(self):
+        g = Gamma(3.0, 2.0)
+        assert g.mean() == pytest.approx(1.5)
+        assert g.var() == pytest.approx(0.75)
+
+    def test_cdf_exponential_special_case(self):
+        g = Gamma(1.0, 2.0)  # == Exponential(2)
+        e = Exponential(2.0)
+        for x in (0.1, 0.5, 1.0, 2.0):
+            assert g.cdf(x) == pytest.approx(e.cdf(x), abs=1e-9)
+
+    def test_conjugate_update(self):
+        prior = Gamma(0.5, 1.0)
+        post = prior.updated(event_count=3, exposure=10.0)
+        assert post.shape == 3.5
+        assert post.rate == 11.0
+
+    def test_cdf_against_samples(self, rng):
+        g = Gamma(2.0, 1.0)
+        samples = g.sample(rng, 40000)
+        assert g.cdf(2.0) == pytest.approx(np.mean(samples <= 2.0), abs=0.01)
+
+
+class TestExponential:
+    def test_memoryless_cdf(self):
+        e = Exponential(0.5)
+        assert e.cdf(0.0) == 0.0
+        assert e.cdf(2.0) == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_ppf_median(self):
+        e = Exponential(1.0)
+        assert e.ppf(0.5) == pytest.approx(math.log(2.0))
+
+    def test_entropy(self):
+        assert Exponential(1.0).entropy() == pytest.approx(1.0)
+
+
+class TestLogNormal:
+    def test_mean(self):
+        ln = LogNormal(0.0, 0.5)
+        assert ln.mean() == pytest.approx(math.exp(0.125))
+
+    def test_cdf_median(self):
+        ln = LogNormal(1.0, 0.7)
+        assert ln.cdf(math.exp(1.0)) == pytest.approx(0.5, abs=1e-10)
+
+    def test_pdf_zero_below_zero(self):
+        ln = LogNormal(0.0, 1.0)
+        assert ln.pdf(-1.0) == 0.0
+        assert np.all(ln.pdf(np.array([-2.0, -0.1])) == 0.0)
+
+
+class TestTriangular:
+    def test_pdf_integrates_to_one(self):
+        t = Triangular(0.0, 1.0, 4.0)
+        xs = np.linspace(-0.5, 4.5, 4001)
+        area = np.trapezoid(np.atleast_1d(t.pdf(xs)), xs)
+        assert area == pytest.approx(1.0, abs=1e-4)
+
+    def test_cdf_at_mode(self):
+        t = Triangular(0.0, 1.0, 4.0)
+        assert t.cdf(1.0) == pytest.approx(0.25)
+
+    def test_ppf_roundtrip(self):
+        t = Triangular(-1.0, 0.5, 2.0)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            assert t.cdf(t.ppf(q)) == pytest.approx(q, abs=1e-10)
+
+    def test_mean(self):
+        t = Triangular(0.0, 3.0, 6.0)
+        assert t.mean() == pytest.approx(3.0)
+
+    def test_invalid_order(self):
+        with pytest.raises(DistributionError):
+            Triangular(2.0, 1.0, 3.0)
+
+
+class TestBernoulliBinomialPoisson:
+    def test_bernoulli_pmf(self):
+        b = Bernoulli(0.3)
+        assert b.pmf(1) == pytest.approx(0.3)
+        assert b.pmf(0) == pytest.approx(0.7)
+        assert b.pmf(2) == 0.0
+
+    def test_bernoulli_entropy_bounds(self):
+        assert Bernoulli(0.5).entropy() == pytest.approx(math.log(2.0))
+        assert Bernoulli(0.0).entropy() == 0.0
+        assert Bernoulli(1.0).entropy() == 0.0
+
+    def test_binomial_pmf_sums_to_one(self):
+        b = Binomial(12, 0.3)
+        assert np.sum(b.pmf(b.support())) == pytest.approx(1.0)
+
+    def test_binomial_mean_var(self):
+        b = Binomial(20, 0.25)
+        assert b.mean() == 5.0
+        assert b.var() == pytest.approx(3.75)
+
+    def test_binomial_edge_probabilities(self):
+        assert Binomial(5, 0.0).pmf(0) == 1.0
+        assert Binomial(5, 1.0).pmf(5) == 1.0
+
+    def test_binomial_cdf_complete(self):
+        b = Binomial(8, 0.6)
+        assert b.cdf(8) == pytest.approx(1.0)
+        assert b.cdf(-1) == 0.0
+
+    def test_poisson_pmf_normalizes(self):
+        p = Poisson(3.0)
+        ks = np.arange(0, 60)
+        assert np.sum(p.pmf(ks)) == pytest.approx(1.0, abs=1e-10)
+
+    def test_poisson_mean_equals_var(self):
+        p = Poisson(4.2)
+        assert p.mean() == p.var() == 4.2
+
+    def test_poisson_cdf_monotone(self):
+        p = Poisson(2.0)
+        cdf = p.cdf(np.arange(0, 12))
+        assert np.all(np.diff(cdf) >= 0.0)
+
+
+class TestCategorical:
+    def test_probabilities_roundtrip(self):
+        c = Categorical({"a": 0.2, "b": 0.5, "c": 0.3})
+        assert c.prob("b") == pytest.approx(0.5)
+        assert c.prob("missing") == 0.0
+
+    def test_requires_normalization(self):
+        with pytest.raises(DistributionError):
+            Categorical({"a": 0.5, "b": 0.6})
+
+    def test_uniform_constructor(self):
+        c = Categorical.uniform(["x", "y", "z", "w"])
+        assert c.prob("x") == pytest.approx(0.25)
+
+    def test_entropy_uniform_max(self):
+        c = Categorical.uniform(["a", "b", "c"])
+        assert c.entropy() == pytest.approx(math.log(3.0))
+
+    def test_sample_outcomes_frequencies(self, rng):
+        c = Categorical({"car": 0.6, "ped": 0.3, "unknown": 0.1})
+        outs = c.sample_outcomes(rng, 30000)
+        assert outs.count("car") / 30000 == pytest.approx(0.6, abs=0.01)
+        assert outs.count("unknown") / 30000 == pytest.approx(0.1, abs=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            Categorical({})
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=10), min_size=2,
+                    max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_normalized_construction_property(self, weights):
+        total = sum(weights)
+        probs = {f"s{i}": w / total for i, w in enumerate(weights)}
+        c = Categorical(probs)
+        assert sum(c.probabilities.values()) == pytest.approx(1.0)
+        assert c.entropy() >= 0.0
+
+
+class TestDirichlet:
+    def test_mean_is_normalized_concentration(self):
+        d = Dirichlet({"a": 2.0, "b": 6.0})
+        assert d.mean().prob("b") == pytest.approx(0.75)
+
+    def test_marginal_is_beta(self):
+        d = Dirichlet({"a": 2.0, "b": 3.0, "c": 5.0})
+        m = d.marginal("a")
+        assert isinstance(m, Beta)
+        assert m.alpha == 2.0 and m.beta == 8.0
+
+    def test_update_with_counts(self):
+        d = Dirichlet({"a": 1.0, "b": 1.0})
+        d2 = d.updated({"a": 10})
+        assert d2.concentration["a"] == 11.0
+
+    def test_update_outside_ontology_raises(self):
+        d = Dirichlet({"a": 1.0, "b": 1.0})
+        with pytest.raises(DistributionError, match="ontological"):
+            d.updated({"novel": 1})
+
+    def test_epistemic_gap_shrinks_with_data(self):
+        d = Dirichlet({"a": 1.0, "b": 1.0})
+        gaps = [d.expected_entropy_gap()]
+        for n in (10, 100, 1000):
+            gaps.append(Dirichlet({"a": 1.0 + n, "b": 1.0 + n}).expected_entropy_gap())
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_sample_on_simplex(self, rng):
+        d = Dirichlet({"a": 1.0, "b": 2.0, "c": 3.0})
+        s = d.sample(rng, 100)
+        assert np.allclose(s.sum(axis=1), 1.0)
+        assert np.all(s >= 0.0)
+
+
+class TestMixture:
+    def test_mixture_mean(self):
+        m = Mixture([Normal(0.0, 1.0), Normal(10.0, 1.0)], [0.5, 0.5])
+        assert m.mean() == pytest.approx(5.0)
+
+    def test_mixture_variance_includes_spread(self):
+        m = Mixture([Normal(0.0, 1.0), Normal(10.0, 1.0)], [0.5, 0.5])
+        assert m.var() == pytest.approx(1.0 + 25.0)
+
+    def test_mixture_cdf_blend(self):
+        m = Mixture([Uniform(0, 1), Uniform(1, 2)], [0.3, 0.7])
+        assert m.cdf(1.0) == pytest.approx(0.3)
+
+    def test_invalid_weights(self):
+        with pytest.raises(DistributionError):
+            Mixture([Normal(0, 1)], [0.5])
+
+    def test_sampling(self, rng):
+        m = Mixture([Normal(-5.0, 0.1), Normal(5.0, 0.1)], [0.2, 0.8])
+        s = m.sample(rng, 20000)
+        assert np.mean(s > 0) == pytest.approx(0.8, abs=0.01)
+
+
+class TestEmpirical:
+    def test_cdf_step(self):
+        e = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert e.cdf(2.5) == pytest.approx(0.5)
+        assert e.cdf(0.0) == 0.0
+        assert e.cdf(4.0) == 1.0
+
+    def test_ppf_order_statistics(self):
+        e = Empirical([5.0, 1.0, 3.0])
+        assert e.ppf(0.0) == 1.0
+        assert e.ppf(1.0) == 5.0
+
+    def test_mean_var(self):
+        data = [1.0, 2.0, 3.0]
+        e = Empirical(data)
+        assert e.mean() == pytest.approx(2.0)
+        assert e.var() == pytest.approx(np.var(data))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            Empirical([])
+
+    def test_kde_pdf_positive_near_data(self):
+        e = Empirical(np.linspace(0, 1, 50))
+        assert e.pdf(0.5) > e.pdf(3.0)
+
+    def test_frequentist_convergence(self, rng):
+        """Model B epistemic convergence: empirical cdf -> true cdf."""
+        true = Normal(0.0, 1.0)
+        errors = []
+        for n in (100, 1000, 10000):
+            e = Empirical(true.sample(rng, n))
+            xs = np.linspace(-2, 2, 21)
+            errors.append(np.max(np.abs(np.atleast_1d(e.cdf(xs)) -
+                                        np.atleast_1d(true.cdf(xs)))))
+        assert errors[2] < errors[0]
+
+
+class TestNormalHelpers:
+    def test_normal_cdf_ppf_consistency(self):
+        qs = np.array([0.001, 0.1, 0.5, 0.9, 0.999])
+        xs = normal_ppf(qs, mean=1.0, std=2.0)
+        back = normal_cdf(xs, mean=1.0, std=2.0)
+        assert np.allclose(back, qs, atol=1e-8)
+
+    def test_normal_ppf_tails(self):
+        assert normal_ppf(0.0) == -np.inf
+        assert normal_ppf(1.0) == np.inf
+
+    def test_normal_ppf_rejects_bad_quantiles(self):
+        with pytest.raises(DistributionError):
+            normal_ppf(1.5)

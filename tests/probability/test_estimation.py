@@ -1,0 +1,245 @@
+"""Tests for estimators: the quantitative §III-B claims."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.probability.distributions import Beta, Categorical
+from repro.probability.estimation import (
+    BayesianCategoricalEstimator,
+    BayesianRateEstimator,
+    FrequentistEstimator,
+    GoodTuringEstimator,
+    beta_credible_interval,
+    kaplan_meier_survival,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(30, 100)
+        assert lo < 0.3 < hi
+
+    def test_never_escapes_unit_interval(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo >= 0.0
+        lo, hi = wilson_interval(10, 10)
+        assert hi <= 1.0
+
+    def test_narrows_with_n(self):
+        w1 = wilson_interval(3, 10)
+        w2 = wilson_interval(300, 1000)
+        assert (w2[1] - w2[0]) < (w1[1] - w1[0])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DistributionError):
+            wilson_interval(5, 0)
+        with pytest.raises(DistributionError):
+            wilson_interval(11, 10)
+        with pytest.raises(DistributionError):
+            wilson_interval(5, 10, confidence=1.5)
+
+    def test_coverage_simulation(self, rng):
+        """95% interval covers the true p in roughly 95% of replications."""
+        p_true, n, covered = 0.2, 200, 0
+        reps = 300
+        for _ in range(reps):
+            k = rng.binomial(n, p_true)
+            lo, hi = wilson_interval(int(k), n)
+            covered += lo <= p_true <= hi
+        assert covered / reps > 0.9
+
+
+class TestBetaCredibleInterval:
+    def test_central_mass(self):
+        lo, hi = beta_credible_interval(Beta(10, 10), 0.9)
+        assert 0.3 < lo < 0.5 < hi < 0.7
+
+    def test_shrinks_with_concentration(self):
+        w1 = beta_credible_interval(Beta(2, 2))
+        w2 = beta_credible_interval(Beta(200, 200))
+        assert (w2[1] - w2[0]) < (w1[1] - w1[0])
+
+
+class TestFrequentistEstimator:
+    def test_relative_frequencies(self):
+        est = FrequentistEstimator(["a", "b"])
+        est.observe("a", 30)
+        est.observe("b", 70)
+        assert est.estimate().prob("b") == pytest.approx(0.7)
+
+    def test_no_observations_raises(self):
+        with pytest.raises(DistributionError):
+            FrequentistEstimator(["a", "b"]).estimate()
+
+    def test_ontological_extension_of_support(self):
+        """Observing an outcome outside the declared support extends it —
+        re-modeling after an ontological event."""
+        est = FrequentistEstimator(["car", "pedestrian"])
+        est.observe("kangaroo")
+        assert "kangaroo" in est.outcomes
+
+    def test_smoothed_never_zero(self):
+        est = FrequentistEstimator(["a", "b", "c"])
+        est.observe("a", 100)
+        sm = est.estimate_smoothed(1.0)
+        assert sm.prob("b") > 0.0
+
+    def test_standard_error_shrinks(self):
+        est = FrequentistEstimator(["a", "b"])
+        est.observe("a", 5)
+        est.observe("b", 5)
+        se_small = est.standard_error("a")
+        est.observe("a", 500)
+        est.observe("b", 500)
+        assert est.standard_error("a") < se_small
+
+    def test_epistemic_convergence_to_truth(self, rng):
+        """§III-B: the frequency gap to the true distribution shrinks."""
+        true = Categorical({"car": 0.6, "ped": 0.3, "unknown": 0.1})
+        gaps = []
+        for n in (50, 500, 5000):
+            est = FrequentistEstimator(true.outcomes)
+            est.observe_sequence(true.sample_outcomes(rng, n))
+            hat = est.estimate()
+            gaps.append(max(abs(hat.prob(o) - true.prob(o))
+                            for o in true.outcomes))
+        assert gaps[2] < gaps[0]
+
+
+class TestBayesianCategoricalEstimator:
+    def test_posterior_mean_moves_toward_data(self):
+        est = BayesianCategoricalEstimator(["a", "b"], prior_strength=1.0)
+        est.observe("a", 98)
+        est.observe("b", 2)
+        assert est.point_estimate().prob("a") > 0.9
+
+    def test_credible_interval_shrinks(self):
+        est = BayesianCategoricalEstimator(["a", "b"])
+        lo1, hi1 = est.credible_interval("a")
+        est.observe_counts({"a": 500, "b": 500})
+        lo2, hi2 = est.credible_interval("a")
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_epistemic_uncertainty_monotone_decrease(self):
+        """The paper's credibility-grows-with-observation claim."""
+        est = BayesianCategoricalEstimator(["a", "b", "c"])
+        values = [est.epistemic_uncertainty()]
+        for _ in range(4):
+            est.observe_counts({"a": 60, "b": 30, "c": 10})
+            values.append(est.epistemic_uncertainty())
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_prior(self):
+        with pytest.raises(DistributionError):
+            BayesianCategoricalEstimator(["a", "b"], prior_strength=0.0)
+
+
+class TestBayesianRateEstimator:
+    def test_point_estimate_tracks_rate(self):
+        est = BayesianRateEstimator()
+        est.observe(event_count=20, exposure=1000.0)
+        assert est.point_estimate() == pytest.approx(0.02, rel=0.2)
+
+    def test_upper_bound_above_point(self):
+        est = BayesianRateEstimator()
+        est.observe(5, 100.0)
+        assert est.upper_bound(0.95) > est.point_estimate()
+
+    def test_zero_events_still_bounded(self):
+        """The rare-event case: no hazards seen, bound still positive."""
+        est = BayesianRateEstimator()
+        est.observe(0, 10000.0)
+        assert 0.0 < est.upper_bound(0.95) < 0.01
+
+    def test_interval_shrinks_with_exposure(self):
+        est = BayesianRateEstimator()
+        est.observe(2, 100.0)
+        w1 = np.diff(est.credible_interval())[0]
+        est.observe(20, 1000.0)
+        w2 = np.diff(est.credible_interval())[0]
+        assert w2 < w1
+
+
+class TestGoodTuring:
+    def test_total_ignorance_before_data(self):
+        assert GoodTuringEstimator().missing_mass() == 1.0
+
+    def test_missing_mass_singleton_ratio(self):
+        gt = GoodTuringEstimator()
+        gt.observe("a", 5)
+        gt.observe("b", 1)
+        gt.observe("c", 1)
+        # two singletons out of seven observations
+        assert gt.missing_mass() == pytest.approx(2.0 / 7.0)
+
+    def test_no_singletons_zero_missing(self):
+        gt = GoodTuringEstimator()
+        gt.observe("a", 10)
+        gt.observe("b", 10)
+        assert gt.missing_mass() == 0.0
+
+    def test_confidence_bound_above_estimate(self):
+        gt = GoodTuringEstimator()
+        gt.observe_sequence(["a"] * 50 + ["b"] * 5 + ["c"])
+        assert gt.missing_mass_confidence_bound(0.95) > gt.missing_mass()
+
+    def test_estimates_true_unseen_mass_zipf(self, rng):
+        """On a Zipf world, Good-Turing tracks the true unseen mass far
+        better than the naive zero estimate."""
+        ranks = np.arange(1, 101)
+        probs = ranks ** (-1.5)
+        probs = probs / probs.sum()
+        names = [f"k{r}" for r in ranks]
+        n = 300
+        draws = rng.choice(100, size=n, p=probs)
+        gt = GoodTuringEstimator()
+        for d in draws:
+            gt.observe(names[d])
+        seen = {names[d] for d in draws}
+        true_missing = sum(p for nm, p in zip(names, probs) if nm not in seen)
+        estimate = gt.missing_mass()
+        assert abs(estimate - true_missing) < true_missing  # better than 0-estimate
+        assert abs(estimate - true_missing) < 0.1
+
+    def test_discounted_estimate_sums_below_one(self):
+        gt = GoodTuringEstimator()
+        gt.observe_sequence(["a"] * 10 + ["b"] * 3 + ["c"])
+        est = gt.discounted_estimate()
+        assert sum(est.values()) == pytest.approx(1.0 - gt.missing_mass(), abs=1e-9)
+
+    def test_frequency_of_frequencies(self):
+        gt = GoodTuringEstimator()
+        gt.observe_sequence(["a", "a", "b", "c"])
+        fof = gt.frequency_of_frequencies()
+        assert fof == {2: 1, 1: 2}
+
+    @given(st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_missing_mass_in_unit_interval(self, seq):
+        gt = GoodTuringEstimator()
+        gt.observe_sequence(seq)
+        assert 0.0 <= gt.missing_mass() <= 1.0
+
+
+class TestKaplanMeier:
+    def test_no_censoring_matches_empirical(self):
+        steps = kaplan_meier_survival([1.0, 2.0, 3.0, 4.0],
+                                      [True, True, True, True])
+        assert steps[0] == (1.0, pytest.approx(0.75))
+        assert steps[-1] == (4.0, pytest.approx(0.0))
+
+    def test_censoring_keeps_survival_higher(self):
+        full = kaplan_meier_survival([1, 2, 3, 4], [True] * 4)
+        censored = kaplan_meier_survival([1, 2, 3, 4],
+                                         [True, False, True, False])
+        assert censored[-1][1] > full[-1][1]
+
+    def test_invalid_lengths(self):
+        with pytest.raises(DistributionError):
+            kaplan_meier_survival([1.0], [True, False])

@@ -1,0 +1,159 @@
+"""Tests for fuzzy numbers and alpha-cut arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.probability.fuzzy import (
+    FuzzyNumber,
+    TrapezoidalFuzzyNumber,
+    TriangularFuzzyNumber,
+    fuzzy_and,
+    fuzzy_or,
+)
+
+
+def tri(lo=0.0, mode=0.5, hi=1.0):
+    return TriangularFuzzyNumber(lo, mode, hi)
+
+
+class TestTriangular:
+    def test_support_and_core(self):
+        t = tri(0.1, 0.2, 0.4)
+        assert t.support == (0.1, 0.4)
+        assert t.core == (pytest.approx(0.2), pytest.approx(0.2))
+
+    def test_membership_at_mode_is_one(self):
+        t = tri(0.0, 0.3, 1.0)
+        assert t.membership(0.3) == pytest.approx(1.0)
+        assert t.membership(2.0) == 0.0
+
+    def test_cut_interpolation(self):
+        t = tri(0.0, 0.5, 1.0)
+        lo, hi = t.cut(0.5)
+        assert lo == pytest.approx(0.25)
+        assert hi == pytest.approx(0.75)
+
+    def test_invalid_order(self):
+        with pytest.raises(DistributionError):
+            TriangularFuzzyNumber(0.5, 0.2, 0.8)
+
+    def test_centroid_symmetric(self):
+        t = tri(0.0, 0.5, 1.0)
+        assert t.defuzzify_centroid() == pytest.approx(0.5)
+
+    def test_centroid_skewed(self):
+        t = tri(0.0, 0.1, 1.0)
+        assert t.defuzzify_centroid() > 0.1
+
+
+class TestTrapezoidal:
+    def test_core_interval(self):
+        t = TrapezoidalFuzzyNumber(0.0, 0.2, 0.6, 1.0)
+        assert t.core == (pytest.approx(0.2), pytest.approx(0.6))
+
+    def test_membership_plateau(self):
+        t = TrapezoidalFuzzyNumber(0.0, 0.2, 0.6, 1.0)
+        assert t.membership(0.4) == pytest.approx(1.0)
+
+    def test_invalid_order(self):
+        with pytest.raises(DistributionError):
+            TrapezoidalFuzzyNumber(0.0, 0.7, 0.6, 1.0)
+
+
+class TestArithmetic:
+    def test_addition_interval_rule(self):
+        a, b = tri(0.0, 0.1, 0.2), tri(0.1, 0.2, 0.3)
+        c = a + b
+        assert c.support[0] == pytest.approx(0.1)
+        assert c.support[1] == pytest.approx(0.5)
+        assert c.core[0] == pytest.approx(0.3)
+
+    def test_multiplication_positive(self):
+        a, b = tri(0.1, 0.2, 0.3), tri(0.4, 0.5, 0.6)
+        c = a * b
+        assert c.support[0] == pytest.approx(0.04)
+        assert c.support[1] == pytest.approx(0.18)
+        assert c.core[0] == pytest.approx(0.10)
+
+    def test_subtraction_reverses_bounds(self):
+        a, b = tri(0.5, 0.6, 0.7), tri(0.1, 0.2, 0.3)
+        c = a - b
+        assert c.support[0] == pytest.approx(0.2)
+        assert c.support[1] == pytest.approx(0.6)
+
+    def test_crisp_scalar_mixing(self):
+        a = tri(0.2, 0.3, 0.4)
+        c = a + 1.0
+        assert c.core[0] == pytest.approx(1.3)
+
+    def test_complement_probability(self):
+        a = tri(0.1, 0.2, 0.3)
+        c = a.complement_probability()
+        assert c.support == (pytest.approx(0.7), pytest.approx(0.9))
+        assert c.core[0] == pytest.approx(0.8)
+
+    def test_spread_is_zero_for_crisp(self):
+        assert FuzzyNumber.crisp(0.5).spread() == 0.0
+
+    @given(st.floats(0.0, 0.3), st.floats(0.35, 0.6), st.floats(0.65, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_cuts_stay_nested_after_multiplication(self, lo, mid, hi):
+        a = TriangularFuzzyNumber(lo, mid, hi)
+        b = TriangularFuzzyNumber(lo, mid, hi)
+        c = a * b
+        assert np.all(np.diff(c.lowers) >= -1e-9)
+        assert np.all(np.diff(c.uppers) <= 1e-9)
+
+
+class TestGateCombinators:
+    def test_fuzzy_and_crisp_agreement(self):
+        a = FuzzyNumber.crisp(0.1)
+        b = FuzzyNumber.crisp(0.2)
+        c = fuzzy_and([a, b])
+        assert c.core[0] == pytest.approx(0.02)
+        assert c.spread() == pytest.approx(0.0, abs=1e-12)
+
+    def test_fuzzy_or_crisp_agreement(self):
+        a = FuzzyNumber.crisp(0.1)
+        b = FuzzyNumber.crisp(0.2)
+        c = fuzzy_or([a, b])
+        assert c.core[0] == pytest.approx(1.0 - 0.9 * 0.8)
+
+    def test_fuzzy_or_bounds_widen_with_input_spread(self):
+        narrow = fuzzy_or([tri(0.09, 0.1, 0.11), tri(0.19, 0.2, 0.21)])
+        wide = fuzzy_or([tri(0.0, 0.1, 0.3), tri(0.05, 0.2, 0.5)])
+        assert wide.spread() > narrow.spread()
+
+    def test_fuzzy_and_stays_in_unit_interval(self):
+        c = fuzzy_and([tri(0.5, 0.9, 1.0), tri(0.5, 0.9, 1.0)])
+        assert 0.0 <= c.support[0] <= c.support[1] <= 1.0
+
+    def test_empty_operands_rejected(self):
+        with pytest.raises(DistributionError):
+            fuzzy_and([])
+        with pytest.raises(DistributionError):
+            fuzzy_or([])
+
+    def test_or_monotone_in_inputs(self):
+        small = fuzzy_or([tri(0.0, 0.1, 0.2), tri(0.0, 0.1, 0.2)])
+        large = fuzzy_or([tri(0.3, 0.4, 0.5), tri(0.3, 0.4, 0.5)])
+        assert large.core[0] > small.core[0]
+
+
+class TestValidation:
+    def test_alpha_ladder_must_span(self):
+        with pytest.raises(DistributionError):
+            FuzzyNumber([0.0, 0.5], [0.0, 0.0], [1.0, 1.0])
+
+    def test_nestedness_enforced(self):
+        alphas = np.linspace(0, 1, 3)
+        with pytest.raises(DistributionError):
+            FuzzyNumber(alphas, [0.0, 0.2, 0.1], [1.0, 0.8, 0.9])
+
+    def test_lower_above_upper_rejected(self):
+        alphas = np.linspace(0, 1, 3)
+        with pytest.raises(DistributionError):
+            FuzzyNumber(alphas, [0.5, 0.6, 0.7], [0.4, 0.5, 0.6])

@@ -1,0 +1,144 @@
+"""Tests for sampling designs and the DoE harness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DistributionError
+from repro.probability.distributions import Normal, Uniform
+from repro.probability.sampling import (
+    DesignResult,
+    ExperimentDesign,
+    discrepancy_l2_star,
+    halton_sequence,
+    latin_hypercube,
+    monte_carlo,
+    push_through,
+    stratified_rates,
+    van_der_corput,
+)
+
+
+class TestDesigns:
+    def test_monte_carlo_shape_and_range(self, rng):
+        d = monte_carlo(rng, 100, 3)
+        assert d.shape == (100, 3)
+        assert np.all((d >= 0.0) & (d < 1.0))
+
+    def test_latin_hypercube_stratification(self, rng):
+        n = 50
+        d = latin_hypercube(rng, n, 2)
+        for j in range(2):
+            # Exactly one point per stratum in each dimension.
+            strata = np.floor(d[:, j] * n).astype(int)
+            assert sorted(strata) == list(range(n))
+
+    def test_van_der_corput_first_values_base2(self):
+        seq = van_der_corput(4, base=2)
+        assert np.allclose(seq, [0.5, 0.25, 0.75, 0.125])
+
+    def test_halton_shape(self):
+        h = halton_sequence(64, 4)
+        assert h.shape == (64, 4)
+        assert np.all((h > 0.0) & (h < 1.0))
+
+    def test_halton_dimension_limit(self):
+        with pytest.raises(DistributionError):
+            halton_sequence(10, 100)
+
+    def test_halton_more_uniform_than_random(self, rng):
+        n, dim = 128, 2
+        disc_h = discrepancy_l2_star(halton_sequence(n, dim))
+        disc_mc = np.mean([discrepancy_l2_star(monte_carlo(rng, n, dim))
+                           for _ in range(5)])
+        assert disc_h < disc_mc
+
+    def test_lhs_more_uniform_than_random(self, rng):
+        n, dim = 64, 2
+        disc_lhs = np.mean([discrepancy_l2_star(latin_hypercube(rng, n, dim))
+                            for _ in range(5)])
+        disc_mc = np.mean([discrepancy_l2_star(monte_carlo(rng, n, dim))
+                           for _ in range(5)])
+        assert disc_lhs < disc_mc
+
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(DistributionError):
+            monte_carlo(rng, 0, 2)
+        with pytest.raises(DistributionError):
+            latin_hypercube(rng, 10, 0)
+        with pytest.raises(DistributionError):
+            van_der_corput(0)
+
+    def test_stratified_rates(self):
+        r = stratified_rates(4)
+        assert np.allclose(r, [0.125, 0.375, 0.625, 0.875])
+
+
+class TestPushThrough:
+    def test_marginal_transformation(self, rng):
+        design = latin_hypercube(rng, 500, 2)
+        samples = push_through(design, [Normal(0.0, 1.0), Uniform(10.0, 20.0)])
+        assert samples.shape == (500, 2)
+        assert abs(np.mean(samples[:, 0])) < 0.15
+        assert np.all((samples[:, 1] >= 10.0) & (samples[:, 1] <= 20.0))
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(DistributionError):
+            push_through(monte_carlo(rng, 10, 2), [Normal(0, 1)])
+
+
+class TestExperimentDesign:
+    def test_evaluate_mean_estimation(self, rng):
+        design = ExperimentDesign([Uniform(0, 1), Uniform(0, 1)],
+                                  method="latin_hypercube")
+        result = design.evaluate(lambda row: row[0] + row[1], 400, rng)
+        assert result.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_lhs_lower_variance_than_mc(self, rng):
+        """The DoE claim: LHS reduces estimator variance for additive models."""
+        def model(row):
+            return row[0] + row[1] + row[2]
+        means_lhs, means_mc = [], []
+        for seed in range(20):
+            r = np.random.default_rng(seed)
+            lhs = ExperimentDesign([Uniform(0, 1)] * 3, "latin_hypercube")
+            mc = ExperimentDesign([Uniform(0, 1)] * 3, "monte_carlo")
+            means_lhs.append(lhs.evaluate(model, 50, r).mean())
+            means_mc.append(mc.evaluate(model, 50, r).mean())
+        assert np.var(means_lhs) < np.var(means_mc)
+
+    def test_exceedance_probability(self, rng):
+        design = ExperimentDesign([Uniform(0, 1)], "monte_carlo")
+        result = design.evaluate(lambda row: row[0], 2000, rng)
+        assert result.exceedance_probability(0.8) == pytest.approx(0.2, abs=0.03)
+
+    def test_main_effect_ranking(self, rng):
+        """Sensitivity indices rank the dominant input first."""
+        design = ExperimentDesign([Uniform(0, 1), Uniform(0, 1)], "monte_carlo")
+        result = design.evaluate(lambda row: 10.0 * row[0] + 0.1 * row[1],
+                                 2000, rng)
+        s = result.main_effect_indices()
+        assert s[0] > 0.5
+        assert s[0] > s[1]
+
+    def test_halton_design_needs_no_rng(self):
+        design = ExperimentDesign([Uniform(0, 1)], "halton")
+        samples = design.sample(32)
+        assert samples.shape == (32, 1)
+
+    def test_mc_design_requires_rng(self):
+        design = ExperimentDesign([Uniform(0, 1)], "monte_carlo")
+        with pytest.raises(DistributionError):
+            design.sample(10)
+
+    def test_unknown_method(self):
+        with pytest.raises(DistributionError):
+            ExperimentDesign([Uniform(0, 1)], "sobol_prime")
+
+    def test_result_statistics(self):
+        r = DesignResult(points=np.zeros((4, 1)),
+                         values=np.array([1.0, 2.0, 3.0, 4.0]))
+        assert r.mean() == 2.5
+        assert r.quantile(0.5) == pytest.approx(2.5)
+        assert r.std_error() > 0.0

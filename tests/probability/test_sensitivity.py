@@ -1,0 +1,73 @@
+"""Tests for Sobol sensitivity indices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError
+from repro.probability.distributions import Normal, Uniform
+from repro.probability.sensitivity import (
+    SobolResult,
+    sobol_indices,
+    variance_reduction_priority,
+)
+
+
+class TestSobol:
+    def test_linear_model_known_indices(self, rng):
+        """Y = 2 X1 + X2, Xi ~ N(0,1): S1 = 4/5, S2 = 1/5, no interaction."""
+        result = sobol_indices(lambda x: 2.0 * x[0] + x[1],
+                               [Normal(0, 1), Normal(0, 1)], n=4000, rng=rng)
+        assert result.first_order[0] == pytest.approx(0.8, abs=0.08)
+        assert result.first_order[1] == pytest.approx(0.2, abs=0.08)
+        assert result.total_order[0] == pytest.approx(0.8, abs=0.08)
+        assert result.interaction_share(0) < 0.1
+
+    def test_pure_interaction_model(self, rng):
+        """Y = X1 * X2 with zero-mean inputs: first orders ~0, totals ~1 each."""
+        result = sobol_indices(lambda x: x[0] * x[1],
+                               [Normal(0, 1), Normal(0, 1)], n=4000, rng=rng)
+        assert result.first_order[0] < 0.15
+        assert result.total_order[0] > 0.7
+        assert result.interaction_share(0) > 0.5
+
+    def test_irrelevant_input_zero(self, rng):
+        result = sobol_indices(lambda x: x[0],
+                               [Uniform(0, 1), Uniform(0, 1)], n=3000, rng=rng)
+        assert result.first_order[1] < 0.05
+        assert result.total_order[1] < 0.05
+
+    def test_ranking(self, rng):
+        result = sobol_indices(lambda x: 0.1 * x[0] + 3.0 * x[1],
+                               [Uniform(0, 1), Uniform(0, 1)], n=2000, rng=rng)
+        assert result.ranking()[0] == 1
+
+    def test_constant_model(self, rng):
+        result = sobol_indices(lambda x: 7.0,
+                               [Uniform(0, 1)], n=500, rng=rng)
+        assert result.output_variance == 0.0
+        assert result.first_order == [0.0]
+
+    def test_validation(self, rng):
+        with pytest.raises(DistributionError):
+            sobol_indices(lambda x: x[0], [], n=100, rng=rng)
+        with pytest.raises(DistributionError):
+            sobol_indices(lambda x: x[0], [Uniform(0, 1)], n=4, rng=rng)
+
+    def test_evaluation_count(self, rng):
+        result = sobol_indices(lambda x: x[0] + x[1],
+                               [Uniform(0, 1), Uniform(0, 1)], n=128, rng=rng)
+        assert result.n_evaluations == 128 * 4  # n * (d + 2)
+
+
+class TestPriority:
+    def test_priority_rows_sorted(self, rng):
+        result = sobol_indices(lambda x: 5 * x[0] + x[1],
+                               [Uniform(0, 1), Uniform(0, 1)], n=2000, rng=rng)
+        rows = variance_reduction_priority(result, ["dominant", "minor"])
+        assert rows[0]["input"] == "dominant"
+        assert rows[0]["total_order"] >= rows[1]["total_order"]
+
+    def test_name_count_validated(self, rng):
+        result = sobol_indices(lambda x: x[0], [Uniform(0, 1)], n=200, rng=rng)
+        with pytest.raises(DistributionError):
+            variance_reduction_priority(result, ["a", "b"])

@@ -1,0 +1,180 @@
+"""Cross-module property tests: the algebraic invariants of the engines.
+
+Hypothesis-driven checks of laws that every refactor must preserve:
+factor-algebra identities, cut-set monotonicity, DS combination
+neutrality, DTMC probability conservation, fuzzy gate monotonicity, and
+the consistency between interval arithmetic and its scalar special case.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayesnet.factor import Factor
+from repro.bayesnet.variable import Variable
+from repro.evidence.combination import combine_dempster, combine_yager
+from repro.evidence.mass_function import FrameOfDiscernment, MassFunction
+from repro.probability.fuzzy import TriangularFuzzyNumber, fuzzy_and, fuzzy_or
+from repro.probability.intervals import IntervalProbability
+from repro.verification.dtmc import DTMC
+
+A = Variable("A", ["a0", "a1"])
+B = Variable("B", ["b0", "b1", "b2"])
+C = Variable("C", ["c0", "c1"])
+
+positive_tables = st.lists(st.floats(min_value=0.01, max_value=10.0),
+                           min_size=6, max_size=6)
+
+
+class TestFactorAlgebraLaws:
+    @given(positive_tables, positive_tables)
+    @settings(max_examples=60, deadline=None)
+    def test_product_then_marginalize_order_free(self, t1, t2):
+        """sum_B (phi1 * phi2) computed in any association order agrees."""
+        f1 = Factor([A, B], np.array(t1).reshape(2, 3))
+        f2 = Factor([B, C], np.array(t2).reshape(3, 2))
+        left = f1.multiply(f2).marginalize(["B"])
+        right = f2.multiply(f1).marginalize(["B"])
+        for key, v in left.as_dict().items():
+            assignment = dict(zip(left.names, key))
+            assert right.prob(assignment) == pytest.approx(v, rel=1e-9)
+
+    @given(positive_tables)
+    @settings(max_examples=60, deadline=None)
+    def test_marginalization_commutes(self, t):
+        f = Factor([A, B], np.array(t).reshape(2, 3))
+        ab = f.marginalize(["A"]).marginalize(["B"])
+        ba = f.marginalize(["B"]).marginalize(["A"])
+        assert ab.partition() == pytest.approx(ba.partition(), rel=1e-12)
+
+    @given(positive_tables)
+    @settings(max_examples=60, deadline=None)
+    def test_reduce_is_slice_of_product(self, t):
+        """phi reduced at B=b equals phi * indicator(B=b), marginalized."""
+        f = Factor([A, B], np.array(t).reshape(2, 3))
+        direct = f.reduce({"B": "b1"})
+        via_indicator = f.multiply(
+            Factor.indicator(B, "b1")).marginalize(["B"])
+        assert np.allclose(direct.table, via_indicator.table)
+
+
+class TestEvidenceLaws:
+    frames = FrameOfDiscernment(["x", "y", "z"])
+
+    @st.composite
+    @staticmethod
+    def masses(draw):
+        frame = TestEvidenceLaws.frames
+        subsets = [("x",), ("y",), ("z",), ("x", "y"), ("x", "y", "z")]
+        ws = draw(st.lists(st.floats(min_value=0.01, max_value=1.0),
+                           min_size=5, max_size=5))
+        total = sum(ws)
+        return MassFunction(frame, dict(zip(subsets,
+                                            [w / total for w in ws])))
+
+    @given(masses())
+    @settings(max_examples=50, deadline=None)
+    def test_vacuous_neutral_for_dempster(self, m):
+        assert combine_dempster(m, MassFunction.vacuous(self.frames)) == m
+
+    @given(masses(), masses())
+    @settings(max_examples=50, deadline=None)
+    def test_combination_preserves_normalization(self, m1, m2):
+        for rule in (combine_dempster, combine_yager):
+            combined = rule(m1, m2)
+            total = sum(mass for _, mass in combined.items())
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    @given(masses(), masses())
+    @settings(max_examples=50, deadline=None)
+    def test_dempster_commutative(self, m1, m2):
+        assert combine_dempster(m1, m2) == combine_dempster(m2, m1)
+
+
+class TestDTMCLaws:
+    @given(st.floats(min_value=0.05, max_value=0.95),
+           st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_reachability_partition(self, p, q):
+        """With two absorbing states, reach probabilities sum to 1."""
+        chain = DTMC(["s", "good", "bad"],
+                     {"s": {"good": p * (1 - q), "bad": (1 - p) * (1 - q),
+                            "s": q}})
+        to_good = chain.reachability(["good"])["s"]
+        to_bad = chain.reachability(["bad"])["s"]
+        assert to_good + to_bad == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_below_unbounded(self, p):
+        chain = DTMC(["s", "t", "goal"],
+                     {"s": {"t": p, "s": 1 - p}, "t": {"goal": p, "s": 1 - p}})
+        unbounded = chain.reachability(["goal"])["s"]
+        for k in (1, 5, 25):
+            bounded = chain.bounded_reachability(["goal"], k)["s"]
+            assert bounded <= unbounded + 1e-12
+
+
+class TestFuzzyGateLaws:
+    fuzzy_probs = st.tuples(
+        st.floats(min_value=0.0, max_value=0.3),
+        st.floats(min_value=0.3, max_value=0.6),
+        st.floats(min_value=0.6, max_value=0.9),
+    ).map(lambda t: TriangularFuzzyNumber(*t))
+
+    @given(fuzzy_probs, fuzzy_probs)
+    @settings(max_examples=50, deadline=None)
+    def test_and_below_or(self, p1, p2):
+        """Pointwise: AND probability cuts lie below OR probability cuts."""
+        and_result = fuzzy_and([p1, p2])
+        or_result = fuzzy_or([p1, p2])
+        assert np.all(and_result.uppers <= or_result.uppers + 1e-9)
+        assert np.all(and_result.lowers <= or_result.lowers + 1e-9)
+
+    @given(fuzzy_probs, fuzzy_probs)
+    @settings(max_examples=50, deadline=None)
+    def test_gates_stay_in_unit_interval(self, p1, p2):
+        for result in (fuzzy_and([p1, p2]), fuzzy_or([p1, p2])):
+            lo, hi = result.support
+            assert -1e-9 <= lo <= hi <= 1.0 + 1e-9
+
+    @given(fuzzy_probs, fuzzy_probs)
+    @settings(max_examples=50, deadline=None)
+    def test_crisp_core_matches_scalar_arithmetic(self, p1, p2):
+        """The core of the fuzzy result equals crisp gate arithmetic on
+        the cores (alpha=1 cut is exact)."""
+        c1, c2 = p1.core[0], p2.core[0]
+        and_core = fuzzy_and([p1, p2]).core[0]
+        or_core = fuzzy_or([p1, p2]).core[0]
+        assert and_core == pytest.approx(c1 * c2, abs=1e-9)
+        assert or_core == pytest.approx(1 - (1 - c1) * (1 - c2), abs=1e-9)
+
+
+class TestIntervalScalarConsistency:
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_precise_intervals_reduce_to_scalar_rules(self, p, q):
+        a = IntervalProbability.precise(p)
+        b = IntervalProbability.precise(q)
+        assert a.and_independent(b).midpoint == pytest.approx(p * q)
+        assert a.or_independent(b).midpoint == pytest.approx(p + q - p * q)
+        assert a.complement().midpoint == pytest.approx(1 - p)
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=0.2))
+    @settings(max_examples=60, deadline=None)
+    def test_widening_monotone(self, p, q, eps):
+        """Wider inputs never give narrower outputs (and-independent)."""
+        a = IntervalProbability.precise(p)
+        a_wide = IntervalProbability(max(0.0, p - eps), min(1.0, p + eps))
+        b = IntervalProbability.precise(q)
+        narrow = a.and_independent(b)
+        wide = a_wide.and_independent(b)
+        assert wide.width >= narrow.width - 1e-12
+        assert wide.lower <= narrow.lower + 1e-12
+        assert wide.upper >= narrow.upper - 1e-12

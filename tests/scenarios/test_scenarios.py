@@ -1,0 +1,188 @@
+"""Tests for scenario spaces, coverage, and falsification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.scenarios.falsification import (
+    Falsifier,
+    default_perception_space,
+    perception_hazard_objective,
+)
+from repro.scenarios.space import (
+    CategoricalParameter,
+    ContinuousParameter,
+    CoverageTracker,
+    ScenarioSpace,
+)
+
+
+def small_space():
+    return ScenarioSpace([
+        ContinuousParameter("x", 0.0, 10.0),
+        CategoricalParameter("mode", ("a", "b")),
+    ])
+
+
+class TestParameters:
+    def test_continuous_roundtrip(self):
+        p = ContinuousParameter("d", 5.0, 100.0)
+        for u in (0.0, 0.3, 1.0):
+            assert p.to_unit(p.from_unit(u)) == pytest.approx(u)
+
+    def test_categorical_mapping(self):
+        p = CategoricalParameter("w", ("dry", "wet", "snow"))
+        assert p.from_unit(0.0) == "dry"
+        assert p.from_unit(0.5) == "wet"
+        assert p.from_unit(0.999) == "snow"
+        assert p.from_unit(1.0) == "snow"
+
+    def test_categorical_unknown_choice(self):
+        p = CategoricalParameter("w", ("dry", "wet"))
+        with pytest.raises(SimulationError):
+            p.to_unit("lava")
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ContinuousParameter("x", 1.0, 1.0)
+        with pytest.raises(SimulationError):
+            CategoricalParameter("m", ("only",))
+
+
+class TestSpace:
+    def test_decode_encode_roundtrip(self, rng):
+        space = small_space()
+        for _ in range(20):
+            unit = rng.random(space.dim)
+            scenario = space.decode(unit)
+            back = space.encode(scenario)
+            # Continuous axis roundtrips exactly; categorical to bin center.
+            assert back[0] == pytest.approx(unit[0])
+            assert space.decode(back)["mode"] == scenario["mode"]
+
+    def test_sample_within_bounds(self, rng):
+        space = small_space()
+        for scenario in space.sample(rng, 50):
+            assert 0.0 <= scenario["x"] <= 10.0
+            assert scenario["mode"] in ("a", "b")
+
+    def test_halton_deterministic(self):
+        space = small_space()
+        assert space.halton_sample(5) == space.halton_sample(5)
+
+    def test_missing_parameter_on_encode(self):
+        with pytest.raises(SimulationError):
+            small_space().encode({"x": 1.0})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SimulationError):
+            ScenarioSpace([ContinuousParameter("x", 0, 1),
+                           ContinuousParameter("x", 0, 2)])
+
+
+class TestCoverage:
+    def test_cell_counting(self):
+        space = small_space()
+        tracker = CoverageTracker(space, cells_per_axis=4)
+        assert tracker.n_cells == 4 * 2  # categorical capped at #choices
+        assert tracker.coverage() == 0.0
+
+    def test_coverage_grows_then_saturates(self, rng):
+        space = small_space()
+        tracker = CoverageTracker(space, cells_per_axis=4)
+        for scenario in space.sample(rng, 300):
+            tracker.record(scenario)
+        assert tracker.coverage() == 1.0
+
+    def test_unvisited_cells_listed(self):
+        space = small_space()
+        tracker = CoverageTracker(space, cells_per_axis=4)
+        tracker.record({"x": 0.1, "mode": "a"})
+        unvisited = tracker.unvisited_example_cells(limit=3)
+        assert len(unvisited) == 3
+        assert tracker._cell_of({"x": 0.1, "mode": "a"}) not in unvisited
+
+    def test_halton_covers_faster_than_random(self):
+        """Low-discrepancy sweeps cover cells with fewer scenarios."""
+        space = ScenarioSpace([ContinuousParameter("a", 0, 1),
+                               ContinuousParameter("b", 0, 1)])
+        n = 40
+        halton_tracker = CoverageTracker(space, cells_per_axis=6)
+        for s in space.halton_sample(n):
+            halton_tracker.record(s)
+        random_coverages = []
+        for seed in range(5):
+            tracker = CoverageTracker(space, cells_per_axis=6)
+            for s in space.sample(np.random.default_rng(seed), n):
+                tracker.record(s)
+            random_coverages.append(tracker.coverage())
+        assert halton_tracker.coverage() >= np.mean(random_coverages)
+
+
+class TestFalsification:
+    @staticmethod
+    def peaky_objective(scenario):
+        """Deterministic objective peaking at x=8, mode=b."""
+        x = scenario["x"]
+        bonus = 0.3 if scenario["mode"] == "b" else 0.0
+        return float(np.exp(-((x - 8.0) ** 2) / 2.0)) + bonus
+
+    def test_random_search_finds_positive_score(self, rng):
+        falsifier = Falsifier(small_space(), self.peaky_objective)
+        result = falsifier.random_search(rng, 100)
+        assert result.best_score > 0.3
+        assert result.n_evaluations == 100
+        assert result.coverage is not None
+
+    def test_local_beats_pure_sweep_on_peaky_objective(self, rng):
+        falsifier = Falsifier(small_space(), self.peaky_objective)
+        sweep = falsifier.halton_sweep(30)
+        local = falsifier.local_search(rng, n_sweep=15, n_local=15)
+        assert local.best_score >= sweep.best_score - 0.05
+        assert abs(local.best_scenario["x"] - 8.0) < 2.5
+
+    def test_top_k_sorted(self, rng):
+        falsifier = Falsifier(small_space(), self.peaky_objective)
+        result = falsifier.random_search(rng, 50)
+        top = result.top(5)
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_compare_strategies_budget(self, rng):
+        falsifier = Falsifier(small_space(), self.peaky_objective)
+        results = falsifier.compare_strategies(rng, budget=30)
+        assert set(results) == {"random", "halton", "local"}
+        for r in results.values():
+            assert r.n_evaluations == 30
+
+    def test_validation(self, rng):
+        falsifier = Falsifier(small_space(), self.peaky_objective)
+        with pytest.raises(SimulationError):
+            falsifier.random_search(rng, 0)
+        with pytest.raises(SimulationError):
+            falsifier.local_search(rng, n_sweep=0, n_local=5)
+        with pytest.raises(SimulationError):
+            falsifier.compare_strategies(rng, budget=5)
+
+
+class TestPerceptionFalsification:
+    def test_finds_hard_scenarios(self, rng):
+        """The falsifier must find scenarios far worse than average."""
+        space = default_perception_space()
+        objective = perception_hazard_objective(n_repeats=20)
+        falsifier = Falsifier(space, objective)
+        result = falsifier.local_search(rng, n_sweep=25, n_local=15)
+        scores = [s for _, s in result.history]
+        assert result.best_score > np.mean(scores) + np.std(scores)
+        assert result.best_score > 0.5
+
+    def test_hard_scenarios_make_physical_sense(self, rng):
+        """Worst cases should be far/occluded/adverse, not near/clear."""
+        space = default_perception_space()
+        objective = perception_hazard_objective(n_repeats=20)
+        falsifier = Falsifier(space, objective)
+        result = falsifier.halton_sweep(60)
+        worst = result.top(5)
+        mean_distance = np.mean([s["distance"] for s, _ in worst])
+        mean_occlusion = np.mean([s["occlusion"] for s, _ in worst])
+        assert mean_distance > 40.0 or mean_occlusion > 0.4

@@ -1,0 +1,47 @@
+"""Tests for the CLI entry point."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import COMMANDS, main
+
+
+class TestCLI:
+    @pytest.mark.parametrize("command", ["fig4", "table1", "strategy",
+                                         "matrix", "experiments"])
+    def test_commands_run(self, command, capsys):
+        assert main([command]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_fig4_headline_number(self, capsys):
+        main(["fig4"])
+        out = capsys.readouterr().out
+        assert "0.6576" in out
+
+    def test_table1_defect_documented(self, capsys):
+        main(["table1"])
+        out = capsys.readouterr().out
+        assert "0.9" in out
+        assert "defect" in out
+
+    def test_matrix_shows_gap(self, capsys):
+        main(["matrix"])
+        out = capsys.readouterr().out
+        assert "GAP" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])
+
+    def test_module_invocation(self):
+        result = subprocess.run([sys.executable, "-m", "repro", "fig4"],
+                                capture_output=True, text=True)
+        assert result.returncode == 0
+        assert "Fig. 4" in result.stdout
+
+    def test_all_commands_registered(self):
+        assert set(COMMANDS) == {"fig4", "table1", "strategy", "matrix",
+                                 "dossier", "experiments"}

@@ -1,0 +1,196 @@
+"""Failure-injection and edge-case battery across modules.
+
+Deliberately exercises the error paths and awkward corners: impossible
+evidence in every inference method, degenerate structures, boundary
+parameters, and API misuse.  These are the tests that keep error messages
+honest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.inference.junction_tree import JunctionTree
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.variable import Variable, boolean_variable
+from repro.errors import (
+    EvidenceError,
+    FaultTreeError,
+    GraphError,
+    InferenceError,
+    ModelError,
+    SimulationError,
+    StrategyError,
+)
+from repro.evidence.mass_function import FrameOfDiscernment, MassFunction
+from repro.faulttree.tree import BasicEvent, FaultTree, and_gate, or_gate
+from repro.means.removal import FieldObservationMonitor
+from repro.perception.chain import PerceptionChain
+from repro.perception.world import WorldModel
+from repro.probability.distributions import Categorical
+
+
+def deterministic_network():
+    """A network with a hard-zero path: b is true iff a is true."""
+    a = boolean_variable("a")
+    b = boolean_variable("b")
+    bn = BayesianNetwork("det")
+    bn.add_cpt(CPT.prior(a, {"true": 0.5, "false": 0.5}))
+    bn.add_cpt(CPT.from_dict(b, [a], {
+        ("true",): {"true": 1.0, "false": 0.0},
+        ("false",): {"true": 0.0, "false": 1.0}}))
+    return bn
+
+
+class TestImpossibleEvidence:
+    """Evidence with probability 0 must fail loudly in every method."""
+
+    def test_exact(self):
+        bn = deterministic_network()
+        with pytest.raises(InferenceError):
+            bn.query("a", {"a": "true", "b": "false"})
+
+    def test_junction_tree(self):
+        bn = deterministic_network()
+        with pytest.raises(InferenceError):
+            bn.query("a", {"a": "true", "b": "false"}, method="junction_tree")
+
+    def test_likelihood_weighting(self, rng):
+        bn = deterministic_network()
+        with pytest.raises(InferenceError):
+            bn.query("a", {"a": "true", "b": "false"},
+                     method="likelihood_weighting", rng=rng, n_samples=500)
+
+    def test_rejection(self, rng):
+        bn = deterministic_network()
+        with pytest.raises(InferenceError):
+            bn.query("a", {"a": "true", "b": "false"},
+                     method="rejection", rng=rng, n_samples=500)
+
+    def test_query_equals_evidence_variable(self):
+        bn = deterministic_network()
+        with pytest.raises(InferenceError):
+            bn.query("a", {"a": "true"})
+
+
+class TestDeterministicStructures:
+    def test_hard_zeros_exact_inference_fine(self):
+        bn = deterministic_network()
+        post = bn.query("a", {"b": "true"})
+        assert post == {"false": 0.0, "true": 1.0}
+
+    def test_gibbs_blocked_by_determinism(self, rng):
+        """Gibbs cannot mix across hard zeros; it must refuse, not hang."""
+        bn = deterministic_network()
+        # Conditional for 'a' given b fixed is deterministic but non-zero;
+        # this specific network still works — build a truly blocking one.
+        a = boolean_variable("a")
+        b = boolean_variable("b")
+        c = boolean_variable("c")
+        blocked = BayesianNetwork("blocked")
+        blocked.add_cpt(CPT.prior(a, {"true": 0.5, "false": 0.5}))
+        blocked.add_cpt(CPT.from_dict(b, [a], {
+            ("true",): {"true": 1.0, "false": 0.0},
+            ("false",): {"true": 0.0, "false": 1.0}}))
+        blocked.add_cpt(CPT.from_dict(c, [a, b], {
+            ("true", "true"): {"true": 1.0, "false": 0.0},
+            ("true", "false"): {"true": 0.0, "false": 1.0},
+            ("false", "true"): {"true": 0.0, "false": 1.0},
+            ("false", "false"): {"true": 1.0, "false": 0.0}}))
+        # Either it answers correctly or raises the documented error —
+        # silent wrong answers are the only failure mode we forbid.
+        try:
+            post = blocked.query("a", {"c": "true"}, method="gibbs",
+                                 rng=rng, n_samples=500)
+            exact = blocked.query("a", {"c": "true"})
+            assert post["true"] == pytest.approx(exact["true"], abs=0.1)
+        except InferenceError:
+            pass
+
+    def test_junction_tree_disconnected_components(self):
+        """Two independent variables: JT must either handle or refuse."""
+        a = boolean_variable("a")
+        b = boolean_variable("b")
+        bn = BayesianNetwork("disc")
+        bn.add_cpt(CPT.prior(a, {"true": 0.3, "false": 0.7}))
+        bn.add_cpt(CPT.prior(b, {"true": 0.6, "false": 0.4}))
+        try:
+            marg = bn.query("a", method="junction_tree")
+            assert marg["true"] == pytest.approx(0.3)
+        except InferenceError as exc:
+            assert "disconnected" in str(exc)
+
+
+class TestBoundaryParameters:
+    def test_categorical_single_outcome_rejected_by_variable(self):
+        with pytest.raises(GraphError):
+            Variable("x", ["only"])
+
+    def test_mass_function_tiny_masses_normalized(self):
+        frame = FrameOfDiscernment(["a", "b"])
+        m = MassFunction(frame, {("a",): 1.0 - 1e-12, ("b",): 1e-12})
+        assert m.belief(["a"]) == pytest.approx(1.0, abs=1e-9)
+
+    def test_fault_tree_probability_extremes(self):
+        certain = BasicEvent("c", 1.0)
+        never = BasicEvent("n", 0.0)
+        tree = FaultTree(or_gate("top", [and_gate("g", [certain, never])]))
+        from repro.faulttree.quantify import top_event_probability
+        assert top_event_probability(tree) == 0.0
+
+    def test_world_model_no_unknowns(self, rng):
+        world = WorldModel(p_car=0.7, p_pedestrian=0.3, p_unknown=0.0)
+        labels = {world.sample_object(rng).label for _ in range(200)}
+        assert "unknown" not in labels
+
+    def test_perception_chain_extreme_objects(self, rng):
+        from repro.perception.world import ObjectInstance
+        chain = PerceptionChain()
+        nearly_invisible = ObjectInstance(
+            true_class="car", label="car", distance=99.9, occlusion=0.95,
+            night=True, rain=True)
+        outputs = {chain.perceive(nearly_invisible, rng) for _ in range(50)}
+        assert "none" in outputs  # mostly undetectable
+
+
+class TestMonitorSnapshots:
+    def test_epistemic_alarm_visible_in_snapshot(self, rng):
+        """Drifted world: the monitor's snapshot must surface the alarm."""
+        believed = Categorical({"car": 0.95, "pedestrian": 0.05})
+        monitor = FieldObservationMonitor(believed,
+                                          epistemic_threshold_nats=0.3,
+                                          window=50)
+        drifted = Categorical({"car": 0.05, "pedestrian": 0.95})
+        alarms = 0
+        for label in drifted.sample_outcomes(rng, 400):
+            monitor.observe(label, label)
+            alarms += monitor.snapshot().epistemic_alarm
+        assert alarms > 0
+
+    def test_snapshot_counts_consistent(self, rng):
+        world = WorldModel()
+        monitor = FieldObservationMonitor(world.label_prior())
+        n = 300
+        for _ in range(n):
+            obj = world.sample_object(rng)
+            monitor.observe(obj.label, obj.true_class)
+        snap = monitor.snapshot()
+        assert snap.n_encounters == n
+        assert 0.0 <= snap.ontological_event_rate <= 1.0
+        assert snap.ontological_events == 0  # labels are inside the prior
+
+
+class TestErrorHierarchy:
+    def test_all_framework_errors_share_base(self):
+        from repro.errors import ReproError
+        for exc in (EvidenceError, FaultTreeError, GraphError,
+                    InferenceError, ModelError, SimulationError,
+                    StrategyError):
+            assert issubclass(exc, ReproError)
+
+    def test_catching_base_catches_subsystem_errors(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            Variable("x", ["only"])
+        with pytest.raises(ReproError):
+            BasicEvent("e", 2.0)

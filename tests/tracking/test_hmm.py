@@ -1,0 +1,141 @@
+"""Tests for the HMM mode estimator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.tracking.hmm import HiddenMarkovModel, degradation_hmm
+
+
+def fair_biased_coin():
+    """The classic dishonest-casino HMM."""
+    return HiddenMarkovModel(
+        states=["fair", "biased"],
+        symbols=["h", "t"],
+        transition={"fair": {"fair": 0.9, "biased": 0.1},
+                    "biased": {"fair": 0.1, "biased": 0.9}},
+        emission={"fair": {"h": 0.5, "t": 0.5},
+                  "biased": {"h": 0.9, "t": 0.1}},
+        initial={"fair": 1.0})
+
+
+class TestConstruction:
+    def test_rows_must_normalize(self):
+        with pytest.raises(ModelError):
+            HiddenMarkovModel(["a"], ["x"], {"a": {"a": 0.5}},
+                              {"a": {"x": 1.0}}, {"a": 1.0})
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ModelError):
+            HiddenMarkovModel(["a"], ["x"], {"zz": {"a": 1.0}},
+                              {"a": {"x": 1.0}}, {"a": 1.0})
+
+    def test_ontological_observation_rejected(self):
+        hmm = fair_biased_coin()
+        with pytest.raises(ModelError, match="ontological"):
+            hmm.filter(["h", "weird_symbol"])
+
+
+class TestFiltering:
+    def test_belief_normalized(self):
+        hmm = fair_biased_coin()
+        beliefs, _ = hmm.filter(["h", "h", "h", "t"])
+        for b in beliefs:
+            assert sum(b.values()) == pytest.approx(1.0)
+
+    def test_heads_run_indicates_bias(self):
+        hmm = fair_biased_coin()
+        beliefs, _ = hmm.filter(["h"] * 10)
+        assert beliefs[-1]["biased"] > 0.8
+
+    def test_tails_pull_back_to_fair(self):
+        hmm = fair_biased_coin()
+        beliefs, _ = hmm.filter(["h"] * 10 + ["t"] * 10)
+        assert beliefs[-1]["fair"] > 0.8
+
+    def test_likelihood_prefers_true_model(self, rng):
+        true_model = fair_biased_coin()
+        _, observations = true_model.sample(rng, 400)
+        wrong = HiddenMarkovModel(
+            states=["fair", "biased"], symbols=["h", "t"],
+            transition={"fair": {"fair": 0.5, "biased": 0.5},
+                        "biased": {"fair": 0.5, "biased": 0.5}},
+            emission={"fair": {"h": 0.5, "t": 0.5},
+                      "biased": {"h": 0.6, "t": 0.4}},
+            initial={"fair": 1.0})
+        assert (true_model.log_likelihood(observations) >
+                wrong.log_likelihood(observations))
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ModelError):
+            fair_biased_coin().filter([])
+
+
+class TestSmoothingViterbi:
+    def test_smoothing_normalized_and_uses_future(self):
+        hmm = fair_biased_coin()
+        obs = ["t", "h", "h", "h", "h", "h", "t", "t"]
+        filtered, _ = hmm.filter(obs)
+        smoothed = hmm.smooth(obs)
+        for b in smoothed:
+            assert sum(b.values()) == pytest.approx(1.0)
+        # Mid-sequence the smoother should be at least as confident about
+        # the biased stretch as the filter (it also sees the future heads).
+        assert smoothed[2]["biased"] >= filtered[2]["biased"] - 0.05
+
+    def test_viterbi_recovers_planted_switch(self):
+        hmm = fair_biased_coin()
+        obs = ["t", "h", "t", "t"] + ["h"] * 12 + ["t", "t", "h", "t"]
+        path = hmm.most_likely_path(obs)
+        assert path[0] == "fair"
+        assert path[8] == "biased"
+        assert path[-1] == "fair"
+
+    def test_viterbi_path_length(self):
+        hmm = fair_biased_coin()
+        obs = ["h", "t", "h"]
+        assert len(hmm.most_likely_path(obs)) == 3
+
+    def test_viterbi_agreement_with_filter_on_easy_data(self):
+        hmm = fair_biased_coin()
+        obs = ["h"] * 15
+        path = hmm.most_likely_path(obs)
+        beliefs, _ = hmm.filter(obs)
+        assert path[-1] == max(beliefs[-1], key=lambda s: beliefs[-1][s])
+
+
+class TestDegradationModel:
+    def test_nominal_stays_nominal_without_symptoms(self):
+        hmm = degradation_hmm()
+        beliefs, _ = hmm.filter(["ok"] * 50)
+        assert beliefs[-1]["nominal"] > 0.9
+
+    def test_symptom_burst_raises_degraded_belief(self):
+        hmm = degradation_hmm()
+        beliefs, _ = hmm.filter(["ok"] * 20 + ["symptom"] * 5)
+        assert (beliefs[-1]["degraded"] + beliefs[-1]["faulty"] >
+                beliefs[19]["degraded"] + beliefs[19]["faulty"])
+        assert beliefs[-1]["nominal"] < 0.5
+
+    def test_faulty_absorbing(self):
+        hmm = degradation_hmm()
+        beliefs, _ = hmm.filter(["symptom"] * 60)
+        assert beliefs[-1]["faulty"] > 0.9
+
+    def test_mode_estimation_accuracy(self, rng):
+        """On sampled traces, smoothed MAP mode matches truth mostly."""
+        hmm = degradation_hmm(p_degrade=0.05, p_fail=0.1, p_repair=0.05)
+        correct = total = 0
+        for _ in range(20):
+            truth, obs = hmm.sample(rng, 60)
+            smoothed = hmm.smooth(obs)
+            for t, b in zip(truth, smoothed):
+                correct += (max(b, key=lambda s: b[s]) == t)
+                total += 1
+        assert correct / total > 0.7
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            degradation_hmm(symptom_rates={"nominal": 2.0,
+                                           "degraded": 0.5,
+                                           "faulty": 0.9})

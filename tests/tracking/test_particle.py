@@ -1,0 +1,128 @@
+"""Tests for the particle filter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.tracking.kalman import KalmanFilter
+from repro.tracking.particle import (
+    ParticleFilter,
+    gaussian_likelihood,
+    random_walk_transition,
+)
+
+
+def make_pf(rng, n=2000, process_std=0.1, noise_std=0.2):
+    particles = rng.normal(0.0, 2.0, size=(n, 1))
+    return ParticleFilter(
+        transition=random_walk_transition(process_std),
+        likelihood=gaussian_likelihood(lambda p: p[:, 0], noise_std),
+        initial_particles=particles)
+
+
+class TestBasics:
+    def test_construction_validation(self, rng):
+        with pytest.raises(ModelError):
+            ParticleFilter(random_walk_transition(0.1),
+                           gaussian_likelihood(lambda p: p[:, 0], 0.1),
+                           np.zeros((1, 1)))
+        with pytest.raises(ModelError):
+            make_pf(rng).resample_threshold  # fine
+            ParticleFilter(random_walk_transition(0.1),
+                           gaussian_likelihood(lambda p: p[:, 0], 0.1),
+                           np.zeros((10, 1)), resample_threshold=0.0)
+
+    def test_factory_validation(self):
+        with pytest.raises(ModelError):
+            gaussian_likelihood(lambda p: p, 0.0)
+        with pytest.raises(ModelError):
+            random_walk_transition(-1.0)
+
+    def test_initial_moments(self, rng):
+        pf = make_pf(rng)
+        assert abs(float(pf.mean()[0])) < 0.2
+        assert pf.effective_sample_size() == pytest.approx(pf.n_particles)
+
+
+class TestTracking:
+    def simulate(self, rng, n_steps, process_std=0.1, noise_std=0.2):
+        x = 0.0
+        truth, measurements = [], []
+        for _ in range(n_steps):
+            x += rng.normal(0.0, process_std)
+            truth.append(x)
+            measurements.append(np.array([x + rng.normal(0.0, noise_std)]))
+        return np.array(truth), measurements
+
+    def test_tracks_random_walk(self, rng):
+        truth, measurements = self.simulate(rng, 100)
+        pf = make_pf(rng)
+        means, _ = pf.run(measurements, rng)
+        errors = np.abs(np.array([m[0] for m in means]) - truth)
+        assert errors[-1] < 0.5
+        assert errors[20:].mean() < 0.25
+
+    def test_belief_contracts_from_diffuse_prior(self, rng):
+        truth, measurements = self.simulate(rng, 50)
+        pf = make_pf(rng)
+        before = pf.epistemic_trace()
+        pf.run(measurements, rng)
+        assert pf.epistemic_trace() < before / 5.0
+
+    def test_resampling_triggers(self, rng):
+        truth, measurements = self.simulate(rng, 80)
+        pf = make_pf(rng, n=500)
+        pf.run(measurements, rng)
+        assert pf.n_resamples > 0
+
+    def test_matches_kalman_on_linear_problem(self, rng):
+        """On a linear-Gaussian problem the PF approximates the KF."""
+        process_std, noise_std = 0.1, 0.2
+        truth, measurements = self.simulate(rng, 80, process_std, noise_std)
+        pf = make_pf(rng, n=5000, process_std=process_std,
+                     noise_std=noise_std)
+        kf = KalmanFilter(
+            transition=np.array([[1.0]]), observation=np.array([[1.0]]),
+            process_noise=np.array([[process_std ** 2]]),
+            measurement_noise=np.array([[noise_std ** 2]]),
+            initial_state=np.zeros(1),
+            initial_covariance=np.array([[4.0]]))
+        pf_means, _ = pf.run(measurements, rng)
+        kf_means = [kf.step(z).state[0] for z in measurements]
+        gap = np.abs(np.array([m[0] for m in pf_means]) - np.array(kf_means))
+        assert gap[10:].mean() < 0.05
+
+    def test_nonlinear_measurement(self, rng):
+        """Quadratic measurement z = x^2: bimodal belief, PF handles it."""
+        x_true = 1.5
+        particles = rng.normal(0.0, 3.0, size=(5000, 1))
+        pf = ParticleFilter(
+            transition=random_walk_transition(0.01),
+            likelihood=gaussian_likelihood(lambda p: p[:, 0] ** 2, 0.3),
+            initial_particles=particles)
+        for _ in range(15):
+            z = np.array([x_true ** 2 + rng.normal(0.0, 0.3)])
+            pf.step(z, rng)
+        # Belief concentrates near |x| = 1.5 (possibly both signs).
+        abs_mean = float(np.sum(pf.weights * np.abs(pf.particles[:, 0])))
+        assert abs_mean == pytest.approx(1.5, abs=0.3)
+
+    def test_impossible_measurement_raises(self, rng):
+        particles = np.zeros((100, 1))
+        pf = ParticleFilter(
+            transition=lambda p, r: p,  # frozen at 0
+            likelihood=lambda p, z: np.zeros(p.shape[0]),
+            initial_particles=particles)
+        with pytest.raises(ModelError):
+            pf.step(np.array([100.0]), rng)
+
+    def test_log_likelihood_prefers_true_noise_model(self, rng):
+        truth, measurements = self.simulate(rng, 60, noise_std=0.2)
+        lls = {}
+        for assumed in (0.05, 0.2, 1.0):
+            pf = make_pf(np.random.default_rng(1), n=3000,
+                         noise_std=assumed)
+            _, ll = pf.run(measurements, np.random.default_rng(2))
+            lls[assumed] = ll
+        assert lls[0.2] > lls[0.05]
+        assert lls[0.2] > lls[1.0]

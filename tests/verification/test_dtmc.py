@@ -1,0 +1,209 @@
+"""Tests for DTMC model checking (refs [9], [10])."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.probability.intervals import IntervalProbability
+from repro.verification.dtmc import DTMC, check_reachability
+from repro.verification.interval_dtmc import IntervalDTMC
+
+
+def gambler_chain(p=0.4, n=4):
+    """Gambler's ruin on {0..n}: win prob p, absorbing at 0 and n."""
+    states = [f"s{i}" for i in range(n + 1)]
+    transitions = {}
+    for i in range(1, n):
+        transitions[f"s{i}"] = {f"s{i + 1}": p, f"s{i - 1}": 1 - p}
+    return DTMC(states, transitions)
+
+
+def perception_cycle():
+    """perceive -> (ok | degraded | hazard) behavioral abstraction."""
+    return DTMC(
+        ["perceive", "ok", "degraded", "hazard"],
+        {
+            "perceive": {"ok": 0.93, "degraded": 0.06, "hazard": 0.01},
+            "ok": {"perceive": 1.0},
+            "degraded": {"perceive": 0.8, "hazard": 0.2},
+            # hazard absorbing by omission
+        })
+
+
+class TestConstruction:
+    def test_rows_must_normalize(self):
+        with pytest.raises(ModelError):
+            DTMC(["a", "b"], {"a": {"b": 0.5}})
+
+    def test_absorbing_by_omission(self):
+        chain = DTMC(["a", "b"], {"a": {"b": 1.0}})
+        assert chain.probability("b", "b") == 1.0
+
+    def test_unknown_states_rejected(self):
+        with pytest.raises(ModelError):
+            DTMC(["a"], {"a": {"zz": 1.0}})
+        with pytest.raises(ModelError):
+            DTMC(["a"], {"zz": {"a": 1.0}})
+
+    def test_duplicate_states(self):
+        with pytest.raises(ModelError):
+            DTMC(["a", "a"], {})
+
+    def test_successors(self):
+        chain = perception_cycle()
+        succ = chain.successors("degraded")
+        assert succ == {"perceive": pytest.approx(0.8),
+                        "hazard": pytest.approx(0.2)}
+
+
+class TestReachability:
+    def test_gamblers_ruin_closed_form(self):
+        """P(reach n before 0 | start i) = (1-r^i)/(1-r^n), r=(1-p)/p."""
+        p, n = 0.4, 4
+        chain = gambler_chain(p, n)
+        probs = chain.reachability(["s4"])
+        r = (1 - p) / p
+        for i in range(n + 1):
+            expected = (1 - r ** i) / (1 - r ** n)
+            assert probs[f"s{i}"] == pytest.approx(expected, abs=1e-10)
+
+    def test_unreachable_target_zero(self):
+        chain = DTMC(["a", "b", "c"], {"a": {"b": 1.0}})
+        probs = chain.reachability(["c"])
+        assert probs["a"] == 0.0
+
+    def test_target_state_one(self):
+        chain = perception_cycle()
+        assert chain.reachability(["hazard"])["hazard"] == 1.0
+
+    def test_hazard_eventually_certain_in_cycle(self):
+        """The cycle visits hazard with probability 1 (no other absorber)."""
+        probs = perception_cycle().reachability(["hazard"])
+        assert probs["perceive"] == pytest.approx(1.0)
+
+    def test_bounded_reachability_monotone_in_steps(self):
+        chain = perception_cycle()
+        values = [chain.bounded_reachability(["hazard"], k)["perceive"]
+                  for k in (0, 2, 10, 50)]
+        assert values[0] == 0.0
+        assert values == sorted(values)
+        assert values[-1] <= 1.0
+
+    def test_bounded_converges_to_unbounded(self):
+        chain = gambler_chain()
+        unbounded = chain.reachability(["s4"])["s2"]
+        bounded = chain.bounded_reachability(["s4"], 500)["s2"]
+        assert bounded == pytest.approx(unbounded, abs=1e-9)
+
+    def test_reachability_vs_simulation(self, rng):
+        chain = gambler_chain()
+        analytic = chain.reachability(["s4"])["s2"]
+        wins = 0
+        n_runs = 4000
+        for _ in range(n_runs):
+            path = chain.simulate(rng, "s2", 200)
+            wins += "s4" in path
+        assert wins / n_runs == pytest.approx(analytic, abs=0.02)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ModelError):
+            perception_cycle().reachability([])
+
+
+class TestHittingAndStationary:
+    def test_expected_steps_closed_form(self):
+        """Symmetric gambler (p=1/2): E[steps from i] = i(n-i)."""
+        chain = gambler_chain(0.5, 4)
+        steps = chain.expected_steps_to(["s0", "s4"])
+        for i in range(5):
+            assert steps[f"s{i}"] == pytest.approx(i * (4 - i), abs=1e-9)
+
+    def test_unreachable_infinite(self):
+        chain = DTMC(["a", "b", "c"], {"a": {"b": 1.0}})
+        assert chain.expected_steps_to(["c"])["a"] == float("inf")
+
+    def test_stationary_two_state(self):
+        chain = DTMC(["a", "b"], {"a": {"a": 0.7, "b": 0.3},
+                                  "b": {"a": 0.6, "b": 0.4}})
+        pi = chain.stationary_distribution()
+        assert pi["a"] == pytest.approx(2 / 3, abs=1e-9)
+        assert pi["b"] == pytest.approx(1 / 3, abs=1e-9)
+
+
+class TestPropertyChecking:
+    def test_threshold_satisfied(self):
+        chain = perception_cycle()
+        result = check_reachability(chain, "perceive", ["hazard"],
+                                    bound=0.2, steps=5)
+        assert result.satisfied == (result.probability <= 0.2)
+
+    def test_unbounded_violation(self):
+        chain = perception_cycle()
+        result = check_reachability(chain, "perceive", ["hazard"], bound=0.5)
+        assert not result.satisfied  # eventually certain
+
+    def test_invalid_bound(self):
+        with pytest.raises(ModelError):
+            check_reachability(perception_cycle(), "perceive", ["hazard"], 1.5)
+
+
+class TestIntervalDTMC:
+    def make_interval_cycle(self, width):
+        iv = IntervalProbability
+        return IntervalDTMC(
+            ["perceive", "ok", "hazard"],
+            {
+                "perceive": {
+                    "ok": iv(max(0.0, 0.98 - width), min(1.0, 0.98 + width)),
+                    "hazard": iv(max(0.0, 0.02 - width), min(1.0, 0.02 + width)),
+                },
+                "ok": {"perceive": iv.precise(1.0)},
+            })
+
+    def test_degenerate_intervals_match_dtmc(self):
+        idtmc = self.make_interval_cycle(0.0)
+        # In this chain hazard is eventually certain; both bounds say so.
+        bounds = idtmc.reachability_bounds(["hazard"])
+        assert bounds["perceive"].lower == pytest.approx(1.0, abs=1e-6)
+
+    def test_bounded_style_with_escape(self):
+        """A chain with a safe absorber: interval width shows in bounds."""
+        iv = IntervalProbability
+        idtmc = IntervalDTMC(
+            ["start", "safe", "hazard"],
+            {"start": {"safe": iv(0.7, 0.9), "hazard": iv(0.1, 0.3)}})
+        bounds = idtmc.reachability_bounds(["hazard"])
+        assert bounds["start"].lower == pytest.approx(0.1, abs=1e-9)
+        assert bounds["start"].upper == pytest.approx(0.3, abs=1e-9)
+
+    def test_verify_three_verdicts(self):
+        iv = IntervalProbability
+        idtmc = IntervalDTMC(
+            ["start", "safe", "hazard"],
+            {"start": {"safe": iv(0.7, 0.9), "hazard": iv(0.1, 0.3)}})
+        certainly, possibly, interval = idtmc.verify("start", ["hazard"], 0.5)
+        assert certainly and possibly
+        certainly, possibly, _ = idtmc.verify("start", ["hazard"], 0.2)
+        assert not certainly and possibly  # the epistemic undecided zone
+        certainly, possibly, _ = idtmc.verify("start", ["hazard"], 0.05)
+        assert not certainly and not possibly
+
+    def test_infeasible_intervals_rejected(self):
+        iv = IntervalProbability
+        with pytest.raises(ModelError):
+            IntervalDTMC(["a", "b"], {"a": {"b": iv(0.0, 0.4)}})
+
+    def test_interval_contains_every_instantiation(self):
+        """Sampled concrete DTMCs inside the intervals stay in the bounds."""
+        iv = IntervalProbability
+        idtmc = IntervalDTMC(
+            ["s", "safe", "hazard"],
+            {"s": {"safe": iv(0.6, 0.8), "hazard": iv(0.2, 0.4)}})
+        bounds = idtmc.reachability_bounds(["hazard"])["s"]
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            p_hazard = rng.uniform(0.2, 0.4)
+            chain = DTMC(["s", "safe", "hazard"],
+                         {"s": {"safe": 1.0 - p_hazard, "hazard": p_hazard}})
+            p = chain.reachability(["hazard"])["s"]
+            assert bounds.lower - 1e-9 <= p <= bounds.upper + 1e-9

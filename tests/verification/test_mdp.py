@@ -1,0 +1,116 @@
+"""Tests for the MDP solver and the fallback-policy synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.verification.mdp import MDP, fallback_policy_mdp
+
+
+def two_state_mdp(bad_cost=10.0):
+    """start: safe action (cost 1, stays) vs risky (cost 0, may end badly)."""
+    return MDP(
+        states=["start", "bad_end", "good_end"],
+        actions=["safe", "risky"],
+        transitions={
+            "start": {
+                "safe": {"good_end": 0.5, "start": 0.5},
+                "risky": {"good_end": 0.5, "bad_end": 0.5},
+            },
+        },
+        costs={"start": {"safe": 1.0, "risky": 0.5 * bad_cost}},
+    )
+
+
+class TestMDP:
+    def test_construction_validation(self):
+        with pytest.raises(ModelError):
+            MDP(["a"], [], {}, {})
+        with pytest.raises(ModelError):
+            MDP(["a"], ["x"], {"a": {"x": {"a": 0.5}}}, {"a": {"x": 0.0}})
+        with pytest.raises(ModelError):
+            MDP(["a"], ["x"], {"a": {"x": {"a": 1.0}}}, {})
+
+    def test_value_iteration_picks_cheaper_action(self):
+        mdp = two_state_mdp(bad_cost=10.0)
+        values, policy = mdp.value_iteration(discount=0.9)
+        assert policy["start"] == "safe"
+        mdp_cheap_risk = two_state_mdp(bad_cost=0.1)
+        _, policy2 = mdp_cheap_risk.value_iteration(discount=0.9)
+        assert policy2["start"] == "risky"
+
+    def test_policy_value_matches_value_iteration(self):
+        mdp = two_state_mdp()
+        values, policy = mdp.value_iteration(discount=0.9)
+        evaluated = mdp.policy_value(policy, discount=0.9)
+        assert evaluated["start"] == pytest.approx(values["start"], abs=1e-6)
+
+    def test_optimal_policy_beats_alternative(self):
+        mdp = two_state_mdp(bad_cost=10.0)
+        _, policy = mdp.value_iteration(discount=0.9)
+        alt = {"start": "risky"}
+        v_opt = mdp.policy_value(policy, discount=0.9)["start"]
+        v_alt = mdp.policy_value(alt, discount=0.9)["start"]
+        assert v_opt <= v_alt
+
+    def test_absorbing_states_zero_value(self):
+        mdp = two_state_mdp()
+        values, _ = mdp.value_iteration()
+        assert values["bad_end"] == 0.0
+        assert values["good_end"] == 0.0
+
+    def test_discount_validation(self):
+        mdp = two_state_mdp()
+        with pytest.raises(ModelError):
+            mdp.value_iteration(discount=1.0)
+        with pytest.raises(ModelError):
+            mdp.policy_value({"start": "safe"}, discount=0.0)
+
+    def test_policy_value_missing_action(self):
+        mdp = two_state_mdp()
+        with pytest.raises(ModelError):
+            mdp.policy_value({}, discount=0.9)
+
+
+class TestFallbackPolicySynthesis:
+    def test_optimal_policy_degrades_under_uncertainty(self):
+        """With a high hazard cost, the derived policy is exactly the
+        hand-written FallbackPolicy: commit when confident, degrade when
+        the epistemic flag is up."""
+        mdp = fallback_policy_mdp(p_hazard_commit_uncertain=0.3,
+                                  p_hazard_commit_confident=0.002,
+                                  degraded_cost=1.0, hazard_cost=100.0)
+        _, policy = mdp.value_iteration(discount=0.95)
+        assert policy["confident"] == "commit"
+        assert policy["uncertain"] == "degrade"
+
+    def test_cheap_hazard_flips_policy(self):
+        """If hazards were cheap, committing always would be optimal —
+        tolerance is justified by the cost structure, not dogma."""
+        mdp = fallback_policy_mdp(hazard_cost=1.0, degraded_cost=1.0)
+        _, policy = mdp.value_iteration(discount=0.95)
+        assert policy["uncertain"] == "commit"
+
+    def test_expensive_availability_flips_policy(self):
+        mdp = fallback_policy_mdp(p_hazard_commit_uncertain=0.05,
+                                  degraded_cost=50.0, hazard_cost=100.0)
+        _, policy = mdp.value_iteration(discount=0.95)
+        assert policy["uncertain"] == "commit"
+
+    def test_threshold_boundary(self):
+        """The commit/degrade switch happens where expected hazard cost
+        crosses the degraded cost (up to continuation effects)."""
+        policies = []
+        for p in (0.005, 0.05, 0.5):
+            mdp = fallback_policy_mdp(p_hazard_commit_uncertain=p,
+                                      degraded_cost=1.0, hazard_cost=100.0)
+            _, policy = mdp.value_iteration(discount=0.95)
+            policies.append(policy["uncertain"])
+        assert policies[0] == "commit"
+        assert policies[-1] == "degrade"
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            fallback_policy_mdp(p_hazard_commit_uncertain=1.5)
+        with pytest.raises(ModelError):
+            fallback_policy_mdp(hazard_cost=-1.0)
