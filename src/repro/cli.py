@@ -7,7 +7,9 @@
 - ``strategy``    — the builtin-registry strategy for the paper's budget;
 - ``matrix``      — the Fig. 3 means x type coverage matrix;
 - ``dossier``     — a full uncertainty dossier for the demo SuD;
-- ``experiments`` — list every experiment id and its benchmark module.
+- ``experiments`` — list every experiment id and its benchmark module;
+- ``inject``      — inject one fault model into the perception stack;
+- ``campaign``    — the full fault-injection campaign (EXT-N report).
 """
 
 from __future__ import annotations
@@ -137,9 +139,46 @@ def cmd_experiments(_: argparse.Namespace) -> None:
         ("EXT-L", "scenario falsification", "test_bench_falsification"),
         ("EXT-M", "runtime health management",
          "test_bench_health_management"),
+        ("EXT-N", "fault-injection campaign",
+         "test_bench_fault_injection"),
     ]
     _print_table(["id", "artifact", "benchmark module"], experiments)
     print("\nRun one with:  pytest benchmarks/<module>.py --benchmark-only -s")
+
+
+def cmd_inject(args: argparse.Namespace) -> None:
+    from repro.robustness.campaign import (
+        CampaignConfig,
+        fault_uncertainty_type,
+        run_cell,
+    )
+    config = CampaignConfig(seed=args.seed, trials=args.trials,
+                            fault_names=(args.fault,),
+                            intensities=(args.intensity,),
+                            n_channels=args.channels, fusion=args.fusion)
+    cell = run_cell(config, args.fault, args.intensity)
+    print(f"Fault {args.fault!r} (emulates "
+          f"{fault_uncertainty_type(args.fault)} uncertainty) at intensity "
+          f"{args.intensity:g}, {args.trials} trials, seed {args.seed}:\n")
+    _print_table(
+        ["architecture", "hazard rate", "degraded rate", "availability",
+         "timeout rate"],
+        [("single chain (unsupervised)", cell.single.hazard_rate,
+          cell.single.degraded_rate, cell.single.availability,
+          cell.single.timeout_rate),
+         (f"redundant x{args.channels} + supervisor",
+          cell.supervised.hazard_rate, cell.supervised.degraded_rate,
+          cell.supervised.availability, cell.supervised.timeout_rate)])
+    print(f"\nhazard reduction: {cell.hazard_reduction:+.4f}")
+
+
+def cmd_campaign(args: argparse.Namespace) -> None:
+    from repro.robustness.campaign import CampaignConfig, run_campaign
+    config = CampaignConfig(seed=args.seed, trials=args.trials,
+                            intensities=tuple(args.intensities),
+                            n_channels=args.channels, fusion=args.fusion)
+    report = run_campaign(config)
+    print(report.to_markdown())
 
 
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
@@ -149,18 +188,63 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "matrix": cmd_matrix,
     "dossier": cmd_dossier,
     "experiments": cmd_experiments,
+    "inject": cmd_inject,
+    "campaign": cmd_campaign,
 }
 
+#: Commands that take no options (a bare subparser each).
+_SIMPLE_COMMANDS = ("fig4", "table1", "strategy", "matrix", "dossier",
+                    "experiments")
 
-def main(argv: List[str] = None) -> int:
+
+def _build_parser() -> argparse.ArgumentParser:
+    # Imported here, like the command bodies, to keep module import light.
+    from repro.robustness.campaign import FAULT_CATALOG
+    from repro.perception.redundancy import RedundantPerceptionSystem
     parser = argparse.ArgumentParser(
         prog="repro",
         description="System Theoretic View on Uncertainties — reproduction "
                     "CLI (DATE 2020)")
-    parser.add_argument("command", choices=sorted(COMMANDS),
-                        help="artifact to regenerate")
-    args = parser.parse_args(argv)
-    COMMANDS[args.command](args)
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="command")
+    for name in _SIMPLE_COMMANDS:
+        sub.add_parser(name, help=f"regenerate the {name} artifact")
+
+    inject = sub.add_parser(
+        "inject", help="inject one fault model into the perception stack")
+    inject.add_argument("--fault", required=True,
+                        choices=sorted(FAULT_CATALOG),
+                        help="fault model to inject")
+    inject.add_argument("--intensity", type=float, default=0.5,
+                        help="fault intensity in [0, 1] (default 0.5)")
+
+    campaign = sub.add_parser(
+        "campaign", help="run the full fault-injection campaign (EXT-N)")
+    campaign.add_argument("--intensities", type=float, nargs="+",
+                          default=[0.25, 0.5, 1.0],
+                          help="intensity sweep (default: 0.25 0.5 1.0)")
+
+    for p in (inject, campaign):
+        p.add_argument("--seed", type=int, default=0,
+                       help="campaign seed (default 0)")
+        p.add_argument("--trials", type=int, default=200,
+                       help="encounters per cell (default 200)")
+        p.add_argument("--channels", type=int, default=3,
+                       help="redundant channels in the tolerant stack")
+        p.add_argument("--fusion", default="conservative",
+                       choices=RedundantPerceptionSystem.FUSIONS,
+                       help="fusion rule of the tolerant stack")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    from repro.errors import ReproError
+    args = _build_parser().parse_args(argv)
+    try:
+        COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -34,6 +34,7 @@ class UncertaintyDossier:
         self._analysis: Optional[SafetyAnalysisWithUncertainty] = None
         self._release: Optional[ReleaseDecision] = None
         self._assurance: Optional[AssuranceCase] = None
+        self._robustness = None  # Optional[RobustnessReport]
         self._notes: List[str] = []
 
     # -- attach sections ------------------------------------------------------
@@ -59,6 +60,17 @@ class UncertaintyDossier:
     def attach_assurance_case(self, case: AssuranceCase
                               ) -> "UncertaintyDossier":
         self._assurance = case
+        return self
+
+    def attach_robustness(self, report) -> "UncertaintyDossier":
+        """Attach a fault-injection campaign result as runtime-tolerance
+        evidence (:class:`repro.robustness.report.RobustnessReport`).
+
+        Optional — it does not count toward :meth:`completeness` — but
+        once attached, a campaign in which the supervised stack fails to
+        strictly beat the bare chain blocks the release verdict.
+        """
+        self._robustness = report
         return self
 
     def add_note(self, note: str) -> "UncertaintyDossier":
@@ -95,6 +107,13 @@ class UncertaintyDossier:
                                                       max_ignorance=0.4)
             if not verdict["release"]:
                 reasons.append("assurance case below confidence thresholds")
+        if (self._robustness is not None
+                and not self._robustness.supervised_dominates()):
+            worst = self._robustness.worst_cell()
+            reasons.append(
+                "fault-injection campaign: tolerant stack not strictly "
+                f"better under {worst.fault!r} at intensity "
+                f"{worst.intensity:g}")
         return (not reasons, reasons)
 
     # -- rendering ---------------------------------------------------------------
@@ -161,6 +180,21 @@ class UncertaintyDossier:
             gaps = self._assurance.top_goal.undeveloped()
             if gaps:
                 lines.append(f"- undeveloped goals: {', '.join(gaps)}")
+            lines.append("")
+
+        if self._robustness is not None:
+            r = self._robustness
+            lines.append("## Runtime robustness (fault-injection campaign)")
+            lines.append(f"- seed {r.seed}, {r.trials} trials per cell, "
+                         f"{len(r.cells)} cells")
+            lines.append(
+                "- tolerant stack strictly better in every cell: "
+                f"{'YES' if r.supervised_dominates() else 'NO'}")
+            for fault, s in r.per_fault_summary().items():
+                lines.append(
+                    f"  - `{fault}`: hazard {s['single_hazard']:.4f} -> "
+                    f"{s['supervised_hazard']:.4f}, availability "
+                    f"{s['supervised_availability']:.4f}")
             lines.append("")
 
         if self._notes:

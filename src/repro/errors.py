@@ -42,3 +42,11 @@ class SimulationError(ReproError):
 
 class StrategyError(ReproError):
     """An uncertainty-handling strategy cannot be derived or applied."""
+
+
+class InjectionError(ReproError):
+    """A fault-injection model or campaign was configured inconsistently."""
+
+
+class SupervisorError(ReproError):
+    """The runtime degradation supervisor was misconfigured or misused."""

@@ -13,6 +13,7 @@ Two mechanisms, composable:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -57,9 +58,14 @@ class FallbackPolicy:
         self.treat_uncertain_as = treat_uncertain_as
 
     def decide(self, output: str, epistemic_score: float = 0.0) -> str:
+        score = float(epistemic_score)
+        if math.isnan(score) or not 0.0 <= score <= 1.0:
+            raise StrategyError(
+                f"epistemic_score must be a number in [0, 1], got "
+                f"{epistemic_score!r}")
         if output == UNCERTAIN_LABEL:
             return self.treat_uncertain_as
-        if epistemic_score >= self.epistemic_threshold:
+        if score >= self.epistemic_threshold:
             return CAUTIOUS_MODE
         return ACT_NORMALLY
 

@@ -118,19 +118,25 @@ class PerceptionChain:
                           if uncertainty_aware else None)
 
     def perceive(self, obj: ObjectInstance, rng: np.random.Generator) -> str:
-        reading = self.camera.sense(obj, rng)
+        return self.perceive_with_score(obj, rng)[0]
+
+    def classify_reading(self, reading, rng: np.random.Generator
+                         ) -> Tuple[str, float]:
+        """Classify an already-sensed reading: (label, epistemic score).
+
+        Separated from :meth:`perceive_with_score` so wrappers (e.g. the
+        fault-injection engine) can transform the sensor reading between
+        sensing and classification.
+        """
         if self._ensemble is not None:
-            label, _ = self._ensemble.classify(reading, rng)
-            return label
-        return self.base_classifier.classify(reading, rng)
+            return self._ensemble.classify(reading, rng)
+        return self.base_classifier.classify(reading, rng), 0.0
 
     def perceive_with_score(self, obj: ObjectInstance,
                             rng: np.random.Generator) -> Tuple[str, float]:
         """(label, epistemic score); score is 0 for the plain classifier."""
         reading = self.camera.sense(obj, rng)
-        if self._ensemble is not None:
-            return self._ensemble.classify(reading, rng)
-        return self.base_classifier.classify(reading, rng), 0.0
+        return self.classify_reading(reading, rng)
 
     def run_campaign(self, world: WorldModel, rng: np.random.Generator,
                      n_objects: int) -> List[Tuple[ObjectInstance, str]]:

@@ -31,6 +31,24 @@ from repro.perception.world import (
 
 PERCEPTION_FRAME = FrameOfDiscernment([CAR, PEDESTRIAN, NONE_LABEL])
 
+#: Deterministic tie-break order for fused decisions.  On an exact score
+#: tie the *most conservative* interpretation wins: ``pedestrian`` (the
+#: most vulnerable road user) over ``car`` over ``none`` — a tie never
+#: silently suppresses an object.  Fixing this order makes campaign
+#: results bit-for-bit reproducible across runs with the same seed.
+TIE_BREAK_ORDER = (PEDESTRIAN, CAR, NONE_LABEL)
+
+
+def _argmax_tiebreak(scores: Mapping[str, float]) -> str:
+    """Label with the maximal score; exact ties resolved by
+    :data:`TIE_BREAK_ORDER` instead of dict insertion order."""
+    best = max(scores.values())
+    for label in TIE_BREAK_ORDER:
+        if label in scores and scores[label] == best:
+            return label
+    # Labels outside the documented order (defensive): first maximal key.
+    return max(scores, key=lambda k: scores[k])
+
 
 def output_to_mass(output: str, reliability: float = 0.9) -> MassFunction:
     """Encode one channel's output as a discounted mass function.
@@ -61,6 +79,10 @@ class RedundantPerceptionSystem:
       uncertain) wins over ``none`` — prioritizes not missing objects.
     - ``dempster`` / ``yager``: evidential fusion of the channels' mass
       functions, decided by maximum pignistic probability.
+
+    Exact score ties (majority and pignistic decisions alike) are broken
+    by the fixed :data:`TIE_BREAK_ORDER` — pedestrian > car > none — so
+    fusion is a deterministic function of the channel outputs.
     """
 
     FUSIONS = ("majority", "conservative", "dempster", "yager")
@@ -94,7 +116,7 @@ class RedundantPerceptionSystem:
                     scores[PEDESTRIAN] += 0.5
                 else:
                     scores[out] += 1.0
-            return max(scores, key=lambda k: scores[k])
+            return _argmax_tiebreak(scores)
         if self.fusion == "conservative":
             object_votes = [o for o in outputs if o != NONE_LABEL]
             if not object_votes:
@@ -109,7 +131,7 @@ class RedundantPerceptionSystem:
         rule = "dempster" if self.fusion == "dempster" else "yager"
         combined = combine_many(masses, rule=rule)
         pig = combined.to_categorical_pignistic().probabilities
-        return max(pig, key=lambda k: pig[k])
+        return _argmax_tiebreak(pig)
 
     def perceive(self, obj: ObjectInstance, rng: np.random.Generator) -> str:
         return self.fuse(self.channel_outputs(obj, rng))

@@ -1,0 +1,81 @@
+"""Runtime robustness: fault injection, supervision, campaign validation.
+
+The paper's tolerance mean (§IV) says a system copes with residual
+uncertainty via redundant architectures and uncertainty-aware
+degradation.  :mod:`repro.means.tolerance` and
+:mod:`repro.perception.redundancy` *model* that; this package *stresses*
+it:
+
+- :mod:`repro.robustness.faults` — composable, seeded fault models
+  (sensor dropout, noise bursts, stuck-at outputs, confusion corruption,
+  latency spikes, byzantine disagreement), each tagged with the
+  uncertainty type it emulates;
+- :mod:`repro.robustness.supervisor` — a graceful-degradation state
+  machine with watchdog, bounded retry-with-backoff, hysteresis on
+  recovery, and a structured event log;
+- :mod:`repro.robustness.runtime` — the supervised perception system
+  gluing channels, fusion and supervisor;
+- :mod:`repro.robustness.campaign` — the sweep engine and its
+  :class:`~repro.robustness.report.RobustnessReport`, consumable by the
+  assurance-case layer via the uncertainty dossier.
+"""
+
+from repro.robustness.campaign import (
+    FAULT_CATALOG,
+    CampaignConfig,
+    fault_uncertainty_type,
+    run_campaign,
+    run_cell,
+)
+from repro.robustness.faults import (
+    ByzantineFault,
+    ChannelTelemetry,
+    ConfusionCorruptionFault,
+    FaultInjectedChain,
+    FaultInjector,
+    FaultModel,
+    LatencyFault,
+    NoiseBurstFault,
+    SensorDropoutFault,
+    StuckAtFault,
+)
+from repro.robustness.report import CampaignCell, RobustnessReport, RunMetrics
+from repro.robustness.runtime import (
+    StepResult,
+    SupervisedPerceptionSystem,
+    run_unsupervised,
+    summarize_run,
+)
+from repro.robustness.supervisor import (
+    DegradationSupervisor,
+    RetryPolicy,
+    SupervisorEvent,
+)
+
+__all__ = [
+    "FaultModel",
+    "FaultInjector",
+    "FaultInjectedChain",
+    "ChannelTelemetry",
+    "SensorDropoutFault",
+    "NoiseBurstFault",
+    "StuckAtFault",
+    "ConfusionCorruptionFault",
+    "LatencyFault",
+    "ByzantineFault",
+    "DegradationSupervisor",
+    "RetryPolicy",
+    "SupervisorEvent",
+    "SupervisedPerceptionSystem",
+    "StepResult",
+    "run_unsupervised",
+    "summarize_run",
+    "FAULT_CATALOG",
+    "CampaignConfig",
+    "fault_uncertainty_type",
+    "run_campaign",
+    "run_cell",
+    "RunMetrics",
+    "CampaignCell",
+    "RobustnessReport",
+]

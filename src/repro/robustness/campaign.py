@@ -1,0 +1,178 @@
+"""The fault-injection campaign engine.
+
+Sweeps fault models × intensities over two architectures —
+
+- the **unsupervised single chain** (the paper's bare Fig. 4 pipeline),
+- the **tolerant stack**: diverse redundancy + fusion + the degradation
+  supervisor (the §IV/§V tolerance means, instrumented) —
+
+and scores each cell with hazard / degradation / availability metrics
+against the no-fault baseline.  Every random draw descends from the
+campaign seed through :class:`numpy.random.SeedSequence` spawning, so a
+campaign is bit-for-bit reproducible: same seed, same report.
+
+Faults are injected into **channel 0 only** (single-channel faults); the
+claim under test is precisely that diverse redundancy plus supervision
+tolerates any single-channel fault better than the bare chain does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InjectionError
+from repro.perception.chain import PerceptionChain
+from repro.perception.redundancy import make_diverse_chains
+from repro.perception.world import WorldModel
+from repro.robustness.faults import (
+    ByzantineFault,
+    ConfusionCorruptionFault,
+    FaultInjectedChain,
+    FaultModel,
+    LatencyFault,
+    NoiseBurstFault,
+    SensorDropoutFault,
+    StuckAtFault,
+)
+from repro.robustness.report import CampaignCell, RobustnessReport, RunMetrics
+from repro.robustness.runtime import (
+    SupervisedPerceptionSystem,
+    run_unsupervised,
+    summarize_run,
+)
+
+#: name -> factory(intensity, seed).  Order defines the sweep (and report)
+#: order; names are the CLI vocabulary of ``repro inject --fault``.
+FAULT_CATALOG: Dict[str, Callable[[float, int], FaultModel]] = {
+    "dropout": lambda i, s: SensorDropoutFault(i, seed=s, name="dropout"),
+    "noise_burst": lambda i, s: NoiseBurstFault(i, seed=s, name="noise_burst"),
+    "stuck_at_none": lambda i, s: StuckAtFault(i, seed=s,
+                                               name="stuck_at_none"),
+    "confusion": lambda i, s: ConfusionCorruptionFault(i, seed=s,
+                                                       name="confusion"),
+    "latency": lambda i, s: LatencyFault(i, seed=s, name="latency"),
+    "byzantine": lambda i, s: ByzantineFault(i, seed=s, name="byzantine"),
+}
+
+
+def fault_uncertainty_type(name: str) -> str:
+    """The paper's uncertainty type a catalogued fault model emulates."""
+    if name not in FAULT_CATALOG:
+        raise InjectionError(
+            f"unknown fault {name!r}; choose from {sorted(FAULT_CATALOG)}")
+    return FAULT_CATALOG[name](0.0, 0).uncertainty_type.value
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Sweep definition; defaults reproduce the EXT-N headline campaign."""
+
+    seed: int = 0
+    trials: int = 200
+    fault_names: Tuple[str, ...] = tuple(FAULT_CATALOG)
+    intensities: Tuple[float, ...] = (0.25, 0.5, 1.0)
+    n_channels: int = 3
+    diversity: float = 0.12
+    fusion: str = "conservative"
+
+    def __post_init__(self) -> None:
+        if self.trials <= 0:
+            raise InjectionError(f"trials must be positive, got {self.trials}")
+        if not self.fault_names:
+            raise InjectionError("at least one fault model required")
+        unknown = set(self.fault_names) - set(FAULT_CATALOG)
+        if unknown:
+            raise InjectionError(
+                f"unknown fault models {sorted(unknown)}; "
+                f"choose from {sorted(FAULT_CATALOG)}")
+        if not self.intensities:
+            raise InjectionError("at least one intensity required")
+        for i in self.intensities:
+            if not 0.0 <= i <= 1.0:
+                raise InjectionError(f"intensities must be in [0, 1], got {i}")
+        if self.n_channels < 1:
+            raise InjectionError("n_channels must be at least 1")
+        if self.diversity < 0.0:
+            raise InjectionError("diversity must be non-negative")
+
+
+def _derived_rng(seed: int, *path: int) -> np.random.Generator:
+    """A generator deterministically derived from (seed, *path)."""
+    return np.random.default_rng([int(seed), *[int(p) for p in path]])
+
+
+def _derived_int(seed: int, *path: int) -> int:
+    return int(_derived_rng(seed, *path).integers(0, 2 ** 31))
+
+
+def _build_supervised(config: CampaignConfig,
+                      faults: Sequence[FaultModel]) -> SupervisedPerceptionSystem:
+    """The tolerant stack, with ``faults`` injected into channel 0 only.
+
+    The chain architecture depends only on the campaign seed, so every
+    cell stresses the *same* system.
+    """
+    chain_rng = _derived_rng(config.seed, 1)
+    chains = make_diverse_chains(config.n_channels, chain_rng,
+                                 diversity=config.diversity)
+    channels = [FaultInjectedChain(chains[0], faults)]
+    channels += [FaultInjectedChain(c) for c in chains[1:]]
+    return SupervisedPerceptionSystem(channels, fusion=config.fusion)
+
+
+def run_cell(config: CampaignConfig, fault_name: str, intensity: float,
+             world: Optional[WorldModel] = None,
+             cell_index: int = 0) -> CampaignCell:
+    """One (fault, intensity) cell: both architectures, same fault seed."""
+    if fault_name not in FAULT_CATALOG:
+        raise InjectionError(
+            f"unknown fault {fault_name!r}; "
+            f"choose from {sorted(FAULT_CATALOG)}")
+    world = world or WorldModel()
+    factory = FAULT_CATALOG[fault_name]
+    fault_seed = _derived_int(config.seed, 2, cell_index)
+
+    single_chain = FaultInjectedChain(PerceptionChain(),
+                                      [factory(intensity, fault_seed)])
+    single = run_unsupervised(single_chain, world,
+                              _derived_rng(config.seed, 3, cell_index),
+                              config.trials)
+
+    system = _build_supervised(config, [factory(intensity, fault_seed)])
+    results = system.run(world, _derived_rng(config.seed, 4, cell_index),
+                         config.trials)
+    supervised = summarize_run(results)
+    return CampaignCell(fault=fault_name,
+                        uncertainty_type=fault_uncertainty_type(fault_name),
+                        intensity=float(intensity), single=single,
+                        supervised=supervised)
+
+
+def run_campaign(config: Optional[CampaignConfig] = None,
+                 world: Optional[WorldModel] = None) -> RobustnessReport:
+    """The full sweep: fault models × intensities, plus no-fault baselines."""
+    config = config or CampaignConfig()
+    world = world or WorldModel()
+
+    baseline_single = run_unsupervised(
+        FaultInjectedChain(PerceptionChain()), world,
+        _derived_rng(config.seed, 5), config.trials)
+    baseline_system = _build_supervised(config, [])
+    baseline_supervised = summarize_run(
+        baseline_system.run(world, _derived_rng(config.seed, 6),
+                            config.trials))
+
+    cells: List[CampaignCell] = []
+    index = 0
+    for fault_name in config.fault_names:
+        for intensity in config.intensities:
+            cells.append(run_cell(config, fault_name, intensity, world,
+                                  cell_index=index))
+            index += 1
+    return RobustnessReport(seed=config.seed, trials=config.trials,
+                            baseline_single=baseline_single,
+                            baseline_supervised=baseline_supervised,
+                            cells=cells)

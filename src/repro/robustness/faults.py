@@ -1,0 +1,353 @@
+"""Composable, seeded fault models for the perception stack.
+
+The paper's tolerance means (§IV) claims a system copes with residual
+uncertainty through redundancy and uncertainty-aware degradation.  This
+module supplies the *stress* side of that claim: fault models that wrap a
+:class:`~repro.perception.chain.PerceptionChain` and perturb it at three
+injection points — the sensor reading, the classifier output, and the
+channel's delivery latency.
+
+Each fault model is
+
+- **tagged** with the paper's uncertainty type it emulates (aleatory /
+  epistemic / ontological, §III),
+- **seeded**: it owns a private :class:`numpy.random.Generator`, so the
+  fault-firing sequence is independent of the perception randomness and
+  bit-for-bit reproducible (``reset`` rewinds it),
+- **intensity-scaled** in [0, 1]: intensity 0 is the identity (no fault
+  ever fires), intensity 1 fires on every encounter,
+- **composable**: a :class:`FaultInjector` applies any number of models
+  in declaration order at each injection point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.core.taxonomy import UncertaintyType
+from repro.errors import InjectionError
+from repro.perception.chain import PerceptionChain
+from repro.perception.sensors import SensorReading
+from repro.perception.world import (
+    CAR,
+    NONE_LABEL,
+    PEDESTRIAN,
+    UNCERTAIN_LABEL,
+    UNKNOWN,
+    ObjectInstance,
+)
+
+#: Labels a classifier-level fault may emit.
+ASSESSMENT_OUTPUTS = (CAR, PEDESTRIAN, UNCERTAIN_LABEL, NONE_LABEL)
+
+
+class FaultModel:
+    """Base class: a seeded, intensity-scaled perturbation of one channel.
+
+    Subclasses override one or more of the three hooks
+    (:meth:`apply_reading`, :meth:`apply_output`, :meth:`extra_latency`)
+    and declare the :attr:`uncertainty_type` they emulate.  ``fires()``
+    draws from the fault's private generator; ``begin_encounter`` resets
+    the per-encounter fired flag, ``reset`` rewinds the whole model.
+    """
+
+    #: Which of the paper's uncertainty types this fault emulates.
+    uncertainty_type: UncertaintyType = UncertaintyType.ALEATORY
+
+    def __init__(self, intensity: float, seed: int = 0,
+                 name: Optional[str] = None):
+        intensity = float(intensity)
+        if not 0.0 <= intensity <= 1.0 or intensity != intensity:
+            raise InjectionError(
+                f"fault intensity must be in [0, 1], got {intensity!r}")
+        self.intensity = intensity
+        self.seed = int(seed)
+        self.name = name or type(self).__name__
+        self._rng = np.random.default_rng(self.seed)
+        self.fired = False  # did the fault fire on the current encounter
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Rewind the fault's generator and state to construction time."""
+        self._rng = np.random.default_rng(self.seed)
+        self.fired = False
+
+    def begin_encounter(self) -> None:
+        self.fired = False
+
+    def fires(self) -> bool:
+        """Draw the per-encounter Bernoulli(intensity) firing decision."""
+        if self.intensity > 0.0 and self._rng.random() < self.intensity:
+            self.fired = True
+        return self.fired
+
+    # -- injection hooks (identity by default) --------------------------------
+
+    def apply_reading(self, reading: SensorReading) -> SensorReading:
+        return reading
+
+    def apply_output(self, output: str, obj: ObjectInstance) -> str:
+        return output
+
+    def extra_latency(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(intensity={self.intensity}, "
+                f"seed={self.seed})")
+
+
+class SensorDropoutFault(FaultModel):
+    """The camera transiently returns nothing (random hardware dropout).
+
+    Emulates *aleatory* uncertainty: an irreducibly random per-exposure
+    failure, like the paper's stochastic sensor-noise examples.
+    """
+
+    uncertainty_type = UncertaintyType.ALEATORY
+
+    def apply_reading(self, reading: SensorReading) -> SensorReading:
+        if self.fires():
+            return dataclasses.replace(reading, detected=False, quality=0.0)
+        return reading
+
+
+class NoiseBurstFault(FaultModel):
+    """Bursty quality degradation (EMI, glare, rain sheet on the lens).
+
+    A two-state burst process: with probability ``intensity`` a burst of
+    geometric length starts; during a burst the feature quality is scaled
+    down by ``severity``.  Aleatory — random in time, but correlated.
+    """
+
+    uncertainty_type = UncertaintyType.ALEATORY
+
+    def __init__(self, intensity: float, seed: int = 0,
+                 severity: float = 0.8, burst_continue: float = 0.7,
+                 name: Optional[str] = None):
+        super().__init__(intensity, seed, name)
+        if not 0.0 <= severity <= 1.0:
+            raise InjectionError(f"severity must be in [0, 1], got {severity}")
+        if not 0.0 <= burst_continue < 1.0:
+            raise InjectionError(
+                f"burst_continue must be in [0, 1), got {burst_continue}")
+        self.severity = severity
+        self.burst_continue = burst_continue
+        self._in_burst = False
+
+    def reset(self) -> None:
+        super().reset()
+        self._in_burst = False
+
+    def apply_reading(self, reading: SensorReading) -> SensorReading:
+        if self._in_burst:
+            self.fired = True
+            self._in_burst = self._rng.random() < self.burst_continue
+        elif self.fires():
+            self._in_burst = self._rng.random() < self.burst_continue
+        if self.fired and reading.detected:
+            return dataclasses.replace(
+                reading, quality=reading.quality * (1.0 - self.severity))
+        return reading
+
+
+class StuckAtFault(FaultModel):
+    """The classifier output is stuck at a fixed label.
+
+    Emulates *epistemic* uncertainty: a systematic implementation defect —
+    the deployed component differs from its model in a fixed, learnable
+    way (more exposure would reveal the stuck value).
+    """
+
+    uncertainty_type = UncertaintyType.EPISTEMIC
+
+    def __init__(self, intensity: float, seed: int = 0,
+                 stuck_output: str = NONE_LABEL, name: Optional[str] = None):
+        super().__init__(intensity, seed, name)
+        if stuck_output not in ASSESSMENT_OUTPUTS:
+            raise InjectionError(
+                f"stuck_output must be one of {ASSESSMENT_OUTPUTS}, "
+                f"got {stuck_output!r}")
+        self.stuck_output = stuck_output
+
+    def apply_output(self, output: str, obj: ObjectInstance) -> str:
+        if self.fires():
+            return self.stuck_output
+        return output
+
+
+class ConfusionCorruptionFault(FaultModel):
+    """Systematic label confusion: car and pedestrian swapped, epistemic
+    ``car/pedestrian`` outputs forced into an overconfident point label.
+
+    Emulates *epistemic* uncertainty: the channel's true confusion matrix
+    differs from the elicited one (Table I corrupted in deployment).
+    """
+
+    uncertainty_type = UncertaintyType.EPISTEMIC
+
+    def apply_output(self, output: str, obj: ObjectInstance) -> str:
+        if not self.fires():
+            return output
+        if output == CAR:
+            return PEDESTRIAN
+        if output == PEDESTRIAN:
+            return CAR
+        if output == UNCERTAIN_LABEL:
+            # The corrupted channel no longer knows that it does not know.
+            return CAR if self._rng.random() < 0.5 else PEDESTRIAN
+        return output
+
+
+class LatencyFault(FaultModel):
+    """Intermittent processing latency spikes (and hence missed deadlines).
+
+    Emulates *aleatory* uncertainty in the timing domain: random
+    scheduling/contention delays.  The spike is exponential with mean
+    ``mean_delay`` seconds; whether it breaches the deadline is decided by
+    the runtime's watchdog, not here.
+    """
+
+    uncertainty_type = UncertaintyType.ALEATORY
+
+    def __init__(self, intensity: float, seed: int = 0,
+                 mean_delay: float = 0.25, name: Optional[str] = None):
+        super().__init__(intensity, seed, name)
+        if mean_delay <= 0.0:
+            raise InjectionError(
+                f"mean_delay must be positive, got {mean_delay}")
+        self.mean_delay = mean_delay
+
+    def extra_latency(self) -> float:
+        if self.fires():
+            return float(self._rng.exponential(self.mean_delay))
+        return 0.0
+
+
+class ByzantineFault(FaultModel):
+    """Adversarial worst-case disagreement of one redundant channel.
+
+    The channel reports the *most misleading* label for the encounter: a
+    real object becomes ``none`` (vehicle would not react), a novel object
+    becomes a confident ``car``.  Emulates *ontological* uncertainty —
+    behaviour entirely outside the channel's fault model, the
+    unknown-unknown failure the paper's §III-C warns about.  As injected
+    stress it may consult ground truth; a real byzantine component could
+    behave this badly by accident.
+    """
+
+    uncertainty_type = UncertaintyType.ONTOLOGICAL
+
+    def apply_output(self, output: str, obj: ObjectInstance) -> str:
+        if not self.fires():
+            return output
+        if obj.label in (CAR, PEDESTRIAN):
+            return NONE_LABEL
+        return CAR  # confident misbelief about the unknown
+
+
+@dataclass(frozen=True)
+class ChannelTelemetry:
+    """One channel's observable behaviour on one encounter.
+
+    This is everything the runtime supervisor is allowed to see: the
+    output label, the epistemic score, the delivery latency, whether the
+    watchdog deadline was missed, and (for *analysis only*, not visible
+    to the supervisor) which fault models fired.
+    """
+
+    output: str
+    epistemic_score: float
+    latency: float
+    timed_out: bool
+    faults_fired: Tuple[str, ...] = ()
+
+
+class FaultInjector:
+    """Applies a sequence of fault models at each injection point."""
+
+    def __init__(self, faults: Sequence[FaultModel] = ()):
+        for f in faults:
+            if not isinstance(f, FaultModel):
+                raise InjectionError(
+                    f"faults must be FaultModel instances, got {f!r}")
+        self.faults: Tuple[FaultModel, ...] = tuple(faults)
+
+    def reset(self) -> None:
+        for f in self.faults:
+            f.reset()
+
+    def begin_encounter(self) -> None:
+        for f in self.faults:
+            f.begin_encounter()
+
+    def apply_reading(self, reading: SensorReading) -> SensorReading:
+        for f in self.faults:
+            reading = f.apply_reading(reading)
+        return reading
+
+    def apply_output(self, output: str, obj: ObjectInstance) -> str:
+        for f in self.faults:
+            output = f.apply_output(output, obj)
+        return output
+
+    def extra_latency(self) -> float:
+        return sum(f.extra_latency() for f in self.faults)
+
+    def fired_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.faults if f.fired)
+
+    def __repr__(self) -> str:
+        return f"FaultInjector({list(self.faults)!r})"
+
+
+class FaultInjectedChain:
+    """A perception chain wrapped with fault injection and a latency model.
+
+    ``perceive_with_telemetry`` runs sense → (reading faults) → classify →
+    (output faults), stamps the encounter with a latency (nominal
+    ``base_latency`` plus any fault-injected spikes) and flags a timeout
+    when the latency exceeds ``deadline`` — the watchdog condition the
+    supervisor reacts to.  A timed-out channel still reports the label it
+    *would* have delivered; consumers decide whether to use stale data.
+    """
+
+    def __init__(self, chain: PerceptionChain,
+                 faults: Sequence[FaultModel] = (),
+                 deadline: float = 0.1, base_latency: float = 0.02):
+        if deadline <= 0.0:
+            raise InjectionError(f"deadline must be positive, got {deadline}")
+        if base_latency < 0.0:
+            raise InjectionError(
+                f"base_latency must be non-negative, got {base_latency}")
+        if base_latency >= deadline:
+            raise InjectionError("base_latency must be below the deadline")
+        self.chain = chain
+        self.injector = FaultInjector(faults)
+        self.deadline = deadline
+        self.base_latency = base_latency
+
+    def reset(self) -> None:
+        self.injector.reset()
+
+    def perceive_with_telemetry(self, obj: ObjectInstance,
+                                rng: np.random.Generator) -> ChannelTelemetry:
+        self.injector.begin_encounter()
+        reading = self.chain.camera.sense(obj, rng)
+        reading = self.injector.apply_reading(reading)
+        label, score = self.chain.classify_reading(reading, rng)
+        label = self.injector.apply_output(label, obj)
+        latency = self.base_latency + self.injector.extra_latency()
+        return ChannelTelemetry(output=label, epistemic_score=score,
+                                latency=latency,
+                                timed_out=latency > self.deadline,
+                                faults_fired=self.injector.fired_names())
+
+    def __repr__(self) -> str:
+        return (f"FaultInjectedChain(faults={len(self.injector.faults)}, "
+                f"deadline={self.deadline})")

@@ -1,0 +1,164 @@
+"""Structured results of a fault-injection campaign.
+
+Follows the :mod:`repro.core.report` conventions: plain data containers
+plus a ``to_markdown`` rendering, so the campaign outcome can be attached
+to the :class:`~repro.core.report.UncertaintyDossier` as runtime-tolerance
+evidence for the assurance case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InjectionError
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Outcome metrics of one run (one architecture, one fault setting)."""
+
+    n_encounters: int
+    hazard_rate: float
+    degraded_rate: float
+    timeout_rate: float = 0.0
+    retry_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_encounters <= 0:
+            raise InjectionError("n_encounters must be positive")
+        for name in ("hazard_rate", "degraded_rate", "timeout_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise InjectionError(f"{name} must be in [0, 1], got {v}")
+        if self.retry_rate < 0.0:
+            raise InjectionError("retry_rate must be non-negative")
+
+    @property
+    def availability(self) -> float:
+        """Fraction of encounters handled at full capability."""
+        return 1.0 - self.degraded_rate
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (fault model, intensity) point of the sweep, both architectures."""
+
+    fault: str
+    uncertainty_type: str
+    intensity: float
+    single: RunMetrics       # unsupervised single chain, fault injected
+    supervised: RunMetrics   # diverse redundancy + supervisor, fault injected
+
+    @property
+    def hazard_reduction(self) -> float:
+        """Absolute hazard-rate reduction achieved by the tolerant stack."""
+        return self.single.hazard_rate - self.supervised.hazard_rate
+
+
+class RobustnessReport:
+    """Campaign results: per-cell metrics against the no-fault baseline."""
+
+    def __init__(self, *, seed: int, trials: int,
+                 baseline_single: RunMetrics,
+                 baseline_supervised: RunMetrics,
+                 cells: Sequence[CampaignCell]):
+        if trials <= 0:
+            raise InjectionError("trials must be positive")
+        if not cells:
+            raise InjectionError("a campaign needs at least one cell")
+        self.seed = int(seed)
+        self.trials = int(trials)
+        self.baseline_single = baseline_single
+        self.baseline_supervised = baseline_supervised
+        self.cells: Tuple[CampaignCell, ...] = tuple(cells)
+
+    # -- aggregation ----------------------------------------------------------
+
+    def fault_names(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for c in self.cells:
+            if c.fault not in seen:
+                seen.append(c.fault)
+        return tuple(seen)
+
+    def per_fault_summary(self) -> Dict[str, Dict[str, float]]:
+        """Mean metrics per fault model across its intensity sweep."""
+        out: Dict[str, Dict[str, float]] = {}
+        for fault in self.fault_names():
+            group = [c for c in self.cells if c.fault == fault]
+            n = len(group)
+            out[fault] = {
+                "single_hazard": sum(c.single.hazard_rate for c in group) / n,
+                "supervised_hazard":
+                    sum(c.supervised.hazard_rate for c in group) / n,
+                "supervised_degraded":
+                    sum(c.supervised.degraded_rate for c in group) / n,
+                "supervised_availability":
+                    sum(c.supervised.availability for c in group) / n,
+                "hazard_reduction":
+                    sum(c.hazard_reduction for c in group) / n,
+            }
+        return out
+
+    def supervised_dominates(self) -> bool:
+        """True iff the tolerant stack beats the unsupervised single chain
+        (strictly lower hazard rate) in *every* campaign cell."""
+        return all(c.supervised.hazard_rate < c.single.hazard_rate
+                   for c in self.cells)
+
+    def worst_cell(self) -> CampaignCell:
+        """The cell with the highest supervised hazard rate."""
+        return max(self.cells, key=lambda c: c.supervised.hazard_rate)
+
+    # -- rendering ------------------------------------------------------------
+
+    def to_rows(self) -> List[Tuple]:
+        """(fault, type, intensity, single hazard, supervised hazard,
+        supervised degraded, supervised availability) per cell."""
+        return [(c.fault, c.uncertainty_type, c.intensity,
+                 c.single.hazard_rate, c.supervised.hazard_rate,
+                 c.supervised.degraded_rate, c.supervised.availability)
+                for c in self.cells]
+
+    def to_markdown(self) -> str:
+        lines = ["# Robustness campaign report", ""]
+        lines.append(f"- seed: {self.seed}, trials per cell: {self.trials}")
+        lines.append(f"- no-fault baseline hazard: single "
+                     f"{self.baseline_single.hazard_rate:.4g}, supervised "
+                     f"{self.baseline_supervised.hazard_rate:.4g}")
+        dominates = self.supervised_dominates()
+        lines.append(f"- **tolerant stack strictly better in every cell: "
+                     f"{'YES' if dominates else 'NO'}**")
+        lines.append("")
+        lines.append("## Per fault model (mean over intensities)")
+        lines.append("")
+        lines.append("| fault | type | single hazard | supervised hazard | "
+                     "degraded | availability |")
+        lines.append("|---|---|---|---|---|---|")
+        summary = self.per_fault_summary()
+        types = {c.fault: c.uncertainty_type for c in self.cells}
+        for fault in self.fault_names():
+            s = summary[fault]
+            lines.append(
+                f"| {fault} | {types[fault]} | {s['single_hazard']:.4f} | "
+                f"{s['supervised_hazard']:.4f} | "
+                f"{s['supervised_degraded']:.4f} | "
+                f"{s['supervised_availability']:.4f} |")
+        lines.append("")
+        lines.append("## All cells")
+        lines.append("")
+        lines.append("| fault | type | intensity | single hazard | "
+                     "supervised hazard | degraded | availability |")
+        lines.append("|---|---|---|---|---|---|---|")
+        for row in self.to_rows():
+            fault, utype, intensity, sh, vh, dg, av = row
+            lines.append(f"| {fault} | {utype} | {intensity:.2f} | {sh:.4f} "
+                         f"| {vh:.4f} | {dg:.4f} | {av:.4f} |")
+        lines.append("")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"RobustnessReport(seed={self.seed}, trials={self.trials}, "
+                f"cells={len(self.cells)}, "
+                f"dominates={self.supervised_dominates()})")

@@ -1,0 +1,172 @@
+"""The supervised perception runtime: channels + fusion + supervisor.
+
+Glues the fault-injected channels, the existing redundant-fusion rules
+and the degradation supervisor into one steppable system — the runtime
+realization of the paper's tolerance mean that the campaign engine
+stresses.  Per encounter:
+
+1. every channel perceives (faults may fire);
+2. timed-out channels are retried under the supervisor's bounded-backoff
+   :class:`~repro.robustness.supervisor.RetryPolicy` (the watchdog path);
+3. in-deadline outputs are fused with the configured rule;
+4. the supervisor advances its state machine and emits the vehicle mode;
+5. the encounter is scored with the fallback hazard semantics
+   (:meth:`FallbackPolicy.is_hazardous`) — scoring uses ground truth,
+   the supervisor itself never does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SupervisorError
+from repro.means.tolerance import ACT_NORMALLY, FallbackPolicy
+from repro.perception.redundancy import RedundantPerceptionSystem
+from repro.perception.world import (
+    CAR,
+    NONE_LABEL,
+    PEDESTRIAN,
+    UNKNOWN,
+    ObjectInstance,
+    WorldModel,
+)
+from repro.robustness.faults import ChannelTelemetry, FaultInjectedChain
+from repro.robustness.report import RunMetrics
+from repro.robustness.supervisor import DegradationSupervisor
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Everything observable about one supervised encounter."""
+
+    obj: ObjectInstance
+    telemetry: Tuple[ChannelTelemetry, ...]
+    fused_output: Optional[str]
+    mode: str
+    hazardous: bool
+    retries: int
+
+
+class SupervisedPerceptionSystem:
+    """Fault-injectable redundant perception under a degradation supervisor."""
+
+    def __init__(self, channels: Sequence[FaultInjectedChain],
+                 fusion: str = "conservative",
+                 supervisor: Optional[DegradationSupervisor] = None,
+                 policy: Optional[FallbackPolicy] = None,
+                 channel_reliability: float = 0.9):
+        if not channels:
+            raise SupervisorError("at least one channel required")
+        self.channels = list(channels)
+        self.policy = policy or FallbackPolicy()
+        self.supervisor = supervisor or DegradationSupervisor(
+            len(channels), policy=self.policy)
+        if self.supervisor.n_channels != len(self.channels):
+            raise SupervisorError(
+                f"supervisor expects {self.supervisor.n_channels} channels, "
+                f"system has {len(self.channels)}")
+        # Reuse the existing fusion rules on the unwrapped chains.
+        self._fuser = RedundantPerceptionSystem(
+            [c.chain for c in self.channels], fusion=fusion,
+            channel_reliability=channel_reliability)
+
+    @property
+    def fusion(self) -> str:
+        return self._fuser.fusion
+
+    def reset(self) -> None:
+        for c in self.channels:
+            c.reset()
+        self.supervisor.reset()
+
+    def _query_channel(self, index: int, obj: ObjectInstance,
+                       rng: np.random.Generator
+                       ) -> Tuple[ChannelTelemetry, int]:
+        """One channel with watchdog retries; returns (telemetry, retries)."""
+        channel = self.channels[index]
+        telemetry = channel.perceive_with_telemetry(obj, rng)
+        retries = 0
+        for attempt, delay in enumerate(self.supervisor.retry.delays(), 1):
+            if not telemetry.timed_out:
+                break
+            self.supervisor.note_retry(index, attempt, delay)
+            retries += 1
+            telemetry = channel.perceive_with_telemetry(obj, rng)
+        return telemetry, retries
+
+    def step(self, obj: ObjectInstance, rng: np.random.Generator) -> StepResult:
+        telemetry: List[ChannelTelemetry] = []
+        retries = 0
+        for i in range(len(self.channels)):
+            t, r = self._query_channel(i, obj, rng)
+            telemetry.append(t)
+            retries += r
+
+        delivered = [t.output for t in telemetry if not t.timed_out]
+        fused = self._fuser.fuse(delivered) if delivered else None
+        score = max((t.epistemic_score for t in telemetry
+                     if not t.timed_out), default=0.0)
+        mode = self.supervisor.step(telemetry, fused, score)
+        hazardous = self.policy.is_hazardous(
+            obj, fused if fused is not None else NONE_LABEL, mode)
+        return StepResult(obj=obj, telemetry=tuple(telemetry),
+                          fused_output=fused, mode=mode,
+                          hazardous=hazardous, retries=retries)
+
+    def run(self, world: WorldModel, rng: np.random.Generator,
+            n_encounters: int) -> List[StepResult]:
+        if n_encounters <= 0:
+            raise SupervisorError("n_encounters must be positive")
+        return [self.step(world.sample_object(rng), rng)
+                for _ in range(n_encounters)]
+
+    def __repr__(self) -> str:
+        return (f"SupervisedPerceptionSystem(channels={len(self.channels)}, "
+                f"fusion={self.fusion!r})")
+
+
+def summarize_run(results: Sequence[StepResult]) -> RunMetrics:
+    """Aggregate a supervised run into campaign metrics."""
+    if not results:
+        raise SupervisorError("cannot summarize an empty run")
+    n = len(results)
+    hazards = sum(1 for r in results if r.hazardous)
+    degraded = sum(1 for r in results if r.mode != ACT_NORMALLY)
+    timeouts = sum(1 for r in results
+                   if any(t.timed_out for t in r.telemetry))
+    retries = sum(r.retries for r in results)
+    return RunMetrics(n_encounters=n, hazard_rate=hazards / n,
+                      degraded_rate=degraded / n, timeout_rate=timeouts / n,
+                      retry_rate=retries / n)
+
+
+def run_unsupervised(channel: FaultInjectedChain, world: WorldModel,
+                     rng: np.random.Generator,
+                     n_encounters: int) -> RunMetrics:
+    """Baseline: one (possibly fault-injected) chain, no supervisor.
+
+    A missed deadline means no output reached the planner in time — the
+    vehicle does not react, which is exactly the ``none`` hazard case of
+    :func:`repro.perception.chain.hazardous_misperception_rate`; the same
+    hazard semantics apply to delivered outputs.
+    """
+    if n_encounters <= 0:
+        raise SupervisorError("n_encounters must be positive")
+    hazards = 0
+    timeouts = 0
+    for _ in range(n_encounters):
+        obj = world.sample_object(rng)
+        t = channel.perceive_with_telemetry(obj, rng)
+        output = NONE_LABEL if t.timed_out else t.output
+        timeouts += t.timed_out
+        if output == NONE_LABEL:
+            hazards += 1
+        elif obj.label == UNKNOWN and output in (CAR, PEDESTRIAN):
+            hazards += 1
+    return RunMetrics(n_encounters=n_encounters,
+                      hazard_rate=hazards / n_encounters,
+                      degraded_rate=0.0,
+                      timeout_rate=timeouts / n_encounters)

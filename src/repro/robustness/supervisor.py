@@ -1,0 +1,265 @@
+"""Runtime degradation supervisor: a graceful-degradation state machine.
+
+Implements the paper's tolerance mean as an explicit runtime component:
+the vehicle-level modes ``ACT_NORMALLY → CAUTIOUS_MODE → MINIMAL_RISK``
+(from :mod:`repro.means.tolerance`) become states of a supervisor that
+
+- runs a **watchdog** over channel latencies (a late channel is a faulty
+  channel for this cycle),
+- applies **bounded retry with exponential backoff** to transient channel
+  faults (via :class:`RetryPolicy`, executed by the runtime wrapper),
+- monitors per-channel **divergence** from the fused decision and flags a
+  channel faulty after ``divergence_trip`` consecutive disagreements,
+- applies **hysteresis on recovery**: escalation to a more degraded mode
+  is immediate, de-escalation requires ``recovery_hysteresis`` consecutive
+  clean cycles and steps down one mode at a time,
+- keeps a structured **event log** of every transition, flag and retry.
+
+The supervisor never sees ground truth — only
+:class:`~repro.robustness.faults.ChannelTelemetry` outputs and the fused
+decision — so it is a deployable component, not an oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SupervisorError
+from repro.means.tolerance import (
+    ACT_NORMALLY,
+    CAUTIOUS_MODE,
+    MINIMAL_RISK,
+    FallbackPolicy,
+)
+from repro.perception.world import NONE_LABEL, UNCERTAIN_LABEL
+from repro.robustness.faults import ChannelTelemetry
+
+#: Degradation modes ordered by severity (index = severity level).
+MODE_SEVERITY: Dict[str, int] = {ACT_NORMALLY: 0, CAUTIOUS_MODE: 1,
+                                 MINIMAL_RISK: 2}
+SEVERITY_MODE: Tuple[str, ...] = (ACT_NORMALLY, CAUTIOUS_MODE, MINIMAL_RISK)
+
+
+@dataclass(frozen=True)
+class SupervisorEvent:
+    """One entry of the supervisor's structured event log."""
+
+    step: int
+    kind: str       # "transition" | "channel_flagged" | "channel_recovered"
+                    # | "watchdog_timeout" | "retry"
+    detail: str
+    mode_before: str
+    mode_after: str
+
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient channel faults."""
+
+    def __init__(self, max_retries: int = 2, backoff_base: float = 0.01,
+                 backoff_factor: float = 2.0):
+        if max_retries < 0:
+            raise SupervisorError(
+                f"max_retries must be non-negative, got {max_retries}")
+        if backoff_base < 0.0:
+            raise SupervisorError(
+                f"backoff_base must be non-negative, got {backoff_base}")
+        if backoff_factor < 1.0:
+            raise SupervisorError(
+                f"backoff_factor must be >= 1, got {backoff_factor}")
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_factor = float(backoff_factor)
+
+    def delays(self) -> Tuple[float, ...]:
+        """Backoff delay before each retry attempt, in seconds."""
+        return tuple(self.backoff_base * self.backoff_factor ** i
+                     for i in range(self.max_retries))
+
+    def __repr__(self) -> str:
+        return (f"RetryPolicy(max_retries={self.max_retries}, "
+                f"backoff_base={self.backoff_base})")
+
+
+class DegradationSupervisor:
+    """Graceful-degradation state machine over the perception channels.
+
+    Parameters
+    ----------
+    n_channels:
+        Number of redundant channels being supervised.
+    policy:
+        The uncertainty-aware :class:`FallbackPolicy` used when all
+        channels are healthy.
+    retry:
+        Bounded-backoff policy the runtime applies to timed-out channels
+        before the supervisor sees the final telemetry.
+    divergence_trip:
+        Consecutive cycles a channel may disagree with the fused decision
+        before being flagged faulty.
+    recovery_hysteresis:
+        Consecutive clean cycles required before de-escalating one mode
+        (and before un-flagging a previously faulty channel).
+    minimal_risk_quorum:
+        Fraction of channels that must be simultaneously faulty (flagged
+        or timed out) to force ``MINIMAL_RISK``.
+    """
+
+    def __init__(self, n_channels: int,
+                 policy: Optional[FallbackPolicy] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 divergence_trip: int = 3,
+                 recovery_hysteresis: int = 5,
+                 minimal_risk_quorum: float = 0.5):
+        if n_channels < 1:
+            raise SupervisorError(
+                f"n_channels must be at least 1, got {n_channels}")
+        if divergence_trip < 1:
+            raise SupervisorError(
+                f"divergence_trip must be at least 1, got {divergence_trip}")
+        if recovery_hysteresis < 1:
+            raise SupervisorError("recovery_hysteresis must be at least 1, "
+                                  f"got {recovery_hysteresis}")
+        if not 0.0 < minimal_risk_quorum <= 1.0:
+            raise SupervisorError("minimal_risk_quorum must be in (0, 1], "
+                                  f"got {minimal_risk_quorum}")
+        self.n_channels = int(n_channels)
+        self.policy = policy or FallbackPolicy()
+        self.retry = retry or RetryPolicy()
+        self.divergence_trip = int(divergence_trip)
+        self.recovery_hysteresis = int(recovery_hysteresis)
+        self.minimal_risk_quorum = float(minimal_risk_quorum)
+        self.reset()
+
+    def reset(self) -> None:
+        self.mode: str = ACT_NORMALLY
+        self.step_count: int = 0
+        self.events: List[SupervisorEvent] = []
+        self._divergence = [0] * self.n_channels
+        self._flagged = [False] * self.n_channels
+        self._agree_streak = [0] * self.n_channels
+        self._clean_streak = 0
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def flagged_channels(self) -> Tuple[int, ...]:
+        return tuple(i for i, f in enumerate(self._flagged) if f)
+
+    def event_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for e in self.events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return counts
+
+    # -- internals ------------------------------------------------------------
+
+    def _log(self, kind: str, detail: str, mode_before: str) -> None:
+        self.events.append(SupervisorEvent(
+            step=self.step_count, kind=kind, detail=detail,
+            mode_before=mode_before, mode_after=self.mode))
+
+    def note_retry(self, channel: int, attempt: int, delay: float) -> None:
+        """Record one watchdog-triggered retry (called by the runtime)."""
+        self._log("retry",
+                  f"channel {channel} retry {attempt} after {delay:.4f}s "
+                  "backoff", self.mode)
+
+    @staticmethod
+    def _diverges(output: str, fused: Optional[str]) -> bool:
+        """A channel diverges when it contradicts the fused decision on
+        whether an object exists, or commits to a different object label."""
+        if fused is None:
+            return False  # nothing agreed to diverge from
+        says_object = output != NONE_LABEL
+        fused_object = fused != NONE_LABEL
+        if says_object != fused_object:
+            return True
+        if not says_object:
+            return False
+        if UNCERTAIN_LABEL in (output, fused):
+            return False  # an epistemic output is honesty, not divergence
+        return output != fused
+
+    def step(self, telemetry: Sequence[ChannelTelemetry],
+             fused_output: Optional[str],
+             epistemic_score: float = 0.0) -> str:
+        """Advance one cycle; returns the new vehicle-level mode.
+
+        ``fused_output`` is ``None`` when no channel delivered in time —
+        the perception stack produced nothing to act on this cycle.
+        """
+        if len(telemetry) != self.n_channels:
+            raise SupervisorError(
+                f"expected telemetry for {self.n_channels} channels, "
+                f"got {len(telemetry)}")
+        self.step_count += 1
+        mode_before = self.mode
+
+        timeouts = [t.timed_out for t in telemetry]
+        for i, t in enumerate(telemetry):
+            if t.timed_out:
+                self._log("watchdog_timeout",
+                          f"channel {i} latency {t.latency:.4f}s exceeded "
+                          "deadline", mode_before)
+
+        # Divergence bookkeeping against the fused decision.
+        for i, t in enumerate(telemetry):
+            diverged = t.timed_out or self._diverges(t.output, fused_output)
+            if diverged:
+                self._divergence[i] += 1
+                self._agree_streak[i] = 0
+                if (not self._flagged[i]
+                        and self._divergence[i] >= self.divergence_trip):
+                    self._flagged[i] = True
+                    self._log("channel_flagged",
+                              f"channel {i} diverged {self._divergence[i]} "
+                              "consecutive cycles", mode_before)
+            else:
+                self._divergence[i] = 0
+                self._agree_streak[i] += 1
+                if (self._flagged[i]
+                        and self._agree_streak[i] >= self.recovery_hysteresis):
+                    self._flagged[i] = False
+                    self._log("channel_recovered",
+                              f"channel {i} agreed {self._agree_streak[i]} "
+                              "consecutive cycles", mode_before)
+
+        # Desired mode for this cycle.
+        n_faulty = sum(1 for i in range(self.n_channels)
+                       if self._flagged[i] or timeouts[i])
+        if fused_output is None or (
+                n_faulty >= self.minimal_risk_quorum * self.n_channels):
+            desired = MINIMAL_RISK
+        else:
+            desired = self.policy.decide(fused_output, epistemic_score)
+            if n_faulty > 0:
+                desired = SEVERITY_MODE[max(MODE_SEVERITY[desired],
+                                            MODE_SEVERITY[CAUTIOUS_MODE])]
+
+        # Escalate immediately; de-escalate one step under hysteresis.
+        current = MODE_SEVERITY[self.mode]
+        wanted = MODE_SEVERITY[desired]
+        if wanted > current:
+            self.mode = desired
+            self._clean_streak = 0
+            self._log("transition",
+                      f"escalated to {desired} (faulty channels: {n_faulty})",
+                      mode_before)
+        elif wanted < current:
+            self._clean_streak += 1
+            if self._clean_streak >= self.recovery_hysteresis:
+                self.mode = SEVERITY_MODE[current - 1]
+                self._clean_streak = 0
+                self._log("transition",
+                          f"recovered one step toward {desired} after "
+                          f"{self.recovery_hysteresis} clean cycles",
+                          mode_before)
+        else:
+            self._clean_streak = 0
+        return self.mode
+
+    def __repr__(self) -> str:
+        return (f"DegradationSupervisor(mode={self.mode!r}, "
+                f"channels={self.n_channels}, "
+                f"flagged={list(self.flagged_channels)})")

@@ -197,6 +197,21 @@ class TestTolerance:
         with pytest.raises(StrategyError):
             FallbackPolicy(treat_uncertain_as="full_speed_ahead")
 
+    @pytest.mark.parametrize("bad_score", [float("nan"), -0.1, 1.5,
+                                           float("inf")])
+    def test_decide_rejects_invalid_epistemic_score(self, bad_score):
+        """Regression: NaN/out-of-range scores used to pass silently (a
+        NaN never crossed the threshold, so the policy acted normally on
+        garbage input)."""
+        policy = FallbackPolicy()
+        with pytest.raises(StrategyError):
+            policy.decide(CAR, bad_score)
+
+    def test_decide_accepts_boundary_scores(self):
+        policy = FallbackPolicy(epistemic_threshold=0.4)
+        assert policy.decide(CAR, 0.0) == ACT_NORMALLY
+        assert policy.decide(CAR, 1.0) == CAUTIOUS_MODE
+
 
 class TestForecasting:
     def test_release_blocked_without_exposure(self):

@@ -92,6 +92,40 @@ class TestFusion:
             RedundantPerceptionSystem([])
 
 
+class TestDeterministicTieBreak:
+    """Voting ties resolve by the documented fixed order (pedestrian >
+    car > none), so fusion — and hence campaign results — is a
+    deterministic function of the channel outputs."""
+
+    @pytest.fixture
+    def majority(self, rng):
+        return RedundantPerceptionSystem(make_diverse_chains(2, rng),
+                                         fusion="majority")
+
+    def test_car_pedestrian_tie_prefers_pedestrian(self, majority):
+        assert majority.fuse([CAR, PEDESTRIAN]) == PEDESTRIAN
+
+    def test_object_none_tie_prefers_object(self, majority):
+        assert majority.fuse([CAR, NONE_LABEL]) == CAR
+        assert majority.fuse([PEDESTRIAN, NONE_LABEL]) == PEDESTRIAN
+
+    def test_uncertain_pair_ties_to_pedestrian(self, majority):
+        # Two car/pedestrian outputs: 1 : 1 : 0 -> pedestrian by order.
+        assert majority.fuse([UNCERTAIN_LABEL, UNCERTAIN_LABEL]) == PEDESTRIAN
+
+    def test_fusion_is_pure_function_of_outputs(self, majority):
+        outputs = [CAR, PEDESTRIAN]
+        assert all(majority.fuse(outputs) == majority.fuse(outputs)
+                   for _ in range(20))
+
+    def test_evidential_tie_break_deterministic(self, rng):
+        system = RedundantPerceptionSystem(make_diverse_chains(2, rng),
+                                           fusion="dempster")
+        # Symmetric conflicting evidence: pignistic mass ties car/pedestrian.
+        results = {system.fuse([CAR, PEDESTRIAN]) for _ in range(20)}
+        assert results == {PEDESTRIAN}
+
+
 class TestRedundancyEffect:
     def test_redundancy_reduces_hazard(self):
         """§V: redundant architectures with diverse uncertainties tolerate."""

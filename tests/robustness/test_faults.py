@@ -1,0 +1,231 @@
+"""Unit tests for the fault models and the injection engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InjectionError
+from repro.perception.chain import PerceptionChain
+from repro.perception.sensors import SensorReading
+from repro.perception.world import (
+    CAR,
+    NONE_LABEL,
+    PEDESTRIAN,
+    UNCERTAIN_LABEL,
+    UNKNOWN,
+    ObjectInstance,
+    WorldModel,
+)
+from repro.robustness.faults import (
+    ByzantineFault,
+    ConfusionCorruptionFault,
+    FaultInjectedChain,
+    FaultInjector,
+    FaultModel,
+    LatencyFault,
+    NoiseBurstFault,
+    SensorDropoutFault,
+    StuckAtFault,
+)
+from repro.core.taxonomy import UncertaintyType
+
+ALL_FAULT_TYPES = [SensorDropoutFault, NoiseBurstFault, StuckAtFault,
+                   ConfusionCorruptionFault, LatencyFault, ByzantineFault]
+
+
+def an_object(**overrides):
+    defaults = dict(true_class=CAR, label=CAR, distance=20.0, occlusion=0.1,
+                    night=False, rain=False)
+    defaults.update(overrides)
+    return ObjectInstance(**defaults)
+
+
+def a_reading(quality=0.9, label=CAR):
+    return SensorReading(detected=True, quality=quality, true_class=label,
+                         label=label)
+
+
+class TestFaultModelBasics:
+    @pytest.mark.parametrize("cls", ALL_FAULT_TYPES)
+    def test_intensity_validation(self, cls):
+        with pytest.raises(InjectionError):
+            cls(-0.1)
+        with pytest.raises(InjectionError):
+            cls(1.5)
+        with pytest.raises(InjectionError):
+            cls(float("nan"))
+
+    @pytest.mark.parametrize("cls", ALL_FAULT_TYPES)
+    def test_tagged_with_uncertainty_type(self, cls):
+        assert isinstance(cls.uncertainty_type, UncertaintyType)
+
+    def test_taxonomy_covers_all_three_types(self):
+        """The catalogue spans aleatory, epistemic AND ontological."""
+        tags = {cls.uncertainty_type for cls in ALL_FAULT_TYPES}
+        assert tags == set(UncertaintyType)
+
+    @pytest.mark.parametrize("cls", ALL_FAULT_TYPES)
+    def test_intensity_zero_never_fires(self, cls):
+        fault = cls(0.0, seed=3)
+        reading = a_reading()
+        obj = an_object()
+        for _ in range(200):
+            fault.begin_encounter()
+            assert fault.apply_reading(reading) == reading
+            assert fault.apply_output(CAR, obj) == CAR
+            assert fault.extra_latency() == 0.0
+            assert not fault.fired
+
+    def test_seeded_determinism_and_reset(self):
+        fault = SensorDropoutFault(0.5, seed=11)
+        first = [fault.begin_encounter() or fault.fires() for _ in range(50)]
+        fault.reset()
+        second = [fault.begin_encounter() or fault.fires() for _ in range(50)]
+        assert first == second
+        assert any(first) and not all(first)
+
+
+class TestIndividualFaults:
+    def test_dropout_full_intensity_undetects(self):
+        fault = SensorDropoutFault(1.0, seed=0)
+        fault.begin_encounter()
+        out = fault.apply_reading(a_reading())
+        assert not out.detected and out.quality == 0.0
+
+    def test_noise_burst_degrades_quality(self):
+        fault = NoiseBurstFault(1.0, seed=0, severity=0.5)
+        fault.begin_encounter()
+        out = fault.apply_reading(a_reading(quality=0.8))
+        assert out.quality == pytest.approx(0.4)
+
+    def test_noise_burst_is_bursty(self):
+        """Once started, a burst continues without a fresh firing draw."""
+        fault = NoiseBurstFault(1.0, seed=0, severity=1.0, burst_continue=0.99)
+        fault.begin_encounter()
+        fault.apply_reading(a_reading())
+        assert fault._in_burst  # overwhelmingly likely at 0.99
+        fault.intensity = 0.0   # no new bursts can start...
+        fault.begin_encounter()
+        out = fault.apply_reading(a_reading(quality=0.8))
+        assert out.quality == 0.0  # ...but the running burst still degrades
+
+    def test_noise_burst_validation(self):
+        with pytest.raises(InjectionError):
+            NoiseBurstFault(0.5, severity=1.5)
+        with pytest.raises(InjectionError):
+            NoiseBurstFault(0.5, burst_continue=1.0)
+
+    def test_stuck_at_replaces_output(self):
+        fault = StuckAtFault(1.0, seed=0, stuck_output=NONE_LABEL)
+        fault.begin_encounter()
+        assert fault.apply_output(CAR, an_object()) == NONE_LABEL
+
+    def test_stuck_at_invalid_label(self):
+        with pytest.raises(InjectionError):
+            StuckAtFault(0.5, stuck_output="zebra")
+
+    def test_confusion_swaps_labels(self):
+        fault = ConfusionCorruptionFault(1.0, seed=0)
+        obj = an_object()
+        fault.begin_encounter()
+        assert fault.apply_output(CAR, obj) == PEDESTRIAN
+        fault.begin_encounter()
+        assert fault.apply_output(PEDESTRIAN, obj) == CAR
+        fault.begin_encounter()
+        assert fault.apply_output(NONE_LABEL, obj) == NONE_LABEL
+        fault.begin_encounter()
+        assert fault.apply_output(UNCERTAIN_LABEL, obj) in (CAR, PEDESTRIAN)
+
+    def test_latency_adds_delay(self):
+        fault = LatencyFault(1.0, seed=0, mean_delay=0.2)
+        fault.begin_encounter()
+        assert fault.extra_latency() > 0.0
+
+    def test_latency_validation(self):
+        with pytest.raises(InjectionError):
+            LatencyFault(0.5, mean_delay=0.0)
+
+    def test_byzantine_most_misleading(self):
+        fault = ByzantineFault(1.0, seed=0)
+        fault.begin_encounter()
+        assert fault.apply_output(CAR, an_object(label=CAR)) == NONE_LABEL
+        fault.begin_encounter()
+        assert fault.apply_output(
+            NONE_LABEL, an_object(true_class="kangaroo",
+                                  label=UNKNOWN)) == CAR
+
+
+class TestInjectorAndChain:
+    def test_injector_rejects_non_faults(self):
+        with pytest.raises(InjectionError):
+            FaultInjector(["not a fault"])
+
+    def test_injector_composes_in_order(self):
+        confusion = ConfusionCorruptionFault(1.0, seed=0)
+        stuck = StuckAtFault(1.0, seed=1, stuck_output=NONE_LABEL)
+        injector = FaultInjector([confusion, stuck])
+        injector.begin_encounter()
+        # confusion first (car -> pedestrian), then stuck-at wins.
+        assert injector.apply_output(CAR, an_object()) == NONE_LABEL
+        assert set(injector.fired_names()) == {"ConfusionCorruptionFault",
+                                               "StuckAtFault"}
+
+    def test_chain_validation(self):
+        with pytest.raises(InjectionError):
+            FaultInjectedChain(PerceptionChain(), deadline=-1.0)
+        with pytest.raises(InjectionError):
+            FaultInjectedChain(PerceptionChain(), deadline=0.1,
+                               base_latency=0.2)
+
+    def test_no_faults_matches_bare_chain(self):
+        """An injector with no faults is telemetry around the same chain."""
+        chain = PerceptionChain()
+        wrapped = FaultInjectedChain(PerceptionChain())
+        rng_a, rng_b = np.random.default_rng(7), np.random.default_rng(7)
+        world = WorldModel()
+        obj_rng = np.random.default_rng(1)
+        for _ in range(50):
+            obj = world.sample_object(obj_rng)
+            label, score = chain.perceive_with_score(obj, rng_a)
+            t = wrapped.perceive_with_telemetry(obj, rng_b)
+            assert t.output == label
+            assert t.epistemic_score == score
+            assert not t.timed_out and t.faults_fired == ()
+
+    def test_intensity_zero_chain_is_identity(self):
+        """Every fault model at intensity 0 leaves the chain untouched."""
+        world = WorldModel()
+        for cls in ALL_FAULT_TYPES:
+            bare = FaultInjectedChain(PerceptionChain())
+            faulted = FaultInjectedChain(PerceptionChain(),
+                                         [cls(0.0, seed=5)])
+            rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+            obj_rng = np.random.default_rng(2)
+            for _ in range(20):
+                obj = world.sample_object(obj_rng)
+                ta = bare.perceive_with_telemetry(obj, rng_a)
+                tb = faulted.perceive_with_telemetry(obj, rng_b)
+                assert ta == tb, cls.__name__
+
+    def test_chain_telemetry_timeout(self):
+        fault = LatencyFault(1.0, seed=0, mean_delay=50.0)
+        wrapped = FaultInjectedChain(PerceptionChain(), [fault],
+                                     deadline=0.1)
+        t = wrapped.perceive_with_telemetry(an_object(),
+                                            np.random.default_rng(0))
+        assert t.timed_out and t.latency > 0.1
+        assert "LatencyFault" in t.faults_fired
+
+    def test_chain_reset_reproduces(self):
+        fault = SensorDropoutFault(0.5, seed=9)
+        wrapped = FaultInjectedChain(PerceptionChain(), [fault])
+        world = WorldModel()
+
+        def run():
+            rng = np.random.default_rng(4)
+            obj_rng = np.random.default_rng(5)
+            return [wrapped.perceive_with_telemetry(
+                world.sample_object(obj_rng), rng) for _ in range(40)]
+
+        first = run()
+        wrapped.reset()
+        assert run() == first

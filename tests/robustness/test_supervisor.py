@@ -1,0 +1,181 @@
+"""State-machine, watchdog, retry and hysteresis tests for the supervisor."""
+
+import pytest
+
+from repro.errors import SupervisorError
+from repro.means.tolerance import (
+    ACT_NORMALLY,
+    CAUTIOUS_MODE,
+    MINIMAL_RISK,
+    FallbackPolicy,
+)
+from repro.perception.world import CAR, NONE_LABEL, PEDESTRIAN, UNCERTAIN_LABEL
+from repro.robustness.faults import ChannelTelemetry
+from repro.robustness.supervisor import DegradationSupervisor, RetryPolicy
+
+
+def telemetry(output=CAR, score=0.0, latency=0.02, timed_out=False):
+    return ChannelTelemetry(output=output, epistemic_score=score,
+                            latency=latency, timed_out=timed_out)
+
+
+def healthy(n=3, output=CAR):
+    return [telemetry(output) for _ in range(n)]
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_delays(self):
+        retry = RetryPolicy(max_retries=3, backoff_base=0.01,
+                            backoff_factor=2.0)
+        assert retry.delays() == (0.01, 0.02, 0.04)
+
+    def test_zero_retries(self):
+        assert RetryPolicy(max_retries=0).delays() == ()
+
+    def test_validation(self):
+        with pytest.raises(SupervisorError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(SupervisorError):
+            RetryPolicy(backoff_base=-0.1)
+        with pytest.raises(SupervisorError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+class TestSupervisorValidation:
+    def test_constructor_validation(self):
+        with pytest.raises(SupervisorError):
+            DegradationSupervisor(0)
+        with pytest.raises(SupervisorError):
+            DegradationSupervisor(3, divergence_trip=0)
+        with pytest.raises(SupervisorError):
+            DegradationSupervisor(3, recovery_hysteresis=0)
+        with pytest.raises(SupervisorError):
+            DegradationSupervisor(3, minimal_risk_quorum=0.0)
+
+    def test_telemetry_arity_checked(self):
+        sup = DegradationSupervisor(3)
+        with pytest.raises(SupervisorError):
+            sup.step(healthy(2), CAR)
+
+
+class TestTransitions:
+    def test_healthy_stays_normal(self):
+        sup = DegradationSupervisor(3)
+        for _ in range(20):
+            assert sup.step(healthy(), CAR) == ACT_NORMALLY
+
+    def test_uncertain_fused_output_degrades(self):
+        sup = DegradationSupervisor(3)
+        mode = sup.step(healthy(output=UNCERTAIN_LABEL), UNCERTAIN_LABEL)
+        assert mode == CAUTIOUS_MODE
+
+    def test_timeout_forces_cautious(self):
+        sup = DegradationSupervisor(3)
+        tele = [telemetry(), telemetry(), telemetry(timed_out=True,
+                                                    latency=0.5)]
+        assert sup.step(tele, CAR) == CAUTIOUS_MODE
+        assert any(e.kind == "watchdog_timeout" for e in sup.events)
+
+    def test_no_fused_output_forces_minimal_risk(self):
+        sup = DegradationSupervisor(2)
+        tele = [telemetry(timed_out=True), telemetry(timed_out=True)]
+        assert sup.step(tele, None) == MINIMAL_RISK
+
+    def test_quorum_of_faulty_channels_forces_minimal_risk(self):
+        sup = DegradationSupervisor(2, minimal_risk_quorum=0.5)
+        tele = [telemetry(timed_out=True), telemetry()]
+        assert sup.step(tele, CAR) == MINIMAL_RISK
+
+    def test_divergence_trip_flags_channel(self):
+        sup = DegradationSupervisor(3, divergence_trip=3)
+        divergent = [telemetry(NONE_LABEL), telemetry(), telemetry()]
+        sup.step(divergent, CAR)
+        sup.step(divergent, CAR)
+        assert sup.flagged_channels == ()
+        sup.step(divergent, CAR)
+        assert sup.flagged_channels == (0,)
+        assert sup.mode == CAUTIOUS_MODE
+        assert any(e.kind == "channel_flagged" for e in sup.events)
+
+    def test_uncertain_channel_output_is_not_divergence(self):
+        sup = DegradationSupervisor(3, divergence_trip=1)
+        tele = [telemetry(UNCERTAIN_LABEL), telemetry(), telemetry()]
+        sup.step(tele, CAR)
+        assert sup.flagged_channels == ()
+
+    def test_committed_label_disagreement_is_divergence(self):
+        sup = DegradationSupervisor(3, divergence_trip=1)
+        tele = [telemetry(PEDESTRIAN), telemetry(), telemetry()]
+        sup.step(tele, CAR)
+        assert sup.flagged_channels == (0,)
+
+
+class TestHysteresis:
+    def test_recovery_needs_consecutive_clean_cycles(self):
+        sup = DegradationSupervisor(3, recovery_hysteresis=3)
+        sup.step([telemetry(timed_out=True), telemetry(), telemetry()], CAR)
+        assert sup.mode == CAUTIOUS_MODE
+        # Two clean cycles are not enough...
+        assert sup.step(healthy(), CAR) == CAUTIOUS_MODE
+        assert sup.step(healthy(), CAR) == CAUTIOUS_MODE
+        # ...the third clean cycle de-escalates.
+        assert sup.step(healthy(), CAR) == ACT_NORMALLY
+
+    def test_relapse_resets_the_clean_streak(self):
+        sup = DegradationSupervisor(3, recovery_hysteresis=3)
+        flaky = [telemetry(timed_out=True), telemetry(), telemetry()]
+        sup.step(flaky, CAR)
+        sup.step(healthy(), CAR)
+        sup.step(healthy(), CAR)
+        sup.step(flaky, CAR)  # relapse
+        assert sup.step(healthy(), CAR) == CAUTIOUS_MODE
+        assert sup.step(healthy(), CAR) == CAUTIOUS_MODE
+        assert sup.step(healthy(), CAR) == ACT_NORMALLY
+
+    def test_minimal_risk_steps_down_one_mode_at_a_time(self):
+        sup = DegradationSupervisor(2, recovery_hysteresis=2)
+        sup.step([telemetry(timed_out=True), telemetry(timed_out=True)],
+                 None)
+        assert sup.mode == MINIMAL_RISK
+        sup.step(healthy(2), CAR)
+        assert sup.step(healthy(2), CAR) == CAUTIOUS_MODE  # not straight down
+        sup.step(healthy(2), CAR)
+        assert sup.step(healthy(2), CAR) == ACT_NORMALLY
+
+    def test_flagged_channel_recovers_after_agreement_streak(self):
+        sup = DegradationSupervisor(3, divergence_trip=1,
+                                    recovery_hysteresis=2)
+        sup.step([telemetry(NONE_LABEL), telemetry(), telemetry()], CAR)
+        assert sup.flagged_channels == (0,)
+        sup.step(healthy(), CAR)
+        sup.step(healthy(), CAR)
+        assert sup.flagged_channels == ()
+        assert any(e.kind == "channel_recovered" for e in sup.events)
+
+
+class TestEventLogAndPolicy:
+    def test_transitions_are_logged_with_modes(self):
+        sup = DegradationSupervisor(3)
+        sup.step([telemetry(timed_out=True), telemetry(), telemetry()], CAR)
+        transitions = [e for e in sup.events if e.kind == "transition"]
+        assert transitions
+        assert transitions[0].mode_before == ACT_NORMALLY
+        assert transitions[0].mode_after == CAUTIOUS_MODE
+
+    def test_note_retry_logged(self):
+        sup = DegradationSupervisor(3)
+        sup.note_retry(channel=1, attempt=1, delay=0.01)
+        assert sup.event_counts() == {"retry": 1}
+
+    def test_policy_threshold_applies_when_healthy(self):
+        sup = DegradationSupervisor(
+            3, policy=FallbackPolicy(epistemic_threshold=0.4))
+        assert sup.step(healthy(), CAR, epistemic_score=0.9) == CAUTIOUS_MODE
+
+    def test_reset_restores_initial_state(self):
+        sup = DegradationSupervisor(3, divergence_trip=1)
+        sup.step([telemetry(NONE_LABEL), telemetry(), telemetry()], CAR)
+        assert sup.mode != ACT_NORMALLY or sup.events
+        sup.reset()
+        assert sup.mode == ACT_NORMALLY
+        assert sup.events == [] and sup.flagged_channels == ()

@@ -44,4 +44,31 @@ class TestCLI:
 
     def test_all_commands_registered(self):
         assert set(COMMANDS) == {"fig4", "table1", "strategy", "matrix",
-                                 "dossier", "experiments"}
+                                 "dossier", "experiments", "inject",
+                                 "campaign"}
+
+    def test_inject_runs(self, capsys):
+        assert main(["inject", "--fault", "dropout", "--trials", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "hazard" in out and "aleatory" in out
+
+    def test_campaign_runs_and_reports(self, capsys):
+        assert main(["campaign", "--seed", "0", "--trials", "20",
+                     "--intensities", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "Robustness campaign report" in out
+        assert "availability" in out
+
+    def test_inject_invalid_fault_nonzero_exit(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["inject", "--fault", "gremlins"])
+        assert exc.value.code != 0
+
+    def test_inject_invalid_intensity_nonzero_exit(self, capsys):
+        assert main(["inject", "--fault", "dropout",
+                     "--intensity", "1.5"]) != 0
+        assert "must be in [0, 1]" in capsys.readouterr().err
+
+    def test_campaign_invalid_trials_nonzero_exit(self, capsys):
+        assert main(["campaign", "--trials", "-5"]) != 0
+        assert "trials" in capsys.readouterr().err
