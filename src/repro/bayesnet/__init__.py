@@ -9,6 +9,13 @@ al., ref. [37]) to tame the exponential CPT growth the paper warns about.
 """
 
 from repro.bayesnet.cpt import CPT
+from repro.bayesnet.engine import (
+    CompiledNetwork,
+    EngineStats,
+    InferenceEngine,
+    RecompilingEngine,
+    as_engine,
+)
 from repro.bayesnet.factor import Factor
 from repro.bayesnet.graph import DAG
 from repro.bayesnet.learning import bayesian_update_cpts, fit_cpts_mle
@@ -23,6 +30,11 @@ __all__ = [
     "Factor",
     "DAG",
     "BayesianNetwork",
+    "CompiledNetwork",
+    "EngineStats",
+    "InferenceEngine",
+    "RecompilingEngine",
+    "as_engine",
     "Variable",
     "RankedNode",
     "ranked_cpt",

@@ -194,22 +194,28 @@ def min_fill_elimination_order(adjacency: Dict[str, Set[str]],
     node connects all its neighbours; min-fill picks, at each step, the node
     introducing the fewest fill-in edges — the standard heuristic for both
     variable elimination and triangulation.
+
+    Fill-count ties break by variable name, so the order is a pure function
+    of the graph — independent of dict/set insertion order and Python hash
+    randomization.  Cached query plans and campaign artifacts built on it
+    are therefore bit-for-bit reproducible.
     """
     adj = {n: set(nb) for n, nb in adjacency.items()}
     keep_set = set(keep)
     order: List[str] = []
-    candidates = [n for n in adj if n not in keep_set]
+    candidates = sorted(n for n in adj if n not in keep_set)
     while candidates:
-        best, best_fill = None, None
-        for n in sorted(candidates):
+        best, best_key = None, None
+        for n in candidates:
             nbs = [m for m in adj[n] if m != n]
             fill = 0
             for i, a in enumerate(nbs):
                 for b in nbs[i + 1:]:
                     if b not in adj[a]:
                         fill += 1
-            if best_fill is None or fill < best_fill:
-                best, best_fill = n, fill
+            key = (fill, n)
+            if best_key is None or key < best_key:
+                best, best_key = n, key
         assert best is not None
         order.append(best)
         nbs = [m for m in adj[best] if m != best]

@@ -23,7 +23,8 @@ def _interaction_graph(factors: Sequence[Factor]) -> Dict[str, Set[str]]:
 
 
 def variable_elimination(factors: Sequence[Factor], query: Sequence[str],
-                         evidence: Mapping[str, str] = None) -> Factor:
+                         evidence: Mapping[str, str] = None, *,
+                         order: Sequence[str] = None) -> Factor:
     """Compute the joint posterior P(query | evidence) from CPT factors.
 
     Parameters
@@ -34,6 +35,11 @@ def variable_elimination(factors: Sequence[Factor], query: Sequence[str],
         Variable names whose joint posterior is requested.
     evidence:
         Observed {variable: state}.
+    order:
+        Optional precomputed elimination order (a cached plan from
+        :class:`~repro.bayesnet.engine.CompiledNetwork`).  Must cover every
+        non-query, non-evidence variable; when omitted, a min-fill order is
+        computed from scratch.
 
     Returns the normalized posterior factor over the query variables.
     """
@@ -59,8 +65,11 @@ def variable_elimination(factors: Sequence[Factor], query: Sequence[str],
     if missing:
         raise InferenceError(f"query variables {sorted(missing)} not in any factor")
 
-    adj = _interaction_graph(live)
-    order = min_fill_elimination_order(adj, keep=query)
+    if order is None:
+        adj = _interaction_graph(live)
+        order = min_fill_elimination_order(adj, keep=query)
+    else:
+        order = [n for n in order if n not in evidence and n not in query]
 
     for name in order:
         bucket = [f for f in live if name in f.scope]
@@ -82,8 +91,13 @@ def variable_elimination(factors: Sequence[Factor], query: Sequence[str],
 
 
 def evidence_probability(factors: Sequence[Factor],
-                         evidence: Mapping[str, str]) -> float:
-    """P(evidence): the partition function after reducing and summing out."""
+                         evidence: Mapping[str, str], *,
+                         order: Sequence[str] = None) -> float:
+    """P(evidence): the partition function after reducing and summing out.
+
+    ``order``, when given, is a precomputed elimination order (cached
+    engine plan); evidence variables in it are skipped.
+    """
     evidence = dict(evidence)
     reduced = [f.reduce(evidence) for f in factors]
     live = [f for f in reduced if not isinstance(f, ScalarFactor)]
@@ -91,8 +105,11 @@ def evidence_probability(factors: Sequence[Factor],
     for f in reduced:
         if isinstance(f, ScalarFactor):
             scalar *= f.partition()
-    adj = _interaction_graph(live)
-    order = min_fill_elimination_order(adj)
+    if order is None:
+        adj = _interaction_graph(live)
+        order = min_fill_elimination_order(adj)
+    else:
+        order = [n for n in order if n not in evidence]
     for name in order:
         bucket = [f for f in live if name in f.scope]
         live = [f for f in live if name not in f.scope]

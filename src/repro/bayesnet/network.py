@@ -4,18 +4,23 @@ This is the graphical analysis model of the paper's §V-B: "The BN is a
 Directed Acyclic Graph that consists of nodes and edges.  Every node is a
 random variable ... The effect of parent node on child node is determined
 by conditional probabilities."
+
+Exact inference is served by a lazily-created
+:class:`~repro.bayesnet.engine.CompiledNetwork` — validation, CPT→factor
+conversion, elimination orders and the junction tree are compiled once and
+cached behind a mutation-tracked version counter, so repeated queries (the
+removal/sensitivity/VoI/campaign hot path) reuse the compiled artifacts.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.bayesnet.cpt import CPT
 from repro.bayesnet.factor import Factor
 from repro.bayesnet.graph import DAG
-from repro.bayesnet.inference.junction_tree import JunctionTree
 from repro.bayesnet.inference.sampling import (
     forward_sample,
     gibbs_query,
@@ -23,12 +28,13 @@ from repro.bayesnet.inference.sampling import (
     rejection_query,
 )
 from repro.bayesnet.inference.variable_elimination import (
-    evidence_probability,
     most_probable_explanation,
-    variable_elimination,
 )
 from repro.bayesnet.variable import Variable
 from repro.errors import GraphError, InferenceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.bayesnet.engine import CompiledNetwork
 
 
 class BayesianNetwork:
@@ -49,8 +55,22 @@ class BayesianNetwork:
         self.dag = DAG()
         self._variables: Dict[str, Variable] = {}
         self._cpts: Dict[str, CPT] = {}
+        self._version = 0
+        self._validated_version: Optional[int] = None
+        self._factors_version: Optional[int] = None
+        self._factor_cache: List[Factor] = []
+        self._engine: Optional["CompiledNetwork"] = None
 
     # -- construction -----------------------------------------------------------
+
+    def _mutated(self) -> None:
+        """Record a structure/parameter change; invalidates memoized state."""
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter; engine caches key off it."""
+        return self._version
 
     def add_cpt(self, cpt: CPT) -> None:
         """Add a node together with its CPT; parents must exist already."""
@@ -68,9 +88,14 @@ class BayesianNetwork:
         for p in cpt.parents:
             self.dag.add_edge(p.name, child.name)
         self._cpts[child.name] = cpt
+        self._mutated()
 
     def replace_cpt(self, cpt: CPT) -> None:
-        """Swap the CPT of an existing node (same child and parent set)."""
+        """Swap the CPT of an existing node (same child and parent set).
+
+        A parameter-only mutation: the engine keeps its cached elimination
+        orders (structure fingerprint unchanged) and rebuilds only factors.
+        """
         old = self._cpts.get(cpt.child.name)
         if old is None:
             raise GraphError(f"node {cpt.child.name!r} does not exist")
@@ -79,6 +104,7 @@ class BayesianNetwork:
                 "replace_cpt must preserve the parent set; rebuild the network "
                 "to change structure")
         self._cpts[cpt.child.name] = cpt
+        self._mutated()
 
     # -- accessors ----------------------------------------------------------------
 
@@ -99,14 +125,30 @@ class BayesianNetwork:
             raise GraphError(f"no CPT for {name!r}") from None
 
     def factors(self) -> List[Factor]:
-        return [cpt.to_factor() for cpt in self._cpts.values()]
+        """CPT factors, memoized until the next mutation.
+
+        Factors are treated as immutable throughout the inference stack, so
+        sharing the cached objects across queries is safe.
+        """
+        if self._factors_version != self._version:
+            self._factor_cache = [cpt.to_factor()
+                                  for cpt in self._cpts.values()]
+            self._factors_version = self._version
+        return list(self._factor_cache)
 
     def n_parameters(self) -> int:
         """Total free parameters — the elicitation burden of the model."""
         return sum(cpt.n_parameters() for cpt in self._cpts.values())
 
-    def validate(self) -> None:
-        """Check every node has a CPT and the structure is a proper DAG."""
+    def validate(self, force: bool = False) -> None:
+        """Check every node has a CPT and the structure is a proper DAG.
+
+        Memoized behind the mutation counter: repeat queries on an
+        unchanged network skip revalidation entirely.  ``force`` bypasses
+        the memo (used by the recompiling baseline engine).
+        """
+        if not force and self._validated_version == self._version:
+            return
         for name in self.dag.nodes:
             if name not in self._cpts:
                 raise GraphError(f"node {name!r} has no CPT")
@@ -115,8 +157,21 @@ class BayesianNetwork:
                 raise GraphError(
                     f"CPT parents of {name!r} disagree with graph structure")
         self.dag.topological_order()  # raises on cycles
+        self._validated_version = self._version
 
     # -- inference -----------------------------------------------------------------
+
+    def engine(self) -> "CompiledNetwork":
+        """The compiled inference engine for this network (created once).
+
+        All exact queries below delegate here; analysis layers that sweep
+        many queries should hold this handle directly and use
+        :meth:`~repro.bayesnet.engine.CompiledNetwork.query_batch`.
+        """
+        if self._engine is None:
+            from repro.bayesnet.engine import CompiledNetwork
+            self._engine = CompiledNetwork(self)
+        return self._engine
 
     def query(self, target: str, evidence: Mapping[str, str] = None,
               method: str = "exact", rng: Optional[np.random.Generator] = None,
@@ -126,15 +181,12 @@ class BayesianNetwork:
         ``method`` is one of ``exact`` (variable elimination),
         ``junction_tree``, ``likelihood_weighting``, ``rejection``, ``gibbs``.
         """
-        self.validate()
         evidence = dict(evidence or {})
         if method == "exact":
-            factor = variable_elimination(self.factors(), [target], evidence)
-            return factor.distribution()
+            return self.engine().query(target, evidence)
         if method == "junction_tree":
-            jt = JunctionTree(self.factors())
-            jt.calibrate(evidence)
-            return jt.marginal(target)
+            return self.engine().marginals(evidence)[target]
+        self.validate()
         if rng is None:
             raise InferenceError(f"method {method!r} requires an rng")
         if method == "likelihood_weighting":
@@ -148,14 +200,11 @@ class BayesianNetwork:
     def joint_query(self, targets: Sequence[str],
                     evidence: Mapping[str, str] = None) -> Factor:
         """Joint posterior over several targets (exact)."""
-        self.validate()
-        return variable_elimination(self.factors(), list(targets),
-                                    dict(evidence or {}))
+        return self.engine().joint_query(list(targets), dict(evidence or {}))
 
     def probability_of_evidence(self, evidence: Mapping[str, str]) -> float:
         """P(evidence) — the normalizing constant of a diagnostic query."""
-        self.validate()
-        return evidence_probability(self.factors(), dict(evidence))
+        return self.engine().probability_of_evidence(dict(evidence))
 
     def map_explanation(self, evidence: Mapping[str, str] = None) -> Dict[str, str]:
         """Most probable explanation of all unobserved variables."""
@@ -169,10 +218,7 @@ class BayesianNetwork:
 
     def marginals(self, evidence: Mapping[str, str] = None) -> Dict[str, Dict[str, float]]:
         """All posterior marginals via one junction-tree calibration."""
-        self.validate()
-        jt = JunctionTree(self.factors())
-        jt.calibrate(dict(evidence or {}))
-        return {name: jt.marginal(name) for name in self.dag.nodes}
+        return self.engine().marginals(dict(evidence or {}))
 
     def __repr__(self) -> str:
         return (f"BayesianNetwork({self.name!r}, nodes={self.dag.n_nodes}, "

@@ -16,6 +16,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.bayesnet.cpt import CPT
+from repro.bayesnet.engine import InferenceEngine
 from repro.bayesnet.network import BayesianNetwork
 from repro.errors import InferenceError
 
@@ -53,37 +54,80 @@ class SensitivityFunction:
         return float(ys.min()), float(ys.max())
 
 
+def _entry_cpt(cpt: CPT, parent_states: Tuple[str, ...], child_state: str,
+               value: float) -> CPT:
+    """Copy of one CPT with one entry set (proportional co-variation)."""
+    if not 0.0 <= value <= 1.0:
+        raise InferenceError("CPT entries must be in [0, 1]")
+    row = cpt.row(parent_states)
+    if child_state not in row:
+        raise InferenceError(f"unknown child state {child_state!r}")
+    old = row[child_state]
+    rest = 1.0 - old
+    new_row = {}
+    for state, p in row.items():
+        if state == child_state:
+            new_row[state] = value
+        elif rest <= 1e-12:
+            new_row[state] = (1.0 - value) / (len(row) - 1)
+        else:
+            new_row[state] = p * (1.0 - value) / rest
+    table = cpt.table.copy()
+    idx = tuple(p.index_of(s) for p, s in zip(cpt.parents, parent_states))
+    for i, state in enumerate(cpt.child.states):
+        table[idx + (i,)] = new_row[state]
+    return CPT(cpt.child, cpt.parents, table)
+
+
+def _trial_copy(network: BayesianNetwork) -> BayesianNetwork:
+    """A same-structure copy whose CPTs can be swapped probe by probe.
+
+    One copy serves *all* probes of a sensitivity sweep: ``replace_cpt``
+    is a parameter-only mutation, so the trial's compiled engine keeps its
+    cached elimination orders across the entire sweep.
+    """
+    out = BayesianNetwork(network.name + "-sens")
+    for name in network.dag.topological_order():
+        out.add_cpt(network.cpt(name))
+    return out
+
+
 def _network_with_entry(network: BayesianNetwork, node: str,
                         parent_states: Tuple[str, ...], child_state: str,
                         value: float) -> BayesianNetwork:
     """Copy of the network with one CPT entry set (proportional co-variation)."""
-    if not 0.0 <= value <= 1.0:
-        raise InferenceError("CPT entries must be in [0, 1]")
-    out = BayesianNetwork(network.name + "-sens")
-    for name in network.dag.topological_order():
-        cpt = network.cpt(name)
-        if name != node:
-            out.add_cpt(cpt)
-            continue
-        row = cpt.row(parent_states)
-        if child_state not in row:
-            raise InferenceError(f"unknown child state {child_state!r}")
-        old = row[child_state]
-        rest = 1.0 - old
-        new_row = {}
-        for state, p in row.items():
-            if state == child_state:
-                new_row[state] = value
-            elif rest <= 1e-12:
-                new_row[state] = (1.0 - value) / (len(row) - 1)
-            else:
-                new_row[state] = p * (1.0 - value) / rest
-        table = cpt.table.copy()
-        idx = tuple(p.index_of(s) for p, s in zip(cpt.parents, parent_states))
-        for i, state in enumerate(cpt.child.states):
-            table[idx + (i,)] = new_row[state]
-        out.add_cpt(CPT(cpt.child, cpt.parents, table))
+    out = _trial_copy(network)
+    out.replace_cpt(_entry_cpt(network.cpt(node), parent_states, child_state,
+                               value))
     return out
+
+
+def _fit_on_trial(trial: BayesianNetwork, engine: InferenceEngine,
+                  base_cpt: CPT, parent_states: Tuple[str, ...],
+                  child_state: str, query: str, query_state: str,
+                  evidence: Mapping[str, str]) -> SensitivityFunction:
+    """Fit one sensitivity function by probing a reusable trial network.
+
+    The trial's engine keeps its compiled plans across probes (only CPT
+    values change), so a full tornado sweep compiles exactly once.
+    """
+    x0 = base_cpt.prob(child_state, parent_states)
+    probes = [0.2, 0.8]
+    numerators, denominators = [], []
+    joint_evidence = dict(evidence)
+    joint_evidence[query] = query_state
+    for x in probes:
+        trial.replace_cpt(_entry_cpt(base_cpt, parent_states, child_state, x))
+        numerators.append(engine.probability_of_evidence(joint_evidence))
+        denominators.append(engine.probability_of_evidence(evidence)
+                            if evidence else 1.0)
+    trial.replace_cpt(base_cpt)  # leave the trial pristine for the next entry
+    (x1, x2) = probes
+    a = (numerators[1] - numerators[0]) / (x2 - x1)
+    b = numerators[0] - a * x1
+    c = (denominators[1] - denominators[0]) / (x2 - x1)
+    d = denominators[0] - c * x1
+    return SensitivityFunction(a=a, b=b, c=c, d=d, x0=x0)
 
 
 def sensitivity_function(network: BayesianNetwork, *,
@@ -98,26 +142,10 @@ def sensitivity_function(network: BayesianNetwork, *,
     (with proportional co-variation), so the posterior is (a x + b) /
     (c x + d); two probing values per linear form determine it.
     """
-    evidence = dict(evidence or {})
-    cpt = network.cpt(node)
-    x0 = cpt.prob(child_state, parent_states)
-    probes = [0.2, 0.8]
-
-    numerators, denominators = [], []
-    for x in probes:
-        trial = _network_with_entry(network, node, parent_states,
-                                    child_state, x)
-        joint_evidence = dict(evidence)
-        joint_evidence[query] = query_state
-        numerators.append(trial.probability_of_evidence(joint_evidence))
-        denominators.append(trial.probability_of_evidence(evidence)
-                            if evidence else 1.0)
-    (x1, x2) = probes
-    a = (numerators[1] - numerators[0]) / (x2 - x1)
-    b = numerators[0] - a * x1
-    c = (denominators[1] - denominators[0]) / (x2 - x1)
-    d = denominators[0] - c * x1
-    return SensitivityFunction(a=a, b=b, c=c, d=d, x0=x0)
+    trial = _trial_copy(network)
+    return _fit_on_trial(trial, trial.engine(), network.cpt(node),
+                         parent_states, child_state, query, query_state,
+                         dict(evidence or {}))
 
 
 @dataclass(frozen=True)
@@ -147,7 +175,11 @@ def tornado_analysis(network: BayesianNetwork, *, query: str,
     if not 0.0 < relative_band <= 1.0:
         raise InferenceError("relative_band must be in (0, 1]")
     evidence = dict(evidence or {})
-    baseline = network.query(query, evidence)[query_state]
+    baseline = network.engine().query(query, evidence)[query_state]
+    # One trial network + one compiled engine serve every probe of the
+    # sweep; replace_cpt keeps the engine's plan cache warm throughout.
+    trial = _trial_copy(network)
+    engine = trial.engine()
     entries: List[TornadoEntry] = []
     for name in network.dag.topological_order():
         cpt = network.cpt(name)
@@ -160,10 +192,9 @@ def tornado_analysis(network: BayesianNetwork, *, query: str,
                 x0 = cpt.prob(child_state, config)
                 if x0 < min_entry or x0 > 1.0 - min_entry:
                     continue
-                fn = sensitivity_function(
-                    network, node=name, parent_states=config,
-                    child_state=child_state, query=query,
-                    query_state=query_state, evidence=evidence)
+                fn = _fit_on_trial(
+                    trial, engine, cpt, config, child_state, query,
+                    query_state, evidence)
                 lo_x = max(0.0, x0 * (1.0 - relative_band))
                 hi_x = min(1.0, x0 * (1.0 + relative_band))
                 lo, hi = fn.range_over(lo_x, hi_x)

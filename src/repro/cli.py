@@ -36,19 +36,24 @@ def _fmt(value) -> str:
 
 
 def cmd_fig4(_: argparse.Namespace) -> None:
+    from repro.bayesnet.engine import CompiledNetwork
     from repro.perception.chain import build_fig4_network
-    bn = build_fig4_network()
-    print("Fig. 4 network:", bn)
+    engine = CompiledNetwork(build_fig4_network())
+    print("Fig. 4 network:", engine.network)
     print("\nForward P(perception):")
     _print_table(["state", "probability"],
-                 list(bn.query("perception").items()))
+                 list(engine.query("perception").items()))
     print("\nDiagnostic P(ground truth | perception):")
-    rows = []
-    for output in ("car", "pedestrian", "car/pedestrian", "none"):
-        post = bn.query("ground_truth", {"perception": output})
-        rows.append((output, post["car"], post["pedestrian"],
-                     post["unknown"]))
+    outputs = ("car", "pedestrian", "car/pedestrian", "none")
+    posts = engine.query_batch("ground_truth",
+                               [{"perception": o} for o in outputs])
+    rows = [(o, post["car"], post["pedestrian"], post["unknown"])
+            for o, post in zip(outputs, posts)]
     _print_table(["evidence", "P(car)", "P(ped)", "P(unknown)"], rows)
+    stats = engine.stats
+    print(f"\nengine: {stats.queries} scalar + {stats.batch_queries} batched "
+          f"queries ({stats.batch_rows} rows), plan hit rate "
+          f"{stats.plan_hit_rate:.2f}, {stats.recompiles} compile(s)")
 
 
 def cmd_table1(_: argparse.Namespace) -> None:
@@ -141,6 +146,8 @@ def cmd_experiments(_: argparse.Namespace) -> None:
          "test_bench_health_management"),
         ("EXT-N", "fault-injection campaign",
          "test_bench_fault_injection"),
+        ("EXT-O", "compiled-engine query cache",
+         "test_bench_engine_cache"),
     ]
     _print_table(["id", "artifact", "benchmark module"], experiments)
     print("\nRun one with:  pytest benchmarks/<module>.py --benchmark-only -s")
@@ -173,11 +180,14 @@ def cmd_inject(args: argparse.Namespace) -> None:
 
 
 def cmd_campaign(args: argparse.Namespace) -> None:
+    from repro.bayesnet.engine import CompiledNetwork
+    from repro.perception.chain import build_fig4_network
     from repro.robustness.campaign import CampaignConfig, run_campaign
     config = CampaignConfig(seed=args.seed, trials=args.trials,
                             intensities=tuple(args.intensities),
                             n_channels=args.channels, fusion=args.fusion)
-    report = run_campaign(config)
+    engine = CompiledNetwork(build_fig4_network())
+    report = run_campaign(config, engine=engine)
     print(report.to_markdown())
 
 

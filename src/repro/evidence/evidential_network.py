@@ -23,6 +23,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 import numpy as np
 
 from repro.bayesnet.cpt import CPT
+from repro.bayesnet.engine import InferenceEngine
 from repro.bayesnet.network import BayesianNetwork
 from repro.bayesnet.variable import Variable
 from repro.errors import EvidenceError
@@ -153,6 +154,15 @@ class EvidentialNetwork:
 
     # -- queries ------------------------------------------------------------------
 
+    def engine(self) -> InferenceEngine:
+        """The compiled engine of the underlying focal-state BN.
+
+        All posterior-mass queries route through this handle, so repeated
+        interval queries (removal sweeps, EXT-C comparisons) reuse one
+        compiled plan set instead of re-querying the raw network.
+        """
+        return self._bn.engine()
+
     def _evidence_to_states(self, evidence: Mapping[str, str]) -> Dict[str, str]:
         out = {}
         for name, value in evidence.items():
@@ -172,8 +182,23 @@ class EvidentialNetwork:
                        evidence: Mapping[str, str] = None) -> MassFunction:
         """Posterior mass function of a node given (focal-state) evidence."""
         node = self.node(target)
-        dist = self._bn.query(target, self._evidence_to_states(evidence or {}))
+        dist = self.engine().query(target,
+                                   self._evidence_to_states(evidence or {}))
         return node.distribution_to_mass(dist)
+
+    def posterior_mass_batch(self, target: str,
+                             evidence_rows: Sequence[Mapping[str, str]]
+                             ) -> List[MassFunction]:
+        """Posterior masses for many evidence rows in one batched sweep.
+
+        The evidential twin of
+        :meth:`~repro.bayesnet.engine.CompiledNetwork.query_batch`: rows
+        sharing an evidence signature are answered from one cached joint.
+        """
+        node = self.node(target)
+        rows = [self._evidence_to_states(r or {}) for r in evidence_rows]
+        dists = self.engine().query_batch(target, rows)
+        return [node.distribution_to_mass(d) for d in dists]
 
     def belief_plausibility(self, target: str, hypothesis_set: Iterable[str],
                             evidence: Mapping[str, str] = None) -> Tuple[float, float]:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.bayesnet.cpt import CPT
+from repro.bayesnet.engine import InferenceEngine
 from repro.bayesnet.network import BayesianNetwork
 from repro.bayesnet.variable import Variable
 from repro.errors import FaultTreeError
@@ -82,16 +83,29 @@ def fault_tree_to_bayesnet(tree: FaultTree,
     return bn
 
 
-def top_probability_via_bn(tree: FaultTree) -> float:
+def compiled_fault_tree(tree: FaultTree, noise: float = 0.0) -> InferenceEngine:
+    """One compiled engine for a fault tree's BN — the handle diagnostic
+    sweeps and repeated quantifications should share."""
+    return fault_tree_to_bayesnet(tree, noise).engine()
+
+
+def top_probability_via_bn(tree: FaultTree,
+                           engine: Optional[InferenceEngine] = None) -> float:
     """P(top) computed through the BN — exact for any sharing structure."""
-    bn = fault_tree_to_bayesnet(tree)
-    return bn.query(tree.top.name)[TRUE]
+    engine = engine or compiled_fault_tree(tree)
+    return engine.query(tree.top.name)[TRUE]
 
 
-def diagnostic_posterior(tree: FaultTree, observed_top: bool = True
+def diagnostic_posterior(tree: FaultTree, observed_top: bool = True,
+                         engine: Optional[InferenceEngine] = None
                          ) -> Dict[str, float]:
-    """P(basic event | top event observed) — the diagnostic query FTA lacks."""
-    bn = fault_tree_to_bayesnet(tree)
+    """P(basic event | top event observed) — the diagnostic query FTA lacks.
+
+    All basic-event posteriors come from *one* junction-tree calibration
+    of the compiled engine rather than one elimination per event.
+    """
+    engine = engine or compiled_fault_tree(tree)
     evidence = {tree.top.name: TRUE if observed_top else FALSE}
-    return {name: bn.query(name, evidence)[TRUE]
+    marginals = engine.marginals(evidence)
+    return {name: marginals[name][TRUE]
             for name in sorted(tree.basic_events)}

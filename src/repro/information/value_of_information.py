@@ -10,10 +10,14 @@ collection effort belongs on the variables this module ranks highest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.bayesnet.engine import InferenceEngine, as_engine
 from repro.bayesnet.network import BayesianNetwork
 from repro.errors import InferenceError
+
+#: Consumers accept either and normalize through :func:`as_engine`.
+NetworkOrEngine = Union[BayesianNetwork, InferenceEngine]
 
 
 @dataclass(frozen=True)
@@ -53,7 +57,7 @@ def best_action(problem: DecisionProblem,
     return best, best_eu
 
 
-def expected_value_of_observation(network: BayesianNetwork,
+def expected_value_of_observation(network: NetworkOrEngine,
                                   problem: DecisionProblem,
                                   observable: str,
                                   evidence: Optional[Mapping[str, str]] = None
@@ -62,34 +66,38 @@ def expected_value_of_observation(network: BayesianNetwork,
 
     EVO = E_over_observation_outcomes[ max_a EU(a | outcome) ]
           - max_a EU(a | current evidence),  always >= 0.
+
+    Accepts a :class:`BayesianNetwork` or an
+    :class:`~repro.bayesnet.engine.InferenceEngine`; the per-outcome
+    posteriors run as one batched sweep over the engine's compiled plan.
     """
+    engine = as_engine(network)
     evidence = dict(evidence or {})
     if observable in evidence:
         raise InferenceError(f"{observable!r} is already observed")
     if observable == problem.target:
         raise InferenceError("observing the target itself is clairvoyance; "
                              "use expected_value_of_perfect_information")
-    prior_posterior = network.query(problem.target, evidence)
+    prior_posterior = engine.query(problem.target, evidence)
     _, eu_now = best_action(problem, prior_posterior)
-    obs_dist = network.query(observable, evidence)
+    obs_dist = engine.query(observable, evidence)
+    outcomes = [o for o, p in obs_dist.items() if p > 0.0]
+    rows = [{**evidence, observable: o} for o in outcomes]
+    posteriors = engine.query_batch(problem.target, rows)
     eu_with = 0.0
-    for outcome, p_outcome in obs_dist.items():
-        if p_outcome <= 0.0:
-            continue
-        extended = dict(evidence)
-        extended[outcome_key := observable] = outcome
-        posterior = network.query(problem.target, extended)
+    for outcome, posterior in zip(outcomes, posteriors):
         _, eu = best_action(problem, posterior)
-        eu_with += p_outcome * eu
+        eu_with += obs_dist[outcome] * eu
     return max(0.0, eu_with - eu_now)
 
 
 def expected_value_of_perfect_information(
-        network: BayesianNetwork, problem: DecisionProblem,
+        network: NetworkOrEngine, problem: DecisionProblem,
         evidence: Optional[Mapping[str, str]] = None) -> float:
     """EVPI: the ceiling on what any observation can be worth."""
+    engine = as_engine(network)
     evidence = dict(evidence or {})
-    posterior = network.query(problem.target, evidence)
+    posterior = engine.query(problem.target, evidence)
     _, eu_now = best_action(problem, posterior)
     eu_perfect = sum(
         p * max(problem.utility(a, state) for a in problem.actions)
@@ -97,12 +105,17 @@ def expected_value_of_perfect_information(
     return max(0.0, eu_perfect - eu_now)
 
 
-def rank_observables(network: BayesianNetwork, problem: DecisionProblem,
+def rank_observables(network: NetworkOrEngine, problem: DecisionProblem,
                      observables: Sequence[str],
                      evidence: Optional[Mapping[str, str]] = None
                      ) -> List[Tuple[str, float]]:
-    """Observables ranked by EVO (descending) — the data-shopping list."""
-    scored = [(name, expected_value_of_observation(network, problem, name,
+    """Observables ranked by EVO (descending) — the data-shopping list.
+
+    The engine handle is resolved once and shared across the whole
+    ranking, so every observable's sweep reuses the same compiled plans.
+    """
+    engine = as_engine(network)
+    scored = [(name, expected_value_of_observation(engine, problem, name,
                                                    evidence))
               for name in observables]
     return sorted(scored, key=lambda t: -t[1])

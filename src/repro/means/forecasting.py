@@ -19,12 +19,46 @@ paper's "sufficiently low ontological uncertainty" made precise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.bayesnet.engine import as_engine
 from repro.errors import StrategyError
 from repro.probability.estimation import BayesianRateEstimator, GoodTuringEstimator
+
+
+def model_based_hazard_rate(network_or_engine, *, target: str,
+                            hazard_states: Sequence[str],
+                            evidence_rows: Sequence[Mapping[str, str]],
+                            weights: Optional[Sequence[float]] = None
+                            ) -> float:
+    """The *present level* of hazard implied by the analysis model.
+
+    Sweeps an operational profile (one evidence row per scenario, with
+    optional scenario weights) through the compiled inference engine in a
+    single batched call and returns the weighted mean posterior mass on
+    the hazardous target states.  This is the model-side complement to the
+    field-data bounds of :class:`ResidualUncertaintyForecast`: forecasting
+    "the present level ... of uncertainties" before exposure accumulates.
+    """
+    engine = as_engine(network_or_engine)
+    rows = [dict(r) for r in evidence_rows]
+    if not rows:
+        raise StrategyError("at least one evidence row required")
+    if weights is None:
+        w = np.full(len(rows), 1.0 / len(rows))
+    else:
+        w = np.asarray(list(weights), dtype=float)
+        if w.shape != (len(rows),) or np.any(w < 0.0) or w.sum() <= 0.0:
+            raise StrategyError(
+                "weights must be non-negative, one per row, with positive sum")
+        w = w / w.sum()
+    hazard = set(hazard_states)
+    posteriors = engine.query_batch(target, rows)
+    masses = [sum(p for s, p in post.items() if s in hazard)
+              for post in posteriors]
+    return float(np.dot(w, masses))
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.bayesnet.engine import InferenceEngine
 from repro.bayesnet.network import BayesianNetwork
 from repro.errors import StrategyError
 from repro.evidence.evidential_network import EvidentialNetwork, EvidentialNode
@@ -57,6 +58,9 @@ class SafetyAnalysisWithUncertainty:
         self.rows = {tuple(k): dict(v) for k, v in
                      (cpt_rows or table1_cpt_rows()).items()}
         self.network = build_fig4_network(self.prior, self.rows)
+        #: Compiled engine handle shared by every query of this analysis;
+        #: its stats record what the removal sweep actually cost.
+        self.engine: InferenceEngine = self.network.engine()
         self.evidential = self._build_evidential_twin()
 
     def _build_evidential_twin(self) -> EvidentialNetwork:
@@ -88,8 +92,19 @@ class SafetyAnalysisWithUncertainty:
 
     def diagnostic_posterior(self, perception_state: str) -> Dict[str, float]:
         """P(ground truth | perception output) — the BN point answer."""
-        return self.network.query("ground_truth",
-                                  {"perception": perception_state})
+        return self.engine.query("ground_truth",
+                                 {"perception": perception_state})
+
+    def diagnostic_posterior_table(self, perception_states: Sequence[str]
+                                   ) -> Dict[str, Dict[str, float]]:
+        """Diagnostic posteriors for a whole sweep of perception outputs.
+
+        One batched engine call over the cached plan — the Fig. 4
+        diagnostic table costs one elimination regardless of sweep size.
+        """
+        rows = [{"perception": s} for s in perception_states]
+        posts = self.engine.query_batch("ground_truth", rows)
+        return dict(zip(perception_states, posts))
 
     def diagnostic_intervals(self, perception_state: str
                              ) -> Dict[str, Tuple[float, float]]:
@@ -99,7 +114,7 @@ class SafetyAnalysisWithUncertainty:
 
     def predicted_output_distribution(self) -> Dict[str, float]:
         """Marginal perception-output distribution (the Table I forward pass)."""
-        return self.network.query("perception")
+        return self.engine.query("perception")
 
     def uncertainty_report(self) -> Dict[str, float]:
         """Scalar decomposition of the model's uncertainty content.

@@ -23,8 +23,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.bayesnet.engine import InferenceEngine, as_engine
 from repro.errors import InjectionError
-from repro.perception.chain import PerceptionChain
+from repro.perception.chain import PerceptionChain, build_fig4_network
 from repro.perception.redundancy import make_diverse_chains
 from repro.perception.world import WorldModel
 from repro.robustness.faults import (
@@ -151,11 +152,35 @@ def run_cell(config: CampaignConfig, fault_name: str, intensity: float,
                         supervised=supervised)
 
 
+def diagnostic_reference_table(engine: InferenceEngine
+                               ) -> Dict[str, Dict[str, float]]:
+    """The Fig. 4 diagnostic posteriors P(ground truth | perception) for
+    every perception output, in one batched engine sweep.
+
+    Attached to the campaign report as model-side reference evidence: the
+    posteriors the supervisor's diagnosis should converge to when the
+    injected fault has zero intensity.
+    """
+    states = list(engine.network.variable("perception").states)
+    rows = [{"perception": s} for s in states]
+    posts = engine.query_batch("ground_truth", rows)
+    return dict(zip(states, posts))
+
+
 def run_campaign(config: Optional[CampaignConfig] = None,
-                 world: Optional[WorldModel] = None) -> RobustnessReport:
-    """The full sweep: fault models × intensities, plus no-fault baselines."""
+                 world: Optional[WorldModel] = None,
+                 engine: Optional[InferenceEngine] = None) -> RobustnessReport:
+    """The full sweep: fault models × intensities, plus no-fault baselines.
+
+    ``engine`` is the compiled inference handle used for the model-side
+    diagnostic reference; by default one is compiled over the Fig. 4
+    network.  Its instrumentation snapshot is exported into the report so
+    campaign evidence records what the engine actually did.
+    """
     config = config or CampaignConfig()
     world = world or WorldModel()
+    engine = as_engine(engine if engine is not None
+                       else build_fig4_network())
 
     baseline_single = run_unsupervised(
         FaultInjectedChain(PerceptionChain()), world,
@@ -172,7 +197,10 @@ def run_campaign(config: Optional[CampaignConfig] = None,
             cells.append(run_cell(config, fault_name, intensity, world,
                                   cell_index=index))
             index += 1
+    reference = diagnostic_reference_table(engine)
     return RobustnessReport(seed=config.seed, trials=config.trials,
                             baseline_single=baseline_single,
                             baseline_supervised=baseline_supervised,
-                            cells=cells)
+                            cells=cells,
+                            diagnostic_reference=reference,
+                            engine_stats=engine.stats.snapshot())

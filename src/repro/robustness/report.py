@@ -57,12 +57,23 @@ class CampaignCell:
 
 
 class RobustnessReport:
-    """Campaign results: per-cell metrics against the no-fault baseline."""
+    """Campaign results: per-cell metrics against the no-fault baseline.
+
+    ``diagnostic_reference`` is the model-side evidence attached by the
+    campaign: the Fig. 4 diagnostic posteriors computed through the
+    compiled inference engine.  ``engine_stats`` is the engine's
+    :meth:`~repro.bayesnet.engine.EngineStats.snapshot` — the record of
+    what inference work the campaign actually performed, kept alongside
+    the metrics so dossier evidence is auditable.
+    """
 
     def __init__(self, *, seed: int, trials: int,
                  baseline_single: RunMetrics,
                  baseline_supervised: RunMetrics,
-                 cells: Sequence[CampaignCell]):
+                 cells: Sequence[CampaignCell],
+                 diagnostic_reference: Optional[
+                     Dict[str, Dict[str, float]]] = None,
+                 engine_stats: Optional[Dict[str, float]] = None):
         if trials <= 0:
             raise InjectionError("trials must be positive")
         if not cells:
@@ -72,6 +83,10 @@ class RobustnessReport:
         self.baseline_single = baseline_single
         self.baseline_supervised = baseline_supervised
         self.cells: Tuple[CampaignCell, ...] = tuple(cells)
+        self.diagnostic_reference = (
+            {k: dict(v) for k, v in diagnostic_reference.items()}
+            if diagnostic_reference else None)
+        self.engine_stats = dict(engine_stats) if engine_stats else None
 
     # -- aggregation ----------------------------------------------------------
 
@@ -156,6 +171,33 @@ class RobustnessReport:
             lines.append(f"| {fault} | {utype} | {intensity:.2f} | {sh:.4f} "
                          f"| {vh:.4f} | {dg:.4f} | {av:.4f} |")
         lines.append("")
+        if self.diagnostic_reference is not None:
+            lines.append("## Model diagnostic reference (Fig. 4 engine)")
+            lines.append("")
+            states = sorted({s for post in self.diagnostic_reference.values()
+                             for s in post})
+            lines.append("| perception | " + " | ".join(
+                f"P({s})" for s in states) + " |")
+            lines.append("|" + "---|" * (len(states) + 1))
+            for output, post in self.diagnostic_reference.items():
+                cells = " | ".join(f"{post.get(s, 0.0):.4f}" for s in states)
+                lines.append(f"| {output} | {cells} |")
+            lines.append("")
+        if self.engine_stats is not None:
+            lines.append("## Inference engine instrumentation")
+            lines.append("")
+            # Wall-clock fields (compile/execute seconds) stay in the stored
+            # snapshot but are not rendered: the report markdown is part of
+            # the "same seed, same report" bit-for-bit contract.
+            for key in ("queries", "batch_queries", "batch_rows",
+                        "plan_hits", "plan_misses", "plan_hit_rate",
+                        "recompiles"):
+                if key in self.engine_stats:
+                    value = self.engine_stats[key]
+                    text = (f"{value:.6g}" if isinstance(value, float)
+                            else str(value))
+                    lines.append(f"- {key}: {text}")
+            lines.append("")
         return "\n".join(lines)
 
     def __repr__(self) -> str:

@@ -1,0 +1,399 @@
+"""Tests for the compiled inference engine layer.
+
+Covers the engine seam contract (protocol + coercion), plan/joint cache
+behavior under parameter vs structure mutation, batched evidence sweeps
+against the scalar path, instrumentation counters, and the factor-algebra
+edge cases the engine must preserve (zero-probability evidence,
+:class:`ScalarFactor` normalization, single-variable networks).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.engine import (
+    CompiledNetwork,
+    EngineStats,
+    InferenceEngine,
+    RecompilingEngine,
+    as_engine,
+    structure_fingerprint,
+)
+from repro.bayesnet.factor import ScalarFactor
+from repro.bayesnet.graph import DAG
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.variable import Variable
+from repro.errors import GraphError, InferenceError
+from repro.perception.chain import build_fig4_network
+
+OUTPUTS = ("car", "pedestrian", "car/pedestrian", "none")
+
+
+def sprinkler_network() -> BayesianNetwork:
+    """Rain -> sprinkler -> grass, rain -> grass: the classic 3-node net."""
+    rain = Variable("rain", ["no", "yes"])
+    sprinkler = Variable("sprinkler", ["off", "on"])
+    grass = Variable("grass", ["dry", "wet"])
+    bn = BayesianNetwork("sprinkler")
+    bn.add_cpt(CPT.prior(rain, {"no": 0.8, "yes": 0.2}))
+    bn.add_cpt(CPT.from_dict(sprinkler, [rain], {
+        ("no",): {"off": 0.6, "on": 0.4},
+        ("yes",): {"off": 0.99, "on": 0.01},
+    }))
+    bn.add_cpt(CPT.from_dict(grass, [rain, sprinkler], {
+        ("no", "off"): {"dry": 1.0, "wet": 0.0},
+        ("no", "on"): {"dry": 0.1, "wet": 0.9},
+        ("yes", "off"): {"dry": 0.2, "wet": 0.8},
+        ("yes", "on"): {"dry": 0.01, "wet": 0.99},
+    }))
+    return bn
+
+
+class TestEngineSeam:
+    def test_compiled_network_satisfies_protocol(self):
+        assert isinstance(CompiledNetwork(sprinkler_network()),
+                          InferenceEngine)
+
+    def test_recompiling_engine_satisfies_protocol(self):
+        assert isinstance(RecompilingEngine(sprinkler_network()),
+                          InferenceEngine)
+
+    def test_as_engine_passes_engines_through(self):
+        engine = CompiledNetwork(sprinkler_network())
+        assert as_engine(engine) is engine
+
+    def test_as_engine_coerces_networks(self):
+        bn = sprinkler_network()
+        engine = as_engine(bn)
+        assert isinstance(engine, CompiledNetwork)
+        # The network memoizes its engine; coercion must reuse it.
+        assert as_engine(bn) is engine
+        assert bn.engine() is engine
+
+    def test_as_engine_rejects_other_objects(self):
+        with pytest.raises(InferenceError):
+            as_engine(42)
+
+
+class TestCompiledQueries:
+    """The compiled engine must agree with the raw network answers."""
+
+    def test_query_matches_network(self):
+        bn = build_fig4_network()
+        engine = CompiledNetwork(build_fig4_network())
+        for output in OUTPUTS:
+            got = engine.query("ground_truth", {"perception": output})
+            want = bn.query("ground_truth", {"perception": output})
+            for state, p in want.items():
+                assert got[state] == pytest.approx(p, abs=1e-12)
+
+    def test_query_matches_junction_tree(self):
+        engine = CompiledNetwork(sprinkler_network())
+        bn = sprinkler_network()
+        got = engine.query("rain", {"grass": "wet"})
+        want = bn.query("rain", {"grass": "wet"}, method="junction_tree")
+        for state, p in want.items():
+            assert got[state] == pytest.approx(p, abs=1e-9)
+
+    def test_joint_query_normalized(self):
+        engine = CompiledNetwork(sprinkler_network())
+        f = engine.joint_query(["rain", "sprinkler"], {"grass": "wet"})
+        assert set(f.names) == {"rain", "sprinkler"}
+        assert float(f.table.sum()) == pytest.approx(1.0)
+
+    def test_probability_of_evidence(self):
+        engine = CompiledNetwork(sprinkler_network())
+        p_wet = engine.probability_of_evidence({"grass": "wet"})
+        # P(wet) = sum_r,s P(r) P(s|r) P(wet|r,s)
+        want = (0.8 * 0.6 * 0.0 + 0.8 * 0.4 * 0.9
+                + 0.2 * 0.99 * 0.8 + 0.2 * 0.01 * 0.99)
+        assert p_wet == pytest.approx(want, abs=1e-12)
+        assert engine.probability_of_evidence({}) == 1.0
+
+    def test_marginals_match_scalar_queries(self):
+        engine = CompiledNetwork(sprinkler_network())
+        marginals = engine.marginals({"grass": "wet"})
+        for name in ("rain", "sprinkler"):
+            want = engine.query(name, {"grass": "wet"})
+            for state, p in want.items():
+                assert marginals[name][state] == pytest.approx(p, abs=1e-9)
+
+    def test_unknown_variable_rejected(self):
+        engine = CompiledNetwork(sprinkler_network())
+        with pytest.raises(InferenceError):
+            engine.query("nope")
+        with pytest.raises(InferenceError):
+            engine.query("rain", {"nope": "yes"})
+
+    def test_target_in_evidence_rejected(self):
+        engine = CompiledNetwork(sprinkler_network())
+        with pytest.raises(InferenceError):
+            engine.query("rain", {"rain": "yes"})
+
+    def test_empty_joint_query_rejected(self):
+        engine = CompiledNetwork(sprinkler_network())
+        with pytest.raises(InferenceError):
+            engine.joint_query([])
+
+
+class TestCacheInvalidation:
+    def test_repeat_queries_hit_the_plan_cache(self):
+        engine = CompiledNetwork(build_fig4_network())
+        for _ in range(5):
+            engine.query("ground_truth", {"perception": "none"})
+        assert engine.stats.recompiles == 1
+        assert engine.stats.plan_hits >= 3
+        assert engine.stats.plan_hit_rate > 0.5
+
+    def test_replace_cpt_keeps_plans_and_changes_answers(self):
+        bn = sprinkler_network()
+        engine = bn.engine()
+        before = engine.query("rain", {"grass": "wet"})
+        plans = dict(engine._plans)
+        assert plans
+        bn.replace_cpt(CPT.prior(bn.variable("rain"),
+                                 {"no": 0.5, "yes": 0.5}))
+        after = engine.query("rain", {"grass": "wet"})
+        assert after["yes"] != pytest.approx(before["yes"])
+        # Parameter-only mutation: elimination plans survive the recompile.
+        for key, order in plans.items():
+            assert engine._plans[key] == order
+        assert engine.stats.recompiles == 2
+
+    def test_add_cpt_drops_plans(self):
+        bn = sprinkler_network()
+        engine = bn.engine()
+        engine.query("rain", {"grass": "wet"})
+        old_plans = set(engine._plans)
+        assert old_plans
+        slippery = Variable("slippery", ["no", "yes"])
+        bn.add_cpt(CPT.from_dict(slippery, [bn.variable("grass")], {
+            ("dry",): {"no": 0.95, "yes": 0.05},
+            ("wet",): {"no": 0.3, "yes": 0.7},
+        }))
+        engine.query("rain", {"slippery": "yes"})
+        # Structure changed: the old plan set was cleared before re-filling.
+        assert not old_plans & set(engine._plans)
+        assert engine.stats.recompiles == 2
+
+    def test_fingerprint_ignores_parameters(self):
+        a = sprinkler_network()
+        b = sprinkler_network()
+        b.replace_cpt(CPT.prior(b.variable("rain"), {"no": 0.1, "yes": 0.9}))
+        assert structure_fingerprint(a) == structure_fingerprint(b)
+
+    def test_fingerprint_sees_structure(self):
+        a = sprinkler_network()
+        b = sprinkler_network()
+        extra = Variable("slippery", ["no", "yes"])
+        b.add_cpt(CPT.from_dict(extra, [b.variable("grass")], {
+            ("dry",): {"no": 1.0, "yes": 0.0},
+            ("wet",): {"no": 0.5, "yes": 0.5},
+        }))
+        assert structure_fingerprint(a) != structure_fingerprint(b)
+
+    def test_mutation_invalidates_cached_answers(self):
+        bn = sprinkler_network()
+        engine = bn.engine()
+        assert engine.query("rain")["yes"] == pytest.approx(0.2)
+        bn.replace_cpt(CPT.prior(bn.variable("rain"),
+                                 {"no": 0.3, "yes": 0.7}))
+        assert engine.query("rain")["yes"] == pytest.approx(0.7)
+        # Junction-tree marginals rebuild too.
+        assert engine.marginals({})["rain"]["yes"] == pytest.approx(0.7)
+
+
+class TestQueryBatch:
+    def test_batch_matches_per_call_over_100_rows(self):
+        """The ISSUE acceptance check: >=100 rows, atol 1e-12."""
+        engine = CompiledNetwork(build_fig4_network())
+        rows = [{"perception": OUTPUTS[i % len(OUTPUTS)]}
+                for i in range(120)]
+        batched = engine.query_batch("ground_truth", rows)
+        assert len(batched) == 120
+        for row, post in zip(rows, batched):
+            want = engine.query("ground_truth", row)
+            for state, p in want.items():
+                assert post[state] == pytest.approx(p, abs=1e-12)
+
+    def test_batch_mixed_signatures(self):
+        engine = CompiledNetwork(sprinkler_network())
+        rows = [{"grass": "wet"}, {"sprinkler": "on"}, {},
+                {"grass": "dry", "sprinkler": "off"}]
+        batched = engine.query_batch("rain", rows)
+        for row, post in zip(rows, batched):
+            want = engine.query("rain", row)
+            for state, p in want.items():
+                assert post[state] == pytest.approx(p, abs=1e-12)
+
+    def test_batch_multi_target_returns_factors(self):
+        engine = CompiledNetwork(sprinkler_network())
+        rows = [{"grass": "wet"}, {"grass": "dry"}]
+        factors = engine.query_batch(["rain", "sprinkler"], rows)
+        for row, f in zip(rows, factors):
+            want = engine.joint_query(["rain", "sprinkler"], row)
+            axes = [list(f.names).index(n) for n in want.names]
+            np.testing.assert_allclose(np.transpose(f.table, axes),
+                                       want.table, atol=1e-12)
+            assert float(f.table.sum()) == pytest.approx(1.0)
+
+    def test_batch_zero_probability_row_raises(self):
+        engine = CompiledNetwork(sprinkler_network())
+        rows = [{"grass": "wet"},
+                {"rain": "no", "sprinkler": "off", "grass": "wet"}]
+        with pytest.raises(InferenceError):
+            engine.query_batch("rain", [rows[1]])
+        with pytest.raises(InferenceError):
+            engine.query_batch("sprinkler", rows)
+
+    def test_batch_empty_targets_rejected(self):
+        engine = CompiledNetwork(sprinkler_network())
+        with pytest.raises(InferenceError):
+            engine.query_batch([], [{}])
+
+    def test_batch_strict_about_unknown_evidence(self):
+        engine = CompiledNetwork(sprinkler_network())
+        with pytest.raises(InferenceError):
+            engine.query_batch("rain", [{"nope": "x"}])
+
+    def test_recompiling_engine_batch_agrees(self):
+        cached = CompiledNetwork(build_fig4_network())
+        naive = RecompilingEngine(build_fig4_network())
+        rows = [{"perception": o} for o in OUTPUTS]
+        for a, b in zip(cached.query_batch("ground_truth", rows),
+                        naive.query_batch("ground_truth", rows)):
+            for state, p in b.items():
+                assert a[state] == pytest.approx(p, abs=1e-12)
+
+
+class TestEngineStats:
+    def test_counters_and_snapshot(self):
+        engine = CompiledNetwork(build_fig4_network())
+        engine.query("ground_truth", {"perception": "none"})
+        engine.query_batch("ground_truth",
+                           [{"perception": o} for o in OUTPUTS])
+        stats = engine.stats
+        assert stats.queries == 1
+        assert stats.batch_queries == 1
+        assert stats.batch_rows == len(OUTPUTS)
+        assert stats.recompiles == 1
+        snap = stats.snapshot()
+        assert snap["queries"] == 1
+        assert 0.0 <= snap["plan_hit_rate"] <= 1.0
+        assert "compile_seconds" in snap and "execute_seconds" in snap
+
+    def test_reset(self):
+        stats = EngineStats(queries=5, plan_hits=3, plan_misses=1)
+        assert stats.plan_hit_rate == pytest.approx(0.75)
+        stats.reset()
+        assert stats.queries == 0
+        assert stats.plan_hit_rate == 0.0
+
+
+class TestValidationMemoization:
+    """Satellite: repeat queries must not revalidate or reconvert CPTs."""
+
+    def test_no_revalidation_on_repeat_queries(self, monkeypatch):
+        bn = build_fig4_network()
+        bn.query("ground_truth", {"perception": "none"})  # compile once
+
+        calls = {"topo": 0, "to_factor": 0}
+        topo = DAG.topological_order
+        to_factor = CPT.to_factor
+
+        def spy_topo(self):
+            calls["topo"] += 1
+            return topo(self)
+
+        def spy_to_factor(self):
+            calls["to_factor"] += 1
+            return to_factor(self)
+
+        monkeypatch.setattr(DAG, "topological_order", spy_topo)
+        monkeypatch.setattr(CPT, "to_factor", spy_to_factor)
+
+        for _ in range(10):
+            bn.query("ground_truth", {"perception": "none"})
+            bn.probability_of_evidence({"perception": "car"})
+        assert calls == {"topo": 0, "to_factor": 0}
+
+        # Mutation resumes the work exactly once per recompile.
+        bn.replace_cpt(bn.cpt("ground_truth"))
+        bn.query("ground_truth", {"perception": "none"})
+        assert calls["to_factor"] > 0
+
+    def test_validate_memoized_and_forceable(self, monkeypatch):
+        bn = sprinkler_network()
+        bn.validate()
+        calls = {"topo": 0}
+        topo = DAG.topological_order
+
+        def spy(self):
+            calls["topo"] += 1
+            return topo(self)
+
+        monkeypatch.setattr(DAG, "topological_order", spy)
+        bn.validate()
+        assert calls["topo"] == 0
+        bn.validate(force=True)
+        assert calls["topo"] == 1
+
+    def test_factors_memoized_until_mutation(self):
+        bn = sprinkler_network()
+        first = bn.factors()
+        second = bn.factors()
+        assert all(a is b for a, b in zip(first, second))
+        bn.replace_cpt(CPT.prior(bn.variable("rain"),
+                                 {"no": 0.5, "yes": 0.5}))
+        third = bn.factors()
+        assert not all(a is b for a, b in zip(first, third))
+
+
+class TestFactorAlgebraEdgeCases:
+    """Satellite: the corner cases the engine must preserve."""
+
+    def test_zero_probability_evidence_raises_not_divides(self):
+        # The sprinkler never runs while it rains, so observing both has
+        # probability 0: the posterior is undefined, and every query path
+        # must say so instead of dividing by zero.
+        bn = sprinkler_network()
+        bn.replace_cpt(CPT.from_dict(
+            bn.variable("sprinkler"), [bn.variable("rain")], {
+                ("no",): {"off": 0.6, "on": 0.4},
+                ("yes",): {"off": 1.0, "on": 0.0},
+            }))
+        engine = bn.engine()
+        impossible = {"rain": "yes", "sprinkler": "on"}
+        with pytest.raises(InferenceError):
+            engine.query("grass", impossible)
+        with pytest.raises(InferenceError):
+            engine.joint_query(["grass"], impossible)
+        with pytest.raises(InferenceError):
+            engine.query_batch("grass", [impossible])
+        assert engine.probability_of_evidence(impossible) == pytest.approx(0.0)
+
+    def test_scalar_factor_normalization(self):
+        assert ScalarFactor(2.5).normalize().partition() == pytest.approx(1.0)
+        with pytest.raises(InferenceError):
+            ScalarFactor(0.0).normalize()
+        with pytest.raises(InferenceError):
+            ScalarFactor(-1.0)
+
+    def test_probability_of_evidence_full_assignment(self):
+        engine = CompiledNetwork(sprinkler_network())
+        p = engine.probability_of_evidence(
+            {"rain": "no", "sprinkler": "on", "grass": "wet"})
+        assert p == pytest.approx(0.8 * 0.4 * 0.9, abs=1e-12)
+
+    def test_single_variable_network(self):
+        v = Variable("kind", ["car", "pedestrian", "unknown"])
+        bn = BayesianNetwork("one-node")
+        bn.add_cpt(CPT.prior(v, {"car": 0.6, "pedestrian": 0.3,
+                                 "unknown": 0.1}))
+        engine = bn.engine()
+        assert engine.query("kind")["car"] == pytest.approx(0.6)
+        assert engine.probability_of_evidence(
+            {"kind": "unknown"}) == pytest.approx(0.1)
+        posts = engine.query_batch("kind", [{}, {}])
+        assert posts[0]["pedestrian"] == pytest.approx(0.3)
+        assert engine.marginals({})["kind"]["unknown"] == pytest.approx(0.1)

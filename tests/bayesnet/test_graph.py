@@ -125,6 +125,36 @@ class TestEliminationAndTriangulation:
         assert "b" not in order
         assert set(order) == {"a", "c"}
 
+    def test_min_fill_ties_break_by_name(self):
+        # A 4-cycle: every node introduces exactly one fill edge, so the
+        # first pick is a pure tie — the name tie-break must select "a".
+        adj = {"a": {"b", "d"}, "b": {"a", "c"}, "c": {"b", "d"},
+               "d": {"c", "a"}}
+        order = min_fill_elimination_order(adj)
+        assert order[0] == "a"
+
+    def test_min_fill_independent_of_insertion_order(self):
+        # The cached-plan contract: the order is a pure function of the
+        # graph, whatever the dict/set construction order was.
+        import random
+        nodes = [f"n{i:02d}" for i in range(12)]
+        edges = [(nodes[i], nodes[(i * 5 + 3) % 12]) for i in range(12)]
+        edges += [(nodes[i], nodes[(i + 1) % 12]) for i in range(12)]
+        reference = None
+        for seed in range(5):
+            shuffled = list(edges)
+            random.Random(seed).shuffle(shuffled)
+            adj = {}
+            for u, v in shuffled:
+                if u == v:
+                    continue
+                adj.setdefault(u, set()).add(v)
+                adj.setdefault(v, set()).add(u)
+            order = min_fill_elimination_order(adj)
+            if reference is None:
+                reference = order
+            assert order == reference
+
     def test_triangulate_cycle(self):
         # 4-cycle needs one chord.
         adj = {"a": {"b", "d"}, "b": {"a", "c"}, "c": {"b", "d"},
