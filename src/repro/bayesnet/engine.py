@@ -51,7 +51,14 @@ from repro.bayesnet.inference.variable_elimination import (
     variable_elimination,
 )
 from repro.bayesnet.variable import Variable
-from repro.errors import InferenceError
+from repro.errors import EngineError, InferenceError
+from repro.telemetry.metrics import (
+    ENGINE_PLAN_REQUESTS,
+    ENGINE_QUERIES,
+    ENGINE_QUERY_SECONDS,
+    ENGINE_RECOMPILES,
+)
+from repro.telemetry.tracing import active as _trace_active
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.bayesnet.network import BayesianNetwork
@@ -77,16 +84,29 @@ class EngineStats:
     compile_seconds: float = 0.0
     execute_seconds: float = 0.0
 
+    #: Snapshot keys whose values are wall-clock measurements and hence
+    #: not reproducible run to run; deterministic exports drop them.
+    TIMING_FIELDS = ("compile_seconds", "execute_seconds")
+
     @property
     def plan_hit_rate(self) -> float:
         total = self.plan_hits + self.plan_misses
         return self.plan_hits / total if total else 0.0
 
-    def snapshot(self) -> Dict[str, float]:
-        """Plain-dict copy (report/dossier friendly)."""
+    def snapshot(self, *, include_timings: bool = True) -> Dict[str, float]:
+        """Plain-dict copy (report/dossier friendly).
+
+        Keys are emitted in sorted (alphabetical) order so serialized
+        exports are byte-stable; ``include_timings=False`` additionally
+        drops the wall-clock fields, leaving only values that are
+        deterministic for a seeded run.
+        """
         out = dict(asdict(self))
         out["plan_hit_rate"] = self.plan_hit_rate
-        return out
+        if not include_timings:
+            for key in self.TIMING_FIELDS:
+                out.pop(key, None)
+        return {key: out[key] for key in sorted(out)}
 
     def reset(self) -> None:
         self.__init__()
@@ -184,11 +204,30 @@ class CompiledNetwork:
     def stats(self) -> EngineStats:
         return self._stats
 
+    def _count_plan(self, *, hit: bool) -> None:
+        """One plan/joint cache lookup; the per-engine :class:`EngineStats`
+        view always counts, the process registry only under telemetry."""
+        if hit:
+            self._stats.plan_hits += 1
+        else:
+            self._stats.plan_misses += 1
+        if _trace_active() is not None:
+            ENGINE_PLAN_REQUESTS.inc(result="hit" if hit else "miss")
+
     def _refresh(self) -> None:
         """Re-sync caches with the network if it mutated since compile."""
         version = self._network.version
         if version == self._compiled_version:
             return
+        tracer = _trace_active()
+        if tracer is None:
+            self._recompile(version)
+            return
+        with tracer.span("engine.compile", network=self._network.name):
+            self._recompile(version)
+        ENGINE_RECOMPILES.inc()
+
+    def _recompile(self, version: int) -> None:
         t0 = time.perf_counter()
         self._network.validate()
         fp = structure_fingerprint(self._network)
@@ -215,9 +254,9 @@ class CompiledNetwork:
         key = (keep, evidence_names)
         order = self._plans.get(key)
         if order is not None:
-            self._stats.plan_hits += 1
+            self._count_plan(hit=True)
             return order
-        self._stats.plan_misses += 1
+        self._count_plan(hit=False)
         t0 = time.perf_counter()
         adj: Dict[str, set] = {}
         for f in self._factors:
@@ -259,7 +298,7 @@ class CompiledNetwork:
         """
         joint = self._joints.get(keep)
         if joint is not None:
-            self._stats.plan_hits += 1
+            self._count_plan(hit=True)
             return joint
         entries = 1
         for name in keep:
@@ -309,7 +348,22 @@ class CompiledNetwork:
 
     def query(self, target: str,
               evidence: Mapping[str, str] = None) -> Dict[str, float]:
+        tracer = _trace_active()
+        if tracer is None:
+            # Hot path: one global check, no telemetry objects built and
+            # no copies taken (_query reads the mapping, never mutates).
+            return self._query(target, evidence or {})
         evidence = dict(evidence or {})
+        with tracer.span("engine.query", target=target,
+                         evidence=",".join(sorted(evidence)) or "none"):
+            t0 = time.perf_counter()
+            out = self._query(target, evidence)
+        ENGINE_QUERIES.inc(kind="scalar")
+        ENGINE_QUERY_SECONDS.observe(time.perf_counter() - t0, kind="scalar")
+        return out
+
+    def _query(self, target: str,
+               evidence: Dict[str, str]) -> Dict[str, float]:
         self._refresh()
         self._stats.queries += 1
         self._check_query([target], evidence)
@@ -385,13 +439,27 @@ class CompiledNetwork:
         The compiled tree is reused across evidence sets; calibrated
         results are additionally memoized per evidence assignment.
         """
+        tracer = _trace_active()
+        if tracer is None:
+            return self._marginals(evidence or {})
         evidence = dict(evidence or {})
+        with tracer.span("engine.marginals",
+                         evidence=",".join(sorted(evidence)) or "none"):
+            t0 = time.perf_counter()
+            out = self._marginals(evidence)
+        ENGINE_QUERIES.inc(kind="marginals")
+        ENGINE_QUERY_SECONDS.observe(time.perf_counter() - t0,
+                                     kind="marginals")
+        return out
+
+    def _marginals(self, evidence: Dict[str, str]
+                   ) -> Dict[str, Dict[str, float]]:
         self._refresh()
         self._stats.queries += 1
         key = tuple(sorted(evidence.items()))
         cached = self._marginal_cache.get(key)
         if cached is not None:
-            self._stats.plan_hits += 1
+            self._count_plan(hit=True)
             return {n: dict(d) for n, d in cached.items()}
         jt = self._junction_tree()
         t0 = time.perf_counter()
@@ -424,6 +492,19 @@ class CompiledNetwork:
         if not target_list:
             raise InferenceError("query_batch needs at least one target")
         rows = [dict(r) for r in evidence_rows]
+        tracer = _trace_active()
+        if tracer is None:
+            return self._query_batch(target_list, rows, single)
+        with tracer.span("engine.query_batch",
+                         targets=",".join(target_list), rows=len(rows)):
+            t0 = time.perf_counter()
+            out = self._query_batch(target_list, rows, single)
+        ENGINE_QUERIES.inc(kind="batch")
+        ENGINE_QUERY_SECONDS.observe(time.perf_counter() - t0, kind="batch")
+        return out
+
+    def _query_batch(self, target_list: List[str],
+                     rows: List[Dict[str, str]], single: bool) -> List:
         self._refresh()
         self._stats.batch_queries += 1
         self._stats.batch_rows += len(rows)
@@ -584,12 +665,16 @@ def as_engine(network_or_engine) -> InferenceEngine:
     """Coerce a :class:`BayesianNetwork` (or pass through an engine).
 
     The migration shim for the engine seam: consumers accept either and
-    normalize here, so call sites upgrade incrementally.
+    normalize here, so call sites upgrade incrementally.  Unsupported
+    input raises the typed :class:`~repro.errors.EngineError` (an
+    :class:`~repro.errors.InferenceError` subclass) naming the offending
+    type.
     """
     if hasattr(network_or_engine, "query_batch"):
         return network_or_engine
     engine = getattr(network_or_engine, "engine", None)
     if callable(engine):
         return engine()
-    raise InferenceError(
-        f"cannot obtain an inference engine from {type(network_or_engine).__name__}")
+    raise EngineError(
+        "cannot obtain an inference engine from unsupported type "
+        f"{type(network_or_engine).__name__!r}")

@@ -16,6 +16,7 @@ from repro.bayesnet.factor import Factor, ScalarFactor, multiply_all
 from repro.bayesnet.graph import maximum_spanning_junction_tree, triangulate
 from repro.bayesnet.variable import Variable
 from repro.errors import InferenceError
+from repro.telemetry.tracing import active as _trace_active
 
 
 class JunctionTree:
@@ -69,6 +70,15 @@ class JunctionTree:
     def calibrate(self, evidence: Mapping[str, str] = None) -> None:
         """Two-phase (collect/distribute) sum-product propagation."""
         evidence = dict(evidence or {})
+        tracer = _trace_active()
+        if tracer is not None:
+            with tracer.span("inference.jt_calibrate",
+                             n_cliques=len(self.cliques),
+                             n_evidence=len(evidence)):
+                return self._calibrate(evidence)
+        return self._calibrate(evidence)
+
+    def _calibrate(self, evidence: Dict[str, str]) -> None:
         for name in evidence:
             if name not in self._variables:
                 raise InferenceError(f"evidence variable {name!r} unknown")

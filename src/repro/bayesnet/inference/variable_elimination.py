@@ -7,6 +7,7 @@ from typing import Dict, List, Mapping, Sequence, Set
 from repro.bayesnet.factor import Factor, ScalarFactor, multiply_all
 from repro.bayesnet.graph import min_fill_elimination_order
 from repro.errors import InferenceError
+from repro.telemetry.tracing import active as _trace_active
 
 
 def _interaction_graph(factors: Sequence[Factor]) -> Dict[str, Set[str]]:
@@ -43,6 +44,17 @@ def variable_elimination(factors: Sequence[Factor], query: Sequence[str],
 
     Returns the normalized posterior factor over the query variables.
     """
+    tracer = _trace_active()
+    if tracer is not None:
+        with tracer.span("inference.variable_elimination",
+                         query=",".join(query), n_factors=len(factors),
+                         planned=order is not None):
+            return _eliminate(factors, query, evidence, order)
+    return _eliminate(factors, query, evidence, order)
+
+
+def _eliminate(factors: Sequence[Factor], query: Sequence[str],
+               evidence: Mapping[str, str], order: Sequence[str]) -> Factor:
     evidence = dict(evidence or {})
     query = list(query)
     if not query:
@@ -98,6 +110,18 @@ def evidence_probability(factors: Sequence[Factor],
     ``order``, when given, is a precomputed elimination order (cached
     engine plan); evidence variables in it are skipped.
     """
+    tracer = _trace_active()
+    if tracer is not None:
+        with tracer.span("inference.evidence_probability",
+                         n_evidence=len(evidence), n_factors=len(factors),
+                         planned=order is not None):
+            return _evidence_probability(factors, evidence, order)
+    return _evidence_probability(factors, evidence, order)
+
+
+def _evidence_probability(factors: Sequence[Factor],
+                          evidence: Mapping[str, str],
+                          order: Sequence[str]) -> float:
     evidence = dict(evidence)
     reduced = [f.reduce(evidence) for f in factors]
     live = [f for f in reduced if not isinstance(f, ScalarFactor)]

@@ -19,6 +19,7 @@ from repro.bayesnet.cpt import CPT
 from repro.bayesnet.engine import InferenceEngine
 from repro.bayesnet.network import BayesianNetwork
 from repro.errors import InferenceError
+from repro.telemetry import tracing
 
 
 @dataclass(frozen=True)
@@ -143,9 +144,11 @@ def sensitivity_function(network: BayesianNetwork, *,
     (c x + d); two probing values per linear form determine it.
     """
     trial = _trial_copy(network)
-    return _fit_on_trial(trial, trial.engine(), network.cpt(node),
-                         parent_states, child_state, query, query_state,
-                         dict(evidence or {}))
+    with tracing.span("sensitivity.function", node=node,
+                      child_state=child_state, query=query):
+        return _fit_on_trial(trial, trial.engine(), network.cpt(node),
+                             parent_states, child_state, query, query_state,
+                             dict(evidence or {}))
 
 
 @dataclass(frozen=True)
@@ -175,30 +178,33 @@ def tornado_analysis(network: BayesianNetwork, *, query: str,
     if not 0.0 < relative_band <= 1.0:
         raise InferenceError("relative_band must be in (0, 1]")
     evidence = dict(evidence or {})
-    baseline = network.engine().query(query, evidence)[query_state]
-    # One trial network + one compiled engine serve every probe of the
-    # sweep; replace_cpt keeps the engine's plan cache warm throughout.
-    trial = _trial_copy(network)
-    engine = trial.engine()
-    entries: List[TornadoEntry] = []
-    for name in network.dag.topological_order():
-        cpt = network.cpt(name)
-        parent_state_lists = [p.states for p in cpt.parents]
-        configs = [()]
-        for states in parent_state_lists:
-            configs = [c + (s,) for c in configs for s in states]
-        for config in configs:
-            for child_state in cpt.child.states:
-                x0 = cpt.prob(child_state, config)
-                if x0 < min_entry or x0 > 1.0 - min_entry:
-                    continue
-                fn = _fit_on_trial(
-                    trial, engine, cpt, config, child_state, query,
-                    query_state, evidence)
-                lo_x = max(0.0, x0 * (1.0 - relative_band))
-                hi_x = min(1.0, x0 * (1.0 + relative_band))
-                lo, hi = fn.range_over(lo_x, hi_x)
-                entries.append(TornadoEntry(
-                    node=name, parent_states=config, child_state=child_state,
-                    baseline=baseline, low=lo, high=hi))
+    with tracing.span("sensitivity.tornado", query=query,
+                      query_state=query_state) as sp:
+        baseline = network.engine().query(query, evidence)[query_state]
+        # One trial network + one compiled engine serve every probe of the
+        # sweep; replace_cpt keeps the engine's plan cache warm throughout.
+        trial = _trial_copy(network)
+        engine = trial.engine()
+        entries: List[TornadoEntry] = []
+        for name in network.dag.topological_order():
+            cpt = network.cpt(name)
+            parent_state_lists = [p.states for p in cpt.parents]
+            configs = [()]
+            for states in parent_state_lists:
+                configs = [c + (s,) for c in configs for s in states]
+            for config in configs:
+                for child_state in cpt.child.states:
+                    x0 = cpt.prob(child_state, config)
+                    if x0 < min_entry or x0 > 1.0 - min_entry:
+                        continue
+                    fn = _fit_on_trial(
+                        trial, engine, cpt, config, child_state, query,
+                        query_state, evidence)
+                    lo_x = max(0.0, x0 * (1.0 - relative_band))
+                    hi_x = min(1.0, x0 * (1.0 + relative_band))
+                    lo, hi = fn.range_over(lo_x, hi_x)
+                    entries.append(TornadoEntry(
+                        node=name, parent_states=config, child_state=child_state,
+                        baseline=baseline, low=lo, high=hi))
+        sp.set_attribute("n_entries", len(entries))
     return sorted(entries, key=lambda e: -e.swing)

@@ -9,7 +9,9 @@
 - ``dossier``     — a full uncertainty dossier for the demo SuD;
 - ``experiments`` — list every experiment id and its benchmark module;
 - ``inject``      — inject one fault model into the perception stack;
-- ``campaign``    — the full fault-injection campaign (EXT-N report).
+- ``campaign``    — the full fault-injection campaign (EXT-N report);
+- ``trace``       — run a command under tracing, print its span tree;
+- ``metrics``     — run a command, emit Prometheus-text metrics.
 """
 
 from __future__ import annotations
@@ -148,6 +150,8 @@ def cmd_experiments(_: argparse.Namespace) -> None:
          "test_bench_fault_injection"),
         ("EXT-O", "compiled-engine query cache",
          "test_bench_engine_cache"),
+        ("EXT-P", "telemetry overhead",
+         "test_bench_telemetry"),
     ]
     _print_table(["id", "artifact", "benchmark module"], experiments)
     print("\nRun one with:  pytest benchmarks/<module>.py --benchmark-only -s")
@@ -191,6 +195,33 @@ def cmd_campaign(args: argparse.Namespace) -> None:
     print(report.to_markdown())
 
 
+def cmd_trace(args: argparse.Namespace) -> None:
+    from repro import telemetry
+    target = args.target
+    with telemetry.session(max_spans=args.max_spans) as tracer:
+        with tracer.span("trace:" + target):
+            COMMANDS[target](args)
+    print()
+    print(tracer.render_tree())
+    if args.jsonl:
+        n = telemetry.write_spans_jsonl(args.jsonl, tracer.finished)
+        print(f"\nwrote {n} span(s) to {args.jsonl}")
+
+
+def cmd_metrics(args: argparse.Namespace) -> None:
+    import contextlib
+    import io
+    from repro import telemetry
+    if args.target:
+        # Run the target under an active tracing session so gated
+        # instruments (engine counters/histograms) record, but keep only
+        # the metrics: the command's own stdout is swallowed.
+        with telemetry.session():
+            with contextlib.redirect_stdout(io.StringIO()):
+                COMMANDS[args.target](args)
+    print(telemetry.prometheus_text(), end="")
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig4": cmd_fig4,
     "table1": cmd_table1,
@@ -200,7 +231,13 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "experiments": cmd_experiments,
     "inject": cmd_inject,
     "campaign": cmd_campaign,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
 }
+
+#: Commands that can run under ``trace`` / ``metrics``.
+_TRACEABLE_COMMANDS = ("fig4", "table1", "strategy", "matrix",
+                       "experiments", "campaign")
 
 #: Commands that take no options (a bare subparser each).
 _SIMPLE_COMMANDS = ("fig4", "table1", "strategy", "matrix", "dossier",
@@ -234,7 +271,28 @@ def _build_parser() -> argparse.ArgumentParser:
                           default=[0.25, 0.5, 1.0],
                           help="intensity sweep (default: 0.25 0.5 1.0)")
 
-    for p in (inject, campaign):
+    trace = sub.add_parser(
+        "trace", help="run a command under tracing and print its span tree")
+    trace.add_argument("target", choices=_TRACEABLE_COMMANDS,
+                       help="command to run under the tracer")
+    trace.add_argument("--max-spans", type=int, default=4096,
+                       help="span ring-buffer capacity (default 4096)")
+    trace.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="also dump the finished spans as JSON lines")
+
+    metrics = sub.add_parser(
+        "metrics", help="emit Prometheus-text metrics, optionally after "
+                        "running a command")
+    metrics.add_argument("target", nargs="?", default=None,
+                         choices=_TRACEABLE_COMMANDS,
+                         help="command to run before scraping the registry")
+
+    for p in (trace, metrics):
+        p.add_argument("--intensities", type=float, nargs="+",
+                       default=[0.25, 0.5, 1.0],
+                       help="intensity sweep when target is 'campaign'")
+
+    for p in (inject, campaign, trace, metrics):
         p.add_argument("--seed", type=int, default=0,
                        help="campaign seed (default 0)")
         p.add_argument("--trials", type=int, default=200,

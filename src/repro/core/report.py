@@ -195,6 +195,13 @@ class UncertaintyDossier:
                     f"  - `{fault}`: hazard {s['single_hazard']:.4f} -> "
                     f"{s['supervised_hazard']:.4f}, availability "
                     f"{s['supervised_availability']:.4f}")
+            telemetry = getattr(r, "telemetry", None)
+            if telemetry is not None:
+                lines.append(
+                    f"- telemetry: {telemetry.total_spans} spans "
+                    f"(max depth {telemetry.max_depth}), "
+                    f"{len(telemetry.metric_deltas)} metric series "
+                    "incremented")
             lines.append("")
 
         if self._notes:

@@ -28,6 +28,15 @@ class InferenceError(ReproError):
     """A probabilistic inference query cannot be answered."""
 
 
+class EngineError(InferenceError):
+    """An inference-engine handle could not be obtained or misbehaved.
+
+    Subclasses :class:`InferenceError` so callers catching the broader
+    inference failure keep working; raised by the engine seam itself
+    (e.g. :func:`repro.bayesnet.engine.as_engine` on unsupported input).
+    """
+
+
 class EvidenceError(ReproError):
     """An evidence-theory object (mass function, combination) is invalid."""
 
@@ -50,3 +59,7 @@ class InjectionError(ReproError):
 
 class SupervisorError(ReproError):
     """The runtime degradation supervisor was misconfigured or misused."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry instrument or tracer was configured inconsistently."""

@@ -15,6 +15,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.bayesnet.engine import InferenceEngine, as_engine
 from repro.bayesnet.network import BayesianNetwork
 from repro.errors import InferenceError
+from repro.telemetry import tracing
 
 #: Consumers accept either and normalize through :func:`as_engine`.
 NetworkOrEngine = Union[BayesianNetwork, InferenceEngine]
@@ -78,17 +79,18 @@ def expected_value_of_observation(network: NetworkOrEngine,
     if observable == problem.target:
         raise InferenceError("observing the target itself is clairvoyance; "
                              "use expected_value_of_perfect_information")
-    prior_posterior = engine.query(problem.target, evidence)
-    _, eu_now = best_action(problem, prior_posterior)
-    obs_dist = engine.query(observable, evidence)
-    outcomes = [o for o, p in obs_dist.items() if p > 0.0]
-    rows = [{**evidence, observable: o} for o in outcomes]
-    posteriors = engine.query_batch(problem.target, rows)
-    eu_with = 0.0
-    for outcome, posterior in zip(outcomes, posteriors):
-        _, eu = best_action(problem, posterior)
-        eu_with += obs_dist[outcome] * eu
-    return max(0.0, eu_with - eu_now)
+    with tracing.span("voi.evo", observable=observable, target=problem.target):
+        prior_posterior = engine.query(problem.target, evidence)
+        _, eu_now = best_action(problem, prior_posterior)
+        obs_dist = engine.query(observable, evidence)
+        outcomes = [o for o, p in obs_dist.items() if p > 0.0]
+        rows = [{**evidence, observable: o} for o in outcomes]
+        posteriors = engine.query_batch(problem.target, rows)
+        eu_with = 0.0
+        for outcome, posterior in zip(outcomes, posteriors):
+            _, eu = best_action(problem, posterior)
+            eu_with += obs_dist[outcome] * eu
+        return max(0.0, eu_with - eu_now)
 
 
 def expected_value_of_perfect_information(
@@ -115,7 +117,9 @@ def rank_observables(network: NetworkOrEngine, problem: DecisionProblem,
     ranking, so every observable's sweep reuses the same compiled plans.
     """
     engine = as_engine(network)
-    scored = [(name, expected_value_of_observation(engine, problem, name,
-                                                   evidence))
-              for name in observables]
+    with tracing.span("voi.rank", target=problem.target,
+                      n_observables=len(observables)):
+        scored = [(name, expected_value_of_observation(engine, problem, name,
+                                                       evidence))
+                  for name in observables]
     return sorted(scored, key=lambda t: -t[1])

@@ -26,6 +26,7 @@ import numpy as np
 from repro.bayesnet.engine import as_engine
 from repro.errors import StrategyError
 from repro.probability.estimation import BayesianRateEstimator, GoodTuringEstimator
+from repro.telemetry import tracing
 
 
 def model_based_hazard_rate(network_or_engine, *, target: str,
@@ -55,7 +56,9 @@ def model_based_hazard_rate(network_or_engine, *, target: str,
                 "weights must be non-negative, one per row, with positive sum")
         w = w / w.sum()
     hazard = set(hazard_states)
-    posteriors = engine.query_batch(target, rows)
+    with tracing.span("forecasting.model_hazard", target=target,
+                      n_rows=len(rows)):
+        posteriors = engine.query_batch(target, rows)
     masses = [sum(p for s, p in post.items() if s in hazard)
               for post in posteriors]
     return float(np.dot(w, masses))

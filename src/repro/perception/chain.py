@@ -16,6 +16,8 @@ from repro.bayesnet.cpt import CPT
 from repro.bayesnet.network import BayesianNetwork
 from repro.bayesnet.variable import Variable
 from repro.errors import SimulationError
+from repro.telemetry.metrics import PERCEPTION_ENCOUNTERS
+from repro.telemetry.tracing import active as _trace_active
 from repro.perception.classifier import (
     ASSESSMENT_LABELS,
     ConfusionMatrixClassifier,
@@ -141,6 +143,17 @@ class PerceptionChain:
     def run_campaign(self, world: WorldModel, rng: np.random.Generator,
                      n_objects: int) -> List[Tuple[ObjectInstance, str]]:
         """Simulate ``n_objects`` encounters; returns (object, output) pairs."""
+        if n_objects > 0:
+            PERCEPTION_ENCOUNTERS.inc(n_objects)
+        tracer = _trace_active()
+        if tracer is None:
+            return self._run_campaign(world, rng, n_objects)
+        with tracer.span("perception.run_campaign", n_objects=n_objects,
+                         uncertainty_aware=self.uncertainty_aware):
+            return self._run_campaign(world, rng, n_objects)
+
+    def _run_campaign(self, world: WorldModel, rng: np.random.Generator,
+                      n_objects: int) -> List[Tuple[ObjectInstance, str]]:
         out = []
         for _ in range(n_objects):
             obj = world.sample_object(rng)

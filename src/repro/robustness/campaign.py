@@ -44,6 +44,13 @@ from repro.robustness.runtime import (
     run_unsupervised,
     summarize_run,
 )
+from repro.telemetry import tracing
+from repro.telemetry.export import TelemetryReport
+from repro.telemetry.metrics import (
+    CAMPAIGN_FAULT_CELLS,
+    CAMPAIGN_TRIALS,
+    get_registry,
+)
 
 #: name -> factory(intensity, seed).  Order defines the sweep (and report)
 #: order; names are the CLI vocabulary of ``repro inject --fault``.
@@ -135,19 +142,28 @@ def run_cell(config: CampaignConfig, fault_name: str, intensity: float,
     world = world or WorldModel()
     factory = FAULT_CATALOG[fault_name]
     fault_seed = _derived_int(config.seed, 2, cell_index)
+    u_type = fault_uncertainty_type(fault_name)
+    CAMPAIGN_FAULT_CELLS.inc(fault=fault_name, uncertainty_type=u_type)
 
-    single_chain = FaultInjectedChain(PerceptionChain(),
-                                      [factory(intensity, fault_seed)])
-    single = run_unsupervised(single_chain, world,
-                              _derived_rng(config.seed, 3, cell_index),
-                              config.trials)
+    with tracing.span("campaign.cell", fault=fault_name,
+                      intensity=float(intensity), uncertainty_type=u_type):
+        single_chain = FaultInjectedChain(PerceptionChain(),
+                                          [factory(intensity, fault_seed)])
+        with tracing.span("campaign.single_chain"):
+            single = run_unsupervised(single_chain, world,
+                                      _derived_rng(config.seed, 3, cell_index),
+                                      config.trials)
+        CAMPAIGN_TRIALS.inc(config.trials, architecture="single_chain")
 
-    system = _build_supervised(config, [factory(intensity, fault_seed)])
-    results = system.run(world, _derived_rng(config.seed, 4, cell_index),
-                         config.trials)
+        system = _build_supervised(config, [factory(intensity, fault_seed)])
+        with tracing.span("campaign.supervised"):
+            results = system.run(world,
+                                 _derived_rng(config.seed, 4, cell_index),
+                                 config.trials)
+        CAMPAIGN_TRIALS.inc(config.trials, architecture="supervised")
     supervised = summarize_run(results)
     return CampaignCell(fault=fault_name,
-                        uncertainty_type=fault_uncertainty_type(fault_name),
+                        uncertainty_type=u_type,
                         intensity=float(intensity), single=single,
                         supervised=supervised)
 
@@ -182,25 +198,35 @@ def run_campaign(config: Optional[CampaignConfig] = None,
     engine = as_engine(engine if engine is not None
                        else build_fig4_network())
 
-    baseline_single = run_unsupervised(
-        FaultInjectedChain(PerceptionChain()), world,
-        _derived_rng(config.seed, 5), config.trials)
-    baseline_system = _build_supervised(config, [])
-    baseline_supervised = summarize_run(
-        baseline_system.run(world, _derived_rng(config.seed, 6),
-                            config.trials))
+    tracer = tracing.active()
+    counters_before = (get_registry().flatten_counters()
+                       if tracer is not None else None)
+    with tracing.span("campaign.run", seed=config.seed,
+                      trials=config.trials, n_faults=len(config.fault_names)):
+        with tracing.span("campaign.baseline"):
+            baseline_single = run_unsupervised(
+                FaultInjectedChain(PerceptionChain()), world,
+                _derived_rng(config.seed, 5), config.trials)
+            baseline_system = _build_supervised(config, [])
+            baseline_supervised = summarize_run(
+                baseline_system.run(world, _derived_rng(config.seed, 6),
+                                    config.trials))
 
-    cells: List[CampaignCell] = []
-    index = 0
-    for fault_name in config.fault_names:
-        for intensity in config.intensities:
-            cells.append(run_cell(config, fault_name, intensity, world,
-                                  cell_index=index))
-            index += 1
-    reference = diagnostic_reference_table(engine)
+        cells: List[CampaignCell] = []
+        index = 0
+        for fault_name in config.fault_names:
+            for intensity in config.intensities:
+                cells.append(run_cell(config, fault_name, intensity, world,
+                                      cell_index=index))
+                index += 1
+        reference = diagnostic_reference_table(engine)
+    telemetry = (TelemetryReport.capture(tracer=tracer,
+                                         counters_before=counters_before)
+                 if tracer is not None else None)
     return RobustnessReport(seed=config.seed, trials=config.trials,
                             baseline_single=baseline_single,
                             baseline_supervised=baseline_supervised,
                             cells=cells,
                             diagnostic_reference=reference,
-                            engine_stats=engine.stats.snapshot())
+                            engine_stats=engine.stats.snapshot(),
+                            telemetry=telemetry)

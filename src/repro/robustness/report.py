@@ -8,10 +8,12 @@ evidence for the assurance case.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import InjectionError
+from repro.telemetry.export import TelemetryReport
 
 
 @dataclass(frozen=True)
@@ -64,8 +66,14 @@ class RobustnessReport:
     compiled inference engine.  ``engine_stats`` is the engine's
     :meth:`~repro.bayesnet.engine.EngineStats.snapshot` — the record of
     what inference work the campaign actually performed, kept alongside
-    the metrics so dossier evidence is auditable.
+    the metrics so dossier evidence is auditable.  ``telemetry`` is the
+    optional :class:`~repro.telemetry.export.TelemetryReport` captured
+    when the campaign ran under an active tracing session.
     """
+
+    #: engine-stats keys excluded from to_dict()/to_json(): wall-clock
+    #: timings vary run to run, everything else is seed-deterministic.
+    NONDETERMINISTIC_STAT_SUFFIX = "_seconds"
 
     def __init__(self, *, seed: int, trials: int,
                  baseline_single: RunMetrics,
@@ -73,7 +81,8 @@ class RobustnessReport:
                  cells: Sequence[CampaignCell],
                  diagnostic_reference: Optional[
                      Dict[str, Dict[str, float]]] = None,
-                 engine_stats: Optional[Dict[str, float]] = None):
+                 engine_stats: Optional[Dict[str, float]] = None,
+                 telemetry: Optional[TelemetryReport] = None):
         if trials <= 0:
             raise InjectionError("trials must be positive")
         if not cells:
@@ -87,6 +96,7 @@ class RobustnessReport:
             {k: dict(v) for k, v in diagnostic_reference.items()}
             if diagnostic_reference else None)
         self.engine_stats = dict(engine_stats) if engine_stats else None
+        self.telemetry = telemetry
 
     # -- aggregation ----------------------------------------------------------
 
@@ -198,7 +208,42 @@ class RobustnessReport:
                             else str(value))
                     lines.append(f"- {key}: {text}")
             lines.append("")
+        if self.telemetry is not None:
+            lines.append("## Telemetry")
+            lines.append("")
+            lines.extend(self.telemetry.to_markdown_lines())
+            lines.append("")
         return "\n".join(lines)
+
+    def _stable_engine_stats(self) -> Optional[Dict[str, float]]:
+        if self.engine_stats is None:
+            return None
+        return {k: v for k, v in sorted(self.engine_stats.items())
+                if not k.endswith(self.NONDETERMINISTIC_STAT_SUFFIX)}
+
+    def to_dict(self) -> Dict:
+        """Deterministic dict form: same seed, same dict.
+
+        Wall-clock engine-stats keys (``*_seconds``) are dropped and
+        telemetry is exported counts-only, so the serialized report obeys
+        the campaign's bit-for-bit reproducibility contract.
+        """
+        return {
+            "seed": self.seed,
+            "trials": self.trials,
+            "baseline_single": asdict(self.baseline_single),
+            "baseline_supervised": asdict(self.baseline_supervised),
+            "cells": [asdict(c) for c in self.cells],
+            "diagnostic_reference": self.diagnostic_reference,
+            "engine_stats": self._stable_engine_stats(),
+            "telemetry": (self.telemetry.to_dict()
+                          if self.telemetry is not None else None),
+            "supervised_dominates": self.supervised_dominates(),
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable JSON: keys sorted, timings excluded."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
 
     def __repr__(self) -> str:
         return (f"RobustnessReport(seed={self.seed}, trials={self.trials}, "

@@ -34,6 +34,8 @@ from repro.means.tolerance import (
 )
 from repro.perception.world import NONE_LABEL, UNCERTAIN_LABEL
 from repro.robustness.faults import ChannelTelemetry
+from repro.telemetry import tracing
+from repro.telemetry.metrics import SUPERVISOR_EVENTS, SUPERVISOR_TRANSITIONS
 
 #: Degradation modes ordered by severity (index = severity level).
 MODE_SEVERITY: Dict[str, int] = {ACT_NORMALLY: 0, CAUTIOUS_MODE: 1,
@@ -158,6 +160,12 @@ class DegradationSupervisor:
         self.events.append(SupervisorEvent(
             step=self.step_count, kind=kind, detail=detail,
             mode_before=mode_before, mode_after=self.mode))
+        SUPERVISOR_EVENTS.inc(kind=kind)
+        if kind == "transition":
+            SUPERVISOR_TRANSITIONS.inc(from_mode=mode_before,
+                                       to_mode=self.mode)
+        if kind in ("watchdog_timeout", "retry"):
+            tracing.event("supervisor." + kind, detail=detail)
 
     def note_retry(self, channel: int, attempt: int, delay: float) -> None:
         """Record one watchdog-triggered retry (called by the runtime)."""

@@ -1,0 +1,96 @@
+"""Telemetry: structured tracing, a metrics registry, and exporters.
+
+The observability subsystem motivated by the paper's cybernetic loop
+(Fig. 1): the development organization can only regulate the system as
+well as it can observe it, and that applies to this stack observing
+itself.  Three pillars, all dependency-free and thread-safe:
+
+- **Tracing** (:mod:`repro.telemetry.tracing`) — nested spans with
+  wall/CPU timings, attributes (including uncertainty-type tags), error
+  capture and a bounded ring buffer, instrumented through the inference
+  engine, the safety analyses and the robustness campaign;
+- **Metrics** (:mod:`repro.telemetry.metrics`) — a process-global
+  registry of counters/gauges/histograms with the stack's standard
+  instruments registered out of the box;
+- **Export** (:mod:`repro.telemetry.export`) — JSON-Lines span dumps,
+  Prometheus text exposition, and the :class:`TelemetryReport` section
+  merged into campaign reports and the dossier.
+
+Tracing is **disabled by default and zero-cost when disabled**: hot paths
+check one module global and fall back to a stateless no-op span.  Typical
+use::
+
+    from repro import telemetry
+
+    with telemetry.session() as tracer:
+        run_campaign(config)
+    print(tracer.render_tree())
+    print(telemetry.prometheus_text())
+
+or from the CLI: ``repro trace fig4`` and ``repro metrics campaign``.
+"""
+
+from repro.telemetry.clock import ManualClock, SystemClock
+from repro.telemetry.export import (
+    TelemetryReport,
+    prometheus_text,
+    spans_to_jsonl,
+    write_spans_jsonl,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.telemetry.tracing import (
+    DEFAULT_MAX_SPANS,
+    MAX_SPAN_EVENTS,
+    NULL_SPAN,
+    SpanRecord,
+    Tracer,
+    activate,
+    active,
+    deactivate,
+    enabled,
+    event,
+    session,
+    span,
+)
+
+__all__ = [
+    # clocks
+    "ManualClock",
+    "SystemClock",
+    # tracing
+    "DEFAULT_MAX_SPANS",
+    "MAX_SPAN_EVENTS",
+    "NULL_SPAN",
+    "SpanRecord",
+    "Tracer",
+    "activate",
+    "active",
+    "deactivate",
+    "enabled",
+    "event",
+    "session",
+    "span",
+    # metrics
+    "DEFAULT_BUCKETS",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "get_registry",
+    # export
+    "TelemetryReport",
+    "prometheus_text",
+    "spans_to_jsonl",
+    "write_spans_jsonl",
+]

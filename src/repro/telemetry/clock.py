@@ -1,0 +1,64 @@
+"""Injectable clocks for the telemetry layer.
+
+Spans record wall time and CPU time through a clock object so tests (and
+the deterministic-report contract) can substitute a :class:`ManualClock`
+whose readings are a pure function of how often it was consulted — same
+instrumented code path, same timings, byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import TelemetryError
+
+
+class SystemClock:
+    """The production clock: monotonic wall time + process CPU time."""
+
+    def wall(self) -> float:
+        return time.perf_counter()
+
+    def cpu(self) -> float:
+        return time.process_time()
+
+    def __repr__(self) -> str:
+        return "SystemClock()"
+
+
+class ManualClock:
+    """Deterministic clock: every reading advances by a fixed tick.
+
+    The n-th ``wall()`` call returns ``start + n * tick`` (counting from
+    0), independently of real time; ``cpu()`` keeps its own counter with
+    ``cpu_tick`` (defaults to ``tick``).  This makes span durations a pure
+    function of the instrumentation points hit, so trace-dependent output
+    can be golden-tested.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 0.001,
+                 cpu_tick: float = None):
+        if tick < 0.0:
+            raise TelemetryError(f"tick must be non-negative, got {tick}")
+        if cpu_tick is not None and cpu_tick < 0.0:
+            raise TelemetryError(
+                f"cpu_tick must be non-negative, got {cpu_tick}")
+        self.start = float(start)
+        self.tick = float(tick)
+        self.cpu_tick = float(tick if cpu_tick is None else cpu_tick)
+        self._wall_reads = 0
+        self._cpu_reads = 0
+
+    def wall(self) -> float:
+        value = self.start + self._wall_reads * self.tick
+        self._wall_reads += 1
+        return value
+
+    def cpu(self) -> float:
+        value = self.start + self._cpu_reads * self.cpu_tick
+        self._cpu_reads += 1
+        return value
+
+    def __repr__(self) -> str:
+        return (f"ManualClock(start={self.start}, tick={self.tick}, "
+                f"reads={self._wall_reads})")

@@ -1,0 +1,193 @@
+"""Telemetry exporters and the report section.
+
+Three surfaces for the same data:
+
+- :func:`spans_to_jsonl` / :func:`write_spans_jsonl` — one JSON object
+  per finished span (JSON Lines), the machine-readable trace dump;
+- :func:`prometheus_text` — the Prometheus text exposition format
+  (version 0.0.4) for the metrics registry, scrape- or push-ready;
+- :class:`TelemetryReport` — the summarized section merged into
+  :class:`~repro.robustness.report.RobustnessReport` and the dossier.
+
+The report keeps two faces: ``to_dict()`` defaults to the deterministic
+subset (counts only, no wall-clock), preserving the campaign's "same
+seed, same report" byte-for-byte contract, while ``include_timings=True``
+adds the measured seconds for human consumption.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.telemetry.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracing import SpanRecord, Tracer, active
+
+
+def spans_to_jsonl(spans: Iterable[SpanRecord]) -> str:
+    """One sorted-key JSON object per span, newline-delimited."""
+    return "\n".join(json.dumps(span.to_dict(), sort_keys=True, default=str)
+                     for span in spans)
+
+
+def write_spans_jsonl(path, spans: Iterable[SpanRecord]) -> int:
+    """Write the JSON-Lines trace dump to ``path``; returns span count."""
+    spans = list(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        text = spans_to_jsonl(spans)
+        if text:
+            handle.write(text + "\n")
+    return len(spans)
+
+
+# -- Prometheus text exposition --------------------------------------------------
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(names: Sequence[str], values: Sequence[str],
+                 extra: str = "") -> str:
+    parts = [f'{n}="{_escape_label_value(v)}"'
+             for n, v in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry in Prometheus text format (HELP/TYPE + samples).
+
+    Metrics appear name-sorted and series label-sorted, so the exposition
+    is deterministic for a given registry state.
+    """
+    registry = registry or REGISTRY
+    lines: List[str] = []
+    for metric in registry.metrics():
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for label_values, series in metric.samples():
+                cumulative = 0
+                for bound, count in zip(metric.buckets,
+                                        series.bucket_counts):
+                    cumulative += count
+                    labels = _labels_text(metric.label_names, label_values,
+                                          f'le="{_format_value(bound)}"')
+                    lines.append(
+                        f"{metric.name}_bucket{labels} {cumulative}")
+                cumulative += series.bucket_counts[-1]
+                labels = _labels_text(metric.label_names, label_values,
+                                      'le="+Inf"')
+                lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+                plain = _labels_text(metric.label_names, label_values)
+                lines.append(f"{metric.name}_sum{plain} "
+                             f"{_format_value(series.sum)}")
+                lines.append(f"{metric.name}_count{plain} {series.count}")
+        elif isinstance(metric, (Counter, Gauge)):
+            samples = metric.samples()
+            if not samples and not metric.label_names:
+                lines.append(f"{metric.name} 0")
+            for label_values, value in samples:
+                labels = _labels_text(metric.label_names, label_values)
+                lines.append(
+                    f"{metric.name}{labels} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+# -- the report section ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class TelemetryReport:
+    """Summarized telemetry of one analysis run, attachable to reports.
+
+    ``span_counts``/``metric_deltas`` are deterministic for a seeded run;
+    ``span_wall_seconds`` and ``total_wall_seconds`` are measured and are
+    excluded from the deterministic rendering paths.
+    """
+
+    total_spans: int = 0
+    dropped_spans: int = 0
+    max_depth: int = 0
+    span_counts: Dict[str, int] = field(default_factory=dict)
+    span_wall_seconds: Dict[str, float] = field(default_factory=dict)
+    metric_deltas: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, tracer: Optional[Tracer] = None,
+                registry: Optional[MetricsRegistry] = None,
+                counters_before: Optional[Mapping[str, float]] = None
+                ) -> "TelemetryReport":
+        """Snapshot the active tracer + registry into a report section.
+
+        ``counters_before`` (a :meth:`MetricsRegistry.flatten_counters`
+        snapshot) scopes the metric deltas to one run; without it the
+        absolute registry values are reported.
+        """
+        tracer = tracer if tracer is not None else active()
+        registry = registry or REGISTRY
+        before = dict(counters_before or {})
+        after = registry.flatten_counters()
+        deltas = {key: value - before.get(key, 0.0)
+                  for key, value in sorted(after.items())
+                  if value - before.get(key, 0.0) != 0.0}
+        if tracer is None:
+            return cls(metric_deltas=deltas)
+        return cls(total_spans=len(tracer.finished),
+                   dropped_spans=tracer.dropped_spans,
+                   max_depth=tracer.max_depth(),
+                   span_counts=tracer.span_counts(),
+                   span_wall_seconds=tracer.wall_seconds_by_name(),
+                   metric_deltas=deltas)
+
+    def to_dict(self, *, include_timings: bool = False) -> Dict:
+        out = {
+            "total_spans": self.total_spans,
+            "dropped_spans": self.dropped_spans,
+            "max_depth": self.max_depth,
+            "span_counts": dict(sorted(self.span_counts.items())),
+            "metric_deltas": dict(sorted(self.metric_deltas.items())),
+        }
+        if include_timings:
+            out["span_wall_seconds"] = dict(
+                sorted(self.span_wall_seconds.items()))
+        return out
+
+    def to_markdown_lines(self) -> List[str]:
+        """Deterministic (count-only) markdown block for report embedding."""
+        lines = [f"- spans recorded: {self.total_spans} "
+                 f"(max depth {self.max_depth}, "
+                 f"{self.dropped_spans} dropped)"]
+        for name, count in sorted(self.span_counts.items()):
+            lines.append(f"  - span `{name}`: {count}")
+        if self.metric_deltas:
+            lines.append("- metric increments:")
+            for key, value in sorted(self.metric_deltas.items()):
+                text = (f"{value:.6g}" if isinstance(value, float)
+                        and not float(value).is_integer()
+                        else str(int(value)))
+                lines.append(f"  - `{key}`: {text}")
+        return lines

@@ -1,0 +1,336 @@
+"""Process-global metrics: counters, gauges, histograms, and a registry.
+
+The quantitative pillar of the telemetry layer.  Instruments follow the
+Prometheus data model — a metric has a name, help text and a fixed label
+schema; each distinct label-value combination is one time series — and
+the text exposition format is produced by
+:func:`repro.telemetry.export.prometheus_text`.
+
+Everything is dependency-free and thread-safe: each instrument guards its
+series map with a lock, so the campaign's concurrent paths can increment
+the same counter without losing updates.
+
+The stack's standard instruments (engine query/plan-cache counters and
+latency histograms, campaign fault counts by uncertainty type, supervisor
+mode transitions) are registered here at import time, so ``repro
+metrics`` always has a schema to expose.  Cold-path instruments (campaign,
+supervisor) record unconditionally; per-query hot-path recording is gated
+on :func:`repro.telemetry.tracing.enabled` to honour the
+zero-cost-when-disabled contract.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import TelemetryError
+
+#: Default histogram buckets (seconds): micro- to ten-second latencies.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelValues = Tuple[str, ...]
+
+
+class Metric:
+    """Base instrument: name, help text, fixed label schema, series map."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Sequence[str] = ()):
+        if not _METRIC_NAME.match(name):
+            raise TelemetryError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_NAME.match(label):
+                raise TelemetryError(
+                    f"invalid label name {label!r} on metric {name!r}")
+        if len(set(labels)) != len(tuple(labels)):
+            raise TelemetryError(f"duplicate label names on metric {name!r}")
+        self.name = name
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(labels)
+        self._lock = threading.Lock()
+        self._series: Dict[LabelValues, object] = {}
+
+    def _key(self, labels: Mapping[str, str]) -> LabelValues:
+        if set(labels) != set(self.label_names):
+            raise TelemetryError(
+                f"metric {self.name!r} takes labels "
+                f"{list(self.label_names)}, got {sorted(labels)}")
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def samples(self) -> List[Tuple[LabelValues, object]]:
+        """(label values, value) pairs, label-sorted (deterministic)."""
+        with self._lock:
+            return sorted(self._series.items())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._series.clear()
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self.name!r}, "
+                f"series={len(self._series)})")
+
+
+class Counter(Metric):
+    """Monotonically increasing count (Prometheus counter)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease (amount={amount})")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+
+class Gauge(Metric):
+    """A value that can go up and down (Prometheus gauge)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * (n_buckets + 1)  # +1 for +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(Metric):
+    """Distribution over fixed, strictly increasing bucket boundaries.
+
+    An observation ``v`` lands in the first bucket with ``v <= le`` —
+    boundaries are inclusive upper edges, matching Prometheus — or in the
+    implicit ``+Inf`` overflow bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise TelemetryError(f"histogram {name!r} needs >= 1 bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise TelemetryError(
+                f"histogram {name!r} buckets must be strictly increasing")
+        self.buckets: Tuple[float, ...] = bounds
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        index = bisect_left(self.buckets, float(value))
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(
+                    len(self.buckets))
+            series.bucket_counts[index] += 1
+            series.sum += float(value)
+            series.count += 1
+
+    def bucket_counts(self, **labels: str) -> List[int]:
+        """Per-bucket (non-cumulative) counts; last entry is ``+Inf``."""
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return [0] * (len(self.buckets) + 1)
+            return list(series.bucket_counts)
+
+    def sum_value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.sum if series is not None else 0.0
+
+    def count_value(self, **labels: str) -> int:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.count if series is not None else 0
+
+
+class MetricsRegistry:
+    """Name-keyed instrument registry with get-or-create semantics.
+
+    ``counter``/``gauge``/``histogram`` return the existing instrument
+    when one is already registered under the name — provided its type and
+    label schema match, otherwise :class:`TelemetryError` — so modules can
+    declare their instruments independently and share series.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labels: Sequence[str], **kwargs) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or type(existing) is not cls:
+                    raise TelemetryError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")
+                if existing.label_names != tuple(labels):
+                    raise TelemetryError(
+                        f"metric {name!r} already registered with labels "
+                        f"{list(existing.label_names)}, not {list(labels)}")
+                return existing
+            metric = cls(name, help, labels, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def metrics(self) -> List[Metric]:
+        """All instruments, name-sorted (the exposition order)."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def reset(self) -> None:
+        """Zero every series but keep the registered schema."""
+        for metric in self.metrics():
+            metric.clear()
+
+    def flatten_counters(self) -> Dict[str, float]:
+        """Counter series as a flat ``name{label="v",...}`` -> value map.
+
+        Used to take before/after deltas so one campaign's telemetry
+        report is independent of whatever ran earlier in the process.
+        """
+        out: Dict[str, float] = {}
+        for metric in self.metrics():
+            if not isinstance(metric, Counter):
+                continue
+            for label_values, value in metric.samples():
+                if label_values:
+                    rendered = ",".join(
+                        f'{n}="{v}"' for n, v in zip(metric.label_names,
+                                                     label_values))
+                    out[f"{metric.name}{{{rendered}}}"] = float(value)
+                else:
+                    out[metric.name] = float(value)
+        return out
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(metrics={len(self._metrics)})"
+
+
+#: The process-global registry every subsystem records into.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY
+
+
+# -- standard instruments, registered out of the box ----------------------------
+
+#: Engine queries answered while telemetry is enabled, by call kind.
+ENGINE_QUERIES = REGISTRY.counter(
+    "repro_engine_queries_total",
+    "Inference-engine queries answered under telemetry, by kind.",
+    labels=("kind",))
+
+#: Plan/joint cache lookups, by hit/miss outcome.
+ENGINE_PLAN_REQUESTS = REGISTRY.counter(
+    "repro_engine_plan_requests_total",
+    "Engine plan/joint-cache lookups under telemetry, by result.",
+    labels=("result",))
+
+#: Full engine (re)compilations.
+ENGINE_RECOMPILES = REGISTRY.counter(
+    "repro_engine_recompiles_total",
+    "Inference-engine compilations under telemetry.")
+
+#: Latency of telemetry-enabled engine queries, by call kind.
+ENGINE_QUERY_SECONDS = REGISTRY.histogram(
+    "repro_engine_query_seconds",
+    "Latency of inference-engine queries under telemetry, by kind.",
+    labels=("kind",))
+
+#: Campaign cells executed, tagged with the paper's uncertainty type.
+CAMPAIGN_FAULT_CELLS = REGISTRY.counter(
+    "repro_campaign_fault_cells_total",
+    "Fault-injection campaign cells executed, by fault model and "
+    "uncertainty type.",
+    labels=("fault", "uncertainty_type"))
+
+#: Encounters simulated by campaign runs, by architecture.
+CAMPAIGN_TRIALS = REGISTRY.counter(
+    "repro_campaign_trials_total",
+    "Campaign encounters simulated, by architecture.",
+    labels=("architecture",))
+
+#: Supervisor mode transitions (escalations and recoveries).
+SUPERVISOR_TRANSITIONS = REGISTRY.counter(
+    "repro_supervisor_transitions_total",
+    "Degradation-supervisor mode transitions.",
+    labels=("from_mode", "to_mode"))
+
+#: All supervisor events, by kind (watchdog_timeout, retry, flags, ...).
+SUPERVISOR_EVENTS = REGISTRY.counter(
+    "repro_supervisor_events_total",
+    "Degradation-supervisor structured-log events, by kind.",
+    labels=("kind",))
+
+#: Objects pushed through a perception chain campaign.
+PERCEPTION_ENCOUNTERS = REGISTRY.counter(
+    "repro_perception_encounters_total",
+    "Encounters simulated through PerceptionChain.run_campaign.")

@@ -1,0 +1,375 @@
+"""Structured tracing: nested spans over the inference and analysis stack.
+
+The cybernetic argument of the paper (Fig. 1) applied to our own code: the
+development organization can only regulate the stack as well as it can
+observe it.  A :class:`Tracer` records a tree of :class:`SpanRecord`
+objects — one per instrumented operation, nested via ``contextvars`` so a
+campaign span contains its cells, a cell its engine queries, a query its
+compile — each carrying wall/CPU time, free-form attributes (including
+the paper's aleatory/epistemic/ontological uncertainty-type tags), error
+capture, and point events, in a bounded ring buffer.
+
+The layer is **zero-cost when disabled**: tracing is off by default, hot
+paths check one module global (:func:`active`), and the fallback
+:data:`NULL_SPAN` context manager is a stateless singleton.  Enable it
+explicitly with :func:`activate` / :func:`session`::
+
+    from repro import telemetry
+
+    with telemetry.session() as tracer:
+        engine.query_batch("ground_truth", rows)
+    print(tracer.render_tree())
+
+Thread safety: the finished-span buffer and the id counter are lock
+guarded; the *current span* is a ``contextvars.ContextVar``, so spans
+opened on different threads (the campaign's concurrent paths) nest
+correctly per thread instead of interleaving.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import TelemetryError
+from repro.telemetry.clock import SystemClock
+
+#: Point events kept per span before further ones are counted but dropped.
+MAX_SPAN_EVENTS = 64
+
+#: Default ring-buffer capacity of a tracer (finished spans).
+DEFAULT_MAX_SPANS = 4096
+
+
+@dataclass
+class SpanRecord:
+    """One traced operation: identity, nesting, timing, outcome."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    depth: int
+    attributes: Dict[str, Any]
+    start_wall: float
+    start_cpu: float
+    end_wall: Optional[float] = None
+    end_cpu: Optional[float] = None
+    status: str = "started"          # "started" | "ok" | "error"
+    error: Optional[str] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    dropped_events: int = 0
+
+    @property
+    def wall_seconds(self) -> float:
+        if self.end_wall is None:
+            return 0.0
+        return self.end_wall - self.start_wall
+
+    @property
+    def cpu_seconds(self) -> float:
+        if self.end_cpu is None:
+            return 0.0
+        return self.end_cpu - self.start_cpu
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def add_event(self, name: str, time: float, **attributes: Any) -> None:
+        if len(self.events) >= MAX_SPAN_EVENTS:
+            self.dropped_events += 1
+            return
+        self.events.append({"name": name, "time": time, **attributes})
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form used by the JSON-Lines exporter."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "attributes": dict(self.attributes),
+            "start_wall": self.start_wall,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "status": self.status,
+            "error": self.error,
+            "events": [dict(e) for e in self.events],
+            "dropped_events": self.dropped_events,
+        }
+
+
+class _NullSpan:
+    """Stateless no-op stand-in for a span context manager.
+
+    One shared instance serves every disabled call site: ``__enter__``
+    returns itself so ``with telemetry.span(...) as sp`` works unchanged,
+    and the mutators are no-ops.  Being stateless it is safely reentrant
+    and thread-shared.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def add_event(self, name: str, time: float = 0.0, **attributes: Any) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NULL_SPAN"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager binding one live :class:`SpanRecord` to a tracer."""
+
+    __slots__ = ("_tracer", "record", "_token")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord):
+        self._tracer = tracer
+        self.record = record
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> SpanRecord:
+        self._token = self._tracer._current.set(self.record)
+        return self.record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        record = self.record
+        clock = self._tracer._clock
+        record.end_wall = clock.wall()
+        record.end_cpu = clock.cpu()
+        if exc_type is not None:
+            record.status = "error"
+            record.error = f"{exc_type.__name__}: {exc}"
+        else:
+            record.status = "ok"
+        if self._token is not None:
+            self._tracer._current.reset(self._token)
+        self._tracer._finish(record)
+        return False
+
+
+class Tracer:
+    """Collects spans into a bounded ring buffer and renders span trees."""
+
+    def __init__(self, clock=None, max_spans: int = DEFAULT_MAX_SPANS):
+        if max_spans < 1:
+            raise TelemetryError(
+                f"max_spans must be at least 1, got {max_spans}")
+        self._clock = clock or SystemClock()
+        self._max_spans = int(max_spans)
+        self._records: List[SpanRecord] = []
+        self._dropped = 0
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._current: contextvars.ContextVar[Optional[SpanRecord]] = \
+            contextvars.ContextVar("repro_telemetry_span", default=None)
+
+    # -- recording -------------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a span nested under the calling context's current span."""
+        parent = self._current.get()
+        with self._lock:
+            span_id = next(self._ids)
+        record = SpanRecord(
+            name=name, span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            depth=parent.depth + 1 if parent is not None else 0,
+            attributes=attributes,
+            start_wall=self._clock.wall(), start_cpu=self._clock.cpu())
+        return _SpanContext(self, record)
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Attach a point event to the current span (no-op outside one)."""
+        current = self._current.get()
+        if current is not None:
+            current.add_event(name, self._clock.wall(), **attributes)
+
+    def current_span(self) -> Optional[SpanRecord]:
+        return self._current.get()
+
+    def _finish(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._records) >= self._max_spans:
+                self._records.pop(0)
+                self._dropped += 1
+            self._records.append(record)
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def finished(self) -> Tuple[SpanRecord, ...]:
+        """Finished spans, completion-ordered (children before parents)."""
+        with self._lock:
+            return tuple(self._records)
+
+    @property
+    def dropped_spans(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._dropped = 0
+
+    def max_depth(self) -> int:
+        """Deepest recorded nesting, as a count of levels (root = 1)."""
+        spans = self.finished
+        return max((s.depth for s in spans), default=-1) + 1
+
+    def span_counts(self) -> Dict[str, int]:
+        """Finished spans per name, name-sorted (deterministic)."""
+        counts: Dict[str, int] = {}
+        for s in self.finished:
+            counts[s.name] = counts.get(s.name, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def wall_seconds_by_name(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for s in self.finished:
+            totals[s.name] = totals.get(s.name, 0.0) + s.wall_seconds
+        return dict(sorted(totals.items()))
+
+    # -- rendering -------------------------------------------------------------
+
+    def span_tree(self) -> List[Tuple[SpanRecord, List]]:
+        """Nested (record, children) pairs; roots in start order.
+
+        A span whose parent fell out of the ring buffer is promoted to a
+        root, so the tree always accounts for every buffered span.
+        """
+        spans = sorted(self.finished, key=lambda s: s.span_id)
+        by_id = {s.span_id: s for s in spans}
+        nodes: Dict[int, Tuple[SpanRecord, List]] = {
+            s.span_id: (s, []) for s in spans}
+        roots: List[Tuple[SpanRecord, List]] = []
+        for s in spans:
+            if s.parent_id is not None and s.parent_id in by_id:
+                nodes[s.parent_id][1].append(nodes[s.span_id])
+            else:
+                roots.append(nodes[s.span_id])
+        return roots
+
+    def render_tree(self, *, show_timings: bool = True) -> str:
+        """Human-readable span tree with per-span wall/CPU timings."""
+        lines: List[str] = [
+            f"span tree: {len(self.finished)} span(s), "
+            f"max depth {self.max_depth()}"
+            + (f", {self.dropped_spans} dropped" if self.dropped_spans else "")]
+
+        def walk(node, prefix: str, is_last: bool, is_root: bool) -> None:
+            record, children = node
+            connector = "" if is_root else ("└─ " if is_last else "├─ ")
+            attrs = " ".join(f"{k}={v}" for k, v in record.attributes.items())
+            label = record.name + (f" [{attrs}]" if attrs else "")
+            if record.status == "error":
+                label += f" !ERROR {record.error}"
+            if show_timings:
+                label += (f"  wall {record.wall_seconds * 1e3:.3f} ms"
+                          f"  cpu {record.cpu_seconds * 1e3:.3f} ms")
+            if record.events:
+                label += f"  ({len(record.events)} event(s))"
+            lines.append(prefix + connector + label)
+            child_prefix = prefix if is_root else \
+                prefix + ("   " if is_last else "│  ")
+            for i, child in enumerate(children):
+                walk(child, child_prefix, i == len(children) - 1, False)
+
+        for root in self.span_tree():
+            walk(root, "", True, True)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Tracer(spans={len(self.finished)}, "
+                f"max_spans={self._max_spans})")
+
+
+# -- module-global activation ----------------------------------------------------
+#
+# One process-global active tracer (or None = disabled).  Hot paths read
+# ``active()`` — a single module-global load — and skip all telemetry work
+# when it returns None.
+
+_state_lock = threading.Lock()
+_active_tracer: Optional[Tracer] = None
+
+
+def active() -> Optional[Tracer]:
+    """The active tracer, or None when tracing is disabled (the default)."""
+    return _active_tracer
+
+
+def enabled() -> bool:
+    return _active_tracer is not None
+
+
+def activate(tracer: Optional[Tracer] = None, *, clock=None,
+             max_spans: int = DEFAULT_MAX_SPANS) -> Tracer:
+    """Install ``tracer`` (or a fresh one) as the process-global tracer."""
+    global _active_tracer
+    with _state_lock:
+        _active_tracer = tracer or Tracer(clock=clock, max_spans=max_spans)
+        return _active_tracer
+
+
+def deactivate() -> Optional[Tracer]:
+    """Disable tracing; returns the tracer that was active, if any."""
+    global _active_tracer
+    with _state_lock:
+        previous, _active_tracer = _active_tracer, None
+        return previous
+
+
+@contextmanager
+def session(tracer: Optional[Tracer] = None, *, clock=None,
+            max_spans: int = DEFAULT_MAX_SPANS) -> Iterator[Tracer]:
+    """Tracing enabled for one block; the previous state is restored."""
+    global _active_tracer
+    with _state_lock:
+        previous = _active_tracer
+        installed = tracer or Tracer(clock=clock, max_spans=max_spans)
+        _active_tracer = installed
+    try:
+        yield installed
+    finally:
+        with _state_lock:
+            _active_tracer = previous
+
+
+def span(name: str, **attributes: Any):
+    """A span on the active tracer — or the no-op singleton when disabled.
+
+    The convenience entry point for instrumentation outside per-query hot
+    loops; hot paths should branch on :func:`active` themselves to skip
+    building the attribute dict.
+    """
+    tracer = _active_tracer
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attributes)
+
+
+def event(name: str, **attributes: Any) -> None:
+    """A point event on the active tracer's current span (no-op if off)."""
+    tracer = _active_tracer
+    if tracer is not None:
+        tracer.event(name, **attributes)

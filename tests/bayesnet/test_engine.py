@@ -23,7 +23,7 @@ from repro.bayesnet.factor import ScalarFactor
 from repro.bayesnet.graph import DAG
 from repro.bayesnet.network import BayesianNetwork
 from repro.bayesnet.variable import Variable
-from repro.errors import GraphError, InferenceError
+from repro.errors import EngineError, GraphError, InferenceError
 from repro.perception.chain import build_fig4_network
 
 OUTPUTS = ("car", "pedestrian", "car/pedestrian", "none")
@@ -73,6 +73,12 @@ class TestEngineSeam:
     def test_as_engine_rejects_other_objects(self):
         with pytest.raises(InferenceError):
             as_engine(42)
+
+    def test_as_engine_raises_typed_error_naming_the_type(self):
+        with pytest.raises(EngineError, match="'int'"):
+            as_engine(42)
+        # EngineError subclasses InferenceError: broad catches keep working.
+        assert issubclass(EngineError, InferenceError)
 
 
 class TestCompiledQueries:
@@ -288,6 +294,19 @@ class TestEngineStats:
         stats.reset()
         assert stats.queries == 0
         assert stats.plan_hit_rate == 0.0
+
+    def test_snapshot_keys_sorted_deterministically(self):
+        stats = EngineStats(queries=5, plan_hits=3, plan_misses=1)
+        snap = stats.snapshot()
+        assert list(snap) == sorted(snap)
+
+    def test_snapshot_without_timings_is_seed_deterministic(self):
+        stats = EngineStats(queries=5, compile_seconds=0.123,
+                            execute_seconds=4.56)
+        snap = stats.snapshot(include_timings=False)
+        for key in EngineStats.TIMING_FIELDS:
+            assert key not in snap
+        assert snap["queries"] == 5
 
 
 class TestValidationMemoization:

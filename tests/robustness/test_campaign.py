@@ -120,6 +120,34 @@ class TestMiniatureCampaign:
         assert a.to_markdown() == b.to_markdown()
         assert a.to_rows() == b.to_rows()
 
+    def test_json_export_byte_stable(self):
+        """Same seed, byte-identical JSON: wall-clock stats are excluded."""
+        a = run_campaign(MINI)
+        b = run_campaign(MINI)
+        assert a.to_json() == b.to_json()
+        for key in a.to_dict()["engine_stats"]:
+            assert not key.endswith("_seconds")
+
+    def test_telemetry_attached_only_under_tracing(self):
+        from repro import telemetry
+        plain = run_campaign(MINI)
+        assert plain.telemetry is None
+        with telemetry.session() as tracer:
+            traced = run_campaign(MINI)
+        assert traced.telemetry is not None
+        assert traced.telemetry.total_spans > 0
+        assert traced.telemetry.max_depth >= 2
+        assert traced.telemetry.span_counts["campaign.cell"] == 2
+        deltas = traced.telemetry.metric_deltas
+        assert any(k.startswith("repro_campaign_fault_cells_total")
+                   for k in deltas)
+        # The telemetry section renders, and JSON stays byte-stable
+        # against a second traced run.
+        assert "## Telemetry" in traced.to_markdown()
+        with telemetry.session():
+            traced2 = run_campaign(MINI)
+        assert traced.to_json() == traced2.to_json()
+
     def test_reports_all_cells_with_metrics(self):
         report = run_campaign(MINI)
         assert len(report.cells) == 2

@@ -1,0 +1,16 @@
+"""Telemetry test isolation: no leaked tracer, clean registry values."""
+
+import pytest
+
+from repro.telemetry import deactivate
+from repro.telemetry.metrics import REGISTRY
+
+
+@pytest.fixture(autouse=True)
+def telemetry_isolation():
+    """Each test starts with tracing off and zeroed global counters."""
+    deactivate()
+    REGISTRY.reset()
+    yield
+    deactivate()
+    REGISTRY.reset()

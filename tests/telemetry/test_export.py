@@ -1,0 +1,151 @@
+"""Exporters: JSON-Lines spans, Prometheus text, and TelemetryReport."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    ManualClock,
+    MetricsRegistry,
+    TelemetryReport,
+    Tracer,
+    prometheus_text,
+    spans_to_jsonl,
+    write_spans_jsonl,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "data"
+
+
+def traced_pair() -> Tracer:
+    tracer = Tracer(clock=ManualClock(tick=0.001))
+    with tracer.span("parent", seed=1):
+        with tracer.span("child"):
+            pass
+    return tracer
+
+
+class TestJsonLines:
+    def test_round_trip(self):
+        tracer = traced_pair()
+        text = spans_to_jsonl(tracer.finished)
+        rows = [json.loads(line) for line in text.splitlines()]
+        assert [r["name"] for r in rows] == ["child", "parent"]
+        child, parent = rows
+        assert child["parent_id"] == parent["span_id"]
+        assert child["depth"] == 1
+        assert parent["attributes"] == {"seed": 1}
+        assert parent["status"] == "ok"
+        # Sorted keys -> deterministic serialization.
+        assert text == spans_to_jsonl(traced_pair().finished)
+
+    def test_write_returns_count_and_terminates_lines(self, tmp_path):
+        tracer = traced_pair()
+        path = tmp_path / "spans.jsonl"
+        assert write_spans_jsonl(path, tracer.finished) == 2
+        content = path.read_text()
+        assert content.endswith("\n")
+        assert len(content.strip().splitlines()) == 2
+
+    def test_write_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert write_spans_jsonl(path, ()) == 0
+        assert path.read_text() == ""
+
+
+def golden_registry() -> MetricsRegistry:
+    """A fixed registry state exercising every exposition feature."""
+    reg = MetricsRegistry()
+    events = reg.counter("demo_events_total", "Events observed.",
+                         labels=("kind",))
+    reg.counter("demo_plain_total", "An unlabeled counter.")
+    depth = reg.gauge("demo_depth", "Current depth.")
+    latency = reg.histogram("demo_latency_seconds", "Latency.",
+                            labels=("path",), buckets=(0.001, 0.01, 0.1))
+    events.inc(kind="a")
+    events.inc(2, kind='b"quote')
+    depth.set(2.5)
+    for value in (0.001, 0.005, 0.05, 0.5):
+        latency.observe(value, path="/q")
+    return reg
+
+
+class TestPrometheusText:
+    def test_matches_golden_file(self):
+        got = prometheus_text(golden_registry())
+        want = (GOLDEN_DIR / "prometheus_golden.txt").read_text()
+        assert got == want
+
+    def test_structure(self):
+        text = prometheus_text(golden_registry())
+        lines = text.splitlines()
+        # HELP precedes TYPE for every metric, name-sorted.
+        helps = [line.split()[2] for line in lines
+                 if line.startswith("# HELP")]
+        assert helps == sorted(helps)
+        assert "# TYPE demo_latency_seconds histogram" in lines
+        # Cumulative buckets end with +Inf == _count.
+        assert 'demo_latency_seconds_bucket{path="/q",le="+Inf"} 4' in lines
+        assert 'demo_latency_seconds_count{path="/q"} 4' in lines
+        # le-inclusive edge: the 0.001 observation lands in the first bucket.
+        assert 'demo_latency_seconds_bucket{path="/q",le="0.001"} 1' in lines
+        # Unlabeled counters with no activity still expose a zero sample.
+        assert "demo_plain_total 0" in lines
+        # Label values are escaped.
+        assert 'demo_events_total{kind="b\\"quote"} 2' in lines
+        assert text.endswith("\n")
+
+    def test_global_registry_default(self):
+        text = prometheus_text()
+        assert "# TYPE repro_engine_queries_total counter" in text
+
+
+class TestTelemetryReport:
+    def test_capture_scopes_metric_deltas(self):
+        reg = MetricsRegistry()
+        c = reg.counter("runs_total", labels=("phase",))
+        c.inc(5, phase="warmup")
+        before = reg.flatten_counters()
+        c.inc(2, phase="measure")
+        tracer = traced_pair()
+        report = TelemetryReport.capture(tracer=tracer, registry=reg,
+                                         counters_before=before)
+        # Unchanged series are dropped; only the in-window delta remains.
+        assert report.metric_deltas == {'runs_total{phase="measure"}': 2.0}
+        assert report.total_spans == 2
+        assert report.max_depth == 2
+        assert report.span_counts == {"child": 1, "parent": 1}
+
+    def test_to_dict_excludes_timings_by_default(self):
+        report = TelemetryReport.capture(tracer=traced_pair(),
+                                         registry=MetricsRegistry())
+        out = report.to_dict()
+        assert "span_wall_seconds" not in out
+        timed = report.to_dict(include_timings=True)
+        assert timed["span_wall_seconds"]["parent"] > 0.0
+        assert json.dumps(out, sort_keys=True) == json.dumps(
+            TelemetryReport.capture(tracer=traced_pair(),
+                                    registry=MetricsRegistry()).to_dict(),
+            sort_keys=True)
+
+    def test_capture_without_tracer_is_metrics_only(self):
+        assert telemetry.active() is None
+        reg = MetricsRegistry()
+        reg.counter("n_total").inc()
+        report = TelemetryReport.capture(registry=reg)
+        assert report.total_spans == 0
+        assert report.metric_deltas == {"n_total": 1.0}
+
+    def test_markdown_lines_are_counts_only(self):
+        report = TelemetryReport(
+            total_spans=3, dropped_spans=1, max_depth=2,
+            span_counts={"a": 2, "b": 1},
+            span_wall_seconds={"a": 0.123},
+            metric_deltas={"n_total": 2.0})
+        lines = report.to_markdown_lines()
+        assert lines[0] == "- spans recorded: 3 (max depth 2, 1 dropped)"
+        assert "  - span `a`: 2" in lines
+        assert "  - `n_total`: 2" in lines
+        assert not any("0.123" in line for line in lines)

@@ -1,0 +1,150 @@
+"""Metrics registry: instruments, bucket edges, schemas, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+
+
+class TestCounter:
+    def test_inc_and_value_with_labels(self):
+        c = Counter("widgets_total", labels=("kind",))
+        c.inc(kind="a")
+        c.inc(2.5, kind="a")
+        c.inc(kind="b")
+        assert c.value(kind="a") == pytest.approx(3.5)
+        assert c.value(kind="b") == pytest.approx(1.0)
+        assert c.value(kind="never") == 0.0
+
+    def test_negative_increment_rejected(self):
+        c = Counter("ups_total")
+        with pytest.raises(TelemetryError):
+            c.inc(-1.0)
+
+    def test_label_schema_enforced(self):
+        c = Counter("strict_total", labels=("kind",))
+        with pytest.raises(TelemetryError):
+            c.inc()  # missing label
+        with pytest.raises(TelemetryError):
+            c.inc(kind="a", extra="b")  # unknown label
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(TelemetryError):
+            Counter("0starts_with_digit")
+        with pytest.raises(TelemetryError):
+            Counter("fine_total", labels=("bad-dash",))
+        with pytest.raises(TelemetryError):
+            Counter("fine_total", labels=("dup", "dup"))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(5.0)
+        g.inc(2.0)
+        g.dec(3.0)
+        assert g.value() == pytest.approx(4.0)
+
+
+class TestHistogramBuckets:
+    def test_upper_edges_are_inclusive(self):
+        h = Histogram("lat_seconds", buckets=(0.1, 1.0))
+        h.observe(0.1)            # exactly on the first edge -> bucket 0
+        h.observe(0.1000001)      # just above -> bucket 1
+        h.observe(1.0)            # exactly on the last edge -> bucket 1
+        h.observe(3.0)            # beyond all edges -> +Inf overflow
+        assert h.bucket_counts() == [1, 2, 1]
+        assert h.count_value() == 4
+        assert h.sum_value() == pytest.approx(0.1 + 0.1000001 + 1.0 + 3.0)
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(TelemetryError):
+            Histogram("bad", buckets=(1.0, 1.0))
+        with pytest.raises(TelemetryError):
+            Histogram("bad", buckets=())
+
+    def test_unobserved_series_is_zeroed(self):
+        h = Histogram("lat_seconds", buckets=(0.5,))
+        assert h.bucket_counts() == [0, 0]
+        assert h.count_value() == 0
+        assert h.sum_value() == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits_total", "help", labels=("kind",))
+        b = reg.counter("hits_total", "other help", labels=("kind",))
+        assert a is b
+        assert reg.get("hits_total") is a
+
+    def test_type_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("thing")
+        with pytest.raises(TelemetryError):
+            reg.gauge("thing")
+        with pytest.raises(TelemetryError):
+            reg.histogram("thing")
+
+    def test_label_schema_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("thing_total", labels=("kind",))
+        with pytest.raises(TelemetryError):
+            reg.counter("thing_total", labels=("other",))
+
+    def test_reset_zeroes_values_but_keeps_schema(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n_total", labels=("kind",))
+        c.inc(kind="a")
+        reg.reset()
+        assert reg.get("n_total") is c
+        assert c.value(kind="a") == 0.0
+
+    def test_flatten_counters_format(self):
+        reg = MetricsRegistry()
+        reg.counter("plain_total").inc(3)
+        reg.counter("tagged_total", labels=("kind",)).inc(2, kind="x")
+        reg.gauge("ignored").set(9.0)
+        flat = reg.flatten_counters()
+        assert flat == {"plain_total": 3.0, 'tagged_total{kind="x"}': 2.0}
+
+    def test_global_registry_has_standard_instruments(self):
+        names = {m.name for m in REGISTRY.metrics()}
+        assert {"repro_engine_queries_total",
+                "repro_engine_plan_requests_total",
+                "repro_engine_query_seconds",
+                "repro_campaign_fault_cells_total",
+                "repro_supervisor_transitions_total",
+                "repro_perception_encounters_total"} <= names
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_lose_nothing(self):
+        c = Counter("contended_total", labels=("worker",))
+        h = Histogram("contended_seconds", buckets=(0.5,))
+        n_threads, n_incs = 8, 5000
+
+        def worker(idx: int) -> None:
+            label = str(idx % 2)  # two shared series, maximal contention
+            for _ in range(n_incs):
+                c.inc(worker=label)
+                h.observe(0.25)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = c.value(worker="0") + c.value(worker="1")
+        assert total == pytest.approx(n_threads * n_incs)
+        assert h.count_value() == n_threads * n_incs
+        assert h.bucket_counts() == [n_threads * n_incs, 0]

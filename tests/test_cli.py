@@ -45,7 +45,7 @@ class TestCLI:
     def test_all_commands_registered(self):
         assert set(COMMANDS) == {"fig4", "table1", "strategy", "matrix",
                                  "dossier", "experiments", "inject",
-                                 "campaign"}
+                                 "campaign", "trace", "metrics"}
 
     def test_inject_runs(self, capsys):
         assert main(["inject", "--fault", "dropout", "--trials", "30"]) == 0
@@ -72,3 +72,44 @@ class TestCLI:
     def test_campaign_invalid_trials_nonzero_exit(self, capsys):
         assert main(["campaign", "--trials", "-5"]) != 0
         assert "trials" in capsys.readouterr().err
+
+    def test_trace_fig4_prints_nested_span_tree(self, capsys):
+        assert main(["trace", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "span tree:" in out
+        # The acceptance bar: at least three nesting levels, with timings.
+        assert "max depth 3" in out or "max depth 4" in out
+        assert "trace:fig4" in out
+        assert "engine.query" in out
+        assert "wall" in out and "ms" in out
+
+    def test_trace_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "spans.jsonl"
+        assert main(["trace", "fig4", "--jsonl", str(path)]) == 0
+        import json
+        lines = path.read_text().strip().splitlines()
+        assert lines
+        names = {json.loads(line)["name"] for line in lines}
+        assert "trace:fig4" in names
+
+    def test_metrics_emits_prometheus_text(self, capsys):
+        assert main(["metrics", "fig4"]) == 0
+        out = capsys.readouterr().out
+        # The traced fig4 run must have populated the engine counters.
+        assert "# TYPE repro_engine_queries_total counter" in out
+        assert 'repro_engine_queries_total{kind="scalar"}' in out
+        assert "repro_engine_query_seconds_bucket" in out
+        assert 'le="+Inf"' in out
+        # Exposition-format sanity: every non-comment line is "name value".
+        for line in out.strip().splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                name, value = line.rsplit(" ", 1)
+                assert name
+                float(value)
+
+    def test_metrics_without_target(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE" in out
