@@ -1,0 +1,198 @@
+"""EXT-Q — vectorized sampling kernels + deterministic parallel scaling.
+
+Two claims, quantified and written to ``BENCH_parallel.json`` for CI:
+
+1. **Vectorization floor**: likelihood weighting through the
+   state-index-matrix kernels beats the seed per-sample Python loop by
+   >= 5x at n=10k on the Fig. 4 network (the loop is preserved below as
+   the honest baseline).
+2. **Executor scaling curve**: the campaign grid through the process
+   backend at workers in {1, 2, 4}, with byte-identical reports across
+   backends.  The >= 1.8x wall-clock floor at workers=4 only holds where
+   4 cores exist, so that assertion is gated on ``os.cpu_count()``; the
+   curve itself is always recorded.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.perception.chain import build_fig4_network
+from repro.robustness.campaign import CampaignConfig, run_campaign
+
+#: ISSUE acceptance floors.
+MIN_SAMPLING_SPEEDUP = 5.0
+MIN_CAMPAIGN_SPEEDUP = 1.8
+
+#: Cores needed before the campaign wall-clock floor is physically
+#: possible (GitHub's standard runners have 4 vCPUs).
+CAMPAIGN_CORES_REQUIRED = 4
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
+
+LW_SAMPLES = 10_000
+
+#: The scaling campaign: 6 faults x 2 intensities = 12 cells of 120
+#: encounters each — enough per-cell work to amortize process dispatch.
+SCALING_CONFIG = dict(seed=0, trials=120, intensities=(0.5, 1.0))
+
+IDENTITY_CONFIG = dict(seed=0, trials=25,
+                       fault_names=("dropout", "byzantine"),
+                       intensities=(1.0,))
+
+
+def _loop_likelihood_weighting(network, rng, query, evidence, n):
+    """The seed implementation, verbatim: one sample per Python-loop
+    iteration, dict state, per-draw ``rng.choice`` — the baseline the
+    vectorized kernels are measured against."""
+    order = network.dag.topological_order()
+    states = network.variable(query).states
+    totals = {s: 0.0 for s in states}
+    weight_sum = 0.0
+    for _ in range(n):
+        sample = {}
+        weight = 1.0
+        for name in order:
+            cpt = network.cpt(name)
+            parent_states = tuple(sample[p] for p in cpt.parent_names)
+            if name in evidence:
+                sample[name] = evidence[name]
+                weight *= cpt.prob(evidence[name], parent_states)
+                if weight == 0.0:
+                    break
+            else:
+                sample[name] = cpt.sample_child(rng, parent_states)
+        if weight > 0.0:
+            totals[sample[query]] += weight
+            weight_sum += weight
+    return {s: t / weight_sum for s, t in totals.items()}
+
+
+def _measure_sampling(n=LW_SAMPLES, reps=3) -> Dict[str, float]:
+    network = build_fig4_network()
+    evidence = {"perception": "none"}
+    network.sampler()  # compile outside the timed region, like a warm run
+    loop_s, kernel_s = [], []
+    for _ in range(reps):
+        rng = np.random.default_rng(7)
+        t0 = time.perf_counter()
+        loop_posterior = _loop_likelihood_weighting(
+            network, rng, "ground_truth", evidence, n)
+        loop_s.append(time.perf_counter() - t0)
+
+        rng = np.random.default_rng(7)
+        t0 = time.perf_counter()
+        kernel_posterior = network.query(
+            "ground_truth", evidence, method="likelihood_weighting",
+            rng=rng, n_samples=n)
+        kernel_s.append(time.perf_counter() - t0)
+    exact = network.query("ground_truth", evidence)
+    agreement = max(
+        abs(loop_posterior[s] - exact[s]) for s in exact) < 0.05 and max(
+        abs(kernel_posterior[s] - exact[s]) for s in exact) < 0.05
+    return {
+        "samples": n,
+        "loop_seconds": min(loop_s),
+        "kernel_seconds": min(kernel_s),
+        "speedup": min(loop_s) / min(kernel_s),
+        "estimates_agree_with_exact": bool(agreement),
+    }
+
+
+def _measure_campaign() -> Dict[str, object]:
+    curve = {}
+    reference = None
+    for workers in (1, 2, 4):
+        config = CampaignConfig(workers=workers,
+                                backend="process" if workers > 1 else None,
+                                **SCALING_CONFIG)
+        t0 = time.perf_counter()
+        report = run_campaign(config)
+        seconds = time.perf_counter() - t0
+        payload = report.to_json()
+        if reference is None:
+            reference = payload
+        assert payload == reference, \
+            f"workers={workers} changed the report bytes"
+        curve[workers] = seconds
+    return {
+        "cells": len(SCALING_CONFIG["intensities"]) * 6,
+        "trials": SCALING_CONFIG["trials"],
+        "cpu_count": os.cpu_count(),
+        "seconds_by_workers": {str(w): s for w, s in curve.items()},
+        "speedup_w4_vs_w1": curve[1] / curve[4],
+    }
+
+
+def _identity_matrix() -> Dict[str, bool]:
+    """Byte-identity of the small campaign across every backend/width."""
+    reference = run_campaign(CampaignConfig(**IDENTITY_CONFIG)).to_json()
+    out = {}
+    for backend in ("serial", "thread", "process"):
+        for workers in (1, 2, 4):
+            got = run_campaign(CampaignConfig(workers=workers,
+                                              backend=backend,
+                                              **IDENTITY_CONFIG)).to_json()
+            out[f"{backend}_w{workers}"] = got == reference
+    return out
+
+
+def test_vectorized_sampling_and_executor_scaling(benchmark):
+    """The EXT-Q artifact: speedup table, scaling curve, identity grid."""
+    def _measure():
+        return {
+            "sampling": _measure_sampling(),
+            "campaign": _measure_campaign(),
+            "byte_identical": _identity_matrix(),
+        }
+
+    result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    sampling, campaign = result["sampling"], result["campaign"]
+    print_table(
+        f"EXT-Q vectorized likelihood weighting, n={sampling['samples']}",
+        ["implementation", "seconds", "speedup"],
+        [("per-sample loop (seed)", sampling["loop_seconds"], 1.0),
+         ("vectorized kernels", sampling["kernel_seconds"],
+          sampling["speedup"])])
+    print_table(
+        f"EXT-Q campaign scaling, {campaign['cells']} cells x "
+        f"{campaign['trials']} trials, process backend "
+        f"({campaign['cpu_count']} cpu(s))",
+        ["workers", "seconds", "speedup vs w1"],
+        [(w, s, campaign["seconds_by_workers"]["1"] / s)
+         for w, s in sorted(campaign["seconds_by_workers"].items())])
+    benchmark.extra_info.update({
+        "sampling_speedup": sampling["speedup"],
+        "campaign_speedup_w4": campaign["speedup_w4_vs_w1"],
+        "byte_identical": all(result["byte_identical"].values()),
+    })
+    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True)
+                           + "\n")
+
+    # Determinism is not a timing claim: no retries, no gating.
+    assert all(result["byte_identical"].values()), result["byte_identical"]
+    assert sampling["estimates_agree_with_exact"]
+
+    # The vectorization floor, with the standard retry discipline: a real
+    # regression fails every attempt, timing noise does not.
+    speedup = sampling["speedup"]
+    for _ in range(3):
+        if speedup >= MIN_SAMPLING_SPEEDUP:
+            break
+        speedup = _measure_sampling()["speedup"]
+    assert speedup >= MIN_SAMPLING_SPEEDUP, speedup
+
+    # The campaign wall-clock floor needs real cores; the curve above is
+    # recorded either way.
+    if (os.cpu_count() or 1) >= CAMPAIGN_CORES_REQUIRED:
+        campaign_speedup = campaign["speedup_w4_vs_w1"]
+        for _ in range(3):
+            if campaign_speedup >= MIN_CAMPAIGN_SPEEDUP:
+                break
+            campaign_speedup = _measure_campaign()["speedup_w4_vs_w1"]
+        assert campaign_speedup >= MIN_CAMPAIGN_SPEEDUP, campaign_speedup

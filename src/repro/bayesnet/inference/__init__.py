@@ -4,9 +4,12 @@
 - :mod:`repro.bayesnet.inference.junction_tree` — exact, all-marginals.
 - :mod:`repro.bayesnet.inference.sampling` — forward / likelihood weighting /
   Gibbs approximations.
+- :mod:`repro.bayesnet.inference.kernels` — the vectorized state-index-matrix
+  kernels behind the sampling estimators.
 """
 
 from repro.bayesnet.inference.junction_tree import JunctionTree
+from repro.bayesnet.inference.kernels import CompiledSampler
 from repro.bayesnet.inference.sampling import (
     forward_sample,
     gibbs_query,
@@ -16,6 +19,7 @@ from repro.bayesnet.inference.sampling import (
 from repro.bayesnet.inference.variable_elimination import variable_elimination
 
 __all__ = [
+    "CompiledSampler",
     "JunctionTree",
     "forward_sample",
     "gibbs_query",

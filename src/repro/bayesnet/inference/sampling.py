@@ -7,18 +7,41 @@ Three estimators with different bias/variance trade-offs:
 - likelihood weighting: evidence nodes are clamped, samples carry weights;
 - Gibbs sampling: a Markov chain over the non-evidence variables, useful
   when evidence makes importance weights degenerate.
+
+All estimators are thin dict-in/dict-out adapters over the vectorized
+kernels in :mod:`repro.bayesnet.inference.kernels`: samples live in
+``n × |V|`` integer state-index matrices and categorical draws are batched
+per CPT (inverse-CDF on cumulative rows), so no per-sample Python loop
+survives.  The public signatures, validation, and error semantics are
+unchanged from the loop-based implementation.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping
 
 import numpy as np
 
+from repro.bayesnet.inference.kernels import CompiledSampler
 from repro.errors import InferenceError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.bayesnet.network import BayesianNetwork
+
+__all__ = [
+    "forward_sample",
+    "rejection_query",
+    "likelihood_weighting_query",
+    "gibbs_query",
+]
+
+
+def _sampler(network: "BayesianNetwork") -> CompiledSampler:
+    """The network's cached compiled sampler (fresh compile as fallback)."""
+    handle = getattr(network, "sampler", None)
+    if callable(handle):
+        return handle()
+    return CompiledSampler(network)
 
 
 def forward_sample(network: "BayesianNetwork", rng: np.random.Generator,
@@ -26,38 +49,30 @@ def forward_sample(network: "BayesianNetwork", rng: np.random.Generator,
     """Draw ``n`` joint samples in topological order."""
     if n <= 0:
         raise InferenceError("n must be positive")
-    order = network.dag.topological_order()
-    out: List[Dict[str, str]] = []
-    for _ in range(n):
-        sample: Dict[str, str] = {}
-        for name in order:
-            cpt = network.cpt(name)
-            parent_states = tuple(sample[p] for p in cpt.parent_names)
-            sample[name] = cpt.sample_child(rng, parent_states)
-        out.append(sample)
-    return out
+    sampler = _sampler(network)
+    return sampler.decode_rows(sampler.forward_matrix(rng, n))
 
 
 def rejection_query(network: "BayesianNetwork", rng: np.random.Generator,
                     query: str, evidence: Mapping[str, str], n: int) -> Dict[str, float]:
     """P(query | evidence) by rejection sampling.
 
-    Raises if no sample is consistent with the evidence (the caller should
-    fall back to likelihood weighting for rare evidence).
+    Accept/reject counts are streamed off the vectorized sample matrix —
+    no per-sample dicts are materialized.  Raises if no sample is
+    consistent with the evidence (the caller should fall back to
+    likelihood weighting for rare evidence).
     """
-    samples = forward_sample(network, rng, n)
-    states = network.variable(query).states
-    counts = {s: 0 for s in states}
-    accepted = 0
-    for sample in samples:
-        if all(sample[k] == v for k, v in evidence.items()):
-            counts[sample[query]] += 1
-            accepted += 1
+    if n <= 0:
+        raise InferenceError("n must be positive")
+    sampler = _sampler(network)
+    counts, accepted = sampler.rejection_counts(rng, query, evidence, n)
     if accepted == 0:
         raise InferenceError(
-            f"rejection sampling accepted 0 of {n} samples — evidence too "
-            "unlikely; use likelihood weighting or Gibbs")
-    return {s: c / accepted for s, c in counts.items()}
+            f"rejection sampling accepted 0 of {n} samples "
+            "(acceptance rate 0.0%) — evidence too unlikely; use "
+            "likelihood weighting or Gibbs")
+    states = network.variable(query).states
+    return {s: counts[i] / accepted for i, s in enumerate(states)}
 
 
 def likelihood_weighting_query(network: "BayesianNetwork",
@@ -70,96 +85,31 @@ def likelihood_weighting_query(network: "BayesianNetwork",
     evidence = dict(evidence)
     if query in evidence:
         raise InferenceError(f"{query!r} is both queried and observed")
-    order = network.dag.topological_order()
-    states = network.variable(query).states
-    totals = {s: 0.0 for s in states}
-    weight_sum = 0.0
-    for _ in range(n):
-        sample: Dict[str, str] = {}
-        weight = 1.0
-        for name in order:
-            cpt = network.cpt(name)
-            parent_states = tuple(sample[p] for p in cpt.parent_names)
-            if name in evidence:
-                sample[name] = evidence[name]
-                weight *= cpt.prob(evidence[name], parent_states)
-                if weight == 0.0:
-                    break
-            else:
-                sample[name] = cpt.sample_child(rng, parent_states)
-        if weight > 0.0:
-            totals[sample[query]] += weight
-            weight_sum += weight
+    sampler = _sampler(network)
+    totals, weight_sum = sampler.weighted_counts(rng, query, evidence, n)
     if weight_sum <= 0.0:
         raise InferenceError(
             "likelihood weighting produced zero total weight — evidence has "
             "probability 0 under the model")
-    return {s: t / weight_sum for s, t in totals.items()}
+    states = network.variable(query).states
+    return {s: totals[i] / weight_sum for i, s in enumerate(states)}
 
 
 def gibbs_query(network: "BayesianNetwork", rng: np.random.Generator,
                 query: str, evidence: Mapping[str, str], n: int,
                 burn_in: int = 100, thin: int = 1) -> Dict[str, float]:
-    """P(query | evidence) by Gibbs sampling over the Markov blanket."""
+    """P(query | evidence) by Gibbs sampling over the Markov blanket.
+
+    Runs a bank of vectorized chains in lockstep (each independently
+    burned in); at least ``n`` post-burn-in states are kept in total.
+    """
     if n <= 0 or burn_in < 0 or thin < 1:
         raise InferenceError("require n > 0, burn_in >= 0, thin >= 1")
     evidence = dict(evidence)
     if query in evidence:
         raise InferenceError(f"{query!r} is both queried and observed")
-    order = network.dag.topological_order()
-    free = [v for v in order if v not in evidence]
-
-    # Initialize with a forward sample consistent with evidence where clamped.
-    state: Dict[str, str] = {}
-    for name in order:
-        cpt = network.cpt(name)
-        parent_states = tuple(state[p] for p in cpt.parent_names)
-        if name in evidence:
-            state[name] = evidence[name]
-        else:
-            state[name] = cpt.sample_child(rng, parent_states)
-
-    def conditional(name: str) -> Tuple[List[str], np.ndarray]:
-        """Full conditional P(name | markov blanket) up to normalization."""
-        var = network.variable(name)
-        cpt = network.cpt(name)
-        children = network.dag.children(name)
-        scores = np.empty(var.cardinality)
-        for i, s in enumerate(var.states):
-            state[name] = s
-            parent_states = tuple(state[p] for p in cpt.parent_names)
-            score = cpt.prob(s, parent_states)
-            for ch in children:
-                ch_cpt = network.cpt(ch)
-                ch_parents = tuple(state[p] for p in ch_cpt.parent_names)
-                score *= ch_cpt.prob(state[ch], ch_parents)
-            scores[i] = score
-        total = scores.sum()
-        if total <= 0.0:
-            raise InferenceError(
-                f"Gibbs conditional for {name!r} is all-zero — deterministic "
-                "structure blocks the chain; use exact inference")
-        return list(var.states), scores / total
-
+    sampler = _sampler(network)
+    counts, kept = sampler.gibbs_counts(rng, query, evidence, n,
+                                        burn_in=burn_in, thin=thin)
     states = network.variable(query).states
-    counts = {s: 0 for s in states}
-    kept = 0
-    total_steps = burn_in + n * thin
-    ever_stochastic = False
-    for step in range(total_steps):
-        for name in free:
-            options, probs = conditional(name)
-            if probs.max() < 1.0 - 1e-12:
-                ever_stochastic = True
-            state[name] = options[int(rng.choice(len(options), p=probs))]
-        if step >= burn_in and (step - burn_in) % thin == 0:
-            counts[state[query]] += 1
-            kept += 1
-    if not ever_stochastic and len(free) > 1:
-        # Every full conditional was a point mass at every sweep: the chain
-        # is frozen at its initialization by deterministic couplings and
-        # the counts reflect one forward sample, not the posterior.
-        raise InferenceError(
-            "Gibbs chain is frozen by deterministic CPT structure (every "
-            "full conditional was a point mass); use exact inference")
-    return {s: c / kept for s, c in counts.items()}
+    return {s: counts[i] / kept for i, s in enumerate(states)}

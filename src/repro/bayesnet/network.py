@@ -35,6 +35,7 @@ from repro.errors import GraphError, InferenceError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.bayesnet.engine import CompiledNetwork
+    from repro.bayesnet.inference.kernels import CompiledSampler
 
 
 class BayesianNetwork:
@@ -60,6 +61,7 @@ class BayesianNetwork:
         self._factors_version: Optional[int] = None
         self._factor_cache: List[Factor] = []
         self._engine: Optional["CompiledNetwork"] = None
+        self._sampler: Optional["CompiledSampler"] = None
 
     # -- construction -----------------------------------------------------------
 
@@ -172,6 +174,18 @@ class BayesianNetwork:
             from repro.bayesnet.engine import CompiledNetwork
             self._engine = CompiledNetwork(self)
         return self._engine
+
+    def sampler(self) -> "CompiledSampler":
+        """The vectorized sampling kernels for this network (cached).
+
+        Unlike the self-refreshing engine, a compiled sampler is an
+        immutable snapshot: the handle is rebuilt here whenever the
+        mutation counter has moved since it was compiled.
+        """
+        from repro.bayesnet.inference.kernels import CompiledSampler
+        if self._sampler is None or self._sampler.version != self._version:
+            self._sampler = CompiledSampler(self)
+        return self._sampler
 
     def query(self, target: str, evidence: Mapping[str, str] = None,
               method: str = "exact", rng: Optional[np.random.Generator] = None,

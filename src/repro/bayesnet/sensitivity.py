@@ -11,6 +11,7 @@ from three evaluations, and tornado-style rankings follow.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -19,6 +20,7 @@ from repro.bayesnet.cpt import CPT
 from repro.bayesnet.engine import InferenceEngine
 from repro.bayesnet.network import BayesianNetwork
 from repro.errors import InferenceError
+from repro.parallel import ParallelExecutor
 from repro.telemetry import tracing
 
 
@@ -165,28 +167,66 @@ class TornadoEntry:
         return self.high - self.low
 
 
+def _tornado_chunk(cpts: Sequence[CPT], name: str, query: str,
+                   query_state: str, evidence: Dict[str, str],
+                   relative_band: float, baseline: float,
+                   specs: Sequence[Tuple[str, Tuple[str, ...], str]]
+                   ) -> List[TornadoEntry]:
+    """Fit one chunk of tornado entries on a private trial network.
+
+    Module-level and fed plain CPTs (not a network with compiled caches)
+    so the process backend can pickle the payload cheaply; each chunk
+    compiles its trial engine once and reuses it across its specs.  Every
+    entry's fit is an independent exact computation, so the chunk
+    geometry cannot change any number.
+    """
+    trial = BayesianNetwork(name + "-sens")
+    for cpt in cpts:
+        trial.add_cpt(cpt)
+    engine = trial.engine()
+    by_node = {cpt.child.name: cpt for cpt in cpts}
+    entries: List[TornadoEntry] = []
+    for node, config, child_state in specs:
+        cpt = by_node[node]
+        fn = _fit_on_trial(trial, engine, cpt, config, child_state, query,
+                           query_state, evidence)
+        lo_x = max(0.0, fn.x0 * (1.0 - relative_band))
+        hi_x = min(1.0, fn.x0 * (1.0 + relative_band))
+        lo, hi = fn.range_over(lo_x, hi_x)
+        entries.append(TornadoEntry(
+            node=node, parent_states=config, child_state=child_state,
+            baseline=baseline, low=lo, high=hi))
+    return entries
+
+
 def tornado_analysis(network: BayesianNetwork, *, query: str,
                      query_state: str, evidence: Mapping[str, str] = None,
                      relative_band: float = 0.5,
-                     min_entry: float = 1e-6) -> List[TornadoEntry]:
+                     min_entry: float = 1e-6,
+                     executor: Optional[ParallelExecutor] = None
+                     ) -> List[TornadoEntry]:
     """Rank all CPT entries by the posterior swing they can cause.
 
     Each entry x0 is varied over [x0 (1-band), min(1, x0 (1+band))]; the
     induced posterior range is the tornado bar.  Large-swing entries are
     where epistemic *removal* (better elicitation/data) matters most.
+
+    ``executor`` fans the entry sweep out in chunks, each fitted on its
+    own trial network (trial engines are mutated probe by probe, so
+    chunks must not share one).  Every fit is exact arithmetic and the
+    final ranking is re-sorted, so results are identical on every
+    backend at every width.
     """
     if not 0.0 < relative_band <= 1.0:
         raise InferenceError("relative_band must be in (0, 1]")
     evidence = dict(evidence or {})
+    executor = executor or ParallelExecutor()
     with tracing.span("sensitivity.tornado", query=query,
                       query_state=query_state) as sp:
         baseline = network.engine().query(query, evidence)[query_state]
-        # One trial network + one compiled engine serve every probe of the
-        # sweep; replace_cpt keeps the engine's plan cache warm throughout.
-        trial = _trial_copy(network)
-        engine = trial.engine()
-        entries: List[TornadoEntry] = []
-        for name in network.dag.topological_order():
+        order = network.dag.topological_order()
+        specs: List[Tuple[str, Tuple[str, ...], str]] = []
+        for name in order:
             cpt = network.cpt(name)
             parent_state_lists = [p.states for p in cpt.parents]
             configs = [()]
@@ -197,14 +237,11 @@ def tornado_analysis(network: BayesianNetwork, *, query: str,
                     x0 = cpt.prob(child_state, config)
                     if x0 < min_entry or x0 > 1.0 - min_entry:
                         continue
-                    fn = _fit_on_trial(
-                        trial, engine, cpt, config, child_state, query,
-                        query_state, evidence)
-                    lo_x = max(0.0, x0 * (1.0 - relative_band))
-                    hi_x = min(1.0, x0 * (1.0 + relative_band))
-                    lo, hi = fn.range_over(lo_x, hi_x)
-                    entries.append(TornadoEntry(
-                        node=name, parent_states=config, child_state=child_state,
-                        baseline=baseline, low=lo, high=hi))
+                    specs.append((name, config, child_state))
+        chunk_fn = partial(_tornado_chunk,
+                           [network.cpt(name) for name in order],
+                           network.name, query, query_state, evidence,
+                           relative_band, baseline)
+        entries: List[TornadoEntry] = executor.map_chunked(chunk_fn, specs)
         sp.set_attribute("n_entries", len(entries))
     return sorted(entries, key=lambda e: -e.swing)

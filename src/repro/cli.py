@@ -152,6 +152,8 @@ def cmd_experiments(_: argparse.Namespace) -> None:
          "test_bench_engine_cache"),
         ("EXT-P", "telemetry overhead",
          "test_bench_telemetry"),
+        ("EXT-Q", "vectorized sampling + parallel scaling",
+         "test_bench_parallel_sampling"),
     ]
     _print_table(["id", "artifact", "benchmark module"], experiments)
     print("\nRun one with:  pytest benchmarks/<module>.py --benchmark-only -s")
@@ -189,7 +191,9 @@ def cmd_campaign(args: argparse.Namespace) -> None:
     from repro.robustness.campaign import CampaignConfig, run_campaign
     config = CampaignConfig(seed=args.seed, trials=args.trials,
                             intensities=tuple(args.intensities),
-                            n_channels=args.channels, fusion=args.fusion)
+                            n_channels=args.channels, fusion=args.fusion,
+                            workers=getattr(args, "workers", 1),
+                            backend=getattr(args, "backend", None))
     engine = CompiledNetwork(build_fig4_network())
     report = run_campaign(config, engine=engine)
     print(report.to_markdown())
@@ -291,6 +295,16 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--intensities", type=float, nargs="+",
                        default=[0.25, 0.5, 1.0],
                        help="intensity sweep when target is 'campaign'")
+
+    for p in (campaign, trace, metrics):
+        p.add_argument("--workers", type=int, default=1,
+                       help="parallel workers for the campaign grid "
+                            "(default 1 = serial)")
+        p.add_argument("--backend", default=None,
+                       choices=("serial", "thread", "process"),
+                       help="parallel backend (default: serial for 1 "
+                            "worker, thread otherwise); results are "
+                            "byte-identical across backends")
 
     for p in (inject, campaign, trace, metrics):
         p.add_argument("--seed", type=int, default=0,

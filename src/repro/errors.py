@@ -63,3 +63,7 @@ class SupervisorError(ReproError):
 
 class TelemetryError(ReproError):
     """A telemetry instrument or tracer was configured inconsistently."""
+
+
+class ParallelError(ReproError):
+    """A parallel executor was misconfigured or a dispatch went wrong."""

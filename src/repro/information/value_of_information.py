@@ -10,11 +10,13 @@ collection effort belongs on the variables this module ranks highest.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.bayesnet.engine import InferenceEngine, as_engine
 from repro.bayesnet.network import BayesianNetwork
 from repro.errors import InferenceError
+from repro.parallel import ParallelExecutor
 from repro.telemetry import tracing
 
 #: Consumers accept either and normalize through :func:`as_engine`.
@@ -107,19 +109,47 @@ def expected_value_of_perfect_information(
     return max(0.0, eu_perfect - eu_now)
 
 
+def _evo_chunk(network: BayesianNetwork, problem: DecisionProblem,
+               evidence: Optional[Mapping[str, str]],
+               observables: Sequence[str]) -> List[Tuple[str, float]]:
+    """EVO scores for one chunk of observables on a private engine.
+
+    A fresh :class:`~repro.bayesnet.engine.CompiledNetwork` per chunk
+    keeps thread-backend chunks from racing on one engine's caches and
+    gives process-backend workers something picklable to build from;
+    every EVO is exact arithmetic, so chunking changes nothing.
+    """
+    from repro.bayesnet.engine import CompiledNetwork
+    engine = CompiledNetwork(network)
+    return [(name, expected_value_of_observation(engine, problem, name,
+                                                 evidence))
+            for name in observables]
+
+
 def rank_observables(network: NetworkOrEngine, problem: DecisionProblem,
                      observables: Sequence[str],
-                     evidence: Optional[Mapping[str, str]] = None
+                     evidence: Optional[Mapping[str, str]] = None,
+                     executor: Optional[ParallelExecutor] = None
                      ) -> List[Tuple[str, float]]:
     """Observables ranked by EVO (descending) — the data-shopping list.
 
-    The engine handle is resolved once and shared across the whole
-    ranking, so every observable's sweep reuses the same compiled plans.
+    Serially the engine handle is resolved once and shared across the
+    whole ranking, so every observable's sweep reuses the same compiled
+    plans.  With a parallel ``executor`` the observables fan out in
+    chunks, each on a private engine; scores are exact either way, so
+    the ranking is identical on every backend.
     """
     engine = as_engine(network)
+    executor = executor or ParallelExecutor()
     with tracing.span("voi.rank", target=problem.target,
                       n_observables=len(observables)):
-        scored = [(name, expected_value_of_observation(engine, problem, name,
-                                                       evidence))
-                  for name in observables]
+        underlying = getattr(engine, "network", None)
+        if executor.workers > 1 and isinstance(underlying, BayesianNetwork):
+            scored = executor.map_chunked(
+                partial(_evo_chunk, underlying, problem, evidence),
+                observables)
+        else:
+            scored = [(name, expected_value_of_observation(
+                engine, problem, name, evidence))
+                for name in observables]
     return sorted(scored, key=lambda t: -t[1])

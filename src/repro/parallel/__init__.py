@@ -1,0 +1,20 @@
+"""Deterministic parallel execution for campaigns and sweeps.
+
+The scale-out seam of the stack: one :class:`ParallelExecutor` with
+serial / thread / process backends behind a single ``map_chunked`` API,
+ordered result reassembly, per-item ``SeedSequence``-spawned RNG streams,
+and worker telemetry merging — so same-seed runs are byte-identical
+across backends and worker counts.  See DESIGN.md §9.
+"""
+
+from repro.parallel.executor import (
+    BACKENDS,
+    ParallelExecutor,
+    spawn_generators,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ParallelExecutor",
+    "spawn_generators",
+]

@@ -1,0 +1,228 @@
+"""A deterministic parallel executor for campaigns and sweeps.
+
+One ``map_chunked`` API, three backends:
+
+- ``serial`` — in-process loop, zero overhead; the default.
+- ``thread`` — :class:`~concurrent.futures.ThreadPoolExecutor`; cheap to
+  spin up, shares memory, best when the work releases the GIL or is
+  I/O-bound.  Each task runs under a :func:`contextvars.copy_context`
+  snapshot taken at submission, so telemetry spans opened by workers nest
+  under the caller's current span instead of interleaving.
+- ``process`` — :class:`~concurrent.futures.ProcessPoolExecutor`; true
+  CPU parallelism for the fault×scenario grids.  Tasks must be picklable
+  (module-level functions or picklable callables).  Worker telemetry is
+  merged home: each chunk runs under a local tracer whose finished spans
+  the parent adopts (:meth:`repro.telemetry.tracing.Tracer.adopt`), and
+  counter increments metered in the worker are shipped back as deltas and
+  folded into the parent registry.  Histogram observations are dropped on
+  the process boundary (only counters travel) — see DESIGN.md §9.
+
+Determinism is the contract that makes the backends interchangeable:
+results are reassembled in submission order, and seeded maps derive one
+:class:`numpy.random.SeedSequence`-spawned stream **per item** (not per
+chunk), so the chunking geometry — and therefore the worker count and
+backend — cannot change a single drawn number.  Same seed, same results,
+byte for byte, on any backend at any width.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParallelError
+from repro.telemetry import tracing
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.tracing import DEFAULT_MAX_SPANS, SpanRecord, Tracer
+
+#: Recognized backend names, in documentation order.
+BACKENDS: Tuple[str, ...] = ("serial", "thread", "process")
+
+#: Chunks per worker when no explicit chunk size is given: small enough
+#: to amortize dispatch, large enough to balance uneven task costs.
+_CHUNKS_PER_WORKER = 4
+
+
+def spawn_generators(seed, n: int) -> List[np.random.Generator]:
+    """``n`` independent generators spawned from one seed root.
+
+    ``seed`` may be an int or a pre-built :class:`~numpy.random.SeedSequence`.
+    Streams are statistically independent (SeedSequence spawning) and the
+    i-th stream depends only on ``(seed, i)`` — never on how items are
+    later grouped into chunks.
+    """
+    if n < 0:
+        raise ParallelError(f"cannot spawn {n} generators")
+    root = (seed if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed))
+    return [np.random.Generator(np.random.PCG64(child))
+            for child in root.spawn(n)]
+
+
+class _ApplyEach:
+    """Lift an item function to a chunk function (picklable)."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[Any], Any]):
+        self.fn = fn
+
+    def __call__(self, chunk: Sequence[Any]) -> List[Any]:
+        return [self.fn(item) for item in chunk]
+
+
+class _SeededCall:
+    """Unpack ``(item, rng)`` pairs into ``fn(item, rng)`` (picklable)."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[Any, np.random.Generator], Any]):
+        self.fn = fn
+
+    def __call__(self, pair: Tuple[Any, np.random.Generator]) -> Any:
+        item, rng = pair
+        return self.fn(item, rng)
+
+
+def _process_chunk(payload) -> Tuple[List[Any], List[SpanRecord], list]:
+    """Chunk entry point inside a pool worker.
+
+    Returns ``(results, finished spans, counter deltas)``.  When the
+    parent was tracing, the chunk runs under a fresh local tracer so the
+    zero-cost-when-disabled gates see tracing enabled exactly as they
+    would in the parent; the spans travel home for adoption.  Counter
+    deltas are measured against a snapshot taken on entry, so only the
+    increments this chunk caused are shipped.
+    """
+    fn, chunk, traced = payload
+    registry = get_registry()
+    before = registry.counter_snapshot()
+    if traced:
+        local = Tracer(max_spans=DEFAULT_MAX_SPANS)
+        with tracing.session(local):
+            results = fn(chunk)
+        spans = list(local.finished)
+    else:
+        results = fn(chunk)
+        spans = []
+    return results, spans, registry.counter_deltas(before)
+
+
+class ParallelExecutor:
+    """Deterministic fan-out over serial, thread, or process backends.
+
+    ``backend=None`` resolves to ``serial`` for ``workers=1`` and
+    ``thread`` otherwise.  Whatever the backend and width, ``map*``
+    results come back in submission order and seeded work consumes
+    per-item RNG streams, so outputs are byte-identical across
+    configurations.
+    """
+
+    def __init__(self, workers: int = 1, backend: Optional[str] = None,
+                 chunk_size: Optional[int] = None):
+        workers = int(workers)
+        if workers < 1:
+            raise ParallelError(f"workers must be at least 1, got {workers}")
+        if backend is None:
+            backend = "serial" if workers == 1 else "thread"
+        if backend not in BACKENDS:
+            raise ParallelError(
+                f"unknown backend {backend!r}; choose from {list(BACKENDS)}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ParallelError(
+                f"chunk_size must be at least 1, got {chunk_size}")
+        self.workers = workers
+        self.backend = backend
+        self.chunk_size = chunk_size
+
+    # -- public maps ------------------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """``[fn(item) for item in items]``, fanned out, order preserved."""
+        return self.map_chunked(_ApplyEach(fn), items)
+
+    def map_seeded(self, fn: Callable[[Any, np.random.Generator], Any],
+                   items: Iterable[Any], seed) -> List[Any]:
+        """Seeded map: ``fn(item, rng_i)`` with one spawned stream per item.
+
+        The i-th stream depends only on ``(seed, i)``, so results do not
+        depend on chunking, backend, or worker count.
+        """
+        items = list(items)
+        rngs = spawn_generators(seed, len(items))
+        return self.map(_SeededCall(fn), list(zip(items, rngs)))
+
+    def map_chunked(self, fn: Callable[[Sequence[Any]], List[Any]],
+                    items: Iterable[Any]) -> List[Any]:
+        """Apply a chunk function over ``items``; one flat ordered result.
+
+        ``fn`` receives a list slice and must return one result per item.
+        This is the primitive the other maps lower onto — use it directly
+        when per-chunk setup (a fresh engine, a trial network) should be
+        amortized across the chunk's items.
+        """
+        items = list(items)
+        if not items:
+            return []
+        chunks = self._split(items)
+        with tracing.span("parallel.map", backend=self.backend,
+                          workers=self.workers, items=len(items),
+                          chunks=len(chunks)):
+            if self.backend == "process" and self.workers > 1 \
+                    and len(chunks) > 1:
+                outputs = self._run_process(fn, chunks)
+            elif self.backend == "thread" and self.workers > 1 \
+                    and len(chunks) > 1:
+                outputs = self._run_thread(fn, chunks)
+            else:
+                outputs = [fn(chunk) for chunk in chunks]
+        results = [result for chunk_out in outputs for result in chunk_out]
+        if len(results) != len(items):
+            raise ParallelError(
+                f"chunk function returned {len(results)} results for "
+                f"{len(items)} items — it must return one result per item")
+        return results
+
+    # -- backends ---------------------------------------------------------------
+
+    def _split(self, items: List[Any]) -> List[List[Any]]:
+        size = self.chunk_size
+        if size is None:
+            if self.workers == 1:
+                size = len(items)
+            else:
+                size = -(-len(items) // (self.workers * _CHUNKS_PER_WORKER))
+        return [items[i:i + size] for i in range(0, len(items), size)]
+
+    def _run_thread(self, fn, chunks):
+        # Snapshot the context per submission: worker spans nest under
+        # the caller's parallel.map span, and each task gets its own
+        # Context (one Context object cannot be entered concurrently).
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [pool.submit(contextvars.copy_context().run, fn, chunk)
+                       for chunk in chunks]
+            return [future.result() for future in futures]
+
+    def _run_process(self, fn, chunks):
+        traced = tracing.enabled()
+        payloads = [(fn, chunk, traced) for chunk in chunks]
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            outputs = list(pool.map(_process_chunk, payloads))
+        tracer = tracing.active()
+        parent = tracer.current_span() if tracer is not None else None
+        registry = get_registry()
+        results = []
+        for chunk_results, spans, deltas in outputs:
+            if deltas:
+                registry.apply_counter_deltas(deltas)
+            if tracer is not None and spans:
+                tracer.adopt(spans, parent=parent)
+            results.append(chunk_results)
+        return results
+
+    def __repr__(self) -> str:
+        return (f"ParallelExecutor(workers={self.workers}, "
+                f"backend={self.backend!r})")

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.bayesnet.engine import InferenceEngine, as_engine
 from repro.errors import InjectionError
+from repro.parallel import BACKENDS, ParallelExecutor
 from repro.perception.chain import PerceptionChain, build_fig4_network
 from repro.perception.redundancy import make_diverse_chains
 from repro.perception.world import WorldModel
@@ -85,10 +86,19 @@ class CampaignConfig:
     n_channels: int = 3
     diversity: float = 0.12
     fusion: str = "conservative"
+    workers: int = 1
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.trials <= 0:
             raise InjectionError(f"trials must be positive, got {self.trials}")
+        if self.workers < 1:
+            raise InjectionError(
+                f"workers must be at least 1, got {self.workers}")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise InjectionError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from {list(BACKENDS)}")
         if not self.fault_names:
             raise InjectionError("at least one fault model required")
         unknown = set(self.fault_names) - set(FAULT_CATALOG)
@@ -168,6 +178,20 @@ def run_cell(config: CampaignConfig, fault_name: str, intensity: float,
                         supervised=supervised)
 
 
+def _cell_task(task: Tuple[CampaignConfig, str, float,
+                           Optional[WorldModel], int]) -> CampaignCell:
+    """Module-level cell runner so process-backend dispatch can pickle it.
+
+    Every random draw inside :func:`run_cell` descends from
+    ``(config.seed, cell_index)``, never from execution order, so cells
+    can run on any worker in any interleaving and still produce the
+    bytes the serial sweep would.
+    """
+    config, fault_name, intensity, world, cell_index = task
+    return run_cell(config, fault_name, intensity, world,
+                    cell_index=cell_index)
+
+
 def diagnostic_reference_table(engine: InferenceEngine
                                ) -> Dict[str, Dict[str, float]]:
     """The Fig. 4 diagnostic posteriors P(ground truth | perception) for
@@ -185,18 +209,29 @@ def diagnostic_reference_table(engine: InferenceEngine
 
 def run_campaign(config: Optional[CampaignConfig] = None,
                  world: Optional[WorldModel] = None,
-                 engine: Optional[InferenceEngine] = None) -> RobustnessReport:
+                 engine: Optional[InferenceEngine] = None,
+                 executor: Optional[ParallelExecutor] = None
+                 ) -> RobustnessReport:
     """The full sweep: fault models × intensities, plus no-fault baselines.
 
     ``engine`` is the compiled inference handle used for the model-side
     diagnostic reference; by default one is compiled over the Fig. 4
     network.  Its instrumentation snapshot is exported into the report so
     campaign evidence records what the engine actually did.
+
+    The (fault, intensity) grid is fanned out through a
+    :class:`~repro.parallel.ParallelExecutor` built from
+    ``config.workers`` / ``config.backend`` (or ``executor`` when given).
+    Cell RNGs are derived from ``(seed, cell_index)`` and results are
+    reassembled in grid order, so the report is byte-identical whatever
+    the backend or worker count.
     """
     config = config or CampaignConfig()
     world = world or WorldModel()
     engine = as_engine(engine if engine is not None
                        else build_fig4_network())
+    executor = executor or ParallelExecutor(workers=config.workers,
+                                            backend=config.backend)
 
     tracer = tracing.active()
     counters_before = (get_registry().flatten_counters()
@@ -212,13 +247,12 @@ def run_campaign(config: Optional[CampaignConfig] = None,
                 baseline_system.run(world, _derived_rng(config.seed, 6),
                                     config.trials))
 
-        cells: List[CampaignCell] = []
-        index = 0
-        for fault_name in config.fault_names:
-            for intensity in config.intensities:
-                cells.append(run_cell(config, fault_name, intensity, world,
-                                      cell_index=index))
-                index += 1
+        grid = [(fault_name, intensity)
+                for fault_name in config.fault_names
+                for intensity in config.intensities]
+        tasks = [(config, fault_name, intensity, world, index)
+                 for index, (fault_name, intensity) in enumerate(grid)]
+        cells: List[CampaignCell] = executor.map(_cell_task, tasks)
         reference = diagnostic_reference_table(engine)
     telemetry = (TelemetryReport.capture(tracer=tracer,
                                          counters_before=counters_before)

@@ -9,7 +9,12 @@ search (random / low-discrepancy / local hill climbing) for
 high-hazard scenarios — the long tail hunted deliberately.
 """
 
-from repro.scenarios.falsification import FalsificationResult, Falsifier
+from repro.scenarios.falsification import (
+    FalsificationResult,
+    Falsifier,
+    PerceptionHazardObjective,
+    perception_hazard_objective,
+)
 from repro.scenarios.space import (
     CategoricalParameter,
     ContinuousParameter,
@@ -24,4 +29,6 @@ __all__ = [
     "CoverageTracker",
     "Falsifier",
     "FalsificationResult",
+    "PerceptionHazardObjective",
+    "perception_hazard_objective",
 ]

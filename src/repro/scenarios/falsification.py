@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.parallel import ParallelExecutor
 from repro.scenarios.space import CoverageTracker, Scenario, ScenarioSpace
 
 Objective = Callable[[Scenario], float]
@@ -50,12 +51,22 @@ class Falsifier:
     objective:
         Scenario -> score; higher = worse behavior (e.g. hazard estimate).
         The objective owns its randomness; pass an averaged estimator for
-        noisy simulations.
+        noisy simulations.  Batch strategies evaluate through the
+        executor, so an objective destined for the process backend must
+        be picklable (e.g. :class:`PerceptionHazardObjective`).
+    executor:
+        Optional :class:`~repro.parallel.ParallelExecutor` for batch
+        evaluations (random search and Halton sweeps — the local-search
+        climb is inherently sequential and stays serial).  Scores are
+        reassembled in scenario order, so results match the serial run
+        exactly on every backend.
     """
 
-    def __init__(self, space: ScenarioSpace, objective: Objective):
+    def __init__(self, space: ScenarioSpace, objective: Objective,
+                 executor: Optional[ParallelExecutor] = None):
         self.space = space
         self.objective = objective
+        self.executor = executor or ParallelExecutor()
 
     def _evaluate(self, scenario: Scenario,
                   history: List[Tuple[Scenario, float]]) -> float:
@@ -63,38 +74,39 @@ class Falsifier:
         history.append((scenario, score))
         return score
 
+    def _evaluate_batch(self, scenarios: Sequence[Scenario],
+                        history: List[Tuple[Scenario, float]]) -> List[float]:
+        """Scores for a scenario batch, fanned out, in scenario order."""
+        scores = [float(s) for s in self.executor.map(self.objective,
+                                                      scenarios)]
+        history.extend(zip(scenarios, scores))
+        return scores
+
+    def _batch_result(self, scenarios: List[Scenario],
+                      tracker: CoverageTracker) -> FalsificationResult:
+        history: List[Tuple[Scenario, float]] = []
+        for scenario in scenarios:
+            tracker.record(scenario)
+        scores = self._evaluate_batch(scenarios, history)
+        best = int(np.argmax(scores))  # first maximum, like the serial scan
+        return FalsificationResult(best_scenario=scenarios[best],
+                                   best_score=scores[best],
+                                   n_evaluations=len(scenarios),
+                                   history=history,
+                                   coverage=tracker.coverage())
+
     def random_search(self, rng: np.random.Generator,
                       n: int) -> FalsificationResult:
         if n <= 0:
             raise SimulationError("n must be positive")
-        tracker = CoverageTracker(self.space)
-        history: List[Tuple[Scenario, float]] = []
-        best, best_score = None, -np.inf
-        for scenario in self.space.sample(rng, n):
-            tracker.record(scenario)
-            score = self._evaluate(scenario, history)
-            if score > best_score:
-                best, best_score = scenario, score
-        assert best is not None
-        return FalsificationResult(best_scenario=best, best_score=best_score,
-                                   n_evaluations=n, history=history,
-                                   coverage=tracker.coverage())
+        return self._batch_result(self.space.sample(rng, n),
+                                  CoverageTracker(self.space))
 
     def halton_sweep(self, n: int) -> FalsificationResult:
         if n <= 0:
             raise SimulationError("n must be positive")
-        tracker = CoverageTracker(self.space)
-        history: List[Tuple[Scenario, float]] = []
-        best, best_score = None, -np.inf
-        for scenario in self.space.halton_sample(n):
-            tracker.record(scenario)
-            score = self._evaluate(scenario, history)
-            if score > best_score:
-                best, best_score = scenario, score
-        assert best is not None
-        return FalsificationResult(best_scenario=best, best_score=best_score,
-                                   n_evaluations=n, history=history,
-                                   coverage=tracker.coverage())
+        return self._batch_result(self.space.halton_sample(n),
+                                  CoverageTracker(self.space))
 
     def local_search(self, rng: np.random.Generator, n_sweep: int,
                      n_local: int, initial_step: float = 0.2,
@@ -138,22 +150,39 @@ class Falsifier:
         }
 
 
-def perception_hazard_objective(n_repeats: int = 30,
-                                seed: int = 0) -> Objective:
+class PerceptionHazardObjective:
     """Standard objective: hazard probability of the perception chain in
     a fixed scenario, estimated by repeated simulation.
 
     Scenario parameters: distance, occlusion, night (yes/no),
     rain (yes/no), object_class (car/pedestrian/unknown).
+
+    A module-level picklable callable (not a closure) so the process
+    backend can ship it to pool workers.  The per-scenario RNG is derived
+    from ``(seed, crc32(scenario))`` — a stable content hash rather than
+    Python's salted ``hash()`` — so the same scenario scores identically
+    in any process, on any backend, in any run.
     """
-    from repro.perception.chain import PerceptionChain
-    from repro.perception.world import CAR, ObjectInstance, PEDESTRIAN, UNKNOWN
 
-    chain = PerceptionChain()
+    def __init__(self, n_repeats: int = 30, seed: int = 0):
+        from repro.perception.chain import PerceptionChain
+        self.n_repeats = int(n_repeats)
+        self.seed = int(seed)
+        self.chain = PerceptionChain()
 
-    def objective(scenario: Scenario) -> float:
-        rng = np.random.default_rng(
-            seed + hash(tuple(sorted(scenario.items()))) % (2 ** 31))
+    def _rng(self, scenario: Scenario) -> np.random.Generator:
+        import zlib
+        key = zlib.crc32(repr(sorted(scenario.items())).encode("utf-8"))
+        return np.random.default_rng(self.seed + key % (2 ** 31))
+
+    def __call__(self, scenario: Scenario) -> float:
+        from repro.perception.world import (
+            CAR,
+            ObjectInstance,
+            PEDESTRIAN,
+            UNKNOWN,
+        )
+        rng = self._rng(scenario)
         label = str(scenario["object_class"])
         true_class = {"car": CAR, "pedestrian": PEDESTRIAN,
                       "unknown": "kangaroo"}[label]
@@ -164,15 +193,21 @@ def perception_hazard_objective(n_repeats: int = 30,
             night=scenario["night"] == "yes",
             rain=scenario["rain"] == "yes")
         hazards = 0
-        for _ in range(n_repeats):
-            output = chain.perceive(obj, rng)
+        for _ in range(self.n_repeats):
+            output = self.chain.perceive(obj, rng)
             if output == "none":
                 hazards += 1
             elif label == UNKNOWN and output in (CAR, PEDESTRIAN):
                 hazards += 1
-        return hazards / n_repeats
+        return hazards / self.n_repeats
 
-    return objective
+
+def perception_hazard_objective(n_repeats: int = 30,
+                                seed: int = 0) -> Objective:
+    """The standard perception-hazard objective (see
+    :class:`PerceptionHazardObjective`; kept as a factory for backward
+    compatibility)."""
+    return PerceptionHazardObjective(n_repeats=n_repeats, seed=seed)
 
 
 def default_perception_space() -> ScenarioSpace:

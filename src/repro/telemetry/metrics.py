@@ -248,6 +248,47 @@ class MetricsRegistry:
         for metric in self.metrics():
             metric.clear()
 
+    def counter_snapshot(self) -> Dict[Tuple[str, LabelValues], float]:
+        """Counter series as a structured ``(name, label values) -> value``
+        map — the machine-readable sibling of :meth:`flatten_counters`,
+        used by the parallel executor to compute shippable deltas."""
+        out: Dict[Tuple[str, LabelValues], float] = {}
+        for metric in self.metrics():
+            if isinstance(metric, Counter):
+                for label_values, value in metric.samples():
+                    out[(metric.name, label_values)] = float(value)
+        return out
+
+    def counter_deltas(self, before: Mapping[Tuple[str, LabelValues], float]
+                       ) -> List[Tuple[str, LabelValues, float]]:
+        """Counter increments since a :meth:`counter_snapshot`, key-sorted.
+
+        The result is a picklable list of ``(name, label values, delta)``
+        triples — what a process-pool worker sends back so the parent can
+        fold the work it metered into the parent registry.
+        """
+        out: List[Tuple[str, LabelValues, float]] = []
+        for key, value in sorted(self.counter_snapshot().items()):
+            delta = value - before.get(key, 0.0)
+            if delta != 0.0:
+                out.append((key[0], key[1], delta))
+        return out
+
+    def apply_counter_deltas(self,
+                             deltas: Iterable[Tuple[str, LabelValues, float]]
+                             ) -> None:
+        """Fold :meth:`counter_deltas` from another process into this
+        registry.  Unknown counters raise — worker and parent register
+        the same standard instruments at import, so a miss means the
+        delta was built against a different schema."""
+        for name, label_values, amount in deltas:
+            metric = self.get(name)
+            if not isinstance(metric, Counter):
+                raise TelemetryError(
+                    f"cannot apply counter delta to unknown counter {name!r}")
+            metric.inc(float(amount),
+                       **dict(zip(metric.label_names, label_values)))
+
     def flatten_counters(self) -> Dict[str, float]:
         """Counter series as a flat ``name{label="v",...}`` -> value map.
 

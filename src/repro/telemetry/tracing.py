@@ -32,8 +32,8 @@ import contextvars
 import itertools
 import threading
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import TelemetryError
 from repro.telemetry.clock import SystemClock
@@ -212,6 +212,43 @@ class Tracer:
                 self._records.pop(0)
                 self._dropped += 1
             self._records.append(record)
+
+    def adopt(self, records: Iterable[SpanRecord], *,
+              parent: Optional[SpanRecord] = None) -> int:
+        """Merge finished spans recorded by another tracer.
+
+        The seam that makes process-backend parallelism observable: a
+        worker records into its own local tracer, ships the picklable
+        :class:`SpanRecord` list home, and the parent adopts them here.
+        Span ids are remapped into this tracer's sequence (ascending in
+        the worker's original id order, so relative ordering survives),
+        parent/child links inside the batch are preserved, and batch
+        roots — plus orphans whose parent fell out of the worker's ring
+        buffer — are re-rooted under ``parent`` with depths shifted to
+        match.  Returns the number of spans adopted.
+        """
+        records = list(records)
+        if not records:
+            return 0
+        with self._lock:
+            id_map = {r.span_id: next(self._ids)
+                      for r in sorted(records, key=lambda r: r.span_id)}
+        base_parent = parent.span_id if parent is not None else None
+        base_depth = parent.depth + 1 if parent is not None else 0
+        shift = base_depth - min(r.depth for r in records)
+        for record in records:  # keep the worker's completion order
+            if record.parent_id is not None and record.parent_id in id_map:
+                new_parent = id_map[record.parent_id]
+            else:
+                new_parent = base_parent
+            self._finish(replace(
+                record,
+                span_id=id_map[record.span_id],
+                parent_id=new_parent,
+                depth=record.depth + shift,
+                attributes=dict(record.attributes),
+                events=[dict(e) for e in record.events]))
+        return len(records)
 
     # -- inspection ------------------------------------------------------------
 

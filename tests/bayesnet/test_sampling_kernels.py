@@ -1,0 +1,145 @@
+"""CompiledSampler: the vectorized kernels behind the sampling adapters.
+
+Accuracy against exact inference is covered by the long-standing
+estimator tests; this file pins the kernel-level contracts — matrix
+shapes, the cached handle's staleness rule, streamed rejection counts,
+and the error semantics the adapters must preserve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.inference import CompiledSampler
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.variable import Variable
+from repro.errors import InferenceError
+from repro.perception.chain import build_fig4_network
+
+
+def sprinkler_network():
+    cloudy = Variable("cloudy", ["yes", "no"])
+    sprinkler = Variable("sprinkler", ["on", "off"])
+    rain = Variable("rain", ["yes", "no"])
+    wet = Variable("wet", ["yes", "no"])
+    bn = BayesianNetwork("sprinkler")
+    bn.add_cpt(CPT.prior(cloudy, {"yes": 0.5, "no": 0.5}))
+    bn.add_cpt(CPT.from_dict(sprinkler, [cloudy], {
+        ("yes",): {"on": 0.1, "off": 0.9},
+        ("no",): {"on": 0.5, "off": 0.5}}))
+    bn.add_cpt(CPT.from_dict(rain, [cloudy], {
+        ("yes",): {"yes": 0.8, "no": 0.2},
+        ("no",): {"yes": 0.2, "no": 0.8}}))
+    bn.add_cpt(CPT.from_dict(wet, [sprinkler, rain], {
+        ("on", "yes"): {"yes": 0.99, "no": 0.01},
+        ("on", "no"): {"yes": 0.9, "no": 0.1},
+        ("off", "yes"): {"yes": 0.9, "no": 0.1},
+        ("off", "no"): {"yes": 0.0, "no": 1.0}}))
+    return bn
+
+
+class TestCompilation:
+    def test_matrix_shape_and_dtype(self, rng):
+        sampler = CompiledSampler(build_fig4_network())
+        matrix = sampler.forward_matrix(rng, 50)
+        assert matrix.shape == (50, 2)
+        assert matrix.dtype == np.int64
+
+    def test_cached_handle_reused_until_mutation(self):
+        bn = sprinkler_network()
+        first = bn.sampler()
+        assert bn.sampler() is first
+        bn.replace_cpt(bn.cpt("wet"))  # parameter mutation bumps version
+        second = bn.sampler()
+        assert second is not first
+        assert second.version == bn.version
+
+    def test_decode_rows_roundtrip(self, rng):
+        bn = sprinkler_network()
+        sampler = bn.sampler()
+        matrix = sampler.forward_matrix(rng, 10)
+        for row, decoded in zip(matrix, sampler.decode_rows(matrix)):
+            for name in sampler.order:
+                var = bn.variable(name)
+                assert decoded[name] == var.states[row[sampler.column(name)]]
+
+    def test_unknown_names_raise(self, rng):
+        sampler = CompiledSampler(sprinkler_network())
+        with pytest.raises(InferenceError):
+            sampler.column("ghost")
+        with pytest.raises(InferenceError):
+            sampler.state_index("wet", "damp")
+        with pytest.raises(InferenceError):
+            sampler.evidence_columns({"ghost": "yes"})
+
+
+class TestKernelAccuracy:
+    def test_forward_matches_marginals(self, rng):
+        bn = sprinkler_network()
+        sampler = bn.sampler()
+        matrix = sampler.forward_matrix(rng, 40000)
+        exact = bn.query("wet")
+        wet_col = sampler.column("wet")
+        freq = (matrix[:, wet_col] == 0).mean()
+        assert freq == pytest.approx(exact["yes"], abs=0.02)
+
+    def test_weighted_counts_match_exact(self, rng):
+        bn = sprinkler_network()
+        totals, weight_sum = bn.sampler().weighted_counts(
+            rng, "rain", {"wet": "yes"}, 40000)
+        exact = bn.query("rain", {"wet": "yes"})
+        assert totals[0] / weight_sum == pytest.approx(exact["yes"],
+                                                       abs=0.02)
+
+    def test_gibbs_counts_match_exact(self, rng):
+        bn = sprinkler_network()
+        counts, kept = bn.sampler().gibbs_counts(rng, "rain", {"wet": "yes"},
+                                                 8000)
+        assert kept >= 8000
+        exact = bn.query("rain", {"wet": "yes"})
+        assert counts[0] / kept == pytest.approx(exact["yes"], abs=0.03)
+
+
+class TestRejectionStreaming:
+    def test_counts_streamed_not_materialized(self, rng):
+        bn = sprinkler_network()
+        counts, accepted = bn.sampler().rejection_counts(
+            rng, "rain", {"wet": "yes"}, 20000)
+        assert accepted == counts.sum()
+        assert 0 < accepted < 20000
+        exact = bn.query("rain", {"wet": "yes"})
+        assert counts[0] / accepted == pytest.approx(exact["yes"], abs=0.03)
+
+    def test_error_reports_acceptance_rate(self, rng):
+        bn = sprinkler_network()
+        # P(wet=yes | sprinkler=off, rain=no) = 0: impossible evidence.
+        with pytest.raises(InferenceError, match="acceptance rate"):
+            bn.query("cloudy", {"sprinkler": "off", "rain": "no",
+                                "wet": "yes"}, method="rejection",
+                     rng=rng, n_samples=2000)
+
+
+class TestGibbsContracts:
+    def test_frozen_chain_raises(self, rng):
+        a = Variable("a", ["t", "f"])
+        b = Variable("b", ["t", "f"])
+        c = Variable("c", ["t", "f"])
+        bn = BayesianNetwork("deterministic")
+        bn.add_cpt(CPT.prior(a, {"t": 0.5, "f": 0.5}))
+        bn.add_cpt(CPT.from_dict(b, [a], {
+            ("t",): {"t": 1.0, "f": 0.0},
+            ("f",): {"t": 0.0, "f": 1.0}}))
+        bn.add_cpt(CPT.from_dict(c, [b], {
+            ("t",): {"t": 1.0, "f": 0.0},
+            ("f",): {"t": 0.0, "f": 1.0}}))
+        with pytest.raises(InferenceError):
+            bn.sampler().gibbs_counts(rng, "a", {"c": "t"}, 200)
+
+    def test_single_free_variable_allowed(self, rng):
+        """One free variable is legitimately a point-mass sweep under
+        deterministic structure; only multi-variable freezes raise."""
+        bn = sprinkler_network()
+        counts, kept = bn.sampler().gibbs_counts(
+            rng, "rain", {"cloudy": "yes", "sprinkler": "on", "wet": "yes"},
+            500)
+        assert counts.sum() == kept

@@ -1,0 +1,221 @@
+"""ParallelExecutor: ordering, determinism, validation, telemetry merge.
+
+The executor's contract is that backends and worker counts are
+interchangeable — every test here pins one facet of that: ordered
+reassembly, per-item seed streams, span adoption, and counter-delta
+merging across the process boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.errors import ParallelError
+from repro.parallel import BACKENDS, ParallelExecutor, spawn_generators
+from repro.telemetry import tracing
+from repro.telemetry.metrics import get_registry
+from repro.telemetry.tracing import Tracer
+
+#: Every (backend, workers) shape exercised by the interchangeability tests.
+SHAPES = [(backend, workers)
+          for backend in BACKENDS
+          for workers in (1, 2, 4)]
+
+
+def _square(x):
+    return x * x
+
+
+def _draw(item, rng):
+    return float(item) + float(rng.random())
+
+
+def _traced_square(x):
+    with tracing.span("task.unit", item=x):
+        return x * x
+
+
+_TEST_COUNTER = get_registry().counter(
+    "repro_test_parallel_increments_total",
+    "Test-only counter for cross-process delta merging.",
+    labels=("shape",))
+
+
+def _counting_square(x):
+    _TEST_COUNTER.inc(shape="worker")
+    return x * x
+
+
+class TestValidation:
+    def test_bad_workers(self):
+        with pytest.raises(ParallelError):
+            ParallelExecutor(workers=0)
+
+    def test_bad_backend(self):
+        with pytest.raises(ParallelError):
+            ParallelExecutor(workers=2, backend="quantum")
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ParallelError):
+            ParallelExecutor(chunk_size=0)
+
+    def test_backend_defaults(self):
+        assert ParallelExecutor().backend == "serial"
+        assert ParallelExecutor(workers=4).backend == "thread"
+
+    def test_bad_spawn_count(self):
+        with pytest.raises(ParallelError):
+            spawn_generators(0, -1)
+
+    def test_chunk_fn_must_cover_items(self):
+        executor = ParallelExecutor()
+        with pytest.raises(ParallelError):
+            executor.map_chunked(lambda chunk: chunk[:-1], [1, 2, 3])
+
+
+class TestOrderingAndResults:
+    @pytest.mark.parametrize("backend,workers", SHAPES)
+    def test_map_preserves_order(self, backend, workers):
+        executor = ParallelExecutor(workers=workers, backend=backend)
+        items = list(range(23))
+        assert executor.map(_square, items) == [x * x for x in items]
+
+    def test_empty_items(self):
+        executor = ParallelExecutor(workers=2, backend="thread")
+        assert executor.map(_square, []) == []
+
+    def test_map_chunked_amortizes_per_chunk(self):
+        seen = []
+
+        def chunk_fn(chunk):
+            seen.append(len(chunk))
+            return [x + 1 for x in chunk]
+
+        executor = ParallelExecutor(chunk_size=4)
+        out = executor.map_chunked(chunk_fn, list(range(10)))
+        assert out == [x + 1 for x in range(10)]
+        assert seen == [4, 4, 2]
+
+
+class TestSeededDeterminism:
+    def test_streams_are_per_item_not_per_chunk(self):
+        """The core determinism claim: same seed, same numbers, on every
+        backend at every width — chunk geometry cannot leak in."""
+        items = list(range(17))
+        reference = ParallelExecutor().map_seeded(_draw, items, seed=99)
+        for backend, workers in SHAPES:
+            executor = ParallelExecutor(workers=workers, backend=backend)
+            assert executor.map_seeded(_draw, items, seed=99) == reference
+
+    def test_different_seeds_differ(self):
+        items = list(range(5))
+        executor = ParallelExecutor()
+        assert executor.map_seeded(_draw, items, seed=1) != \
+            executor.map_seeded(_draw, items, seed=2)
+
+    def test_seed_sequence_root_accepted(self):
+        items = [0, 1, 2]
+        from_int = ParallelExecutor().map_seeded(_draw, items, seed=7)
+        from_root = ParallelExecutor().map_seeded(
+            _draw, items, np.random.SeedSequence(7))
+        assert from_int == from_root
+
+    def test_spawned_streams_independent(self):
+        a, b = spawn_generators(0, 2)
+        assert a.random(4).tolist() != b.random(4).tolist()
+
+
+class TestTelemetryMerge:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_span_counts_identical_across_backends(self, backend):
+        """Worker spans come home on every backend: thread via context
+        propagation, process via Tracer.adopt — the counts (what the
+        byte-stable reports export) must not depend on the backend."""
+        with telemetry.session() as tracer:
+            executor = ParallelExecutor(workers=2, backend=backend)
+            executor.map(_traced_square, list(range(8)))
+        counts = tracer.span_counts()
+        assert counts["task.unit"] == 8
+        assert counts["parallel.map"] == 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_worker_spans_nest_under_map_span(self, backend):
+        with telemetry.session() as tracer:
+            executor = ParallelExecutor(workers=2, backend=backend)
+            executor.map(_traced_square, [1, 2, 3])
+        spans = {s.span_id: s for s in tracer.finished}
+        map_spans = [s for s in tracer.finished if s.name == "parallel.map"]
+        assert len(map_spans) == 1
+        for span in tracer.finished:
+            if span.name == "task.unit":
+                assert span.depth == map_spans[0].depth + 1
+                assert spans[span.parent_id].name == "parallel.map"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_counter_increments_survive_the_boundary(self, backend):
+        before = _TEST_COUNTER.value(shape="worker")
+        executor = ParallelExecutor(workers=2, backend=backend)
+        executor.map(_counting_square, list(range(10)))
+        assert _TEST_COUNTER.value(shape="worker") - before == 10
+
+    def test_untraced_process_map_stays_untraced(self):
+        executor = ParallelExecutor(workers=2, backend="process")
+        assert executor.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+        assert tracing.active() is None
+
+
+class TestTracerAdopt:
+    def _worker_spans(self):
+        local = Tracer()
+        with telemetry.session(local):
+            with local.span("outer"):
+                with local.span("inner"):
+                    pass
+        return list(local.finished)
+
+    def test_adopt_remaps_ids_and_links(self):
+        parent_tracer = Tracer()
+        with parent_tracer.span("root"):
+            root = parent_tracer.current_span()
+            adopted = parent_tracer.adopt(self._worker_spans(), parent=root)
+        assert adopted == 2
+        spans = {s.name: s for s in parent_tracer.finished}
+        assert spans["outer"].parent_id == spans["root"].span_id
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["outer"].depth == 1
+        assert spans["inner"].depth == 2
+        ids = [s.span_id for s in parent_tracer.finished]
+        assert len(set(ids)) == len(ids)
+
+    def test_adopt_without_parent_roots_at_zero(self):
+        tracer = Tracer()
+        tracer.adopt(self._worker_spans())
+        spans = {s.name: s for s in tracer.finished}
+        assert spans["outer"].parent_id is None
+        assert spans["outer"].depth == 0
+        assert spans["inner"].depth == 1
+
+    def test_adopt_empty_is_noop(self):
+        tracer = Tracer()
+        assert tracer.adopt([]) == 0
+        assert tracer.finished == ()
+
+
+class TestCounterDeltas:
+    def test_snapshot_delta_apply_roundtrip(self):
+        registry = get_registry()
+        before = registry.counter_snapshot()
+        _TEST_COUNTER.inc(3.0, shape="roundtrip")
+        deltas = registry.counter_deltas(before)
+        assert ("repro_test_parallel_increments_total", ("roundtrip",),
+                3.0) in deltas
+        value_before = _TEST_COUNTER.value(shape="roundtrip")
+        registry.apply_counter_deltas(deltas)
+        assert _TEST_COUNTER.value(shape="roundtrip") == value_before + 3.0
+
+    def test_apply_unknown_counter_raises(self):
+        from repro.errors import TelemetryError
+        registry = get_registry()
+        with pytest.raises(TelemetryError):
+            registry.apply_counter_deltas([("repro_no_such_counter_total",
+                                            (), 1.0)])

@@ -34,11 +34,21 @@ class TestConfigValidation:
         with pytest.raises(InjectionError):
             CampaignConfig(trials=0)
         with pytest.raises(InjectionError):
+            CampaignConfig(trials=-5)
+        with pytest.raises(InjectionError):
             CampaignConfig(fault_names=("gremlins",))
         with pytest.raises(InjectionError):
             CampaignConfig(intensities=(2.0,))
         with pytest.raises(InjectionError):
             CampaignConfig(n_channels=0)
+
+    def test_invalid_parallel_settings_rejected(self):
+        with pytest.raises(InjectionError):
+            CampaignConfig(workers=0)
+        with pytest.raises(InjectionError):
+            CampaignConfig(workers=-1)
+        with pytest.raises(InjectionError):
+            CampaignConfig(workers=2, backend="quantum")
 
     def test_unknown_fault_in_run_cell(self):
         with pytest.raises(InjectionError):
@@ -184,3 +194,38 @@ class TestMiniatureCampaign:
         for cell in report.cells:
             assert cell.single.hazard_rate > \
                 report.baseline_single.hazard_rate
+
+
+class TestParallelDeterminism:
+    """Same seed root, byte-identical JSON — on every backend, at every
+    worker count.  The contract that makes ``--workers`` safe to turn on:
+    cell RNGs descend from (seed, cell_index), never from scheduling."""
+
+    SMALL = CampaignConfig(seed=0, trials=25,
+                           fault_names=("dropout", "byzantine"),
+                           intensities=(1.0,))
+
+    def _with(self, workers, backend):
+        return CampaignConfig(seed=self.SMALL.seed, trials=self.SMALL.trials,
+                              fault_names=self.SMALL.fault_names,
+                              intensities=self.SMALL.intensities,
+                              workers=workers, backend=backend)
+
+    def test_byte_identical_across_backends_and_widths(self):
+        reference = run_campaign(self.SMALL).to_json()
+        for backend in ("serial", "thread", "process"):
+            for workers in (1, 2, 4):
+                report = run_campaign(self._with(workers, backend))
+                assert report.to_json() == reference, (backend, workers)
+
+    def test_traced_reports_identical_across_backends(self):
+        """Telemetry merging preserves the byte-stable export: thread
+        context propagation and process span adoption + counter-delta
+        replay land on the same counts the serial sweep records."""
+        from repro import telemetry
+        with telemetry.session():
+            reference = run_campaign(self.SMALL).to_json()
+        for backend in ("thread", "process"):
+            with telemetry.session():
+                report = run_campaign(self._with(2, backend))
+            assert report.to_json() == reference, backend
