@@ -1,0 +1,238 @@
+"""EXT-R — incremental evidence propagation + evidence-keyed result cache.
+
+Three claims, quantified and written to ``BENCH_incremental.json`` for CI:
+
+1. **Single-flip floor (Fig. 4)**: sweeping single-variable evidence
+   deltas over the Fig. 4 diagnostic through a warm
+   :class:`~repro.bayesnet.engine.CompiledNetwork` beats full
+   recalibration (a fresh junction tree built, calibrated and queried
+   per row — the pre-incremental cost) by >= 3x.
+2. **Message savings (multi-clique chain)**: on a 24-node chain,
+   incremental recalibration after one evidence flip re-propagates only
+   the messages behind the dirty clique; wall-clock >= 2x vs a fresh
+   tree per step, and a majority of messages are reused.
+3. **Transparency**: answers and campaign report bytes are identical
+   with the cache on, off, or tiny — the cache changes work done, never
+   numbers; hit rates per capacity are recorded.
+"""
+
+import json
+import time
+from pathlib import Path
+from typing import Dict
+
+from benchmarks.conftest import print_table
+from benchmarks.test_bench_bn_scalability import chain_network
+from repro.bayesnet.engine import CompiledNetwork
+from repro.bayesnet.inference.junction_tree import JunctionTree
+from repro.bayesnet.sensitivity import tornado_analysis
+from repro.parallel import ParallelExecutor
+from repro.perception.chain import build_fig4_network
+from repro.robustness.campaign import CampaignConfig, run_campaign
+
+OUTPUTS = ("car", "pedestrian", "car/pedestrian", "none")
+
+#: The ISSUE acceptance floor: warm engine >= 3x full recalibration on
+#: single-variable evidence deltas over the Fig. 4 network.
+MIN_FIG4_SPEEDUP = 3.0
+
+#: Conservative floor for the pure junction-tree incremental path (no
+#: posterior cache — every step recalibrates) on the multi-clique chain.
+MIN_CHAIN_SPEEDUP = 2.0
+
+CHAIN_NODES = 24
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_incremental.json"
+
+CAMPAIGN_CONFIG = dict(seed=0, trials=25,
+                       fault_names=("dropout", "byzantine"),
+                       intensities=(1.0,))
+
+
+def _fig4_rows(repeats=50):
+    """Single-variable deltas: consecutive rows differ in one state."""
+    return [{"perception": o} for o in OUTPUTS] * repeats
+
+
+def _measure_fig4(reps=5) -> Dict[str, float]:
+    rows = _fig4_rows()
+    target = "ground_truth"
+    network = build_fig4_network()
+    engine = CompiledNetwork(network)
+    factors = network.factors()
+
+    reference = [engine.query(target, r) for r in rows]  # warm the cache
+    cached_s, full_s = [], []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        got = [engine.query(target, r) for r in rows]
+        cached_s.append(time.perf_counter() - t0)
+        assert got == reference
+
+        t0 = time.perf_counter()
+        for row in rows:
+            jt = JunctionTree(factors)  # full recalibration, per row
+            jt.calibrate(row)
+            jt.marginal(target)
+        full_s.append(time.perf_counter() - t0)
+    return {
+        "rows": len(rows),
+        "cached_seconds": min(cached_s),
+        "full_recalibration_seconds": min(full_s),
+        "speedup": min(full_s) / min(cached_s),
+        "evidence_cache_hit_rate": engine.stats.evidence_cache_hit_rate,
+    }
+
+
+def _chain_evidence_walk(steps=40):
+    """Evidence sequences whose consecutive entries differ in one flip."""
+    out = [{}]
+    evidence = {}
+    for k in range(steps):
+        i = (7 * k) % CHAIN_NODES
+        evidence = dict(evidence)
+        evidence[f"n{i}"] = "true" if k % 2 == 0 else "false"
+        out.append(evidence)
+    return out
+
+
+def _measure_chain(reps=3) -> Dict[str, float]:
+    bn = chain_network(CHAIN_NODES)
+    factors = bn.factors()
+    walk = _chain_evidence_walk()
+    target = f"n{CHAIN_NODES - 1}"
+
+    incremental_s, full_s = [], []
+    jt = None
+    for _ in range(reps):
+        jt = JunctionTree(factors)
+        t0 = time.perf_counter()
+        for evidence in walk:
+            jt.calibrate(evidence)
+            jt.marginal(target)
+        incremental_s.append(time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        for evidence in walk:
+            fresh = JunctionTree(factors)
+            fresh.calibrate(evidence)
+            fresh.marginal(target)
+        full_s.append(time.perf_counter() - t0)
+    saved = 1.0 - jt.messages_recomputed / jt.messages_total
+    return {
+        "nodes": CHAIN_NODES,
+        "steps": len(walk),
+        "incremental_seconds": min(incremental_s),
+        "full_rebuild_seconds": min(full_s),
+        "speedup": min(full_s) / min(incremental_s),
+        "messages_total": jt.messages_total,
+        "messages_recomputed": jt.messages_recomputed,
+        "messages_saved_fraction": saved,
+    }
+
+
+def _cache_hit_sweep() -> Dict[str, Dict[str, float]]:
+    """The same query stream at capacities {0, 8, 1024}: identical
+    answers, different hit rates."""
+    rows = _fig4_rows(repeats=25)
+    out: Dict[str, Dict[str, float]] = {}
+    reference = None
+    for size in (0, 8, 1024):
+        engine = CompiledNetwork(build_fig4_network(), cache_size=size)
+        got = [engine.query("ground_truth", r) for r in rows]
+        if reference is None:
+            reference = got
+        assert got == reference, f"cache_size={size} changed answers"
+        out[str(size)] = {
+            "hit_rate": engine.stats.evidence_cache_hit_rate,
+            "hits": engine.stats.evidence_cache_hits,
+            "misses": engine.stats.evidence_cache_misses,
+        }
+    return out
+
+
+def _identity_checks() -> Dict[str, bool]:
+    """Cache on/off/tiny byte-identity of every consumer artifact."""
+    out: Dict[str, bool] = {}
+
+    reference = run_campaign(
+        CampaignConfig(**CAMPAIGN_CONFIG)).to_json()
+    for label, size in (("off", 0), ("tiny", 2), ("default", None)):
+        got = run_campaign(CampaignConfig(engine_cache_size=size,
+                                          **CAMPAIGN_CONFIG)).to_json()
+        out[f"campaign_cache_{label}"] = got == reference
+
+    fig4 = build_fig4_network()
+    tornado_ref = tornado_analysis(fig4, query="ground_truth",
+                                   query_state="unknown",
+                                   evidence={"perception": "none"},
+                                   relative_band=0.3)
+    for label, size in (("off", 0), ("default", None)):
+        for backend, workers in (("serial", 1), ("process", 2)):
+            got = tornado_analysis(
+                fig4, query="ground_truth", query_state="unknown",
+                evidence={"perception": "none"}, relative_band=0.3,
+                executor=ParallelExecutor(workers=workers, backend=backend),
+                engine_cache_size=size)
+            out[f"tornado_cache_{label}_{backend}"] = got == tornado_ref
+    return out
+
+
+def test_incremental_evidence_propagation(benchmark):
+    """The EXT-R artifact: flip-speedup floors, hit sweep, identity grid."""
+    def _measure():
+        return {
+            "fig4": _measure_fig4(),
+            "chain": _measure_chain(),
+            "cache_hit_sweep": _cache_hit_sweep(),
+            "byte_identical": _identity_checks(),
+        }
+
+    result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    fig4, chain = result["fig4"], result["chain"]
+    print_table(
+        f"EXT-R single-flip evidence sweeps ({fig4['rows']} fig4 rows, "
+        f"{chain['steps']} chain steps)",
+        ["case", "incremental s", "full recal s", "speedup"],
+        [("fig4 warm engine", fig4["cached_seconds"],
+          fig4["full_recalibration_seconds"], fig4["speedup"]),
+         (f"chain-{chain['nodes']} junction tree",
+          chain["incremental_seconds"], chain["full_rebuild_seconds"],
+          chain["speedup"])])
+    print_table(
+        "EXT-R evidence-cache hit rates by capacity",
+        ["capacity", "hits", "misses", "hit rate"],
+        [(size, v["hits"], v["misses"], v["hit_rate"])
+         for size, v in sorted(result["cache_hit_sweep"].items(),
+                               key=lambda kv: int(kv[0]))])
+    benchmark.extra_info.update({
+        "fig4_speedup": fig4["speedup"],
+        "chain_speedup": chain["speedup"],
+        "messages_saved_fraction": chain["messages_saved_fraction"],
+        "byte_identical": all(result["byte_identical"].values()),
+    })
+    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True)
+                           + "\n")
+
+    # Determinism is not a timing claim: no retries, no gating.
+    assert all(result["byte_identical"].values()), result["byte_identical"]
+
+    # Message accounting is structural, not timing: the walk must reuse
+    # a majority of messages.
+    assert chain["messages_saved_fraction"] > 0.5, chain
+
+    # Timing floors with the standard retry discipline: a real regression
+    # fails every attempt, timing noise does not.
+    speedup = fig4["speedup"]
+    for _ in range(3):
+        if speedup >= MIN_FIG4_SPEEDUP:
+            break
+        speedup = _measure_fig4()["speedup"]
+    assert speedup >= MIN_FIG4_SPEEDUP, speedup
+
+    chain_speedup = chain["speedup"]
+    for _ in range(3):
+        if chain_speedup >= MIN_CHAIN_SPEEDUP:
+            break
+        chain_speedup = _measure_chain()["speedup"]
+    assert chain_speedup >= MIN_CHAIN_SPEEDUP, chain_speedup

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from typing import (TYPE_CHECKING, Dict, FrozenSet, List, Mapping, Optional,
                     Sequence, Tuple, Union)
@@ -53,11 +54,14 @@ from repro.bayesnet.inference.variable_elimination import (
 from repro.bayesnet.variable import Variable
 from repro.errors import EngineError, InferenceError
 from repro.telemetry.metrics import (
+    ENGINE_EVIDENCE_CACHE_REQUESTS,
+    ENGINE_JT_MESSAGES,
     ENGINE_PLAN_REQUESTS,
     ENGINE_QUERIES,
     ENGINE_QUERY_SECONDS,
     ENGINE_RECOMPILES,
 )
+from repro.telemetry import tracing as _tracing
 from repro.telemetry.tracing import active as _trace_active
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -70,6 +74,13 @@ MAX_BATCH_TABLE_ENTRIES = 1 << 22
 #: Calibrated-marginal memo entries kept per engine (small LRU).
 MARGINAL_CACHE_SIZE = 128
 
+#: Default capacity of the evidence-keyed posterior LRU (per engine).
+DEFAULT_EVIDENCE_CACHE_SIZE = 1024
+
+#: Cache-miss sentinel: ``probability_of_evidence`` can legitimately
+#: cache 0.0, so absence cannot be signalled by a falsy value.
+_MISS = object()
+
 
 @dataclass
 class EngineStats:
@@ -80,6 +91,10 @@ class EngineStats:
     batch_rows: int = 0
     plan_hits: int = 0
     plan_misses: int = 0
+    evidence_cache_hits: int = 0
+    evidence_cache_misses: int = 0
+    messages_recomputed: int = 0
+    messages_total: int = 0
     recompiles: int = 0
     compile_seconds: float = 0.0
     execute_seconds: float = 0.0
@@ -93,6 +108,11 @@ class EngineStats:
         total = self.plan_hits + self.plan_misses
         return self.plan_hits / total if total else 0.0
 
+    @property
+    def evidence_cache_hit_rate(self) -> float:
+        total = self.evidence_cache_hits + self.evidence_cache_misses
+        return self.evidence_cache_hits / total if total else 0.0
+
     def snapshot(self, *, include_timings: bool = True) -> Dict[str, float]:
         """Plain-dict copy (report/dossier friendly).
 
@@ -103,6 +123,7 @@ class EngineStats:
         """
         out = dict(asdict(self))
         out["plan_hit_rate"] = self.plan_hit_rate
+        out["evidence_cache_hit_rate"] = self.evidence_cache_hit_rate
         if not include_timings:
             for key in self.TIMING_FIELDS:
                 out.pop(key, None)
@@ -121,16 +142,17 @@ class InferenceEngine(Protocol):
     """
 
     def query(self, target: str,
-              evidence: Mapping[str, str] = None) -> Dict[str, float]:
+              evidence: Optional[Mapping[str, str]] = None
+              ) -> Dict[str, float]:
         """Posterior marginal P(target | evidence)."""
         ...
 
     def joint_query(self, targets: Sequence[str],
-                    evidence: Mapping[str, str] = None) -> Factor:
+                    evidence: Optional[Mapping[str, str]] = None) -> Factor:
         """Joint posterior factor over several targets."""
         ...
 
-    def marginals(self, evidence: Mapping[str, str] = None
+    def marginals(self, evidence: Optional[Mapping[str, str]] = None
                   ) -> Dict[str, Dict[str, float]]:
         """All posterior marginals under one evidence set."""
         ...
@@ -178,10 +200,24 @@ class CompiledNetwork:
         rows = [{"perception": o} for o in outputs] * 100
         posteriors = engine.query_batch("ground_truth", rows)
         engine.stats.plan_hit_rate   # ~1.0 after the first sweep
+
+    ``cache_size`` bounds the evidence-keyed posterior LRU shared by
+    ``query``/``marginals``/``probability_of_evidence``/``query_batch``
+    (``None`` → :data:`DEFAULT_EVIDENCE_CACHE_SIZE`; ``0`` disables
+    storing while still counting misses, so instrumentation snapshots
+    stay comparable with the cache on).
     """
 
-    def __init__(self, network: "BayesianNetwork"):
+    def __init__(self, network: "BayesianNetwork",
+                 cache_size: Optional[int] = None):
+        if cache_size is None:
+            cache_size = DEFAULT_EVIDENCE_CACHE_SIZE
+        cache_size = int(cache_size)
+        if cache_size < 0:
+            raise EngineError(
+                f"cache_size must be non-negative, got {cache_size}")
         self._network = network
+        self._cache_size = cache_size
         self._stats = EngineStats()
         self._compiled_version: Optional[int] = None
         self._structure_fp: Optional[str] = None
@@ -191,8 +227,11 @@ class CompiledNetwork:
                           Tuple[str, ...]] = {}
         self._joints: Dict[FrozenSet[str], Factor] = {}
         self._jt: Optional[JunctionTree] = None
-        self._marginal_cache: Dict[Tuple[Tuple[str, str], ...],
-                                   Dict[str, Dict[str, float]]] = {}
+        #: Evidence-keyed posterior LRU: key -> cached result.  Keys are
+        #: ``(kind, structure_fp, frozenset(evidence.items()), target)``
+        #: tuples; values are already-copied, immutable-by-convention
+        #: results (dicts are copied again on the way out).
+        self._evidence_cache: "OrderedDict[tuple, object]" = OrderedDict()
 
     # -- compilation -----------------------------------------------------------
 
@@ -213,6 +252,102 @@ class CompiledNetwork:
             self._stats.plan_misses += 1
         if _trace_active() is not None:
             ENGINE_PLAN_REQUESTS.inc(result="hit" if hit else "miss")
+
+    # -- evidence-keyed posterior cache ----------------------------------------
+
+    def _cache_get(self, key: tuple):
+        """Look up one evidence-keyed result; counts hit/miss either way.
+
+        A hit also counts as a plan hit — the cached posterior stands in
+        for re-executing the compiled plan, exactly like the joint-table
+        memo it shortcuts.
+        """
+        value = self._evidence_cache.get(key, _MISS)
+        if value is _MISS:
+            self._stats.evidence_cache_misses += 1
+            if _trace_active() is not None:
+                ENGINE_EVIDENCE_CACHE_REQUESTS.inc(result="miss")
+            return _MISS
+        self._evidence_cache.move_to_end(key)
+        self._stats.evidence_cache_hits += 1
+        self._count_plan(hit=True)
+        if _trace_active() is not None:
+            ENGINE_EVIDENCE_CACHE_REQUESTS.inc(result="hit")
+        return value
+
+    def _cache_put(self, key: tuple, value) -> None:
+        """Install one computed result; errors are never cached (callers
+        only reach here after a successful computation)."""
+        if self._cache_size <= 0:
+            return
+        if key not in self._evidence_cache \
+                and len(self._evidence_cache) >= self._cache_size:
+            self._evidence_cache.popitem(last=False)
+        self._evidence_cache[key] = value
+        self._evidence_cache.move_to_end(key)
+
+    def invalidate(self) -> None:
+        """Drop every value-dependent cache (posteriors, joints, tree).
+
+        Structure-dependent artifacts — elimination plans, converted
+        factors — survive; they are guarded by the structure fingerprint
+        and stay valid.  Use after out-of-band CPT mutation or to bound
+        memory between sweeps.
+        """
+        self._evidence_cache.clear()
+        self._joints.clear()
+        self._jt = None
+
+    def _note_calibration(self, jt: JunctionTree) -> None:
+        """Fold one junction-tree calibration's message work into stats."""
+        self._stats.messages_total += jt.last_messages_total
+        self._stats.messages_recomputed += jt.last_messages_recomputed
+        if _trace_active() is not None:
+            if jt.last_messages_recomputed:
+                ENGINE_JT_MESSAGES.inc(jt.last_messages_recomputed,
+                                       result="recomputed")
+            reused = jt.last_messages_total - jt.last_messages_recomputed
+            if reused > 0:
+                ENGINE_JT_MESSAGES.inc(reused, result="reused")
+
+    def prewarm(self) -> "CompiledNetwork":
+        """Compile and calibrate the evidence-free junction tree now.
+
+        After this, :meth:`fork` clones ship an already-calibrated tree,
+        so parallel workers start from warm state instead of each paying
+        the full first propagation.  Returns ``self`` for chaining.
+        """
+        self._refresh()
+        jt = self._junction_tree()
+        jt.calibrate({})
+        self._note_calibration(jt)
+        return self
+
+    def fork(self) -> "CompiledNetwork":
+        """A cache-sharing clone safe to use from another thread.
+
+        The clone shares the immutable compiled artifacts (factors,
+        plans, joint tables, cached posteriors — all copied as
+        containers, shared as values) and forks the junction tree's
+        calibration state; its :class:`EngineStats` start fresh.  The
+        clone does not track subsequent mutations of the source network
+        deterministically with the original — treat the network as
+        read-only while forks are live.
+        """
+        self._refresh()
+        clone = CompiledNetwork.__new__(CompiledNetwork)
+        clone._network = self._network
+        clone._cache_size = self._cache_size
+        clone._stats = EngineStats()
+        clone._compiled_version = self._compiled_version
+        clone._structure_fp = self._structure_fp
+        clone._factors = list(self._factors)
+        clone._variables = dict(self._variables)
+        clone._plans = dict(self._plans)
+        clone._joints = dict(self._joints)
+        clone._jt = self._jt.fork() if self._jt is not None else None
+        clone._evidence_cache = OrderedDict(self._evidence_cache)
+        return clone
 
     def _refresh(self) -> None:
         """Re-sync caches with the network if it mutated since compile."""
@@ -239,11 +374,11 @@ class CompiledNetwork:
         for f in self._factors:
             for v in f.variables:
                 self._variables[v.name] = v
-        # Potentials and joints embed CPT values, so any mutation
-        # invalidates them along with the calibrated tree and marginal memo.
+        # Potentials, joints and cached posteriors embed CPT values, so
+        # any mutation invalidates them along with the calibrated tree.
         self._joints.clear()
         self._jt = None
-        self._marginal_cache.clear()
+        self._evidence_cache.clear()
         self._compiled_version = version
         self._stats.recompiles += 1
         self._stats.compile_seconds += time.perf_counter() - t0
@@ -347,11 +482,13 @@ class CompiledNetwork:
             self._variable(name)
 
     def query(self, target: str,
-              evidence: Mapping[str, str] = None) -> Dict[str, float]:
-        tracer = _trace_active()
+              evidence: Optional[Mapping[str, str]] = None
+              ) -> Dict[str, float]:
+        # Hot path: one module-global attribute read (no call frame), no
+        # telemetry objects built and no copies taken (_query reads the
+        # mapping, never mutates).
+        tracer = _tracing._active_tracer
         if tracer is None:
-            # Hot path: one global check, no telemetry objects built and
-            # no copies taken (_query reads the mapping, never mutates).
             return self._query(target, evidence or {})
         evidence = dict(evidence or {})
         with tracer.span("engine.query", target=target,
@@ -363,10 +500,15 @@ class CompiledNetwork:
         return out
 
     def _query(self, target: str,
-               evidence: Dict[str, str]) -> Dict[str, float]:
+               evidence: Mapping[str, str]) -> Dict[str, float]:
         self._refresh()
         self._stats.queries += 1
         self._check_query([target], evidence)
+        key = ("query", self._structure_fp, frozenset(evidence.items()),
+               target)
+        cached = self._cache_get(key)
+        if cached is not _MISS:
+            return dict(cached)
         keep = frozenset([target]) | frozenset(evidence)
         joint = self._joint_for(keep)
         t0 = time.perf_counter()
@@ -385,15 +527,17 @@ class CompiledNetwork:
             states = self._variable(target).states
             out = {s: float(table[j]) / total for j, s in enumerate(states)}
             self._stats.execute_seconds += time.perf_counter() - t0
-            return out
-        order = self._plan(frozenset([target]), frozenset(evidence))
-        posterior = variable_elimination(self._factors, [target],
-                                         evidence, order=order)
-        self._stats.execute_seconds += time.perf_counter() - t0
-        return posterior.distribution()
+        else:
+            order = self._plan(frozenset([target]), frozenset(evidence))
+            posterior = variable_elimination(self._factors, [target],
+                                             evidence, order=order)
+            self._stats.execute_seconds += time.perf_counter() - t0
+            out = posterior.distribution()
+        self._cache_put(key, dict(out))
+        return out
 
     def joint_query(self, targets: Sequence[str],
-                    evidence: Mapping[str, str] = None) -> Factor:
+                    evidence: Optional[Mapping[str, str]] = None) -> Factor:
         targets = list(targets)
         evidence = dict(evidence or {})
         self._refresh()
@@ -420,6 +564,10 @@ class CompiledNetwork:
         if not evidence:
             return 1.0
         self._check_query([], evidence)
+        key = ("z", self._structure_fp, frozenset(evidence.items()))
+        cached = self._cache_get(key)
+        if cached is not _MISS:
+            return cached
         joint = self._joint_for(frozenset(evidence))
         t0 = time.perf_counter()
         if joint is not None:
@@ -430,14 +578,17 @@ class CompiledNetwork:
             order = self._plan(frozenset(), frozenset(evidence))
             p = evidence_probability(self._factors, evidence, order=order)
         self._stats.execute_seconds += time.perf_counter() - t0
+        self._cache_put(key, p)
         return p
 
-    def marginals(self, evidence: Mapping[str, str] = None
+    def marginals(self, evidence: Optional[Mapping[str, str]] = None
                   ) -> Dict[str, Dict[str, float]]:
         """All posterior marginals via the cached junction tree.
 
-        The compiled tree is reused across evidence sets; calibrated
-        results are additionally memoized per evidence assignment.
+        The compiled tree recalibrates incrementally across evidence
+        sets (only messages behind changed evidence re-propagate);
+        calibrated results are additionally memoized in the
+        evidence-keyed posterior cache.
         """
         tracer = _trace_active()
         if tracer is None:
@@ -452,23 +603,22 @@ class CompiledNetwork:
                                      kind="marginals")
         return out
 
-    def _marginals(self, evidence: Dict[str, str]
+    def _marginals(self, evidence: Mapping[str, str]
                    ) -> Dict[str, Dict[str, float]]:
         self._refresh()
         self._stats.queries += 1
-        key = tuple(sorted(evidence.items()))
-        cached = self._marginal_cache.get(key)
-        if cached is not None:
-            self._count_plan(hit=True)
+        key = ("marginals", self._structure_fp,
+               frozenset(evidence.items()))
+        cached = self._cache_get(key)
+        if cached is not _MISS:
             return {n: dict(d) for n, d in cached.items()}
         jt = self._junction_tree()
         t0 = time.perf_counter()
         jt.calibrate(evidence)
+        self._note_calibration(jt)
         out = {name: jt.marginal(name) for name in self._network.dag.nodes}
         self._stats.execute_seconds += time.perf_counter() - t0
-        if len(self._marginal_cache) >= MARGINAL_CACHE_SIZE:
-            self._marginal_cache.pop(next(iter(self._marginal_cache)))
-        self._marginal_cache[key] = {n: dict(d) for n, d in out.items()}
+        self._cache_put(key, {n: dict(d) for n, d in out.items()})
         return out
 
     # -- batched sweeps --------------------------------------------------------
@@ -511,10 +661,29 @@ class CompiledNetwork:
 
         target_vars = [self._variable(t) for t in target_list]
         results: List = [None] * len(rows)
+        pending: List[int] = list(range(len(rows)))
+        if single:
+            target = target_list[0]
+            pending = []
+            for i, row in enumerate(rows):
+                cached = self._cache_get(
+                    ("query", self._structure_fp,
+                     frozenset(row.items()), target))
+                if cached is _MISS:
+                    pending.append(i)
+                else:
+                    results[i] = dict(cached)
         groups: Dict[FrozenSet[str], List[int]] = {}
-        for i, row in enumerate(rows):
-            groups.setdefault(frozenset(row), []).append(i)
-        for signature, indices in groups.items():
+        for i in pending:
+            groups.setdefault(frozenset(rows[i]), []).append(i)
+        # Groups in sorted-signature order, rows within a group sorted by
+        # their evidence assignment: consecutive junction-tree
+        # calibrations in the fallback path then differ in as few
+        # variables as possible and share maximal message prefixes.
+        for signature in sorted(groups, key=lambda s: tuple(sorted(s))):
+            indices = sorted(
+                groups[signature],
+                key=lambda i: tuple(sorted(rows[i].items())))
             self._check_query(target_list, dict.fromkeys(signature, ""))
             self._batch_group(target_list, target_vars, sorted(signature),
                               [rows[i] for i in indices], indices, results,
@@ -530,16 +699,39 @@ class CompiledNetwork:
         """Answer all rows sharing one evidence-variable signature."""
         keep = frozenset(target_list) | frozenset(evidence_names)
         joint = self._joint_for(keep)
+        if joint is None and single:
+            # Joint too large to materialize: incremental junction-tree
+            # sweep.  Rows arrive sorted by evidence assignment, so each
+            # calibration re-propagates only the messages behind the
+            # variables that changed since the previous row.
+            target = target_list[0]
+            jt = self._junction_tree()
+            t0 = time.perf_counter()
+            for row, out_i in zip(group_rows, indices):
+                try:
+                    jt.calibrate(row)
+                except InferenceError as exc:
+                    if "probability 0" in str(exc):
+                        raise InferenceError(
+                            f"evidence row {row!r} has probability 0 under "
+                            "the model — posterior is undefined") from None
+                    raise
+                self._note_calibration(jt)
+                out = jt.marginal(target)
+                results[out_i] = out
+                self._cache_put(("query", self._structure_fp,
+                                 frozenset(row.items()), target), dict(out))
+            self._stats.execute_seconds += time.perf_counter() - t0
+            return
         if joint is None:
-            # Joint too large to materialize: per-row elimination over the
-            # cached per-signature plan.
+            # Multi-target fallback: per-row elimination over the cached
+            # per-signature plan.
             order = self._plan(frozenset(target_list), frozenset(evidence_names))
             t0 = time.perf_counter()
             for row, out_i in zip(group_rows, indices):
                 factor = variable_elimination(self._factors, target_list,
                                               row, order=order)
-                results[out_i] = (factor.distribution() if single
-                                  else factor.normalize())
+                results[out_i] = factor.normalize()
             self._stats.execute_seconds += time.perf_counter() - t0
             return
 
@@ -571,8 +763,13 @@ class CompiledNetwork:
         for k, out_i in enumerate(indices):
             if single:
                 v = target_vars[0]
-                results[out_i] = {s: float(posts[k, j])
-                                  for j, s in enumerate(v.states)}
+                out = {s: float(posts[k, j])
+                       for j, s in enumerate(v.states)}
+                results[out_i] = out
+                self._cache_put(
+                    ("query", self._structure_fp,
+                     frozenset(group_rows[k].items()), target_list[0]),
+                    dict(out))
             else:
                 results[out_i] = Factor(target_vars,
                                         posts[k].reshape(tgt_shape))
@@ -614,8 +811,12 @@ class RecompilingEngine:
         self._stats.compile_seconds += time.perf_counter() - t0
         return factors
 
+    def invalidate(self) -> None:
+        """Nothing to drop — this engine never caches anything."""
+
     def query(self, target: str,
-              evidence: Mapping[str, str] = None) -> Dict[str, float]:
+              evidence: Optional[Mapping[str, str]] = None
+              ) -> Dict[str, float]:
         self._stats.queries += 1
         factors = self._fresh_factors()
         t0 = time.perf_counter()
@@ -625,12 +826,12 @@ class RecompilingEngine:
         return out
 
     def joint_query(self, targets: Sequence[str],
-                    evidence: Mapping[str, str] = None) -> Factor:
+                    evidence: Optional[Mapping[str, str]] = None) -> Factor:
         self._stats.queries += 1
         return variable_elimination(self._fresh_factors(), list(targets),
                                     dict(evidence or {}))
 
-    def marginals(self, evidence: Mapping[str, str] = None
+    def marginals(self, evidence: Optional[Mapping[str, str]] = None
                   ) -> Dict[str, Dict[str, float]]:
         self._stats.queries += 1
         jt = JunctionTree(self._fresh_factors())

@@ -37,6 +37,19 @@ class Factor:
     # -- constructors --------------------------------------------------------
 
     @classmethod
+    def _wrap(cls, variables: Sequence[Variable], table: np.ndarray) -> "Factor":
+        """Trusted constructor: no copy, no validation.
+
+        For internal hot paths (message passing, batched gathers) where
+        the table is known to be a well-formed non-negative array of the
+        right shape; external callers should use ``Factor(...)``.
+        """
+        out = Factor.__new__(Factor)
+        out.variables = tuple(variables)
+        out.table = table
+        return out
+
+    @classmethod
     def ones(cls, variables: Sequence[Variable]) -> "Factor":
         shape = tuple(v.cardinality for v in variables)
         return cls(variables, np.ones(shape))
@@ -65,8 +78,14 @@ class Factor:
 
     # -- algebra ---------------------------------------------------------------
 
-    def multiply(self, other: "Factor") -> "Factor":
-        """Pointwise product with broadcasting over the union scope."""
+    def multiply(self, other: "Factor",
+                 out: Optional[np.ndarray] = None) -> "Factor":
+        """Pointwise product with broadcasting over the union scope.
+
+        ``out``, when given, must be a preallocated array of the union
+        shape; the product is written into it in place (no allocation)
+        and the returned factor wraps it.
+        """
         union: List[Variable] = list(self.variables)
         for v in other.variables:
             if v.name not in {u.name for u in union}:
@@ -78,7 +97,35 @@ class Factor:
                         f"variable {v.name!r} has conflicting state sets")
         a = self._broadcast_to(union)
         b = other._broadcast_to(union)
-        return Factor(union, a * b)
+        if out is None:
+            return Factor(union, a * b)
+        expected = tuple(v.cardinality for v in union)
+        if out.shape != expected:
+            raise InferenceError(
+                f"out buffer shape {out.shape} does not match union "
+                f"shape {expected}")
+        np.multiply(a, b, out=out)
+        return Factor._wrap(union, out)
+
+    def imultiply(self, other: "Factor") -> "Factor":
+        """In-place product: fold ``other`` into this factor's own table.
+
+        ``other``'s scope must be a subset of this factor's scope (the
+        message-passing case: separator messages into a clique
+        potential), so the result scope — and hence the table — never
+        grows and no allocation happens.  Mutates ``self.table``; only
+        call on factors this code owns (never on cached/shared ones).
+        """
+        if isinstance(other, ScalarFactor):
+            self.table *= float(other.table)
+            return self
+        missing = other.scope - self.scope
+        if missing:
+            raise InferenceError(
+                f"imultiply requires other's scope within {self.names}; "
+                f"extra variables {sorted(missing)}")
+        self.table *= other._broadcast_to(self.variables)
+        return self
 
     def _broadcast_to(self, union: Sequence[Variable]) -> np.ndarray:
         """Reshape/transpose this table to the union variable order."""
@@ -94,18 +141,36 @@ class Factor:
         transposed = np.transpose(self.table, axes=src_axes)
         return transposed.reshape(shape)
 
-    def marginalize(self, names: Iterable[str]) -> "Factor":
-        """Sum out the given variables."""
+    def marginalize(self, names: Iterable[str],
+                    out: Optional[np.ndarray] = None) -> "Factor":
+        """Sum out the given variables.
+
+        ``out``, when given, must be a preallocated array shaped like the
+        kept variables; the sums are written into it in place.  It is
+        ignored for the scalar (everything-summed-out) result.
+        """
         drop = set(names)
         missing = drop - set(self.names)
         if missing:
             raise InferenceError(f"cannot marginalize absent variables {sorted(missing)}")
         keep_vars = [v for v in self.variables if v.name not in drop]
         axes = tuple(i for i, v in enumerate(self.variables) if v.name in drop)
-        table = self.table.sum(axis=axes) if axes else self.table.copy()
         if not keep_vars:
+            table = self.table.sum() if axes else self.table
             # Scalar factor: keep as 0-d table wrapper via a dummy representation.
             return ScalarFactor(float(table))
+        if out is not None:
+            expected = tuple(v.cardinality for v in keep_vars)
+            if out.shape != expected:
+                raise InferenceError(
+                    f"out buffer shape {out.shape} does not match kept "
+                    f"shape {expected}")
+            if axes:
+                self.table.sum(axis=axes, out=out)
+            else:
+                np.copyto(out, self.table)
+            return Factor._wrap(keep_vars, out)
+        table = self.table.sum(axis=axes) if axes else self.table.copy()
         return Factor(keep_vars, table)
 
     def max_out(self, names: Iterable[str]) -> "Factor":
@@ -187,12 +252,23 @@ class ScalarFactor(Factor):
         if self.table < -1e-12:
             raise InferenceError("scalar factor must be non-negative")
 
-    def multiply(self, other: Factor) -> Factor:
+    def multiply(self, other: Factor,
+                 out: Optional[np.ndarray] = None) -> Factor:
         if isinstance(other, ScalarFactor):
             return ScalarFactor(float(self.table) * float(other.table))
+        if out is not None:
+            np.multiply(other.table, float(self.table), out=out)
+            return Factor._wrap(other.variables, out)
         return Factor(other.variables, other.table * float(self.table))
 
-    def marginalize(self, names: Iterable[str]) -> "Factor":
+    def imultiply(self, other: Factor) -> Factor:
+        if not isinstance(other, ScalarFactor):
+            raise InferenceError(
+                "cannot in-place multiply a wider factor into a scalar")
+        return ScalarFactor(float(self.table) * float(other.table))
+
+    def marginalize(self, names: Iterable[str],
+                    out: Optional[np.ndarray] = None) -> "Factor":
         if set(names):
             raise InferenceError("scalar factor has no variables to marginalize")
         return self

@@ -4,6 +4,19 @@ Compiles a Bayesian network's moral graph into a tree of cliques, then
 calibrates clique potentials by two-phase sum-product propagation.  After
 calibration, every marginal (given the same evidence) is a cheap clique
 marginalization — the right tool when many queries share one evidence set.
+
+Calibration is **incremental** (Darwiche-style lazy propagation): the
+message schedule (root, DFS order, parent/child maps) is computed once,
+clique potentials are memoized per evidence-restriction, and on a
+``calibrate(new_evidence)`` call only the cliques whose attached evidence
+actually changed are rebuilt.  A directed message ``i -> j`` is
+re-propagated only when a dirty clique lies in the subtree behind ``i``;
+every other message is reused from the previous calibration (the values
+are identical — a message depends only on the potentials behind it).
+Clique beliefs are materialized lazily per query, so the dominant
+sweep workload — flip one evidence variable, read one posterior — costs
+one potential rebuild plus the messages on paths out of the dirty
+region, not a full propagation.
 """
 
 from __future__ import annotations
@@ -17,6 +30,12 @@ from repro.bayesnet.graph import maximum_spanning_junction_tree, triangulate
 from repro.bayesnet.variable import Variable
 from repro.errors import InferenceError
 from repro.telemetry.tracing import active as _trace_active
+
+#: Memoized (clique, evidence-restriction) potentials kept per tree.
+POTENTIAL_MEMO_SIZE = 512
+
+#: One clique's evidence restriction: sorted ((name, state), ...) items.
+_PotKey = Tuple[Tuple[str, str], ...]
 
 
 class JunctionTree:
@@ -61,14 +80,39 @@ class JunctionTree:
                     f"no clique contains factor scope {sorted(f.scope)} — "
                     "triangulation failed")
             self._assignment.append(home)
-        self._calibrated: Optional[List[Factor]] = None
+        self._clique_factors: List[List[int]] = [[] for _ in cliques]
+        for idx, home in enumerate(self._assignment):
+            self._clique_factors[home].append(idx)
+        self._clique_names: List[List[str]] = [sorted(c) for c in cliques]
+
+        n = len(cliques)
+        # -- incremental-calibration state -----------------------------------
+        #: Message schedule (order, parent, children) — built on first use so
+        #: the disconnected-tree error keeps surfacing at calibrate time.
+        self._plan: Optional[Tuple[List[int], List[Optional[int]],
+                                   List[List[int]]]] = None
+        self._potentials: List[Optional[Factor]] = [None] * n
+        self._pot_keys: List[Optional[_PotKey]] = [None] * n
+        self._clique_scalars: List[float] = [1.0] * n
+        self._pot_memo: Dict[Tuple[int, _PotKey], Tuple[Factor, float]] = {}
+        self._messages: Dict[Tuple[int, int], Factor] = {}
+        self._beliefs: List[Optional[Factor]] = [None] * n
         self._evidence: Dict[str, str] = {}
         self._log_partition: Optional[float] = None
+        self._ready = False
+        #: After a fork, message buffers may be shared with the twin tree —
+        #: in-place reuse of a previous message's table is then forbidden.
+        self._owns_buffers = True
+        #: Cumulative and last-call propagation work, for EngineStats.
+        self.messages_total = 0
+        self.messages_recomputed = 0
+        self.last_messages_total = 0
+        self.last_messages_recomputed = 0
 
     # -- calibration -----------------------------------------------------------
 
-    def calibrate(self, evidence: Mapping[str, str] = None) -> None:
-        """Two-phase (collect/distribute) sum-product propagation."""
+    def calibrate(self, evidence: Optional[Mapping[str, str]] = None) -> None:
+        """Incremental two-phase (collect/distribute) sum-product propagation."""
         evidence = dict(evidence or {})
         tracer = _trace_active()
         if tracer is not None:
@@ -78,95 +122,232 @@ class JunctionTree:
                 return self._calibrate(evidence)
         return self._calibrate(evidence)
 
-    def _calibrate(self, evidence: Dict[str, str]) -> None:
-        for name in evidence:
-            if name not in self._variables:
-                raise InferenceError(f"evidence variable {name!r} unknown")
-        self._evidence = evidence
+    def fork(self) -> "JunctionTree":
+        """A calibration-sharing copy safe to use from another thread.
 
-        potentials: List[Factor] = []
-        for k, clique in enumerate(self.cliques):
-            vars_in = [self._variables[n] for n in sorted(clique)]
-            pot = Factor.ones(vars_in)
-            potentials.append(pot)
+        The clone shares every immutable compiled artifact — cliques,
+        edges, schedule, factors, memoized potentials and the *current*
+        messages (factor tables are never mutated in place once
+        published) — but owns private mutable containers, so the clone
+        and the original can calibrate divergent evidence sequences
+        concurrently without racing.
+        """
+        clone = JunctionTree.__new__(JunctionTree)
+        clone.__dict__.update(self.__dict__)
+        clone._potentials = list(self._potentials)
+        clone._pot_keys = list(self._pot_keys)
+        clone._clique_scalars = list(self._clique_scalars)
+        clone._pot_memo = dict(self._pot_memo)
+        clone._messages = dict(self._messages)
+        clone._beliefs = list(self._beliefs)
+        clone._evidence = dict(self._evidence)
+        # Both twins now reference the same message tables; neither may
+        # recycle them as in-place output buffers.
+        self._owns_buffers = False
+        clone._owns_buffers = False
+        return clone
+
+    def _schedule(self) -> Tuple[List[int], List[Optional[int]],
+                                 List[List[int]]]:
+        """(DFS order from root 0, parent per clique, children per clique)."""
+        if self._plan is None:
+            order = self._dfs_order(0)
+            pos = {node: k for k, node in enumerate(order)}
+            parent: List[Optional[int]] = [None] * len(self.cliques)
+            children: List[List[int]] = [[] for _ in self.cliques]
+            for node in order:
+                best = None
+                for j, _ in self._neighbors[node]:
+                    if pos[j] < pos[node] and (best is None
+                                               or pos[j] > pos[best]):
+                        best = j
+                parent[node] = best
+                if best is not None:
+                    children[best].append(node)
+            self._plan = (order, parent, children)
+        return self._plan
+
+    def _pot_key(self, k: int, evidence: Mapping[str, str]) -> _PotKey:
+        """Evidence restricted to clique ``k``'s scope, as a hashable key."""
+        return tuple((name, evidence[name]) for name in self._clique_names[k]
+                     if name in evidence)
+
+    def _build_potential(self, k: int, key: _PotKey) -> Tuple[Factor, float]:
+        """Clique ``k``'s evidence-reduced potential and scalar residue.
+
+        The potential is the product of the clique's assigned
+        CPT-factors, each reduced over the clique's evidence
+        restriction, on a ones-base over the unobserved clique
+        variables.  Factors that reduce to a constant contribute to the
+        scalar residue (folded into the partition function only).
+        """
+        local = dict(key)
+        keep = [self._variables[name] for name in self._clique_names[k]
+                if name not in local]
+        pot: Factor = Factor.ones(keep) if keep else ScalarFactor(1.0)
         scalar = 1.0
-        for f, home in zip(self._factors, self._assignment):
-            reduced = f.reduce(evidence)
+        for idx in self._clique_factors[k]:
+            reduced = self._factors[idx].reduce(local)
             if isinstance(reduced, ScalarFactor):
                 scalar *= reduced.partition()
+            elif isinstance(pot, ScalarFactor):
+                pot = reduced.multiply(pot)
             else:
-                potentials[home] = potentials[home].multiply(reduced)
-        # Evidence reduction can shrink potentials out of their clique scope;
-        # also reduce the base ones-potentials over evidence variables.
-        reduced_potentials: List[Factor] = []
-        for pot in potentials:
-            red = pot.reduce(evidence)
-            reduced_potentials.append(red)
-        potentials = reduced_potentials
+                pot = pot.multiply(reduced)
+        return pot, scalar
 
+    def _potential_for(self, k: int, key: _PotKey) -> Tuple[Factor, float]:
+        memo_key = (k, key)
+        cached = self._pot_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        built = self._build_potential(k, key)
+        if len(self._pot_memo) >= POTENTIAL_MEMO_SIZE:
+            self._pot_memo.pop(next(iter(self._pot_memo)))
+        self._pot_memo[memo_key] = built
+        return built
+
+    def _combine(self, base: Factor, messages: Sequence[Factor]) -> Factor:
+        """``base * prod(messages)`` with one allocation.
+
+        Message scopes are subsets of the base potential's scope
+        (separators minus evidence), so the product accumulates in place
+        into a single copy of the base table.
+        """
+        if isinstance(base, ScalarFactor):
+            value = base.partition()
+            for m in messages:
+                value *= m.partition()  # all-observed clique: scalars only
+            return ScalarFactor(value)
+        if not messages:
+            return base
+        acc = Factor._wrap(base.variables, base.table.copy())
+        for m in messages:
+            acc.imultiply(m)
+        return acc
+
+    def _message(self, i: int, j: int, evidence: Dict[str, str],
+                 sep: FrozenSet[str]) -> Factor:
+        """Recompute the directed message ``i -> j``."""
+        inbound = [self._messages[(k, i)] for k, _ in self._neighbors[i]
+                   if k != j]
+        combined = self._combine(self._potentials[i], inbound)
+        if isinstance(combined, ScalarFactor):
+            return combined
+        keep = set(sep) - set(evidence)
+        drop = set(combined.names) - keep
+        out = None
+        if self._owns_buffers:
+            prev = self._messages.get((i, j))
+            if (prev is not None and not isinstance(prev, ScalarFactor)
+                    and [v.name for v in prev.variables]
+                    == [v.name for v in combined.variables
+                        if v.name not in drop]):
+                out = prev.table  # recycle the stale message's buffer
+        return combined.marginalize(drop, out=out)
+
+    def _calibrate(self, evidence: Dict[str, str]) -> None:
+        for name, state in evidence.items():
+            variable = self._variables.get(name)
+            if variable is None:
+                raise InferenceError(f"evidence variable {name!r} unknown")
+            variable.index_of(state)  # unknown states fail before any mutation
+        order, parent, children = self._schedule()
         n = len(self.cliques)
-        if n == 1:
-            only = potentials[0]
-            z = only.partition() * scalar
-            if z <= 0.0:
-                raise InferenceError("evidence has probability 0 under the model")
-            self._log_partition = float(np.log(z))
-            self._calibrated = [only]
-            return
+        n_messages = 2 * (n - 1)
+        self.last_messages_total = n_messages
+        self.messages_total += n_messages
 
-        # Messages keyed by directed edge (i -> j).
-        messages: Dict[Tuple[int, int], Factor] = {}
-        root = 0
-        order = self._dfs_order(root)
+        try:
+            # Phase 1: diff evidence per clique; rebuild dirty potentials.
+            dirty = [False] * n
+            for k in range(n):
+                key = self._pot_key(k, evidence)
+                if key != self._pot_keys[k] or self._potentials[k] is None:
+                    pot, scalar = self._potential_for(k, key)
+                    self._potentials[k] = pot
+                    self._clique_scalars[k] = scalar
+                    self._pot_keys[k] = key
+                    dirty[k] = True
 
-        # Collect: leaves toward root.
-        for i in reversed(order):
-            parent = self._parent_in(order, i)
-            if parent is None:
-                continue
-            sep = next(s for j, s in self._neighbors[i] if j == parent)
-            msg = potentials[i]
-            for j, _ in self._neighbors[i]:
-                if j != parent:
-                    msg = messages[(j, i)].multiply(msg) if not isinstance(
-                        messages[(j, i)], ScalarFactor) else msg.multiply(messages[(j, i)])
-            keep = set(sep) - set(evidence)
-            if isinstance(msg, ScalarFactor):
-                messages[(i, parent)] = msg
-            else:
-                drop = set(msg.names) - keep
-                messages[(i, parent)] = msg.marginalize(drop)
-
-        # Distribute: root toward leaves.
-        for i in order:
-            parent = self._parent_in(order, i)
-            for j, sep in self._neighbors[i]:
-                if j == parent:
+            # Phase 2: re-propagate only messages with a dirty clique in the
+            # subtree behind them; reuse every other cached message.
+            recomputed = 0
+            up_dirty: Dict[int, bool] = {}
+            down_dirty: Dict[int, bool] = {}
+            for i in reversed(order):  # collect: leaves toward root
+                p = parent[i]
+                if p is None:
                     continue
-                msg = potentials[i]
-                for k, _ in self._neighbors[i]:
-                    if k != j:
-                        mk = messages[(k, i)]
-                        msg = mk.multiply(msg) if isinstance(mk, ScalarFactor) else msg.multiply(mk)
-                keep = set(sep) - set(evidence)
-                if isinstance(msg, ScalarFactor):
-                    messages[(i, j)] = msg
-                else:
-                    drop = set(msg.names) - keep
-                    messages[(i, j)] = msg.marginalize(drop)
+                stale = dirty[i] or any(up_dirty[c] for c in children[i])
+                if stale or (i, p) not in self._messages:
+                    sep = next(s for j, s in self._neighbors[i] if j == p)
+                    self._messages[(i, p)] = self._message(i, p, evidence, sep)
+                    recomputed += 1
+                    stale = True
+                up_dirty[i] = stale
+            if order:
+                down_dirty[order[0]] = False
+            for i in order:  # distribute: root toward leaves
+                for j in children[i]:
+                    stale = (dirty[i] or down_dirty[i]
+                             or any(up_dirty[c] for c in children[i]
+                                    if c != j))
+                    if stale or (i, j) not in self._messages:
+                        sep = next(s for k, s in self._neighbors[i] if k == j)
+                        self._messages[(i, j)] = self._message(i, j, evidence,
+                                                               sep)
+                        recomputed += 1
+                        stale = True
+                    down_dirty[j] = stale
+        except Exception:
+            # A partial update would desynchronize potentials and
+            # messages; drop the incremental state so the next calibrate
+            # starts from scratch.
+            self._invalidate()
+            raise
 
-        calibrated: List[Factor] = []
-        for i in range(n):
-            belief = potentials[i]
-            for j, _ in self._neighbors[i]:
-                mj = messages[(j, i)]
-                belief = mj.multiply(belief) if isinstance(mj, ScalarFactor) else belief.multiply(mj)
-            calibrated.append(belief)
-        z = calibrated[root].partition() * scalar
-        if z <= 0.0:
-            raise InferenceError("evidence has probability 0 under the model")
-        self._log_partition = float(np.log(z))
-        self._calibrated = calibrated
+        self._evidence = evidence
+        self.last_messages_recomputed = recomputed
+        self.messages_recomputed += recomputed
+        if any(dirty) or recomputed or not self._ready:
+            # Every belief depends on evidence everywhere in the tree, so
+            # any change invalidates all of them; they rematerialize
+            # lazily per query.  The root belief is built eagerly to
+            # price the evidence (and fail loudly on P(evidence) = 0).
+            self._beliefs = [None] * n
+            self._ready = False
+            self._log_partition = None
+            scalar = 1.0
+            for s in self._clique_scalars:
+                scalar *= s
+            z = self._belief(order[0]).partition() * scalar
+            if z <= 0.0:
+                raise InferenceError(
+                    "evidence has probability 0 under the model")
+            self._log_partition = float(np.log(z))
+            self._ready = True
+
+    def _invalidate(self) -> None:
+        """Drop all incremental state; the next calibrate is from scratch."""
+        n = len(self.cliques)
+        self._potentials = [None] * n
+        self._pot_keys = [None] * n
+        self._clique_scalars = [1.0] * n
+        self._messages = {}
+        self._beliefs = [None] * n
+        self._evidence = {}
+        self._log_partition = None
+        self._ready = False
+
+    def _belief(self, i: int) -> Factor:
+        """Clique ``i``'s (unnormalized) belief, materialized on demand."""
+        belief = self._beliefs[i]
+        if belief is None:
+            inbound = [self._messages[(j, i)] for j, _ in self._neighbors[i]]
+            belief = self._combine(self._potentials[i], inbound)
+            self._beliefs[i] = belief
+        return belief
 
     def _dfs_order(self, root: int) -> List[int]:
         order: List[int] = []
@@ -185,41 +366,32 @@ class JunctionTree:
                 "variables; query the components separately")
         return order
 
-    def _parent_in(self, order: List[int], node: int) -> Optional[int]:
-        pos = {n: k for k, n in enumerate(order)}
-        best = None
-        for j, _ in self._neighbors[node]:
-            if pos[j] < pos[node] and (best is None or pos[j] > pos[best]):
-                best = j
-        return best
-
     # -- queries ----------------------------------------------------------------
 
     def marginal(self, name: str) -> Dict[str, float]:
         """Posterior marginal of one variable under the calibrated evidence."""
-        if self._calibrated is None:
+        if not self._ready:
             raise InferenceError("call calibrate() before querying")
         if name in self._evidence:
             return {s: (1.0 if s == self._evidence[name] else 0.0)
                     for s in self._variables[name].states}
-        for belief in self._calibrated:
-            if isinstance(belief, ScalarFactor):
-                continue
-            if name in belief.scope:
+        for k, clique in enumerate(self.cliques):
+            if name in clique:
+                belief = self._belief(k)
                 drop = set(belief.names) - {name}
-                marg = belief.marginalize(drop)
-                return marg.distribution()
+                return belief.marginalize(drop).distribution()
         raise InferenceError(f"variable {name!r} not found in any clique")
 
     def joint_marginal(self, names: Sequence[str]) -> Factor:
         """Joint posterior of variables that co-occur in one clique."""
-        if self._calibrated is None:
+        if not self._ready:
             raise InferenceError("call calibrate() before querying")
         wanted = set(names) - set(self._evidence)
-        for belief in self._calibrated:
-            if isinstance(belief, ScalarFactor):
-                continue
-            if wanted <= belief.scope:
+        for k, clique in enumerate(self.cliques):
+            if wanted <= clique:
+                belief = self._belief(k)
+                if isinstance(belief, ScalarFactor):
+                    continue
                 drop = set(belief.names) - wanted
                 return belief.marginalize(drop).normalize()
         raise InferenceError(

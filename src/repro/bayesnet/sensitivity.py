@@ -17,7 +17,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.bayesnet.cpt import CPT
-from repro.bayesnet.engine import InferenceEngine
+from repro.bayesnet.engine import CompiledNetwork, InferenceEngine
 from repro.bayesnet.network import BayesianNetwork
 from repro.errors import InferenceError
 from repro.parallel import ParallelExecutor
@@ -137,7 +137,7 @@ def sensitivity_function(network: BayesianNetwork, *,
                          node: str, parent_states: Tuple[str, ...],
                          child_state: str,
                          query: str, query_state: str,
-                         evidence: Mapping[str, str] = None
+                         evidence: Optional[Mapping[str, str]] = None
                          ) -> SensitivityFunction:
     """Fit the exact rational sensitivity function from three evaluations.
 
@@ -170,6 +170,7 @@ class TornadoEntry:
 def _tornado_chunk(cpts: Sequence[CPT], name: str, query: str,
                    query_state: str, evidence: Dict[str, str],
                    relative_band: float, baseline: float,
+                   engine_cache_size: Optional[int],
                    specs: Sequence[Tuple[str, Tuple[str, ...], str]]
                    ) -> List[TornadoEntry]:
     """Fit one chunk of tornado entries on a private trial network.
@@ -183,7 +184,7 @@ def _tornado_chunk(cpts: Sequence[CPT], name: str, query: str,
     trial = BayesianNetwork(name + "-sens")
     for cpt in cpts:
         trial.add_cpt(cpt)
-    engine = trial.engine()
+    engine = CompiledNetwork(trial, cache_size=engine_cache_size)
     by_node = {cpt.child.name: cpt for cpt in cpts}
     entries: List[TornadoEntry] = []
     for node, config, child_state in specs:
@@ -200,10 +201,12 @@ def _tornado_chunk(cpts: Sequence[CPT], name: str, query: str,
 
 
 def tornado_analysis(network: BayesianNetwork, *, query: str,
-                     query_state: str, evidence: Mapping[str, str] = None,
+                     query_state: str,
+                     evidence: Optional[Mapping[str, str]] = None,
                      relative_band: float = 0.5,
                      min_entry: float = 1e-6,
-                     executor: Optional[ParallelExecutor] = None
+                     executor: Optional[ParallelExecutor] = None,
+                     engine_cache_size: Optional[int] = None
                      ) -> List[TornadoEntry]:
     """Rank all CPT entries by the posterior swing they can cause.
 
@@ -215,7 +218,9 @@ def tornado_analysis(network: BayesianNetwork, *, query: str,
     own trial network (trial engines are mutated probe by probe, so
     chunks must not share one).  Every fit is exact arithmetic and the
     final ranking is re-sorted, so results are identical on every
-    backend at every width.
+    backend at every width.  ``engine_cache_size`` bounds each trial
+    engine's evidence-keyed posterior cache (``None`` keeps the engine
+    default) — results are identical at any size, cache on or off.
     """
     if not 0.0 < relative_band <= 1.0:
         raise InferenceError("relative_band must be in (0, 1]")
@@ -241,7 +246,7 @@ def tornado_analysis(network: BayesianNetwork, *, query: str,
         chunk_fn = partial(_tornado_chunk,
                            [network.cpt(name) for name in order],
                            network.name, query, query_state, evidence,
-                           relative_band, baseline)
+                           relative_band, baseline, engine_cache_size)
         entries: List[TornadoEntry] = executor.map_chunked(chunk_fn, specs)
         sp.set_attribute("n_entries", len(entries))
     return sorted(entries, key=lambda e: -e.swing)

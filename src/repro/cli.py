@@ -37,10 +37,12 @@ def _fmt(value) -> str:
     return str(value)
 
 
-def cmd_fig4(_: argparse.Namespace) -> None:
+def cmd_fig4(args: argparse.Namespace) -> None:
     from repro.bayesnet.engine import CompiledNetwork
     from repro.perception.chain import build_fig4_network
-    engine = CompiledNetwork(build_fig4_network())
+    engine = CompiledNetwork(build_fig4_network(),
+                             cache_size=getattr(args, "engine_cache_size",
+                                                None))
     print("Fig. 4 network:", engine.network)
     print("\nForward P(perception):")
     _print_table(["state", "probability"],
@@ -55,7 +57,9 @@ def cmd_fig4(_: argparse.Namespace) -> None:
     stats = engine.stats
     print(f"\nengine: {stats.queries} scalar + {stats.batch_queries} batched "
           f"queries ({stats.batch_rows} rows), plan hit rate "
-          f"{stats.plan_hit_rate:.2f}, {stats.recompiles} compile(s)")
+          f"{stats.plan_hit_rate:.2f}, evidence-cache hit rate "
+          f"{stats.evidence_cache_hit_rate:.2f}, "
+          f"{stats.recompiles} compile(s)")
 
 
 def cmd_table1(_: argparse.Namespace) -> None:
@@ -154,6 +158,8 @@ def cmd_experiments(_: argparse.Namespace) -> None:
          "test_bench_telemetry"),
         ("EXT-Q", "vectorized sampling + parallel scaling",
          "test_bench_parallel_sampling"),
+        ("EXT-R", "incremental evidence propagation",
+         "test_bench_incremental_evidence"),
     ]
     _print_table(["id", "artifact", "benchmark module"], experiments)
     print("\nRun one with:  pytest benchmarks/<module>.py --benchmark-only -s")
@@ -189,12 +195,14 @@ def cmd_campaign(args: argparse.Namespace) -> None:
     from repro.bayesnet.engine import CompiledNetwork
     from repro.perception.chain import build_fig4_network
     from repro.robustness.campaign import CampaignConfig, run_campaign
+    cache_size = getattr(args, "engine_cache_size", None)
     config = CampaignConfig(seed=args.seed, trials=args.trials,
                             intensities=tuple(args.intensities),
                             n_channels=args.channels, fusion=args.fusion,
                             workers=getattr(args, "workers", 1),
-                            backend=getattr(args, "backend", None))
-    engine = CompiledNetwork(build_fig4_network())
+                            backend=getattr(args, "backend", None),
+                            engine_cache_size=cache_size)
+    engine = CompiledNetwork(build_fig4_network(), cache_size=cache_size)
     report = run_campaign(config, engine=engine)
     print(report.to_markdown())
 
@@ -244,7 +252,7 @@ _TRACEABLE_COMMANDS = ("fig4", "table1", "strategy", "matrix",
                        "experiments", "campaign")
 
 #: Commands that take no options (a bare subparser each).
-_SIMPLE_COMMANDS = ("fig4", "table1", "strategy", "matrix", "dossier",
+_SIMPLE_COMMANDS = ("table1", "strategy", "matrix", "dossier",
                     "experiments")
 
 
@@ -260,6 +268,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                 metavar="command")
     for name in _SIMPLE_COMMANDS:
         sub.add_parser(name, help=f"regenerate the {name} artifact")
+
+    fig4 = sub.add_parser(
+        "fig4", help="regenerate the fig4 artifact")
 
     inject = sub.add_parser(
         "inject", help="inject one fault model into the perception stack")
@@ -295,6 +306,12 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--intensities", type=float, nargs="+",
                        default=[0.25, 0.5, 1.0],
                        help="intensity sweep when target is 'campaign'")
+
+    for p in (fig4, campaign, trace, metrics):
+        p.add_argument("--engine-cache-size", type=int, default=None,
+                       metavar="N",
+                       help="evidence-keyed posterior cache capacity "
+                            "(default: engine default; 0 disables)")
 
     for p in (campaign, trace, metrics):
         p.add_argument("--workers", type=int, default=1,

@@ -109,18 +109,22 @@ def expected_value_of_perfect_information(
     return max(0.0, eu_perfect - eu_now)
 
 
-def _evo_chunk(network: BayesianNetwork, problem: DecisionProblem,
+def _evo_chunk(problem: DecisionProblem,
                evidence: Optional[Mapping[str, str]],
+               base: "CompiledNetwork",
                observables: Sequence[str]) -> List[Tuple[str, float]]:
-    """EVO scores for one chunk of observables on a private engine.
+    """EVO scores for one chunk of observables on a forked engine.
 
-    A fresh :class:`~repro.bayesnet.engine.CompiledNetwork` per chunk
-    keeps thread-backend chunks from racing on one engine's caches and
-    gives process-backend workers something picklable to build from;
+    ``base`` is the once-shipped shared context of
+    :meth:`~repro.parallel.ParallelExecutor.map_with_context`: a
+    prewarmed :class:`~repro.bayesnet.engine.CompiledNetwork` whose
+    compiled plans, joint tables and calibrated junction tree arrive in
+    every worker ready to use.  Each chunk forks it — sharing the warm
+    immutable artifacts, privatizing the mutable caches — so
+    thread-backend chunks never race and nothing recompiles per chunk;
     every EVO is exact arithmetic, so chunking changes nothing.
     """
-    from repro.bayesnet.engine import CompiledNetwork
-    engine = CompiledNetwork(network)
+    engine = base.fork()
     return [(name, expected_value_of_observation(engine, problem, name,
                                                  evidence))
             for name in observables]
@@ -136,18 +140,32 @@ def rank_observables(network: NetworkOrEngine, problem: DecisionProblem,
     Serially the engine handle is resolved once and shared across the
     whole ranking, so every observable's sweep reuses the same compiled
     plans.  With a parallel ``executor`` the observables fan out in
-    chunks, each on a private engine; scores are exact either way, so
-    the ranking is identical on every backend.
+    chunks over one prewarmed engine shipped to workers once
+    (:meth:`~repro.parallel.ParallelExecutor.map_with_context`) and
+    forked per chunk; scores are exact either way, so the ranking is
+    identical on every backend.
     """
+    from repro.bayesnet.engine import CompiledNetwork
+
     engine = as_engine(network)
     executor = executor or ParallelExecutor()
     with tracing.span("voi.rank", target=problem.target,
                       n_observables=len(observables)):
         underlying = getattr(engine, "network", None)
-        if executor.workers > 1 and isinstance(underlying, BayesianNetwork):
-            scored = executor.map_chunked(
-                partial(_evo_chunk, underlying, problem, evidence),
-                observables)
+        if executor.workers > 1:
+            base = None
+            if isinstance(engine, CompiledNetwork):
+                base = engine
+            elif isinstance(underlying, BayesianNetwork):
+                base = CompiledNetwork(underlying)
+            if base is not None:
+                scored = executor.map_with_context(
+                    partial(_evo_chunk, problem, evidence),
+                    base.prewarm(), observables)
+            else:
+                scored = [(name, expected_value_of_observation(
+                    engine, problem, name, evidence))
+                    for name in observables]
         else:
             scored = [(name, expected_value_of_observation(
                 engine, problem, name, evidence))

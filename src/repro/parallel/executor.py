@@ -87,28 +87,59 @@ class _SeededCall:
         return self.fn(item, rng)
 
 
-def _process_chunk(payload) -> Tuple[List[Any], List[SpanRecord], list]:
-    """Chunk entry point inside a pool worker.
+#: Per-process shared context installed by the pool initializer for
+#: :meth:`ParallelExecutor.map_with_context` — shipped to each worker
+#: exactly once instead of once per chunk.
+_WORKER_CONTEXT: Any = None
 
-    Returns ``(results, finished spans, counter deltas)``.  When the
-    parent was tracing, the chunk runs under a fresh local tracer so the
-    zero-cost-when-disabled gates see tracing enabled exactly as they
-    would in the parent; the spans travel home for adoption.  Counter
-    deltas are measured against a snapshot taken on entry, so only the
-    increments this chunk caused are shipped.
+
+def _init_worker_context(context: Any) -> None:
+    """Pool initializer: stash the once-shipped shared context."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_traced(fn: Callable[..., List[Any]], *args
+                ) -> Tuple[List[Any], List[SpanRecord], list]:
+    """Run one chunk function under worker-side telemetry capture.
+
+    Returns ``(results, finished spans, counter deltas)``: the chunk
+    runs under a fresh local tracer so the zero-cost-when-disabled gates
+    see tracing enabled exactly as they would in the parent; the spans
+    travel home for adoption.  Counter deltas are measured against a
+    snapshot taken on entry, so only the increments this chunk caused
+    are shipped.
     """
-    fn, chunk, traced = payload
     registry = get_registry()
     before = registry.counter_snapshot()
+    local = Tracer(max_spans=DEFAULT_MAX_SPANS)
+    with tracing.session(local):
+        results = fn(*args)
+    return results, list(local.finished), registry.counter_deltas(before)
+
+
+def _process_chunk(payload) -> Tuple[List[Any], List[SpanRecord], list]:
+    """Chunk entry point inside a pool worker (plain ``fn(chunk)``)."""
+    fn, chunk, traced = payload
     if traced:
-        local = Tracer(max_spans=DEFAULT_MAX_SPANS)
-        with tracing.session(local):
-            results = fn(chunk)
-        spans = list(local.finished)
-    else:
-        results = fn(chunk)
-        spans = []
-    return results, spans, registry.counter_deltas(before)
+        return _run_traced(fn, chunk)
+    registry = get_registry()
+    before = registry.counter_snapshot()
+    results = fn(chunk)
+    return results, [], registry.counter_deltas(before)
+
+
+def _process_chunk_with_context(payload
+                                ) -> Tuple[List[Any], List[SpanRecord], list]:
+    """Chunk entry point for context maps: ``fn(context, chunk)`` where
+    the context was installed once per worker by the pool initializer."""
+    fn, chunk, traced = payload
+    if traced:
+        return _run_traced(fn, _WORKER_CONTEXT, chunk)
+    registry = get_registry()
+    before = registry.counter_snapshot()
+    results = fn(_WORKER_CONTEXT, chunk)
+    return results, [], registry.counter_deltas(before)
 
 
 class ParallelExecutor:
@@ -154,6 +185,54 @@ class ParallelExecutor:
         items = list(items)
         rngs = spawn_generators(seed, len(items))
         return self.map(_SeededCall(fn), list(zip(items, rngs)))
+
+    def map_with_context(self,
+                         fn: Callable[[Any, Sequence[Any]], List[Any]],
+                         context: Any, items: Iterable[Any]) -> List[Any]:
+        """Chunked map with one shared, read-only context object.
+
+        ``fn(context, chunk)`` must return one result per chunk item.
+        The serial and thread backends pass ``context`` straight through
+        (workers that need private mutable state should fork it, e.g.
+        :meth:`~repro.bayesnet.engine.CompiledNetwork.fork`); the
+        process backend pickles ``context`` **once per worker** via the
+        pool initializer — not once per chunk — so an expensive payload
+        like a prewarmed compiled engine ships a fixed number of times
+        regardless of how many chunks the sweep fans out.
+        """
+        items = list(items)
+        if not items:
+            return []
+        chunks = self._split(items)
+        with tracing.span("parallel.map", backend=self.backend,
+                          workers=self.workers, items=len(items),
+                          chunks=len(chunks)):
+            if self.backend == "process" and self.workers > 1 \
+                    and len(chunks) > 1:
+                traced = tracing.enabled()
+                payloads = [(fn, chunk, traced) for chunk in chunks]
+                with ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        initializer=_init_worker_context,
+                        initargs=(context,)) as pool:
+                    raw = list(pool.map(_process_chunk_with_context,
+                                        payloads))
+                outputs = self._adopt_process_outputs(raw)
+            elif self.backend == "thread" and self.workers > 1 \
+                    and len(chunks) > 1:
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    futures = [pool.submit(contextvars.copy_context().run,
+                                           fn, context, chunk)
+                               for chunk in chunks]
+                    outputs = [future.result() for future in futures]
+            else:
+                outputs = [fn(context, chunk) for chunk in chunks]
+        results = [result for chunk_out in outputs for result in chunk_out]
+        if len(results) != len(items):
+            raise ParallelError(
+                f"chunk function returned {len(results)} results for "
+                f"{len(items)} items — it must return one result per item")
+        return results
 
     def map_chunked(self, fn: Callable[[Sequence[Any]], List[Any]],
                     items: Iterable[Any]) -> List[Any]:
@@ -211,6 +290,10 @@ class ParallelExecutor:
         payloads = [(fn, chunk, traced) for chunk in chunks]
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             outputs = list(pool.map(_process_chunk, payloads))
+        return self._adopt_process_outputs(outputs)
+
+    def _adopt_process_outputs(self, outputs):
+        """Fold worker telemetry home; return the bare chunk results."""
         tracer = tracing.active()
         parent = tracer.current_span() if tracer is not None else None
         registry = get_registry()

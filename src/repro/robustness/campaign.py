@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.bayesnet.engine import InferenceEngine, as_engine
+from repro.bayesnet.engine import CompiledNetwork, InferenceEngine, as_engine
 from repro.errors import InjectionError
 from repro.parallel import BACKENDS, ParallelExecutor
 from repro.perception.chain import PerceptionChain, build_fig4_network
@@ -88,10 +88,15 @@ class CampaignConfig:
     fusion: str = "conservative"
     workers: int = 1
     backend: Optional[str] = None
+    engine_cache_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.trials <= 0:
             raise InjectionError(f"trials must be positive, got {self.trials}")
+        if self.engine_cache_size is not None and self.engine_cache_size < 0:
+            raise InjectionError(
+                "engine_cache_size must be non-negative, got "
+                f"{self.engine_cache_size}")
         if self.workers < 1:
             raise InjectionError(
                 f"workers must be at least 1, got {self.workers}")
@@ -216,8 +221,10 @@ def run_campaign(config: Optional[CampaignConfig] = None,
 
     ``engine`` is the compiled inference handle used for the model-side
     diagnostic reference; by default one is compiled over the Fig. 4
-    network.  Its instrumentation snapshot is exported into the report so
-    campaign evidence records what the engine actually did.
+    network with ``config.engine_cache_size`` bounding its
+    evidence-keyed posterior cache.  Its instrumentation snapshot is
+    exported into the report so campaign evidence records what the
+    engine actually did.
 
     The (fault, intensity) grid is fanned out through a
     :class:`~repro.parallel.ParallelExecutor` built from
@@ -228,8 +235,9 @@ def run_campaign(config: Optional[CampaignConfig] = None,
     """
     config = config or CampaignConfig()
     world = world or WorldModel()
-    engine = as_engine(engine if engine is not None
-                       else build_fig4_network())
+    engine = (as_engine(engine) if engine is not None
+              else CompiledNetwork(build_fig4_network(),
+                                   cache_size=config.engine_cache_size))
     executor = executor or ParallelExecutor(workers=config.workers,
                                             backend=config.backend)
 

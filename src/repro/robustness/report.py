@@ -201,7 +201,9 @@ class RobustnessReport:
             # the "same seed, same report" bit-for-bit contract.
             for key in ("queries", "batch_queries", "batch_rows",
                         "plan_hits", "plan_misses", "plan_hit_rate",
-                        "recompiles"):
+                        "evidence_cache_hits", "evidence_cache_misses",
+                        "evidence_cache_hit_rate", "messages_recomputed",
+                        "messages_total", "recompiles"):
                 if key in self.engine_stats:
                     value = self.engine_stats[key]
                     text = (f"{value:.6g}" if isinstance(value, float)

@@ -346,6 +346,20 @@ ENGINE_QUERY_SECONDS = REGISTRY.histogram(
     "Latency of inference-engine queries under telemetry, by kind.",
     labels=("kind",))
 
+#: Evidence-keyed posterior-cache lookups, by hit/miss outcome.
+ENGINE_EVIDENCE_CACHE_REQUESTS = REGISTRY.counter(
+    "repro_engine_evidence_cache_requests_total",
+    "Engine evidence-keyed posterior-cache lookups under telemetry, "
+    "by result.",
+    labels=("result",))
+
+#: Junction-tree messages per calibration, by recomputed/reused outcome.
+ENGINE_JT_MESSAGES = REGISTRY.counter(
+    "repro_engine_jt_messages_total",
+    "Junction-tree messages handled by incremental calibration under "
+    "telemetry, by result (recomputed vs reused).",
+    labels=("result",))
+
 #: Campaign cells executed, tagged with the paper's uncertainty type.
 CAMPAIGN_FAULT_CELLS = REGISTRY.counter(
     "repro_campaign_fault_cells_total",

@@ -1,0 +1,275 @@
+"""The engine's evidence-keyed posterior cache: hits, eviction, safety.
+
+The cache's contract is strictly observational: answers are byte-identical
+with the cache on, off, or at any capacity; only the work performed (and
+the :class:`~repro.bayesnet.engine.EngineStats` counters recording it)
+changes.  Zero-probability evidence is the sharp edge — an
+:class:`~repro.errors.InferenceError` must never be swallowed into the
+cache and served later as a stale posterior.
+"""
+
+import pytest
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.engine import (
+    DEFAULT_EVIDENCE_CACHE_SIZE,
+    CompiledNetwork,
+    EngineStats,
+)
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.variable import boolean_variable
+from repro.errors import EngineError, InferenceError
+from repro.perception.chain import build_fig4_network
+
+OUTPUTS = ("car", "pedestrian", "car/pedestrian", "none")
+
+
+def sprinkler_network():
+    cloudy = boolean_variable("cloudy")
+    sprinkler = boolean_variable("sprinkler")
+    rain = boolean_variable("rain")
+    wet = boolean_variable("wet")
+    bn = BayesianNetwork("sprinkler")
+    bn.add_cpt(CPT.prior(cloudy, {"true": 0.5, "false": 0.5}))
+    bn.add_cpt(CPT.from_dict(sprinkler, [cloudy], {
+        ("true",): {"true": 0.1, "false": 0.9},
+        ("false",): {"true": 0.5, "false": 0.5}}))
+    bn.add_cpt(CPT.from_dict(rain, [cloudy], {
+        ("true",): {"true": 0.8, "false": 0.2},
+        ("false",): {"true": 0.2, "false": 0.8}}))
+    bn.add_cpt(CPT.from_dict(wet, [sprinkler, rain], {
+        ("true", "true"): {"true": 0.99, "false": 0.01},
+        ("true", "false"): {"true": 0.9, "false": 0.1},
+        ("false", "true"): {"true": 0.9, "false": 0.1},
+        ("false", "false"): {"true": 0.0, "false": 1.0}}))
+    return bn
+
+
+class TestStatsRegressions:
+    def test_plan_hit_rate_zero_division(self):
+        """Regression: a fresh stats block must report 0.0, not raise."""
+        assert EngineStats().plan_hit_rate == 0.0
+
+    def test_evidence_cache_hit_rate_zero_division(self):
+        assert EngineStats().evidence_cache_hit_rate == 0.0
+
+    def test_snapshot_contains_cache_fields_sorted(self):
+        snap = EngineStats().snapshot()
+        assert list(snap) == sorted(snap)
+        for key in ("evidence_cache_hits", "evidence_cache_misses",
+                    "evidence_cache_hit_rate", "messages_recomputed",
+                    "messages_total"):
+            assert key in snap
+
+
+class TestCacheCounters:
+    def test_repeat_query_hits(self):
+        engine = CompiledNetwork(build_fig4_network())
+        first = engine.query("ground_truth", {"perception": "car"})
+        second = engine.query("ground_truth", {"perception": "car"})
+        assert second == first
+        assert engine.stats.evidence_cache_hits == 1
+        assert engine.stats.evidence_cache_misses == 1
+        assert engine.stats.evidence_cache_hit_rate == 0.5
+
+    def test_distinct_evidence_misses(self):
+        engine = CompiledNetwork(build_fig4_network())
+        for o in OUTPUTS:
+            engine.query("ground_truth", {"perception": o})
+        assert engine.stats.evidence_cache_hits == 0
+        assert engine.stats.evidence_cache_misses == len(OUTPUTS)
+
+    def test_probability_of_evidence_cached(self):
+        engine = CompiledNetwork(sprinkler_network())
+        p1 = engine.probability_of_evidence({"wet": "true"})
+        p2 = engine.probability_of_evidence({"wet": "true"})
+        assert p1 == p2
+        assert engine.stats.evidence_cache_hits == 1
+
+    def test_marginals_cached(self):
+        engine = CompiledNetwork(sprinkler_network())
+        first = engine.marginals({"rain": "true"})
+        second = engine.marginals({"rain": "true"})
+        assert second == first
+        assert engine.stats.evidence_cache_hits == 1
+
+    def test_query_batch_rows_populate_and_hit_the_cache(self):
+        engine = CompiledNetwork(build_fig4_network())
+        rows = [{"perception": o} for o in OUTPUTS]
+        batched = engine.query_batch("ground_truth", rows)
+        assert engine.stats.evidence_cache_hits == 0
+        # Scalar queries now hit what the batch populated, and vice versa.
+        for row, want in zip(rows, batched):
+            assert engine.query("ground_truth", row) == want
+        assert engine.stats.evidence_cache_hits == len(rows)
+        rebatched = engine.query_batch("ground_truth", rows)
+        assert rebatched == batched
+        assert engine.stats.evidence_cache_hits == 2 * len(rows)
+
+
+class TestCapacityAndEviction:
+    def test_negative_cache_size_raises(self):
+        with pytest.raises(EngineError):
+            CompiledNetwork(build_fig4_network(), cache_size=-1)
+
+    def test_default_capacity(self):
+        engine = CompiledNetwork(build_fig4_network())
+        assert engine._cache_size == DEFAULT_EVIDENCE_CACHE_SIZE
+
+    def test_lru_eviction_at_capacity(self):
+        engine = CompiledNetwork(build_fig4_network(), cache_size=2)
+        engine.query("ground_truth", {"perception": "car"})        # miss
+        engine.query("ground_truth", {"perception": "none"})       # miss
+        engine.query("ground_truth", {"perception": "car"})        # hit
+        engine.query("ground_truth", {"perception": "pedestrian"})  # evicts none
+        engine.query("ground_truth", {"perception": "none"})       # miss again
+        assert engine.stats.evidence_cache_hits == 1
+        assert engine.stats.evidence_cache_misses == 4
+        assert len(engine._evidence_cache) == 2
+
+    def test_capacity_zero_disables_storage_but_counts_misses(self):
+        """Size 0 keeps the instrumentation comparable with the cache on:
+        the same lookups happen, they just never hit."""
+        engine = CompiledNetwork(build_fig4_network(), cache_size=0)
+        a = engine.query("ground_truth", {"perception": "car"})
+        b = engine.query("ground_truth", {"perception": "car"})
+        assert a == b
+        assert engine.stats.evidence_cache_hits == 0
+        assert engine.stats.evidence_cache_misses == 2
+        assert len(engine._evidence_cache) == 0
+
+
+class TestInvalidation:
+    def test_invalidate_drops_cached_posteriors(self):
+        engine = CompiledNetwork(build_fig4_network())
+        engine.query("ground_truth", {"perception": "car"})
+        engine.invalidate()
+        assert len(engine._evidence_cache) == 0
+        engine.query("ground_truth", {"perception": "car"})
+        assert engine.stats.evidence_cache_hits == 0
+
+    def test_replace_cpt_yields_fresh_answers(self):
+        """Parameter mutation must never serve pre-mutation posteriors."""
+        bn = sprinkler_network()
+        engine = CompiledNetwork(bn)
+        before = engine.query("rain", {"wet": "true"})
+        cpt = bn.cpt("rain")
+        bn.replace_cpt(CPT.from_dict(cpt.child, list(cpt.parents), {
+            ("true",): {"true": 0.99, "false": 0.01},
+            ("false",): {"true": 0.01, "false": 0.99}}))
+        after = engine.query("rain", {"wet": "true"})
+        assert after != before
+
+    def test_returned_dict_mutation_cannot_corrupt_the_cache(self):
+        engine = CompiledNetwork(build_fig4_network())
+        first = engine.query("ground_truth", {"perception": "car"})
+        first["car"] = 123.0
+        second = engine.query("ground_truth", {"perception": "car"})
+        assert second["car"] != 123.0
+        assert engine.stats.evidence_cache_hits == 1
+
+    def test_returned_marginals_mutation_isolated(self):
+        engine = CompiledNetwork(sprinkler_network())
+        first = engine.marginals({"rain": "true"})
+        first["wet"]["true"] = 123.0
+        second = engine.marginals({"rain": "true"})
+        assert second["wet"]["true"] != 123.0
+
+
+class TestZeroProbabilityThroughTheCache:
+    def _impossible(self):
+        # sprinkler=false & rain=false makes wet=true impossible.
+        return {"sprinkler": "false", "rain": "false", "wet": "true"}
+
+    def test_zero_prob_error_not_cached_as_posterior(self):
+        """The satellite claim: a cached InferenceError must never come
+        back as a stale posterior — it re-raises on every repeat."""
+        engine = CompiledNetwork(sprinkler_network())
+        for _ in range(3):
+            with pytest.raises(InferenceError, match="probability 0"):
+                engine.query("cloudy", self._impossible())
+        assert engine.stats.evidence_cache_hits == 0
+        assert len(engine._evidence_cache) == 0
+
+    def test_zero_prob_marginals_keep_raising(self):
+        engine = CompiledNetwork(sprinkler_network())
+        for _ in range(2):
+            with pytest.raises(InferenceError, match="probability 0"):
+                engine.marginals(self._impossible())
+        assert engine.stats.evidence_cache_hits == 0
+
+    def test_zero_p_of_e_is_cacheable_value_not_error(self):
+        """P(evidence) = 0.0 is a legitimate answer (not an error) and the
+        sentinel-based cache must be able to store and serve it."""
+        engine = CompiledNetwork(sprinkler_network())
+        assert engine.probability_of_evidence(self._impossible()) == 0.0
+        assert engine.probability_of_evidence(self._impossible()) == 0.0
+        assert engine.stats.evidence_cache_hits == 1
+
+    def test_query_batch_zero_prob_row_error_contract(self):
+        engine = CompiledNetwork(sprinkler_network())
+        rows = [{"wet": "true"}, self._impossible()]
+        with pytest.raises(InferenceError, match="probability 0"):
+            engine.query_batch("cloudy", rows)
+        # The good row's answer is still fully available afterwards.
+        out = engine.query("cloudy", {"wet": "true"})
+        assert sum(out.values()) == pytest.approx(1.0)
+
+    def test_good_evidence_after_zero_prob_unaffected(self):
+        engine = CompiledNetwork(sprinkler_network())
+        with pytest.raises(InferenceError):
+            engine.query("cloudy", self._impossible())
+        good = engine.query("cloudy", {"wet": "true"})
+        reference = CompiledNetwork(sprinkler_network(), cache_size=0) \
+            .query("cloudy", {"wet": "true"})
+        assert good == reference
+
+
+class TestCacheTransparency:
+    """Byte-identity: cache on, off, tiny — the numbers never move."""
+
+    def test_query_identical_at_every_capacity(self):
+        rows = [{"perception": o} for o in OUTPUTS] * 3
+        reference = None
+        for size in (0, 1, 1024):
+            engine = CompiledNetwork(build_fig4_network(), cache_size=size)
+            got = [engine.query("ground_truth", r) for r in rows]
+            if reference is None:
+                reference = got
+            else:
+                assert got == reference
+
+    def test_batch_and_marginals_identical_cache_on_off(self):
+        rows = [{"rain": "true"}, {"rain": "false"}, {"rain": "true"}]
+        on = CompiledNetwork(sprinkler_network())
+        off = CompiledNetwork(sprinkler_network(), cache_size=0)
+        assert on.query_batch("wet", rows) == off.query_batch("wet", rows)
+        assert on.marginals({"wet": "true"}) == off.marginals({"wet": "true"})
+        assert on.probability_of_evidence({"wet": "true"}) == \
+            off.probability_of_evidence({"wet": "true"})
+
+
+class TestPrewarmAndFork:
+    def test_prewarm_returns_self_and_calibrates(self):
+        engine = CompiledNetwork(sprinkler_network())
+        assert engine.prewarm() is engine
+        assert engine.stats.messages_total > 0
+        assert engine.stats.messages_recomputed == engine.stats.messages_total
+
+    def test_fork_shares_cache_content_with_fresh_stats(self):
+        engine = CompiledNetwork(build_fig4_network())
+        want = engine.query("ground_truth", {"perception": "car"})
+        clone = engine.fork()
+        assert clone.stats.queries == 0
+        assert clone.query("ground_truth", {"perception": "car"}) == want
+        assert clone.stats.evidence_cache_hits == 1
+
+    def test_forked_engines_answer_independently(self):
+        engine = CompiledNetwork(sprinkler_network()).prewarm()
+        clone = engine.fork()
+        a = engine.marginals({"rain": "true"})
+        b = clone.marginals({"rain": "false"})
+        assert a["wet"] != b["wet"]
+        reference = CompiledNetwork(sprinkler_network())
+        assert a == reference.marginals({"rain": "true"})
+        assert b == reference.marginals({"rain": "false"})

@@ -141,3 +141,78 @@ class TestScalarFactor:
         assert ScalarFactor(2.0).normalize().partition() == 1.0
         with pytest.raises(InferenceError):
             ScalarFactor(0.0).normalize()
+
+
+class TestInPlaceOperations:
+    """The ``out=``/``imultiply`` variants used by message passing."""
+
+    def test_multiply_into_out_buffer(self):
+        fa = Factor([A, B], np.random.default_rng(2).random((2, 3)))
+        fb = Factor([B], np.array([1.0, 2.0, 3.0]))
+        buffer = np.empty((2, 3))
+        prod = fa.multiply(fb, out=buffer)
+        assert prod.table is buffer
+        want = fa.multiply(fb)
+        assert np.array_equal(prod.table, want.table)
+
+    def test_multiply_out_shape_mismatch_raises(self):
+        fa = Factor([A], np.array([0.4, 0.6]))
+        fb = Factor([B], np.array([0.2, 0.3, 0.5]))
+        with pytest.raises(InferenceError):
+            fa.multiply(fb, out=np.empty((3, 2)))
+
+    def test_imultiply_folds_subset_scope_in_place(self):
+        fab = Factor([A, B], np.ones((2, 3)))
+        fb = Factor([B], np.array([1.0, 2.0, 3.0]))
+        table_before = fab.table
+        result = fab.imultiply(fb)
+        assert result is fab
+        assert fab.table is table_before
+        assert fab.table[0].tolist() == [1.0, 2.0, 3.0]
+
+    def test_imultiply_wider_scope_raises(self):
+        fa = Factor([A], np.array([0.4, 0.6]))
+        fab = Factor([A, B], np.ones((2, 3)))
+        with pytest.raises(InferenceError):
+            fa.imultiply(fab)
+
+    def test_imultiply_scalar_scales_in_place(self):
+        f = Factor([A], np.array([1.0, 3.0]))
+        f.imultiply(ScalarFactor(0.5))
+        assert f.table.tolist() == [0.5, 1.5]
+
+    def test_scalar_imultiply_scalar(self):
+        s = ScalarFactor(2.0).imultiply(ScalarFactor(3.0))
+        assert isinstance(s, ScalarFactor)
+        assert s.partition() == 6.0
+
+    def test_scalar_imultiply_wider_raises(self):
+        with pytest.raises(InferenceError):
+            ScalarFactor(1.0).imultiply(Factor.ones([A]))
+
+    def test_marginalize_into_out_buffer(self):
+        f = Factor([A, B], np.arange(6, dtype=float).reshape(2, 3))
+        buffer = np.empty(2)
+        m = f.marginalize(["B"], out=buffer)
+        assert m.table is buffer
+        assert buffer.tolist() == [3.0, 12.0]
+
+    def test_marginalize_out_shape_mismatch_raises(self):
+        f = Factor([A, B], np.ones((2, 3)))
+        with pytest.raises(InferenceError):
+            f.marginalize(["B"], out=np.empty(3))
+
+    def test_marginalize_no_axes_copies_into_out(self):
+        f = Factor([A], np.array([0.3, 0.7]))
+        buffer = np.empty(2)
+        m = f.marginalize([], out=buffer)
+        assert m.table is buffer
+        assert buffer.tolist() == [0.3, 0.7]
+        buffer[0] = 9.0
+        assert f.table[0] == 0.3  # the source table is untouched
+
+    def test_marginalize_to_scalar_ignores_out(self):
+        f = Factor([A], np.array([0.3, 0.7]))
+        s = f.marginalize(["A"], out=np.empty(()))
+        assert isinstance(s, ScalarFactor)
+        assert s.partition() == pytest.approx(1.0)

@@ -1,0 +1,219 @@
+"""Incremental junction-tree calibration: correctness and work accounting.
+
+The tree's contract is that ``calibrate(evidence)`` after any previous
+calibration produces exactly the beliefs a freshly-built tree would —
+while re-propagating only the messages behind cliques whose attached
+evidence changed.  Every test pins one face of that: numerical equality
+against a fresh tree over randomized evidence sequences, message-work
+counters on single flips and no-ops, recovery after zero-probability
+evidence, and fork isolation.
+"""
+
+import math
+
+import pytest
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.inference.junction_tree import JunctionTree
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.variable import Variable, boolean_variable
+from repro.errors import GraphError, InferenceError
+
+
+def sprinkler_network():
+    cloudy = boolean_variable("cloudy")
+    sprinkler = boolean_variable("sprinkler")
+    rain = boolean_variable("rain")
+    wet = boolean_variable("wet")
+    bn = BayesianNetwork("sprinkler")
+    bn.add_cpt(CPT.prior(cloudy, {"true": 0.5, "false": 0.5}))
+    bn.add_cpt(CPT.from_dict(sprinkler, [cloudy], {
+        ("true",): {"true": 0.1, "false": 0.9},
+        ("false",): {"true": 0.5, "false": 0.5}}))
+    bn.add_cpt(CPT.from_dict(rain, [cloudy], {
+        ("true",): {"true": 0.8, "false": 0.2},
+        ("false",): {"true": 0.2, "false": 0.8}}))
+    bn.add_cpt(CPT.from_dict(wet, [sprinkler, rain], {
+        ("true", "true"): {"true": 0.99, "false": 0.01},
+        ("true", "false"): {"true": 0.9, "false": 0.1},
+        ("false", "true"): {"true": 0.9, "false": 0.1},
+        ("false", "false"): {"true": 0.0, "false": 1.0}}))
+    return bn
+
+
+def chain_network(n_nodes=12):
+    bn = BayesianNetwork(f"chain-{n_nodes}")
+    prev = boolean_variable("n0")
+    bn.add_cpt(CPT.prior(prev, {"true": 0.3, "false": 0.7}))
+    for i in range(1, n_nodes):
+        cur = boolean_variable(f"n{i}")
+        bn.add_cpt(CPT.from_dict(cur, [prev], {
+            ("true",): {"true": 0.85, "false": 0.15},
+            ("false",): {"true": 0.25, "false": 0.75}}))
+        prev = cur
+    return bn
+
+
+def _assert_matches_fresh(bn, jt, evidence):
+    """The incremental tree's marginals equal a from-scratch tree's."""
+    fresh = JunctionTree(bn.factors())
+    fresh.calibrate(evidence)
+    for name in bn.dag.nodes:
+        want = fresh.marginal(name)
+        got = jt.marginal(name)
+        for state, p in want.items():
+            assert got[state] == pytest.approx(p, abs=1e-12), (name, evidence)
+    assert jt.log_evidence() == pytest.approx(fresh.log_evidence(), abs=1e-10)
+
+
+class TestIncrementalEqualsFresh:
+    def test_sprinkler_random_evidence_sequence(self):
+        import numpy as np
+        bn = sprinkler_network()
+        jt = JunctionTree(bn.factors())
+        rng = np.random.default_rng(7)
+        names = list(bn.dag.nodes)
+        evidence = {}
+        for _ in range(40):
+            name = names[int(rng.integers(len(names)))]
+            move = int(rng.integers(3))
+            if move == 0:
+                evidence.pop(name, None)
+            else:
+                evidence[name] = "true" if move == 1 else "false"
+            try:
+                jt.calibrate(evidence)
+            except InferenceError:
+                # Contradictory evidence (P=0) — a fresh tree must agree.
+                with pytest.raises(InferenceError):
+                    fresh = JunctionTree(bn.factors())
+                    fresh.calibrate(evidence)
+                evidence = {}
+                jt.calibrate(evidence)
+            _assert_matches_fresh(bn, jt, evidence)
+
+    def test_chain_walk_single_flips(self):
+        bn = chain_network(12)
+        jt = JunctionTree(bn.factors())
+        jt.calibrate({})
+        evidence = {}
+        for i in (0, 3, 7, 11, 7, 3):
+            evidence = dict(evidence)
+            evidence[f"n{i}"] = "true" if i % 2 == 0 else "false"
+            jt.calibrate(evidence)
+            _assert_matches_fresh(bn, jt, evidence)
+
+    def test_evidence_retraction(self):
+        bn = sprinkler_network()
+        jt = JunctionTree(bn.factors())
+        jt.calibrate({"wet": "true", "rain": "false"})
+        jt.calibrate({"wet": "true"})
+        _assert_matches_fresh(bn, jt, {"wet": "true"})
+        jt.calibrate({})
+        _assert_matches_fresh(bn, jt, {})
+
+    def test_evidence_marginal_is_delta(self):
+        bn = sprinkler_network()
+        jt = JunctionTree(bn.factors())
+        jt.calibrate({})
+        jt.calibrate({"rain": "true"})
+        assert jt.marginal("rain") == {"false": 0.0, "true": 1.0}
+
+
+class TestMessageWorkAccounting:
+    def test_first_calibration_recomputes_everything(self):
+        jt = JunctionTree(chain_network(12).factors())
+        jt.calibrate({})
+        assert jt.last_messages_total == 2 * (len(jt.cliques) - 1)
+        assert jt.last_messages_recomputed == jt.last_messages_total
+
+    def test_noop_recalibration_recomputes_nothing(self):
+        jt = JunctionTree(chain_network(12).factors())
+        jt.calibrate({"n5": "true"})
+        jt.calibrate({"n5": "true"})
+        assert jt.last_messages_recomputed == 0
+        assert jt.last_messages_total == 2 * (len(jt.cliques) - 1)
+
+    def test_single_flip_recomputes_strictly_fewer_messages(self):
+        """The headline claim: an end-of-chain flip re-propagates only the
+        messages out of the dirty clique, not the whole tree."""
+        jt = JunctionTree(chain_network(12).factors())
+        jt.calibrate({"n0": "true"})
+        jt.calibrate({"n0": "true", "n11": "true"})
+        assert 0 < jt.last_messages_recomputed < jt.last_messages_total
+
+    def test_cumulative_counters_accumulate(self):
+        jt = JunctionTree(chain_network(6).factors())
+        jt.calibrate({})
+        first = jt.messages_recomputed
+        assert first == jt.messages_total > 0
+        jt.calibrate({"n0": "true"})
+        assert jt.messages_total == 2 * first
+        assert first < jt.messages_recomputed < 2 * first
+
+
+class TestZeroProbabilityEvidence:
+    def _bn_with_impossible(self):
+        a = boolean_variable("a")
+        b = boolean_variable("b")
+        bn = BayesianNetwork("impossible")
+        bn.add_cpt(CPT.prior(a, {"true": 1.0, "false": 0.0}))
+        bn.add_cpt(CPT.from_dict(b, [a], {
+            ("true",): {"true": 0.5, "false": 0.5},
+            ("false",): {"true": 0.5, "false": 0.5}}))
+        return bn
+
+    def test_midsequence_zero_prob_raises_and_recovers(self):
+        bn = self._bn_with_impossible()
+        jt = JunctionTree(bn.factors())
+        jt.calibrate({})
+        with pytest.raises(InferenceError, match="probability 0"):
+            jt.calibrate({"a": "false"})
+        # The tree must not serve stale beliefs after the failure...
+        with pytest.raises(InferenceError):
+            jt.marginal("b")
+        # ...must keep raising on the same impossible evidence...
+        with pytest.raises(InferenceError, match="probability 0"):
+            jt.calibrate({"a": "false"})
+        # ...and must fully recover on possible evidence.
+        jt.calibrate({"a": "true"})
+        _assert_matches_fresh(bn, jt, {"a": "true"})
+
+    def test_unknown_state_fails_before_any_mutation(self):
+        bn = sprinkler_network()
+        jt = JunctionTree(bn.factors())
+        jt.calibrate({"rain": "true"})
+        with pytest.raises(GraphError):
+            jt.calibrate({"rain": "maybe"})
+        with pytest.raises(InferenceError):
+            jt.calibrate({"no_such_var": "true"})
+        # Recalibration after the rejected updates still works.
+        jt.calibrate({"rain": "false"})
+        _assert_matches_fresh(bn, jt, {"rain": "false"})
+
+
+class TestFork:
+    def test_fork_twins_diverge_independently(self):
+        bn = chain_network(8)
+        jt = JunctionTree(bn.factors())
+        jt.calibrate({"n0": "true"})
+        clone = jt.fork()
+        jt.calibrate({"n0": "true", "n7": "true"})
+        clone.calibrate({"n0": "false"})
+        _assert_matches_fresh(bn, jt, {"n0": "true", "n7": "true"})
+        _assert_matches_fresh(bn, clone, {"n0": "false"})
+
+    def test_fork_of_uncalibrated_tree(self):
+        bn = sprinkler_network()
+        clone = JunctionTree(bn.factors()).fork()
+        clone.calibrate({"wet": "true"})
+        _assert_matches_fresh(bn, clone, {"wet": "true"})
+
+    def test_forked_trees_share_log_evidence_semantics(self):
+        bn = sprinkler_network()
+        jt = JunctionTree(bn.factors())
+        jt.calibrate({"wet": "true"})
+        clone = jt.fork()
+        assert clone.log_evidence() == jt.log_evidence()
+        assert math.exp(clone.log_evidence()) == pytest.approx(
+            bn.probability_of_evidence({"wet": "true"}), abs=1e-9)

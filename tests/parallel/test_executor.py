@@ -219,3 +219,72 @@ class TestCounterDeltas:
         with pytest.raises(TelemetryError):
             registry.apply_counter_deltas([("repro_no_such_counter_total",
                                             (), 1.0)])
+
+
+def _ctx_scale(context, chunk):
+    return [context["scale"] * x for x in chunk]
+
+
+def _ctx_identity(context, chunk):
+    return [id(context)] * len(chunk)
+
+
+def _ctx_short(context, chunk):
+    return [0] * (len(chunk) - 1)
+
+
+def _ctx_traced_scale(context, chunk):
+    out = []
+    for x in chunk:
+        with tracing.span("ctx.unit", item=x):
+            _TEST_COUNTER.inc(shape="ctx")
+            out.append(context["scale"] * x)
+    return out
+
+
+class TestMapWithContext:
+    @pytest.mark.parametrize("backend,workers", SHAPES)
+    def test_results_identical_across_backends(self, backend, workers):
+        executor = ParallelExecutor(workers=workers, backend=backend)
+        items = list(range(17))
+        out = executor.map_with_context(_ctx_scale, {"scale": 3}, items)
+        assert out == [3 * x for x in items]
+
+    def test_empty_items(self):
+        executor = ParallelExecutor(workers=2, backend="process")
+        assert executor.map_with_context(_ctx_scale, {"scale": 3}, []) == []
+
+    def test_serial_and_thread_share_the_object(self):
+        """Non-process backends pass the context through by reference —
+        an expensive engine is never copied."""
+        context = {"scale": 1}
+        for backend, workers in (("serial", 1), ("thread", 4)):
+            executor = ParallelExecutor(workers=workers, backend=backend)
+            ids = executor.map_with_context(_ctx_identity, context,
+                                            list(range(8)))
+            assert set(ids) == {id(context)}
+
+    def test_process_ships_context_per_worker_not_per_chunk(self):
+        executor = ParallelExecutor(workers=2, backend="process",
+                                    chunk_size=1)
+        ids = executor.map_with_context(_ctx_identity, {"scale": 1},
+                                        list(range(12)))
+        # 12 chunks, at most 2 workers: the initializer-shipped context is
+        # pickled once per worker, so far fewer distinct copies than chunks.
+        assert 1 <= len(set(ids)) <= 2
+
+    def test_chunk_fn_must_cover_items(self):
+        executor = ParallelExecutor()
+        with pytest.raises(ParallelError):
+            executor.map_with_context(_ctx_short, {}, [1, 2, 3])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_telemetry_comes_home(self, backend):
+        before = _TEST_COUNTER.value(shape="ctx")
+        with telemetry.session() as tracer:
+            executor = ParallelExecutor(workers=2, backend=backend)
+            out = executor.map_with_context(_ctx_traced_scale, {"scale": 2},
+                                            list(range(6)))
+        assert out == [2 * x for x in range(6)]
+        assert tracer.span_counts()["ctx.unit"] == 6
+        assert _TEST_COUNTER.value(shape="ctx") - before == 6
