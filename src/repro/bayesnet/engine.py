@@ -286,6 +286,24 @@ class CompiledNetwork:
         self._evidence_cache[key] = value
         self._evidence_cache.move_to_end(key)
 
+    def cached_posterior(self, target: str,
+                         evidence: Optional[Mapping[str, str]] = None
+                         ) -> Optional[Dict[str, float]]:
+        """Evidence-cache peek: a scalar posterior if cached, else ``None``.
+
+        Never computes anything and never touches the hit/miss counters —
+        this is the serving runtime's cache-tier probe, and counting its
+        routine misses would skew the engine's cache statistics.
+        """
+        self._refresh()
+        key = ("query", self._structure_fp,
+               frozenset(dict(evidence or {}).items()), target)
+        value = self._evidence_cache.get(key, _MISS)
+        if value is _MISS:
+            return None
+        self._evidence_cache.move_to_end(key)
+        return dict(value)
+
     def invalidate(self) -> None:
         """Drop every value-dependent cache (posteriors, joints, tree).
 
@@ -869,13 +887,24 @@ def as_engine(network_or_engine) -> InferenceEngine:
     normalize here, so call sites upgrade incrementally.  Unsupported
     input raises the typed :class:`~repro.errors.EngineError` (an
     :class:`~repro.errors.InferenceError` subclass) naming the offending
-    type.
+    type; a failure *inside* the ``engine()`` accessor is wrapped in an
+    :class:`EngineError` chained to the original exception
+    (``raise ... from exc``), so service-level error reports keep the
+    root cause.
     """
     if hasattr(network_or_engine, "query_batch"):
         return network_or_engine
     engine = getattr(network_or_engine, "engine", None)
     if callable(engine):
-        return engine()
+        try:
+            return engine()
+        except EngineError:
+            raise
+        except Exception as exc:
+            raise EngineError(
+                "obtaining an inference engine from "
+                f"{type(network_or_engine).__name__!r} failed: {exc}"
+            ) from exc
     raise EngineError(
         "cannot obtain an inference engine from unsupported type "
         f"{type(network_or_engine).__name__!r}")

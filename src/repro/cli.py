@@ -11,7 +11,8 @@
 - ``inject``      — inject one fault model into the perception stack;
 - ``campaign``    — the full fault-injection campaign (EXT-N report);
 - ``trace``       — run a command under tracing, print its span tree;
-- ``metrics``     — run a command, emit Prometheus-text metrics.
+- ``metrics``     — run a command, emit Prometheus-text metrics;
+- ``serve``       — run the resilient inference service over HTTP.
 """
 
 from __future__ import annotations
@@ -160,6 +161,8 @@ def cmd_experiments(_: argparse.Namespace) -> None:
          "test_bench_parallel_sampling"),
         ("EXT-R", "incremental evidence propagation",
          "test_bench_incremental_evidence"),
+        ("EXT-S", "serving availability under faults",
+         "test_bench_serving"),
     ]
     _print_table(["id", "artifact", "benchmark module"], experiments)
     print("\nRun one with:  pytest benchmarks/<module>.py --benchmark-only -s")
@@ -234,6 +237,51 @@ def cmd_metrics(args: argparse.Namespace) -> None:
     print(telemetry.prometheus_text(), end="")
 
 
+def cmd_serve(args: argparse.Namespace) -> None:
+    from repro.perception.chain import build_fig4_network
+    from repro.robustness.faults import LatencyFault
+    from repro.serving import InferenceService
+    from repro.serving.http import serve
+    faults = []
+    if args.inject_latency > 0.0:
+        faults.append(LatencyFault(intensity=args.inject_latency,
+                                   seed=args.seed,
+                                   mean_delay=args.mean_delay))
+    service = InferenceService(
+        build_fig4_network(), pool_size=args.pool_size,
+        max_queue=args.max_queue,
+        default_deadline=args.deadline_ms / 1000.0,
+        ladder=not args.no_ladder, fault_injector=faults, seed=args.seed)
+    server = serve(service, host=args.host, port=args.port,
+                   max_requests=args.max_requests)
+    ladder = "on" if service.ladder_enabled else "off"
+    chaos = (f", chaos latency intensity {args.inject_latency:g} "
+             f"(mean {args.mean_delay:g}s)" if faults else "")
+    print(f"repro serve: {service._network.name} on "
+          f"http://{args.host}:{server.port}  "
+          f"(pool={args.pool_size}, deadline={args.deadline_ms:g}ms, "
+          f"ladder {ladder}{chaos})")
+    print("endpoints: POST /query   GET /health   GET /metrics")
+
+    import signal
+
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    # Install explicitly: a backgrounded server inherits SIGINT ignored
+    # from non-interactive shells (CI), which would make `kill -INT` a
+    # no-op instead of a clean shutdown.
+    signal.signal(signal.SIGTERM, _interrupt)
+    signal.signal(signal.SIGINT, _interrupt)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        service.close()
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig4": cmd_fig4,
     "table1": cmd_table1,
@@ -245,6 +293,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "campaign": cmd_campaign,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "serve": cmd_serve,
 }
 
 #: Commands that can run under ``trace`` / ``metrics``.
@@ -301,6 +350,39 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("target", nargs="?", default=None,
                          choices=_TRACEABLE_COMMANDS,
                          help="command to run before scraping the registry")
+
+    serve_p = sub.add_parser(
+        "serve", help="run the resilient inference service over HTTP")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8731,
+                         help="bind port (default 8731; 0 = ephemeral)")
+    serve_p.add_argument("--pool-size", type=int, default=2,
+                         help="prewarmed engine forks (default 2)")
+    serve_p.add_argument("--max-queue", type=int, default=8,
+                         help="bounded lease-wait queue; arrivals beyond "
+                              "it are shed with 429 (default 8)")
+    serve_p.add_argument("--deadline-ms", type=float, default=100.0,
+                         help="default per-request budget in ms "
+                              "(default 100)")
+    serve_p.add_argument("--no-ladder", action="store_true",
+                         help="disable graceful degradation: deadline and "
+                              "backend failures surface as errors")
+    serve_p.add_argument("--inject-latency", type=float, default=0.0,
+                         metavar="INTENSITY",
+                         help="chaos hook: LatencyFault firing probability "
+                              "in [0, 1] against the exact backend "
+                              "(default 0 = off)")
+    serve_p.add_argument("--mean-delay", type=float, default=0.25,
+                         help="mean injected latency spike in seconds "
+                              "(default 0.25)")
+    serve_p.add_argument("--seed", type=int, default=0,
+                         help="seed for chaos faults and the approximate "
+                              "tier's sampler (default 0)")
+    serve_p.add_argument("--max-requests", type=int, default=None,
+                         metavar="N",
+                         help="shut down after N /query requests "
+                              "(smoke tests; default: run forever)")
 
     for p in (trace, metrics):
         p.add_argument("--intensities", type=float, nargs="+",

@@ -67,3 +67,31 @@ class TelemetryError(ReproError):
 
 class ParallelError(ReproError):
     """A parallel executor was misconfigured or a dispatch went wrong."""
+
+
+class ServingError(ReproError):
+    """The inference service runtime was misconfigured or misbehaved."""
+
+
+class OverloadError(ServingError):
+    """Admission control shed the request: the service is at capacity.
+
+    Carries the observed queue depth so callers (and the HTTP layer's
+    429 response) can report how overloaded the service was.
+    """
+
+    def __init__(self, message: str, queue_depth: int = 0):
+        super().__init__(message)
+        self.queue_depth = int(queue_depth)
+
+
+class DeadlineExceededError(ServingError):
+    """A request's deadline budget expired before an answer was produced.
+
+    With the degradation ladder enabled this is routed to a cheaper
+    fallback tier; with the ladder off it surfaces to the caller.
+    """
+
+
+class CircuitOpenError(ServingError):
+    """A circuit breaker is open: the guarded backend is being rested."""

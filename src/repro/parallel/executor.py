@@ -28,6 +28,7 @@ byte for byte, on any backend at any width.
 from __future__ import annotations
 
 import contextvars
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
@@ -62,8 +63,75 @@ def spawn_generators(seed, n: int) -> List[np.random.Generator]:
             for child in root.spawn(n)]
 
 
+class _ItemError(Exception):
+    """Internal: item ``local_index`` of a chunk raised ``original``.
+
+    Raised by :class:`_ApplyEach` so the backends can name the *global*
+    item index (chunk start + local index) in the surfaced
+    :class:`ParallelError`.
+    """
+
+    def __init__(self, local_index: int, original: BaseException):
+        super().__init__(str(original))
+        self.local_index = local_index
+        self.original = original
+
+
+class _ChunkFailure:
+    """Picklable record of a failure inside a process-pool worker.
+
+    Deliberately carries only ints and strings: a raised exception with
+    unpicklable state (an open handle, a lock, a compiled engine) would
+    fail to cross the process boundary and wedge the pool — the caller
+    would hang instead of seeing an error.  Workers therefore *return*
+    this record, and the parent raises the :class:`ParallelError`.
+    """
+
+    __slots__ = ("item_index", "exc_type", "message", "worker_traceback")
+
+    def __init__(self, item_index: Optional[int], exc_type: str,
+                 message: str, worker_traceback: str):
+        self.item_index = item_index
+        self.exc_type = exc_type
+        self.message = message
+        self.worker_traceback = worker_traceback
+
+    def describe(self) -> str:
+        where = ("a worker chunk" if self.item_index is None
+                 else f"item {self.item_index}")
+        return (f"process worker failed on {where}: "
+                f"{self.exc_type}: {self.message}\n"
+                f"--- worker traceback ---\n{self.worker_traceback}")
+
+
+def _chunk_failure(item_index: Optional[int], exc: BaseException):
+    return _ChunkFailure(item_index, type(exc).__name__, str(exc),
+                         _traceback.format_exc())
+
+
+def _raise_item_error(exc: "_ItemError", start: int) -> None:
+    """Convert an in-process :class:`_ItemError` to the public error."""
+    raise ParallelError(
+        f"item {start + exc.local_index} raised "
+        f"{type(exc.original).__name__}: {exc.original}") from exc.original
+
+
+def _chunk_starts(chunks: Sequence[Sequence[Any]]) -> List[int]:
+    """Global index of each chunk's first item."""
+    starts, offset = [], 0
+    for chunk in chunks:
+        starts.append(offset)
+        offset += len(chunk)
+    return starts
+
+
 class _ApplyEach:
-    """Lift an item function to a chunk function (picklable)."""
+    """Lift an item function to a chunk function (picklable).
+
+    A raising item is wrapped in :class:`_ItemError` carrying its
+    chunk-local index, so the executor can report *which* item crashed
+    rather than just that some chunk did.
+    """
 
     __slots__ = ("fn",)
 
@@ -71,7 +139,13 @@ class _ApplyEach:
         self.fn = fn
 
     def __call__(self, chunk: Sequence[Any]) -> List[Any]:
-        return [self.fn(item) for item in chunk]
+        results = []
+        for i, item in enumerate(chunk):
+            try:
+                results.append(self.fn(item))
+            except Exception as exc:
+                raise _ItemError(i, exc) from exc
+        return results
 
 
 class _SeededCall:
@@ -118,28 +192,42 @@ def _run_traced(fn: Callable[..., List[Any]], *args
     return results, list(local.finished), registry.counter_deltas(before)
 
 
-def _process_chunk(payload) -> Tuple[List[Any], List[SpanRecord], list]:
-    """Chunk entry point inside a pool worker (plain ``fn(chunk)``)."""
-    fn, chunk, traced = payload
-    if traced:
-        return _run_traced(fn, chunk)
-    registry = get_registry()
-    before = registry.counter_snapshot()
-    results = fn(chunk)
-    return results, [], registry.counter_deltas(before)
+def _process_chunk(payload):
+    """Chunk entry point inside a pool worker (plain ``fn(chunk)``).
+
+    Never raises: a failure comes home as a :class:`_ChunkFailure`
+    (see its docstring for why) and the parent turns it into a
+    :class:`ParallelError` naming the global item index.
+    """
+    fn, chunk, traced, start = payload
+    try:
+        if traced:
+            return _run_traced(fn, chunk)
+        registry = get_registry()
+        before = registry.counter_snapshot()
+        results = fn(chunk)
+        return results, [], registry.counter_deltas(before)
+    except _ItemError as exc:
+        return _chunk_failure(start + exc.local_index, exc.original)
+    except Exception as exc:
+        return _chunk_failure(None, exc)
 
 
-def _process_chunk_with_context(payload
-                                ) -> Tuple[List[Any], List[SpanRecord], list]:
+def _process_chunk_with_context(payload):
     """Chunk entry point for context maps: ``fn(context, chunk)`` where
     the context was installed once per worker by the pool initializer."""
-    fn, chunk, traced = payload
-    if traced:
-        return _run_traced(fn, _WORKER_CONTEXT, chunk)
-    registry = get_registry()
-    before = registry.counter_snapshot()
-    results = fn(_WORKER_CONTEXT, chunk)
-    return results, [], registry.counter_deltas(before)
+    fn, chunk, traced, start = payload
+    try:
+        if traced:
+            return _run_traced(fn, _WORKER_CONTEXT, chunk)
+        registry = get_registry()
+        before = registry.counter_snapshot()
+        results = fn(_WORKER_CONTEXT, chunk)
+        return results, [], registry.counter_deltas(before)
+    except _ItemError as exc:
+        return _chunk_failure(start + exc.local_index, exc.original)
+    except Exception as exc:
+        return _chunk_failure(None, exc)
 
 
 class ParallelExecutor:
@@ -204,13 +292,15 @@ class ParallelExecutor:
         if not items:
             return []
         chunks = self._split(items)
+        starts = _chunk_starts(chunks)
         with tracing.span("parallel.map", backend=self.backend,
                           workers=self.workers, items=len(items),
                           chunks=len(chunks)):
             if self.backend == "process" and self.workers > 1 \
                     and len(chunks) > 1:
                 traced = tracing.enabled()
-                payloads = [(fn, chunk, traced) for chunk in chunks]
+                payloads = [(fn, chunk, traced, start)
+                            for chunk, start in zip(chunks, starts)]
                 with ProcessPoolExecutor(
                         max_workers=self.workers,
                         initializer=_init_worker_context,
@@ -224,9 +314,19 @@ class ParallelExecutor:
                     futures = [pool.submit(contextvars.copy_context().run,
                                            fn, context, chunk)
                                for chunk in chunks]
-                    outputs = [future.result() for future in futures]
+                    outputs = []
+                    for future, start in zip(futures, starts):
+                        try:
+                            outputs.append(future.result())
+                        except _ItemError as exc:
+                            _raise_item_error(exc, start)
             else:
-                outputs = [fn(context, chunk) for chunk in chunks]
+                outputs = []
+                for chunk, start in zip(chunks, starts):
+                    try:
+                        outputs.append(fn(context, chunk))
+                    except _ItemError as exc:
+                        _raise_item_error(exc, start)
         results = [result for chunk_out in outputs for result in chunk_out]
         if len(results) != len(items):
             raise ParallelError(
@@ -247,17 +347,23 @@ class ParallelExecutor:
         if not items:
             return []
         chunks = self._split(items)
+        starts = _chunk_starts(chunks)
         with tracing.span("parallel.map", backend=self.backend,
                           workers=self.workers, items=len(items),
                           chunks=len(chunks)):
             if self.backend == "process" and self.workers > 1 \
                     and len(chunks) > 1:
-                outputs = self._run_process(fn, chunks)
+                outputs = self._run_process(fn, chunks, starts)
             elif self.backend == "thread" and self.workers > 1 \
                     and len(chunks) > 1:
-                outputs = self._run_thread(fn, chunks)
+                outputs = self._run_thread(fn, chunks, starts)
             else:
-                outputs = [fn(chunk) for chunk in chunks]
+                outputs = []
+                for chunk, start in zip(chunks, starts):
+                    try:
+                        outputs.append(fn(chunk))
+                    except _ItemError as exc:
+                        _raise_item_error(exc, start)
         results = [result for chunk_out in outputs for result in chunk_out]
         if len(results) != len(items):
             raise ParallelError(
@@ -276,34 +382,54 @@ class ParallelExecutor:
                 size = -(-len(items) // (self.workers * _CHUNKS_PER_WORKER))
         return [items[i:i + size] for i in range(0, len(items), size)]
 
-    def _run_thread(self, fn, chunks):
+    def _run_thread(self, fn, chunks, starts):
         # Snapshot the context per submission: worker spans nest under
         # the caller's parallel.map span, and each task gets its own
         # Context (one Context object cannot be entered concurrently).
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             futures = [pool.submit(contextvars.copy_context().run, fn, chunk)
                        for chunk in chunks]
-            return [future.result() for future in futures]
+            outputs = []
+            for future, start in zip(futures, starts):
+                try:
+                    outputs.append(future.result())
+                except _ItemError as exc:
+                    _raise_item_error(exc, start)
+            return outputs
 
-    def _run_process(self, fn, chunks):
+    def _run_process(self, fn, chunks, starts):
         traced = tracing.enabled()
-        payloads = [(fn, chunk, traced) for chunk in chunks]
+        payloads = [(fn, chunk, traced, start)
+                    for chunk, start in zip(chunks, starts)]
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             outputs = list(pool.map(_process_chunk, payloads))
         return self._adopt_process_outputs(outputs)
 
     def _adopt_process_outputs(self, outputs):
-        """Fold worker telemetry home; return the bare chunk results."""
+        """Fold worker telemetry home; surface any worker failure.
+
+        Telemetry from *successful* chunks is adopted before the first
+        :class:`_ChunkFailure` is raised as a :class:`ParallelError`, so
+        a partial run still reports the work it did.
+        """
         tracer = tracing.active()
         parent = tracer.current_span() if tracer is not None else None
         registry = get_registry()
         results = []
-        for chunk_results, spans, deltas in outputs:
+        failure = None
+        for output in outputs:
+            if isinstance(output, _ChunkFailure):
+                if failure is None:
+                    failure = output
+                continue
+            chunk_results, spans, deltas = output
             if deltas:
                 registry.apply_counter_deltas(deltas)
             if tracer is not None and spans:
                 tracer.adopt(spans, parent=parent)
             results.append(chunk_results)
+        if failure is not None:
+            raise ParallelError(failure.describe())
         return results
 
     def __repr__(self) -> str:

@@ -1,0 +1,41 @@
+"""Resilient inference serving: pool, deadlines, breakers, ladder.
+
+The runtime seam that turns the compiled-inference library into a
+long-running service (ROADMAP item 1): a bounded :class:`EnginePool` of
+prewarmed engine forks, per-request deadline budgets, per-backend
+:class:`CircuitBreaker` protection, and a graceful-degradation ladder
+(exact → cache → approximate → stale) whose every answer reports the
+epistemic cost of the tier that produced it.  ``repro serve`` exposes the
+whole thing over stdlib HTTP with `/query`, `/health` and `/metrics`.
+"""
+
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serving.pool import EnginePool
+from repro.serving.service import (
+    GUARDED_TIERS,
+    LADDER,
+    TIER_APPROXIMATE,
+    TIER_CACHE,
+    TIER_EXACT,
+    TIER_STALE,
+    InferenceService,
+    ServiceRequest,
+    ServiceResponse,
+)
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "EnginePool",
+    "GUARDED_TIERS",
+    "LADDER",
+    "TIER_APPROXIMATE",
+    "TIER_CACHE",
+    "TIER_EXACT",
+    "TIER_STALE",
+    "InferenceService",
+    "ServiceRequest",
+    "ServiceResponse",
+]

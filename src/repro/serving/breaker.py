@@ -1,0 +1,199 @@
+"""Per-backend circuit breakers with hysteretic, backoff-paced recovery.
+
+The classic closed → open → half-open state machine, tuned to match the
+degradation discipline the rest of the stack already follows:
+
+- **tripping is immediate**: ``failure_threshold`` consecutive failures
+  open the breaker (escalation without hysteresis, exactly like
+  :class:`~repro.robustness.supervisor.DegradationSupervisor`);
+- **probing is backoff-paced**: the open interval before the next
+  half-open probe follows the reused
+  :class:`~repro.robustness.supervisor.RetryPolicy` exponential-backoff
+  schedule, indexed by how many times the breaker has tripped in a row;
+- **recovery is hysteretic**: ``recovery_hysteresis`` *consecutive*
+  successful probes are required before the breaker closes again; a
+  single failed probe reopens it and restarts the streak.
+
+Every transition is counted in the process metrics registry
+(``repro_serving_breaker_transitions_total``) and the current state is
+exposed as a gauge, so `/metrics` shows the open/half-open/closed history
+the acceptance criteria ask for.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.errors import ServingError
+from repro.robustness.supervisor import RetryPolicy
+from repro.telemetry.metrics import (
+    SERVING_BREAKER_STATE,
+    SERVING_BREAKER_TRANSITIONS,
+)
+
+#: Breaker states (values double as the `/metrics` and `/health` labels).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Gauge encoding of the state, lowest severity first.
+_STATE_VALUE: Dict[str, int] = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+#: Backoff schedule used when no RetryPolicy is supplied: 50 ms doubling
+#: to 800 ms, then flat.
+_DEFAULT_RETRY = RetryPolicy(max_retries=5, backoff_base=0.05,
+                             backoff_factor=2.0)
+
+
+class CircuitBreaker:
+    """Thread-safe circuit breaker guarding one service backend.
+
+    Parameters
+    ----------
+    name:
+        Backend label used in metrics and health snapshots.
+    failure_threshold:
+        Consecutive failures (while closed) that trip the breaker open.
+    recovery_hysteresis:
+        Consecutive successful half-open probes required to close again.
+    retry:
+        :class:`RetryPolicy` whose backoff delays pace the open → half-open
+        probe schedule; the *n*-th consecutive trip waits ``delays()[n-1]``
+        (clamped to the last entry).  An empty schedule probes immediately.
+    clock:
+        Monotonic-seconds callable, injectable for deterministic tests.
+    """
+
+    def __init__(self, name: str, failure_threshold: int = 3,
+                 recovery_hysteresis: int = 2,
+                 retry: Optional[RetryPolicy] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ServingError(
+                f"failure_threshold must be at least 1, got "
+                f"{failure_threshold}")
+        if recovery_hysteresis < 1:
+            raise ServingError(
+                f"recovery_hysteresis must be at least 1, got "
+                f"{recovery_hysteresis}")
+        self.name = str(name)
+        self.failure_threshold = int(failure_threshold)
+        self.recovery_hysteresis = int(recovery_hysteresis)
+        self.retry = retry or _DEFAULT_RETRY
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0          # consecutive failures while closed
+        self._success_streak = 0    # consecutive successes while half-open
+        self._trips = 0             # consecutive opens (indexes the backoff)
+        self._total_trips = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        SERVING_BREAKER_STATE.set(_STATE_VALUE[CLOSED], backend=self.name)
+
+    # -- internals -------------------------------------------------------------
+
+    def _transition(self, to_state: str) -> None:
+        """Move to ``to_state``; callers hold the lock."""
+        SERVING_BREAKER_TRANSITIONS.inc(backend=self.name,
+                                        from_state=self._state,
+                                        to_state=to_state)
+        SERVING_BREAKER_STATE.set(_STATE_VALUE[to_state], backend=self.name)
+        self._state = to_state
+
+    def _open_interval(self) -> float:
+        """Seconds the breaker rests before the next half-open probe."""
+        delays = self.retry.delays()
+        if not delays:
+            return 0.0
+        return delays[min(self._trips - 1, len(delays) - 1)]
+
+    def _maybe_half_open(self) -> None:
+        """Open → half-open once the backoff interval has elapsed."""
+        if self._state == OPEN and \
+                self._clock() - self._opened_at >= self._open_interval():
+            self._transition(HALF_OPEN)
+            self._success_streak = 0
+            self._probe_in_flight = False
+
+    # -- the caller-facing protocol --------------------------------------------
+
+    def allow(self) -> bool:
+        """May the caller attempt the guarded backend right now?
+
+        Closed always allows.  Open allows nothing until its backoff
+        interval elapses, at which point the breaker turns half-open and
+        admits **one** probe at a time; further calls are rejected until
+        that probe reports back via :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """The guarded call succeeded."""
+        with self._lock:
+            self._probe_in_flight = False
+            if self._state == CLOSED:
+                self._failures = 0
+                return
+            if self._state == HALF_OPEN:
+                self._success_streak += 1
+                if self._success_streak >= self.recovery_hysteresis:
+                    self._transition(CLOSED)
+                    self._failures = 0
+                    self._trips = 0
+                    self._success_streak = 0
+
+    def record_failure(self) -> None:
+        """The guarded call failed (error or deadline)."""
+        with self._lock:
+            self._probe_in_flight = False
+            if self._state == CLOSED:
+                self._failures += 1
+                if self._failures >= self.failure_threshold:
+                    self._trip()
+            elif self._state == HALF_OPEN:
+                # One bad probe restarts the rest period and the streak.
+                self._trip()
+
+    def _trip(self) -> None:
+        self._trips += 1
+        self._total_trips += 1
+        self._success_streak = 0
+        self._failures = 0
+        self._opened_at = self._clock()
+        self._transition(OPEN)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def snapshot(self) -> Dict[str, object]:
+        """Health-endpoint view: state plus the counters behind it."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "success_streak": self._success_streak,
+                "trips": self._total_trips,
+                "open_interval_seconds": (self._open_interval()
+                                          if self._trips else 0.0),
+            }
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker({self.name!r}, state={self.state!r}, "
+                f"trips={self._total_trips})")

@@ -1,0 +1,153 @@
+"""Stdlib HTTP surface for the inference service.
+
+Three endpoints, no dependencies beyond :mod:`http.server`:
+
+- ``POST /query`` — body ``{"target": ..., "evidence": {...},
+  "deadline_ms": ...}``; answers with the full
+  :meth:`~repro.serving.service.ServiceResponse.to_dict` document.
+  Degraded answers are still **200** — the response's ``tier`` /
+  ``stale`` / ``estimated_error`` fields carry the epistemic cost.
+  Overload is **429**, an invalid query is **400**, and a hard failure
+  (only possible with the ladder disabled) is **504**/**500**.
+- ``GET /health`` — the service health document; **200** while the
+  supervisor mode is ok/degraded, **503** once it reaches critical.
+- ``GET /metrics`` — Prometheus text exposition of the process registry
+  (breaker transitions, per-tier request counts, latency histograms).
+
+The server is a :class:`~http.server.ThreadingHTTPServer`: one thread
+per in-flight request, which is exactly the concurrency model the
+service's admission control is sized for.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.errors import (
+    DeadlineExceededError,
+    InferenceError,
+    OverloadError,
+    ReproError,
+)
+from repro.serving.service import InferenceService
+from repro.telemetry.export import prometheus_text
+
+#: Default bind address (loopback: this is a demo surface, not hardened).
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8731
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """HTTP front end bound to one :class:`InferenceService`."""
+
+    daemon_threads = True
+
+    def __init__(self, service: InferenceService,
+                 address: Tuple[str, int] = (DEFAULT_HOST, 0),
+                 max_requests: Optional[int] = None):
+        super().__init__(address, _Handler)
+        self.service = service
+        #: After this many `/query` requests the server shuts itself
+        #: down — smoke tests get a bounded lifetime without signals.
+        self.max_requests = max_requests
+        self._queries = 0
+        self._shutdown_started = False
+        self._lock = threading.Lock()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def note_query(self) -> None:
+        """Count one `/query`; trigger self-shutdown at ``max_requests``."""
+        with self._lock:
+            self._queries += 1
+            if (self.max_requests is not None
+                    and self._queries >= self.max_requests
+                    and not self._shutdown_started):
+                self._shutdown_started = True
+                # shutdown() must not run on a handler thread's request
+                # loop; hand it to a helper.
+                threading.Thread(target=self.shutdown,
+                                 daemon=True).start()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    #: Quiet by default — the service's own telemetry is the log.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _send(self, status: int, body: bytes,
+              content_type: str = "application/json") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, document) -> None:
+        self._send(status, json.dumps(document, sort_keys=True).encode())
+
+    def do_GET(self) -> None:
+        if self.path == "/health":
+            document = self.server.service.health()
+            status = 503 if document["status"] == "critical" else 200
+            self._send_json(status, document)
+        elif self.path == "/metrics":
+            self._send(200, prometheus_text().encode(),
+                       content_type="text/plain; version=0.0.4")
+        else:
+            self._send_json(404, {"error": f"no such path {self.path!r}"})
+
+    def do_POST(self) -> None:
+        if self.path != "/query":
+            self._send_json(404, {"error": f"no such path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            target = payload["target"]
+            evidence = payload.get("evidence") or {}
+            deadline_ms = payload.get("deadline_ms")
+            deadline = (float(deadline_ms) / 1000.0
+                        if deadline_ms is not None else None)
+        except (KeyError, ValueError, TypeError) as exc:
+            self._send_json(400, {"error": f"bad request body: {exc}"})
+            return
+        try:
+            response = self.server.service.submit(
+                target, evidence, deadline_seconds=deadline)
+        except OverloadError as exc:
+            self._send_json(429, {"error": str(exc),
+                                  "queue_depth": exc.queue_depth})
+            return
+        except InferenceError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        except DeadlineExceededError as exc:
+            self._send_json(504, {"error": str(exc)})
+            return
+        except ReproError as exc:
+            self._send_json(500, {"error": str(exc)})
+            return
+        finally:
+            self.server.note_query()
+        self._send_json(200, response.to_dict())
+
+
+def serve(service: InferenceService, host: str = DEFAULT_HOST,
+          port: int = DEFAULT_PORT,
+          max_requests: Optional[int] = None) -> ServiceHTTPServer:
+    """Build a bound (but not yet serving) HTTP server for ``service``.
+
+    Callers run ``server.serve_forever()`` (blocking) or drive it from a
+    thread in tests; ``port=0`` binds an ephemeral port, readable from
+    ``server.port``.
+    """
+    return ServiceHTTPServer(service, (host, port),
+                             max_requests=max_requests)

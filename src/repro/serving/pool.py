@@ -1,0 +1,130 @@
+"""A bounded pool of forked, prewarmed compiled engines.
+
+The serving runtime answers sustained traffic from a fixed set of
+:meth:`~repro.bayesnet.engine.CompiledNetwork.fork` clones of one
+prewarmed template engine: every lease starts from a calibrated junction
+tree and a warm plan/posterior cache instead of paying first-query
+compilation, and each clone is only ever used by one request at a time,
+so the engines' internal caches need no locking.
+
+Admission control is explicit and bounded: at most ``size`` leases are
+out at once, at most ``max_queue`` requests may wait for one, and the
+next arrival beyond that is shed immediately with a typed
+:class:`~repro.errors.OverloadError` — the service degrades by refusing
+cheaply rather than by queueing unboundedly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import List, Optional
+
+from repro.bayesnet.engine import CompiledNetwork
+from repro.errors import DeadlineExceededError, OverloadError, ServingError
+from repro.telemetry.metrics import SERVING_QUEUE_DEPTH
+
+
+class EnginePool:
+    """Fixed-size pool of prewarmed engine forks with bounded admission.
+
+    Parameters
+    ----------
+    engine:
+        The template :class:`CompiledNetwork` (or anything exposing
+        ``prewarm()``/``fork()``).  It is prewarmed once; the pool then
+        holds ``size`` forks of it.  The template itself is never leased.
+    size:
+        Number of concurrently leasable engines.
+    max_queue:
+        Requests allowed to *wait* for a lease; the next one is shed.
+    """
+
+    def __init__(self, engine: CompiledNetwork, size: int = 2,
+                 max_queue: int = 8):
+        if size < 1:
+            raise ServingError(f"pool size must be at least 1, got {size}")
+        if max_queue < 0:
+            raise ServingError(
+                f"max_queue must be non-negative, got {max_queue}")
+        for hook in ("prewarm", "fork"):
+            if not callable(getattr(engine, hook, None)):
+                raise ServingError(
+                    "EnginePool needs a forkable engine exposing "
+                    f"prewarm()/fork(); {type(engine).__name__!r} has no "
+                    f"{hook}()")
+        self.size = int(size)
+        self.max_queue = int(max_queue)
+        self.template = engine
+        engine.prewarm()
+        self._free: List[CompiledNetwork] = [engine.fork()
+                                             for _ in range(self.size)]
+        self._cond = threading.Condition()
+        self._waiting = 0
+        self._leased = 0
+        self._shed = 0
+
+    # -- lease protocol --------------------------------------------------------
+
+    def checkout(self, timeout: Optional[float] = None) -> CompiledNetwork:
+        """Lease one engine; return it with :meth:`checkin`.
+
+        Raises :class:`OverloadError` immediately when ``max_queue``
+        requests are already waiting (shed-on-overload), and
+        :class:`DeadlineExceededError` when ``timeout`` seconds pass
+        without a lease becoming free.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            if not self._free and self._waiting >= self.max_queue:
+                self._shed += 1
+                raise OverloadError(
+                    f"engine pool saturated: {self._leased}/{self.size} "
+                    f"leased, {self._waiting} waiting (max_queue="
+                    f"{self.max_queue})", queue_depth=self._waiting)
+            self._waiting += 1
+            SERVING_QUEUE_DEPTH.set(self._waiting)
+            try:
+                while not self._free:
+                    remaining = (None if deadline is None
+                                 else deadline - time.monotonic())
+                    if remaining is not None and remaining <= 0.0:
+                        raise DeadlineExceededError(
+                            f"no engine lease within {timeout:.4f}s "
+                            f"({self._leased}/{self.size} leased)")
+                    self._cond.wait(remaining)
+            finally:
+                self._waiting -= 1
+                SERVING_QUEUE_DEPTH.set(self._waiting)
+            self._leased += 1
+            return self._free.pop()
+
+    def checkin(self, engine: CompiledNetwork) -> None:
+        """Return a leased engine to the free list."""
+        with self._cond:
+            self._leased -= 1
+            self._free.append(engine)
+            self._cond.notify()
+
+    @contextmanager
+    def lease(self, timeout: Optional[float] = None):
+        """``with pool.lease() as engine: ...`` checkout/checkin sugar."""
+        engine = self.checkout(timeout)
+        try:
+            yield engine
+        finally:
+            self.checkin(engine)
+
+    # -- introspection ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._cond:
+            return {"size": self.size, "free": len(self._free),
+                    "leased": self._leased, "waiting": self._waiting,
+                    "max_queue": self.max_queue, "shed": self._shed}
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return (f"EnginePool(size={snap['size']}, free={snap['free']}, "
+                f"waiting={snap['waiting']})")

@@ -1,0 +1,649 @@
+"""The fault-tolerant inference service: deadlines, ladder, breakers.
+
+This is the paper's runtime-uncertainty-management claim turned into a
+long-running component.  Every request carries a deadline budget; the
+service answers it from a **graceful-degradation ladder** whose tiers
+trade accuracy for latency, and *reports the epistemic cost* of whichever
+tier answered — exactly the "know what you do not know" discipline the
+paper prescribes for the systems it analyses:
+
+====================  =====================================  ==============
+tier                  mechanism                              reported cost
+====================  =====================================  ==============
+``exact``             pooled incremental-JT compiled engine  error 0
+``cache``             previously computed exact posterior    error 0
+``approximate``       vectorized likelihood weighting        standard error
+``stale``             last known answer / prior marginal     ``stale=True``
+====================  =====================================  ==============
+
+Each computing tier is guarded by a :class:`CircuitBreaker`; tier health
+feeds the existing :class:`DegradationSupervisor`, whose hysteretic mode
+machine drives the `/health` status.  A
+:class:`~repro.robustness.faults.FaultInjector` can be threaded into the
+exact-backend path so robustness campaigns can attack the service itself
+(chaos testing): injected latency counts against the deadline budget
+precisely as if the backend were genuinely stuck.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.bayesnet.engine import CompiledNetwork
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    GraphError,
+    InferenceError,
+    OverloadError,
+    ServingError,
+)
+from repro.robustness.faults import ChannelTelemetry, FaultInjector, FaultModel
+from repro.robustness.supervisor import DegradationSupervisor, RetryPolicy
+from repro.means.tolerance import ACT_NORMALLY, CAUTIOUS_MODE, MINIMAL_RISK
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.pool import EnginePool
+from repro.telemetry.clock import SystemClock
+from repro.telemetry.metrics import (
+    SERVING_DEADLINE_EVENTS,
+    SERVING_REQUEST_SECONDS,
+    SERVING_REQUESTS,
+)
+
+#: Ladder tiers, most capable first.  ``TIER_STALE`` is the floor: it
+#: cannot fail once the service is warm, so the ladder always answers.
+TIER_EXACT = "exact"
+TIER_CACHE = "cache"
+TIER_APPROXIMATE = "approximate"
+TIER_STALE = "stale"
+LADDER: Tuple[str, ...] = (TIER_EXACT, TIER_CACHE, TIER_APPROXIMATE,
+                           TIER_STALE)
+
+#: Tiers guarded by a circuit breaker (and mirrored as supervisor
+#: channels).  The stale floor has no breaker — there is nothing below
+#: it to rest towards.
+GUARDED_TIERS: Tuple[str, ...] = (TIER_EXACT, TIER_CACHE, TIER_APPROXIMATE)
+
+#: Supervisor modes → `/health` status strings.
+_MODE_STATUS = {ACT_NORMALLY: "ok", CAUTIOUS_MODE: "degraded",
+                MINIMAL_RISK: "critical"}
+
+#: Channel label fed to the supervisor for a healthy serving tier; any
+#: non-``none`` label that equals the fused value reads as agreement.
+_HEALTHY_OUTPUT = "ok"
+
+#: EWMA smoothing for per-tier latency estimates.
+_LATENCY_ALPHA = 0.2
+
+#: Initial per-sample cost guess for sizing likelihood-weighting draws,
+#: refined by an EWMA of observed cost after every approximate answer.
+_INITIAL_SECONDS_PER_SAMPLE = 2e-5
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One posterior query with a latency budget."""
+
+    target: str
+    evidence: Mapping[str, str] = field(default_factory=dict)
+    deadline_seconds: Optional[float] = None  # None -> service default
+
+
+@dataclass
+class ServiceResponse:
+    """A posterior plus the epistemic cost of how it was obtained.
+
+    ``tier`` names the ladder rung that answered; ``estimated_error`` is
+    an upper bound on the per-state absolute error this tier introduces
+    (0.0 for exact/cache, a likelihood-weighting standard error for
+    approximate, and ``None`` — honestly unknown — for stale answers,
+    which additionally carry ``stale=True``).
+    """
+
+    target: str
+    evidence: Dict[str, str]
+    posterior: Dict[str, float]
+    tier: str
+    degraded: bool
+    stale: bool
+    estimated_error: Optional[float]
+    deadline_seconds: float
+    latency_seconds: float
+    injected_latency_seconds: float = 0.0
+    faults_fired: Tuple[str, ...] = ()
+    attempts: Tuple[str, ...] = ()
+    mode: str = ACT_NORMALLY
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering (the HTTP response body)."""
+        return {
+            "target": self.target,
+            "evidence": dict(self.evidence),
+            "posterior": dict(self.posterior),
+            "tier": self.tier,
+            "degraded": self.degraded,
+            "stale": self.stale,
+            "estimated_error": self.estimated_error,
+            "deadline_seconds": self.deadline_seconds,
+            "latency_seconds": self.latency_seconds,
+            "injected_latency_seconds": self.injected_latency_seconds,
+            "faults_fired": list(self.faults_fired),
+            "attempts": list(self.attempts),
+            "mode": self.mode,
+        }
+
+
+class InferenceService:
+    """Resilient serving runtime around one compiled Bayesian network.
+
+    Parameters
+    ----------
+    network:
+        A :class:`~repro.bayesnet.network.BayesianNetwork` or an already
+        compiled :class:`CompiledNetwork` (must support fork/prewarm).
+    pool_size / max_queue:
+        Engine-pool width and the bounded wait queue behind it; the
+        service additionally sheds any request arriving while
+        ``pool_size + max_queue`` are already in flight.
+    default_deadline:
+        Per-request budget in seconds when the request names none.
+    ladder:
+        ``False`` disables degradation: deadline and backend failures
+        surface to the caller instead of falling to cheaper tiers (the
+        honest baseline for the EXT-S availability comparison).
+    approx_samples / min_approx_samples:
+        Likelihood-weighting draw bounds; the actual draw count is sized
+        to the remaining budget from an observed per-sample cost EWMA.
+    breaker_threshold / recovery_hysteresis / retry:
+        Circuit-breaker tuning shared by all guarded tiers; ``retry``
+        (a :class:`RetryPolicy`) also paces in-request retries of failed
+        exact calls and the breakers' open→half-open backoff.
+    fault_injector:
+        A :class:`FaultInjector` (or a sequence of :class:`FaultModel`)
+        applied to the exact backend per request — the chaos hook.
+    seed:
+        Seed of the private RNG behind approximate answers.
+    clock:
+        Telemetry-style clock (``wall()``) for latency accounting;
+        inject a :class:`~repro.telemetry.clock.ManualClock` for
+        deterministic tests.
+    """
+
+    def __init__(self, network, *, pool_size: int = 2, max_queue: int = 8,
+                 default_deadline: float = 0.1, ladder: bool = True,
+                 approx_samples: int = 2000, min_approx_samples: int = 128,
+                 breaker_threshold: int = 3, recovery_hysteresis: int = 3,
+                 retry: Optional[RetryPolicy] = None,
+                 fault_injector: Union[FaultInjector,
+                                       Sequence[FaultModel]] = (),
+                 result_cache_size: int = 4096, seed: int = 0,
+                 clock=None):
+        if default_deadline <= 0.0:
+            raise ServingError(
+                f"default_deadline must be positive, got {default_deadline}")
+        if min_approx_samples < 1 or approx_samples < min_approx_samples:
+            raise ServingError(
+                "need approx_samples >= min_approx_samples >= 1, got "
+                f"{approx_samples} / {min_approx_samples}")
+        if result_cache_size < 1:
+            raise ServingError("result_cache_size must be at least 1, got "
+                               f"{result_cache_size}")
+        engine = network if isinstance(network, CompiledNetwork) \
+            else CompiledNetwork(network)
+        self._network = engine.network
+        self.default_deadline = float(default_deadline)
+        self.ladder_enabled = bool(ladder)
+        self.approx_samples = int(approx_samples)
+        self.min_approx_samples = int(min_approx_samples)
+        self.retry = retry or RetryPolicy(max_retries=1, backoff_base=0.005)
+        self._clock = clock or SystemClock()
+        self._sleep = time.sleep
+        self.pool = EnginePool(engine, size=pool_size, max_queue=max_queue)
+        self.max_inflight = pool_size + max_queue
+        self.breakers: Dict[str, CircuitBreaker] = {
+            tier: CircuitBreaker(tier, failure_threshold=breaker_threshold,
+                                 recovery_hysteresis=recovery_hysteresis,
+                                 retry=self.retry)
+            for tier in GUARDED_TIERS}
+        self.supervisor = DegradationSupervisor(
+            n_channels=len(GUARDED_TIERS), retry=self.retry,
+            recovery_hysteresis=recovery_hysteresis,
+            minimal_risk_quorum=1.0)
+        self.fault_injector = (fault_injector
+                               if isinstance(fault_injector, FaultInjector)
+                               else FaultInjector(fault_injector))
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()      # rng + stores + supervisor
+        self._inflight = 0
+        self._shed = 0
+        self._requests = 0
+        self._by_tier: Dict[str, int] = {tier: 0 for tier in LADDER}
+        self._tier_latency: Dict[str, float] = {}
+        self._seconds_per_sample = _INITIAL_SECONDS_PER_SAMPLE
+        #: (target, frozenset(evidence)) -> (posterior, source tier);
+        #: bounded FIFO — the cache tier reads exact entries, the stale
+        #: floor reads anything.
+        self._results: Dict[Tuple[str, frozenset], Tuple[Dict[str, float],
+                                                         str]] = {}
+        self._result_cache_size = int(result_cache_size)
+        #: Evidence-free marginals computed at startup: the stale floor's
+        #: last resort, so a warm service can always answer.
+        self._priors: Dict[str, Dict[str, float]] = \
+            self.pool.template.marginals({})
+        self._executor = ThreadPoolExecutor(
+            max_workers=pool_size, thread_name_prefix="repro-serving")
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting work and release the worker threads."""
+        self._closed = True
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "InferenceService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def inject_faults(self, faults: Union[FaultInjector,
+                                          Sequence[FaultModel]]) -> None:
+        """Swap the chaos hook at runtime (campaign phase changes)."""
+        self.fault_injector = (faults if isinstance(faults, FaultInjector)
+                               else FaultInjector(faults))
+
+    # -- request path ----------------------------------------------------------
+
+    def submit(self, target: str,
+               evidence: Optional[Mapping[str, str]] = None,
+               deadline_seconds: Optional[float] = None) -> ServiceResponse:
+        """Answer one posterior query within its deadline budget."""
+        return self.handle(ServiceRequest(target=target,
+                                          evidence=dict(evidence or {}),
+                                          deadline_seconds=deadline_seconds))
+
+    def handle(self, request: ServiceRequest) -> ServiceResponse:
+        if self._closed:
+            raise ServingError("service is closed")
+        deadline = (self.default_deadline
+                    if request.deadline_seconds is None
+                    else float(request.deadline_seconds))
+        if deadline <= 0.0:
+            raise ServingError(
+                f"deadline_seconds must be positive, got {deadline}")
+        evidence = dict(request.evidence or {})
+        self._validate(request.target, evidence)
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self._shed += 1
+                SERVING_REQUESTS.inc(tier="none", outcome="shed")
+                raise OverloadError(
+                    f"service at capacity: {self._inflight} requests in "
+                    f"flight (max {self.max_inflight})",
+                    queue_depth=self._inflight)
+            self._inflight += 1
+            self._requests += 1
+        try:
+            return self._answer(request.target, evidence, deadline)
+        except InferenceError:
+            # A model-level answer (e.g. probability-0 evidence) is not a
+            # service fault: report it without degrading `/health`.
+            SERVING_REQUESTS.inc(tier="none", outcome="invalid")
+            raise
+        except Exception:
+            SERVING_REQUESTS.inc(tier="none", outcome="error")
+            self._tick_supervisor(success=False)
+            raise
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
+    def _validate(self, target: str, evidence: Dict[str, str]) -> None:
+        """Reject malformed queries up front — bad requests must not trip
+        breakers or consume ladder budget."""
+        if target in evidence:
+            raise InferenceError(
+                f"{target!r} is both queried and observed")
+        for name, state in [(target, None)] + sorted(evidence.items()):
+            try:
+                variable = self._network.variable(name)
+            except GraphError as exc:
+                # Normalize to the request-level error type so the HTTP
+                # layer maps it to 400, not 500.
+                raise InferenceError(str(exc)) from exc
+            if state is not None and state not in variable.states:
+                raise InferenceError(
+                    f"unknown state {state!r} for variable {name!r} "
+                    f"(states: {list(variable.states)})")
+
+    def _answer(self, target: str, evidence: Dict[str, str],
+                deadline: float) -> ServiceResponse:
+        t0 = self._clock.wall()
+        attempts: List[str] = []
+        with self._lock:
+            self.fault_injector.begin_encounter()
+            injected = self.fault_injector.extra_latency()
+            fired = self.fault_injector.fired_names()
+
+        response: Optional[ServiceResponse] = None
+        ladder = LADDER if self.ladder_enabled else (TIER_EXACT,)
+        failure: Optional[Exception] = None
+        for tier in ladder:
+            remaining = deadline - (self._clock.wall() - t0)
+            try:
+                if tier == TIER_EXACT:
+                    posterior = self._tier_exact(
+                        target, evidence, remaining, injected, attempts)
+                    error: Optional[float] = 0.0
+                    stale = False
+                elif tier == TIER_CACHE:
+                    posterior = self._tier_cache(target, evidence, attempts)
+                    error, stale = 0.0, False
+                elif tier == TIER_APPROXIMATE:
+                    posterior, error = self._tier_approximate(
+                        target, evidence, remaining, attempts)
+                    stale = False
+                else:
+                    posterior = self._tier_stale(target, evidence, attempts)
+                    error, stale = None, True
+            except _TierUnavailable as exc:
+                failure = exc.reason
+                continue
+            response = ServiceResponse(
+                target=target, evidence=evidence, posterior=posterior,
+                tier=tier, degraded=tier != TIER_EXACT, stale=stale,
+                estimated_error=error, deadline_seconds=deadline,
+                latency_seconds=(self._clock.wall() - t0) + injected,
+                injected_latency_seconds=injected, faults_fired=fired,
+                attempts=tuple(attempts))
+            break
+        if response is None:
+            # Only reachable with the ladder disabled (the stale floor
+            # cannot fail on a warm service): surface the exact tier's
+            # own failure.
+            raise failure if failure is not None else DeadlineExceededError(
+                f"no ladder tier answered within {deadline:.4f}s "
+                f"(attempts: {attempts})")
+
+        self._record(response)
+        response.mode = self._tick_supervisor(success=True)
+        return response
+
+    # -- ladder tiers ----------------------------------------------------------
+
+    def _tier_exact(self, target: str, evidence: Dict[str, str],
+                    remaining: float, injected: float,
+                    attempts: List[str]) -> Dict[str, float]:
+        breaker = self.breakers[TIER_EXACT]
+        if not breaker.allow():
+            attempts.append("exact:open")
+            raise _TierUnavailable(CircuitOpenError(
+                f"circuit breaker for tier {TIER_EXACT!r} is open"))
+        # Injected chaos latency counts against the budget exactly as a
+        # stuck backend would: if it alone blows the deadline, the call
+        # is never issued.
+        budget = remaining - injected
+        if budget <= 0.0:
+            breaker.record_failure()
+            attempts.append("exact:deadline")
+            SERVING_DEADLINE_EVENTS.inc(tier=TIER_EXACT)
+            raise _TierUnavailable(DeadlineExceededError(
+                f"injected latency {injected:.4f}s exceeded the remaining "
+                f"budget {remaining:.4f}s"))
+        tier_start = self._clock.wall()
+        delays = iter(self.retry.delays())
+        attempt = 0
+        while True:
+            budget_now = budget - (self._clock.wall() - tier_start)
+            try:
+                if budget_now <= 0.0:
+                    raise DeadlineExceededError(
+                        f"exact budget {budget:.4f}s exhausted after "
+                        f"{attempt} attempt(s)")
+                posterior = self._run_exact(target, evidence, budget_now)
+                breaker.record_success()
+                attempts.append("exact:ok")
+                self._note_latency(TIER_EXACT, injected)
+                return posterior
+            except (DeadlineExceededError, FutureTimeoutError) as exc:
+                breaker.record_failure()
+                attempts.append("exact:deadline")
+                SERVING_DEADLINE_EVENTS.inc(tier=TIER_EXACT)
+                raise _TierUnavailable(DeadlineExceededError(str(exc)))
+            except OverloadError as exc:
+                # Pool saturation is load, not backend fault: degrade
+                # without charging the breaker.
+                attempts.append("exact:overload")
+                raise _TierUnavailable(exc)
+            except InferenceError:
+                # A model-level answer ("evidence has probability 0"):
+                # no fallback tier can answer it better — propagate.
+                raise
+            except Exception as exc:
+                # Transient backend failure: bounded retry with the
+                # reused exponential-backoff policy, budget permitting.
+                attempt += 1
+                delay = next(delays, None)
+                budget_now = budget - (self._clock.wall() - tier_start)
+                if delay is not None and delay < budget_now:
+                    attempts.append(f"exact:retry{attempt}")
+                    with self._lock:
+                        self.supervisor.note_retry(0, attempt, delay)
+                    self._sleep(delay)
+                    continue
+                breaker.record_failure()
+                attempts.append("exact:error")
+                raise _TierUnavailable(exc)
+
+    def _run_exact(self, target: str, evidence: Dict[str, str],
+                   budget: float) -> Dict[str, float]:
+        """One deadline-bounded exact query on a pooled engine.
+
+        The engine is leased inside the worker closure and checked in
+        when the query finishes — even if this caller has already given
+        up waiting — so an abandoned (timed-out) call can never leak a
+        lease.
+        """
+        engine = self.pool.checkout(timeout=budget)
+
+        def call() -> Dict[str, float]:
+            try:
+                return engine.query(target, evidence)
+            finally:
+                self.pool.checkin(engine)
+
+        future = self._executor.submit(call)
+        try:
+            return future.result(timeout=budget)
+        except FutureTimeoutError:
+            future.cancel()  # drop it if it never started
+            raise
+
+    def _tier_cache(self, target: str, evidence: Dict[str, str],
+                    attempts: List[str]) -> Dict[str, float]:
+        breaker = self.breakers[TIER_CACHE]
+        if not breaker.allow():
+            attempts.append("cache:open")
+            raise _TierUnavailable(CircuitOpenError(
+                f"circuit breaker for tier {TIER_CACHE!r} is open"))
+        key = (target, frozenset(evidence.items()))
+        with self._lock:
+            entry = self._results.get(key)
+        if entry is not None and entry[1] in (TIER_EXACT, TIER_CACHE):
+            breaker.record_success()
+            attempts.append("cache:hit")
+            return dict(entry[0])
+        # The template engine's own evidence-keyed cache still holds
+        # anything computed at prewarm/startup.
+        cached = self.pool.template.cached_posterior(target, evidence)
+        if cached is not None:
+            breaker.record_success()
+            attempts.append("cache:hit")
+            return cached
+        breaker.record_success()  # a miss is an answer, not a fault
+        attempts.append("cache:miss")
+        raise _TierUnavailable(ServingError(
+            f"no cached exact posterior for {target!r} | {evidence!r}"))
+
+    def _tier_approximate(self, target: str, evidence: Dict[str, str],
+                          remaining: float, attempts: List[str]
+                          ) -> Tuple[Dict[str, float], float]:
+        breaker = self.breakers[TIER_APPROXIMATE]
+        if not breaker.allow():
+            attempts.append("approximate:open")
+            raise _TierUnavailable(CircuitOpenError(
+                f"circuit breaker for tier {TIER_APPROXIMATE!r} is open"))
+        if remaining <= 0.0:
+            attempts.append("approximate:deadline")
+            SERVING_DEADLINE_EVENTS.inc(tier=TIER_APPROXIMATE)
+            raise _TierUnavailable(DeadlineExceededError(
+                "no budget left for the approximate tier"))
+        n = int(remaining / self._seconds_per_sample)
+        n = max(self.min_approx_samples, min(self.approx_samples, n))
+        try:
+            t0 = self._clock.wall()
+            sampler = self._network.sampler()
+            with self._lock:
+                matrix, weights = sampler.likelihood_matrix(
+                    self._rng, evidence, n)
+            qcol = sampler.column(target)
+            states = self._network.variable(target).states
+            totals = np.bincount(matrix[:, qcol], weights=weights,
+                                 minlength=len(states))
+            weight_sum = float(weights.sum())
+            if weight_sum <= 0.0:
+                raise InferenceError(
+                    f"evidence {evidence!r} has probability 0 under the "
+                    "model — posterior is undefined")
+            probs = totals / weight_sum
+            sq = float(np.square(weights).sum())
+            ess = weight_sum * weight_sum / sq if sq > 0.0 else float(n)
+            error = float(np.sqrt(np.max(probs * (1.0 - probs))
+                                  / max(ess, 1.0)))
+            elapsed = self._clock.wall() - t0
+            if elapsed > 0.0:
+                self._note_sample_cost(elapsed / n)
+            self._note_latency(TIER_APPROXIMATE, elapsed)
+        except InferenceError:
+            raise  # model-level: the ladder cannot fix probability-0
+        except Exception as exc:
+            breaker.record_failure()
+            attempts.append("approximate:error")
+            raise _TierUnavailable(exc)
+        breaker.record_success()
+        attempts.append("approximate:ok")
+        return ({s: float(probs[i]) for i, s in enumerate(states)}, error)
+
+    def _tier_stale(self, target: str, evidence: Dict[str, str],
+                    attempts: List[str]) -> Dict[str, float]:
+        key = (target, frozenset(evidence.items()))
+        with self._lock:
+            entry = self._results.get(key)
+            if entry is not None:
+                attempts.append("stale:hit")
+                return dict(entry[0])
+            prior = self._priors.get(target)
+        if prior is None:  # pragma: no cover - priors cover every node
+            raise _TierUnavailable(ServingError(
+                f"no stale answer or prior for {target!r}"))
+        attempts.append("stale:prior")
+        return dict(prior)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _record(self, response: ServiceResponse) -> None:
+        SERVING_REQUESTS.inc(tier=response.tier, outcome="ok")
+        SERVING_REQUEST_SECONDS.observe(response.latency_seconds,
+                                        tier=response.tier)
+        with self._lock:
+            self._by_tier[response.tier] += 1
+            if response.tier in (TIER_EXACT, TIER_APPROXIMATE):
+                key = (response.target,
+                       frozenset(response.evidence.items()))
+                if key not in self._results and \
+                        len(self._results) >= self._result_cache_size:
+                    self._results.pop(next(iter(self._results)))
+                # Exact answers overwrite approximate ones, never the
+                # reverse: the store keeps the best-known answer.
+                held = self._results.get(key)
+                if held is None or held[1] != TIER_EXACT \
+                        or response.tier == TIER_EXACT:
+                    self._results[key] = (dict(response.posterior),
+                                          response.tier)
+        self._note_latency(response.tier, response.latency_seconds)
+
+    def _note_latency(self, tier: str, seconds: float) -> None:
+        with self._lock:
+            prior = self._tier_latency.get(tier)
+            self._tier_latency[tier] = (seconds if prior is None else
+                                        (1.0 - _LATENCY_ALPHA) * prior
+                                        + _LATENCY_ALPHA * seconds)
+
+    def _note_sample_cost(self, seconds_per_sample: float) -> None:
+        with self._lock:
+            self._seconds_per_sample = (
+                (1.0 - _LATENCY_ALPHA) * self._seconds_per_sample
+                + _LATENCY_ALPHA * seconds_per_sample)
+
+    def _tick_supervisor(self, *, success: bool) -> str:
+        """Feed tier health into the degradation supervisor's mode machine.
+
+        Each guarded tier is a supervisor channel: an open breaker reads
+        as a watchdog timeout, so escalation is immediate while recovery
+        needs ``recovery_hysteresis`` consecutive clean requests — the
+        hysteretic `/health` behaviour the paper's tolerance mean asks
+        for.
+        """
+        with self._lock:
+            telemetry = []
+            for tier in GUARDED_TIERS:
+                open_ = self.breakers[tier].state != "closed"
+                telemetry.append(ChannelTelemetry(
+                    output=_HEALTHY_OUTPUT, epistemic_score=0.0,
+                    latency=self._tier_latency.get(tier, 0.0),
+                    timed_out=open_))
+            fused = _HEALTHY_OUTPUT if success else None
+            return self.supervisor.step(telemetry, fused)
+
+    # -- surfaces --------------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """The `/health` document: mode, breakers, pool, counts."""
+        with self._lock:
+            by_tier = dict(self._by_tier)
+            requests, shed, inflight = (self._requests, self._shed,
+                                        self._inflight)
+            mode = self.supervisor.mode
+        status = _MODE_STATUS.get(mode, "degraded")
+        return {
+            "status": status,
+            "mode": mode,
+            "ladder": self.ladder_enabled,
+            "breakers": {tier: breaker.snapshot()
+                         for tier, breaker in sorted(self.breakers.items())},
+            "pool": self.pool.snapshot(),
+            "requests": {"total": requests, "in_flight": inflight,
+                         "shed": shed, "by_tier": by_tier},
+            "network": self._network.name,
+        }
+
+    def __repr__(self) -> str:
+        return (f"InferenceService({self._network.name!r}, "
+                f"pool={self.pool.size}, ladder={self.ladder_enabled}, "
+                f"mode={self.supervisor.mode!r})")
+
+
+class _TierUnavailable(Exception):
+    """Ladder control flow: this tier cannot answer, try the next."""
+
+    def __init__(self, reason: Exception):
+        super().__init__(str(reason))
+        self.reason = reason

@@ -389,3 +389,48 @@ SUPERVISOR_EVENTS = REGISTRY.counter(
 PERCEPTION_ENCOUNTERS = REGISTRY.counter(
     "repro_perception_encounters_total",
     "Encounters simulated through PerceptionChain.run_campaign.")
+
+
+# -- serving runtime instruments ------------------------------------------------
+#
+# Unlike the per-query engine instruments, the serving instruments record
+# unconditionally: the `/metrics` endpoint is a product surface of the
+# service and must have data without an active tracing session.
+
+#: Service requests answered, by the ladder tier that produced the
+#: answer ("exact", "cache", "approximate", "stale", or "none") and the
+#: outcome ("ok", "error", "shed").
+SERVING_REQUESTS = REGISTRY.counter(
+    "repro_serving_requests_total",
+    "Inference-service requests, by answering ladder tier and outcome.",
+    labels=("tier", "outcome"))
+
+#: End-to-end service request latency, by answering tier.
+SERVING_REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_serving_request_seconds",
+    "End-to-end inference-service request latency, by answering tier.",
+    labels=("tier",))
+
+#: Deadline-budget expiries observed per ladder tier.
+SERVING_DEADLINE_EVENTS = REGISTRY.counter(
+    "repro_serving_deadline_exceeded_total",
+    "Requests whose deadline budget expired at a ladder tier.",
+    labels=("tier",))
+
+#: Circuit-breaker state transitions per guarded backend.
+SERVING_BREAKER_TRANSITIONS = REGISTRY.counter(
+    "repro_serving_breaker_transitions_total",
+    "Circuit-breaker state transitions, by backend and edge.",
+    labels=("backend", "from_state", "to_state"))
+
+#: Current circuit-breaker state per backend
+#: (0 = closed, 1 = half-open, 2 = open).
+SERVING_BREAKER_STATE = REGISTRY.gauge(
+    "repro_serving_breaker_state",
+    "Circuit-breaker state (0 closed, 1 half-open, 2 open), by backend.",
+    labels=("backend",))
+
+#: Requests currently waiting for an engine lease.
+SERVING_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_serving_queue_depth",
+    "Requests currently queued for an engine-pool lease.")

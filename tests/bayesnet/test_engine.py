@@ -80,6 +80,54 @@ class TestEngineSeam:
         # EngineError subclasses InferenceError: broad catches keep working.
         assert issubclass(EngineError, InferenceError)
 
+    def test_as_engine_chains_accessor_failures(self):
+        """A failing ``engine()`` accessor surfaces as an EngineError
+        chained (``__cause__``) to the original exception."""
+        class Broken:
+            def engine(self):
+                raise RuntimeError("compilation blew up")
+
+        with pytest.raises(EngineError, match="'Broken'.*compilation") \
+                as excinfo:
+            as_engine(Broken())
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        assert "compilation blew up" in str(excinfo.value.__cause__)
+
+    def test_as_engine_passes_engine_errors_through_unwrapped(self):
+        class Strict:
+            def engine(self):
+                raise EngineError("already typed")
+
+        with pytest.raises(EngineError, match="^already typed$"):
+            as_engine(Strict())
+
+
+class TestCachedPosteriorPeek:
+    def test_peek_misses_before_and_hits_after_query(self):
+        engine = CompiledNetwork(sprinkler_network())
+        assert engine.cached_posterior("rain", {"grass": "wet"}) is None
+        computed = engine.query("rain", {"grass": "wet"})
+        peeked = engine.cached_posterior("rain", {"grass": "wet"})
+        assert peeked == pytest.approx(computed)
+
+    def test_peek_never_touches_hit_miss_counters(self):
+        engine = CompiledNetwork(sprinkler_network())
+        engine.query("rain", {"grass": "wet"})
+        before = (engine.stats.evidence_cache_hits,
+                  engine.stats.evidence_cache_misses)
+        engine.cached_posterior("rain", {"grass": "wet"})     # hit path
+        engine.cached_posterior("rain", {"grass": "dry"})     # miss path
+        after = (engine.stats.evidence_cache_hits,
+                 engine.stats.evidence_cache_misses)
+        assert after == before
+
+    def test_peek_returns_a_copy(self):
+        engine = CompiledNetwork(sprinkler_network())
+        engine.query("rain", {})
+        peeked = engine.cached_posterior("rain", {})
+        peeked["no"] = 99.0
+        assert engine.cached_posterior("rain", {})["no"] != 99.0
+
 
 class TestCompiledQueries:
     """The compiled engine must agree with the raw network answers."""

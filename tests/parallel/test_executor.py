@@ -288,3 +288,102 @@ class TestMapWithContext:
         assert out == [2 * x for x in range(6)]
         assert tracer.span_counts()["ctx.unit"] == 6
         assert _TEST_COUNTER.value(shape="ctx") - before == 6
+
+
+def _crash_on(x):
+    if x == 7:
+        raise ValueError(f"item {x} is cursed")
+    return x * 2
+
+
+class _UnpicklableStateError(Exception):
+    """An exception whose state cannot cross the process boundary."""
+
+    def __init__(self):
+        super().__init__("stateful failure")
+        import threading
+        self.lock = threading.Lock()  # locks do not pickle
+
+
+def _crash_unpicklable(x):
+    if x == 5:
+        raise _UnpicklableStateError()
+    return x
+
+
+def _ctx_crash(context, chunk):
+    out = []
+    for item in chunk:
+        if item == 4:
+            raise RuntimeError("context worker crashed")
+        out.append(item + context)
+    return out
+
+
+class TestWorkerCrash:
+    """A raising item must surface a ParallelError naming the item index
+    — on every backend, and without hanging the pool."""
+
+    @pytest.mark.parametrize("backend,workers", SHAPES)
+    def test_crash_names_the_global_item_index(self, backend, workers):
+        executor = ParallelExecutor(workers=workers, backend=backend,
+                                    chunk_size=3)
+        with pytest.raises(ParallelError, match=r"item 7\b"):
+            executor.map(_crash_on, range(12))
+
+    @pytest.mark.parametrize("backend,workers", SHAPES)
+    def test_crash_names_original_exception(self, backend, workers):
+        executor = ParallelExecutor(workers=workers, backend=backend,
+                                    chunk_size=3)
+        with pytest.raises(ParallelError, match="ValueError.*cursed"):
+            executor.map(_crash_on, range(12))
+
+    def test_serial_and_thread_chain_the_original(self):
+        for backend, workers in (("serial", 1), ("thread", 4)):
+            executor = ParallelExecutor(workers=workers, backend=backend,
+                                        chunk_size=2)
+            with pytest.raises(ParallelError) as excinfo:
+                executor.map(_crash_on, range(12))
+            assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_unpicklable_worker_exception_does_not_hang(self):
+        """The killer case: an exception whose state cannot pickle would
+        wedge a naive pool.map round trip.  Workers return a string-only
+        failure record instead, so the parent raises promptly."""
+        executor = ParallelExecutor(workers=2, backend="process",
+                                    chunk_size=2)
+        with pytest.raises(ParallelError,
+                           match=r"item 5\b.*_UnpicklableStateError"):
+            executor.map(_crash_unpicklable, range(10))
+
+    def test_process_error_carries_worker_traceback(self):
+        executor = ParallelExecutor(workers=2, backend="process",
+                                    chunk_size=3)
+        with pytest.raises(ParallelError, match="worker traceback"):
+            executor.map(_crash_on, range(12))
+
+    def test_executor_still_usable_after_a_crash(self):
+        executor = ParallelExecutor(workers=2, backend="process",
+                                    chunk_size=2)
+        with pytest.raises(ParallelError):
+            executor.map(_crash_on, range(12))
+        assert executor.map(_square, range(6)) == [x * x for x in range(6)]
+
+    @pytest.mark.parametrize("backend,workers",
+                             [("serial", 1), ("thread", 4), ("process", 2)])
+    def test_map_with_context_crash_surfaces(self, backend, workers):
+        executor = ParallelExecutor(workers=workers, backend=backend,
+                                    chunk_size=2)
+        with pytest.raises((ParallelError, RuntimeError),
+                           match="context worker crashed"):
+            executor.map_with_context(_ctx_crash, 100, range(8))
+
+    def test_crashing_seeded_map_names_the_item(self):
+        def crash_seeded(item, rng):
+            if item == 3:
+                raise KeyError("seeded crash")
+            return rng.random()
+
+        executor = ParallelExecutor(workers=1, backend="serial")
+        with pytest.raises(ParallelError, match=r"item 3\b"):
+            executor.map_seeded(crash_seeded, range(6), seed=0)

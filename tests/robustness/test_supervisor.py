@@ -142,6 +142,37 @@ class TestHysteresis:
         sup.step(healthy(2), CAR)
         assert sup.step(healthy(2), CAR) == ACT_NORMALLY
 
+    @pytest.mark.parametrize("hysteresis", [1, 2, 3, 5])
+    def test_deescalation_lands_exactly_on_the_boundary(self, hysteresis):
+        """Regression: de-escalation happens at exactly
+        ``recovery_hysteresis`` consecutive healthy ticks — never one
+        early, never one late."""
+        sup = DegradationSupervisor(3, recovery_hysteresis=hysteresis)
+        sup.step([telemetry(timed_out=True), telemetry(), telemetry()], CAR)
+        assert sup.mode == CAUTIOUS_MODE
+        for tick in range(1, hysteresis):
+            assert sup.step(healthy(), CAR) == CAUTIOUS_MODE, \
+                f"de-escalated one tick early at clean tick {tick}"
+        assert sup.step(healthy(), CAR) == ACT_NORMALLY, \
+            f"still degraded after {hysteresis} clean ticks"
+
+    @pytest.mark.parametrize("hysteresis", [2, 3, 5])
+    def test_single_unhealthy_tick_at_the_brink_resets_the_streak(
+            self, hysteresis):
+        """Regression: one unhealthy tick at clean tick N-1 (one short of
+        the boundary) restarts the streak from zero — the next
+        de-escalation needs the full ``recovery_hysteresis`` again."""
+        sup = DegradationSupervisor(3, recovery_hysteresis=hysteresis)
+        flaky = [telemetry(timed_out=True), telemetry(), telemetry()]
+        sup.step(flaky, CAR)
+        for _ in range(hysteresis - 1):
+            sup.step(healthy(), CAR)   # one tick short of recovery...
+        assert sup.step(flaky, CAR) == CAUTIOUS_MODE  # ...then a relapse
+        for tick in range(1, hysteresis):
+            assert sup.step(healthy(), CAR) == CAUTIOUS_MODE, \
+                f"streak not fully reset: de-escalated at tick {tick}"
+        assert sup.step(healthy(), CAR) == ACT_NORMALLY
+
     def test_flagged_channel_recovers_after_agreement_streak(self):
         sup = DegradationSupervisor(3, divergence_trip=1,
                                     recovery_hysteresis=2)

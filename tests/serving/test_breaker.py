@@ -1,0 +1,156 @@
+"""CircuitBreaker: trip, backoff-paced probing, hysteretic recovery."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.robustness.supervisor import RetryPolicy
+from repro.serving import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.telemetry.metrics import SERVING_BREAKER_TRANSITIONS
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def breaker(**kw):
+    kw.setdefault("retry", RetryPolicy(max_retries=3, backoff_base=1.0,
+                                       backoff_factor=2.0))
+    clock = kw.pop("clock", None) or FakeClock()
+    return CircuitBreaker("test", clock=clock, **kw), clock
+
+
+class TestValidation:
+    def test_thresholds_must_be_positive(self):
+        with pytest.raises(ServingError):
+            CircuitBreaker("x", failure_threshold=0)
+        with pytest.raises(ServingError):
+            CircuitBreaker("x", recovery_hysteresis=0)
+
+
+class TestTripping:
+    def test_starts_closed_and_allows(self):
+        b, _ = breaker()
+        assert b.state == CLOSED
+        assert b.allow()
+
+    def test_trips_after_consecutive_failures(self):
+        b, _ = breaker(failure_threshold=3)
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CLOSED
+        b.record_failure()
+        assert b.state == OPEN
+        assert not b.allow()
+
+    def test_success_resets_the_failure_count(self):
+        b, _ = breaker(failure_threshold=2)
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state == CLOSED
+
+
+class TestProbing:
+    def test_half_open_after_backoff_interval(self):
+        b, clock = breaker(failure_threshold=1)
+        b.record_failure()
+        assert b.state == OPEN
+        clock.advance(0.5)      # first trip waits delays()[0] == 1.0s
+        assert b.state == OPEN
+        clock.advance(0.6)
+        assert b.state == HALF_OPEN
+
+    def test_half_open_admits_one_probe_at_a_time(self):
+        b, clock = breaker(failure_threshold=1)
+        b.record_failure()
+        clock.advance(1.1)
+        assert b.allow()          # the probe
+        assert not b.allow()      # concurrent caller rejected
+        b.record_success()
+        assert b.allow()          # probe reported back: next one may go
+
+    def test_repeated_trips_back_off_exponentially(self):
+        b, clock = breaker(failure_threshold=1)
+        b.record_failure()                    # trip 1: waits 1.0
+        clock.advance(1.1)
+        assert b.allow()
+        b.record_failure()                    # trip 2: waits 2.0
+        clock.advance(1.1)
+        assert b.state == OPEN                # 1.0 is no longer enough
+        clock.advance(1.0)
+        assert b.state == HALF_OPEN
+
+    def test_backoff_clamps_to_the_last_delay(self):
+        b, clock = breaker(failure_threshold=1)
+        for _ in range(6):                    # far past the 3-entry schedule
+            b.record_failure()
+            clock.advance(4.1)                # delays()[-1] == 4.0
+            assert b.state == HALF_OPEN
+            assert b.allow()
+
+
+class TestRecovery:
+    def test_recovery_is_hysteretic(self):
+        b, clock = breaker(failure_threshold=1, recovery_hysteresis=2)
+        b.record_failure()
+        clock.advance(1.1)
+        assert b.allow()
+        b.record_success()
+        assert b.state == HALF_OPEN           # one good probe is not enough
+        assert b.allow()
+        b.record_success()
+        assert b.state == CLOSED              # the second closes it
+
+    def test_failed_probe_reopens_and_restarts_the_streak(self):
+        b, clock = breaker(failure_threshold=1, recovery_hysteresis=2)
+        b.record_failure()
+        clock.advance(1.1)
+        assert b.allow()
+        b.record_success()
+        assert b.allow()
+        b.record_failure()                    # bad probe at the brink
+        assert b.state == OPEN
+        clock.advance(4.1)
+        assert b.allow()
+        b.record_success()
+        assert b.state == HALF_OPEN           # streak restarted from zero
+        assert b.allow()
+        b.record_success()
+        assert b.state == CLOSED
+
+    def test_closing_resets_the_trip_backoff(self):
+        b, clock = breaker(failure_threshold=1, recovery_hysteresis=1)
+        b.record_failure()
+        clock.advance(1.1)
+        assert b.allow()
+        b.record_success()
+        assert b.state == CLOSED
+        b.record_failure()                    # a fresh first trip again
+        clock.advance(1.1)
+        assert b.state == HALF_OPEN           # back to the 1.0s interval
+
+
+class TestIntrospection:
+    def test_snapshot_shape(self):
+        b, _ = breaker(failure_threshold=2)
+        b.record_failure()
+        snap = b.snapshot()
+        assert snap["state"] == CLOSED
+        assert snap["consecutive_failures"] == 1
+        assert snap["trips"] == 0
+
+    def test_transitions_are_counted_in_metrics(self):
+        before = SERVING_BREAKER_TRANSITIONS.value(
+            backend="metrics-test", from_state=CLOSED, to_state=OPEN)
+        b = CircuitBreaker("metrics-test", failure_threshold=1)
+        b.record_failure()
+        after = SERVING_BREAKER_TRANSITIONS.value(
+            backend="metrics-test", from_state=CLOSED, to_state=OPEN)
+        assert after == before + 1

@@ -1,0 +1,158 @@
+"""The HTTP surface: /query, /health, /metrics, and status mapping."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.perception.chain import build_fig4_network
+from repro.robustness.faults import LatencyFault
+from repro.serving import InferenceService
+from repro.serving.http import serve
+
+STUCK = LatencyFault(intensity=1.0, seed=1, mean_delay=60.0)
+
+
+@pytest.fixture
+def server():
+    service = InferenceService(build_fig4_network(), default_deadline=0.5)
+    http_server = serve(service, port=0)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield http_server
+    finally:
+        http_server.shutdown()
+        http_server.server_close()
+        service.close()
+        thread.join(timeout=5.0)
+
+
+def url(server, path):
+    return f"http://127.0.0.1:{server.port}{path}"
+
+
+def get(server, path):
+    with urllib.request.urlopen(url(server, path), timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def post_query(server, payload):
+    request = urllib.request.Request(
+        url(server, "/query"), data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=10) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestQuery:
+    def test_healthy_query_is_200_exact(self, server):
+        status, doc = post_query(server, {
+            "target": "ground_truth", "evidence": {"perception": "car"}})
+        assert status == 200
+        assert doc["tier"] == "exact"
+        assert doc["degraded"] is False
+        assert sum(doc["posterior"].values()) == pytest.approx(1.0)
+
+    def test_degraded_query_is_still_200(self, server):
+        server.service.inject_faults([STUCK])
+        status, doc = post_query(server, {
+            "target": "ground_truth", "evidence": {"perception": "none"},
+            "deadline_ms": 50})
+        assert status == 200
+        assert doc["degraded"] is True
+        assert doc["tier"] in ("cache", "approximate", "stale")
+
+    def test_missing_target_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_query(server, {"evidence": {}})
+        assert excinfo.value.code == 400
+
+    def test_unknown_variable_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_query(server, {"target": "nonsense"})
+        assert excinfo.value.code == 400
+
+    def test_unparseable_body_is_400(self, server):
+        request = urllib.request.Request(
+            url(server, "/query"), data=b"this is not json")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_deadline_without_ladder_is_504(self):
+        service = InferenceService(build_fig4_network(), ladder=False,
+                                   fault_injector=[STUCK])
+        http_server = serve(service, port=0)
+        thread = threading.Thread(target=http_server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post_query(http_server, {"target": "ground_truth",
+                                         "deadline_ms": 50})
+            assert excinfo.value.code == 504
+        finally:
+            http_server.shutdown()
+            http_server.server_close()
+            service.close()
+            thread.join(timeout=5.0)
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_query_to = urllib.request.Request(
+                url(server, "/nope"), data=b"{}")
+            urllib.request.urlopen(post_query_to, timeout=10)
+        assert excinfo.value.code == 404
+
+
+class TestHealthAndMetrics:
+    def test_health_is_200_when_ok(self, server):
+        status, doc = get(server, "/health")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert set(doc["breakers"]) == {"exact", "cache", "approximate"}
+
+    def test_health_stays_200_while_degraded(self, server):
+        server.service.inject_faults([STUCK])
+        post_query(server, {"target": "ground_truth", "deadline_ms": 50})
+        post_query(server, {"target": "ground_truth", "deadline_ms": 50})
+        post_query(server, {"target": "ground_truth", "deadline_ms": 50})
+        status, doc = get(server, "/health")
+        assert status == 200
+        assert doc["status"] in ("ok", "degraded")
+
+    def test_metrics_exposition(self, server):
+        server.service.inject_faults([STUCK])
+        for _ in range(4):  # enough to trip the exact breaker
+            post_query(server, {"target": "ground_truth",
+                                "deadline_ms": 50})
+        with urllib.request.urlopen(url(server, "/metrics"),
+                                    timeout=10) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode()
+        assert "repro_serving_requests_total" in text
+        # The acceptance criterion: breaker transitions visible in
+        # /metrics once the stuck backend has tripped the exact breaker.
+        assert "repro_serving_breaker_transitions_total" in text
+        assert 'from_state="closed",to_state="open"' in text
+
+
+class TestMaxRequests:
+    def test_server_shuts_down_after_n_queries(self):
+        service = InferenceService(build_fig4_network())
+        http_server = serve(service, port=0, max_requests=2)
+        thread = threading.Thread(target=http_server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            post_query(http_server, {"target": "ground_truth"})
+            post_query(http_server, {"target": "ground_truth"})
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+        finally:
+            http_server.server_close()
+            service.close()

@@ -1,0 +1,94 @@
+"""EnginePool: prewarmed forks, bounded admission, shed-on-overload."""
+
+import threading
+
+import pytest
+
+from repro.bayesnet.engine import CompiledNetwork
+from repro.errors import DeadlineExceededError, OverloadError, ServingError
+from repro.perception.chain import build_fig4_network
+from repro.serving import EnginePool
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return CompiledNetwork(build_fig4_network())
+
+
+class TestConstruction:
+    def test_validates_size_and_queue(self, engine):
+        with pytest.raises(ServingError):
+            EnginePool(engine, size=0)
+        with pytest.raises(ServingError):
+            EnginePool(engine, size=1, max_queue=-1)
+
+    def test_requires_forkable_engine(self):
+        with pytest.raises(ServingError, match="prewarm"):
+            EnginePool(object())
+
+    def test_holds_forks_not_the_template(self, engine):
+        pool = EnginePool(engine, size=2)
+        with pool.lease() as leased:
+            assert leased is not engine
+            assert leased.network is engine.network
+
+    def test_forks_answer_like_the_template(self, engine):
+        pool = EnginePool(engine, size=1)
+        with pool.lease() as leased:
+            assert leased.query("ground_truth", {"perception": "car"}) == \
+                pytest.approx(engine.query("ground_truth",
+                                           {"perception": "car"}))
+
+
+class TestLeasing:
+    def test_checkout_checkin_roundtrip(self, engine):
+        pool = EnginePool(engine, size=2)
+        a = pool.checkout()
+        b = pool.checkout()
+        assert pool.snapshot()["free"] == 0
+        assert pool.snapshot()["leased"] == 2
+        pool.checkin(a)
+        pool.checkin(b)
+        assert pool.snapshot()["free"] == 2
+
+    def test_checkout_times_out_when_exhausted(self, engine):
+        pool = EnginePool(engine, size=1, max_queue=2)
+        held = pool.checkout()
+        with pytest.raises(DeadlineExceededError):
+            pool.checkout(timeout=0.01)
+        pool.checkin(held)
+
+    def test_waiter_wakes_when_lease_returns(self, engine):
+        pool = EnginePool(engine, size=1, max_queue=2)
+        held = pool.checkout()
+        got = []
+
+        def waiter():
+            got.append(pool.checkout(timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        pool.checkin(held)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert len(got) == 1
+        pool.checkin(got[0])
+
+
+class TestShedding:
+    def test_sheds_beyond_max_queue(self, engine):
+        pool = EnginePool(engine, size=1, max_queue=0)
+        held = pool.checkout()
+        # max_queue=0: nobody may wait, the next arrival is shed at once.
+        with pytest.raises(OverloadError) as excinfo:
+            pool.checkout(timeout=5.0)
+        assert excinfo.value.queue_depth == 0
+        assert pool.snapshot()["shed"] == 1
+        pool.checkin(held)
+
+    def test_free_engines_never_shed(self, engine):
+        pool = EnginePool(engine, size=1, max_queue=0)
+        for _ in range(5):
+            with pool.lease():
+                pass
+        assert pool.snapshot()["shed"] == 0

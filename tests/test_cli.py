@@ -45,7 +45,7 @@ class TestCLI:
     def test_all_commands_registered(self):
         assert set(COMMANDS) == {"fig4", "table1", "strategy", "matrix",
                                  "dossier", "experiments", "inject",
-                                 "campaign", "trace", "metrics"}
+                                 "campaign", "trace", "metrics", "serve"}
 
     def test_inject_runs(self, capsys):
         assert main(["inject", "--fault", "dropout", "--trials", "30"]) == 0
