@@ -54,6 +54,7 @@ from repro.bayesnet.inference.variable_elimination import (
 from repro.bayesnet.variable import Variable
 from repro.errors import EngineError, InferenceError
 from repro.telemetry.metrics import (
+    ENGINE_BATCH_ROWS,
     ENGINE_EVIDENCE_CACHE_REQUESTS,
     ENGINE_JT_MESSAGES,
     ENGINE_PLAN_REQUESTS,
@@ -80,6 +81,9 @@ DEFAULT_EVIDENCE_CACHE_SIZE = 1024
 #: Cache-miss sentinel: ``probability_of_evidence`` can legitimately
 #: cache 0.0, so absence cannot be signalled by a falsy value.
 _MISS = object()
+
+#: Accepted ``batch_dtype`` values for the stacked-calibration substrate.
+BATCH_DTYPES = {"float32": np.float32, "float64": np.float64}
 
 
 @dataclass
@@ -206,18 +210,30 @@ class CompiledNetwork:
     (``None`` → :data:`DEFAULT_EVIDENCE_CACHE_SIZE`; ``0`` disables
     storing while still counting misses, so instrumentation snapshots
     stay comparable with the cache on).
+
+    ``batch_dtype`` selects the float width of the stacked-calibration
+    substrate behind ``query_batch`` (and the scalar fallback sharing
+    its kernels).  ``"float64"`` (default) is byte-identical to the
+    scalar path; ``"float32"`` halves memory traffic at ~1e-6 absolute
+    posterior tolerance (see DESIGN §12).
     """
 
     def __init__(self, network: "BayesianNetwork",
-                 cache_size: Optional[int] = None):
+                 cache_size: Optional[int] = None,
+                 batch_dtype: str = "float64"):
         if cache_size is None:
             cache_size = DEFAULT_EVIDENCE_CACHE_SIZE
         cache_size = int(cache_size)
         if cache_size < 0:
             raise EngineError(
                 f"cache_size must be non-negative, got {cache_size}")
+        if batch_dtype not in BATCH_DTYPES:
+            raise EngineError(
+                f"batch_dtype must be one of {sorted(BATCH_DTYPES)}, "
+                f"got {batch_dtype!r}")
         self._network = network
         self._cache_size = cache_size
+        self._batch_dtype = BATCH_DTYPES[batch_dtype]
         self._stats = EngineStats()
         self._compiled_version: Optional[int] = None
         self._structure_fp: Optional[str] = None
@@ -356,6 +372,7 @@ class CompiledNetwork:
         clone = CompiledNetwork.__new__(CompiledNetwork)
         clone._network = self._network
         clone._cache_size = self._cache_size
+        clone._batch_dtype = self._batch_dtype
         clone._stats = EngineStats()
         clone._compiled_version = self._compiled_version
         clone._structure_fp = self._structure_fp
@@ -546,11 +563,27 @@ class CompiledNetwork:
             out = {s: float(table[j]) / total for j, s in enumerate(states)}
             self._stats.execute_seconds += time.perf_counter() - t0
         else:
-            order = self._plan(frozenset([target]), frozenset(evidence))
-            posterior = variable_elimination(self._factors, [target],
-                                             evidence, order=order)
+            # Joint too large to materialize: a 1-row pass through the
+            # stacked-calibration substrate — the same kernels
+            # query_batch runs, so batched and scalar answers stay
+            # byte-identical at float64 (batch-invariance of the
+            # row-wise numpy reductions).
+            self._count_plan(hit=self._jt is not None)
+            jt = self._junction_tree()
+            try:
+                beliefs = jt.calibrate_batch([evidence],
+                                             dtype=self._batch_dtype)
+                vec = beliefs.marginal_batch(target)[0]
+            except InferenceError as exc:
+                if getattr(exc, "row_index", None) is not None:
+                    raise InferenceError(
+                        f"evidence {dict(evidence)!r} has probability 0 "
+                        "under the model — posterior is undefined"
+                    ) from None
+                raise
+            out = {s: float(vec[j])
+                   for j, s in enumerate(self._variable(target).states)}
             self._stats.execute_seconds += time.perf_counter() - t0
-            out = posterior.distribution()
         self._cache_put(key, dict(out))
         return out
 
@@ -660,6 +693,10 @@ class CompiledNetwork:
         if not target_list:
             raise InferenceError("query_batch needs at least one target")
         rows = [dict(r) for r in evidence_rows]
+        # Per-batch, not per-query, so recorded unconditionally: the
+        # serving `/metrics` surface shows batch throughput even without
+        # an active tracing session.
+        ENGINE_BATCH_ROWS.inc(len(rows), engine="compiled")
         tracer = _trace_active()
         if tracer is None:
             return self._query_batch(target_list, rows, single)
@@ -679,68 +716,152 @@ class CompiledNetwork:
 
         target_vars = [self._variable(t) for t in target_list]
         results: List = [None] * len(rows)
-        pending: List[int] = list(range(len(rows)))
         if single:
-            target = target_list[0]
-            pending = []
-            for i, row in enumerate(rows):
-                cached = self._cache_get(
-                    ("query", self._structure_fp,
-                     frozenset(row.items()), target))
-                if cached is _MISS:
-                    pending.append(i)
-                else:
-                    results[i] = dict(cached)
+            self._batch_single(target_list[0], target_vars[0], rows, results)
+            return results
         groups: Dict[FrozenSet[str], List[int]] = {}
-        for i in pending:
+        for i in range(len(rows)):
             groups.setdefault(frozenset(rows[i]), []).append(i)
-        # Groups in sorted-signature order, rows within a group sorted by
-        # their evidence assignment: consecutive junction-tree
-        # calibrations in the fallback path then differ in as few
-        # variables as possible and share maximal message prefixes.
         for signature in sorted(groups, key=lambda s: tuple(sorted(s))):
             indices = sorted(
                 groups[signature],
                 key=lambda i: tuple(sorted(rows[i].items())))
             self._check_query(target_list, dict.fromkeys(signature, ""))
             self._batch_group(target_list, target_vars, sorted(signature),
-                              [rows[i] for i in indices], indices, results,
-                              single)
+                              [rows[i] for i in indices], indices, results)
         return results
+
+    def _batch_single(self, target: str, target_var: Variable,
+                      rows: List[Dict[str, str]], results: List) -> None:
+        """Single-target batch: each distinct evidence row computed once.
+
+        Rows are deduplicated by evidence assignment, so a sweep that
+        repeats a handful of configurations pays one posterior-cache
+        lookup and one computation per *unique* row, then fans the
+        answers back out as fresh dicts.  Unique rows missing from the
+        cache are grouped by evidence-variable signature: groups whose
+        (target ∪ evidence) joint fits the table budget are answered by
+        the vectorized gather; every remaining row — across signatures —
+        is pushed through ONE stacked junction-tree calibration
+        (:meth:`JunctionTree.calibrate_batch`), the same kernels the
+        scalar no-joint path runs, so batched posteriors stay
+        byte-identical to per-row queries at float64.
+        """
+        keys = [frozenset(r.items()) for r in rows]
+        first: Dict[FrozenSet, int] = {}
+        for i, k in enumerate(keys):
+            first.setdefault(k, i)
+        unique_out: Dict[FrozenSet, Dict[str, float]] = {}
+        pending: List[int] = []        # first-occurrence row indices
+        for k, i in first.items():
+            cached = self._cache_get(
+                ("query", self._structure_fp, k, target))
+            if cached is _MISS:
+                pending.append(i)
+            else:
+                unique_out[k] = cached
+        # Deterministic order: signature first, assignment second — the
+        # evidence-similarity sort the incremental path relied on, kept
+        # so results and stacked-row order are reproducible.
+        pending.sort(key=lambda i: (tuple(sorted(keys[i])),))
+        groups: Dict[FrozenSet[str], List[int]] = {}
+        for i in pending:
+            groups.setdefault(frozenset(rows[i]), []).append(i)
+        stacked: List[int] = []
+        for signature in sorted(groups, key=lambda s: tuple(sorted(s))):
+            indices = groups[signature]
+            self._check_query([target], dict.fromkeys(signature, ""))
+            joint = self._joint_for(frozenset([target]) | signature)
+            if joint is None:
+                stacked.extend(indices)
+            else:
+                self._gather_rows(target, target_var, sorted(signature),
+                                  joint, indices, rows, keys, unique_out)
+        if stacked:
+            self._stacked_rows(target, target_var, stacked, rows, keys,
+                               unique_out)
+        for i, k in enumerate(keys):
+            results[i] = dict(unique_out[k])
+
+    def _gather_rows(self, target: str, target_var: Variable,
+                     evidence_names: List[str], joint: Factor,
+                     indices: List[int], rows: List[Dict[str, str]],
+                     keys: List[FrozenSet],
+                     unique_out: Dict[FrozenSet, Dict[str, float]]) -> None:
+        """Answer one evidence-signature group from its cached joint."""
+        t0 = time.perf_counter()
+        group_rows = [rows[i] for i in indices]
+        # Axes rearranged to (evidence..., target) so one advanced-index
+        # gather yields (n_rows, target_cardinality).
+        axis_of = {v.name: i for i, v in enumerate(joint.variables)}
+        ev_axes = [axis_of[n] for n in evidence_names]
+        table = np.transpose(joint.table, ev_axes + [axis_of[target]])
+        if evidence_names:
+            gather = tuple(
+                np.asarray([joint.variables[axis_of[name]].index_of(row[name])
+                            for row in group_rows])
+                for name in evidence_names)
+            sliced = table[gather]          # (n_rows, target_cardinality)
+        else:
+            sliced = np.broadcast_to(table, (len(group_rows),) + table.shape)
+        flat = sliced.reshape(len(group_rows), -1)
+        norms = flat.sum(axis=1)
+        zero = np.flatnonzero(norms <= 0.0)
+        if zero.size:
+            bad = group_rows[int(zero[0])]
+            raise InferenceError(
+                f"evidence row {bad!r} has probability 0 under the model — "
+                "posterior is undefined")
+        posts = flat / norms[:, None]
+        for k, i in enumerate(indices):
+            out = {s: float(posts[k, j])
+                   for j, s in enumerate(target_var.states)}
+            unique_out[keys[i]] = out
+            self._cache_put(("query", self._structure_fp, keys[i], target),
+                            dict(out))
+        self._stats.execute_seconds += time.perf_counter() - t0
+
+    def _stacked_rows(self, target: str, target_var: Variable,
+                      indices: List[int], rows: List[Dict[str, str]],
+                      keys: List[FrozenSet],
+                      unique_out: Dict[FrozenSet, Dict[str, float]]) -> None:
+        """Answer every no-joint row with one stacked calibration pass.
+
+        Mixed evidence signatures share the pass: evidence enters as
+        per-row one-hot likelihood vectors, so the whole block runs one
+        collect/distribute schedule regardless of which variables each
+        row observes.
+        """
+        self._count_plan(hit=self._jt is not None)
+        jt = self._junction_tree()
+        t0 = time.perf_counter()
+        stack = [rows[i] for i in indices]
+        try:
+            beliefs = jt.calibrate_batch(stack, dtype=self._batch_dtype)
+            posts = beliefs.marginal_batch(target)
+        except InferenceError as exc:
+            bad = getattr(exc, "row_index", None)
+            if bad is not None:
+                raise InferenceError(
+                    f"evidence row {stack[bad]!r} has probability 0 under "
+                    "the model — posterior is undefined") from None
+            raise
+        for k, i in enumerate(indices):
+            out = {s: float(posts[k, j])
+                   for j, s in enumerate(target_var.states)}
+            unique_out[keys[i]] = out
+            self._cache_put(("query", self._structure_fp, keys[i], target),
+                            dict(out))
+        self._stats.execute_seconds += time.perf_counter() - t0
 
     def _batch_group(self, target_list: List[str],
                      target_vars: List[Variable],
                      evidence_names: List[str],
                      group_rows: List[Dict[str, str]],
-                     indices: List[int], results: List,
-                     single: bool) -> None:
-        """Answer all rows sharing one evidence-variable signature."""
+                     indices: List[int], results: List) -> None:
+        """Answer a multi-target evidence-signature group."""
         keep = frozenset(target_list) | frozenset(evidence_names)
         joint = self._joint_for(keep)
-        if joint is None and single:
-            # Joint too large to materialize: incremental junction-tree
-            # sweep.  Rows arrive sorted by evidence assignment, so each
-            # calibration re-propagates only the messages behind the
-            # variables that changed since the previous row.
-            target = target_list[0]
-            jt = self._junction_tree()
-            t0 = time.perf_counter()
-            for row, out_i in zip(group_rows, indices):
-                try:
-                    jt.calibrate(row)
-                except InferenceError as exc:
-                    if "probability 0" in str(exc):
-                        raise InferenceError(
-                            f"evidence row {row!r} has probability 0 under "
-                            "the model — posterior is undefined") from None
-                    raise
-                self._note_calibration(jt)
-                out = jt.marginal(target)
-                results[out_i] = out
-                self._cache_put(("query", self._structure_fp,
-                                 frozenset(row.items()), target), dict(out))
-            self._stats.execute_seconds += time.perf_counter() - t0
-            return
         if joint is None:
             # Multi-target fallback: per-row elimination over the cached
             # per-signature plan.
@@ -779,18 +900,8 @@ class CompiledNetwork:
         posts = flat / norms[:, None]
         tgt_shape = tuple(v.cardinality for v in target_vars)
         for k, out_i in enumerate(indices):
-            if single:
-                v = target_vars[0]
-                out = {s: float(posts[k, j])
-                       for j, s in enumerate(v.states)}
-                results[out_i] = out
-                self._cache_put(
-                    ("query", self._structure_fp,
-                     frozenset(group_rows[k].items()), target_list[0]),
-                    dict(out))
-            else:
-                results[out_i] = Factor(target_vars,
-                                        posts[k].reshape(tgt_shape))
+            results[out_i] = Factor(target_vars,
+                                    posts[k].reshape(tgt_shape))
         self._stats.execute_seconds += time.perf_counter() - t0
 
     def __repr__(self) -> str:
@@ -862,18 +973,29 @@ class RecompilingEngine:
 
     def query_batch(self, targets: Union[str, Sequence[str]],
                     evidence_rows: Sequence[Mapping[str, str]]) -> List:
-        """Scalar loop — exists so the protocol holds; nothing is reused."""
+        """Scalar loop over ONE freshly compiled factor set.
+
+        Still recompiles per call — that is this engine's contract — but
+        the compiled factors are shared across the batch's rows, and the
+        stats count the batch the way :class:`CompiledNetwork` does (one
+        ``batch_queries`` bump, ``len(rows)`` ``batch_rows``, no per-row
+        ``queries`` inflation), so EngineStats comparisons between the
+        two engines are apples-to-apples.
+        """
         single = isinstance(targets, str)
+        target_list = [targets] if single else list(targets)
+        rows = [dict(r) for r in evidence_rows]
         self._stats.batch_queries += 1
-        self._stats.batch_rows += len(evidence_rows)
+        self._stats.batch_rows += len(rows)
+        ENGINE_BATCH_ROWS.inc(len(rows), engine="recompiling")
+        factors = self._fresh_factors()
+        t0 = time.perf_counter()
         out: List = []
-        for row in evidence_rows:
-            if single:
-                out.append(self.query(targets, row))
-            else:
-                self._stats.queries += 1
-                out.append(variable_elimination(
-                    self._fresh_factors(), list(targets), dict(row)).normalize())
+        for row in rows:
+            posterior = variable_elimination(factors, target_list, row)
+            out.append(posterior.distribution() if single
+                       else posterior.normalize())
+        self._stats.execute_seconds += time.perf_counter() - t0
         return out
 
     def __repr__(self) -> str:

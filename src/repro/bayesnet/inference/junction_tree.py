@@ -25,8 +25,14 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
-from repro.bayesnet.factor import Factor, ScalarFactor, multiply_all
+from repro.bayesnet.factor import (
+    BatchedFactor,
+    Factor,
+    ScalarFactor,
+    multiply_all,
+)
 from repro.bayesnet.graph import maximum_spanning_junction_tree, triangulate
+from repro.bayesnet.inference.kernels import one_hot_likelihoods
 from repro.bayesnet.variable import Variable
 from repro.errors import InferenceError
 from repro.telemetry.tracing import active as _trace_active
@@ -103,6 +109,15 @@ class JunctionTree:
         #: After a fork, message buffers may be shared with the twin tree —
         #: in-place reuse of a previous message's table is then forbidden.
         self._owns_buffers = True
+        # -- batched-calibration state ----------------------------------------
+        #: Full-scope clique potentials (no evidence folded in), one list
+        #: per dtype — the immutable bases every stacked calibration
+        #: broadcasts from.  Built lazily per clique.
+        self._batched_bases: Dict[str, List[Optional[Factor]]] = {}
+        #: Reusable message arena: (i, j) -> the last stacked message
+        #: buffer sent over that edge.  Recycled whenever batch size and
+        #: dtype match, so steady-state sweeps allocate nothing per edge.
+        self._batch_arena: Dict[Tuple[int, int], np.ndarray] = {}
         #: Cumulative and last-call propagation work, for EngineStats.
         self.messages_total = 0
         self.messages_recomputed = 0
@@ -145,6 +160,9 @@ class JunctionTree:
         # recycle them as in-place output buffers.
         self._owns_buffers = False
         clone._owns_buffers = False
+        # The batched message arena is recycled in place per calibration
+        # and must never be shared across twins.
+        clone._batch_arena = {}
         return clone
 
     def _schedule(self) -> Tuple[List[int], List[Optional[int]],
@@ -328,6 +346,138 @@ class JunctionTree:
             self._log_partition = float(np.log(z))
             self._ready = True
 
+    # -- batched calibration ----------------------------------------------------
+
+    def _batched_base(self, k: int, dtype) -> Factor:
+        """Clique ``k``'s full-scope potential (no evidence), per dtype.
+
+        The product of the clique's assigned CPT-factors on a ones-base
+        over *all* clique variables (sorted-name axis order).  Evidence
+        never reduces these tables — the batched path folds evidence in
+        as per-row one-hot likelihoods instead — so the bases are
+        immutable and shared across every stacked calibration (and
+        across forked twins).
+        """
+        key = np.dtype(dtype).name
+        bases = self._batched_bases.get(key)
+        if bases is None:
+            bases = [None] * len(self.cliques)
+            self._batched_bases[key] = bases
+        base = bases[k]
+        if base is None:
+            keep = [self._variables[name] for name in self._clique_names[k]]
+            pot = Factor.ones(keep)
+            for idx in self._clique_factors[k]:
+                pot = pot.multiply(self._factors[idx])
+            bases[k] = base = Factor._wrap(
+                pot.variables, np.ascontiguousarray(pot.table, dtype=dtype))
+        return base
+
+    def _batched_message(self, i: int, j: int,
+                         potentials: List[BatchedFactor],
+                         messages: Dict[Tuple[int, int], BatchedFactor],
+                         sep: FrozenSet[str], dtype) -> None:
+        """Send the stacked message ``i -> j`` into the reusable arena."""
+        inbound = [messages[(k, i)] for k, _ in self._neighbors[i]
+                   if k != j]
+        if inbound:
+            # One private copy of the potential stack, then in-place
+            # products — potentials themselves stay pristine for beliefs.
+            # The copy is forced C-order (batch axis outermost): an
+            # order='K' copy of a zero-stride broadcast view would put
+            # the batch axis innermost, changing np.sum's accumulation
+            # order and breaking bitwise batch-invariance vs n_rows=1.
+            acc = BatchedFactor._wrap(potentials[i].variables,
+                                      potentials[i].table.copy(order="C"))
+            for m in inbound:
+                acc.imultiply(m)
+        else:
+            acc = potentials[i]
+        drop = set(acc.names) - set(sep)
+        kept_shape = (acc.n_rows,) + tuple(
+            v.cardinality for v in acc.variables if v.name not in drop)
+        out = self._batch_arena.get((i, j))
+        if out is None or out.shape != kept_shape \
+                or out.dtype != np.dtype(dtype):
+            out = np.empty(kept_shape, dtype=dtype)
+            self._batch_arena[(i, j)] = out
+        messages[(i, j)] = acc.marginalize(drop, out=out)
+
+    def calibrate_batch(self, rows: Sequence[Mapping[str, str]], *,
+                        dtype=np.float64) -> "BatchedBeliefs":
+        """One stacked collect/distribute pass over an evidence matrix.
+
+        Every row of ``rows`` is one evidence assignment; rows with
+        *different* evidence signatures ride together.  Evidence enters
+        as per-row one-hot likelihoods multiplied into each observed
+        variable's home clique, so clique potentials become
+        ``(n_rows, *clique shape)`` stacks and the whole matrix moves
+        through the tree's message schedule in single vectorized passes
+        — no per-row python loop.
+
+        Independent of the incremental scalar state: ``calibrate``'s
+        memoized potentials and cached messages are neither read nor
+        disturbed.  Any zero-probability row raises an
+        :class:`~repro.errors.InferenceError` carrying ``row_index``.
+        Message buffers are recycled per tree — consume the returned
+        :class:`BatchedBeliefs` before the next ``calibrate_batch`` on
+        the same tree.
+        """
+        n = len(rows)
+        if n == 0:
+            raise InferenceError(
+                "calibrate_batch needs at least one evidence row")
+        observed: Dict[str, Dict[int, int]] = {}
+        for r, row in enumerate(rows):
+            for name, state in row.items():
+                variable = self._variables.get(name)
+                if variable is None:
+                    raise InferenceError(
+                        f"evidence variable {name!r} unknown")
+                observed.setdefault(name, {})[r] = variable.index_of(state)
+        order, parent, children = self._schedule()
+
+        home: Dict[int, List[str]] = {}
+        for name in sorted(observed):
+            k = next(k for k, c in enumerate(self.cliques) if name in c)
+            home.setdefault(k, []).append(name)
+        potentials: List[BatchedFactor] = []
+        for k in range(len(self.cliques)):
+            pot = BatchedFactor.broadcast(self._batched_base(k, dtype), n,
+                                          dtype=dtype)
+            names = home.get(k)
+            if names:
+                pot = pot.materialize()
+                for name in names:
+                    lam = one_hot_likelihoods(self._variables[name],
+                                              observed[name], n, dtype=dtype)
+                    pot.imultiply(BatchedFactor._wrap(
+                        [self._variables[name]], lam))
+            potentials.append(pot)
+
+        messages: Dict[Tuple[int, int], BatchedFactor] = {}
+        for i in reversed(order):       # collect: leaves toward root
+            p = parent[i]
+            if p is None:
+                continue
+            sep = next(s for j, s in self._neighbors[i] if j == p)
+            self._batched_message(i, p, potentials, messages, sep, dtype)
+        for i in order:                 # distribute: root toward leaves
+            for j in children[i]:
+                sep = next(s for k, s in self._neighbors[i] if k == j)
+                self._batched_message(i, j, potentials, messages, sep, dtype)
+
+        beliefs = BatchedBeliefs(self, potentials, messages)
+        z = beliefs.partition()
+        bad = np.flatnonzero(~(z > 0.0))
+        if bad.size:
+            exc = InferenceError(
+                f"evidence row {int(bad[0])} has probability 0 under "
+                "the model")
+            exc.row_index = int(bad[0])
+            raise exc
+        return beliefs
+
     def _invalidate(self) -> None:
         """Drop all incremental state; the next calibrate is from scratch."""
         n = len(self.cliques)
@@ -412,3 +562,81 @@ class JunctionTree:
     def __repr__(self) -> str:
         return (f"JunctionTree(cliques={len(self.cliques)}, "
                 f"max_clique={self.width})")
+
+
+class BatchedBeliefs:
+    """Calibrated stacked clique beliefs for one evidence matrix.
+
+    The query surface of :meth:`JunctionTree.calibrate_batch`: per-row
+    posteriors come out as ``(n_rows, cardinality)`` arrays.  Beliefs
+    materialize lazily per clique.  Because message buffers live in the
+    tree's reusable arena, consume this object before calling
+    ``calibrate_batch`` on the same tree again.
+    """
+
+    def __init__(self, tree: JunctionTree,
+                 potentials: List[BatchedFactor],
+                 messages: Dict[Tuple[int, int], BatchedFactor]):
+        self._tree = tree
+        self._potentials = potentials
+        self._messages = messages
+        self._beliefs: List[Optional[BatchedFactor]] = [None] * len(potentials)
+        self._z: Optional[np.ndarray] = None
+
+    @property
+    def n_rows(self) -> int:
+        return self._potentials[0].n_rows
+
+    def _belief(self, i: int) -> BatchedFactor:
+        belief = self._beliefs[i]
+        if belief is None:
+            inbound = [self._messages[(j, i)]
+                       for j, _ in self._tree._neighbors[i]]
+            if inbound:
+                # C-order copy for the same batch-invariance reason as
+                # JunctionTree._batched_message: keep the batch axis
+                # outermost so per-row reduction order is independent of
+                # n_rows.
+                belief = BatchedFactor._wrap(
+                    self._potentials[i].variables,
+                    self._potentials[i].table.copy(order="C"))
+                for m in inbound:
+                    belief.imultiply(m)
+            else:
+                belief = self._potentials[i]
+            self._beliefs[i] = belief
+        return belief
+
+    def partition(self) -> np.ndarray:
+        """Per-row evidence mass: the ``(n_rows,)`` Z vector."""
+        if self._z is None:
+            root = self._tree._schedule()[0][0]
+            self._z = self._belief(root).partition()
+        return self._z
+
+    def marginal_batch(self, name: str) -> np.ndarray:
+        """Normalized posterior rows for one variable: ``(n_rows, card)``.
+
+        Rows where ``name`` was itself observed come out as exact
+        one-hot vectors — the indicator encoding zeroes every other
+        state bitwise, so no per-row special-casing is needed.
+        """
+        for k, clique in enumerate(self._tree.cliques):
+            if name in clique:
+                belief = self._belief(k)
+                drop = set(belief.names) - {name}
+                marg = belief.marginalize(drop)
+                z = marg.table.sum(axis=1)
+                bad = np.flatnonzero(~(z > 0.0))
+                if bad.size:
+                    exc = InferenceError(
+                        f"evidence row {int(bad[0])} has probability 0 "
+                        "under the model")
+                    exc.row_index = int(bad[0])
+                    raise exc
+                return marg.table / z[:, None]
+        raise InferenceError(f"variable {name!r} not found in any clique")
+
+    def __repr__(self) -> str:
+        return (f"BatchedBeliefs(rows={self.n_rows}, "
+                f"cliques={len(self._potentials)})")

@@ -43,7 +43,9 @@ def cmd_fig4(args: argparse.Namespace) -> None:
     from repro.perception.chain import build_fig4_network
     engine = CompiledNetwork(build_fig4_network(),
                              cache_size=getattr(args, "engine_cache_size",
-                                                None))
+                                                None),
+                             batch_dtype=getattr(args, "batch_dtype",
+                                                 "float64"))
     print("Fig. 4 network:", engine.network)
     print("\nForward P(perception):")
     _print_table(["state", "probability"],
@@ -163,6 +165,8 @@ def cmd_experiments(_: argparse.Namespace) -> None:
          "test_bench_incremental_evidence"),
         ("EXT-S", "serving availability under faults",
          "test_bench_serving"),
+        ("EXT-T", "batched clique calibration",
+         "test_bench_batched_calibration"),
     ]
     _print_table(["id", "artifact", "benchmark module"], experiments)
     print("\nRun one with:  pytest benchmarks/<module>.py --benchmark-only -s")
@@ -251,17 +255,20 @@ def cmd_serve(args: argparse.Namespace) -> None:
         build_fig4_network(), pool_size=args.pool_size,
         max_queue=args.max_queue,
         default_deadline=args.deadline_ms / 1000.0,
-        ladder=not args.no_ladder, fault_injector=faults, seed=args.seed)
+        ladder=not args.no_ladder, fault_injector=faults, seed=args.seed,
+        microbatch_window=args.microbatch_window / 1000.0)
     server = serve(service, host=args.host, port=args.port,
                    max_requests=args.max_requests)
     ladder = "on" if service.ladder_enabled else "off"
     chaos = (f", chaos latency intensity {args.inject_latency:g} "
              f"(mean {args.mean_delay:g}s)" if faults else "")
+    coalesce = (f", microbatch window {args.microbatch_window:g}ms"
+                if args.microbatch_window > 0.0 else "")
     print(f"repro serve: {service._network.name} on "
           f"http://{args.host}:{server.port}  "
           f"(pool={args.pool_size}, deadline={args.deadline_ms:g}ms, "
-          f"ladder {ladder}{chaos})")
-    print("endpoints: POST /query   GET /health   GET /metrics")
+          f"ladder {ladder}{chaos}{coalesce})")
+    print("endpoints: POST /query   POST /batch   GET /health   GET /metrics")
 
     import signal
 
@@ -383,6 +390,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="shut down after N /query requests "
                               "(smoke tests; default: run forever)")
+    serve_p.add_argument("--microbatch-window", type=float, default=0.0,
+                         metavar="MS",
+                         help="coalesce concurrent exact queries arriving "
+                              "within this window (ms) into one batched "
+                              "calibration (default 0 = off)")
 
     for p in (trace, metrics):
         p.add_argument("--intensities", type=float, nargs="+",
@@ -394,6 +406,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="evidence-keyed posterior cache capacity "
                             "(default: engine default; 0 disables)")
+
+    fig4.add_argument("--batch-dtype", choices=("float32", "float64"),
+                      default="float64",
+                      help="dtype of stacked batched calibration "
+                           "(float32 trades ~1e-6 accuracy for half the "
+                           "memory bandwidth; default float64)")
 
     for p in (campaign, trace, metrics):
         p.add_argument("--workers", type=int, default=1,

@@ -75,24 +75,54 @@ def expected_value_of_observation(network: NetworkOrEngine,
     posteriors run as one batched sweep over the engine's compiled plan.
     """
     engine = as_engine(network)
-    evidence = dict(evidence or {})
-    if observable in evidence:
-        raise InferenceError(f"{observable!r} is already observed")
-    if observable == problem.target:
-        raise InferenceError("observing the target itself is clairvoyance; "
-                             "use expected_value_of_perfect_information")
     with tracing.span("voi.evo", observable=observable, target=problem.target):
-        prior_posterior = engine.query(problem.target, evidence)
-        _, eu_now = best_action(problem, prior_posterior)
+        return _evo_block(engine, problem, dict(evidence or {}),
+                          [observable])[0][1]
+
+
+def _evo_block(engine: InferenceEngine, problem: DecisionProblem,
+               evidence: Dict[str, str],
+               observables: Sequence[str]) -> List[Tuple[str, float]]:
+    """EVO scores for a block of observables via ONE batched sweep.
+
+    The per-outcome posterior rows of *every* observable in the block
+    are concatenated and submitted as a single
+    :meth:`~repro.bayesnet.engine.CompiledNetwork.query_batch` call, so
+    the whole block shares one stacked calibration / joint-gather pass
+    instead of one engine round-trip per observable.  Each row's answer
+    depends only on that row (gather rows index the joint
+    independently; stacked calibration is batch-invariant), so scores
+    are float-identical to scoring observables one at a time — block
+    size is purely a throughput knob.
+    """
+    prior_posterior = engine.query(problem.target, evidence)
+    _, eu_now = best_action(problem, prior_posterior)
+    dists: List[Tuple[Dict[str, float], List[str]]] = []
+    spans: List[Tuple[int, int]] = []
+    rows: List[Dict[str, str]] = []
+    for observable in observables:
+        if observable in evidence:
+            raise InferenceError(f"{observable!r} is already observed")
+        if observable == problem.target:
+            raise InferenceError(
+                "observing the target itself is clairvoyance; "
+                "use expected_value_of_perfect_information")
         obs_dist = engine.query(observable, evidence)
         outcomes = [o for o, p in obs_dist.items() if p > 0.0]
-        rows = [{**evidence, observable: o} for o in outcomes]
-        posteriors = engine.query_batch(problem.target, rows)
+        start = len(rows)
+        rows.extend({**evidence, observable: o} for o in outcomes)
+        spans.append((start, len(rows)))
+        dists.append((obs_dist, outcomes))
+    posteriors = engine.query_batch(problem.target, rows) if rows else []
+    scored: List[Tuple[str, float]] = []
+    for observable, (obs_dist, outcomes), (start, end) in zip(
+            observables, dists, spans):
         eu_with = 0.0
-        for outcome, posterior in zip(outcomes, posteriors):
+        for outcome, posterior in zip(outcomes, posteriors[start:end]):
             _, eu = best_action(problem, posterior)
             eu_with += obs_dist[outcome] * eu
-        return max(0.0, eu_with - eu_now)
+        scored.append((observable, max(0.0, eu_with - eu_now)))
+    return scored
 
 
 def expected_value_of_perfect_information(
@@ -125,9 +155,8 @@ def _evo_chunk(problem: DecisionProblem,
     every EVO is exact arithmetic, so chunking changes nothing.
     """
     engine = base.fork()
-    return [(name, expected_value_of_observation(engine, problem, name,
-                                                 evidence))
-            for name in observables]
+    return _evo_block(engine, problem, dict(evidence or {}),
+                      list(observables))
 
 
 def rank_observables(network: NetworkOrEngine, problem: DecisionProblem,
@@ -163,11 +192,11 @@ def rank_observables(network: NetworkOrEngine, problem: DecisionProblem,
                     partial(_evo_chunk, problem, evidence),
                     base.prewarm(), observables)
             else:
-                scored = [(name, expected_value_of_observation(
-                    engine, problem, name, evidence))
-                    for name in observables]
+                scored = _evo_block(engine, problem,
+                                    dict(evidence or {}), observables)
         else:
-            scored = [(name, expected_value_of_observation(
-                engine, problem, name, evidence))
-                for name in observables]
+            # Whole ranking as one row block: every observable's
+            # outcome rows ride a single batched calibration.
+            scored = _evo_block(engine, problem, dict(evidence or {}),
+                                observables)
     return sorted(scored, key=lambda t: -t[1])

@@ -9,6 +9,12 @@ Three endpoints, no dependencies beyond :mod:`http.server`:
   ``stale`` / ``estimated_error`` fields carry the epistemic cost.
   Overload is **429**, an invalid query is **400**, and a hard failure
   (only possible with the ladder disabled) is **504**/**500**.
+- ``POST /batch`` — body ``{"target": ..., "rows": [{...}, ...],
+  "deadline_ms": ...}``; the whole evidence block runs as ONE batched
+  exact pass (stacked clique calibration) and answers with
+  ``{"results": [...]}`` — one response document per row, rows with
+  probability-0 evidence carrying an ``error`` field instead.  Same
+  status-code mapping as ``/query``.
 - ``GET /health`` — the service health document; **200** while the
   supervisor mode is ok/degraded, **503** once it reaches critical.
 - ``GET /metrics`` — Prometheus text exposition of the process registry
@@ -105,23 +111,34 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"no such path {self.path!r}"})
 
     def do_POST(self) -> None:
-        if self.path != "/query":
+        if self.path not in ("/query", "/batch"):
             self._send_json(404, {"error": f"no such path {self.path!r}"})
             return
         try:
             length = int(self.headers.get("Content-Length", "0"))
             payload = json.loads(self.rfile.read(length) or b"{}")
             target = payload["target"]
-            evidence = payload.get("evidence") or {}
             deadline_ms = payload.get("deadline_ms")
             deadline = (float(deadline_ms) / 1000.0
                         if deadline_ms is not None else None)
+            if self.path == "/batch":
+                rows = payload["rows"]
+                if not isinstance(rows, list):
+                    raise ValueError("rows must be a list of evidence maps")
+            else:
+                evidence = payload.get("evidence") or {}
         except (KeyError, ValueError, TypeError) as exc:
             self._send_json(400, {"error": f"bad request body: {exc}"})
             return
         try:
-            response = self.server.service.submit(
-                target, evidence, deadline_seconds=deadline)
+            if self.path == "/batch":
+                results = self.server.service.submit_batch(
+                    target, rows, deadline_seconds=deadline)
+                document = {"target": target, "rows": len(results),
+                            "results": results}
+            else:
+                document = self.server.service.submit(
+                    target, evidence, deadline_seconds=deadline).to_dict()
         except OverloadError as exc:
             self._send_json(429, {"error": str(exc),
                                   "queue_depth": exc.queue_depth})
@@ -137,7 +154,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         finally:
             self.server.note_query()
-        self._send_json(200, response.to_dict())
+        self._send_json(200, document)
 
 
 def serve(service: InferenceService, host: str = DEFAULT_HOST,

@@ -53,6 +53,7 @@ from repro.serving.pool import EnginePool
 from repro.telemetry.clock import SystemClock
 from repro.telemetry.metrics import (
     SERVING_DEADLINE_EVENTS,
+    SERVING_MICROBATCH_SIZE,
     SERVING_REQUEST_SECONDS,
     SERVING_REQUESTS,
 )
@@ -174,6 +175,12 @@ class InferenceService:
         Telemetry-style clock (``wall()``) for latency accounting;
         inject a :class:`~repro.telemetry.clock.ManualClock` for
         deterministic tests.
+    microbatch_window:
+        Seconds the first concurrent exact request waits for companions
+        before flushing; all requests that arrive inside the window are
+        coalesced into one :meth:`CompiledNetwork.query_batch` call per
+        target on a single engine lease.  ``0.0`` (the default)
+        disables coalescing — each request runs its own scalar query.
     """
 
     def __init__(self, network, *, pool_size: int = 2, max_queue: int = 8,
@@ -184,7 +191,7 @@ class InferenceService:
                  fault_injector: Union[FaultInjector,
                                        Sequence[FaultModel]] = (),
                  result_cache_size: int = 4096, seed: int = 0,
-                 clock=None):
+                 clock=None, microbatch_window: float = 0.0):
         if default_deadline <= 0.0:
             raise ServingError(
                 f"default_deadline must be positive, got {default_deadline}")
@@ -195,6 +202,10 @@ class InferenceService:
         if result_cache_size < 1:
             raise ServingError("result_cache_size must be at least 1, got "
                                f"{result_cache_size}")
+        if microbatch_window < 0.0:
+            raise ServingError(
+                "microbatch_window must be >= 0 (0 disables), got "
+                f"{microbatch_window}")
         engine = network if isinstance(network, CompiledNetwork) \
             else CompiledNetwork(network)
         self._network = engine.network
@@ -239,6 +250,14 @@ class InferenceService:
             self.pool.template.marginals({})
         self._executor = ThreadPoolExecutor(
             max_workers=pool_size, thread_name_prefix="repro-serving")
+        self.microbatch_window = float(microbatch_window)
+        #: Micro-batch coalescing state: the first thread to append to
+        #: ``_mb_pending`` while no leader is active becomes the leader;
+        #: it sleeps out the window, drains the list, and answers every
+        #: drained item.  Followers wait on their item's event.
+        self._mb_lock = threading.Lock()
+        self._mb_pending: List[_MicroBatchItem] = []
+        self._mb_leader_active = False
         self._closed = False
 
     # -- lifecycle -------------------------------------------------------------
@@ -302,6 +321,98 @@ class InferenceService:
             SERVING_REQUESTS.inc(tier="none", outcome="error")
             self._tick_supervisor(success=False)
             raise
+        finally:
+            with self._lock:
+                self._inflight -= 1
+
+    def submit_batch(self, target: str,
+                     evidence_rows: Sequence[Mapping[str, str]],
+                     deadline_seconds: Optional[float] = None
+                     ) -> List[Dict[str, object]]:
+        """Answer a whole evidence block with one batched exact pass.
+
+        The sweep surface behind ``POST /batch``: the block shares one
+        deadline, one admission slot and one engine lease, and runs as a
+        single :meth:`CompiledNetwork.query_batch` call (stacked clique
+        calibration — no per-row python loop).  There is no degradation
+        ladder here: sweeps want exact numbers or an explicit error.
+
+        Returns one dict per row — a
+        :meth:`ServiceResponse.to_dict` document for answered rows, or
+        ``{"evidence": ..., "error": ...}`` for rows whose evidence has
+        probability 0 (other rows in the block still answer).
+        """
+        if self._closed:
+            raise ServingError("service is closed")
+        deadline = (self.default_deadline if deadline_seconds is None
+                    else float(deadline_seconds))
+        if deadline <= 0.0:
+            raise ServingError(
+                f"deadline_seconds must be positive, got {deadline}")
+        rows = [dict(r) for r in evidence_rows]
+        if not rows:
+            raise ServingError("batch needs at least one evidence row")
+        for row in rows:
+            self._validate(target, row)
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                self._shed += 1
+                SERVING_REQUESTS.inc(tier="none", outcome="shed")
+                raise OverloadError(
+                    f"service at capacity: {self._inflight} requests in "
+                    f"flight (max {self.max_inflight})",
+                    queue_depth=self._inflight)
+            self._inflight += 1
+            self._requests += len(rows)
+        t0 = self._clock.wall()
+        try:
+            SERVING_MICROBATCH_SIZE.observe(len(rows))
+            engine = self.pool.checkout(timeout=deadline)
+
+            def call() -> List:
+                try:
+                    try:
+                        return engine.query_batch(target, rows)
+                    except InferenceError:
+                        # One poisoned row fails the whole stacked call:
+                        # replay per row so only that row reports the
+                        # error.
+                        out: List = []
+                        for row in rows:
+                            try:
+                                out.append(engine.query(target, row))
+                            except InferenceError as exc:
+                                out.append(exc)
+                        return out
+                finally:
+                    self.pool.checkin(engine)
+
+            future = self._executor.submit(call)
+            try:
+                posts = future.result(timeout=deadline)
+            except FutureTimeoutError:
+                future.cancel()
+                SERVING_DEADLINE_EVENTS.inc(tier=TIER_EXACT)
+                raise DeadlineExceededError(
+                    f"batch of {len(rows)} rows missed its "
+                    f"{deadline:.4f}s deadline") from None
+            latency = self._clock.wall() - t0
+            results: List[Dict[str, object]] = []
+            for row, post in zip(rows, posts):
+                if isinstance(post, Exception):
+                    SERVING_REQUESTS.inc(tier="none", outcome="invalid")
+                    results.append({"target": target, "evidence": row,
+                                    "error": str(post)})
+                    continue
+                response = ServiceResponse(
+                    target=target, evidence=row, posterior=post,
+                    tier=TIER_EXACT, degraded=False, stale=False,
+                    estimated_error=0.0, deadline_seconds=deadline,
+                    latency_seconds=latency)
+                self._record(response)
+                response.mode = self._tick_supervisor(success=True)
+                results.append(response.to_dict())
+            return results
         finally:
             with self._lock:
                 self._inflight -= 1
@@ -445,6 +556,12 @@ class InferenceService:
 
     def _run_exact(self, target: str, evidence: Dict[str, str],
                    budget: float) -> Dict[str, float]:
+        if self.microbatch_window <= 0.0:
+            return self._run_exact_single(target, evidence, budget)
+        return self._run_exact_batched(target, evidence, budget)
+
+    def _run_exact_single(self, target: str, evidence: Dict[str, str],
+                          budget: float) -> Dict[str, float]:
         """One deadline-bounded exact query on a pooled engine.
 
         The engine is leased inside the worker closure and checked in
@@ -465,6 +582,112 @@ class InferenceService:
             return future.result(timeout=budget)
         except FutureTimeoutError:
             future.cancel()  # drop it if it never started
+            raise
+
+    def _run_exact_batched(self, target: str, evidence: Dict[str, str],
+                           budget: float) -> Dict[str, float]:
+        """Exact query via the micro-batcher (leader election).
+
+        The request enqueues an item; the first thread to arrive while
+        no leader is active becomes the leader, sleeps out
+        ``microbatch_window`` (bounded by its own budget), drains every
+        item that accumulated, and answers them all with one
+        ``query_batch`` per target on a single engine lease.  Followers
+        block on their item's event for at most their own budget —
+        a leader that cannot finish in time costs the follower its
+        deadline, exactly as a slow scalar backend would.
+        """
+        item = _MicroBatchItem(target, evidence)
+        with self._mb_lock:
+            self._mb_pending.append(item)
+            leader = not self._mb_leader_active
+            if leader:
+                self._mb_leader_active = True
+        if leader:
+            self._sleep(min(self.microbatch_window, budget))
+            with self._mb_lock:
+                # Drain + leader-reset atomically: the next arrival
+                # after this point elects a fresh leader.
+                batch = self._mb_pending
+                self._mb_pending = []
+                self._mb_leader_active = False
+            self._flush_microbatch(batch, budget)
+        elif not item.event.wait(budget):
+            raise DeadlineExceededError(
+                f"micro-batched exact query missed its {budget:.4f}s "
+                "budget waiting for the batch leader")
+        if item.error is not None:
+            raise item.error
+        if item.result is None:
+            raise DeadlineExceededError(
+                "micro-batch flush was dropped before answering")
+        return item.result
+
+    def _flush_microbatch(self, batch: List["_MicroBatchItem"],
+                          budget: float) -> None:
+        """Answer one drained micro-batch on a single engine lease.
+
+        Per-item outcomes land on the items themselves (result or
+        error); every item's event is always set, so followers never
+        wait past their own budget + this method's bounded lifetime.  A
+        batch-level :class:`InferenceError` (one poisoned row fails the
+        whole ``query_batch`` call) triggers a per-row scalar replay so
+        the error lands only on the row that earned it.
+        """
+        SERVING_MICROBATCH_SIZE.observe(len(batch))
+        groups: Dict[str, List[_MicroBatchItem]] = {}
+        for it in batch:
+            groups.setdefault(it.target, []).append(it)
+        try:
+            engine = self.pool.checkout(timeout=budget)
+        except Exception as exc:
+            for it in batch:
+                it.error = exc
+                it.event.set()
+            return
+
+        def call() -> None:
+            try:
+                for tgt, items in groups.items():
+                    rows = [it.evidence for it in items]
+                    try:
+                        posts: List = engine.query_batch(tgt, rows)
+                    except InferenceError:
+                        posts = []
+                        for it in items:
+                            try:
+                                posts.append(engine.query(tgt, it.evidence))
+                            except InferenceError as exc:
+                                posts.append(exc)
+                    for it, post in zip(items, posts):
+                        if isinstance(post, Exception):
+                            it.error = post
+                        else:
+                            it.result = post
+            except Exception as exc:  # lease-wide failure: fan out
+                for it in batch:
+                    if it.result is None and it.error is None:
+                        it.error = exc
+            finally:
+                self.pool.checkin(engine)
+                for it in batch:
+                    it.event.set()
+
+        future = self._executor.submit(call)
+        try:
+            future.result(timeout=budget)
+        except FutureTimeoutError:
+            if future.cancel():
+                # Never started: nobody will set the events — do it
+                # here so followers fail fast instead of sleeping out
+                # their full budgets.
+                exc = DeadlineExceededError(
+                    "micro-batch flush timed out before starting")
+                self.pool.checkin(engine)
+                for it in batch:
+                    if it.result is None and it.error is None:
+                        it.error = exc
+                    it.event.set()
             raise
 
     def _tier_cache(self, target: str, evidence: Dict[str, str],
@@ -639,6 +862,19 @@ class InferenceService:
         return (f"InferenceService({self._network.name!r}, "
                 f"pool={self.pool.size}, ladder={self.ladder_enabled}, "
                 f"mode={self.supervisor.mode!r})")
+
+
+class _MicroBatchItem:
+    """One enqueued exact query awaiting a micro-batch flush."""
+
+    __slots__ = ("target", "evidence", "event", "result", "error")
+
+    def __init__(self, target: str, evidence: Dict[str, str]):
+        self.target = target
+        self.evidence = evidence
+        self.event = threading.Event()
+        self.result: Optional[Dict[str, float]] = None
+        self.error: Optional[Exception] = None
 
 
 class _TierUnavailable(Exception):

@@ -390,6 +390,14 @@ PERCEPTION_ENCOUNTERS = REGISTRY.counter(
     "repro_perception_encounters_total",
     "Encounters simulated through PerceptionChain.run_campaign.")
 
+#: Evidence rows pushed through query_batch, by engine implementation.
+#: Records unconditionally (one increment per batch, not per query), so
+#: the serving `/metrics` surface sees batch throughput without tracing.
+ENGINE_BATCH_ROWS = REGISTRY.counter(
+    "repro_engine_batch_rows_total",
+    "Evidence rows pushed through query_batch, by engine implementation.",
+    labels=("engine",))
+
 
 # -- serving runtime instruments ------------------------------------------------
 #
@@ -434,3 +442,9 @@ SERVING_BREAKER_STATE = REGISTRY.gauge(
 SERVING_QUEUE_DEPTH = REGISTRY.gauge(
     "repro_serving_queue_depth",
     "Requests currently queued for an engine-pool lease.")
+
+#: Coalesced request count per micro-batch flush.
+SERVING_MICROBATCH_SIZE = REGISTRY.histogram(
+    "repro_serving_microbatch_size",
+    "Coalesced request count per micro-batch flush.",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0))

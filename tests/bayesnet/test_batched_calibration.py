@@ -1,0 +1,375 @@
+"""Batched clique calibration: BatchedFactor algebra, stacked-pass parity.
+
+The acceptance contract of the structure-of-arrays substrate: batched
+posteriors are BYTE-IDENTICAL to the scalar path at float64 — across the
+fig4 grid (joint-gather regime) and a high-treewidth synthetic net
+(stacked-calibration regime) — zero-probability rows raise
+:class:`InferenceError` exactly like the scalar path, and float32 mode
+stays within its documented ~1e-6 tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bayesnet.cpt import CPT
+from repro.bayesnet.engine import CompiledNetwork, RecompilingEngine
+from repro.bayesnet.factor import BatchedFactor, Factor, ScalarFactor
+from repro.bayesnet.network import BayesianNetwork
+from repro.bayesnet.variable import Variable
+from repro.errors import EngineError, GraphError, InferenceError
+from repro.perception.chain import build_fig4_network
+from repro.telemetry.metrics import ENGINE_BATCH_ROWS
+
+OUTPUTS = ("car", "pedestrian", "car/pedestrian", "none")
+
+A = Variable("a", ("a0", "a1"))
+B = Variable("b", ("b0", "b1", "b2"))
+C = Variable("c", ("c0", "c1"))
+
+
+def dense_network(n: int = 14, card: int = 6, seed: int = 7,
+                  poison: bool = False) -> BayesianNetwork:
+    """A chain-with-skips net whose (target ∪ evidence) joints overflow
+    the engine's table budget once evidence spans enough variables —
+    forcing query_batch onto the stacked-calibration path.
+
+    With ``poison=True`` the last CPT gets a structural zero:
+    P(v{n-1}=s1 | parents both s0) = 0, so evidence asserting that
+    combination has probability 0 under the model.
+    """
+    rng = np.random.default_rng(seed)
+    names = [f"v{i}" for i in range(n)]
+    variables = {nm: Variable(nm, tuple(f"s{j}" for j in range(card)))
+                 for nm in names}
+    bn = BayesianNetwork("dense")
+    for i, nm in enumerate(names):
+        parents = ([names[i - 1]] if i >= 1 else []) \
+            + ([names[i - 2]] if i >= 2 else [])
+        table = rng.random(tuple(card for _ in parents) + (card,)) + 0.1
+        if poison and i == n - 1:
+            table[0, 0, 1] = 0.0
+        table = table / table.sum(axis=-1, keepdims=True)
+        bn.add_cpt(CPT(variables[nm], [variables[p] for p in parents],
+                       table))
+    return bn
+
+
+def dense_rows(n_rows: int = 30, n_observed: int = 9,
+               card: int = 6) -> list:
+    return [{f"v{j}": f"s{(i + j) % card}" for j in range(n_observed)}
+            for i in range(n_rows)]
+
+
+def random_factor(rng, variables) -> Factor:
+    shape = tuple(v.cardinality for v in variables)
+    return Factor(variables, rng.random(shape) + 0.05)
+
+
+class TestBatchedFactor:
+    def test_shape_validation(self):
+        with pytest.raises(InferenceError, match="batched table shape"):
+            BatchedFactor([A, B], np.ones((2, 3)))  # missing batch axis
+        with pytest.raises(InferenceError, match="batched table shape"):
+            BatchedFactor([A], np.ones((4, 3)))     # wrong cardinality
+
+    def test_broadcast_is_zero_copy_and_materialize_owns(self):
+        f = random_factor(np.random.default_rng(0), [A, B])
+        stack = BatchedFactor.broadcast(f, 5)
+        assert stack.n_rows == 5
+        assert not stack.table.flags.writeable  # view, not copy
+        owned = stack.materialize()
+        assert owned.table.flags.writeable
+        assert owned.table.flags.c_contiguous
+        # batch axis must stay OUTERMOST in the copy: layout determines
+        # np.sum accumulation order, which the byte-parity contract
+        # depends on.
+        assert owned.table.strides[0] == max(owned.table.strides)
+        owned.table[0] = 0.0
+        np.testing.assert_array_equal(stack.table[0], f.table)
+
+    def test_materialize_single_row_is_writable(self):
+        # Regression: np.ascontiguousarray returns the same read-only
+        # view when the broadcast is already contiguous (n_rows=1).
+        stack = BatchedFactor.broadcast(
+            random_factor(np.random.default_rng(1), [A]), 1)
+        assert stack.materialize().table.flags.writeable
+
+    def test_multiply_matches_per_row(self):
+        rng = np.random.default_rng(2)
+        fa = [random_factor(rng, [A, B]) for _ in range(4)]
+        fb = [random_factor(rng, [B, C]) for _ in range(4)]
+        sa = BatchedFactor([A, B], np.stack([f.table for f in fa]))
+        sb = BatchedFactor([B, C], np.stack([f.table for f in fb]))
+        prod = sa.multiply(sb)
+        assert prod.names == ["a", "b", "c"]
+        for r in range(4):
+            want = fa[r].multiply(fb[r])
+            np.testing.assert_array_equal(prod.row(r).table, want.table)
+
+    def test_multiply_batch_size_mismatch(self):
+        sa = BatchedFactor.broadcast(
+            random_factor(np.random.default_rng(3), [A]), 2)
+        sb = BatchedFactor.broadcast(
+            random_factor(np.random.default_rng(3), [A]), 3)
+        with pytest.raises(InferenceError, match="batch sizes differ"):
+            sa.multiply(sb)
+
+    def test_multiply_out_buffer(self):
+        rng = np.random.default_rng(4)
+        sa = BatchedFactor.broadcast(random_factor(rng, [A, B]), 3)
+        sb = BatchedFactor.broadcast(random_factor(rng, [B, C]), 3)
+        out = np.empty((3, 2, 3, 2))
+        prod = sa.multiply(sb, out=out)
+        assert prod.table is out
+        with pytest.raises(InferenceError, match="out buffer shape"):
+            sa.multiply(sb, out=np.empty((3, 2, 3)))
+
+    def test_imultiply_in_place_and_scope_check(self):
+        rng = np.random.default_rng(5)
+        big = BatchedFactor.broadcast(random_factor(rng, [A, B]),
+                                      2).materialize()
+        small = BatchedFactor.broadcast(random_factor(rng, [B]), 2)
+        buf = big.table
+        before = big.table.copy()
+        big.imultiply(small)
+        assert big.table is buf  # no reallocation
+        np.testing.assert_array_equal(
+            big.table, before * small.table[:, None, :])
+        wide = BatchedFactor.broadcast(random_factor(rng, [A, C]), 2)
+        with pytest.raises(InferenceError, match="scope within"):
+            big.imultiply(wide)
+
+    def test_marginalize_matches_per_row_and_out_buffer(self):
+        rng = np.random.default_rng(6)
+        fs = [random_factor(rng, [A, B, C]) for _ in range(3)]
+        stack = BatchedFactor([A, B, C], np.stack([f.table for f in fs]))
+        marg = stack.marginalize(["b"])
+        for r in range(3):
+            np.testing.assert_array_equal(marg.row(r).table,
+                                          fs[r].marginalize(["b"]).table)
+        out = np.empty((3, 2, 2))
+        marg2 = stack.marginalize(["b"], out=out)
+        assert marg2.table is out
+        np.testing.assert_array_equal(marg2.table, marg.table)
+        with pytest.raises(InferenceError, match="out buffer shape"):
+            stack.marginalize(["b"], out=np.empty((3, 2)))
+        with pytest.raises(InferenceError, match="absent variables"):
+            stack.marginalize(["nope"])
+
+    def test_partition_and_normalize(self):
+        rng = np.random.default_rng(8)
+        stack = BatchedFactor([A, B], rng.random((4, 2, 3)))
+        z = stack.partition()
+        assert z.shape == (4,)
+        np.testing.assert_allclose(
+            stack.normalize().partition(), np.ones(4), atol=1e-12)
+
+    def test_normalize_zero_row_carries_row_index(self):
+        table = np.ones((3, 2))
+        table[1] = 0.0
+        with pytest.raises(InferenceError, match="row 1") as info:
+            BatchedFactor([A], table).normalize()
+        assert info.value.row_index == 1
+
+    def test_row_scalar_factor(self):
+        stack = BatchedFactor([], np.asarray([2.0, 3.0]))
+        assert isinstance(stack.row(0), ScalarFactor)
+        assert stack.row(1).partition() == 3.0
+
+
+class TestFig4Parity:
+    """Joint-gather regime: the fig4 grid, byte-for-byte."""
+
+    def grid_rows(self):
+        return [{}] + [{"perception": o} for o in OUTPUTS]
+
+    def test_batch_bytes_match_scalar_queries(self):
+        engine = CompiledNetwork(build_fig4_network(), cache_size=0)
+        rows = self.grid_rows()
+        batched = engine.query_batch("ground_truth", rows)
+        for row, post in zip(rows, batched):
+            want = engine.query("ground_truth", row)
+            assert post == want  # dict equality on floats = byte equality
+
+    def test_batch_bytes_match_with_duplicated_rows(self):
+        engine = CompiledNetwork(build_fig4_network(), cache_size=0)
+        rows = [{"perception": OUTPUTS[i % len(OUTPUTS)]}
+                for i in range(200)]
+        batched = engine.query_batch("ground_truth", rows)
+        for row, post in zip(rows, batched):
+            assert post == engine.query("ground_truth", row)
+
+    def test_deduped_results_are_fresh_dicts(self):
+        engine = CompiledNetwork(build_fig4_network())
+        rows = [{"perception": "car"}, {"perception": "car"}]
+        first, second = engine.query_batch("ground_truth", rows)
+        assert first == second
+        first["car"] = -1.0  # caller mutation must not leak
+        assert second != first
+        assert engine.query_batch("ground_truth", rows)[0]["car"] >= 0.0
+
+
+class TestStackedParity:
+    """No-joint regime: stacked calibration vs the scalar path."""
+
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return CompiledNetwork(dense_network(), cache_size=0)
+
+    def test_stacked_regime_engaged(self, engine):
+        engine.prewarm()
+        keep = frozenset(["v12"]) | frozenset(dense_rows()[0])
+        assert engine._joint_for(keep) is None
+
+    def test_batch_bytes_match_scalar_queries(self, engine):
+        rows = dense_rows()
+        batched = engine.query_batch("v12", rows)
+        for row, post in zip(rows, batched):
+            assert post == engine.query("v12", row)
+
+    def test_mixed_signatures_share_one_stacked_pass(self, engine):
+        # Rows observing DIFFERENT variable sets still byte-match: the
+        # one-hot indicator encoding answers them in a single stacked
+        # collect/distribute pass.
+        rows = [dict(list(r.items())[:5 + (i % 5)])
+                for i, r in enumerate(dense_rows())]
+        batched = engine.query_batch("v12", rows)
+        for row, post in zip(rows, batched):
+            assert post == engine.query("v12", row)
+
+    def test_batch_invariance_of_calibrate_batch(self, engine):
+        engine.prewarm()
+        jt = engine._junction_tree()
+        rows = dense_rows()
+        stacked = jt.calibrate_batch(rows).marginal_batch("v12").copy()
+        for i in (0, 7, 29):
+            single = jt.calibrate_batch([rows[i]]).marginal_batch("v12")
+            np.testing.assert_array_equal(stacked[i], single[0])
+
+    def test_observed_target_comes_out_one_hot(self, engine):
+        engine.prewarm()
+        jt = engine._junction_tree()
+        row = dict(dense_rows()[0], v12="s3")
+        post = jt.calibrate_batch([row]).marginal_batch("v12")[0]
+        want = np.zeros(6)
+        want[3] = 1.0
+        np.testing.assert_array_equal(post, want)
+
+    def test_calibrate_batch_validates_evidence(self, engine):
+        engine.prewarm()
+        jt = engine._junction_tree()
+        with pytest.raises(InferenceError, match="unknown"):
+            jt.calibrate_batch([{"nope": "s0"}])
+        with pytest.raises(GraphError, match="not in the ontology"):
+            jt.calibrate_batch([{"v0": "not-a-state"}])
+
+
+class TestZeroProbabilityRows:
+    def sprinkler(self):
+        rain = Variable("rain", ("yes", "no"))
+        sprinkler = Variable("sprinkler", ("on", "off"))
+        grass = Variable("grass", ("wet", "dry"))
+        bn = BayesianNetwork("sprinkler")
+        bn.add_cpt(CPT(rain, [], np.asarray([0.2, 0.8])))
+        bn.add_cpt(CPT(sprinkler, [rain],
+                       np.asarray([[0.01, 0.99], [0.4, 0.6]])))
+        # wet is impossible whenever rain=no, either sprinkler state
+        bn.add_cpt(CPT(grass, [sprinkler, rain],
+                       np.asarray([[[0.99, 0.01], [0.0, 1.0]],
+                                   [[0.8, 0.2], [0.0, 1.0]]])))
+        return bn
+
+    def test_gather_regime_raises_like_scalar(self):
+        engine = CompiledNetwork(self.sprinkler())
+        impossible = {"rain": "no", "grass": "wet"}
+        with pytest.raises(InferenceError, match="probability 0"):
+            engine.query("sprinkler", impossible)
+        with pytest.raises(InferenceError, match="probability 0"):
+            engine.query_batch("sprinkler", [{"grass": "wet"}, impossible])
+
+    def test_stacked_regime_raises_like_scalar(self):
+        engine = CompiledNetwork(dense_network(poison=True), cache_size=0)
+        # P(v13=s1 | v12=s0, v11=s0) is a structural zero.
+        row = dict(dense_rows()[0])
+        row.update(v11="s0", v12="s0", v13="s1")
+        with pytest.raises(InferenceError, match="probability 0"):
+            engine.query("v9", row)
+        with pytest.raises(InferenceError, match="probability 0"):
+            engine.query_batch("v9", [dense_rows()[1], row])
+        # Possible rows in the same batch still answer after a rebuild.
+        fresh = CompiledNetwork(dense_network(poison=True), cache_size=0)
+        ok = fresh.query_batch("v9", [dense_rows()[1]])
+        assert ok[0] == fresh.query("v9", dense_rows()[1])
+
+
+class TestFloat32Mode:
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(EngineError, match="batch_dtype"):
+            CompiledNetwork(build_fig4_network(), batch_dtype="float16")
+
+    def test_fork_inherits_dtype(self):
+        engine = CompiledNetwork(build_fig4_network(),
+                                 batch_dtype="float32")
+        assert engine.fork()._batch_dtype == np.float32
+
+    def test_float32_within_documented_tolerance(self):
+        net = dense_network()
+        exact = CompiledNetwork(net, cache_size=0)
+        fast = CompiledNetwork(net, cache_size=0, batch_dtype="float32")
+        rows = dense_rows()
+        want = exact.query_batch("v12", rows)
+        got = fast.query_batch("v12", rows)
+        for w, g in zip(want, got):
+            for state, p in w.items():
+                assert g[state] == pytest.approx(p, abs=1e-6)
+
+
+class TestRecompilingEngineBatch:
+    """Satellite: RecompilingEngine batches apples-to-apples."""
+
+    def test_one_compile_per_batch(self):
+        naive = RecompilingEngine(build_fig4_network())
+        rows = [{"perception": o} for o in OUTPUTS]
+        naive.query_batch("ground_truth", rows)
+        stats = naive.stats
+        assert stats.recompiles == 1      # plan shared across the loop
+        assert stats.batch_queries == 1
+        assert stats.batch_rows == len(rows)
+        assert stats.queries == 0         # no per-row inflation
+
+    def test_stats_shape_matches_compiled_engine(self):
+        rows = [{"perception": o} for o in OUTPUTS]
+        naive = RecompilingEngine(build_fig4_network())
+        cached = CompiledNetwork(build_fig4_network())
+        naive.query_batch("ground_truth", rows)
+        cached.query_batch("ground_truth", rows)
+        for stats in (naive.stats, cached.stats):
+            assert (stats.batch_queries, stats.batch_rows) == (1, len(rows))
+
+    def test_multi_target_rows_match_compiled(self):
+        net = dense_network(n=6, card=3)
+        rows = [{"v0": f"s{i % 3}"} for i in range(4)]
+        naive = RecompilingEngine(net)
+        cached = CompiledNetwork(net)
+        for a, b in zip(naive.query_batch(["v4", "v5"], rows),
+                        cached.query_batch(["v4", "v5"], rows)):
+            axes = [list(a.names).index(n) for n in b.names]
+            np.testing.assert_allclose(np.transpose(a.table, axes),
+                                       b.table, atol=1e-12)
+
+
+class TestBatchRowsCounter:
+    """Satellite: repro_engine_batch_rows_total records unconditionally."""
+
+    def test_counts_by_engine_label(self):
+        before_c = ENGINE_BATCH_ROWS.value(engine="compiled")
+        before_r = ENGINE_BATCH_ROWS.value(engine="recompiling")
+        rows = [{"perception": o} for o in OUTPUTS]
+        CompiledNetwork(build_fig4_network()).query_batch(
+            "ground_truth", rows)
+        RecompilingEngine(build_fig4_network()).query_batch(
+            "ground_truth", rows)
+        assert ENGINE_BATCH_ROWS.value(engine="compiled") \
+            == before_c + len(rows)
+        assert ENGINE_BATCH_ROWS.value(engine="recompiling") \
+            == before_r + len(rows)

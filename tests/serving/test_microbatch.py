@@ -1,0 +1,243 @@
+"""Request micro-batching: coalesced /query flushes and submit_batch."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.bayesnet.engine import CompiledNetwork
+from repro.errors import InferenceError, ServingError
+from repro.perception.chain import build_fig4_network
+from repro.serving import TIER_EXACT, InferenceService
+from repro.serving.http import serve
+from repro.telemetry.metrics import SERVING_MICROBATCH_SIZE
+
+OUTPUTS = ("car", "pedestrian", "car/pedestrian", "none")
+
+
+def exact_posterior(target, evidence):
+    return CompiledNetwork(build_fig4_network()).query(target, evidence)
+
+
+@pytest.fixture
+def service():
+    with InferenceService(build_fig4_network(), pool_size=2, max_queue=8,
+                          default_deadline=2.0,
+                          microbatch_window=0.05) as svc:
+        yield svc
+
+
+class TestMicroBatchCoalescing:
+    def test_negative_window_rejected(self):
+        with pytest.raises(ServingError, match="microbatch_window"):
+            InferenceService(build_fig4_network(), microbatch_window=-0.1)
+
+    def test_single_request_through_window_is_exact(self, service):
+        response = service.submit("ground_truth", {"perception": "car"})
+        assert response.tier == TIER_EXACT
+        assert response.posterior == exact_posterior(
+            "ground_truth", {"perception": "car"})
+
+    def test_concurrent_requests_coalesce_into_one_flush(self, service):
+        before = SERVING_MICROBATCH_SIZE.count_value()
+        sum_before = SERVING_MICROBATCH_SIZE.sum_value()
+        results = {}
+        errors = []
+
+        def worker(outcome):
+            try:
+                results[outcome] = service.submit(
+                    "ground_truth", {"perception": outcome})
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(o,))
+                   for o in OUTPUTS]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not errors
+        for outcome, response in results.items():
+            assert response.tier == TIER_EXACT
+            assert response.posterior == exact_posterior(
+                "ground_truth", {"perception": outcome})
+        flushes = SERVING_MICROBATCH_SIZE.count_value() - before
+        coalesced = SERVING_MICROBATCH_SIZE.sum_value() - sum_before
+        assert coalesced == len(OUTPUTS)
+        # Four concurrent arrivals inside a 50ms window must coalesce
+        # into fewer flushes than requests (i.e. some flush had size>=2).
+        assert flushes < len(OUTPUTS)
+
+    def test_poisoned_row_fails_alone(self):
+        # wet grass is impossible when it doesn't rain (see the
+        # batched-calibration tests); in fig4 there is no structural
+        # zero, so drive the poison through an InferenceError target.
+        with InferenceService(build_fig4_network(), pool_size=2,
+                              default_deadline=2.0,
+                              microbatch_window=0.05) as svc:
+            good = {}
+            bad = []
+
+            def good_worker():
+                good["r"] = svc.submit("ground_truth",
+                                       {"perception": "car"})
+
+            def bad_worker():
+                try:
+                    svc.submit("nonsense", {})
+                except InferenceError as exc:
+                    bad.append(exc)
+
+            threads = [threading.Thread(target=good_worker),
+                       threading.Thread(target=bad_worker)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10.0)
+            assert len(bad) == 1
+            assert good["r"].posterior == exact_posterior(
+                "ground_truth", {"perception": "car"})
+
+    def test_window_zero_bypasses_batching(self):
+        with InferenceService(build_fig4_network()) as svc:
+            before = SERVING_MICROBATCH_SIZE.count_value()
+            response = svc.submit("ground_truth", {"perception": "car"})
+            assert response.tier == TIER_EXACT
+            assert SERVING_MICROBATCH_SIZE.count_value() == before
+
+
+class TestSubmitBatch:
+    def test_happy_path(self, service):
+        rows = [{"perception": o} for o in OUTPUTS]
+        results = service.submit_batch("ground_truth", rows)
+        assert len(results) == len(rows)
+        for row, document in zip(rows, results):
+            assert document["tier"] == TIER_EXACT
+            assert document["degraded"] is False
+            assert document["posterior"] == exact_posterior(
+                "ground_truth", row)
+
+    def test_empty_batch_rejected(self, service):
+        with pytest.raises(ServingError, match="at least one"):
+            service.submit_batch("ground_truth", [])
+
+    def test_unknown_target_raises(self, service):
+        with pytest.raises(InferenceError):
+            service.submit_batch("nonsense", [{}])
+
+    def test_probability_zero_row_fails_alone(self):
+        # A structural zero: wet grass is impossible without rain.
+        import numpy as np
+
+        from repro.bayesnet.cpt import CPT
+        from repro.bayesnet.network import BayesianNetwork
+        from repro.bayesnet.variable import Variable
+
+        rain = Variable("rain", ("yes", "no"))
+        sprinkler = Variable("sprinkler", ("on", "off"))
+        grass = Variable("grass", ("wet", "dry"))
+        bn = BayesianNetwork("sprinkler")
+        bn.add_cpt(CPT(rain, [], np.asarray([0.2, 0.8])))
+        bn.add_cpt(CPT(sprinkler, [rain],
+                       np.asarray([[0.01, 0.99], [0.4, 0.6]])))
+        bn.add_cpt(CPT(grass, [sprinkler, rain],
+                       np.asarray([[[0.99, 0.01], [0.0, 1.0]],
+                                   [[0.8, 0.2], [0.0, 1.0]]])))
+        with InferenceService(bn, pool_size=1,
+                              default_deadline=2.0) as svc:
+            results = svc.submit_batch(
+                "sprinkler", [{"grass": "dry"},
+                              {"grass": "wet", "rain": "no"}])
+        good, bad = results
+        assert good["tier"] == TIER_EXACT
+        assert "posterior" in good
+        assert "probability 0" in bad["error"]
+        assert "posterior" not in bad
+
+    def test_batch_observes_histogram(self, service):
+        before = SERVING_MICROBATCH_SIZE.count_value()
+        sum_before = SERVING_MICROBATCH_SIZE.sum_value()
+        service.submit_batch("ground_truth",
+                             [{"perception": o} for o in OUTPUTS])
+        assert SERVING_MICROBATCH_SIZE.count_value() == before + 1
+        assert SERVING_MICROBATCH_SIZE.sum_value() \
+            == sum_before + len(OUTPUTS)
+
+
+class TestBatchHTTP:
+    @pytest.fixture
+    def server(self):
+        svc = InferenceService(build_fig4_network(), default_deadline=2.0)
+        http_server = serve(svc, port=0)
+        thread = threading.Thread(target=http_server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            yield http_server
+        finally:
+            http_server.shutdown()
+            http_server.server_close()
+            svc.close()
+            thread.join(timeout=5.0)
+
+    def post(self, server, path, payload):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}{path}",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def test_batch_endpoint_answers_every_row(self, server):
+        rows = [{"perception": o} for o in OUTPUTS]
+        status, doc = self.post(server, "/batch",
+                                {"target": "ground_truth", "rows": rows})
+        assert status == 200
+        assert doc["rows"] == len(rows)
+        for row, document in zip(rows, doc["results"]):
+            assert document["tier"] == "exact"
+            posterior = exact_posterior("ground_truth", row)
+            assert document["posterior"] == pytest.approx(posterior)
+
+    def test_rows_must_be_a_list(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.post(server, "/batch",
+                      {"target": "ground_truth", "rows": {"not": "a list"}})
+        assert excinfo.value.code == 400
+
+    def test_unknown_target_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.post(server, "/batch", {"target": "nonsense", "rows": [{}]})
+        assert excinfo.value.code == 400
+
+
+class TestLeaderLifecycle:
+    def test_leadership_resets_between_flushes(self):
+        # Sequential submits must each elect a fresh leader — a stuck
+        # _mb_leader_active flag would leave the second submit waiting
+        # on a flush that never comes.
+        with InferenceService(build_fig4_network(), pool_size=1,
+                              default_deadline=2.0,
+                              microbatch_window=0.01) as svc:
+            for outcome in OUTPUTS:
+                response = svc.submit("ground_truth",
+                                      {"perception": outcome})
+                assert response.tier == TIER_EXACT
+            assert not svc._mb_leader_active
+            assert not svc._mb_pending
+
+    def test_window_sleep_is_budget_bounded(self):
+        # The leader never sleeps past its own budget: a 10s window
+        # with a 0.3s deadline must still answer (possibly degraded)
+        # in well under the window.
+        with InferenceService(build_fig4_network(), pool_size=1,
+                              default_deadline=0.3,
+                              microbatch_window=10.0) as svc:
+            start = time.monotonic()
+            response = svc.submit("ground_truth", {"perception": "car"})
+            assert time.monotonic() - start < 5.0
+            assert response.posterior
