@@ -1,0 +1,193 @@
+"""Benchmark trajectory: BENCH_*.json -> BENCH_history.jsonl, diffed.
+
+Every benchmark in this suite that defends a performance claim writes a
+``BENCH_<name>.json`` report.  Those reports are point-in-time; this
+module gives them a time axis:
+
+- ``collect`` appends one JSON line per commit to ``BENCH_history.jsonl``
+  — the commit id, its parent, the commit timestamp, and every
+  *speedup-like* scalar found in the ``BENCH_*.json`` reports (any
+  numeric leaf whose key mentions ``speedup``, flattened to a dotted
+  path such as ``BENCH_batched.fig4.speedup``).
+- ``diff`` compares the two most recent history entries and **fails**
+  (exit 1) when any shared speedup regressed by more than the threshold
+  (default 30%) — loose enough for shared-runner noise, tight enough
+  that a floor quietly eroding from 7x to 4x cannot land.
+
+The CI ``bench-trajectory`` job runs the benchmarks, then
+``collect`` + ``diff``, and uploads the updated history as an artifact;
+the checked-in ``BENCH_history.jsonl`` seeds the trajectory so the very
+first CI run already has a baseline to diff against.
+
+Timestamps come from ``git`` (the commit date), never the wall clock,
+so collecting twice at the same commit appends identical entries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Relative regression (new < old * (1 - threshold)) that fails ``diff``.
+DEFAULT_THRESHOLD = 0.30
+
+HISTORY_NAME = "BENCH_history.jsonl"
+
+
+def _git(root: Path, *args: str) -> str:
+    out = subprocess.run(["git", "-C", str(root), *args],
+                         capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+def extract_speedups(doc: object, prefix: str) -> Dict[str, float]:
+    """Every numeric leaf under ``doc`` whose key mentions ``speedup``.
+
+    Keys are flattened to dotted paths rooted at ``prefix`` (the report
+    name), so additions elsewhere in a report never shift existing keys.
+    """
+    found: Dict[str, float] = {}
+
+    def walk(node: object, path: str) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(value, f"{path}.{key}")
+        elif isinstance(node, (int, float)) and not isinstance(node, bool):
+            leaf = path.rsplit(".", 1)[-1]
+            if "speedup" in leaf.lower():
+                found[path] = float(node)
+
+    walk(doc, prefix)
+    return found
+
+
+def collect_entry(root: Path) -> Dict[str, object]:
+    """One history entry for the repo at ``root``'s current HEAD."""
+    speedups: Dict[str, float] = {}
+    sources: List[str] = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        if path.name == HISTORY_NAME:
+            continue
+        try:
+            doc = json.loads(path.read_text())
+        except ValueError:
+            print(f"trajectory: skipping unparseable {path.name}",
+                  file=sys.stderr)
+            continue
+        sources.append(path.name)
+        speedups.update(extract_speedups(doc, path.stem))
+    try:
+        commit = _git(root, "rev-parse", "HEAD")
+        parent = _git(root, "rev-parse", "--short", "HEAD~1")
+        committed = _git(root, "show", "-s", "--format=%cI", "HEAD")
+    except (subprocess.CalledProcessError, OSError):
+        commit, parent, committed = "unknown", "unknown", "unknown"
+    return {"commit": commit[:12], "parent": parent,
+            "committed": committed, "sources": sources,
+            "speedups": dict(sorted(speedups.items()))}
+
+
+def load_history(path: Path) -> List[Dict[str, object]]:
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            entries.append(json.loads(line))
+    return entries
+
+
+def append_entry(path: Path, entry: Dict[str, object]) -> None:
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def diff_entries(old: Dict[str, object], new: Dict[str, object],
+                 threshold: float = DEFAULT_THRESHOLD
+                 ) -> Tuple[List[Tuple[str, float, float]], List[str]]:
+    """(regressions, notes) between two history entries.
+
+    A regression is a shared speedup key whose new value fell below
+    ``old * (1 - threshold)``.  Keys present on only one side are
+    reported as notes, never failures — benchmarks come and go.
+    """
+    old_speedups: Dict[str, float] = dict(old.get("speedups", {}))
+    new_speedups: Dict[str, float] = dict(new.get("speedups", {}))
+    regressions: List[Tuple[str, float, float]] = []
+    notes: List[str] = []
+    for key in sorted(set(old_speedups) | set(new_speedups)):
+        if key not in new_speedups:
+            notes.append(f"{key}: gone (was {old_speedups[key]:.3g})")
+        elif key not in old_speedups:
+            notes.append(f"{key}: new at {new_speedups[key]:.3g}")
+        elif new_speedups[key] < old_speedups[key] * (1.0 - threshold):
+            regressions.append((key, old_speedups[key], new_speedups[key]))
+    return regressions, notes
+
+
+def cmd_collect(root: Path, args: argparse.Namespace) -> int:
+    entry = collect_entry(root)
+    if not entry["sources"]:
+        print("trajectory: no BENCH_*.json reports found — run the "
+              "benchmarks first", file=sys.stderr)
+        return 1
+    append_entry(root / HISTORY_NAME, entry)
+    print(f"trajectory: recorded {len(entry['speedups'])} speedup(s) "
+          f"from {len(entry['sources'])} report(s) at {entry['commit']}")
+    for key, value in entry["speedups"].items():
+        print(f"  {key} = {value:.3g}")
+    return 0
+
+
+def cmd_diff(root: Path, args: argparse.Namespace) -> int:
+    history = load_history(root / HISTORY_NAME)
+    if len(history) < 2:
+        print("trajectory: fewer than two history entries — nothing to "
+              "diff (baseline accepted)")
+        return 0
+    old, new = history[-2], history[-1]
+    regressions, notes = diff_entries(old, new, threshold=args.threshold)
+    print(f"trajectory: {old['commit']} -> {new['commit']} "
+          f"(threshold {args.threshold:.0%})")
+    for note in notes:
+        print(f"  note: {note}")
+    for key, was, now in regressions:
+        print(f"  REGRESSION {key}: {was:.3g} -> {now:.3g} "
+              f"({now / was - 1.0:+.1%})")
+    if regressions:
+        print(f"trajectory: {len(regressions)} speedup floor(s) regressed "
+              f"more than {args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print("trajectory: no speedup regressions")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="trajectory",
+        description="Collect and diff BENCH_*.json speedups over commits.")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: this file's parent dir)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("collect",
+                   help="append current BENCH_*.json speedups to history")
+    diff = sub.add_parser("diff",
+                          help="compare the two newest history entries")
+    diff.add_argument("--threshold", type=float,
+                      default=DEFAULT_THRESHOLD,
+                      help="relative regression that fails (default 0.30)")
+    args = parser.parse_args(argv)
+    root = (Path(args.root) if args.root
+            else Path(__file__).resolve().parent.parent)
+    if args.command == "collect":
+        return cmd_collect(root, args)
+    return cmd_diff(root, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

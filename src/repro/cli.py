@@ -11,8 +11,10 @@
 - ``inject``      — inject one fault model into the perception stack;
 - ``campaign``    — the full fault-injection campaign (EXT-N report);
 - ``trace``       — run a command under tracing, print its span tree;
-- ``metrics``     — run a command, emit Prometheus-text metrics;
-- ``serve``       — run the resilient inference service over HTTP.
+- ``metrics``     — run a command, emit Prometheus-text (or JSON) metrics;
+- ``serve``       — run the resilient inference service over HTTP;
+- ``slo``         — drive the service locally and print SLO burn rates;
+- ``flightrec``   — replay a flight-recorder JSONL dump.
 """
 
 from __future__ import annotations
@@ -167,6 +169,8 @@ def cmd_experiments(_: argparse.Namespace) -> None:
          "test_bench_serving"),
         ("EXT-T", "batched clique calibration",
          "test_bench_batched_calibration"),
+        ("EXT-U", "observability overhead (correlation + SLO)",
+         "test_bench_observe"),
     ]
     _print_table(["id", "artifact", "benchmark module"], experiments)
     print("\nRun one with:  pytest benchmarks/<module>.py --benchmark-only -s")
@@ -230,6 +234,7 @@ def cmd_trace(args: argparse.Namespace) -> None:
 def cmd_metrics(args: argparse.Namespace) -> None:
     import contextlib
     import io
+    import json
     from repro import telemetry
     if args.target:
         # Run the target under an active tracing session so gated
@@ -238,10 +243,15 @@ def cmd_metrics(args: argparse.Namespace) -> None:
         with telemetry.session():
             with contextlib.redirect_stdout(io.StringIO()):
                 COMMANDS[args.target](args)
-    print(telemetry.prometheus_text(), end="")
+    if getattr(args, "json", False):
+        print(json.dumps(telemetry.metrics_to_dict(), indent=2,
+                         sort_keys=True))
+    else:
+        print(telemetry.prometheus_text(), end="")
 
 
 def cmd_serve(args: argparse.Namespace) -> None:
+    from repro import telemetry
     from repro.perception.chain import build_fig4_network
     from repro.robustness.faults import LatencyFault
     from repro.serving import InferenceService
@@ -256,7 +266,12 @@ def cmd_serve(args: argparse.Namespace) -> None:
         max_queue=args.max_queue,
         default_deadline=args.deadline_ms / 1000.0,
         ladder=not args.no_ladder, fault_injector=faults, seed=args.seed,
-        microbatch_window=args.microbatch_window / 1000.0)
+        microbatch_window=args.microbatch_window / 1000.0,
+        flight_dump_path=args.flight_jsonl)
+    tracer = telemetry.activate() if args.trace_jsonl else None
+    profiler = None
+    if args.profile:
+        profiler = telemetry.SamplingProfiler().start()
     server = serve(service, host=args.host, port=args.port,
                    max_requests=args.max_requests)
     ladder = "on" if service.ladder_enabled else "off"
@@ -286,7 +301,100 @@ def cmd_serve(args: argparse.Namespace) -> None:
         print("\nshutting down")
     finally:
         server.server_close()
+        service.close()  # dumps the flight ring when --flight-jsonl is set
+        if args.flight_jsonl:
+            print(f"wrote flight events to {args.flight_jsonl}")
+        if tracer is not None:
+            telemetry.deactivate()
+            n = telemetry.write_spans_jsonl(args.trace_jsonl,
+                                            tracer.finished)
+            print(f"wrote {n} span(s) to {args.trace_jsonl}")
+        if profiler is not None:
+            profiler.stop()
+            stacks = profiler.write_collapsed(args.profile)
+            print(f"wrote {stacks} collapsed stack(s) "
+                  f"({profiler.samples} samples) to {args.profile}")
+
+
+def cmd_slo(args: argparse.Namespace) -> None:
+    import json
+    from repro.errors import ReproError
+    from repro.perception.chain import build_fig4_network
+    from repro.robustness.faults import LatencyFault
+    from repro.serving import InferenceService
+    faults = []
+    if args.inject_latency > 0.0:
+        faults.append(LatencyFault(intensity=args.inject_latency,
+                                   seed=args.seed,
+                                   mean_delay=args.mean_delay))
+    service = InferenceService(
+        build_fig4_network(), default_deadline=args.deadline_ms / 1000.0,
+        fault_injector=faults, seed=args.seed)
+    outputs = ("car", "pedestrian", "car/pedestrian", "none")
+    try:
+        for i in range(args.requests):
+            try:
+                service.submit("ground_truth",
+                               {"perception": outputs[i % len(outputs)]})
+            except ReproError:
+                pass  # sheds/errors still charge the SLOs
+        snapshot = service.slo.snapshot()
+    finally:
         service.close()
+    if getattr(args, "json", False):
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return
+    print(f"SLOs after {args.requests} request(s) "
+          f"(deadline {args.deadline_ms:g}ms"
+          + (f", chaos latency intensity {args.inject_latency:g}"
+             if faults else "") + "):\n")
+    rows = []
+    for entry in snapshot["objectives"]:
+        burns = entry["burn_rates"]
+        detail = (f"budget={entry['budget']:g} spent={entry['spent']:g}"
+                  if entry["kind"] == "uncertainty"
+                  else f"target={entry['target']:g} bad={entry['bad_events']}")
+        rows.append((entry["name"], entry["kind"], entry["events"],
+                     burns.get("300s", 0.0), burns.get("3600s", 0.0),
+                     entry["budget_remaining"], detail))
+    _print_table(["objective", "kind", "events", "burn 300s", "burn 3600s",
+                  "budget left", "detail"], rows)
+    totals = snapshot["totals"]
+    print(f"\ntotals: {totals['events']} event(s), uncertainty spent "
+          f"{totals['uncertainty_spent']:g}")
+    print("alert rule of thumb: page when burn 300s AND burn 3600s "
+          "both exceed 14.4 (2% of budget per hour)")
+
+
+def cmd_flightrec(args: argparse.Namespace) -> None:
+    from repro.telemetry.observe import load_flight_jsonl
+    events = load_flight_jsonl(args.path)
+    if args.kind:
+        events = [e for e in events if e.get("kind") == args.kind]
+    if args.request_id:
+        events = [e for e in events
+                  if e.get("request_id") == args.request_id]
+    if not events:
+        print("no matching flight events")
+        return
+    if args.counts:
+        counts: Dict[str, int] = {}
+        for event in events:
+            kind = str(event.get("kind"))
+            counts[kind] = counts.get(kind, 0) + 1
+        _print_table(["kind", "events"], sorted(counts.items()))
+        return
+    t0 = events[0].get("wall", 0.0)
+    rows = []
+    for event in events:
+        data = " ".join(f"{k}={v}" for k, v in
+                        sorted(event.get("data", {}).items()))
+        rows.append((event.get("seq"),
+                     f"+{event.get('wall', t0) - t0:.3f}s",
+                     event.get("kind"), event.get("request_id") or "-",
+                     data))
+    _print_table(["seq", "t", "kind", "request_id", "data"], rows)
+    print(f"\n{len(rows)} event(s) replayed from {args.path}")
 
 
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
@@ -301,6 +409,8 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "serve": cmd_serve,
+    "slo": cmd_slo,
+    "flightrec": cmd_flightrec,
 }
 
 #: Commands that can run under ``trace`` / ``metrics``.
@@ -357,6 +467,42 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("target", nargs="?", default=None,
                          choices=_TRACEABLE_COMMANDS,
                          help="command to run before scraping the registry")
+    metrics.add_argument("--json", action="store_true",
+                         help="emit the registry as a JSON document instead "
+                              "of Prometheus text")
+
+    slo = sub.add_parser(
+        "slo", help="drive the service locally and print SLO burn rates")
+    slo.add_argument("--requests", type=int, default=50,
+                     help="queries to drive through the service "
+                          "(default 50)")
+    slo.add_argument("--deadline-ms", type=float, default=100.0,
+                     help="per-request budget in ms (default 100)")
+    slo.add_argument("--inject-latency", type=float, default=0.0,
+                     metavar="INTENSITY",
+                     help="chaos hook: LatencyFault firing probability "
+                          "(default 0 = off)")
+    slo.add_argument("--mean-delay", type=float, default=0.25,
+                     help="mean injected latency spike in seconds "
+                          "(default 0.25)")
+    slo.add_argument("--seed", type=int, default=0,
+                     help="chaos / sampler seed (default 0)")
+    slo.add_argument("--json", action="store_true",
+                     help="emit the SLO snapshot as JSON")
+
+    flightrec = sub.add_parser(
+        "flightrec", help="replay a flight-recorder JSONL dump")
+    flightrec.add_argument("path", help="flight-recorder JSONL file "
+                                        "(serve --flight-jsonl)")
+    flightrec.add_argument("--kind", default=None,
+                           help="only events of this kind (admit, shed, "
+                                "ladder, deadline, breaker, microbatch, "
+                                "error)")
+    flightrec.add_argument("--request-id", default=None,
+                           help="only events correlated to this request id")
+    flightrec.add_argument("--counts", action="store_true",
+                           help="print per-kind counts instead of the "
+                                "event log")
 
     serve_p = sub.add_parser(
         "serve", help="run the resilient inference service over HTTP")
@@ -395,6 +541,15 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="coalesce concurrent exact queries arriving "
                               "within this window (ms) into one batched "
                               "calibration (default 0 = off)")
+    serve_p.add_argument("--trace-jsonl", default=None, metavar="PATH",
+                         help="run under tracing; dump request-correlated "
+                              "spans as JSON lines on shutdown")
+    serve_p.add_argument("--flight-jsonl", default=None, metavar="PATH",
+                         help="dump the flight-recorder ring here on "
+                              "shutdown and after hard failures")
+    serve_p.add_argument("--profile", default=None, metavar="PATH",
+                         help="run under the sampling profiler; write "
+                              "collapsed stacks here on shutdown")
 
     for p in (trace, metrics):
         p.add_argument("--intensities", type=float, nargs="+",

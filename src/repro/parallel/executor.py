@@ -14,8 +14,13 @@ One ``map_chunked`` API, three backends:
   merged home: each chunk runs under a local tracer whose finished spans
   the parent adopts (:meth:`repro.telemetry.tracing.Tracer.adopt`), and
   counter increments metered in the worker are shipped back as deltas and
-  folded into the parent registry.  Histogram observations are dropped on
-  the process boundary (only counters travel) — see DESIGN.md §9.
+  folded into the parent registry.  A chunk that *crashes* ships the
+  same partial telemetry on its failure record, so the parent's trace
+  shows where the worker died.  Under an active
+  :func:`~repro.telemetry.observe.profile_session`, workers run local
+  sampling profilers whose folded stacks merge home.  Histogram
+  observations are dropped on the process boundary (only counters
+  travel) — see DESIGN.md §9.
 
 Determinism is the contract that makes the backends interchangeable:
 results are reassembled in submission order, and seeded maps derive one
@@ -37,6 +42,7 @@ import numpy as np
 from repro.errors import ParallelError
 from repro.telemetry import tracing
 from repro.telemetry.metrics import get_registry
+from repro.telemetry.observe import SamplingProfiler, active_profiler
 from repro.telemetry.tracing import DEFAULT_MAX_SPANS, SpanRecord, Tracer
 
 #: Recognized backend names, in documentation order.
@@ -80,21 +86,31 @@ class _ItemError(Exception):
 class _ChunkFailure:
     """Picklable record of a failure inside a process-pool worker.
 
-    Deliberately carries only ints and strings: a raised exception with
+    Deliberately carries no exception *object*: a raised exception with
     unpicklable state (an open handle, a lock, a compiled engine) would
     fail to cross the process boundary and wedge the pool — the caller
     would hang instead of seeing an error.  Workers therefore *return*
     this record, and the parent raises the :class:`ParallelError`.
+
+    It does carry the chunk's **partial telemetry** — the spans finished
+    and the counter increments metered before the crash — so a failed
+    chunk still shows up in the parent's trace (its last span marked
+    ``error``) instead of vanishing from the record entirely.
     """
 
-    __slots__ = ("item_index", "exc_type", "message", "worker_traceback")
+    __slots__ = ("item_index", "exc_type", "message", "worker_traceback",
+                 "spans", "counter_deltas")
 
     def __init__(self, item_index: Optional[int], exc_type: str,
-                 message: str, worker_traceback: str):
+                 message: str, worker_traceback: str,
+                 spans: Sequence[SpanRecord] = (),
+                 counter_deltas: Optional[list] = None):
         self.item_index = item_index
         self.exc_type = exc_type
         self.message = message
         self.worker_traceback = worker_traceback
+        self.spans = list(spans)
+        self.counter_deltas = counter_deltas or []
 
     def describe(self) -> str:
         where = ("a worker chunk" if self.item_index is None
@@ -173,23 +189,50 @@ def _init_worker_context(context: Any) -> None:
     _WORKER_CONTEXT = context
 
 
-def _run_traced(fn: Callable[..., List[Any]], *args
-                ) -> Tuple[List[Any], List[SpanRecord], list]:
+def _run_chunk(fn: Callable[..., List[Any]], args: tuple, traced: bool,
+               start: int, profile_interval: Optional[float]):
     """Run one chunk function under worker-side telemetry capture.
 
-    Returns ``(results, finished spans, counter deltas)``: the chunk
+    Success returns ``(results, finished spans, counter deltas,
+    (folded stacks, profile samples))``; a failure returns a
+    :class:`_ChunkFailure` carrying the same spans/deltas recorded up to
+    the crash, so partial work is never silently dropped.  The chunk
     runs under a fresh local tracer so the zero-cost-when-disabled gates
-    see tracing enabled exactly as they would in the parent; the spans
-    travel home for adoption.  Counter deltas are measured against a
-    snapshot taken on entry, so only the increments this chunk caused
-    are shipped.
+    see tracing enabled exactly as they would in the parent; counter
+    deltas are measured against a snapshot taken on entry, so only the
+    increments this chunk caused are shipped.  When the parent had a
+    profiling session active, the chunk additionally runs under a local
+    :class:`SamplingProfiler` whose folded stacks merge home.
     """
     registry = get_registry()
     before = registry.counter_snapshot()
-    local = Tracer(max_spans=DEFAULT_MAX_SPANS)
-    with tracing.session(local):
-        results = fn(*args)
-    return results, list(local.finished), registry.counter_deltas(before)
+    local = Tracer(max_spans=DEFAULT_MAX_SPANS) if traced else None
+    profiler = (SamplingProfiler(interval=profile_interval).start()
+                if profile_interval is not None else None)
+    failure: Optional[_ChunkFailure] = None
+    results: List[Any] = []
+    try:
+        if local is not None:
+            with tracing.session(local):
+                results = fn(*args)
+        else:
+            results = fn(*args)
+    except _ItemError as exc:
+        failure = _chunk_failure(start + exc.local_index, exc.original)
+    except Exception as exc:
+        failure = _chunk_failure(None, exc)
+    finally:
+        if profiler is not None:
+            profiler.stop()
+    spans = list(local.finished) if local is not None else []
+    deltas = registry.counter_deltas(before)
+    if failure is not None:
+        failure.spans = spans
+        failure.counter_deltas = deltas
+        return failure
+    folded = (profiler.folded(), profiler.samples) \
+        if profiler is not None else ({}, 0)
+    return results, spans, deltas, folded
 
 
 def _process_chunk(payload):
@@ -199,35 +242,22 @@ def _process_chunk(payload):
     (see its docstring for why) and the parent turns it into a
     :class:`ParallelError` naming the global item index.
     """
-    fn, chunk, traced, start = payload
-    try:
-        if traced:
-            return _run_traced(fn, chunk)
-        registry = get_registry()
-        before = registry.counter_snapshot()
-        results = fn(chunk)
-        return results, [], registry.counter_deltas(before)
-    except _ItemError as exc:
-        return _chunk_failure(start + exc.local_index, exc.original)
-    except Exception as exc:
-        return _chunk_failure(None, exc)
+    fn, chunk, traced, start, profile_interval = payload
+    return _run_chunk(fn, (chunk,), traced, start, profile_interval)
 
 
 def _process_chunk_with_context(payload):
     """Chunk entry point for context maps: ``fn(context, chunk)`` where
     the context was installed once per worker by the pool initializer."""
-    fn, chunk, traced, start = payload
-    try:
-        if traced:
-            return _run_traced(fn, _WORKER_CONTEXT, chunk)
-        registry = get_registry()
-        before = registry.counter_snapshot()
-        results = fn(_WORKER_CONTEXT, chunk)
-        return results, [], registry.counter_deltas(before)
-    except _ItemError as exc:
-        return _chunk_failure(start + exc.local_index, exc.original)
-    except Exception as exc:
-        return _chunk_failure(None, exc)
+    fn, chunk, traced, start, profile_interval = payload
+    return _run_chunk(fn, (_WORKER_CONTEXT, chunk), traced, start,
+                      profile_interval)
+
+
+def _profile_interval() -> Optional[float]:
+    """The parent's active profiling interval, or None when off."""
+    profiler = active_profiler()
+    return profiler.interval if profiler is not None else None
 
 
 class ParallelExecutor:
@@ -299,7 +329,8 @@ class ParallelExecutor:
             if self.backend == "process" and self.workers > 1 \
                     and len(chunks) > 1:
                 traced = tracing.enabled()
-                payloads = [(fn, chunk, traced, start)
+                interval = _profile_interval()
+                payloads = [(fn, chunk, traced, start, interval)
                             for chunk, start in zip(chunks, starts)]
                 with ProcessPoolExecutor(
                         max_workers=self.workers,
@@ -399,7 +430,8 @@ class ParallelExecutor:
 
     def _run_process(self, fn, chunks, starts):
         traced = tracing.enabled()
-        payloads = [(fn, chunk, traced, start)
+        interval = _profile_interval()
+        payloads = [(fn, chunk, traced, start, interval)
                     for chunk, start in zip(chunks, starts)]
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             outputs = list(pool.map(_process_chunk, payloads))
@@ -408,25 +440,34 @@ class ParallelExecutor:
     def _adopt_process_outputs(self, outputs):
         """Fold worker telemetry home; surface any worker failure.
 
-        Telemetry from *successful* chunks is adopted before the first
-        :class:`_ChunkFailure` is raised as a :class:`ParallelError`, so
-        a partial run still reports the work it did.
+        Telemetry from every chunk — including the partial spans and
+        counter deltas a :class:`_ChunkFailure` carries — is adopted
+        before the first failure is raised as a :class:`ParallelError`,
+        so a partial run still reports the work it did and the crashed
+        chunk's trace shows where it died.
         """
         tracer = tracing.active()
         parent = tracer.current_span() if tracer is not None else None
         registry = get_registry()
+        profiler = active_profiler()
         results = []
         failure = None
         for output in outputs:
             if isinstance(output, _ChunkFailure):
+                if output.counter_deltas:
+                    registry.apply_counter_deltas(output.counter_deltas)
+                if tracer is not None and output.spans:
+                    tracer.adopt(output.spans, parent=parent)
                 if failure is None:
                     failure = output
                 continue
-            chunk_results, spans, deltas = output
+            chunk_results, spans, deltas, (folded, samples) = output
             if deltas:
                 registry.apply_counter_deltas(deltas)
             if tracer is not None and spans:
                 tracer.adopt(spans, parent=parent)
+            if profiler is not None and folded:
+                profiler.merge(folded, samples)
             results.append(chunk_results)
         if failure is not None:
             raise ParallelError(failure.describe())

@@ -7,9 +7,17 @@ prewarmed engine forks, per-request deadline budgets, per-backend
 (exact → cache → approximate → stale) whose every answer reports the
 epistemic cost of the tier that produced it.  ``repro serve`` exposes the
 whole thing over stdlib HTTP with `/query`, `/health` and `/metrics`.
+
+The runtime observes itself (PR 8): every request carries an
+``X-Request-ID`` correlation id stamped on all its spans and flight
+events, SLO burn rates (latency / availability / uncertainty budget)
+surface in `/health` and `/metrics`, and a :class:`FlightRecorder` ring
+keeps the recent admissions / sheds / breaker flips / ladder hops for
+``repro flightrec`` replay.
 """
 
 from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serving.http import REQUEST_ID_HEADER, ServiceHTTPServer, serve
 from repro.serving.pool import EnginePool
 from repro.serving.service import (
     GUARDED_TIERS,
@@ -27,8 +35,11 @@ __all__ = [
     "CLOSED",
     "HALF_OPEN",
     "OPEN",
+    "REQUEST_ID_HEADER",
     "CircuitBreaker",
     "EnginePool",
+    "ServiceHTTPServer",
+    "serve",
     "GUARDED_TIERS",
     "LADDER",
     "TIER_APPROXIMATE",

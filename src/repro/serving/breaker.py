@@ -32,6 +32,7 @@ from repro.telemetry.metrics import (
     SERVING_BREAKER_STATE,
     SERVING_BREAKER_TRANSITIONS,
 )
+from repro.telemetry.observe import EVENT_BREAKER, FlightRecorder
 
 #: Breaker states (values double as the `/metrics` and `/health` labels).
 CLOSED = "closed"
@@ -64,12 +65,17 @@ class CircuitBreaker:
         (clamped to the last entry).  An empty schedule probes immediately.
     clock:
         Monotonic-seconds callable, injectable for deterministic tests.
+    recorder:
+        Optional :class:`FlightRecorder`; every state transition is
+        recorded as a ``breaker`` event carrying the request id that
+        caused it, so ``repro flightrec`` can replay a trip.
     """
 
     def __init__(self, name: str, failure_threshold: int = 3,
                  recovery_hysteresis: int = 2,
                  retry: Optional[RetryPolicy] = None,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 recorder: Optional[FlightRecorder] = None):
         if failure_threshold < 1:
             raise ServingError(
                 f"failure_threshold must be at least 1, got "
@@ -83,6 +89,7 @@ class CircuitBreaker:
         self.recovery_hysteresis = int(recovery_hysteresis)
         self.retry = retry or _DEFAULT_RETRY
         self._clock = clock
+        self.recorder = recorder
         self._lock = threading.Lock()
         self._state = CLOSED
         self._failures = 0          # consecutive failures while closed
@@ -101,6 +108,10 @@ class CircuitBreaker:
                                         from_state=self._state,
                                         to_state=to_state)
         SERVING_BREAKER_STATE.set(_STATE_VALUE[to_state], backend=self.name)
+        if self.recorder is not None:
+            self.recorder.record(EVENT_BREAKER, backend=self.name,
+                                 from_state=self._state, to_state=to_state,
+                                 trips=self._total_trips)
         self._state = to_state
 
     def _open_interval(self) -> float:

@@ -15,10 +15,18 @@ Three endpoints, no dependencies beyond :mod:`http.server`:
   ``{"results": [...]}`` — one response document per row, rows with
   probability-0 evidence carrying an ``error`` field instead.  Same
   status-code mapping as ``/query``.
-- ``GET /health`` — the service health document; **200** while the
+- ``GET /health`` — the service health document (now including the SLO
+  burn rates and the flight-recorder summary); **200** while the
   supervisor mode is ok/degraded, **503** once it reaches critical.
 - ``GET /metrics`` — Prometheus text exposition of the process registry
-  (breaker transitions, per-tier request counts, latency histograms).
+  (breaker transitions, per-tier request counts, latency histograms,
+  SLO burn-rate gauges refreshed at scrape time).
+
+Every request is **correlated**: an ``X-Request-ID`` header is honoured
+when the client sends one and minted otherwise, bound as the
+contextvars correlation id for the handler's lifetime (so every span
+and flight event the request touches carries it), and echoed back on
+the response.
 
 The server is a :class:`~http.server.ThreadingHTTPServer`: one thread
 per in-flight request, which is exactly the concurrency model the
@@ -39,7 +47,12 @@ from repro.errors import (
     ReproError,
 )
 from repro.serving.service import InferenceService
+from repro.telemetry import tracing as _tracing
 from repro.telemetry.export import prometheus_text
+from repro.telemetry.tracing import correlate
+
+#: Correlation header (request and response).
+REQUEST_ID_HEADER = "X-Request-ID"
 
 #: Default bind address (loopback: this is a demo surface, not hardened).
 DEFAULT_HOST = "127.0.0.1"
@@ -84,6 +97,10 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 class _Handler(BaseHTTPRequestHandler):
     server: ServiceHTTPServer
 
+    #: Correlation id bound for the request being handled (echoed on the
+    #: response); set before any dispatch, per handler instance.
+    _request_id: Optional[str] = None
+
     #: Quiet by default — the service's own telemetry is the log.
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass
@@ -93,24 +110,55 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id is not None:
+            self.send_header(REQUEST_ID_HEADER, self._request_id)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_json(self, status: int, document) -> None:
         self._send(status, json.dumps(document, sort_keys=True).encode())
 
+    def _correlated(self, inner) -> None:
+        """Run one endpoint handler under a bound correlation id.
+
+        The client's ``X-Request-ID`` is honoured (minted when absent),
+        bound for the handler's lifetime so every span and flight event
+        downstream carries it, and — when tracing is active — the whole
+        exchange becomes an ``http.request`` root span.
+        """
+        with correlate(self.headers.get(REQUEST_ID_HEADER) or None) as rid:
+            self._request_id = rid
+            tracer = _tracing._active_tracer
+            if tracer is None:
+                inner()
+                return
+            with tracer.span("http.request", method=self.command,
+                             path=self.path):
+                inner()
+
     def do_GET(self) -> None:
+        self._correlated(self._get)
+
+    def do_POST(self) -> None:
+        self._correlated(self._post)
+
+    def _get(self) -> None:
         if self.path == "/health":
             document = self.server.service.health()
             status = 503 if document["status"] == "critical" else 200
             self._send_json(status, document)
         elif self.path == "/metrics":
+            # Scrape-time refresh: burn-rate gauges decay between
+            # requests and the hot-path tallies publish lazily, so
+            # recompute and flush before export.
+            self.server.service.slo.refresh()
+            self.server.service.flight.flush_metrics()
             self._send(200, prometheus_text().encode(),
                        content_type="text/plain; version=0.0.4")
         else:
             self._send_json(404, {"error": f"no such path {self.path!r}"})
 
-    def do_POST(self) -> None:
+    def _post(self) -> None:
         if self.path not in ("/query", "/batch"):
             self._send_json(404, {"error": f"no such path {self.path!r}"})
             return

@@ -23,7 +23,9 @@ from typing import List, Optional
 
 from repro.bayesnet.engine import CompiledNetwork
 from repro.errors import DeadlineExceededError, OverloadError, ServingError
+from repro.telemetry import tracing as _tracing
 from repro.telemetry.metrics import SERVING_QUEUE_DEPTH
+from repro.telemetry.observe import EVENT_SHED, FlightRecorder
 
 
 class EnginePool:
@@ -39,10 +41,14 @@ class EnginePool:
         Number of concurrently leasable engines.
     max_queue:
         Requests allowed to *wait* for a lease; the next one is shed.
+    recorder:
+        Optional :class:`FlightRecorder` receiving shed events (the
+        service threads its own recorder in).
     """
 
     def __init__(self, engine: CompiledNetwork, size: int = 2,
-                 max_queue: int = 8):
+                 max_queue: int = 8,
+                 recorder: "FlightRecorder" = None):
         if size < 1:
             raise ServingError(f"pool size must be at least 1, got {size}")
         if max_queue < 0:
@@ -56,6 +62,7 @@ class EnginePool:
                     f"{hook}()")
         self.size = int(size)
         self.max_queue = int(max_queue)
+        self.recorder = recorder
         self.template = engine
         engine.prewarm()
         self._free: List[CompiledNetwork] = [engine.fork()
@@ -73,12 +80,29 @@ class EnginePool:
         Raises :class:`OverloadError` immediately when ``max_queue``
         requests are already waiting (shed-on-overload), and
         :class:`DeadlineExceededError` when ``timeout`` seconds pass
-        without a lease becoming free.
+        without a lease becoming free.  Under an active tracing session
+        each lease is a ``pool.checkout`` span carrying the bound
+        request id, so traces show who waited for which engine.
         """
+        tracer = _tracing._active_tracer
+        if tracer is None:
+            return self._checkout(timeout)
+        with tracer.span("pool.checkout") as sp:
+            engine = self._checkout(timeout)
+            with self._cond:
+                sp.set_attribute("leased", self._leased)
+                sp.set_attribute("free", len(self._free))
+            return engine
+
+    def _checkout(self, timeout: Optional[float]) -> CompiledNetwork:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             if not self._free and self._waiting >= self.max_queue:
                 self._shed += 1
+                if self.recorder is not None:
+                    self.recorder.record(
+                        EVENT_SHED, where="pool",
+                        leased=self._leased, waiting=self._waiting)
                 raise OverloadError(
                     f"engine pool saturated: {self._leased}/{self.size} "
                     f"leased, {self._waiting} waiting (max_queue="

@@ -27,6 +27,8 @@ precisely as if the backend were genuinely stuck.
 
 from __future__ import annotations
 
+import contextvars
+import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -50,6 +52,7 @@ from repro.robustness.supervisor import DegradationSupervisor, RetryPolicy
 from repro.means.tolerance import ACT_NORMALLY, CAUTIOUS_MODE, MINIMAL_RISK
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.pool import EnginePool
+from repro.telemetry import tracing as _tracing
 from repro.telemetry.clock import SystemClock
 from repro.telemetry.metrics import (
     SERVING_DEADLINE_EVENTS,
@@ -57,6 +60,18 @@ from repro.telemetry.metrics import (
     SERVING_REQUEST_SECONDS,
     SERVING_REQUESTS,
 )
+from repro.telemetry.observe import (
+    EVENT_ADMIT,
+    EVENT_DEADLINE,
+    EVENT_ERROR,
+    EVENT_LADDER,
+    EVENT_MICROBATCH,
+    EVENT_SHED,
+    FlightRecorder,
+    SLOEngine,
+    default_serving_slos,
+)
+from repro.telemetry.tracing import correlate, current_request_id
 
 #: Ladder tiers, most capable first.  ``TIER_STALE`` is the floor: it
 #: cannot fail once the service is warm, so the ladder always answers.
@@ -121,6 +136,7 @@ class ServiceResponse:
     faults_fired: Tuple[str, ...] = ()
     attempts: Tuple[str, ...] = ()
     mode: str = ACT_NORMALLY
+    request_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready rendering (the HTTP response body)."""
@@ -138,6 +154,7 @@ class ServiceResponse:
             "faults_fired": list(self.faults_fired),
             "attempts": list(self.attempts),
             "mode": self.mode,
+            "request_id": self.request_id,
         }
 
 
@@ -181,6 +198,16 @@ class InferenceService:
         coalesced into one :meth:`CompiledNetwork.query_batch` call per
         target on a single engine lease.  ``0.0`` (the default)
         disables coalescing — each request runs its own scalar query.
+    slo_engine / flight:
+        Inject a preconfigured :class:`SLOEngine` / :class:`FlightRecorder`
+        (deterministic tests pass clock-injected instances); by default
+        the service builds one of each — the SLO set from
+        :func:`default_serving_slos` pinned to ``default_deadline``, the
+        recorder at its default capacity.
+    flight_dump_path:
+        When set, the flight-recorder ring is dumped (JSON Lines) to
+        this path after every hard request failure and on :meth:`close`,
+        so an incident leaves its black box behind.
     """
 
     def __init__(self, network, *, pool_size: int = 2, max_queue: int = 8,
@@ -191,7 +218,10 @@ class InferenceService:
                  fault_injector: Union[FaultInjector,
                                        Sequence[FaultModel]] = (),
                  result_cache_size: int = 4096, seed: int = 0,
-                 clock=None, microbatch_window: float = 0.0):
+                 clock=None, microbatch_window: float = 0.0,
+                 slo_engine: Optional[SLOEngine] = None,
+                 flight: Optional[FlightRecorder] = None,
+                 flight_dump_path: Optional[str] = None):
         if default_deadline <= 0.0:
             raise ServingError(
                 f"default_deadline must be positive, got {default_deadline}")
@@ -216,12 +246,20 @@ class InferenceService:
         self.retry = retry or RetryPolicy(max_retries=1, backoff_base=0.005)
         self._clock = clock or SystemClock()
         self._sleep = time.sleep
-        self.pool = EnginePool(engine, size=pool_size, max_queue=max_queue)
+        #: Self-observation: the flight recorder and SLO engine run on
+        #: their own (system) clocks by default so injecting a
+        #: ManualClock for latency accounting does not skew them.
+        self.flight = flight or FlightRecorder()
+        self.flight_dump_path = flight_dump_path
+        self.slo = slo_engine or SLOEngine(
+            default_serving_slos(default_deadline))
+        self.pool = EnginePool(engine, size=pool_size, max_queue=max_queue,
+                               recorder=self.flight)
         self.max_inflight = pool_size + max_queue
         self.breakers: Dict[str, CircuitBreaker] = {
             tier: CircuitBreaker(tier, failure_threshold=breaker_threshold,
                                  recovery_hysteresis=recovery_hysteresis,
-                                 retry=self.retry)
+                                 retry=self.retry, recorder=self.flight)
             for tier in GUARDED_TIERS}
         self.supervisor = DegradationSupervisor(
             n_channels=len(GUARDED_TIERS), retry=self.retry,
@@ -258,6 +296,7 @@ class InferenceService:
         self._mb_lock = threading.Lock()
         self._mb_pending: List[_MicroBatchItem] = []
         self._mb_leader_active = False
+        self._mb_flush_ids = itertools.count(1)
         self._closed = False
 
     # -- lifecycle -------------------------------------------------------------
@@ -266,6 +305,16 @@ class InferenceService:
         """Stop accepting work and release the worker threads."""
         self._closed = True
         self._executor.shutdown(wait=True)
+        self._dump_flight()
+
+    def _dump_flight(self) -> None:
+        """Best-effort black-box dump (on error and on close)."""
+        if self.flight_dump_path is None:
+            return
+        try:
+            self.flight.dump_jsonl(self.flight_dump_path)
+        except OSError:  # pragma: no cover - disk trouble must not crash
+            pass
 
     def __enter__(self) -> "InferenceService":
         return self
@@ -300,30 +349,52 @@ class InferenceService:
                 f"deadline_seconds must be positive, got {deadline}")
         evidence = dict(request.evidence or {})
         self._validate(request.target, evidence)
-        with self._lock:
-            if self._inflight >= self.max_inflight:
-                self._shed += 1
-                SERVING_REQUESTS.inc(tier="none", outcome="shed")
-                raise OverloadError(
-                    f"service at capacity: {self._inflight} requests in "
-                    f"flight (max {self.max_inflight})",
-                    queue_depth=self._inflight)
-            self._inflight += 1
-            self._requests += 1
-        try:
-            return self._answer(request.target, evidence, deadline)
-        except InferenceError:
-            # A model-level answer (e.g. probability-0 evidence) is not a
-            # service fault: report it without degrading `/health`.
-            SERVING_REQUESTS.inc(tier="none", outcome="invalid")
-            raise
-        except Exception:
-            SERVING_REQUESTS.inc(tier="none", outcome="error")
-            self._tick_supervisor(success=False)
-            raise
-        finally:
+        # Correlation: reuse the id the HTTP layer (or any caller) bound,
+        # else mint one here, so every span/flight event this request
+        # touches carries the same request_id.
+        with correlate(current_request_id()) as rid:
             with self._lock:
-                self._inflight -= 1
+                if self._inflight >= self.max_inflight:
+                    self._shed += 1
+                    SERVING_REQUESTS.inc(tier="none", outcome="shed")
+                    self.flight.record(EVENT_SHED, where="service",
+                                       in_flight=self._inflight)
+                    self.slo.record(latency_seconds=0.0, outcome="shed",
+                                    estimated_error=None)
+                    raise OverloadError(
+                        f"service at capacity: {self._inflight} requests in "
+                        f"flight (max {self.max_inflight})",
+                        queue_depth=self._inflight)
+                self._inflight += 1
+                self._requests += 1
+            self.flight.record(EVENT_ADMIT, rid, target=request.target,
+                               deadline_seconds=deadline)
+            try:
+                response = self._answer(request.target, evidence, deadline)
+                response.request_id = rid
+                self.slo.record(latency_seconds=response.latency_seconds,
+                                outcome="ok",
+                                estimated_error=response.estimated_error,
+                                stale=response.stale)
+                return response
+            except InferenceError:
+                # A model-level answer (e.g. probability-0 evidence) is
+                # not a service fault: report it without degrading
+                # `/health` or charging the SLOs.
+                SERVING_REQUESTS.inc(tier="none", outcome="invalid")
+                raise
+            except Exception as exc:
+                SERVING_REQUESTS.inc(tier="none", outcome="error")
+                self._tick_supervisor(success=False)
+                self.slo.record(latency_seconds=deadline, outcome="error",
+                                estimated_error=None)
+                self.flight.record(EVENT_ERROR, target=request.target,
+                                   error=f"{type(exc).__name__}: {exc}")
+                self._dump_flight()
+                raise
+            finally:
+                with self._lock:
+                    self._inflight -= 1
 
     def submit_batch(self, target: str,
                      evidence_rows: Sequence[Mapping[str, str]],
@@ -354,68 +425,83 @@ class InferenceService:
             raise ServingError("batch needs at least one evidence row")
         for row in rows:
             self._validate(target, row)
-        with self._lock:
-            if self._inflight >= self.max_inflight:
-                self._shed += 1
-                SERVING_REQUESTS.inc(tier="none", outcome="shed")
-                raise OverloadError(
-                    f"service at capacity: {self._inflight} requests in "
-                    f"flight (max {self.max_inflight})",
-                    queue_depth=self._inflight)
-            self._inflight += 1
-            self._requests += len(rows)
-        t0 = self._clock.wall()
-        try:
-            SERVING_MICROBATCH_SIZE.observe(len(rows))
-            engine = self.pool.checkout(timeout=deadline)
-
-            def call() -> List:
-                try:
-                    try:
-                        return engine.query_batch(target, rows)
-                    except InferenceError:
-                        # One poisoned row fails the whole stacked call:
-                        # replay per row so only that row reports the
-                        # error.
-                        out: List = []
-                        for row in rows:
-                            try:
-                                out.append(engine.query(target, row))
-                            except InferenceError as exc:
-                                out.append(exc)
-                        return out
-                finally:
-                    self.pool.checkin(engine)
-
-            future = self._executor.submit(call)
-            try:
-                posts = future.result(timeout=deadline)
-            except FutureTimeoutError:
-                future.cancel()
-                SERVING_DEADLINE_EVENTS.inc(tier=TIER_EXACT)
-                raise DeadlineExceededError(
-                    f"batch of {len(rows)} rows missed its "
-                    f"{deadline:.4f}s deadline") from None
-            latency = self._clock.wall() - t0
-            results: List[Dict[str, object]] = []
-            for row, post in zip(rows, posts):
-                if isinstance(post, Exception):
-                    SERVING_REQUESTS.inc(tier="none", outcome="invalid")
-                    results.append({"target": target, "evidence": row,
-                                    "error": str(post)})
-                    continue
-                response = ServiceResponse(
-                    target=target, evidence=row, posterior=post,
-                    tier=TIER_EXACT, degraded=False, stale=False,
-                    estimated_error=0.0, deadline_seconds=deadline,
-                    latency_seconds=latency)
-                self._record(response)
-                response.mode = self._tick_supervisor(success=True)
-                results.append(response.to_dict())
-            return results
-        finally:
+        with correlate(current_request_id()) as rid:
             with self._lock:
-                self._inflight -= 1
+                if self._inflight >= self.max_inflight:
+                    self._shed += 1
+                    SERVING_REQUESTS.inc(tier="none", outcome="shed")
+                    self.flight.record(EVENT_SHED, where="service",
+                                       in_flight=self._inflight,
+                                       rows=len(rows))
+                    self.slo.record(latency_seconds=0.0, outcome="shed",
+                                    estimated_error=None)
+                    raise OverloadError(
+                        f"service at capacity: {self._inflight} requests in "
+                        f"flight (max {self.max_inflight})",
+                        queue_depth=self._inflight)
+                self._inflight += 1
+                self._requests += len(rows)
+            self.flight.record(EVENT_ADMIT, target=target,
+                               deadline_seconds=deadline, rows=len(rows))
+            t0 = self._clock.wall()
+            try:
+                SERVING_MICROBATCH_SIZE.observe(len(rows))
+                engine = self.pool.checkout(timeout=deadline)
+
+                def call() -> List:
+                    try:
+                        try:
+                            return engine.query_batch(target, rows)
+                        except InferenceError:
+                            # One poisoned row fails the whole stacked call:
+                            # replay per row so only that row reports the
+                            # error.
+                            out: List = []
+                            for row in rows:
+                                try:
+                                    out.append(engine.query(target, row))
+                                except InferenceError as exc:
+                                    out.append(exc)
+                            return out
+                    finally:
+                        self.pool.checkin(engine)
+
+                future = self._executor.submit(
+                    contextvars.copy_context().run, call)
+                try:
+                    posts = future.result(timeout=deadline)
+                except FutureTimeoutError:
+                    future.cancel()
+                    SERVING_DEADLINE_EVENTS.inc(tier=TIER_EXACT)
+                    self.flight.record(EVENT_DEADLINE, tier=TIER_EXACT,
+                                       where="batch", rows=len(rows))
+                    self.slo.record(latency_seconds=deadline,
+                                    outcome="error", estimated_error=None)
+                    raise DeadlineExceededError(
+                        f"batch of {len(rows)} rows missed its "
+                        f"{deadline:.4f}s deadline") from None
+                latency = self._clock.wall() - t0
+                results: List[Dict[str, object]] = []
+                for row, post in zip(rows, posts):
+                    if isinstance(post, Exception):
+                        SERVING_REQUESTS.inc(tier="none", outcome="invalid")
+                        results.append({"target": target, "evidence": row,
+                                        "error": str(post)})
+                        continue
+                    response = ServiceResponse(
+                        target=target, evidence=row, posterior=post,
+                        tier=TIER_EXACT, degraded=False, stale=False,
+                        estimated_error=0.0, deadline_seconds=deadline,
+                        latency_seconds=latency, request_id=rid)
+                    self._record(response)
+                    self.slo.record(latency_seconds=latency, outcome="ok",
+                                    estimated_error=0.0)
+                    response.mode = self._tick_supervisor(success=True)
+                    results.append(response.to_dict())
+                return results
+            finally:
+                with self._lock:
+                    self._inflight -= 1
 
     def _validate(self, target: str, evidence: Dict[str, str]) -> None:
         """Reject malformed queries up front — bad requests must not trip
@@ -437,6 +523,21 @@ class InferenceService:
 
     def _answer(self, target: str, evidence: Dict[str, str],
                 deadline: float) -> ServiceResponse:
+        """Traced wrapper: one ``serving.request`` span per ladder descent."""
+        tracer = _tracing._active_tracer
+        if tracer is None:
+            return self._descend(target, evidence, deadline)
+        with tracer.span("serving.request", target=target,
+                         deadline_seconds=deadline) as sp:
+            response = self._descend(target, evidence, deadline)
+            sp.set_attribute("tier", response.tier)
+            sp.set_attribute("degraded", response.degraded)
+            if response.estimated_error is not None:
+                sp.set_attribute("estimated_error", response.estimated_error)
+            return response
+
+    def _descend(self, target: str, evidence: Dict[str, str],
+                 deadline: float) -> ServiceResponse:
         t0 = self._clock.wall()
         attempts: List[str] = []
         with self._lock:
@@ -467,6 +568,10 @@ class InferenceService:
                     error, stale = None, True
             except _TierUnavailable as exc:
                 failure = exc.reason
+                # The ladder hop is flight-recorded with *why* the tier
+                # refused, so a replay shows the whole descent.
+                self.flight.record(EVENT_LADDER, tier=tier,
+                                   reason=type(exc.reason).__name__)
                 continue
             response = ServiceResponse(
                 target=target, evidence=evidence, posterior=posterior,
@@ -506,6 +611,8 @@ class InferenceService:
             breaker.record_failure()
             attempts.append("exact:deadline")
             SERVING_DEADLINE_EVENTS.inc(tier=TIER_EXACT)
+            self.flight.record(EVENT_DEADLINE, tier=TIER_EXACT,
+                               where="injected", injected_seconds=injected)
             raise _TierUnavailable(DeadlineExceededError(
                 f"injected latency {injected:.4f}s exceeded the remaining "
                 f"budget {remaining:.4f}s"))
@@ -528,6 +635,8 @@ class InferenceService:
                 breaker.record_failure()
                 attempts.append("exact:deadline")
                 SERVING_DEADLINE_EVENTS.inc(tier=TIER_EXACT)
+                self.flight.record(EVENT_DEADLINE, tier=TIER_EXACT,
+                                   where="backend")
                 raise _TierUnavailable(DeadlineExceededError(str(exc)))
             except OverloadError as exc:
                 # Pool saturation is load, not backend fault: degrade
@@ -577,7 +686,10 @@ class InferenceService:
             finally:
                 self.pool.checkin(engine)
 
-        future = self._executor.submit(call)
+        # The copied context carries the request id (and the current
+        # span) into the worker thread, so engine spans nest under
+        # serving.request instead of floating as orphan roots.
+        future = self._executor.submit(contextvars.copy_context().run, call)
         try:
             return future.result(timeout=budget)
         except FutureTimeoutError:
@@ -616,6 +728,13 @@ class InferenceService:
             raise DeadlineExceededError(
                 f"micro-batched exact query missed its {budget:.4f}s "
                 "budget waiting for the batch leader")
+        # Every rider (leader and followers alike) stamps which flush
+        # answered it, so a trace reconstructs batch membership.
+        tracer = _tracing._active_tracer
+        if tracer is not None and item.flush_id is not None:
+            sp = tracer.current_span()
+            if sp is not None:
+                sp.set_attribute("batch_flush", item.flush_id)
         if item.error is not None:
             raise item.error
         if item.result is None:
@@ -635,6 +754,14 @@ class InferenceService:
         the error lands only on the row that earned it.
         """
         SERVING_MICROBATCH_SIZE.observe(len(batch))
+        flush_id = next(self._mb_flush_ids)
+        for it in batch:
+            it.flush_id = flush_id
+        # The flight event names every rider, so one JSONL line answers
+        # "which requests rode flush N" without joining span dumps.
+        self.flight.record(EVENT_MICROBATCH, flush_id=flush_id,
+                           size=len(batch),
+                           request_ids=[it.request_id for it in batch])
         groups: Dict[str, List[_MicroBatchItem]] = {}
         for it in batch:
             groups.setdefault(it.target, []).append(it)
@@ -673,7 +800,7 @@ class InferenceService:
                 for it in batch:
                     it.event.set()
 
-        future = self._executor.submit(call)
+        future = self._executor.submit(contextvars.copy_context().run, call)
         try:
             future.result(timeout=budget)
         except FutureTimeoutError:
@@ -727,6 +854,8 @@ class InferenceService:
         if remaining <= 0.0:
             attempts.append("approximate:deadline")
             SERVING_DEADLINE_EVENTS.inc(tier=TIER_APPROXIMATE)
+            self.flight.record(EVENT_DEADLINE, tier=TIER_APPROXIMATE,
+                               where="budget")
             raise _TierUnavailable(DeadlineExceededError(
                 "no budget left for the approximate tier"))
         n = int(remaining / self._seconds_per_sample)
@@ -855,6 +984,8 @@ class InferenceService:
             "pool": self.pool.snapshot(),
             "requests": {"total": requests, "in_flight": inflight,
                          "shed": shed, "by_tier": by_tier},
+            "slo": self.slo.snapshot(),
+            "flight": self.flight.snapshot(),
             "network": self._network.name,
         }
 
@@ -865,9 +996,15 @@ class InferenceService:
 
 
 class _MicroBatchItem:
-    """One enqueued exact query awaiting a micro-batch flush."""
+    """One enqueued exact query awaiting a micro-batch flush.
 
-    __slots__ = ("target", "evidence", "event", "result", "error")
+    Carries the enqueuing request's correlation id (read at construction,
+    on the request's own thread) and, once flushed, the id of the flush
+    that answered it — the two halves of batch-membership correlation.
+    """
+
+    __slots__ = ("target", "evidence", "event", "result", "error",
+                 "request_id", "flush_id")
 
     def __init__(self, target: str, evidence: Dict[str, str]):
         self.target = target
@@ -875,6 +1012,8 @@ class _MicroBatchItem:
         self.event = threading.Event()
         self.result: Optional[Dict[str, float]] = None
         self.error: Optional[Exception] = None
+        self.request_id: Optional[str] = current_request_id()
+        self.flush_id: Optional[int] = None
 
 
 class _TierUnavailable(Exception):

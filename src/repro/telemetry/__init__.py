@@ -33,9 +33,22 @@ or from the CLI: ``repro trace fig4`` and ``repro metrics campaign``.
 from repro.telemetry.clock import ManualClock, SystemClock
 from repro.telemetry.export import (
     TelemetryReport,
+    metrics_to_dict,
     prometheus_text,
     spans_to_jsonl,
     write_spans_jsonl,
+)
+from repro.telemetry.observe import (
+    SLO,
+    FlightEvent,
+    FlightRecorder,
+    SLOEngine,
+    SamplingProfiler,
+    active_profiler,
+    default_serving_slos,
+    load_flight_jsonl,
+    profile_session,
+    profiling_enabled,
 )
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
@@ -51,18 +64,38 @@ from repro.telemetry.tracing import (
     DEFAULT_MAX_SPANS,
     MAX_SPAN_EVENTS,
     NULL_SPAN,
+    REQUEST_ID_ATTR,
     SpanRecord,
     Tracer,
     activate,
     active,
+    correlate,
+    current_request_id,
     deactivate,
     enabled,
     event,
+    new_request_id,
     session,
     span,
 )
 
 __all__ = [
+    # observe: correlation, SLOs, flight recorder, profiler
+    "REQUEST_ID_ATTR",
+    "correlate",
+    "current_request_id",
+    "new_request_id",
+    "SLO",
+    "SLOEngine",
+    "default_serving_slos",
+    "FlightEvent",
+    "FlightRecorder",
+    "load_flight_jsonl",
+    "SamplingProfiler",
+    "active_profiler",
+    "profile_session",
+    "profiling_enabled",
+    "metrics_to_dict",
     # clocks
     "ManualClock",
     "SystemClock",

@@ -90,7 +90,19 @@ def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
         lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
         lines.append(f"# TYPE {metric.name} {metric.kind}")
         if isinstance(metric, Histogram):
-            for label_values, series in metric.samples():
+            samples = metric.samples()
+            if not samples and not metric.label_names:
+                # Consistency with counters/gauges: an unlabeled
+                # histogram that has not observed yet still exposes its
+                # zeroed _bucket/_sum/_count series, so scrapers (and
+                # `repro metrics`) always see the full schema.
+                for bound in metric.buckets:
+                    lines.append(f"{metric.name}_bucket"
+                                 f'{{le="{_format_value(bound)}"}} 0')
+                lines.append(f'{metric.name}_bucket{{le="+Inf"}} 0')
+                lines.append(f"{metric.name}_sum 0")
+                lines.append(f"{metric.name}_count 0")
+            for label_values, series in samples:
                 cumulative = 0
                 for bound, count in zip(metric.buckets,
                                         series.bucket_counts):
@@ -116,6 +128,49 @@ def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
                 lines.append(
                     f"{metric.name}{labels} {_format_value(value)}")
     return "\n".join(lines) + "\n"
+
+
+# -- structured (JSON) exposition -------------------------------------------------
+
+def metrics_to_dict(registry: Optional[MetricsRegistry] = None) -> Dict:
+    """The registry as a JSON-ready document (``repro metrics --json``).
+
+    One entry per metric — name, kind, help, label schema — with every
+    series rendered as ``{"labels": {...}, ...values}``.  Histograms
+    always carry ``sum``/``count`` plus per-bucket cumulative counts, so
+    machine consumers get the same schema the text exposition shows.
+    Deterministic: metrics name-sorted, series label-sorted.
+    """
+    registry = registry or REGISTRY
+    out: Dict[str, Dict] = {}
+    for metric in registry.metrics():
+        entry: Dict[str, object] = {"kind": metric.kind,
+                                    "help": metric.help,
+                                    "labels": list(metric.label_names),
+                                    "series": []}
+        if isinstance(metric, Histogram):
+            entry["buckets"] = list(metric.buckets)
+            series_list = metric.samples()
+            if not series_list and not metric.label_names:
+                entry["series"].append({
+                    "labels": {}, "sum": 0.0, "count": 0,
+                    "bucket_counts": [0] * (len(metric.buckets) + 1)})
+            for label_values, series in series_list:
+                entry["series"].append({
+                    "labels": dict(zip(metric.label_names, label_values)),
+                    "sum": series.sum,
+                    "count": series.count,
+                    "bucket_counts": list(series.bucket_counts)})
+        elif isinstance(metric, (Counter, Gauge)):
+            samples = metric.samples()
+            if not samples and not metric.label_names:
+                entry["series"].append({"labels": {}, "value": 0.0})
+            for label_values, value in samples:
+                entry["series"].append({
+                    "labels": dict(zip(metric.label_names, label_values)),
+                    "value": float(value)})
+        out[metric.name] = entry
+    return out
 
 
 # -- the report section ----------------------------------------------------------

@@ -81,6 +81,32 @@ class Metric:
                 f"series={len(self._series)})")
 
 
+class BoundCounter:
+    """A counter child with its label key resolved once, up front.
+
+    ``Counter.inc(**labels)`` validates and canonicalises the label set
+    on every call — a few microseconds that per-request hot paths (the
+    SLO engine, the flight recorder) cannot afford.  Binding pays that
+    cost once and leaves ``inc`` as a lock plus a dict add.
+    """
+
+    __slots__ = ("_metric", "_key_values")
+
+    def __init__(self, metric: "Counter", key_values: LabelValues):
+        self._metric = metric
+        self._key_values = key_values
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self._metric.name!r} cannot decrease "
+                f"(amount={amount})")
+        metric = self._metric
+        with metric._lock:
+            metric._series[self._key_values] = \
+                metric._series.get(self._key_values, 0.0) + amount
+
+
 class Counter(Metric):
     """Monotonically increasing count (Prometheus counter)."""
 
@@ -93,6 +119,10 @@ class Counter(Metric):
         key = self._key(labels)
         with self._lock:
             self._series[key] = self._series.get(key, 0.0) + amount
+
+    def bind(self, **labels: str) -> BoundCounter:
+        """A cheap pre-keyed handle for hot-path increments."""
+        return BoundCounter(self, self._key(labels))
 
     def value(self, **labels: str) -> float:
         key = self._key(labels)
@@ -448,3 +478,44 @@ SERVING_MICROBATCH_SIZE = REGISTRY.histogram(
     "repro_serving_microbatch_size",
     "Coalesced request count per micro-batch flush.",
     buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0))
+
+
+# -- self-observation instruments (SLO engine + flight recorder) ------------------
+#
+# Like the serving instruments these record unconditionally: the SLO
+# burn and the flight-event volume are product surfaces of the service.
+
+#: Current SLO burn rate per objective and trailing burn window.
+SLO_BURN_RATE = REGISTRY.gauge(
+    "repro_slo_burn_rate",
+    "SLO burn rate (observed spend / allowed spend), by objective and "
+    "trailing window.",
+    labels=("objective", "window"))
+
+#: Fraction of the objective-window error budget still unspent.
+SLO_BUDGET_REMAINING = REGISTRY.gauge(
+    "repro_slo_budget_remaining",
+    "Unspent fraction of the SLO error budget over the objective window, "
+    "by objective.",
+    labels=("objective",))
+
+#: Requests charged to each objective, by good/bad outcome.
+SLO_EVENTS = REGISTRY.counter(
+    "repro_slo_events_total",
+    "Requests evaluated against an SLO, by objective and good/bad "
+    "outcome.",
+    labels=("objective", "outcome"))
+
+#: Cumulative epistemic cost charged to the uncertainty budget: each
+#: degraded answer's reported estimated_error (stale/failed answers the
+#: worst case).  Monotonic, so dashboards can rate() it.
+SLO_UNCERTAINTY_SPENT = REGISTRY.counter(
+    "repro_slo_uncertainty_budget_spent_total",
+    "Cumulative epistemic cost charged to the uncertainty budget "
+    "(reported estimated_error per answer; worst case when unknown).")
+
+#: Flight-recorder events recorded, by kind.
+FLIGHT_EVENTS = REGISTRY.counter(
+    "repro_flight_events_total",
+    "Flight-recorder events recorded, by kind.",
+    labels=("kind",))

@@ -1,0 +1,816 @@
+"""Self-observation: request correlation, SLOs, flight recorder, profiler.
+
+The good-regulator argument applied to the serving runtime itself: a
+system can only manage the uncertainty it can model, *including
+uncertainty about its own behaviour*.  This module aggregates the
+stack's per-answer self-knowledge (tier, staleness, estimated error)
+into an observable model of the running system, in four pieces:
+
+- **Request correlation** — re-exported from
+  :mod:`repro.telemetry.tracing`: one ``contextvars``-carried request id
+  stamped on every span a request touches, so a single JSONL trace
+  reconstructs a request's full ladder descent across HTTP handler,
+  micro-batch flush, engine-pool lease, and engine internals.
+- **SLO engine** (:class:`SLOEngine`) — declarative latency /
+  availability / *uncertainty* objectives over rolling windows with
+  multi-rate burn-rate computation.  The uncertainty budget is the
+  paper's epistemic-cost story made operational: every degraded-tier
+  answer is charged the ``estimated_error`` it reported (stale answers,
+  whose error is honestly unknown, are charged a configurable worst
+  case), and the budget burns down exactly like an availability error
+  budget.
+- **Flight recorder** (:class:`FlightRecorder`) — a bounded, lock-cheap
+  ring of structured events (admissions, sheds, breaker transitions,
+  ladder hops, deadline expiries) that survives to explain an incident
+  after the fact; dump-on-error plus ``repro flightrec`` replay.
+- **Sampling profiler** (:class:`SamplingProfiler`) — an opt-in
+  thread-stack sampler (no ``signal``, no ``sys.setprofile``) exporting
+  collapsed-stack files, attachable to engine hot paths and — through
+  :class:`~repro.parallel.executor.ParallelExecutor` — to campaign
+  workers, whose folded stacks are merged home.
+
+Everything here is stdlib-only, thread-safe, and cheap enough to leave
+on: recording one flight event or SLO sample is a few dict/deque
+operations under a short lock, preserving the serving path's <5%
+enabled-overhead contract (EXT-U quantifies it).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import TelemetryError
+from repro.telemetry.clock import SystemClock
+from repro.telemetry.metrics import (
+    FLIGHT_EVENTS,
+    SLO_BUDGET_REMAINING,
+    SLO_BURN_RATE,
+    SLO_EVENTS,
+    SLO_UNCERTAINTY_SPENT,
+)
+from repro.telemetry.tracing import (  # noqa: F401 - correlation re-exports
+    REQUEST_ID_ATTR,
+    correlate,
+    current_request_id,
+    new_request_id,
+    reset_request_id,
+    set_request_id,
+)
+
+# -- flight recorder --------------------------------------------------------------
+
+#: Default flight-recorder ring capacity (events).
+DEFAULT_FLIGHT_CAPACITY = 2048
+
+#: Well-known flight-event kinds (free-form strings are also accepted).
+EVENT_ADMIT = "admit"
+EVENT_SHED = "shed"
+EVENT_LADDER = "ladder"
+EVENT_DEADLINE = "deadline"
+EVENT_BREAKER = "breaker"
+EVENT_MICROBATCH = "microbatch"
+EVENT_ERROR = "error"
+
+
+class FlightEvent:
+    """One structured entry in the flight-recorder ring."""
+
+    __slots__ = ("seq", "wall", "kind", "request_id", "data")
+
+    def __init__(self, seq: int, wall: float, kind: str,
+                 request_id: Optional[str], data: Dict[str, Any]):
+        self.seq = seq
+        self.wall = wall
+        self.kind = kind
+        self.request_id = request_id
+        self.data = data
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seq": self.seq, "wall": self.wall, "kind": self.kind,
+                "request_id": self.request_id, "data": dict(self.data)}
+
+    def __repr__(self) -> str:
+        return (f"FlightEvent(seq={self.seq}, kind={self.kind!r}, "
+                f"request_id={self.request_id!r})")
+
+
+class FlightRecorder:
+    """Bounded, lock-cheap ring of structured runtime events.
+
+    The black box of the serving runtime: always on, fixed memory, and
+    cheap enough for hot paths — recording is one sequence increment and
+    one slot assignment under a short lock.  When the ring wraps, the
+    oldest events are overwritten (and counted as dropped) rather than
+    blocking or growing: the recorder exists to explain the *recent*
+    past, which is exactly what survives.
+
+    ``dump()`` snapshots the ring in sequence order; ``dump_jsonl``
+    writes one JSON object per event for ``repro flightrec`` replay.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY, clock=None):
+        if capacity < 1:
+            raise TelemetryError(
+                f"flight-recorder capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._clock = clock or SystemClock()
+        self._wall = self._clock.wall
+        #: The ring holds raw ``(seq, wall, kind, request_id, data)``
+        #: tuples; :class:`FlightEvent` objects are materialised only on
+        #: inspection, keeping the per-request write to one lock, one
+        #: tuple, and a couple of int adds.
+        self._ring: List[Optional[tuple]] = [None] * self.capacity
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Any] = {}  # kind -> bound counter child
+        self._pending: Dict[str, int] = {}   # kind -> un-flushed incs
+
+    def record(self, kind: str, request_id: Optional[str] = None,
+               **data: Any) -> None:
+        """Append one event; ``request_id`` defaults to the bound one."""
+        if request_id is None:
+            request_id = current_request_id()
+        pending = self._pending
+        with self._lock:
+            seq = self._seq
+            self._seq = seq + 1
+            self._ring[seq % self.capacity] = (
+                seq, self._wall(), kind, request_id, data)
+            pending[kind] = pending.get(kind, 0) + 1
+
+    # -- inspection ------------------------------------------------------------
+
+    def flush_metrics(self) -> None:
+        """Publish pending per-kind counts to ``FLIGHT_EVENTS``.
+
+        Like the SLO engine's counters, ``repro_flight_events_total``
+        is tallied as plain ints on the hot path and published here —
+        called by every inspection path and the `/metrics` scrape.
+        """
+        with self._lock:
+            if not self._pending:
+                return
+            pending, self._pending = self._pending, {}
+        for kind, count in pending.items():
+            counter = self._counters.get(kind)
+            if counter is None:
+                counter = self._counters.setdefault(
+                    kind, FLIGHT_EVENTS.bind(kind=kind))
+            counter.inc(count)
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (including overwritten ones)."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring wraparound."""
+        with self._lock:
+            return max(0, self._seq - self.capacity)
+
+    def events(self, *, kind: Optional[str] = None,
+               request_id: Optional[str] = None) -> List[FlightEvent]:
+        """Buffered events in sequence order, optionally filtered."""
+        self.flush_metrics()
+        with self._lock:
+            held = [row for row in self._ring if row is not None]
+        held.sort(key=lambda row: row[0])
+        events = [FlightEvent(*row) for row in held]
+        if kind is not None:
+            events = [e for e in events if e.kind == kind]
+        if request_id is not None:
+            events = [e for e in events if e.request_id == request_id]
+        return events
+
+    def counts(self) -> Dict[str, int]:
+        """Buffered events per kind, kind-sorted."""
+        out: Dict[str, int] = {}
+        for event in self.events():
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return dict(sorted(out.items()))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring = [None] * self.capacity
+            self._seq = 0
+
+    # -- export ----------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(e.to_dict(), sort_keys=True, default=str)
+                         for e in self.events())
+
+    def dump_jsonl(self, path) -> int:
+        """Write the ring to ``path`` (JSON Lines); returns event count."""
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as handle:
+            text = self.to_jsonl()
+            if text:
+                handle.write(text + "\n")
+        return len(events)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The `/health` view: volume, loss, and per-kind counts."""
+        return {"capacity": self.capacity, "recorded": self.recorded,
+                "dropped": self.dropped, "by_kind": self.counts()}
+
+    def __repr__(self) -> str:
+        return (f"FlightRecorder(capacity={self.capacity}, "
+                f"recorded={self.recorded})")
+
+
+def load_flight_jsonl(path) -> List[Dict[str, Any]]:
+    """Parse a flight-recorder JSONL dump back into event dicts."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    events.sort(key=lambda e: e.get("seq", 0))
+    return events
+
+
+# -- SLO engine -------------------------------------------------------------------
+
+#: Recognized objective kinds.
+SLO_KINDS: Tuple[str, ...] = ("latency", "availability", "uncertainty")
+
+#: Default multi-rate burn windows (seconds): the classic fast/slow pair.
+DEFAULT_BURN_WINDOWS: Tuple[float, ...] = (300.0, 3600.0)
+
+#: Error charged to a stale answer, whose true error is honestly unknown:
+#: the worst case for a probability (total variation distance bound).
+DEFAULT_STALE_COST = 1.0
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative service-level objective.
+
+    ``kind`` selects the math:
+
+    - ``latency`` — a request is *good* when it answers within
+      ``threshold_seconds``; ``target`` is the required good fraction.
+    - ``availability`` — a request is good when it answers at all
+      (outcome ``ok``); ``target`` is the required good fraction.
+    - ``uncertainty`` — every answer is charged its reported epistemic
+      cost (``estimated_error``; stale answers a configured worst case);
+      ``budget`` is the error mass the service may spend per
+      ``window_seconds``.
+    """
+
+    name: str
+    kind: str
+    window_seconds: float = 3600.0
+    target: float = 0.99          # latency / availability
+    threshold_seconds: float = 0.1  # latency only
+    budget: float = 1.0           # uncertainty only
+
+    def __post_init__(self):
+        if self.kind not in SLO_KINDS:
+            raise TelemetryError(
+                f"unknown SLO kind {self.kind!r}; choose from "
+                f"{list(SLO_KINDS)}")
+        if self.window_seconds <= 0.0:
+            raise TelemetryError(
+                f"SLO {self.name!r}: window_seconds must be positive, got "
+                f"{self.window_seconds}")
+        if self.kind in ("latency", "availability") and \
+                not 0.0 < self.target < 1.0:
+            raise TelemetryError(
+                f"SLO {self.name!r}: target must be in (0, 1), got "
+                f"{self.target}")
+        if self.kind == "latency" and self.threshold_seconds <= 0.0:
+            raise TelemetryError(
+                f"SLO {self.name!r}: threshold_seconds must be positive, "
+                f"got {self.threshold_seconds}")
+        if self.kind == "uncertainty" and self.budget <= 0.0:
+            raise TelemetryError(
+                f"SLO {self.name!r}: budget must be positive, got "
+                f"{self.budget}")
+
+
+def default_serving_slos(deadline_seconds: float = 0.1) -> Tuple[SLO, ...]:
+    """The serving runtime's out-of-the-box objectives.
+
+    Latency is pinned to the service's default deadline (an answer that
+    needed more than the budget is bad even if the ladder saved it),
+    availability counts every answered request as good, and the
+    uncertainty budget allows one full stale answer's worth of error
+    mass per minute of window.
+    """
+    return (
+        SLO("latency", "latency", target=0.95,
+            threshold_seconds=float(deadline_seconds), window_seconds=3600.0),
+        SLO("availability", "availability", target=0.999,
+            window_seconds=3600.0),
+        SLO("uncertainty", "uncertainty", budget=60.0,
+            window_seconds=3600.0),
+    )
+
+
+class SLOEngine:
+    """Rolling-window SLO evaluation with multi-rate burn rates.
+
+    For the good/bad objectives the burn rate over a window is the
+    observed bad fraction divided by the allowed bad fraction
+    ``1 - target``: burn 1.0 spends the error budget exactly at the
+    rate that exhausts it by the end of the objective window, burn
+    >1 exhausts it early.  For the uncertainty objective the spend is
+    the summed epistemic cost, and burn over window ``w`` is
+    ``spent(w) / (budget * w / window_seconds)`` — the same "rate
+    relative to allowance" scale, so one alert rule covers all three
+    kinds (see README: page on fast+slow windows both burning > 14.4).
+
+    Recording is a write-ahead log append: the request path stores the
+    raw sample tuple and returns.  Classification, one-second bucket
+    aggregation, and eviction all happen when the log drains — on the
+    next rate-limited gauge refresh or any evaluation call (burn rate,
+    budget, snapshot), whichever comes first — so per-request cost is
+    one lock + append no matter how many objectives are configured.
+    The ``repro_slo_*`` gauges *and* the event/spend counters publish
+    at the same drain points (forced by the `/metrics` scrape hook),
+    keeping labeled-metric work off the request path entirely.
+    """
+
+    def __init__(self, objectives: Sequence[SLO] = (), *, clock=None,
+                 burn_windows: Sequence[float] = DEFAULT_BURN_WINDOWS,
+                 stale_cost: float = DEFAULT_STALE_COST,
+                 refresh_seconds: float = 1.0):
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise TelemetryError(f"duplicate SLO names in {names}")
+        windows = tuple(sorted(float(w) for w in burn_windows))
+        if not windows or any(w <= 0.0 for w in windows):
+            raise TelemetryError(
+                f"burn_windows must be positive, got {list(burn_windows)}")
+        self.objectives: Tuple[SLO, ...] = tuple(objectives)
+        self.burn_windows = windows
+        self.stale_cost = float(stale_cost)
+        #: Minimum seconds between gauge refreshes: window scans are
+        #: O(samples in window), so the hot request path only pays for
+        #: one about once per refresh interval (0 = refresh every
+        #: record, for deterministic tests).
+        self.refresh_seconds = float(refresh_seconds)
+        self._clock = clock or SystemClock()
+        self._wall = self._clock.wall
+        self._lock = threading.Lock()
+        #: Samples aggregate into one-second buckets shared by every
+        #: objective: recording is a handful of int adds on the open
+        #: bucket (no allocation), and a window scan touches at most
+        #: horizon-many buckets no matter the request rate.  Each row is
+        #: ``[bucket_start, events, cost_sum, bad_obj0, bad_obj1, ...]``.
+        self._buckets: deque = deque()
+        self._cur: Optional[List[float]] = None  # open bucket, buckets[-1]
+        self._horizon_span = max(
+            max((o.window_seconds for o in self.objectives), default=0.0),
+            windows[-1])
+        #: Pre-computed per-objective classifier rows so the hot path
+        #: does no string building: (good tally slot, bad tally slot,
+        #: bucket bad-count index, kind, latency threshold).
+        self._classifiers = tuple(
+            (2 * i, 2 * i + 1, 3 + i, o.kind, o.threshold_seconds)
+            for i, o in enumerate(self.objectives))
+        self._bad_index = {o.name: 3 + i
+                           for i, o in enumerate(self.objectives)}
+        #: Event counts pending their flush into ``SLO_EVENTS`` (plain
+        #: list-slot adds beat a labeled-counter inc on every request);
+        #: slot 2i is objective i's good count, 2i+1 its bad count.
+        self._tally: List[int] = [0] * (2 * len(self.objectives))
+        self._tally_labels = tuple(
+            (o.name, outcome)
+            for o in self.objectives for outcome in ("good", "bad"))
+        self._pending_spent = 0.0  # cost not yet flushed to the counter
+        #: Write-ahead sample log: ``record`` appends raw tuples here;
+        #: `_ingest_locked` drains them into buckets/tallies lazily.
+        self._log: List[tuple] = []
+        self._spent_total = 0.0    # uncertainty cost, monotonic
+        self._events_total = 0
+        self._last_refresh = float("-inf")
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, *, latency_seconds: float, outcome: str = "ok",
+               estimated_error: Optional[float] = 0.0,
+               stale: bool = False) -> None:
+        """Charge one answered (or failed) request to every objective.
+
+        ``outcome`` is the serving outcome label (``ok`` / ``error`` /
+        ``shed``); ``estimated_error`` and ``stale`` are the answer's
+        reported epistemic cost.  The hot path only appends the raw
+        sample to the write-ahead log; classification and bucketing
+        happen on the next drain (rate-limited refresh or any
+        evaluation call).
+        """
+        now = self._wall()
+        with self._lock:
+            self._log.append((now, outcome, latency_seconds,
+                              estimated_error, stale))
+        if now - self._last_refresh >= self.refresh_seconds:
+            self._last_refresh = now
+            self._refresh_gauges(now)
+
+    def _ingest_locked(self) -> None:
+        """Drain the write-ahead log into buckets and tallies.
+
+        The caller holds ``self._lock``.  Every reader of the
+        aggregated state (window scans, totals, gauge refresh) drains
+        first, so laziness is invisible: samples are timestamped at
+        record time and land in the bucket their wall clock says.
+        """
+        log = self._log
+        if not log:
+            return
+        self._log = []
+        n_objectives = len(self.objectives)
+        buckets = self._buckets
+        tally = self._tally
+        cur = self._cur
+        for now, outcome, latency_seconds, estimated_error, stale in log:
+            # The epistemic cost of the answer: an unanswered request
+            # (error/shed) gave the caller no model at all, and a stale
+            # or unbounded answer no usable error bound — charge all of
+            # them the worst case.
+            ok = outcome == "ok"
+            if not ok or stale or estimated_error is None:
+                cost = self.stale_cost
+            else:
+                cost = float(estimated_error)
+            self._events_total += 1
+            self._spent_total += cost
+            self._pending_spent += cost
+            start = now // 1.0
+            if cur is None or cur[0] != start:
+                cur = self._cur = [start, 0, 0.0] + [0] * n_objectives
+                buckets.append(cur)
+                # Evict only on bucket roll (at most once a second) and
+                # never the bucket just opened.
+                horizon = now - self._horizon_span
+                while len(buckets) > 1 and buckets[0][0] < horizon:
+                    buckets.popleft()
+            cur[1] += 1
+            cur[2] += cost
+            for good_slot, bad_slot, bad_idx, kind, threshold \
+                    in self._classifiers:
+                if kind == "latency":
+                    good = ok and latency_seconds <= threshold
+                elif kind == "availability":
+                    good = ok
+                else:
+                    good = True
+                if good:
+                    tally[good_slot] += 1
+                else:
+                    tally[bad_slot] += 1
+                    cur[bad_idx] += 1
+
+    # -- evaluation ------------------------------------------------------------
+
+    def _window_stats(self, objective: SLO, window: float,
+                      now: float) -> Tuple[int, int, float]:
+        """(events, bad events, spent cost) inside ``[now - window, now]``.
+
+        Resolution is the one-second bucket: a bucket counts as inside
+        the window when its start time is, so cutoffs land on sample
+        boundaries to within a second — noise-level for the multi-minute
+        burn windows this engine evaluates.
+        """
+        events = bad = 0
+        spent = 0.0
+        cutoff = now - window
+        uncertainty = objective.kind == "uncertainty"
+        bad_idx = self._bad_index[objective.name]
+        for row in reversed(self._buckets):
+            if row[0] < cutoff:
+                break
+            events += row[1]
+            if uncertainty:
+                spent += row[2]
+            else:
+                bad += row[bad_idx]
+        return events, bad, spent
+
+    def burn_rate(self, name: str, window: float,
+                  now: Optional[float] = None) -> float:
+        """The burn rate of objective ``name`` over the trailing window."""
+        objective = self._objective(name)
+        now = self._clock.wall() if now is None else now
+        with self._lock:
+            self._ingest_locked()
+            events, bad, spent = self._window_stats(objective, window, now)
+        if objective.kind == "uncertainty":
+            allowance = objective.budget * window / objective.window_seconds
+            return spent / allowance
+        if events == 0:
+            return 0.0
+        return (bad / events) / (1.0 - objective.target)
+
+    def budget_remaining(self, name: str,
+                         now: Optional[float] = None) -> float:
+        """Fraction of the objective-window error budget still unspent."""
+        objective = self._objective(name)
+        now = self._clock.wall() if now is None else now
+        with self._lock:
+            self._ingest_locked()
+            events, bad, spent = self._window_stats(
+                objective, objective.window_seconds, now)
+        if objective.kind == "uncertainty":
+            return max(0.0, 1.0 - spent / objective.budget)
+        if events == 0:
+            return 1.0
+        allowed = (1.0 - objective.target) * events
+        return max(0.0, 1.0 - bad / allowed) if allowed > 0.0 else 0.0
+
+    def _objective(self, name: str) -> SLO:
+        for objective in self.objectives:
+            if objective.name == name:
+                return objective
+        raise TelemetryError(f"no SLO named {name!r} (have "
+                             f"{[o.name for o in self.objectives]})")
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, object]:
+        """The `/health` document section: every objective evaluated."""
+        now = self._clock.wall() if now is None else now
+        objectives: List[Dict[str, object]] = []
+        for objective in self.objectives:
+            with self._lock:
+                self._ingest_locked()
+                events, bad, spent = self._window_stats(
+                    objective, objective.window_seconds, now)
+            entry: Dict[str, object] = {
+                "name": objective.name,
+                "kind": objective.kind,
+                "window_seconds": objective.window_seconds,
+                "events": events,
+                "burn_rates": {
+                    f"{int(w)}s": round(self.burn_rate(objective.name, w,
+                                                       now), 6)
+                    for w in self.burn_windows},
+                "budget_remaining": round(
+                    self.budget_remaining(objective.name, now), 6),
+            }
+            if objective.kind == "uncertainty":
+                entry["budget"] = objective.budget
+                entry["spent"] = round(spent, 6)
+            else:
+                entry["target"] = objective.target
+                entry["bad_events"] = bad
+                if objective.kind == "latency":
+                    entry["threshold_seconds"] = objective.threshold_seconds
+            objectives.append(entry)
+        with self._lock:
+            self._ingest_locked()
+            totals = {"events": self._events_total,
+                      "uncertainty_spent": round(self._spent_total, 6)}
+        self.refresh(now)
+        return {"objectives": objectives, "totals": totals}
+
+    def refresh(self, now: Optional[float] = None) -> None:
+        """Recompute the ``repro_slo_*`` gauges right now (scrape hook)."""
+        now = self._clock.wall() if now is None else now
+        self._last_refresh = now
+        self._refresh_gauges(now)
+
+    def _refresh_gauges(self, now: float) -> None:
+        # Drain the write-ahead log, then flush the plain-int tallies
+        # into the labeled counters before recomputing the gauges, so
+        # one scrape sees a consistent document.
+        with self._lock:
+            self._ingest_locked()
+            pending = list(self._tally)
+            for slot in range(len(self._tally)):
+                self._tally[slot] = 0
+            spent, self._pending_spent = self._pending_spent, 0.0
+        for (name, outcome), count in zip(self._tally_labels, pending):
+            if count:
+                SLO_EVENTS.inc(count, objective=name, outcome=outcome)
+        if spent > 0.0:
+            SLO_UNCERTAINTY_SPENT.inc(spent)
+        for objective in self.objectives:
+            for window in self.burn_windows:
+                SLO_BURN_RATE.set(
+                    self.burn_rate(objective.name, window, now),
+                    objective=objective.name, window=f"{int(window)}s")
+            SLO_BUDGET_REMAINING.set(
+                self.budget_remaining(objective.name, now),
+                objective=objective.name)
+
+    def __repr__(self) -> str:
+        return (f"SLOEngine(objectives={[o.name for o in self.objectives]}, "
+                f"windows={list(self.burn_windows)})")
+
+
+# -- sampling profiler ------------------------------------------------------------
+
+#: Default sampling period (seconds): ~200 Hz, coarse enough to stay
+#: far below 1% overhead, fine enough to apportion a 4-worker campaign.
+DEFAULT_PROFILE_INTERVAL = 0.005
+
+
+class SamplingProfiler:
+    """Wall-clock thread-stack sampler producing collapsed stacks.
+
+    A daemon thread wakes every ``interval`` seconds and snapshots every
+    other thread's Python stack via ``sys._current_frames()`` — no
+    ``signal`` handlers (safe off the main thread, safe under a serving
+    runtime) and no ``sys.setprofile`` (no per-call overhead on the
+    measured code).  Samples aggregate into *folded* stacks —
+    ``root;caller;leaf count`` lines, the flamegraph interchange format —
+    so the output of a run (or of many campaign workers, via
+    :meth:`merge`) collapses into one file.
+    """
+
+    def __init__(self, interval: float = DEFAULT_PROFILE_INTERVAL,
+                 max_depth: int = 64):
+        if interval <= 0.0:
+            raise TelemetryError(
+                f"profiler interval must be positive, got {interval}")
+        if max_depth < 1:
+            raise TelemetryError(
+                f"profiler max_depth must be >= 1, got {max_depth}")
+        self.interval = float(interval)
+        self.max_depth = int(max_depth)
+        self._counts: Dict[str, int] = {}
+        self._samples = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        if self.running:
+            raise TelemetryError("profiler is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="repro-profiler")
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+        self._thread = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample()
+
+    # -- sampling --------------------------------------------------------------
+
+    def sample(self) -> int:
+        """Take one snapshot of every other thread's stack; returns the
+        number of stacks folded in (also callable directly in tests)."""
+        me = threading.get_ident()
+        folded = 0
+        for thread_id, frame in sys._current_frames().items():
+            if thread_id == me:
+                continue
+            parts: List[str] = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                code = frame.f_code
+                module = code.co_filename.rsplit("/", 1)[-1]
+                if module.endswith(".py"):
+                    module = module[:-3]
+                parts.append(f"{module}.{code.co_name}")
+                frame = frame.f_back
+                depth += 1
+            if not parts:
+                continue
+            stack = ";".join(reversed(parts))
+            with self._lock:
+                self._counts[stack] = self._counts.get(stack, 0) + 1
+            folded += 1
+        with self._lock:
+            self._samples += 1
+        return folded
+
+    # -- aggregation -----------------------------------------------------------
+
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return self._samples
+
+    def folded(self) -> Dict[str, int]:
+        """The folded-stack counts (stack -> samples), copy."""
+        with self._lock:
+            return dict(self._counts)
+
+    def merge(self, folded: Mapping[str, int], samples: int = 0) -> None:
+        """Fold another profiler's counts in (campaign workers ship home)."""
+        with self._lock:
+            for stack, count in folded.items():
+                self._counts[stack] = self._counts.get(stack, 0) + int(count)
+            self._samples += int(samples)
+
+    def hotspots(self, top: int = 10) -> List[Tuple[str, int]]:
+        """(leaf frame, samples) pairs, hottest first — the quick look."""
+        leaves: Dict[str, int] = {}
+        for stack, count in self.folded().items():
+            leaf = stack.rsplit(";", 1)[-1]
+            leaves[leaf] = leaves.get(leaf, 0) + count
+        ranked = sorted(leaves.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:top]
+
+    def collapsed(self) -> str:
+        """The folded stacks as ``stack count`` lines, stack-sorted."""
+        return "\n".join(f"{stack} {count}"
+                         for stack, count in sorted(self.folded().items()))
+
+    def write_collapsed(self, path) -> int:
+        """Write the collapsed-stack file; returns distinct stack count."""
+        text = self.collapsed()
+        with open(path, "w", encoding="utf-8") as handle:
+            if text:
+                handle.write(text + "\n")
+        return len(self.folded())
+
+    def __repr__(self) -> str:
+        return (f"SamplingProfiler(interval={self.interval}, "
+                f"samples={self.samples}, running={self.running})")
+
+
+# -- module-global profiler activation --------------------------------------------
+#
+# Mirrors the tracer's activation seam: one process-global profiler (or
+# None), so the parallel executor can detect an active profiling session
+# and ship worker-side folded stacks home.
+
+_profiler_lock = threading.Lock()
+_active_profiler: Optional[SamplingProfiler] = None
+
+
+def active_profiler() -> Optional[SamplingProfiler]:
+    return _active_profiler
+
+
+def profiling_enabled() -> bool:
+    return _active_profiler is not None
+
+
+@contextmanager
+def profile_session(interval: float = DEFAULT_PROFILE_INTERVAL
+                    ) -> Iterator[SamplingProfiler]:
+    """A started process-global profiler for one block."""
+    global _active_profiler
+    profiler = SamplingProfiler(interval=interval)
+    with _profiler_lock:
+        previous = _active_profiler
+        _active_profiler = profiler
+    profiler.start()
+    try:
+        yield profiler
+    finally:
+        profiler.stop()
+        with _profiler_lock:
+            _active_profiler = previous
+
+
+def profile_call(fn: Callable[[], Any], interval: float =
+                 DEFAULT_PROFILE_INTERVAL) -> Tuple[Any, SamplingProfiler]:
+    """Run ``fn`` under a profiler; returns (result, stopped profiler).
+
+    The worker-side hook: a campaign chunk runs under its own local
+    profiler and ships ``profiler.folded()`` home for :meth:`merge`.
+    """
+    profiler = SamplingProfiler(interval=interval)
+    profiler.start()
+    try:
+        result = fn()
+    finally:
+        profiler.stop()
+    return result, profiler

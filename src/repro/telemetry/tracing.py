@@ -44,6 +44,55 @@ MAX_SPAN_EVENTS = 64
 #: Default ring-buffer capacity of a tracer (finished spans).
 DEFAULT_MAX_SPANS = 4096
 
+#: Attribute name under which the correlation id is stamped on spans.
+REQUEST_ID_ATTR = "request_id"
+
+# -- request correlation ----------------------------------------------------------
+#
+# One ``contextvars.ContextVar`` carries the current request id; every
+# span opened while it is bound is stamped with a ``request_id``
+# attribute automatically, so a single id follows a request across the
+# HTTP handler, the service ladder, the engine pool, and the engine's
+# own spans — including across ``contextvars.copy_context()`` hops into
+# worker threads.  Unbound (the default) costs one ContextVar read per
+# span and stamps nothing.
+
+_request_id: contextvars.ContextVar[Optional[str]] = \
+    contextvars.ContextVar("repro_telemetry_request_id", default=None)
+
+_request_counter = itertools.count(1)
+
+
+def current_request_id() -> Optional[str]:
+    """The correlation id bound to this context, or None."""
+    return _request_id.get()
+
+
+def new_request_id() -> str:
+    """A fresh process-unique correlation id (``req-<n>-<hex>``)."""
+    import os
+    return f"req-{next(_request_counter)}-{os.urandom(4).hex()}"
+
+
+def set_request_id(request_id: Optional[str]) -> contextvars.Token:
+    """Bind ``request_id`` in this context; reset with the token."""
+    return _request_id.set(request_id)
+
+
+def reset_request_id(token: contextvars.Token) -> None:
+    _request_id.reset(token)
+
+
+@contextmanager
+def correlate(request_id: Optional[str] = None) -> Iterator[str]:
+    """Bind a correlation id for one block (generating one if needed)."""
+    rid = request_id or new_request_id()
+    token = _request_id.set(rid)
+    try:
+        yield rid
+    finally:
+        _request_id.reset(token)
+
 
 @dataclass
 class SpanRecord:
@@ -185,8 +234,17 @@ class Tracer:
     # -- recording -------------------------------------------------------------
 
     def span(self, name: str, **attributes: Any) -> _SpanContext:
-        """Open a span nested under the calling context's current span."""
+        """Open a span nested under the calling context's current span.
+
+        A bound correlation id (:func:`correlate` / :func:`set_request_id`)
+        is stamped as the ``request_id`` attribute unless the caller
+        already supplied one, so one id threads every span a request
+        touches.
+        """
         parent = self._current.get()
+        rid = _request_id.get()
+        if rid is not None and REQUEST_ID_ATTR not in attributes:
+            attributes[REQUEST_ID_ATTR] = rid
         with self._lock:
             span_id = next(self._ids)
         record = SpanRecord(

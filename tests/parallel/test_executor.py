@@ -6,6 +6,8 @@ reassembly, per-item seed streams, span adoption, and counter-delta
 merging across the process boundary.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -387,3 +389,75 @@ class TestWorkerCrash:
         executor = ParallelExecutor(workers=1, backend="serial")
         with pytest.raises(ParallelError, match=r"item 3\b"):
             executor.map_seeded(crash_seeded, range(6), seed=0)
+
+
+def _traced_counting_crash(x):
+    with tracing.span("task.unit", item=x):
+        _TEST_COUNTER.inc(shape="crash")
+        if x == 7:
+            raise ValueError(f"item {x} is cursed")
+        return x * 2
+
+
+def _busy_square(x):
+    deadline = time.perf_counter() + 0.05
+    while time.perf_counter() < deadline:
+        pass
+    return x * x
+
+
+class TestCrashTelemetry:
+    """A crashed process chunk still ships the telemetry it accumulated:
+    its partial spans and counter deltas come home before the failure is
+    raised, so traces show where the work died instead of a silent gap."""
+
+    def test_crashed_chunk_ships_partial_spans(self):
+        with telemetry.session() as tracer:
+            executor = ParallelExecutor(workers=1, backend="process",
+                                        chunk_size=4)
+            with pytest.raises(ParallelError, match=r"item 7\b"):
+                executor.map(_traced_counting_crash, range(8))
+        items = sorted(s.attributes["item"] for s in tracer.finished
+                       if s.name == "task.unit")
+        # The healthy chunk (0-3) AND the crashed chunk (4-7, where item
+        # 7 raised inside its span) are both in the trace.
+        assert items == list(range(8))
+
+    def test_crashed_chunk_spans_nest_under_map_span(self):
+        with telemetry.session() as tracer:
+            executor = ParallelExecutor(workers=1, backend="process",
+                                        chunk_size=4)
+            with pytest.raises(ParallelError):
+                executor.map(_traced_counting_crash, range(8))
+        map_span = next(s for s in tracer.finished
+                        if s.name == "parallel.map")
+        for span in tracer.finished:
+            if span.name == "task.unit":
+                assert span.parent_id == map_span.span_id
+                assert span.depth == map_span.depth + 1
+
+    def test_crashed_chunk_ships_counter_deltas(self):
+        before = _TEST_COUNTER.value(shape="crash")
+        executor = ParallelExecutor(workers=1, backend="process",
+                                    chunk_size=4)
+        with pytest.raises(ParallelError):
+            executor.map(_traced_counting_crash, range(8))
+        # Every attempted item metered itself — including item 7, which
+        # incremented before raising.
+        assert _TEST_COUNTER.value(shape="crash") - before == 8
+
+
+class TestWorkerProfilerMerge:
+    def test_process_workers_ship_folded_stacks_home(self):
+        executor = ParallelExecutor(workers=2, backend="process",
+                                    chunk_size=1)
+        with telemetry.profile_session(interval=0.001) as profiler:
+            assert executor.map(_busy_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+        assert profiler.samples > 0
+        assert any("_busy_square" in stack for stack in profiler.folded())
+
+    def test_no_profiling_session_means_no_worker_profilers(self):
+        executor = ParallelExecutor(workers=2, backend="process",
+                                    chunk_size=2)
+        assert executor.map(_square, range(4)) == [0, 1, 4, 9]
+        assert telemetry.active_profiler() is None

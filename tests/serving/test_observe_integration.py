@@ -1,0 +1,226 @@
+"""Golden trace: one correlated /query's full ladder descent.
+
+The PR-8 acceptance test: a client-supplied ``X-Request-ID`` must be
+visible on every span (HTTP handler, pool lease, engine call) and every
+flight event the request touches, so one JSONL trace reconstructs the
+whole descent exact -> cache -> approximate -> stale.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro import telemetry
+from repro.perception.chain import build_fig4_network
+from repro.serving import REQUEST_ID_HEADER, InferenceService
+from repro.serving.http import serve
+from repro.telemetry.export import write_spans_jsonl
+from repro.telemetry.observe import (
+    EVENT_ADMIT,
+    EVENT_DEADLINE,
+    EVENT_LADDER,
+    EVENT_MICROBATCH,
+)
+
+EVIDENCE = {"perception": "car"}
+REQUEST_ID = "golden-req-1"
+
+
+class _StuckEngine:
+    """Chaos stand-in: a pooled engine whose backend has really stalled.
+
+    The virtual :class:`~repro.robustness.faults.LatencyFault` blows the
+    budget before the pool is ever touched, which is cheap but leaves no
+    pool/engine spans to correlate.  This wrapper stalls *inside* the
+    leased engine call instead, so the trace shows the full path: the
+    pool checkout, the engine query running in the worker thread, and
+    the deadline firing while the backend is still stuck.
+    """
+
+    def __init__(self, inner, delay):
+        self._inner = inner
+        self._delay = delay
+
+    def query(self, target, evidence):
+        time.sleep(self._delay)
+        return self._inner.query(target, evidence)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+@pytest.fixture
+def stuck_server():
+    service = InferenceService(build_fig4_network(), pool_size=1,
+                               max_queue=4, default_deadline=0.5)
+    service.pool._free = [_StuckEngine(engine, 0.3)
+                          for engine in service.pool._free]
+    http_server = serve(service, port=0)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield http_server
+    finally:
+        http_server.shutdown()
+        http_server.server_close()
+        service.close()
+        thread.join(timeout=5.0)
+
+
+def _post_query(server, payload, request_id=None):
+    headers = {"Content-Type": "application/json"}
+    if request_id is not None:
+        headers[REQUEST_ID_HEADER] = request_id
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}/query",
+        data=json.dumps(payload).encode(), headers=headers)
+    with urllib.request.urlopen(request, timeout=10) as resp:
+        return resp.status, dict(resp.headers), json.loads(resp.read())
+
+
+def _wait_for_span(tracer, name, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if any(span.name == name for span in tracer.finished):
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"span {name!r} never finished; have "
+                         f"{[s.name for s in tracer.finished]}")
+
+
+class TestGoldenTrace:
+    def test_one_request_id_across_http_pool_engine(self, stuck_server,
+                                                    tmp_path):
+        service = stuck_server.service
+        with telemetry.session() as tracer:
+            status, headers, doc = _post_query(
+                stuck_server,
+                {"target": "ground_truth", "evidence": EVIDENCE,
+                 "deadline_ms": 100},
+                request_id=REQUEST_ID)
+            # The stuck engine call is still running in its worker
+            # thread; its engine.query span lands when the stall ends.
+            _wait_for_span(tracer, "engine.query")
+
+        # The degraded answer is still 200, echoes the correlation id,
+        # and reports the full descent it took to the stale floor.
+        assert status == 200
+        assert headers[REQUEST_ID_HEADER] == REQUEST_ID
+        assert doc["request_id"] == REQUEST_ID
+        assert doc["tier"] == "stale"
+        assert doc["stale"] is True
+        assert doc["estimated_error"] is None
+        assert doc["attempts"] == ["exact:deadline", "cache:miss",
+                                   "approximate:deadline", "stale:prior"]
+
+        # Golden JSONL: dump + reload, then assert the single request id
+        # stitches HTTP handler -> service -> pool lease -> engine call.
+        path = tmp_path / "trace.jsonl"
+        write_spans_jsonl(path, tracer.finished)
+        spans = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert all(span["attributes"].get("request_id") == REQUEST_ID
+                   for span in spans)
+        by_name = {span["name"]: span for span in spans}
+        assert {"http.request", "serving.request", "pool.checkout",
+                "engine.query"} <= set(by_name)
+        root = by_name["http.request"]
+        assert root["parent_id"] is None
+        assert by_name["serving.request"]["parent_id"] == root["span_id"]
+        request_span = by_name["serving.request"]
+        assert by_name["pool.checkout"]["parent_id"] == \
+            request_span["span_id"]
+        # The engine span ran on a worker thread: the copied context
+        # parents it under serving.request instead of an orphan root.
+        assert by_name["engine.query"]["parent_id"] == \
+            request_span["span_id"]
+        assert request_span["attributes"]["tier"] == "stale"
+
+        # The flight recorder replays the same descent under the same id.
+        events = service.flight.events(request_id=REQUEST_ID)
+        kinds = [event.kind for event in events]
+        assert kinds[0] == EVENT_ADMIT
+        ladder = [event.data["tier"] for event in events
+                  if event.kind == EVENT_LADDER]
+        assert ladder == ["exact", "cache", "approximate"]
+        deadlines = {(event.data["tier"], event.data["where"])
+                     for event in events if event.kind == EVENT_DEADLINE}
+        assert deadlines == {("exact", "backend"),
+                             ("approximate", "budget")}
+
+        # The stale answer charged the uncertainty budget its honest
+        # worst case.
+        snapshot = service.slo.snapshot()
+        assert snapshot["totals"]["uncertainty_spent"] == pytest.approx(1.0)
+
+    def test_request_id_minted_when_absent(self, stuck_server):
+        status, headers, doc = _post_query(
+            stuck_server,
+            {"target": "ground_truth", "evidence": EVIDENCE,
+             "deadline_ms": 100})
+        assert status == 200
+        minted = headers[REQUEST_ID_HEADER]
+        assert minted.startswith("req-")
+        assert doc["request_id"] == minted
+
+    def test_uncertainty_burn_surfaces_in_metrics(self, stuck_server):
+        _post_query(stuck_server,
+                    {"target": "ground_truth", "evidence": EVIDENCE,
+                     "deadline_ms": 100},
+                    request_id="burn-req")
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{stuck_server.port}/metrics",
+                timeout=10) as resp:
+            text = resp.read().decode()
+        spent = [line for line in text.splitlines()
+                 if line.startswith("repro_slo_uncertainty_budget_spent"
+                                    "_total ")]
+        assert spent and float(spent[0].split()[-1]) >= 1.0
+        assert 'repro_flight_events_total{kind="admit"}' in text
+        # The scrape-time refresh recomputed the burn gauges.
+        burn_lines = [line for line in text.splitlines()
+                      if line.startswith("repro_slo_burn_rate")
+                      and 'objective="uncertainty"' in line]
+        assert burn_lines and any(not line.endswith(" 0")
+                                  for line in burn_lines)
+
+
+class TestMicrobatchCorrelation:
+    def test_flush_membership_stamped_on_spans_and_flight(self):
+        service = InferenceService(build_fig4_network(), pool_size=2,
+                                   default_deadline=1.0,
+                                   microbatch_window=0.05)
+        try:
+            with telemetry.session() as tracer:
+                def go(request_id):
+                    with telemetry.correlate(request_id):
+                        service.submit("ground_truth", EVIDENCE,
+                                       deadline_seconds=1.0)
+
+                threads = [threading.Thread(target=go, args=(f"mb-{i}",))
+                           for i in range(2)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+        finally:
+            service.close()
+
+        # Every rider's request span says which flush answered it...
+        request_spans = [span for span in tracer.finished
+                         if span.name == "serving.request"]
+        assert len(request_spans) == 2
+        assert {span.attributes["request_id"] for span in request_spans} \
+            == {"mb-0", "mb-1"}
+        for span in request_spans:
+            assert span.attributes["batch_flush"] >= 1
+
+        # ...and the flush's flight event names every rider it carried.
+        flushes = service.flight.events(kind=EVENT_MICROBATCH)
+        riders = [rid for event in flushes
+                  for rid in event.data["request_ids"]]
+        assert set(riders) == {"mb-0", "mb-1"}
+        assert sum(event.data["size"] for event in flushes) == 2

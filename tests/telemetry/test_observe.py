@@ -1,0 +1,433 @@
+"""Self-observation: correlation, flight recorder, SLO engine, profiler."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    FlightRecorder,
+    SLO,
+    SLOEngine,
+    SamplingProfiler,
+    active_profiler,
+    correlate,
+    current_request_id,
+    default_serving_slos,
+    load_flight_jsonl,
+    metrics_to_dict,
+    new_request_id,
+    profile_session,
+    profiling_enabled,
+    session,
+)
+from repro.telemetry.clock import ManualClock
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.observe import (
+    EVENT_ADMIT,
+    EVENT_BREAKER,
+    EVENT_SHED,
+)
+
+
+class TestCorrelation:
+    def test_unbound_by_default(self):
+        assert current_request_id() is None
+
+    def test_correlate_binds_and_restores(self):
+        with correlate("req-x") as rid:
+            assert rid == "req-x"
+            assert current_request_id() == "req-x"
+        assert current_request_id() is None
+
+    def test_correlate_mints_when_unbound(self):
+        with correlate() as rid:
+            assert rid.startswith("req-")
+            assert current_request_id() == rid
+
+    def test_minted_ids_are_unique(self):
+        assert new_request_id() != new_request_id()
+
+    def test_nested_correlation_restores_outer(self):
+        with correlate("outer"):
+            with correlate("inner"):
+                assert current_request_id() == "inner"
+            assert current_request_id() == "outer"
+
+    def test_spans_stamped_with_bound_id(self):
+        with session() as tracer:
+            with correlate("req-stamped"):
+                with tracer.span("work"):
+                    pass
+            with tracer.span("uncorrelated"):
+                pass
+        by_name = {s.name: s for s in tracer.finished}
+        assert by_name["work"].attributes["request_id"] == "req-stamped"
+        assert "request_id" not in by_name["uncorrelated"].attributes
+
+    def test_explicit_attribute_wins_over_bound_id(self):
+        with session() as tracer:
+            with correlate("bound"):
+                with tracer.span("work", request_id="explicit"):
+                    pass
+        assert tracer.finished[0].attributes["request_id"] == "explicit"
+
+    def test_correlation_crosses_copied_contexts(self):
+        import contextvars
+        seen = {}
+
+        def worker():
+            seen["rid"] = current_request_id()
+
+        with correlate("req-thread"):
+            ctx = contextvars.copy_context()
+        thread = threading.Thread(target=ctx.run, args=(worker,))
+        thread.start()
+        thread.join()
+        assert seen["rid"] == "req-thread"
+
+
+class TestFlightRecorder:
+    def test_validates_capacity(self):
+        with pytest.raises(TelemetryError):
+            FlightRecorder(capacity=0)
+
+    def test_records_in_sequence_order(self):
+        recorder = FlightRecorder(clock=ManualClock())
+        recorder.record(EVENT_ADMIT, target="a")
+        recorder.record(EVENT_SHED, where="pool")
+        events = recorder.events()
+        assert [e.kind for e in events] == [EVENT_ADMIT, EVENT_SHED]
+        assert [e.seq for e in events] == [0, 1]
+        assert events[0].data == {"target": "a"}
+
+    def test_ring_overwrites_oldest(self):
+        recorder = FlightRecorder(capacity=3, clock=ManualClock())
+        for i in range(5):
+            recorder.record("tick", i=i)
+        events = recorder.events()
+        assert [e.data["i"] for e in events] == [2, 3, 4]
+        assert recorder.recorded == 5
+        assert recorder.dropped == 2
+
+    def test_request_id_defaults_to_bound_correlation(self):
+        recorder = FlightRecorder(clock=ManualClock())
+        with correlate("req-f"):
+            recorder.record(EVENT_ADMIT)
+        recorder.record(EVENT_ADMIT)  # unbound
+        ids = [e.request_id for e in recorder.events()]
+        assert ids == ["req-f", None]
+
+    def test_filters_by_kind_and_request_id(self):
+        recorder = FlightRecorder(clock=ManualClock())
+        recorder.record(EVENT_ADMIT, request_id="a")
+        recorder.record(EVENT_SHED, request_id="a")
+        recorder.record(EVENT_ADMIT, request_id="b")
+        assert len(recorder.events(kind=EVENT_ADMIT)) == 2
+        assert len(recorder.events(request_id="a")) == 2
+        assert len(recorder.events(kind=EVENT_SHED, request_id="b")) == 0
+
+    def test_counts_and_snapshot(self):
+        recorder = FlightRecorder(capacity=8, clock=ManualClock())
+        recorder.record(EVENT_ADMIT)
+        recorder.record(EVENT_ADMIT)
+        recorder.record(EVENT_BREAKER, backend="exact")
+        assert recorder.counts() == {EVENT_ADMIT: 2, EVENT_BREAKER: 1}
+        snap = recorder.snapshot()
+        assert snap["capacity"] == 8
+        assert snap["recorded"] == 3
+        assert snap["by_kind"][EVENT_BREAKER] == 1
+
+    def test_metrics_counter_incremented(self):
+        recorder = FlightRecorder(clock=ManualClock())
+        from repro.telemetry.metrics import FLIGHT_EVENTS
+        before = FLIGHT_EVENTS.value(kind=EVENT_SHED)
+        recorder.record(EVENT_SHED)
+        # The hot path only tallies; the counter publishes on flush
+        # (every inspection path and the /metrics scrape call it).
+        recorder.flush_metrics()
+        assert FLIGHT_EVENTS.value(kind=EVENT_SHED) == before + 1
+
+    def test_inspection_flushes_pending_counts(self):
+        recorder = FlightRecorder(clock=ManualClock())
+        from repro.telemetry.metrics import FLIGHT_EVENTS
+        before = FLIGHT_EVENTS.value(kind=EVENT_ADMIT)
+        recorder.record(EVENT_ADMIT)
+        recorder.record(EVENT_ADMIT)
+        assert recorder.counts()[EVENT_ADMIT] == 2
+        assert FLIGHT_EVENTS.value(kind=EVENT_ADMIT) == before + 2
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        recorder = FlightRecorder(clock=ManualClock())
+        recorder.record(EVENT_ADMIT, request_id="r1", target="t",
+                        deadline_seconds=0.1)
+        recorder.record(EVENT_BREAKER, request_id="r1", backend="exact",
+                        from_state="closed", to_state="open")
+        path = tmp_path / "flight.jsonl"
+        assert recorder.dump_jsonl(path) == 2
+        events = load_flight_jsonl(path)
+        assert [e["kind"] for e in events] == [EVENT_ADMIT, EVENT_BREAKER]
+        assert events[1]["data"]["to_state"] == "open"
+        assert events[1]["request_id"] == "r1"
+
+    def test_empty_dump(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert FlightRecorder(clock=ManualClock()).dump_jsonl(path) == 0
+        assert load_flight_jsonl(path) == []
+
+    def test_clear(self):
+        recorder = FlightRecorder(clock=ManualClock())
+        recorder.record(EVENT_ADMIT)
+        recorder.clear()
+        assert recorder.events() == []
+        assert recorder.recorded == 0
+
+
+class TestSLOValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(TelemetryError, match="kind"):
+            SLO("x", "throughput")
+
+    def test_bad_window(self):
+        with pytest.raises(TelemetryError, match="window"):
+            SLO("x", "latency", window_seconds=0.0)
+
+    def test_bad_target(self):
+        with pytest.raises(TelemetryError, match="target"):
+            SLO("x", "availability", target=1.0)
+
+    def test_bad_threshold(self):
+        with pytest.raises(TelemetryError, match="threshold"):
+            SLO("x", "latency", threshold_seconds=0.0)
+
+    def test_bad_budget(self):
+        with pytest.raises(TelemetryError, match="budget"):
+            SLO("x", "uncertainty", budget=0.0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TelemetryError, match="duplicate"):
+            SLOEngine([SLO("a", "latency"), SLO("a", "availability")])
+
+    def test_bad_burn_windows(self):
+        with pytest.raises(TelemetryError, match="burn_windows"):
+            SLOEngine([SLO("a", "latency")], burn_windows=())
+
+    def test_default_serving_slos_pin_deadline(self):
+        slos = {s.name: s for s in default_serving_slos(0.25)}
+        assert set(slos) == {"latency", "availability", "uncertainty"}
+        assert slos["latency"].threshold_seconds == 0.25
+
+
+def _engine(*objectives, **kwargs):
+    kwargs.setdefault("clock", ManualClock(tick=0.0))
+    kwargs.setdefault("refresh_seconds", 0.0)
+    return SLOEngine(objectives, **kwargs)
+
+
+class TestSLOEngine:
+    def test_latency_burn_rate(self):
+        engine = _engine(SLO("lat", "latency", target=0.9,
+                             threshold_seconds=0.1, window_seconds=3600.0))
+        # 8 fast, 2 slow: bad fraction 0.2 against allowed 0.1 -> burn 2.
+        for _ in range(8):
+            engine.record(latency_seconds=0.01)
+        for _ in range(2):
+            engine.record(latency_seconds=0.5)
+        assert engine.burn_rate("lat", 300.0) == pytest.approx(2.0)
+        assert engine.budget_remaining("lat") == pytest.approx(0.0)
+
+    def test_availability_counts_non_ok_outcomes(self):
+        engine = _engine(SLO("avail", "availability", target=0.5))
+        engine.record(latency_seconds=0.01, outcome="ok")
+        engine.record(latency_seconds=0.0, outcome="shed")
+        engine.record(latency_seconds=0.0, outcome="error")
+        # 2 bad of 3 against allowed 0.5: burn = (2/3)/0.5
+        assert engine.burn_rate("avail", 300.0) == pytest.approx(4.0 / 3.0)
+
+    def test_uncertainty_budget_charges_estimated_error(self):
+        engine = _engine(SLO("unc", "uncertainty", budget=10.0,
+                             window_seconds=3600.0))
+        engine.record(latency_seconds=0.01, estimated_error=0.25)
+        engine.record(latency_seconds=0.01, estimated_error=0.75)
+        # spent 1.0 of the 10/hour allowance over the full hour window.
+        assert engine.burn_rate("unc", 3600.0) == pytest.approx(0.1)
+        assert engine.budget_remaining("unc") == pytest.approx(0.9)
+
+    def test_stale_and_failed_answers_charge_worst_case(self):
+        engine = _engine(SLO("unc", "uncertainty", budget=10.0),
+                         stale_cost=1.0)
+        engine.record(latency_seconds=0.01, estimated_error=None, stale=True)
+        engine.record(latency_seconds=0.01, outcome="error",
+                      estimated_error=0.0)
+        engine.record(latency_seconds=0.01, estimated_error=None)
+        assert engine.burn_rate("unc", 3600.0) == pytest.approx(0.3)
+
+    def test_exact_answers_cost_nothing(self):
+        engine = _engine(SLO("unc", "uncertainty", budget=1.0))
+        for _ in range(100):
+            engine.record(latency_seconds=0.01, estimated_error=0.0)
+        assert engine.burn_rate("unc", 3600.0) == 0.0
+        assert engine.budget_remaining("unc") == 1.0
+
+    def test_window_evicts_old_samples(self):
+        clock = ManualClock(tick=0.0)
+        engine = SLOEngine(
+            [SLO("lat", "latency", target=0.9, threshold_seconds=0.1,
+                 window_seconds=100.0)],
+            clock=clock, burn_windows=(50.0, 100.0), refresh_seconds=0.0)
+        engine.record(latency_seconds=1.0)     # bad, at t=0
+        clock.start = 200.0                    # jump past both windows
+        engine.record(latency_seconds=0.01)    # good, at t=200
+        assert engine.burn_rate("lat", 50.0) == 0.0
+        assert engine.budget_remaining("lat") == 1.0
+
+    def test_burn_rate_multi_window_divergence(self):
+        """A recent burst burns the fast window harder than the slow one."""
+        clock = ManualClock(tick=0.0)
+        engine = SLOEngine(
+            [SLO("unc", "uncertainty", budget=3600.0,
+                 window_seconds=3600.0)],
+            clock=clock, burn_windows=(300.0, 3600.0), refresh_seconds=0.0)
+        clock.start = 3500.0
+        for _ in range(10):
+            engine.record(latency_seconds=0.01, estimated_error=1.0)
+        now = 3500.0
+        fast = engine.burn_rate("unc", 300.0, now)
+        slow = engine.burn_rate("unc", 3600.0, now)
+        assert fast == pytest.approx(10.0 / 300.0)
+        assert slow == pytest.approx(10.0 / 3600.0)
+        assert fast > slow
+
+    def test_unknown_objective_rejected(self):
+        engine = _engine(SLO("a", "latency"))
+        with pytest.raises(TelemetryError, match="no SLO"):
+            engine.burn_rate("b", 300.0)
+
+    def test_snapshot_document(self):
+        engine = _engine(*default_serving_slos(0.1))
+        engine.record(latency_seconds=0.01, estimated_error=0.0)
+        engine.record(latency_seconds=0.5, estimated_error=None, stale=True)
+        snap = engine.snapshot()
+        names = [o["name"] for o in snap["objectives"]]
+        assert names == ["latency", "availability", "uncertainty"]
+        unc = snap["objectives"][2]
+        assert unc["spent"] == pytest.approx(1.0)
+        assert snap["totals"]["events"] == 2
+        assert snap["totals"]["uncertainty_spent"] == pytest.approx(1.0)
+
+    def test_gauges_refreshed(self):
+        from repro.telemetry.metrics import SLO_BURN_RATE, SLO_EVENTS
+        engine = _engine(SLO("lat", "latency", target=0.9,
+                             threshold_seconds=0.1))
+        engine.record(latency_seconds=0.5)
+        assert SLO_EVENTS.value(objective="lat", outcome="bad") == 1
+        assert SLO_BURN_RATE.value(objective="lat",
+                                   window="300s") == pytest.approx(10.0)
+
+    def test_refresh_rate_limit_skips_hot_path_scans(self):
+        clock = ManualClock(tick=0.0)
+        engine = SLOEngine([SLO("lat", "latency")], clock=clock,
+                           refresh_seconds=10.0)
+        from repro.telemetry.metrics import SLO_BURN_RATE
+        engine.record(latency_seconds=0.01)   # first record always refreshes
+        engine.record(latency_seconds=99.0)   # within 10s: no gauge scan
+        before = SLO_BURN_RATE.value(objective="lat", window="300s")
+        assert before == 0.0
+        engine.refresh()                      # the scrape hook forces one
+        assert SLO_BURN_RATE.value(objective="lat", window="300s") > 0.0
+
+
+class TestSamplingProfiler:
+    def test_validates_parameters(self):
+        with pytest.raises(TelemetryError):
+            SamplingProfiler(interval=0.0)
+        with pytest.raises(TelemetryError):
+            SamplingProfiler(max_depth=0)
+
+    def test_sample_folds_other_threads(self):
+        stop = threading.Event()
+
+        def busy_wait():
+            while not stop.wait(0.001):
+                pass
+
+        thread = threading.Thread(target=busy_wait, name="busy")
+        thread.start()
+        try:
+            profiler = SamplingProfiler()
+            folded = profiler.sample()
+            assert folded >= 1
+            stacks = profiler.folded()
+            assert any("busy_wait" in stack for stack in stacks)
+            # Folded stacks are root-first: the leaf is the last frame.
+            assert all(" " not in stack for stack in stacks)
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_start_stop_lifecycle(self):
+        profiler = SamplingProfiler(interval=0.001)
+        with profiler:
+            assert profiler.running
+            time.sleep(0.05)
+        assert not profiler.running
+        assert profiler.samples > 0
+        with pytest.raises(TelemetryError, match="already running"):
+            profiler.start().start()
+        profiler.stop()
+
+    def test_merge_and_hotspots(self):
+        profiler = SamplingProfiler()
+        profiler.merge({"a.main;b.hot": 3, "a.main;c.cold": 1}, samples=4)
+        profiler.merge({"a.main;b.hot": 2}, samples=2)
+        assert profiler.samples == 6
+        assert profiler.folded()["a.main;b.hot"] == 5
+        assert profiler.hotspots(top=1) == [("b.hot", 5)]
+
+    def test_collapsed_file(self, tmp_path):
+        profiler = SamplingProfiler()
+        profiler.merge({"m.f;m.g": 2, "m.f": 1})
+        path = tmp_path / "profile.folded"
+        assert profiler.write_collapsed(path) == 2
+        lines = path.read_text().splitlines()
+        assert lines == ["m.f 1", "m.f;m.g 2"]
+
+    def test_profile_session_activation(self):
+        assert not profiling_enabled()
+        with profile_session(interval=0.001) as profiler:
+            assert profiling_enabled()
+            assert active_profiler() is profiler
+            time.sleep(0.01)
+        assert not profiling_enabled()
+        assert active_profiler() is None
+
+
+class TestMetricsJSON:
+    def test_registry_document(self):
+        REGISTRY.reset()
+        from repro.telemetry.metrics import SERVING_MICROBATCH_SIZE
+        SERVING_MICROBATCH_SIZE.observe(3.0)
+        doc = metrics_to_dict()
+        entry = doc["repro_serving_microbatch_size"]
+        assert entry["kind"] == "histogram"
+        series = entry["series"][0]
+        assert series["count"] == 1
+        assert series["sum"] == pytest.approx(3.0)
+        assert json.dumps(doc)  # JSON-ready throughout
+
+    def test_empty_unlabeled_histogram_has_zero_series(self):
+        REGISTRY.reset()
+        doc = metrics_to_dict()
+        entry = doc["repro_serving_microbatch_size"]
+        assert entry["series"][0]["count"] == 0
+        assert entry["series"][0]["sum"] == 0.0
+
+    def test_prometheus_exposes_empty_histogram_sum_count(self):
+        REGISTRY.reset()
+        from repro.telemetry import prometheus_text
+        text = prometheus_text()
+        assert "repro_serving_microbatch_size_sum 0" in text
+        assert "repro_serving_microbatch_size_count 0" in text
+        assert 'repro_serving_microbatch_size_bucket{le="+Inf"} 0' in text

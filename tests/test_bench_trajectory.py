@@ -1,0 +1,136 @@
+"""Tests for the benchmark-trajectory collector and regression diff."""
+
+import json
+
+import pytest
+
+from benchmarks.trajectory import (
+    collect_entry,
+    diff_entries,
+    extract_speedups,
+    load_history,
+    main,
+)
+
+
+class TestExtractSpeedups:
+    def test_finds_nested_speedup_leaves(self):
+        doc = {"fig4": {"speedup": 7.1, "loops": 50},
+               "stacked": {"speedup": 21.0,
+                           "detail": {"speedup_w4_vs_w1": 0.9}}}
+        assert extract_speedups(doc, "BENCH_x") == {
+            "BENCH_x.fig4.speedup": 7.1,
+            "BENCH_x.stacked.speedup": 21.0,
+            "BENCH_x.stacked.detail.speedup_w4_vs_w1": 0.9,
+        }
+
+    def test_ignores_non_numeric_and_bools(self):
+        doc = {"speedup": "fast", "speedup_ok": True, "other": 3.0}
+        assert extract_speedups(doc, "p") == {}
+
+    def test_key_match_is_case_insensitive(self):
+        assert extract_speedups({"Speedup": 2.0}, "p") == {"p.Speedup": 2.0}
+
+
+class TestDiffEntries:
+    def _entry(self, **speedups):
+        return {"commit": "c", "speedups": speedups}
+
+    def test_no_regression_within_threshold(self):
+        regressions, notes = diff_entries(self._entry(a=10.0),
+                                          self._entry(a=8.0),
+                                          threshold=0.30)
+        assert regressions == []
+        assert notes == []
+
+    def test_regression_beyond_threshold_flagged(self):
+        regressions, _ = diff_entries(self._entry(a=10.0, b=5.0),
+                                      self._entry(a=6.0, b=5.0),
+                                      threshold=0.30)
+        assert regressions == [("a", 10.0, 6.0)]
+
+    def test_boundary_is_not_a_regression(self):
+        regressions, _ = diff_entries(self._entry(a=10.0),
+                                      self._entry(a=7.0),
+                                      threshold=0.30)
+        assert regressions == []
+
+    def test_new_and_gone_keys_are_notes_not_failures(self):
+        regressions, notes = diff_entries(self._entry(old_key=3.0),
+                                          self._entry(new_key=4.0))
+        assert regressions == []
+        assert any("gone" in note for note in notes)
+        assert any("new" in note for note in notes)
+
+    def test_improvement_never_flags(self):
+        regressions, _ = diff_entries(self._entry(a=1.0),
+                                      self._entry(a=100.0))
+        assert regressions == []
+
+
+class TestCollectAndCli:
+    def _seed_reports(self, root, speedup):
+        (root / "BENCH_demo.json").write_text(
+            json.dumps({"case": {"speedup": speedup, "reps": 5}}))
+
+    def test_collect_entry_reads_reports(self, tmp_path):
+        self._seed_reports(tmp_path, 7.0)
+        entry = collect_entry(tmp_path)
+        assert entry["sources"] == ["BENCH_demo.json"]
+        assert entry["speedups"] == {"BENCH_demo.case.speedup": 7.0}
+        # tmp_path is not a git repo: identity fields degrade gracefully.
+        assert entry["commit"] == "unknown"
+
+    def test_collect_skips_history_file_itself(self, tmp_path):
+        self._seed_reports(tmp_path, 7.0)
+        (tmp_path / "BENCH_history.jsonl").write_text(
+            '{"speedups": {"bogus.speedup": 1.0}}\n')
+        entry = collect_entry(tmp_path)
+        assert "bogus.speedup" not in entry["speedups"]
+
+    def test_cli_collect_then_diff_clean(self, tmp_path, capsys):
+        self._seed_reports(tmp_path, 7.0)
+        assert main(["--root", str(tmp_path), "collect"]) == 0
+        assert main(["--root", str(tmp_path), "collect"]) == 0
+        assert main(["--root", str(tmp_path), "diff"]) == 0
+        out = capsys.readouterr().out
+        assert "no speedup regressions" in out
+        assert len(load_history(tmp_path / "BENCH_history.jsonl")) == 2
+
+    def test_cli_diff_fails_on_regression(self, tmp_path, capsys):
+        self._seed_reports(tmp_path, 10.0)
+        assert main(["--root", str(tmp_path), "collect"]) == 0
+        self._seed_reports(tmp_path, 4.0)
+        assert main(["--root", str(tmp_path), "collect"]) == 0
+        assert main(["--root", str(tmp_path), "diff"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION BENCH_demo.case.speedup" in captured.out
+        assert "regressed" in captured.err
+
+    def test_cli_diff_threshold_override(self, tmp_path):
+        self._seed_reports(tmp_path, 10.0)
+        main(["--root", str(tmp_path), "collect"])
+        self._seed_reports(tmp_path, 8.0)
+        main(["--root", str(tmp_path), "collect"])
+        assert main(["--root", str(tmp_path), "diff"]) == 0
+        assert main(["--root", str(tmp_path), "diff",
+                     "--threshold", "0.1"]) == 1
+
+    def test_cli_collect_without_reports_fails(self, tmp_path, capsys):
+        assert main(["--root", str(tmp_path), "collect"]) == 1
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_cli_diff_single_entry_is_baseline(self, tmp_path, capsys):
+        self._seed_reports(tmp_path, 7.0)
+        main(["--root", str(tmp_path), "collect"])
+        assert main(["--root", str(tmp_path), "diff"]) == 0
+        assert "baseline accepted" in capsys.readouterr().out
+
+    def test_checked_in_seed_matches_current_reports(self):
+        from pathlib import Path
+        root = Path(__file__).resolve().parent.parent
+        history = load_history(root / "BENCH_history.jsonl")
+        assert history, "BENCH_history.jsonl must ship a seed entry"
+        seeded = history[0]["speedups"]
+        current = collect_entry(root)["speedups"]
+        assert set(seeded) <= set(current) or set(current) <= set(seeded)

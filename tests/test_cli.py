@@ -45,7 +45,8 @@ class TestCLI:
     def test_all_commands_registered(self):
         assert set(COMMANDS) == {"fig4", "table1", "strategy", "matrix",
                                  "dossier", "experiments", "inject",
-                                 "campaign", "trace", "metrics", "serve"}
+                                 "campaign", "trace", "metrics", "serve",
+                                 "slo", "flightrec"}
 
     def test_inject_runs(self, capsys):
         assert main(["inject", "--fault", "dropout", "--trials", "30"]) == 0
@@ -113,3 +114,82 @@ class TestCLI:
         assert main(["metrics"]) == 0
         out = capsys.readouterr().out
         assert "# TYPE" in out
+
+
+class TestObserveCommands:
+    """The PR-8 observability verbs: metrics --json, slo, flightrec."""
+
+    def test_metrics_json_mode(self, capsys):
+        import json
+        assert main(["metrics", "fig4", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        entry = doc["repro_engine_queries_total"]
+        assert entry["kind"] == "counter"
+        assert any(series["value"] > 0 for series in entry["series"])
+        # Histograms carry the full schema even before observing.
+        series = doc["repro_serving_microbatch_size"]["series"][0]
+        assert {"sum", "count", "bucket_counts"} <= set(series)
+
+    def test_metrics_json_without_target(self, capsys):
+        import json
+        assert main(["metrics", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "repro_slo_burn_rate" in doc
+
+    def test_slo_healthy_run_prints_table_and_alert_rule(self, capsys):
+        assert main(["slo", "--requests", "8",
+                     "--deadline-ms", "500"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("objective", "latency", "availability",
+                       "uncertainty", "burn 300s", "burn 3600s", "14.4"):
+            assert needle in out
+
+    def test_slo_chaos_burns_the_budgets(self, capsys):
+        import json
+        assert main(["slo", "--requests", "12", "--deadline-ms", "50",
+                     "--inject-latency", "1.0", "--mean-delay", "0.25",
+                     "--seed", "1", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in doc["objectives"]}
+        # Every request wore the injected spike as latency: the latency
+        # SLO burns, and the degraded answers spent uncertainty budget.
+        assert by_name["latency"]["bad_events"] > 0
+        assert by_name["latency"]["burn_rates"]["300s"] > 1.0
+        assert doc["totals"]["uncertainty_spent"] > 0.0
+
+    def _dump_flight(self, tmp_path):
+        from repro.telemetry import FlightRecorder
+        recorder = FlightRecorder()
+        recorder.record("admit", request_id="r1", target="ground_truth")
+        recorder.record("breaker", request_id="r1", backend="exact",
+                        from_state="closed", to_state="open")
+        recorder.record("admit", request_id="r2")
+        path = tmp_path / "flight.jsonl"
+        recorder.dump_jsonl(path)
+        return path
+
+    def test_flightrec_replays_the_ring(self, tmp_path, capsys):
+        path = self._dump_flight(tmp_path)
+        assert main(["flightrec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "to_state=open" in out
+        assert "3 event(s) replayed" in out
+
+    def test_flightrec_filters_by_request_id(self, tmp_path, capsys):
+        path = self._dump_flight(tmp_path)
+        assert main(["flightrec", str(path), "--request-id", "r1"]) == 0
+        out = capsys.readouterr().out
+        assert "r2" not in out
+        assert "2 event(s) replayed" in out
+
+    def test_flightrec_kind_filter_and_counts(self, tmp_path, capsys):
+        path = self._dump_flight(tmp_path)
+        assert main(["flightrec", str(path), "--kind", "admit",
+                     "--counts"]) == 0
+        out = capsys.readouterr().out
+        assert "admit" in out and "breaker" not in out
+
+    def test_flightrec_no_match(self, tmp_path, capsys):
+        path = self._dump_flight(tmp_path)
+        assert main(["flightrec", str(path), "--kind", "nope"]) == 0
+        assert "no matching" in capsys.readouterr().out
