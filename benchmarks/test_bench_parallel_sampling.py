@@ -1,18 +1,25 @@
 """EXT-Q — vectorized sampling kernels + deterministic parallel scaling.
 
-Two claims, quantified and written to ``BENCH_parallel.json`` for CI:
+Claims, quantified and written to ``BENCH_parallel.json`` for CI:
 
 1. **Vectorization floor**: likelihood weighting through the
    state-index-matrix kernels beats the seed per-sample Python loop by
    >= 5x at n=10k on the Fig. 4 network (the loop is preserved below as
    the honest baseline).
 2. **Executor scaling curve**: the campaign grid through the process
-   backend at workers in {1, 2, 4}, with byte-identical reports across
-   backends.  The >= 1.8x wall-clock floor at workers=4 only holds where
-   4 cores exist, so that assertion is gated on ``os.cpu_count()``; the
-   curve itself is always recorded.
+   backend (shared-memory arena + cost-balanced shards) at workers in
+   {1, 2, 4}, with byte-identical reports across backends, widths and
+   shard counts.  Where >= 4 cores exist (GitHub's standard runners have
+   4 vCPUs) the wall-clock floor is ``speedup_w4_vs_w1 >= 2.5``; on
+   core-starved machines real speedup is physically impossible, so the
+   gate becomes the *overhead* bound instead — the parallel machinery
+   (pool spawn, arena pack/attach, shard dispatch) must cost <= 10% over
+   serial.  The full curve is recorded either way.
+3. **No leaks**: after the whole suite, zero live arena segments and an
+   empty ``/dev/shm`` — finalizer-backed cleanup is part of the claim.
 """
 
+import glob
 import json
 import os
 import time
@@ -22,28 +29,39 @@ from typing import Dict
 import numpy as np
 
 from benchmarks.conftest import print_table
+from repro.parallel import live_arena_segments
 from repro.perception.chain import build_fig4_network
-from repro.robustness.campaign import CampaignConfig, run_campaign
+from repro.robustness.campaign import (
+    CampaignConfig,
+    merge_campaign_reports,
+    run_campaign,
+)
+from repro.telemetry.metrics import get_registry
 
 #: ISSUE acceptance floors.
 MIN_SAMPLING_SPEEDUP = 5.0
-MIN_CAMPAIGN_SPEEDUP = 1.8
+MIN_CAMPAIGN_SPEEDUP = 2.5
+MAX_OVERHEAD_VS_SERIAL = 1.10
 
 #: Cores needed before the campaign wall-clock floor is physically
-#: possible (GitHub's standard runners have 4 vCPUs).
+#: possible (GitHub's standard runners have 4 vCPUs).  Below this the
+#: overhead gate applies instead.
 CAMPAIGN_CORES_REQUIRED = 4
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
 
 LW_SAMPLES = 10_000
 
-#: The scaling campaign: 6 faults x 2 intensities = 12 cells of 120
-#: encounters each — enough per-cell work to amortize process dispatch.
-SCALING_CONFIG = dict(seed=0, trials=120, intensities=(0.5, 1.0))
+#: The scaling campaign: 6 faults x 2 intensities = 12 cells of 240
+#: encounters each — enough per-cell work that pool spawn + arena
+#: pack/attach amortize under the 10% overhead bound.
+SCALING_CONFIG = dict(seed=0, trials=240, intensities=(0.5, 1.0))
 
+#: The identity campaign: small (4 cells) but wide enough that shard
+#: counts in {1, 2, 4} all cut it differently.
 IDENTITY_CONFIG = dict(seed=0, trials=25,
                        fault_names=("dropout", "byzantine"),
-                       intensities=(1.0,))
+                       intensities=(0.5, 1.0))
 
 
 def _loop_likelihood_weighting(network, rng, query, evidence, n):
@@ -104,9 +122,15 @@ def _measure_sampling(n=LW_SAMPLES, reps=3) -> Dict[str, float]:
     }
 
 
+def _counter_value(snapshot: Dict, name: str) -> float:
+    return sum(value for (metric, _), value in snapshot.items()
+               if metric == name)
+
+
 def _measure_campaign() -> Dict[str, object]:
     curve = {}
     reference = None
+    before = get_registry().counter_snapshot()
     for workers in (1, 2, 4):
         config = CampaignConfig(workers=workers,
                                 backend="process" if workers > 1 else None,
@@ -120,17 +144,25 @@ def _measure_campaign() -> Dict[str, object]:
         assert payload == reference, \
             f"workers={workers} changed the report bytes"
         curve[workers] = seconds
+    after = get_registry().counter_snapshot()
+    deltas = {(name, labels): value - before.get((name, labels), 0.0)
+              for (name, labels), value in after.items()}
     return {
         "cells": len(SCALING_CONFIG["intensities"]) * 6,
         "trials": SCALING_CONFIG["trials"],
         "cpu_count": os.cpu_count(),
         "seconds_by_workers": {str(w): s for w, s in curve.items()},
         "speedup_w4_vs_w1": curve[1] / curve[4],
+        "overhead_vs_serial": curve[4] / curve[1],
+        "arena_bytes": _counter_value(deltas, "repro_parallel_arena_bytes"),
+        "shards_dispatched": _counter_value(deltas,
+                                            "repro_parallel_shards_total"),
     }
 
 
 def _identity_matrix() -> Dict[str, bool]:
-    """Byte-identity of the small campaign across every backend/width."""
+    """Byte-identity of the small campaign across every backend, width,
+    shard count — plus distributed shard fragments merged back."""
     reference = run_campaign(CampaignConfig(**IDENTITY_CONFIG)).to_json()
     out = {}
     for backend in ("serial", "thread", "process"):
@@ -139,6 +171,17 @@ def _identity_matrix() -> Dict[str, bool]:
                                               backend=backend,
                                               **IDENTITY_CONFIG)).to_json()
             out[f"{backend}_w{workers}"] = got == reference
+    for shards in (1, 2, 4):
+        got = run_campaign(CampaignConfig(workers=2, backend="process",
+                                          shards=shards,
+                                          **IDENTITY_CONFIG)).to_json()
+        out[f"process_w2_shards{shards}"] = got == reference
+    for count in (2, 4):
+        config = CampaignConfig(**IDENTITY_CONFIG)
+        fragments = [run_campaign(config, shard=(i, count))
+                     for i in range(count)]
+        merged = merge_campaign_reports(fragments).to_json()
+        out[f"merged_{count}_fragments"] = merged == reference
     return out
 
 
@@ -162,7 +205,8 @@ def test_vectorized_sampling_and_executor_scaling(benchmark):
     print_table(
         f"EXT-Q campaign scaling, {campaign['cells']} cells x "
         f"{campaign['trials']} trials, process backend "
-        f"({campaign['cpu_count']} cpu(s))",
+        f"({campaign['cpu_count']} cpu(s), "
+        f"{campaign['arena_bytes']:.0f} arena bytes)",
         ["workers", "seconds", "speedup vs w1"],
         [(w, s, campaign["seconds_by_workers"]["1"] / s)
          for w, s in sorted(campaign["seconds_by_workers"].items())])
@@ -178,6 +222,10 @@ def test_vectorized_sampling_and_executor_scaling(benchmark):
     assert all(result["byte_identical"].values()), result["byte_identical"]
     assert sampling["estimates_agree_with_exact"]
 
+    # Leak discipline: every map disposed its segment.
+    assert live_arena_segments() == []
+    assert glob.glob("/dev/shm/repro_arena_*") == []
+
     # The vectorization floor, with the standard retry discipline: a real
     # regression fails every attempt, timing noise does not.
     speedup = sampling["speedup"]
@@ -187,8 +235,9 @@ def test_vectorized_sampling_and_executor_scaling(benchmark):
         speedup = _measure_sampling()["speedup"]
     assert speedup >= MIN_SAMPLING_SPEEDUP, speedup
 
-    # The campaign wall-clock floor needs real cores; the curve above is
-    # recorded either way.
+    # The campaign gate adapts to the machine: real cores must show real
+    # speedup; a core-starved box must at least show the machinery is
+    # cheap (parallel within 10% of serial wall-clock).
     if (os.cpu_count() or 1) >= CAMPAIGN_CORES_REQUIRED:
         campaign_speedup = campaign["speedup_w4_vs_w1"]
         for _ in range(3):
@@ -196,3 +245,10 @@ def test_vectorized_sampling_and_executor_scaling(benchmark):
                 break
             campaign_speedup = _measure_campaign()["speedup_w4_vs_w1"]
         assert campaign_speedup >= MIN_CAMPAIGN_SPEEDUP, campaign_speedup
+    else:
+        overhead = campaign["overhead_vs_serial"]
+        for _ in range(3):
+            if overhead <= MAX_OVERHEAD_VS_SERIAL:
+                break
+            overhead = _measure_campaign()["overhead_vs_serial"]
+        assert overhead <= MAX_OVERHEAD_VS_SERIAL, overhead

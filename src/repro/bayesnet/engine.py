@@ -357,6 +357,18 @@ class CompiledNetwork:
         self._note_calibration(jt)
         return self
 
+    def plan_cost(self) -> float:
+        """Total clique state-table volume of the compiled junction tree.
+
+        A structural proxy for the work one calibration (one campaign
+        trial, one posterior sweep) performs on this network — the
+        clique-width term of the parallel sharder's per-item cost model
+        (DESIGN §14).  Deterministic for a given structure, so shard
+        cuts derived from it are reproducible.
+        """
+        self._refresh()
+        return float(sum(self._junction_tree().clique_state_sizes))
+
     def fork(self) -> "CompiledNetwork":
         """A cache-sharing clone safe to use from another thread.
 

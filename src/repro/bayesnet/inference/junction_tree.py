@@ -559,6 +559,21 @@ class JunctionTree:
         """Tree width + 1 = size of the largest clique (cost driver)."""
         return max(len(c) for c in self.cliques)
 
+    @property
+    def clique_state_sizes(self) -> List[int]:
+        """State-space size (product of cardinalities) of each clique.
+
+        Their sum is the table volume one calibration sweeps — the
+        per-item cost driver parallel sharding balances on (DESIGN §14).
+        """
+        sizes: List[int] = []
+        for clique in self.cliques:
+            size = 1
+            for name in clique:
+                size *= len(self._variables[name].states)
+            sizes.append(size)
+        return sizes
+
     def __repr__(self) -> str:
         return (f"JunctionTree(cliques={len(self.cliques)}, "
                 f"max_clique={self.width})")

@@ -11,7 +11,6 @@ from three evaluations, and tornado-style rankings follow.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -167,20 +166,25 @@ class TornadoEntry:
         return self.high - self.low
 
 
-def _tornado_chunk(cpts: Sequence[CPT], name: str, query: str,
-                   query_state: str, evidence: Dict[str, str],
-                   relative_band: float, baseline: float,
-                   engine_cache_size: Optional[int],
+def _tornado_chunk(context: Tuple[Sequence[CPT], str, str, str,
+                                  Dict[str, str], float, float,
+                                  Optional[int]],
                    specs: Sequence[Tuple[str, Tuple[str, ...], str]]
                    ) -> List[TornadoEntry]:
     """Fit one chunk of tornado entries on a private trial network.
 
-    Module-level and fed plain CPTs (not a network with compiled caches)
-    so the process backend can pickle the payload cheaply; each chunk
-    compiles its trial engine once and reuses it across its specs.  Every
-    entry's fit is an independent exact computation, so the chunk
+    ``context`` is the once-per-worker payload of
+    :meth:`~repro.parallel.ParallelExecutor.map_with_context` — plain
+    CPTs (not a network with compiled caches), whose tables travel to
+    process workers as read-only shared-memory arena views instead of
+    per-chunk pickles.  Each chunk still builds its **own** trial
+    network and engine (trial CPTs are swapped probe by probe, so chunks
+    must never share one); only the immutable base tables are shared.
+    Every entry's fit is an independent exact computation, so the chunk
     geometry cannot change any number.
     """
+    (cpts, name, query, query_state, evidence, relative_band, baseline,
+     engine_cache_size) = context
     trial = BayesianNetwork(name + "-sens")
     for cpt in cpts:
         trial.add_cpt(cpt)
@@ -243,10 +247,10 @@ def tornado_analysis(network: BayesianNetwork, *, query: str,
                     if x0 < min_entry or x0 > 1.0 - min_entry:
                         continue
                     specs.append((name, config, child_state))
-        chunk_fn = partial(_tornado_chunk,
-                           [network.cpt(name) for name in order],
-                           network.name, query, query_state, evidence,
-                           relative_band, baseline, engine_cache_size)
-        entries: List[TornadoEntry] = executor.map_chunked(chunk_fn, specs)
+        context = ([network.cpt(name) for name in order],
+                   network.name, query, query_state, evidence,
+                   relative_band, baseline, engine_cache_size)
+        entries: List[TornadoEntry] = executor.map_with_context(
+            _tornado_chunk, context, specs)
         sp.set_attribute("n_entries", len(entries))
     return sorted(entries, key=lambda e: -e.swing)

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 def _print_table(header: List[str], rows: List[tuple]) -> None:
@@ -202,6 +202,21 @@ def cmd_inject(args: argparse.Namespace) -> None:
     print(f"\nhazard reduction: {cell.hazard_reduction:+.4f}")
 
 
+def _parse_shard_spec(spec: Optional[str]) -> Optional[Tuple[int, int]]:
+    """Parse an ``I/M`` shard spec (validated fully by run_campaign)."""
+    if spec is None:
+        return None
+    from repro.errors import InjectionError
+    index, sep, count = spec.partition("/")
+    try:
+        if not sep:
+            raise ValueError(spec)
+        return int(index), int(count)
+    except ValueError:
+        raise InjectionError(
+            f"--shard must look like I/M (e.g. 0/4), got {spec!r}") from None
+
+
 def cmd_campaign(args: argparse.Namespace) -> None:
     from repro.bayesnet.engine import CompiledNetwork
     from repro.perception.chain import build_fig4_network
@@ -212,10 +227,15 @@ def cmd_campaign(args: argparse.Namespace) -> None:
                             n_channels=args.channels, fusion=args.fusion,
                             workers=getattr(args, "workers", 1),
                             backend=getattr(args, "backend", None),
+                            shards=getattr(args, "shards", None),
                             engine_cache_size=cache_size)
     engine = CompiledNetwork(build_fig4_network(), cache_size=cache_size)
-    report = run_campaign(config, engine=engine)
-    print(report.to_markdown())
+    shard = _parse_shard_spec(getattr(args, "shard", None))
+    report = run_campaign(config, engine=engine, shard=shard)
+    if getattr(args, "json", False):
+        print(report.to_json())
+    else:
+        print(report.to_markdown())
 
 
 def cmd_trace(args: argparse.Namespace) -> None:
@@ -451,6 +471,15 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--intensities", type=float, nargs="+",
                           default=[0.25, 0.5, 1.0],
                           help="intensity sweep (default: 0.25 0.5 1.0)")
+    campaign.add_argument("--shard", default=None, metavar="I/M",
+                          help="run only shard I of M (0-based; e.g. 0/4) "
+                               "and print that fragment; merge fragments "
+                               "with repro.robustness.campaign."
+                               "merge_campaign_reports")
+    campaign.add_argument("--json", action="store_true",
+                          help="print the canonical JSON report instead of "
+                               "markdown (byte-identical across backends, "
+                               "worker and shard counts)")
 
     trace = sub.add_parser(
         "trace", help="run a command under tracing and print its span tree")
@@ -577,6 +606,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="parallel backend (default: serial for 1 "
                             "worker, thread otherwise); results are "
                             "byte-identical across backends")
+        p.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="split the campaign grid into exactly N "
+                            "cost-balanced chunks (default: adaptive); "
+                            "results are byte-identical at every count")
 
     for p in (inject, campaign, trace, metrics):
         p.add_argument("--seed", type=int, default=0,

@@ -171,8 +171,11 @@ def rank_observables(network: NetworkOrEngine, problem: DecisionProblem,
     plans.  With a parallel ``executor`` the observables fan out in
     chunks over one prewarmed engine shipped to workers once
     (:meth:`~repro.parallel.ParallelExecutor.map_with_context`) and
-    forked per chunk; scores are exact either way, so the ranking is
-    identical on every backend.
+    forked per chunk — on the process backend the engine's factor and
+    joint tables travel through the shared-memory arena as read-only
+    views, so the warm state is mapped, not copied, into every worker;
+    scores are exact either way, so the ranking is identical on every
+    backend.
     """
     from repro.bayesnet.engine import CompiledNetwork
 

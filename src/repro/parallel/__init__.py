@@ -4,17 +4,44 @@ The scale-out seam of the stack: one :class:`ParallelExecutor` with
 serial / thread / process backends behind a single ``map_chunked`` API,
 ordered result reassembly, per-item ``SeedSequence``-spawned RNG streams,
 and worker telemetry merging — so same-seed runs are byte-identical
-across backends and worker counts.  See DESIGN.md §9.
+across backends and worker counts.  Process workers receive
+``map_with_context`` payloads through a shared-memory
+:class:`FactorArena` (read-only numpy views instead of per-worker
+pickles), and grids shard deterministically through cost-balanced
+contiguous cuts (:func:`balanced_partition`, :class:`CampaignSharder`).
+See DESIGN.md §9 and §14.
 """
 
+from repro.parallel.arena import (
+    ArenaPayload,
+    ArenaSpec,
+    FactorArena,
+    live_arena_segments,
+    live_worker_attachments,
+    release_worker_arenas,
+    restore_payload,
+)
 from repro.parallel.executor import (
     BACKENDS,
     ParallelExecutor,
     spawn_generators,
 )
+from repro.parallel.sharder import (
+    CampaignSharder,
+    balanced_partition,
+)
 
 __all__ = [
+    "ArenaPayload",
+    "ArenaSpec",
     "BACKENDS",
+    "CampaignSharder",
+    "FactorArena",
     "ParallelExecutor",
+    "balanced_partition",
+    "live_arena_segments",
+    "live_worker_attachments",
+    "release_worker_arenas",
+    "restore_payload",
     "spawn_generators",
 ]

@@ -1,0 +1,436 @@
+"""Shared-memory factor arena: zero-copy context shipping for workers.
+
+``ParallelExecutor.map_with_context`` ships its context to every process
+worker via the pool initializer.  For the contexts that matter — a
+prewarmed :class:`~repro.bayesnet.engine.CompiledNetwork`, tornado CPT
+lists, stacked :class:`~repro.bayesnet.factor.BatchedFactor` tables —
+the bulk of that payload is numpy arrays, and pickling copies every byte
+once per worker.  The arena removes the copies: at pool start the parent
+extracts every eligible ndarray out of the context into **one**
+``multiprocessing.shared_memory`` block, and workers attach read-only
+views over the same physical pages.
+
+Mechanically this is a pickled-object surgery, not a schema:
+
+- :meth:`FactorArena.pack` pickles the context with a custom pickler
+  whose ``persistent_id`` hoists each C-contiguous numeric ndarray into
+  the block (deduplicated by identity, 64-byte aligned) and leaves a
+  ``(tag, index)`` reference in the pickle stream.  Anything that is not
+  an eligible array pickles normally, so arbitrary contexts work.
+- Workers rebuild the context with the matching ``persistent_load``,
+  which maps each reference to a **read-only** numpy view over the
+  attached block.  Read-only is deliberate: a worker mutating a shared
+  table in place would silently corrupt its siblings; with the arena it
+  raises instead (fork/copy first, as the engine already does).
+
+Cleanup is finalizer-backed on both sides: the parent's
+:class:`FactorArena` closes **and unlinks** its segment when disposed,
+garbage-collected, or interrupted (``weakref.finalize`` runs on normal
+interpreter shutdown and on ``KeyboardInterrupt`` unwinds), and worker
+attachments close on release or process exit — so no ``/dev/shm``
+segment outlives the map that created it.  ``multiprocessing``'s
+resource tracker remains the backstop for hard kills.  See DESIGN §14.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import itertools
+import pickle
+import weakref
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ParallelError
+from repro.telemetry.metrics import PARALLEL_ARENA_BYTES
+
+__all__ = [
+    "ArenaPayload",
+    "ArenaSpec",
+    "FactorArena",
+    "live_arena_segments",
+    "live_worker_attachments",
+    "release_worker_arenas",
+    "restore_payload",
+]
+
+#: Namespace tag of arena persistent ids inside the pickle stream.
+_PID_TAG = "repro.parallel.arena"
+
+#: Alignment of each packed table inside the block — cache-line sized so
+#: attached views start aligned regardless of their neighbors.
+_ALIGN = 64
+
+#: Arrays smaller than this pickle inline: a persistent-id indirection
+#: plus a manifest entry costs more than the bytes it would save.
+DEFAULT_MIN_ARRAY_BYTES = 64
+
+#: Names of segments this process created and has not yet unlinked.
+_PARENT_SEGMENTS: Set[str] = set()
+
+#: Worker-side attachments not yet released (strong refs: the crash path
+#: must be able to enumerate and close them deterministically).
+_WORKER_ATTACHMENTS: List["_ArenaAttachment"] = []
+
+_SEGMENT_SEQ = itertools.count()
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting unlink duties.
+
+    Only the creating process owns unlink; an attach-only handle must
+    not register with the resource tracker, or a worker's exit would
+    unregister (spawn: unlink) a segment the parent still owns.  Python
+    3.13 exposes this as ``track=False``; earlier interpreters register
+    unconditionally, so there the registration is suppressed for the
+    duration of the attach (single call, worker-local — the standard
+    workaround for the pre-3.13 over-tracking behavior).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        from multiprocessing import resource_tracker
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _segment_name() -> str:
+    """A /dev/shm-visible name unique to this process and call."""
+    return f"repro_arena_{os.getpid()}_{next(_SEGMENT_SEQ)}"
+
+
+class ArenaSpec:
+    """Picklable layout of one packed segment.
+
+    ``entries[i]`` is ``(offset, shape, dtype-str)`` of the i-th hoisted
+    array; persistent ids in the companion pickle stream reference
+    entries by index.
+    """
+
+    __slots__ = ("name", "nbytes", "entries")
+
+    def __init__(self, name: str, nbytes: int,
+                 entries: Tuple[Tuple[int, Tuple[int, ...], str], ...]):
+        self.name = name
+        self.nbytes = int(nbytes)
+        self.entries = entries
+
+    def __reduce__(self):
+        return (ArenaSpec, (self.name, self.nbytes, self.entries))
+
+    def __repr__(self) -> str:
+        return (f"ArenaSpec(name={self.name!r}, nbytes={self.nbytes}, "
+                f"arrays={len(self.entries)})")
+
+
+class ArenaPayload:
+    """What actually ships through the pool initializer: the array-free
+    pickle stream plus the segment layout the worker re-hydrates from.
+
+    ``ParallelExecutor`` detects this type in the worker and restores the
+    real context lazily on first use (:func:`restore_payload`), so an
+    attach failure surfaces as a chunk failure instead of wedging the
+    pool inside its initializer.
+    """
+
+    __slots__ = ("spec", "blob")
+
+    def __init__(self, spec: ArenaSpec, blob: bytes):
+        self.spec = spec
+        self.blob = blob
+
+    def __reduce__(self):
+        return (ArenaPayload, (self.spec, self.blob))
+
+
+class _HarvestPickler(pickle.Pickler):
+    """Pickler that hoists eligible ndarrays out of the stream.
+
+    Eligible: exactly ``np.ndarray`` (subclasses keep their own reduce
+    semantics), numeric dtype, C-contiguous (so restored views share the
+    exact element order — Fortran-strided tables could change numpy's
+    pairwise-summation association and break byte-identity), and at
+    least ``min_bytes`` big.  Duplicates are deduplicated by object
+    identity, so a factor list holding the same table twice packs it
+    once and the worker sees the aliasing preserved.
+    """
+
+    def __init__(self, buffer: io.BytesIO, min_bytes: int):
+        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self.arrays: List[np.ndarray] = []
+        self._index_of: Dict[int, int] = {}
+        self._min_bytes = min_bytes
+
+    def persistent_id(self, obj: Any) -> Optional[Tuple[str, int]]:
+        if (type(obj) is np.ndarray and not obj.dtype.hasobject
+                and obj.flags.c_contiguous and obj.nbytes >= self._min_bytes):
+            index = self._index_of.get(id(obj))
+            if index is None:
+                index = len(self.arrays)
+                self.arrays.append(obj)
+                self._index_of[id(obj)] = index
+            return (_PID_TAG, index)
+        return None
+
+
+class _RestoreUnpickler(pickle.Unpickler):
+    """Unpickler resolving arena references to shared read-only views."""
+
+    def __init__(self, buffer: io.BytesIO, attachment: "_ArenaAttachment"):
+        super().__init__(buffer)
+        self._attachment = attachment
+
+    def persistent_load(self, pid: Any) -> np.ndarray:
+        try:
+            tag, index = pid
+        except Exception:
+            tag, index = None, None
+        if tag != _PID_TAG:
+            raise ParallelError(f"unknown persistent id {pid!r} "
+                                "in arena payload")
+        return self._attachment.view(int(index))
+
+
+def _dispose_parent_segment(shm: shared_memory.SharedMemory,
+                            state: Dict[str, bool]) -> None:
+    """Close + unlink a parent-owned segment; safe to call repeatedly."""
+    if not state.get("closed"):
+        state["closed"] = True
+        try:
+            shm.close()
+        except Exception:
+            pass
+    if not state.get("unlinked"):
+        state["unlinked"] = True
+        try:
+            shm.unlink()  # also unregisters from the resource tracker
+        except FileNotFoundError:
+            pass
+        except Exception:
+            pass
+        _PARENT_SEGMENTS.discard(shm.name)
+
+
+class FactorArena:
+    """Parent-side owner of one packed shared-memory segment.
+
+    Build with :meth:`pack`; ship ``.payload`` through the pool
+    initializer; :meth:`dispose` (or let the finalizer) when the pool is
+    done.  Also a context manager: ``with FactorArena.pack(ctx) as a:``.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, spec: ArenaSpec,
+                 blob: bytes):
+        self._shm = shm
+        self._state: Dict[str, bool] = {}
+        self.spec = spec
+        self.payload = ArenaPayload(spec, blob)
+        _PARENT_SEGMENTS.add(shm.name)
+        self._finalizer = weakref.finalize(
+            self, _dispose_parent_segment, shm, self._state)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def pack(cls, context: Any,
+             min_array_bytes: int = DEFAULT_MIN_ARRAY_BYTES
+             ) -> Optional["FactorArena"]:
+        """Pack ``context`` into a fresh segment, or ``None`` when the
+        context holds no eligible arrays (ship it plainly instead)."""
+        buffer = io.BytesIO()
+        pickler = _HarvestPickler(buffer, int(min_array_bytes))
+        pickler.dump(context)
+        arrays = pickler.arrays
+        if not arrays:
+            return None
+        offsets: List[int] = []
+        size = 0
+        for arr in arrays:
+            size = -(-size // _ALIGN) * _ALIGN
+            offsets.append(size)
+            size += arr.nbytes
+        size = max(size, 1)
+        shm = cls._create_segment(size)
+        for arr, offset in zip(arrays, offsets):
+            dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf,
+                             offset=offset)
+            dst[...] = arr
+            del dst  # release the buffer export so close() can unmap
+        entries = tuple((offset, tuple(arr.shape), arr.dtype.str)
+                        for arr, offset in zip(arrays, offsets))
+        spec = ArenaSpec(shm.name, size, entries)
+        PARALLEL_ARENA_BYTES.inc(size, op="packed")
+        return cls(shm, spec, buffer.getvalue())
+
+    @staticmethod
+    def _create_segment(size: int) -> shared_memory.SharedMemory:
+        for _ in range(64):
+            try:
+                return shared_memory.SharedMemory(
+                    create=True, size=size, name=_segment_name())
+            except FileExistsError:  # stale name from a dead pid: next seq
+                continue
+        raise ParallelError("could not allocate a shared-memory arena "
+                            "segment (name space exhausted)")
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def nbytes(self) -> int:
+        return self.spec.nbytes
+
+    @property
+    def closed(self) -> bool:
+        return bool(self._state.get("closed"))
+
+    @property
+    def unlinked(self) -> bool:
+        return bool(self._state.get("unlinked"))
+
+    def close(self) -> None:
+        """Unmap the parent's view; the segment itself stays linked."""
+        if not self._state.get("closed"):
+            self._state["closed"] = True
+            try:
+                self._shm.close()
+            except Exception:
+                pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the system.  Idempotent: a second
+        unlink (or an unlink racing the finalizer) is a no-op."""
+        if not self._state.get("unlinked"):
+            self._state["unlinked"] = True
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            _PARENT_SEGMENTS.discard(self.spec.name)
+
+    def dispose(self) -> None:
+        """Close and unlink — the normal end-of-map teardown."""
+        self.close()
+        self.unlink()
+
+    def __enter__(self) -> "FactorArena":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.dispose()
+
+    def __repr__(self) -> str:
+        return (f"FactorArena(name={self.spec.name!r}, "
+                f"nbytes={self.spec.nbytes}, "
+                f"arrays={len(self.spec.entries)}, "
+                f"unlinked={self.unlinked})")
+
+
+class _ArenaAttachment:
+    """Worker-side handle on an attached segment and its views."""
+
+    def __init__(self, spec: ArenaSpec):
+        self.spec = spec
+        try:
+            self._shm: Optional[shared_memory.SharedMemory] = \
+                _attach_segment(spec.name)
+        except FileNotFoundError:
+            raise ParallelError(
+                f"arena segment {spec.name!r} is gone — the parent "
+                "unlinked it while a map was still running") from None
+        self._views: List[Optional[np.ndarray]] = [None] * len(spec.entries)
+        self._finalizer = weakref.finalize(self, _close_attachment_shm,
+                                           self._shm)
+
+    def view(self, index: int) -> np.ndarray:
+        if self._shm is None:
+            raise ParallelError("arena attachment already released")
+        cached = self._views[index]
+        if cached is None:
+            offset, shape, dtype = self.spec.entries[index]
+            cached = np.ndarray(shape, dtype=np.dtype(dtype),
+                                buffer=self._shm.buf, offset=offset)
+            cached.flags.writeable = False
+            self._views[index] = cached
+        return cached
+
+    def close(self) -> None:
+        """Drop the views and unmap.  If a caller still holds a view the
+        unmap is deferred to process exit (BufferError swallowed) — the
+        parent owns the unlink either way."""
+        shm, self._shm = self._shm, None
+        self._views = [None] * len(self._views)
+        self._finalizer.detach()
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:
+                pass
+            except Exception:
+                pass
+
+
+def _close_attachment_shm(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+    except Exception:
+        pass
+
+
+def restore_payload(payload: ArenaPayload) -> Any:
+    """Worker side: attach the segment and rebuild the real context.
+
+    The attachment is recorded in a module registry so the executor's
+    crash path can release it before shipping the failure record
+    (:func:`release_worker_arenas`).
+    """
+    attachment = _ArenaAttachment(payload.spec)
+    _WORKER_ATTACHMENTS.append(attachment)
+    try:
+        context = _RestoreUnpickler(io.BytesIO(payload.blob),
+                                    attachment).load()
+    except Exception:
+        _WORKER_ATTACHMENTS.remove(attachment)
+        attachment.close()
+        raise
+    PARALLEL_ARENA_BYTES.inc(payload.spec.nbytes, op="attached")
+    return context
+
+
+def release_worker_arenas() -> int:
+    """Detach every live worker attachment; returns how many closed.
+
+    Called by the executor after a chunk failure, *before* the failure
+    record ships home — a worker that is about to report a crash must
+    not be what keeps a shared segment mapped.  Contexts are restored
+    lazily, so a later chunk on the same worker simply re-attaches.
+    """
+    released = 0
+    while _WORKER_ATTACHMENTS:
+        _WORKER_ATTACHMENTS.pop().close()
+        released += 1
+    return released
+
+
+def live_worker_attachments() -> int:
+    """How many worker-side attachments are currently live (tests)."""
+    return len(_WORKER_ATTACHMENTS)
+
+
+def live_arena_segments() -> List[str]:
+    """Names of segments this process created and has not unlinked.
+
+    Empty after every well-behaved map — the leak check benchmarks and
+    tests assert on.
+    """
+    return sorted(_PARENT_SEGMENTS)

@@ -22,12 +22,28 @@ One ``map_chunked`` API, three backends:
   observations are dropped on the process boundary (only counters
   travel) — see DESIGN.md §9.
 
+Two scaling mechanisms keep the process backend ahead of serial:
+
+- **Shared-memory factor arena** (:mod:`repro.parallel.arena`): for
+  ``map_with_context``, the numpy payload of the context (factor tables,
+  CPTs, batched stacks) is packed once into a shared-memory segment and
+  workers attach read-only views instead of unpickling copies.  The
+  parent disposes the segment when the map ends (finalizer-backed, so
+  crashes and SIGINT cannot leak ``/dev/shm`` segments), and a worker
+  that reports a chunk failure releases its attachment first.
+- **Cost-adaptive chunking**: ``map*`` accept per-item ``costs`` (e.g.
+  trials × clique width for campaign cells) and cut contiguous,
+  cost-balanced shards via
+  :func:`repro.parallel.sharder.balanced_partition` instead of the fixed
+  chunks-per-worker split — fewer dispatches, no straggler shard.
+
 Determinism is the contract that makes the backends interchangeable:
 results are reassembled in submission order, and seeded maps derive one
 :class:`numpy.random.SeedSequence`-spawned stream **per item** (not per
-chunk), so the chunking geometry — and therefore the worker count and
-backend — cannot change a single drawn number.  Same seed, same results,
-byte for byte, on any backend at any width.
+chunk), so the chunking geometry — and therefore the worker count,
+backend, shard count, and arena on/off — cannot change a single drawn
+number.  Same seed, same results, byte for byte, on any backend at any
+width.
 """
 
 from __future__ import annotations
@@ -40,17 +56,30 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ParallelError
+from repro.parallel.arena import (
+    ArenaPayload,
+    FactorArena,
+    release_worker_arenas,
+    restore_payload,
+)
+from repro.parallel.sharder import balanced_partition
 from repro.telemetry import tracing
-from repro.telemetry.metrics import get_registry
+from repro.telemetry.metrics import PARALLEL_SHARDS, get_registry
 from repro.telemetry.observe import SamplingProfiler, active_profiler
 from repro.telemetry.tracing import DEFAULT_MAX_SPANS, SpanRecord, Tracer
 
 #: Recognized backend names, in documentation order.
 BACKENDS: Tuple[str, ...] = ("serial", "thread", "process")
 
-#: Chunks per worker when no explicit chunk size is given: small enough
-#: to amortize dispatch, large enough to balance uneven task costs.
+#: Chunks per worker when no costs and no explicit chunk size are given:
+#: small enough to amortize dispatch, large enough to balance unknown
+#: task costs by oversubscription.
 _CHUNKS_PER_WORKER = 4
+
+#: Shards per worker when per-item costs are known: the cost model does
+#: the balancing, so mild oversubscription (pool scheduling slack)
+#: suffices and dispatch overhead drops versus the blind heuristic.
+_COST_SHARDS_PER_WORKER = 2
 
 
 def spawn_generators(seed, n: int) -> List[np.random.Generator]:
@@ -179,14 +208,53 @@ class _SeededCall:
 
 #: Per-process shared context installed by the pool initializer for
 #: :meth:`ParallelExecutor.map_with_context` — shipped to each worker
-#: exactly once instead of once per chunk.
+#: exactly once instead of once per chunk.  May be an
+#: :class:`~repro.parallel.arena.ArenaPayload`, in which case the real
+#: context is restored lazily (below) from shared memory.
 _WORKER_CONTEXT: Any = None
+
+#: Lazily restored form of an arena-shipped context, cached per worker.
+_WORKER_CONTEXT_RESTORED: Any = None
+_WORKER_CONTEXT_READY: bool = False
 
 
 def _init_worker_context(context: Any) -> None:
     """Pool initializer: stash the once-shipped shared context."""
-    global _WORKER_CONTEXT
+    global _WORKER_CONTEXT, _WORKER_CONTEXT_RESTORED, _WORKER_CONTEXT_READY
     _WORKER_CONTEXT = context
+    _WORKER_CONTEXT_RESTORED = None
+    _WORKER_CONTEXT_READY = False
+
+
+def _worker_context() -> Any:
+    """The usable shared context inside a pool worker.
+
+    Arena-shipped payloads attach and restore on first use — inside the
+    chunk's telemetry window, so the attach counter travels home, and an
+    attach failure becomes an ordinary chunk failure instead of an
+    initializer crash that wedges the pool.
+    """
+    global _WORKER_CONTEXT_RESTORED, _WORKER_CONTEXT_READY
+    shipped = _WORKER_CONTEXT
+    if not isinstance(shipped, ArenaPayload):
+        return shipped
+    if not _WORKER_CONTEXT_READY:
+        _WORKER_CONTEXT_RESTORED = restore_payload(shipped)
+        _WORKER_CONTEXT_READY = True
+    return _WORKER_CONTEXT_RESTORED
+
+
+def _release_worker_context() -> None:
+    """Drop the restored context and detach its arena segments.
+
+    The crash path: a worker about to ship a failure record must not
+    keep shared segments mapped.  Restoration is lazy, so a subsequent
+    healthy chunk on this worker just re-attaches.
+    """
+    global _WORKER_CONTEXT_RESTORED, _WORKER_CONTEXT_READY
+    _WORKER_CONTEXT_RESTORED = None
+    _WORKER_CONTEXT_READY = False
+    release_worker_arenas()
 
 
 def _run_chunk(fn: Callable[..., List[Any]], args: tuple, traced: bool,
@@ -246,12 +314,25 @@ def _process_chunk(payload):
     return _run_chunk(fn, (chunk,), traced, start, profile_interval)
 
 
+def _apply_with_context(fn, chunk):
+    """Resolve the worker context (attaching the arena on first use —
+    inside the chunk's telemetry window) and run the chunk function."""
+    return fn(_worker_context(), chunk)
+
+
 def _process_chunk_with_context(payload):
     """Chunk entry point for context maps: ``fn(context, chunk)`` where
-    the context was installed once per worker by the pool initializer."""
+    the context was installed once per worker by the pool initializer.
+
+    A failing chunk releases the worker's arena attachments *before* the
+    failure record ships home (see :func:`_release_worker_context`).
+    """
     fn, chunk, traced, start, profile_interval = payload
-    return _run_chunk(fn, (_WORKER_CONTEXT, chunk), traced, start,
-                      profile_interval)
+    result = _run_chunk(_apply_with_context, (fn, chunk), traced, start,
+                        profile_interval)
+    if isinstance(result, _ChunkFailure):
+        _release_worker_context()
+    return result
 
 
 def _profile_interval() -> Optional[float]:
@@ -268,10 +349,18 @@ class ParallelExecutor:
     results come back in submission order and seeded work consumes
     per-item RNG streams, so outputs are byte-identical across
     configurations.
+
+    ``shards`` pins the number of chunks a map is cut into (cost-balanced
+    when the map supplies per-item ``costs``); by default the executor
+    picks the count itself.  ``use_arena=False`` opts
+    :meth:`map_with_context` out of shared-memory context shipping and
+    falls back to per-worker pickling — results are byte-identical
+    either way.
     """
 
     def __init__(self, workers: int = 1, backend: Optional[str] = None,
-                 chunk_size: Optional[int] = None):
+                 chunk_size: Optional[int] = None,
+                 shards: Optional[int] = None, use_arena: bool = True):
         workers = int(workers)
         if workers < 1:
             raise ParallelError(f"workers must be at least 1, got {workers}")
@@ -283,18 +372,25 @@ class ParallelExecutor:
         if chunk_size is not None and chunk_size < 1:
             raise ParallelError(
                 f"chunk_size must be at least 1, got {chunk_size}")
+        if shards is not None and int(shards) < 1:
+            raise ParallelError(
+                f"shards must be at least 1, got {shards}")
         self.workers = workers
         self.backend = backend
         self.chunk_size = chunk_size
+        self.shards = int(shards) if shards is not None else None
+        self.use_arena = bool(use_arena)
 
     # -- public maps ------------------------------------------------------------
 
-    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any],
+            costs: Optional[Sequence[float]] = None) -> List[Any]:
         """``[fn(item) for item in items]``, fanned out, order preserved."""
-        return self.map_chunked(_ApplyEach(fn), items)
+        return self.map_chunked(_ApplyEach(fn), items, costs=costs)
 
     def map_seeded(self, fn: Callable[[Any, np.random.Generator], Any],
-                   items: Iterable[Any], seed) -> List[Any]:
+                   items: Iterable[Any], seed,
+                   costs: Optional[Sequence[float]] = None) -> List[Any]:
         """Seeded map: ``fn(item, rng_i)`` with one spawned stream per item.
 
         The i-th stream depends only on ``(seed, i)``, so results do not
@@ -302,27 +398,34 @@ class ParallelExecutor:
         """
         items = list(items)
         rngs = spawn_generators(seed, len(items))
-        return self.map(_SeededCall(fn), list(zip(items, rngs)))
+        return self.map(_SeededCall(fn), list(zip(items, rngs)), costs=costs)
 
     def map_with_context(self,
                          fn: Callable[[Any, Sequence[Any]], List[Any]],
-                         context: Any, items: Iterable[Any]) -> List[Any]:
+                         context: Any, items: Iterable[Any],
+                         costs: Optional[Sequence[float]] = None
+                         ) -> List[Any]:
         """Chunked map with one shared, read-only context object.
 
         ``fn(context, chunk)`` must return one result per chunk item.
         The serial and thread backends pass ``context`` straight through
         (workers that need private mutable state should fork it, e.g.
-        :meth:`~repro.bayesnet.engine.CompiledNetwork.fork`); the
-        process backend pickles ``context`` **once per worker** via the
-        pool initializer — not once per chunk — so an expensive payload
-        like a prewarmed compiled engine ships a fixed number of times
-        regardless of how many chunks the sweep fans out.
+        :meth:`~repro.bayesnet.engine.CompiledNetwork.fork`).  The
+        process backend ships the context **once per worker** via the
+        pool initializer — and when the context embeds numpy arrays
+        (factor tables, CPTs, batched stacks), those bytes are packed
+        into a shared-memory :class:`~repro.parallel.arena.FactorArena`
+        that workers attach read-only views to, so the heavy payload is
+        not even copied per worker.  The segment is disposed when the
+        map ends, crash or not.  Per-item ``costs`` opt the split into
+        cost-balanced sharding (see :meth:`_split`).
         """
         items = list(items)
         if not items:
             return []
-        chunks = self._split(items)
+        chunks = self._split(items, costs)
         starts = _chunk_starts(chunks)
+        PARALLEL_SHARDS.inc(len(chunks), backend=self.backend)
         with tracing.span("parallel.map", backend=self.backend,
                           workers=self.workers, items=len(items),
                           chunks=len(chunks)):
@@ -332,12 +435,18 @@ class ParallelExecutor:
                 interval = _profile_interval()
                 payloads = [(fn, chunk, traced, start, interval)
                             for chunk, start in zip(chunks, starts)]
-                with ProcessPoolExecutor(
-                        max_workers=self.workers,
-                        initializer=_init_worker_context,
-                        initargs=(context,)) as pool:
-                    raw = list(pool.map(_process_chunk_with_context,
-                                        payloads))
+                arena = FactorArena.pack(context) if self.use_arena else None
+                shipped = arena.payload if arena is not None else context
+                try:
+                    with ProcessPoolExecutor(
+                            max_workers=self.workers,
+                            initializer=_init_worker_context,
+                            initargs=(shipped,)) as pool:
+                        raw = list(pool.map(_process_chunk_with_context,
+                                            payloads))
+                finally:
+                    if arena is not None:
+                        arena.dispose()
                 outputs = self._adopt_process_outputs(raw)
             elif self.backend == "thread" and self.workers > 1 \
                     and len(chunks) > 1:
@@ -366,19 +475,23 @@ class ParallelExecutor:
         return results
 
     def map_chunked(self, fn: Callable[[Sequence[Any]], List[Any]],
-                    items: Iterable[Any]) -> List[Any]:
+                    items: Iterable[Any],
+                    costs: Optional[Sequence[float]] = None) -> List[Any]:
         """Apply a chunk function over ``items``; one flat ordered result.
 
         ``fn`` receives a list slice and must return one result per item.
         This is the primitive the other maps lower onto — use it directly
         when per-chunk setup (a fresh engine, a trial network) should be
-        amortized across the chunk's items.
+        amortized across the chunk's items.  ``costs`` (one non-negative
+        float per item) switches the split to contiguous cost-balanced
+        shards; chunk geometry never changes results, only wall-clock.
         """
         items = list(items)
         if not items:
             return []
-        chunks = self._split(items)
+        chunks = self._split(items, costs)
         starts = _chunk_starts(chunks)
+        PARALLEL_SHARDS.inc(len(chunks), backend=self.backend)
         with tracing.span("parallel.map", backend=self.backend,
                           workers=self.workers, items=len(items),
                           chunks=len(chunks)):
@@ -404,14 +517,37 @@ class ParallelExecutor:
 
     # -- backends ---------------------------------------------------------------
 
-    def _split(self, items: List[Any]) -> List[List[Any]]:
+    def _split(self, items: List[Any],
+               costs: Optional[Sequence[float]] = None) -> List[List[Any]]:
+        """Cut ``items`` into the chunks one map dispatches.
+
+        Priority: an explicit ``chunk_size`` wins; then a pinned
+        ``shards`` count (cost-balanced when costs are given); then,
+        when per-item costs are known, cost-balanced shards at
+        :data:`_COST_SHARDS_PER_WORKER` per worker; else the legacy
+        equal-size chunks-per-worker heuristic.  All cuts are contiguous
+        — reassembly is plain concatenation in submission order.
+        """
         size = self.chunk_size
-        if size is None:
+        if size is not None:
+            return [items[i:i + size] for i in range(0, len(items), size)]
+        if costs is not None and len(costs) != len(items):
+            raise ParallelError(
+                f"got {len(costs)} costs for {len(items)} items")
+        if self.shards is not None:
+            n_parts = min(self.shards, len(items))
+        elif costs is not None and self.workers > 1:
+            n_parts = min(len(items),
+                          self.workers * _COST_SHARDS_PER_WORKER)
+        else:
             if self.workers == 1:
                 size = len(items)
             else:
                 size = -(-len(items) // (self.workers * _CHUNKS_PER_WORKER))
-        return [items[i:i + size] for i in range(0, len(items), size)]
+            return [items[i:i + size] for i in range(0, len(items), size)]
+        if costs is None:
+            costs = [1.0] * len(items)
+        return [items[a:b] for a, b in balanced_partition(costs, n_parts)]
 
     def _run_thread(self, fn, chunks, starts):
         # Snapshot the context per submission: worker spans nest under

@@ -1,0 +1,135 @@
+"""Deterministic cost-balanced sharding of work grids.
+
+The executor's fixed chunks-per-worker heuristic treats every item as
+equally expensive.  Campaign cells are not: a cell's work scales with
+``trials × clique width`` of the compiled plan (DESIGN §14), and a sweep
+mixing cheap and expensive cells under equal-size chunks leaves workers
+idle behind the unlucky one.  :func:`balanced_partition` cuts an item
+sequence into **contiguous** parts whose summed costs track the uniform
+cost target — contiguity is what keeps sharded results mergeable by
+plain ordered concatenation, which is what preserves the byte-identity
+guarantee of campaign reports.
+
+:class:`CampaignSharder` wraps the same partition for *distributed* use:
+shard a (fault × intensity × trial) grid into ``m`` deterministic
+fragments, run each fragment anywhere (another process, another
+machine), and merge the per-shard results back in shard order.  Same
+costs, same shard count → same cuts, every time; there is no randomness
+anywhere in the split.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ParallelError
+
+__all__ = ["balanced_partition", "CampaignSharder"]
+
+
+def balanced_partition(costs: Sequence[float], n_parts: int
+                       ) -> List[Tuple[int, int]]:
+    """Cut ``range(len(costs))`` into ``n_parts`` contiguous ranges of
+    near-equal summed cost.
+
+    Returns ``[(start, stop), ...]`` half-open ranges, in order, covering
+    every index exactly once; at most ``len(costs)`` parts are produced
+    (every part is non-empty).  The cut points are chosen greedily
+    against the uniform cumulative target ``total × k / n_parts`` —
+    deterministic, so the same costs always shard the same way.
+    """
+    n = len(costs)
+    if n_parts < 1:
+        raise ParallelError(f"n_parts must be at least 1, got {n_parts}")
+    if n == 0:
+        return []
+    costs = [float(c) for c in costs]
+    for c in costs:
+        if c < 0.0:
+            raise ParallelError(f"costs must be non-negative, got {c}")
+    n_parts = min(n_parts, n)
+    total = sum(costs)
+    if total <= 0.0:
+        # All-zero costs carry no balance signal: fall back to equal
+        # index ranges so a degenerate model still spreads the items.
+        bounds = [round(k * n / n_parts) for k in range(n_parts + 1)]
+        return [(bounds[k], bounds[k + 1]) for k in range(n_parts)]
+    ranges: List[Tuple[int, int]] = []
+    start, cum = 0, 0.0
+    for part in range(n_parts):
+        remaining_parts = n_parts - part
+        # Later parts must each get at least one item.
+        stop_max = n - (remaining_parts - 1)
+        stop = start + 1
+        cum += costs[start]
+        target = total * (part + 1) / n_parts
+        while stop < stop_max:
+            extended = cum + costs[stop]
+            # Take the next item while doing so lands no further from
+            # the cumulative target than stopping here would.
+            if abs(extended - target) <= abs(cum - target):
+                cum = extended
+                stop += 1
+            else:
+                break
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+class CampaignSharder:
+    """Deterministic grid sharder with order-preserving merge.
+
+    ``shards`` is the number of fragments the grid is cut into; the cuts
+    come from :func:`balanced_partition` over the per-item costs, so a
+    heavier cell pulls its shard boundary in.  Because shards are
+    contiguous slices of the original order, merging the per-shard
+    results in shard order reproduces the serial result sequence exactly
+    — the property campaign byte-identity rests on.
+    """
+
+    def __init__(self, shards: int):
+        shards = int(shards)
+        if shards < 1:
+            raise ParallelError(f"shards must be at least 1, got {shards}")
+        self.shards = shards
+
+    def shard_ranges(self, n_items: int,
+                     costs: Optional[Sequence[float]] = None
+                     ) -> List[Tuple[int, int]]:
+        """The ``(start, stop)`` index range of every shard, in order."""
+        if n_items < 0:
+            raise ParallelError(f"n_items must be non-negative, got {n_items}")
+        if costs is None:
+            costs = [1.0] * n_items
+        if len(costs) != n_items:
+            raise ParallelError(
+                f"got {len(costs)} costs for {n_items} items")
+        return balanced_partition(costs, self.shards)
+
+    def partition(self, items: Sequence[Any],
+                  costs: Optional[Sequence[float]] = None) -> List[List[Any]]:
+        """Split ``items`` into at most ``shards`` contiguous fragments."""
+        items = list(items)
+        return [items[a:b] for a, b in self.shard_ranges(len(items), costs)]
+
+    def merge(self, fragments: Iterable[Sequence[Any]],
+              expected_items: Optional[int] = None) -> List[Any]:
+        """Concatenate per-shard results back into original grid order.
+
+        Fragments must be passed in shard order (0..shards-1) — the
+        shards are contiguous slices, so ordered concatenation *is* the
+        inverse of :meth:`partition`.  ``expected_items`` cross-checks
+        that no fragment was dropped or truncated.
+        """
+        merged: List[Any] = []
+        for fragment in fragments:
+            merged.extend(fragment)
+        if expected_items is not None and len(merged) != expected_items:
+            raise ParallelError(
+                f"merged {len(merged)} results, expected {expected_items} — "
+                "a shard fragment is missing or truncated")
+        return merged
+
+    def __repr__(self) -> str:
+        return f"CampaignSharder(shards={self.shards})"

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.bayesnet.engine import CompiledNetwork, InferenceEngine, as_engine
 from repro.errors import InjectionError
-from repro.parallel import BACKENDS, ParallelExecutor
+from repro.parallel import BACKENDS, CampaignSharder, ParallelExecutor
 from repro.perception.chain import PerceptionChain, build_fig4_network
 from repro.perception.redundancy import make_diverse_chains
 from repro.perception.world import WorldModel
@@ -89,10 +89,14 @@ class CampaignConfig:
     workers: int = 1
     backend: Optional[str] = None
     engine_cache_size: Optional[int] = None
+    shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.trials <= 0:
             raise InjectionError(f"trials must be positive, got {self.trials}")
+        if self.shards is not None and self.shards < 1:
+            raise InjectionError(
+                f"shards must be at least 1, got {self.shards}")
         if self.engine_cache_size is not None and self.engine_cache_size < 0:
             raise InjectionError(
                 "engine_cache_size must be non-negative, got "
@@ -183,18 +187,52 @@ def run_cell(config: CampaignConfig, fault_name: str, intensity: float,
                         supervised=supervised)
 
 
-def _cell_task(task: Tuple[CampaignConfig, str, float,
-                           Optional[WorldModel], int]) -> CampaignCell:
-    """Module-level cell runner so process-backend dispatch can pickle it.
+def campaign_grid(config: CampaignConfig) -> List[Tuple[str, float]]:
+    """The (fault, intensity) sweep grid, in canonical report order.
 
-    Every random draw inside :func:`run_cell` descends from
-    ``(config.seed, cell_index)``, never from execution order, so cells
-    can run on any worker in any interleaving and still produce the
-    bytes the serial sweep would.
+    The cell at index ``i`` of this list is the cell whose RNG streams
+    descend from ``(config.seed, i)`` — the shared vocabulary between
+    the in-process fan-out, distributed shard fragments, and the merge.
     """
-    config, fault_name, intensity, world, cell_index = task
-    return run_cell(config, fault_name, intensity, world,
-                    cell_index=cell_index)
+    return [(fault_name, intensity)
+            for fault_name in config.fault_names
+            for intensity in config.intensities]
+
+
+def campaign_cell_costs(config: CampaignConfig,
+                        engine: Optional[InferenceEngine] = None
+                        ) -> List[float]:
+    """Per-cell cost estimates: ``trials × clique width`` (DESIGN §14).
+
+    The trials term dominates today's grids (every cell runs the same
+    trial count), but the clique-width term keeps shard cuts honest when
+    heterogeneous grids mix networks of different compiled volume.  An
+    engine without :meth:`~repro.bayesnet.engine.CompiledNetwork.plan_cost`
+    contributes width 1 — costs stay uniform and the sharder falls back
+    to equal-trials balancing.
+    """
+    width = 1.0
+    plan_cost = getattr(engine, "plan_cost", None)
+    if callable(plan_cost):
+        width = max(1.0, float(plan_cost()))
+    cost = float(config.trials) * width
+    return [cost] * (len(config.fault_names) * len(config.intensities))
+
+
+def _cell_chunk(context: Tuple[CampaignConfig, Optional[WorldModel]],
+                chunk: Sequence[Tuple[str, float, int]]) -> List[CampaignCell]:
+    """Module-level chunk runner for the executor's context map.
+
+    ``(config, world)`` ships once per worker (arena-backed on the
+    process backend) instead of once per cell.  Every random draw inside
+    :func:`run_cell` descends from ``(config.seed, cell_index)``, never
+    from execution order, so cells can run on any worker in any
+    interleaving and still produce the bytes the serial sweep would.
+    """
+    config, world = context
+    return [run_cell(config, fault_name, intensity, world,
+                     cell_index=cell_index)
+            for fault_name, intensity, cell_index in chunk]
 
 
 def diagnostic_reference_table(engine: InferenceEngine
@@ -212,10 +250,29 @@ def diagnostic_reference_table(engine: InferenceEngine
     return dict(zip(states, posts))
 
 
+def _validate_shard(shard: Tuple[int, int], n_cells: int) -> Tuple[int, int]:
+    try:
+        index, count = (int(shard[0]), int(shard[1]))
+    except (TypeError, ValueError, IndexError):
+        raise InjectionError(
+            f"shard must be an (index, count) pair, got {shard!r}") from None
+    if count < 1:
+        raise InjectionError(f"shard count must be at least 1, got {count}")
+    if not 0 <= index < count:
+        raise InjectionError(
+            f"shard index must be in [0, {count}), got {index}")
+    if count > n_cells:
+        raise InjectionError(
+            f"cannot cut a {n_cells}-cell grid into {count} shards — "
+            "every shard needs at least one cell")
+    return index, count
+
+
 def run_campaign(config: Optional[CampaignConfig] = None,
                  world: Optional[WorldModel] = None,
                  engine: Optional[InferenceEngine] = None,
-                 executor: Optional[ParallelExecutor] = None
+                 executor: Optional[ParallelExecutor] = None,
+                 shard: Optional[Tuple[int, int]] = None
                  ) -> RobustnessReport:
     """The full sweep: fault models × intensities, plus no-fault baselines.
 
@@ -228,10 +285,20 @@ def run_campaign(config: Optional[CampaignConfig] = None,
 
     The (fault, intensity) grid is fanned out through a
     :class:`~repro.parallel.ParallelExecutor` built from
-    ``config.workers`` / ``config.backend`` (or ``executor`` when given).
-    Cell RNGs are derived from ``(seed, cell_index)`` and results are
-    reassembled in grid order, so the report is byte-identical whatever
-    the backend or worker count.
+    ``config.workers`` / ``config.backend`` / ``config.shards`` (or
+    ``executor`` when given): ``(config, world)`` ships to process
+    workers once per worker through the shared-memory arena, and chunks
+    are cost-balanced on :func:`campaign_cell_costs`.  Cell RNGs are
+    derived from ``(seed, cell_index)`` and results are reassembled in
+    grid order, so the report is byte-identical whatever the backend,
+    worker count, or shard count.
+
+    ``shard=(i, m)`` runs only the i-th of ``m`` deterministic grid
+    fragments (cut by :class:`~repro.parallel.CampaignSharder` over the
+    same costs) and returns a fragment report; running every fragment —
+    anywhere, in any order — and passing them in shard order to
+    :func:`merge_campaign_reports` reproduces the unsharded report's
+    bytes.
     """
     config = config or CampaignConfig()
     world = world or WorldModel()
@@ -239,7 +306,8 @@ def run_campaign(config: Optional[CampaignConfig] = None,
               else CompiledNetwork(build_fig4_network(),
                                    cache_size=config.engine_cache_size))
     executor = executor or ParallelExecutor(workers=config.workers,
-                                            backend=config.backend)
+                                            backend=config.backend,
+                                            shards=config.shards)
 
     tracer = tracing.active()
     counters_before = (get_registry().flatten_counters()
@@ -255,12 +323,17 @@ def run_campaign(config: Optional[CampaignConfig] = None,
                 baseline_system.run(world, _derived_rng(config.seed, 6),
                                     config.trials))
 
-        grid = [(fault_name, intensity)
-                for fault_name in config.fault_names
-                for intensity in config.intensities]
-        tasks = [(config, fault_name, intensity, world, index)
+        grid = campaign_grid(config)
+        costs = campaign_cell_costs(config, engine)
+        tasks = [(fault_name, intensity, index)
                  for index, (fault_name, intensity) in enumerate(grid)]
-        cells: List[CampaignCell] = executor.map(_cell_task, tasks)
+        if shard is not None:
+            index, count = _validate_shard(shard, len(tasks))
+            start, stop = CampaignSharder(count).shard_ranges(
+                len(tasks), costs)[index]
+            tasks, costs = tasks[start:stop], costs[start:stop]
+        cells: List[CampaignCell] = executor.map_with_context(
+            _cell_chunk, (config, world), tasks, costs=costs)
         reference = diagnostic_reference_table(engine)
     telemetry = (TelemetryReport.capture(tracer=tracer,
                                          counters_before=counters_before)
@@ -272,3 +345,40 @@ def run_campaign(config: Optional[CampaignConfig] = None,
                             diagnostic_reference=reference,
                             engine_stats=engine.stats.snapshot(),
                             telemetry=telemetry)
+
+
+def merge_campaign_reports(fragments: Sequence[RobustnessReport]
+                           ) -> RobustnessReport:
+    """Merge shard-fragment reports back into one campaign report.
+
+    Fragments must be passed **in shard order** (0..m-1): shards are
+    contiguous slices of the canonical grid, so ordered concatenation of
+    their cells is exactly the serial cell sequence.  Baselines, the
+    diagnostic reference, and engine stats are deterministic functions
+    of the config alone — every fragment computed identical copies, so
+    the first fragment's are kept and the merged report serializes to
+    the same bytes as the unsharded run (fragment telemetry, if any, is
+    dropped: per-shard traces cannot be stitched into one timeline).
+    """
+    if not fragments:
+        raise InjectionError("no campaign fragments to merge")
+    head = fragments[0]
+    cells: List[CampaignCell] = []
+    for fragment in fragments:
+        if fragment.seed != head.seed or fragment.trials != head.trials:
+            raise InjectionError(
+                "campaign fragments disagree on seed/trials — "
+                "they are not shards of one campaign")
+        cells.extend(fragment.cells)
+    seen = [(c.fault, c.intensity) for c in cells]
+    if len(set(seen)) != len(seen):
+        raise InjectionError(
+            "campaign fragments overlap — the same (fault, intensity) "
+            "cell appears twice; pass each shard exactly once")
+    return RobustnessReport(seed=head.seed, trials=head.trials,
+                            baseline_single=head.baseline_single,
+                            baseline_supervised=head.baseline_supervised,
+                            cells=cells,
+                            diagnostic_reference=head.diagnostic_reference,
+                            engine_stats=head.engine_stats,
+                            telemetry=None)

@@ -27,6 +27,19 @@ from repro.scenarios.space import CoverageTracker, Scenario, ScenarioSpace
 Objective = Callable[[Scenario], float]
 
 
+def _objective_chunk(objective: Objective,
+                     chunk: Sequence[Scenario]) -> List[float]:
+    """Module-level chunk runner for the executor's context map.
+
+    The objective is the shared context: it ships to each process
+    worker once per pool (arena-backed when it embeds numpy tables,
+    e.g. the confusion matrices inside a
+    :class:`PerceptionHazardObjective`'s chain) instead of being
+    re-pickled into every chunk payload.
+    """
+    return [float(objective(scenario)) for scenario in chunk]
+
+
 @dataclass
 class FalsificationResult:
     """Outcome of one search run."""
@@ -76,9 +89,14 @@ class Falsifier:
 
     def _evaluate_batch(self, scenarios: Sequence[Scenario],
                         history: List[Tuple[Scenario, float]]) -> List[float]:
-        """Scores for a scenario batch, fanned out, in scenario order."""
-        scores = [float(s) for s in self.executor.map(self.objective,
-                                                      scenarios)]
+        """Scores for a scenario batch, fanned out, in scenario order.
+
+        The objective rides the context channel, so process workers
+        receive it once per pool (shared-memory arena for its numpy
+        payload) rather than once per chunk.
+        """
+        scores = self.executor.map_with_context(_objective_chunk,
+                                                self.objective, scenarios)
         history.extend(zip(scenarios, scores))
         return scores
 

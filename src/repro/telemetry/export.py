@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.telemetry.metrics import (
     REGISTRY,
+    SCHEDULING_METRICS,
     Counter,
     Gauge,
     Histogram,
@@ -200,7 +201,11 @@ class TelemetryReport:
 
         ``counters_before`` (a :meth:`MetricsRegistry.flatten_counters`
         snapshot) scopes the metric deltas to one run; without it the
-        absolute registry values are reported.
+        absolute registry values are reported.  Scheduling-geometry
+        counters (:data:`~repro.telemetry.metrics.SCHEDULING_METRICS`)
+        are excluded: shard counts and arena bytes vary with backend and
+        worker count, and the report section must stay byte-identical
+        across them.
         """
         tracer = tracer if tracer is not None else active()
         registry = registry or REGISTRY
@@ -208,7 +213,8 @@ class TelemetryReport:
         after = registry.flatten_counters()
         deltas = {key: value - before.get(key, 0.0)
                   for key, value in sorted(after.items())
-                  if value - before.get(key, 0.0) != 0.0}
+                  if value - before.get(key, 0.0) != 0.0
+                  and key.split("{", 1)[0] not in SCHEDULING_METRICS}
         if tracer is None:
             return cls(metric_deltas=deltas)
         return cls(total_spans=len(tracer.finished),

@@ -428,6 +428,35 @@ ENGINE_BATCH_ROWS = REGISTRY.counter(
     "Evidence rows pushed through query_batch, by engine implementation.",
     labels=("engine",))
 
+#: Bytes of map_with_context payload moved through shared-memory factor
+#: arenas, by operation: "packed" once per map in the parent, "attached"
+#: once per worker (worker increments travel home as counter deltas).
+#: Records unconditionally so `repro metrics --json` shows how much
+#: context traffic the arena absorbed without an active trace.
+PARALLEL_ARENA_BYTES = REGISTRY.counter(
+    "repro_parallel_arena_bytes",
+    "Bytes packed into / attached from shared-memory factor arenas.",
+    labels=("op",))
+
+#: Shards (chunks) dispatched by ParallelExecutor maps, by backend.
+#: With cost-adaptive chunking the shard count is a tuning surface, so
+#: it is observable alongside the arena traffic it amortizes.
+PARALLEL_SHARDS = REGISTRY.counter(
+    "repro_parallel_shards_total",
+    "Shards dispatched by ParallelExecutor maps, by backend.",
+    labels=("backend",))
+
+#: Counters that describe execution *geometry* — how work was scheduled
+#: or transported — rather than work done.  Their values legitimately
+#: vary with backend, worker and shard count, so the deterministic
+#: report section (:class:`~repro.telemetry.export.TelemetryReport`)
+#: excludes them for the same reason it strips ``*_seconds``; they stay
+#: fully visible through ``repro metrics``.
+SCHEDULING_METRICS = frozenset({
+    "repro_parallel_arena_bytes",
+    "repro_parallel_shards_total",
+})
+
 
 # -- serving runtime instruments ------------------------------------------------
 #

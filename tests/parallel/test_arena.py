@@ -1,0 +1,277 @@
+"""Shared-memory factor arena: lifecycle, roundtrips, leak discipline.
+
+The arena's contract has three legs — workers see exactly the arrays the
+parent packed (read-only, aliasing preserved), the parent's segment never
+outlives its map (dispose, GC, crash, or SIGINT), and the crash path
+releases worker attachments before the failure record ships.  Every test
+pins one leg.
+"""
+
+import gc
+import glob
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel import (
+    ArenaPayload,
+    FactorArena,
+    ParallelExecutor,
+    live_arena_segments,
+    live_worker_attachments,
+    release_worker_arenas,
+    restore_payload,
+)
+from repro.parallel import arena as arena_mod
+from repro.parallel import executor as executor_mod
+
+
+def _shm_leftovers():
+    return glob.glob("/dev/shm/repro_arena_*")
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_segments():
+    """Every test in this file must leave zero live segments behind."""
+    yield
+    gc.collect()
+    assert live_arena_segments() == []
+    assert live_worker_attachments() == 0
+
+
+class TestPackRestore:
+    def test_roundtrip_preserves_values_and_structure(self):
+        context = {"table": np.arange(32, dtype=np.float64).reshape(4, 8),
+                   "name": "fig4", "nested": {"ints": [1, 2, 3]}}
+        with FactorArena.pack(context) as arena:
+            restored = restore_payload(arena.payload)
+            assert restored["name"] == "fig4"
+            assert restored["nested"] == {"ints": [1, 2, 3]}
+            np.testing.assert_array_equal(restored["table"],
+                                          context["table"])
+            release_worker_arenas()
+
+    def test_restored_views_are_read_only(self):
+        table = np.ones((8, 8))
+        with FactorArena.pack({"t": table}) as arena:
+            restored = restore_payload(arena.payload)
+            assert restored["t"].flags.writeable is False
+            with pytest.raises((ValueError, RuntimeError)):
+                restored["t"][0, 0] = 2.0
+            release_worker_arenas()
+
+    def test_aliasing_is_preserved(self):
+        """The same table referenced twice packs once and restores as
+        one shared view — exactly the factor-list sharing the engine
+        relies on."""
+        table = np.arange(64, dtype=np.float64)
+        with FactorArena.pack({"a": table, "b": table}) as arena:
+            assert len(arena.spec.entries) == 1
+            restored = restore_payload(arena.payload)
+            assert restored["a"] is restored["b"]
+            release_worker_arenas()
+
+    def test_array_free_context_packs_to_none(self):
+        assert FactorArena.pack({"just": "strings", "n": 3}) is None
+
+    def test_small_arrays_stay_inline(self):
+        small = np.array([1.0, 2.0])  # 16 bytes < DEFAULT_MIN_ARRAY_BYTES
+        big = np.arange(64, dtype=np.float64)
+        with FactorArena.pack({"small": small, "big": big}) as arena:
+            assert len(arena.spec.entries) == 1
+            restored = restore_payload(arena.payload)
+            # The inline copy is a private, writable array; the hoisted
+            # one is a read-only arena view.
+            assert restored["small"].flags.writeable is True
+            assert restored["big"].flags.writeable is False
+            release_worker_arenas()
+
+    def test_non_contiguous_arrays_stay_inline(self):
+        """Fortran-strided tables must not be hoisted: a view with
+        different element order could change pairwise-summation
+        association and break byte-identity."""
+        f_ordered = np.asfortranarray(np.arange(64.0).reshape(8, 8))
+        assert FactorArena.pack({"t": f_ordered}) is None
+
+    def test_object_dtype_stays_inline(self):
+        arr = np.array([{"a": 1}] * 20, dtype=object)
+        assert FactorArena.pack({"t": arr}) is None
+
+    def test_offsets_are_cache_line_aligned(self):
+        arrays = {f"t{i}": np.arange(9, dtype=np.float64) + i
+                  for i in range(5)}
+        with FactorArena.pack(arrays) as arena:
+            for offset, _, _ in arena.spec.entries:
+                assert offset % 64 == 0
+
+    def test_payload_pickles(self):
+        with FactorArena.pack({"t": np.arange(64.0)}) as arena:
+            clone = pickle.loads(pickle.dumps(arena.payload))
+            assert isinstance(clone, ArenaPayload)
+            assert clone.spec.name == arena.name
+            restored = restore_payload(clone)
+            np.testing.assert_array_equal(restored["t"], np.arange(64.0))
+            release_worker_arenas()
+
+
+class TestLifecycle:
+    def test_dispose_unlinks_and_is_idempotent(self):
+        arena = FactorArena.pack({"t": np.arange(64.0)})
+        name = arena.name
+        assert name in live_arena_segments()
+        arena.dispose()
+        assert arena.closed and arena.unlinked
+        assert name not in live_arena_segments()
+        arena.dispose()  # double dispose is a no-op
+        arena.unlink()   # and so is an extra unlink
+
+    def test_close_then_unlink_ordering(self):
+        arena = FactorArena.pack({"t": np.arange(64.0)})
+        arena.close()
+        assert arena.closed and not arena.unlinked
+        assert arena.name in live_arena_segments()
+        arena.unlink()
+        assert arena.unlinked
+        assert live_arena_segments() == []
+
+    def test_attach_after_unlink_raises_parallel_error(self):
+        arena = FactorArena.pack({"t": np.arange(64.0)})
+        payload = arena.payload
+        arena.dispose()
+        with pytest.raises(ParallelError, match="gone"):
+            restore_payload(payload)
+
+    def test_garbage_collected_arena_unlinks_itself(self):
+        arena = FactorArena.pack({"t": np.arange(64.0)})
+        name = arena.name
+        del arena
+        gc.collect()
+        assert name not in live_arena_segments()
+        assert not any(name in p for p in _shm_leftovers())
+
+    def test_attachment_release_is_idempotent(self):
+        with FactorArena.pack({"t": np.arange(64.0)}) as arena:
+            restore_payload(arena.payload)
+            assert live_worker_attachments() == 1
+            assert release_worker_arenas() == 1
+            assert release_worker_arenas() == 0
+
+    def test_parent_exit_mid_map_leaves_no_segment(self):
+        """A parent killed by KeyboardInterrupt between pack and dispose
+        still unlinks via the finalizer on interpreter shutdown."""
+        script = textwrap.dedent("""
+            import numpy as np
+            from repro.parallel import FactorArena
+            arena = FactorArena.pack({"t": np.arange(1024.0)})
+            print(arena.name, flush=True)
+            raise KeyboardInterrupt
+        """)
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True,
+                              env={**os.environ,
+                                   "PYTHONPATH": "src"},
+                              cwd=os.path.dirname(os.path.dirname(
+                                  os.path.dirname(os.path.abspath(
+                                      __file__)))))
+        name = proc.stdout.strip()
+        assert name.startswith("repro_arena_")
+        assert proc.returncode != 0  # the KeyboardInterrupt surfaced
+        assert not os.path.exists(f"/dev/shm/{name}")
+        # And the resource tracker printed no leak warnings.
+        assert "leaked shared_memory" not in proc.stderr
+
+
+def _ctx_sum(context, chunk):
+    return [float(context["table"].sum()) + x for x in chunk]
+
+
+def _ctx_crash(context, chunk):
+    raise RuntimeError("chunk died")
+
+
+def _ctx_write(context, chunk):
+    context["table"][0] = 99.0
+    return list(chunk)
+
+
+class TestExecutorIntegration:
+    def test_process_map_arena_and_plain_agree(self):
+        context = {"table": np.arange(512, dtype=np.float64)}
+        items = list(range(8))
+        with_arena = ParallelExecutor(workers=2, backend="process")
+        without = ParallelExecutor(workers=2, backend="process",
+                                   use_arena=False)
+        out_a = with_arena.map_with_context(_ctx_sum, context, items)
+        out_p = without.map_with_context(_ctx_sum, context, items)
+        assert out_a == out_p
+        assert live_arena_segments() == []
+        assert not _shm_leftovers()
+
+    def test_worker_cannot_mutate_shared_table(self):
+        executor = ParallelExecutor(workers=2, backend="process",
+                                    chunk_size=1)
+        with pytest.raises(ParallelError,
+                           match="read-only|not writeable|writeable"):
+            executor.map_with_context(
+                _ctx_write, {"table": np.arange(64.0)}, list(range(4)))
+        assert live_arena_segments() == []
+
+    def test_crashing_map_still_disposes_the_segment(self):
+        executor = ParallelExecutor(workers=2, backend="process")
+        with pytest.raises(ParallelError, match="chunk died"):
+            executor.map_with_context(
+                _ctx_crash, {"table": np.arange(512.0)}, list(range(8)))
+        assert live_arena_segments() == []
+        assert not _shm_leftovers()
+
+    def test_crash_releases_worker_attachment_in_process(self):
+        """Simulate the worker side in-process: a chunk failure must
+        close the arena attachment before the failure record ships."""
+        with FactorArena.pack({"table": np.arange(512.0)}) as arena:
+            executor_mod._init_worker_context(arena.payload)
+            try:
+                result = executor_mod._process_chunk_with_context(
+                    (_ctx_sum, [1, 2], False, 0, None))
+                assert not isinstance(result, executor_mod._ChunkFailure)
+                assert live_worker_attachments() == 1
+                failure = executor_mod._process_chunk_with_context(
+                    (_ctx_crash, [3], False, 2, None))
+                assert isinstance(failure, executor_mod._ChunkFailure)
+                assert live_worker_attachments() == 0
+                # A later healthy chunk on the same worker re-attaches.
+                again = executor_mod._process_chunk_with_context(
+                    (_ctx_sum, [4], False, 3, None))
+                assert not isinstance(again, executor_mod._ChunkFailure)
+                assert live_worker_attachments() == 1
+            finally:
+                executor_mod._release_worker_context()
+                executor_mod._init_worker_context(None)
+
+    def test_attach_counter_ships_home(self):
+        from repro.telemetry.metrics import PARALLEL_ARENA_BYTES
+        packed_before = PARALLEL_ARENA_BYTES.value(op="packed")
+        attached_before = PARALLEL_ARENA_BYTES.value(op="attached")
+        executor = ParallelExecutor(workers=2, backend="process")
+        executor.map_with_context(
+            _ctx_sum, {"table": np.arange(512, dtype=np.float64)},
+            list(range(8)))
+        assert PARALLEL_ARENA_BYTES.value(op="packed") > packed_before
+        assert PARALLEL_ARENA_BYTES.value(op="attached") > attached_before
+
+
+class TestSegmentNaming:
+    def test_names_are_pid_scoped_and_unique(self):
+        a = FactorArena.pack({"t": np.arange(64.0)})
+        b = FactorArena.pack({"t": np.arange(64.0)})
+        try:
+            assert a.name != b.name
+            assert str(os.getpid()) in a.name
+        finally:
+            a.dispose()
+            b.dispose()

@@ -1,0 +1,176 @@
+"""Cost-balanced sharding: partition invariants, determinism, merge.
+
+The sharder's one load-bearing property is that shards are contiguous
+slices of the original order — ordered concatenation inverts the split
+exactly, which is what campaign byte-identity rests on.  Everything here
+pins a facet of that: coverage, balance, determinism, and the executor's
+cost-adaptive `_split` path built on top.
+"""
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel import (
+    BACKENDS,
+    CampaignSharder,
+    ParallelExecutor,
+    balanced_partition,
+)
+
+
+def _covers(ranges, n):
+    """Ranges are contiguous, ordered, non-empty, and cover 0..n."""
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == n
+    for (a, b), (c, _) in zip(ranges, ranges[1:]):
+        assert b == c
+    for a, b in ranges:
+        assert a < b
+
+
+class TestBalancedPartition:
+    def test_uniform_costs_near_equal_sizes(self):
+        ranges = balanced_partition([1.0] * 12, 4)
+        _covers(ranges, 12)
+        sizes = [b - a for a, b in ranges]
+        assert sorted(sizes) == [3, 3, 3, 3]
+
+    def test_heavy_item_pulls_its_boundary_in(self):
+        # One item worth as much as all the others combined gets a
+        # shard (nearly) to itself.
+        costs = [10.0] + [1.0] * 10
+        ranges = balanced_partition(costs, 2)
+        _covers(ranges, 11)
+        loads = [sum(costs[a:b]) for a, b in ranges]
+        assert max(loads) / sum(costs) < 0.7
+
+    @pytest.mark.parametrize("n,parts", [(1, 1), (5, 5), (7, 3), (100, 7)])
+    def test_partition_covers_every_index(self, n, parts):
+        ranges = balanced_partition([float(i % 5 + 1) for i in range(n)],
+                                    parts)
+        _covers(ranges, n)
+        assert len(ranges) == min(parts, n)
+
+    def test_more_parts_than_items_clamps(self):
+        ranges = balanced_partition([1.0, 2.0], 10)
+        assert ranges == [(0, 1), (1, 2)]
+
+    def test_deterministic(self):
+        costs = [float((i * 31) % 17 + 1) for i in range(40)]
+        assert balanced_partition(costs, 6) == balanced_partition(costs, 6)
+
+    def test_all_zero_costs_fall_back_to_equal_ranges(self):
+        ranges = balanced_partition([0.0] * 10, 4)
+        _covers(ranges, 10)
+        sizes = [b - a for a, b in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_costs(self):
+        assert balanced_partition([], 3) == []
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ParallelError):
+            balanced_partition([1.0, -0.5], 2)
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ParallelError):
+            balanced_partition([1.0], 0)
+
+    def test_balance_beats_equal_size_split(self):
+        """The reason this module exists: under skewed costs the
+        cost-balanced cut's worst shard is lighter than the equal-size
+        cut's worst shard."""
+        costs = [9.0, 9.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        balanced = balanced_partition(costs, 4)
+        equal = [(i, i + 2) for i in range(0, 8, 2)]
+        worst = lambda ranges: max(sum(costs[a:b]) for a, b in ranges)
+        assert worst(balanced) < worst(equal)
+
+
+class TestCampaignSharder:
+    def test_partition_merge_roundtrip(self):
+        sharder = CampaignSharder(3)
+        items = list(range(11))
+        fragments = sharder.partition(items)
+        assert sharder.merge(fragments, expected_items=11) == items
+
+    def test_costs_shape_the_cut(self):
+        sharder = CampaignSharder(2)
+        fragments = sharder.partition(list("abcdef"),
+                                      costs=[5, 1, 1, 1, 1, 1])
+        assert fragments[0] == ["a", "b"] or fragments[0] == ["a"]
+        assert sharder.merge(fragments) == list("abcdef")
+
+    def test_merge_checks_expected_items(self):
+        sharder = CampaignSharder(2)
+        with pytest.raises(ParallelError, match="missing or truncated"):
+            sharder.merge([[1, 2], [3]], expected_items=4)
+
+    def test_shard_ranges_cost_length_mismatch(self):
+        with pytest.raises(ParallelError):
+            CampaignSharder(2).shard_ranges(5, costs=[1.0, 2.0])
+
+    def test_bad_shard_count(self):
+        with pytest.raises(ParallelError):
+            CampaignSharder(0)
+
+    def test_empty_grid(self):
+        sharder = CampaignSharder(4)
+        assert sharder.partition([]) == []
+        assert sharder.merge([]) == []
+
+
+def _double_chunk(chunk):
+    return [2 * x for x in chunk]
+
+
+class TestExecutorCostSplit:
+    def test_explicit_shards_pins_chunk_count(self):
+        executor = ParallelExecutor(shards=3)
+        chunks = executor._split(list(range(10)))
+        assert len(chunks) == 3
+        assert [x for c in chunks for x in c] == list(range(10))
+
+    def test_shards_clamped_to_items(self):
+        executor = ParallelExecutor(shards=8)
+        chunks = executor._split([1, 2, 3])
+        assert len(chunks) == 3
+
+    def test_costs_switch_to_cost_balanced_shards(self):
+        executor = ParallelExecutor(workers=4, backend="thread")
+        chunks = executor._split(list(range(12)), costs=[1.0] * 12)
+        # 4 workers x _COST_SHARDS_PER_WORKER(2) = 8 shards — fewer
+        # dispatches than the legacy 4-chunks-per-worker heuristic.
+        assert len(chunks) == 8
+
+    def test_chunk_size_overrides_everything(self):
+        executor = ParallelExecutor(shards=2, chunk_size=5)
+        chunks = executor._split(list(range(12)), costs=[1.0] * 12)
+        assert [len(c) for c in chunks] == [5, 5, 2]
+
+    def test_cost_length_mismatch_raises(self):
+        executor = ParallelExecutor(workers=2)
+        with pytest.raises(ParallelError):
+            executor._split([1, 2, 3], costs=[1.0])
+
+    def test_bad_shards_rejected(self):
+        with pytest.raises(ParallelError):
+            ParallelExecutor(shards=0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_costs_do_not_change_results(self, backend):
+        """Chunk geometry is a wall-clock knob, never a results knob."""
+        executor = ParallelExecutor(workers=2, backend=backend)
+        items = list(range(17))
+        costs = [float(i % 3 + 1) for i in items]
+        plain = executor.map_chunked(_double_chunk, items)
+        costed = executor.map_chunked(_double_chunk, items, costs=costs)
+        assert plain == costed == [2 * x for x in items]
+
+    @pytest.mark.parametrize("shards", [1, 2, 5])
+    def test_shard_count_does_not_change_results(self, shards):
+        executor = ParallelExecutor(workers=2, backend="thread",
+                                    shards=shards)
+        items = list(range(13))
+        assert executor.map_chunked(_double_chunk, items) == \
+            [2 * x for x in items]

@@ -10,7 +10,10 @@ from repro.means.tolerance import ACT_NORMALLY
 from repro.robustness.campaign import (
     FAULT_CATALOG,
     CampaignConfig,
+    campaign_cell_costs,
+    campaign_grid,
     fault_uncertainty_type,
+    merge_campaign_reports,
     run_campaign,
     run_cell,
 )
@@ -229,3 +232,76 @@ class TestParallelDeterminism:
             with telemetry.session():
                 report = run_campaign(self._with(2, backend))
             assert report.to_json() == reference, backend
+
+
+class TestShardedCampaign:
+    """The distributed path: run shard fragments anywhere, merge them in
+    shard order, get the unsharded report's bytes back."""
+
+    GRID = CampaignConfig(seed=0, trials=20,
+                          fault_names=("dropout", "byzantine"),
+                          intensities=(0.5, 1.0))
+
+    def test_shards_config_validation(self):
+        with pytest.raises(InjectionError):
+            CampaignConfig(shards=0)
+        assert CampaignConfig(shards=3).shards == 3
+
+    def test_grid_and_costs_align(self):
+        grid = campaign_grid(self.GRID)
+        assert grid == [("dropout", 0.5), ("dropout", 1.0),
+                        ("byzantine", 0.5), ("byzantine", 1.0)]
+        costs = campaign_cell_costs(self.GRID)
+        assert len(costs) == len(grid)
+        assert all(c == costs[0] > 0 for c in costs)
+
+    def test_pinned_shards_do_not_change_bytes(self):
+        reference = run_campaign(self.GRID).to_json()
+        for shards in (1, 2, 4):
+            config = CampaignConfig(seed=0, trials=20,
+                                    fault_names=("dropout", "byzantine"),
+                                    intensities=(0.5, 1.0), shards=shards)
+            assert run_campaign(config).to_json() == reference, shards
+
+    @pytest.mark.parametrize("count", [1, 2, 4])
+    def test_fragments_merge_to_the_unsharded_bytes(self, count):
+        reference = run_campaign(self.GRID).to_json()
+        fragments = [run_campaign(self.GRID, shard=(i, count))
+                     for i in range(count)]
+        assert sum(len(f.cells) for f in fragments) == 4
+        merged = merge_campaign_reports(fragments)
+        assert merged.to_json() == reference
+
+    def test_shard_validation(self):
+        for bad in [(0, 0), (-1, 2), (2, 2), (0, 99)]:
+            with pytest.raises(InjectionError):
+                run_campaign(self.GRID, shard=bad)
+
+    def test_merge_rejects_mixed_campaigns(self):
+        a = run_campaign(self.GRID, shard=(0, 2))
+        other = CampaignConfig(seed=1, trials=20,
+                               fault_names=("dropout", "byzantine"),
+                               intensities=(0.5, 1.0))
+        b = run_campaign(other, shard=(1, 2))
+        with pytest.raises(InjectionError, match="disagree"):
+            merge_campaign_reports([a, b])
+
+    def test_merge_rejects_duplicate_fragments(self):
+        a = run_campaign(self.GRID, shard=(0, 2))
+        with pytest.raises(InjectionError, match="overlap"):
+            merge_campaign_reports([a, a])
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(InjectionError, match="no campaign fragments"):
+            merge_campaign_reports([])
+
+    def test_arena_off_matches_arena_on(self):
+        from repro.parallel import ParallelExecutor, live_arena_segments
+        reference = run_campaign(self.GRID).to_json()
+        on = run_campaign(self.GRID, executor=ParallelExecutor(
+            workers=2, backend="process"))
+        off = run_campaign(self.GRID, executor=ParallelExecutor(
+            workers=2, backend="process", use_arena=False))
+        assert on.to_json() == reference
+        assert off.to_json() == reference
+        assert live_arena_segments() == []
