@@ -122,9 +122,12 @@ def _measure_sampling(n=LW_SAMPLES, reps=3) -> Dict[str, float]:
     }
 
 
-def _counter_value(snapshot: Dict, name: str) -> float:
-    return sum(value for (metric, _), value in snapshot.items()
-               if metric == name)
+def _counter_value(snapshot: Dict, name: str):
+    total = sum(value for (metric, _), value in snapshot.items()
+                if metric == name)
+    # Counters count events: integral totals land in the artifact as
+    # JSON integers (`13`, not `13.0`).
+    return int(total) if float(total).is_integer() else total
 
 
 def _measure_campaign() -> Dict[str, object]:

@@ -248,6 +248,9 @@ class CompiledNetwork:
         #: tuples; values are already-copied, immutable-by-convention
         #: results (dicts are copied again on the way out).
         self._evidence_cache: "OrderedDict[tuple, object]" = OrderedDict()
+        #: Lazily created adaptive query planner (persists its calibrated
+        #: cost model across queries — see repro.bayesnet.planner).
+        self._planner = None
 
     # -- compilation -----------------------------------------------------------
 
@@ -369,6 +372,20 @@ class CompiledNetwork:
         self._refresh()
         return float(sum(self._junction_tree().clique_state_sizes))
 
+    def planner(self, *, seed: int = 0, clock=None):
+        """The adaptive query planner bound to this engine (created once).
+
+        The planner persists here so its online-calibrated cost model
+        (EWMA seconds-per-work-unit per backend × plan fingerprint)
+        survives across queries; ``query(..., route=True)`` and
+        ``query_batch(..., route=True)`` delegate to it.  ``seed`` and
+        ``clock`` only take effect on first creation.
+        """
+        if self._planner is None:
+            from repro.bayesnet.planner import QueryPlanner
+            self._planner = QueryPlanner(self, seed=seed, clock=clock)
+        return self._planner
+
     def fork(self) -> "CompiledNetwork":
         """A cache-sharing clone safe to use from another thread.
 
@@ -394,6 +411,9 @@ class CompiledNetwork:
         clone._joints = dict(self._joints)
         clone._jt = self._jt.fork() if self._jt is not None else None
         clone._evidence_cache = OrderedDict(self._evidence_cache)
+        # Planners hold a private RNG and mutable route statistics;
+        # each fork builds its own on first use.
+        clone._planner = None
         return clone
 
     def _refresh(self) -> None:
@@ -529,8 +549,19 @@ class CompiledNetwork:
             self._variable(name)
 
     def query(self, target: str,
-              evidence: Optional[Mapping[str, str]] = None
-              ) -> Dict[str, float]:
+              evidence: Optional[Mapping[str, str]] = None, *,
+              route: bool = False,
+              error_budget: Optional[float] = None,
+              frozen: bool = False) -> Dict[str, float]:
+        # Opt-in adaptive routing: the planner picks the cheapest
+        # backend whose predicted error fits the budget (a zero/absent
+        # budget admits only exact plans, so the default path's answer
+        # bytes are preserved).  ``frozen=True`` prices from structural
+        # priors only — deterministic decisions for seeded runs.
+        if route or error_budget is not None:
+            return self.planner().route(
+                target, evidence,
+                error_budget=error_budget or 0.0, frozen=frozen).posterior
         # Hot path: one module-global attribute read (no call frame), no
         # telemetry objects built and no copies taken (_query reads the
         # mapping, never mutates).
@@ -687,7 +718,10 @@ class CompiledNetwork:
     # -- batched sweeps --------------------------------------------------------
 
     def query_batch(self, targets: Union[str, Sequence[str]],
-                    evidence_rows: Sequence[Mapping[str, str]]) -> List:
+                    evidence_rows: Sequence[Mapping[str, str]], *,
+                    route: bool = False,
+                    error_budget: Optional[float] = None,
+                    frozen: bool = False) -> List:
         """Posteriors for every evidence row, vectorized over one plan.
 
         Rows are grouped by evidence-variable signature; per group the
@@ -699,8 +733,21 @@ class CompiledNetwork:
 
         Returns one ``{state: p}`` dict per row for a single target name,
         or one normalized :class:`Factor` per row for a target list.
+
+        ``route=True`` / ``error_budget=`` hand the block to the
+        planner's :meth:`~repro.bayesnet.planner.QueryPlanner.route_batch`
+        (single-target only): the batched stacked substrate competes
+        with per-row sampling under the budget.
         """
         single = isinstance(targets, str)
+        if route or error_budget is not None:
+            if not single:
+                raise InferenceError(
+                    "routed query_batch supports a single target name")
+            answers = self.planner().route_batch(
+                targets, evidence_rows, error_budget=error_budget or 0.0,
+                frozen=frozen)
+            return [a.posterior for a in answers]
         target_list = [targets] if single else list(targets)
         if not target_list:
             raise InferenceError("query_batch needs at least one target")

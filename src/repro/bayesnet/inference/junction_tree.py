@@ -346,6 +346,50 @@ class JunctionTree:
             self._log_partition = float(np.log(z))
             self._ready = True
 
+    def predict_recalibration(self, evidence: Optional[Mapping[str, str]]
+                              = None) -> Tuple[int, int]:
+        """Predicted ``(dirty cliques, messages to recompute)`` for
+        calibrating ``evidence`` from the tree's *current* state.
+
+        A side-effect-free dry run of :meth:`calibrate`'s two phases:
+        the per-clique evidence diff marks dirty cliques, then the
+        collect/distribute staleness propagation counts the messages a
+        real calibration would rebuild.  The query planner prices the
+        incremental-JT backend with this — a tree already calibrated on
+        similar evidence predicts (and costs) almost nothing.
+        """
+        evidence = dict(evidence or {})
+        order, parent, children = self._schedule()
+        n = len(self.cliques)
+        dirty = [False] * n
+        for k in range(n):
+            key = self._pot_key(k, evidence)
+            if key != self._pot_keys[k] or self._potentials[k] is None:
+                dirty[k] = True
+        recomputed = 0
+        up_dirty: Dict[int, bool] = {}
+        for i in reversed(order):          # collect: leaves toward root
+            p = parent[i]
+            if p is None:
+                continue
+            stale = dirty[i] or any(up_dirty[c] for c in children[i])
+            if stale or (i, p) not in self._messages:
+                recomputed += 1
+                stale = True
+            up_dirty[i] = stale
+        down_dirty: Dict[int, bool] = {}
+        if order:
+            down_dirty[order[0]] = False
+        for i in order:                    # distribute: root toward leaves
+            for j in children[i]:
+                stale = (dirty[i] or down_dirty[i]
+                         or any(up_dirty[c] for c in children[i] if c != j))
+                if stale or (i, j) not in self._messages:
+                    recomputed += 1
+                    stale = True
+                down_dirty[j] = stale
+        return sum(dirty), recomputed
+
     # -- batched calibration ----------------------------------------------------
 
     def _batched_base(self, k: int, dtype) -> Factor:

@@ -1,0 +1,513 @@
+"""Adaptive query planner: cost-model-driven backend routing with error budgets.
+
+The paper's discipline is that *model quality bounds control quality*:
+an answer is only as good as the epistemic cost attached to it.  This
+module operationalizes that as a scheduler.  Every compiled network has
+several ways to answer the same posterior query — the evidence-keyed
+cache, the incremental junction tree, the cached-joint slice, the
+stacked batched substrate, vectorized likelihood weighting — and each
+sits at a different point on the latency/error plane.  Callers used to
+hand-pick one; the planner picks the **cheapest plan whose predicted
+error fits the declared budget** and reports the bound its choice
+introduces.
+
+Per query the planner:
+
+1. probes the evidence-keyed cache (exact, ~µs — always admissible);
+2. enumerates candidate backends with *structural work units* — the
+   cached-joint table volume for the exact slice, the predicted
+   recomputed-message volume for the incremental junction tree (from
+   :meth:`~repro.bayesnet.inference.junction_tree.JunctionTree.
+   predict_recalibration`, a per-clique evidence diff), the full
+   ``plan_cost()`` for a cold calibration, and the budget-derived draw
+   count for likelihood weighting (``n ≈ 0.25 / budget²``, the
+   worst-case ``p(1-p)/n`` bound at ``p = 0.5``);
+3. prices each candidate as ``work_units × seconds_per_unit`` where the
+   coefficient is an EWMA calibrated online from observed latencies,
+   keyed by ``(backend, plan fingerprint)`` and persisted on the
+   planner (which lives on the engine) — routing improves as the
+   process warms;
+4. executes candidates cheapest-first, falling to the next on
+   :class:`~repro.errors.EngineError`, on a deadline expiring mid-plan
+   (the time already spent stays charged against the deadline), or on a
+   sampling answer whose *measured* effective-sample-size error
+   violates the budget — so the reported ``estimated_error`` is ≤ the
+   budget on every answer, by construction.
+
+A **zero error budget admits only exact backends**, and the cache/joint
+candidates reuse :meth:`CompiledNetwork._query`'s own code path, so
+``route(target, ev, error_budget=0.0).posterior`` is byte-identical to
+``CompiledNetwork.query(target, ev)``.
+
+``frozen=True`` prices candidates from the structural priors alone and
+skips the EWMA update — decisions become a deterministic function of
+(structure, evidence, budget), which is what seeded campaign reports
+route with.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DeadlineExceededError, EngineError, InferenceError
+from repro.telemetry.clock import SystemClock
+from repro.telemetry.metrics import PLANNER_COST_COEFF, PLANNER_ROUTES
+
+#: Candidate backends, in the tie-break order used when predicted
+#: latencies are equal (exact-first: never pay error we don't have to).
+BACKEND_CACHE = "cache"
+BACKEND_EXACT = "exact"              # cached-joint slice / stacked substrate
+BACKEND_JT = "jt_incremental"        # incremental junction-tree recalibration
+BACKEND_JT_FULL = "jt_full"          # cold full calibration (plan_cost volume)
+BACKEND_SAMPLING = "sampling"        # vectorized likelihood weighting
+_TIE_ORDER = {BACKEND_CACHE: 0, BACKEND_EXACT: 1, BACKEND_JT: 2,
+              BACKEND_JT_FULL: 3, BACKEND_SAMPLING: 4}
+
+#: EWMA smoothing for the online cost-coefficient calibration.
+COST_ALPHA = 0.2
+
+#: Initial seconds-per-work-unit priors, grounded in measured fig4
+#: latencies (cache ~2µs; joint slice ~7µs over 12 table entries;
+#: incremental JT ~40µs over ~2 messages × mean clique size; LW ~50ns
+#: per sample).  Online calibration replaces them within a few queries.
+INITIAL_COST: Dict[str, float] = {
+    BACKEND_CACHE: 2e-6,
+    BACKEND_EXACT: 6e-7,
+    BACKEND_JT: 3e-6,
+    BACKEND_JT_FULL: 3e-6,
+    BACKEND_SAMPLING: 5e-8,
+}
+
+#: Likelihood-weighting draw-count bounds.  The lower bound keeps the
+#: normal-approximation error bound honest; the upper bound caps one
+#: plan's latency (beyond it the exact backends win anyway).
+MIN_SAMPLES = 64
+MAX_SAMPLES = 200_000
+
+#: Samples drawn per chunk so a deadline can interrupt a sampling plan
+#: mid-flight instead of only between plans.
+SAMPLE_CHUNK = 4096
+
+#: Error bound of likelihood weighting with n effective samples: the
+#: worst-case binomial standard error sqrt(p(1-p)/n) at p = 0.5.
+def sampling_error_bound(n: float) -> float:
+    return 0.5 / math.sqrt(max(float(n), 1.0))
+
+
+def samples_for_budget(budget: float) -> int:
+    """Draws needed so the worst-case LW error bound fits ``budget``."""
+    if budget <= 0.0:
+        return MAX_SAMPLES + 1          # unattainable: exact only
+    return max(MIN_SAMPLES, int(math.ceil(0.25 / (budget * budget))))
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One priced way to answer a query."""
+
+    backend: str
+    work_units: float                   # structural cost driver
+    predicted_seconds: float            # work_units × calibrated coefficient
+    predicted_error: float              # a-priori bound (0.0 for exact)
+    samples: int = 0                    # sampling backend only
+
+
+@dataclass
+class RoutedAnswer:
+    """A posterior plus the route that produced it and its error bound."""
+
+    target: str
+    evidence: Dict[str, str]
+    posterior: Dict[str, float]
+    backend: str
+    estimated_error: float
+    error_budget: float
+    predicted_seconds: float
+    observed_seconds: float
+    attempts: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "evidence": dict(self.evidence),
+            "posterior": dict(self.posterior),
+            "backend": self.backend,
+            "estimated_error": self.estimated_error,
+            "error_budget": self.error_budget,
+            "predicted_seconds": self.predicted_seconds,
+            "observed_seconds": self.observed_seconds,
+            "attempts": list(self.attempts),
+        }
+
+
+class CostModel:
+    """EWMA seconds-per-work-unit, per ``(backend, plan fingerprint)``.
+
+    The fingerprint is the query's *shape* — target plus evidence
+    variable set — so structurally identical queries share a
+    coefficient while differently-shaped plans calibrate independently.
+    A backend-level default (the latest observation folded across
+    fingerprints) seeds unseen shapes, and the structural priors in
+    :data:`INITIAL_COST` seed unseen backends.
+    """
+
+    def __init__(self):
+        self._coeff: Dict[Tuple[str, Tuple], float] = {}
+        self._default: Dict[str, float] = dict(INITIAL_COST)
+        self.observations = 0
+
+    def seconds_per_unit(self, backend: str, fingerprint: Tuple) -> float:
+        coeff = self._coeff.get((backend, fingerprint))
+        if coeff is not None:
+            return coeff
+        return self._default.get(backend, 1e-6)
+
+    def predict(self, backend: str, fingerprint: Tuple,
+                work_units: float) -> float:
+        return max(work_units, 1.0) * self.seconds_per_unit(backend,
+                                                            fingerprint)
+
+    def observe(self, backend: str, fingerprint: Tuple, work_units: float,
+                seconds: float) -> None:
+        """Fold one observed plan latency into the EWMA coefficients."""
+        if seconds < 0.0:
+            return
+        per_unit = seconds / max(work_units, 1.0)
+        key = (backend, fingerprint)
+        prior = self._coeff.get(key)
+        self._coeff[key] = (per_unit if prior is None else
+                            (1.0 - COST_ALPHA) * prior
+                            + COST_ALPHA * per_unit)
+        base = self._default.get(backend, per_unit)
+        self._default[backend] = ((1.0 - COST_ALPHA) * base
+                                  + COST_ALPHA * per_unit)
+        self.observations += 1
+        PLANNER_COST_COEFF.set(self._default[backend], backend=backend)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Exported through :meth:`QueryPlanner.snapshot` / telemetry."""
+        return {
+            "observations": self.observations,
+            "seconds_per_unit": dict(sorted(self._default.items())),
+            "fingerprints": len(self._coeff),
+        }
+
+
+class QueryPlanner:
+    """Routes queries over one :class:`CompiledNetwork`'s backends.
+
+    Obtained (and persisted) via
+    :meth:`~repro.bayesnet.engine.CompiledNetwork.planner`; the engine's
+    ``query(..., route=True)`` / ``query_batch(..., route=True)`` opt-in
+    paths delegate here.  ``seed`` fixes the sampling backend's RNG so
+    routed sweeps are reproducible given a deterministic decision
+    sequence (``frozen=True``).
+    """
+
+    def __init__(self, engine, *, seed: int = 0, clock=None):
+        self._engine = engine
+        self.cost_model = CostModel()
+        self._rng = np.random.default_rng(seed)
+        self._clock = clock or SystemClock()
+        self._routes: Dict[str, int] = {}
+        self._fallbacks = 0
+        self._failures: Dict[str, int] = {}
+
+    # -- candidate enumeration -------------------------------------------------
+
+    def _fingerprint(self, target: str,
+                     evidence: Mapping[str, str]) -> Tuple:
+        return (target, tuple(sorted(evidence)))
+
+    def candidates(self, target: str, evidence: Mapping[str, str],
+                   error_budget: float = 0.0) -> List[PlanCandidate]:
+        """Admissible plans, cheapest (predicted) first.
+
+        Only plans whose *predicted* error fits the budget appear; the
+        cache is not listed (it is probed unconditionally before any
+        plan runs, being both free and exact).
+        """
+        engine = self._engine
+        engine._refresh()
+        fp = self._fingerprint(target, evidence)
+        out: List[PlanCandidate] = []
+
+        # Exact slice / stacked substrate: volume of the (target ∪
+        # evidence) joint table, or the full plan cost when the table
+        # will not materialize.
+        entries = 1.0
+        for name in set([target]) | set(evidence):
+            entries *= engine._variable(name).cardinality
+        from repro.bayesnet.engine import MAX_BATCH_TABLE_ENTRIES
+        exact_units = (entries if entries <= MAX_BATCH_TABLE_ENTRIES
+                       else engine.plan_cost())
+        out.append(PlanCandidate(
+            BACKEND_EXACT, exact_units,
+            self.cost_model.predict(BACKEND_EXACT, fp, exact_units), 0.0))
+
+        # Incremental junction tree: predicted from the per-clique
+        # evidence diff against the tree's current calibration state.
+        jt = engine._junction_tree()
+        dirty_cliques, messages = jt.predict_recalibration(evidence)
+        mean_clique = engine.plan_cost() / max(len(jt.cliques), 1)
+        jt_units = (messages + dirty_cliques + 1.0) * mean_clique
+        out.append(PlanCandidate(
+            BACKEND_JT, jt_units,
+            self.cost_model.predict(BACKEND_JT, fp, jt_units), 0.0))
+
+        # Cold full calibration: the whole clique-table volume.  Same
+        # execution path as the incremental plan but priced at full
+        # cost — the honest candidate when the tree state is unknown
+        # (e.g. a fresh fork) and the baseline the benchmark pins.
+        full_units = engine.plan_cost()
+        out.append(PlanCandidate(
+            BACKEND_JT_FULL, full_units,
+            self.cost_model.predict(BACKEND_JT_FULL, fp, full_units), 0.0))
+
+        # Vectorized likelihood weighting, sized to the error budget.
+        n = samples_for_budget(error_budget)
+        if 0 < n <= MAX_SAMPLES:
+            bound = sampling_error_bound(n)
+            if bound <= error_budget:
+                out.append(PlanCandidate(
+                    BACKEND_SAMPLING, float(n),
+                    self.cost_model.predict(BACKEND_SAMPLING, fp, float(n)),
+                    bound, samples=n))
+
+        out.sort(key=lambda c: (c.predicted_seconds,
+                                _TIE_ORDER.get(c.backend, 9)))
+        return out
+
+    # -- execution -------------------------------------------------------------
+
+    def route(self, target: str,
+              evidence: Optional[Mapping[str, str]] = None, *,
+              error_budget: float = 0.0,
+              deadline_seconds: Optional[float] = None,
+              frozen: bool = False) -> RoutedAnswer:
+        """Answer one query with the cheapest admissible plan.
+
+        Falls to the next candidate on :class:`EngineError`, on the
+        deadline expiring mid-plan (elapsed time stays charged), and on
+        a sampling answer whose measured error violates the budget.
+        Raises the last failure when every candidate fails.
+        """
+        evidence = dict(evidence or {})
+        error_budget = float(error_budget)
+        if error_budget < 0.0:
+            raise EngineError(
+                f"error_budget must be non-negative, got {error_budget}")
+        t0 = self._clock.wall()
+        attempts: List[str] = []
+        fp = self._fingerprint(target, evidence)
+
+        cached = self._engine.cached_posterior(target, evidence)
+        if cached is not None:
+            attempts.append("cache:hit")
+            answer = RoutedAnswer(
+                target=target, evidence=evidence, posterior=cached,
+                backend=BACKEND_CACHE, estimated_error=0.0,
+                error_budget=error_budget,
+                predicted_seconds=self.cost_model.predict(
+                    BACKEND_CACHE, fp, 1.0),
+                observed_seconds=self._clock.wall() - t0,
+                attempts=tuple(attempts))
+            self._note_route(BACKEND_CACHE, "ok", fp, 1.0,
+                             answer.observed_seconds, frozen)
+            return answer
+
+        failure: Optional[Exception] = None
+        plans = self.candidates(target, evidence, error_budget)
+        for plan in plans:
+            elapsed = self._clock.wall() - t0
+            remaining = (None if deadline_seconds is None
+                         else deadline_seconds - elapsed)
+            if remaining is not None and remaining <= 0.0:
+                failure = DeadlineExceededError(
+                    f"routing deadline {deadline_seconds:.4f}s exhausted "
+                    f"after {elapsed:.4f}s (attempts: {attempts})")
+                attempts.append(f"{plan.backend}:deadline")
+                break
+            plan_t0 = self._clock.wall()
+            try:
+                posterior, error = self._execute(plan, target, evidence,
+                                                 remaining)
+            # EngineError (backend fault) and DeadlineExceededError
+            # (budget expired mid-plan) fall to the next candidate; any
+            # other InferenceError is a model-level answer (e.g.
+            # probability-0 evidence) no backend can improve — propagate.
+            except (EngineError, DeadlineExceededError) as exc:
+                failure = exc
+                kind = ("deadline"
+                        if isinstance(exc, DeadlineExceededError)
+                        else "engine-error")
+                attempts.append(f"{plan.backend}:{kind}")
+                self._failures[plan.backend] = \
+                    self._failures.get(plan.backend, 0) + 1
+                self._note_route(plan.backend, "fallback", fp,
+                                 plan.work_units,
+                                 self._clock.wall() - plan_t0, frozen)
+                continue
+            observed = self._clock.wall() - plan_t0
+            if error > error_budget and plans[-1] is not plan:
+                # Measured ESS error violated the budget: fall to the
+                # next (exact) candidate rather than report a bound we
+                # cannot honour.
+                attempts.append(f"{plan.backend}:budget")
+                self._note_route(plan.backend, "fallback", fp,
+                                 plan.work_units, observed, frozen)
+                continue
+            attempts.append(f"{plan.backend}:ok")
+            self._note_route(plan.backend, "ok", fp, plan.work_units,
+                             observed, frozen)
+            return RoutedAnswer(
+                target=target, evidence=evidence, posterior=posterior,
+                backend=plan.backend, estimated_error=error,
+                error_budget=error_budget,
+                predicted_seconds=plan.predicted_seconds,
+                observed_seconds=self._clock.wall() - t0,
+                attempts=tuple(attempts))
+        raise failure if failure is not None else EngineError(
+            f"no plan candidates for {target!r} | {evidence!r}")
+
+    def route_batch(self, target: str,
+                    evidence_rows: Sequence[Mapping[str, str]], *,
+                    error_budget: float = 0.0,
+                    frozen: bool = False) -> List[RoutedAnswer]:
+        """Route a whole evidence block.
+
+        A zero budget (or a batch the stacked substrate beats sampling
+        on) runs as ONE :meth:`CompiledNetwork.query_batch` call — the
+        batched backend amortizes a single calibration over all rows,
+        which per row is almost always the cheapest admissible plan.
+        Non-zero budgets fall back to per-row routing only when the
+        batched plan's predicted per-row cost loses to sampling.
+        """
+        rows = [dict(r) for r in evidence_rows]
+        error_budget = float(error_budget)
+        if error_budget < 0.0:
+            raise EngineError(
+                f"error_budget must be non-negative, got {error_budget}")
+        if not rows:
+            return []
+        fp = ("batch", target, len(rows))
+        batched_units = self._engine.plan_cost() + float(len(rows))
+        batched_cost = self.cost_model.predict("batched", fp, batched_units)
+        per_row_sampling = None
+        n = samples_for_budget(error_budget)
+        if 0 < n <= MAX_SAMPLES and sampling_error_bound(n) <= error_budget:
+            per_row_sampling = self.cost_model.predict(
+                BACKEND_SAMPLING, (target, ()), float(n)) * len(rows)
+        if per_row_sampling is not None and per_row_sampling < batched_cost:
+            return [self.route(target, row, error_budget=error_budget,
+                               frozen=frozen) for row in rows]
+        t0 = self._clock.wall()
+        posts = self._engine.query_batch(target, rows)
+        observed = self._clock.wall() - t0
+        self._note_route("batched", "ok", fp, batched_units, observed,
+                         frozen)
+        per_row = observed / len(rows)
+        return [RoutedAnswer(
+            target=target, evidence=row, posterior=post,
+            backend="batched", estimated_error=0.0,
+            error_budget=error_budget,
+            predicted_seconds=batched_cost / len(rows),
+            observed_seconds=per_row, attempts=("batched:ok",))
+            for row, post in zip(rows, posts)]
+
+    def _execute(self, plan: PlanCandidate, target: str,
+                 evidence: Dict[str, str],
+                 remaining: Optional[float]
+                 ) -> Tuple[Dict[str, float], float]:
+        """Run one plan; returns (posterior, measured error bound)."""
+        if plan.backend == BACKEND_EXACT:
+            return self._engine.query(target, evidence), 0.0
+        if plan.backend in (BACKEND_JT, BACKEND_JT_FULL):
+            return self._engine.marginals(evidence)[target], 0.0
+        if plan.backend == BACKEND_SAMPLING:
+            return self._exec_sampling(target, evidence, plan.samples,
+                                       remaining)
+        raise EngineError(f"unknown plan backend {plan.backend!r}")
+
+    def _exec_sampling(self, target: str, evidence: Dict[str, str],
+                       n: int, remaining: Optional[float]
+                       ) -> Tuple[Dict[str, float], float]:
+        """Chunked vectorized likelihood weighting with deadline checks.
+
+        Drawing in :data:`SAMPLE_CHUNK` blocks lets an expiring deadline
+        interrupt the plan *mid-flight*; the partial work is abandoned
+        (a short draw would report a bound looser than promised) and the
+        elapsed time stays charged against the caller's deadline.
+        """
+        try:
+            sampler = self._engine.network.sampler()
+            qcol = sampler.column(target)
+            states = self._engine._variable(target).states
+        except Exception as exc:
+            raise EngineError(f"sampling backend unavailable: {exc}") from exc
+        t0 = self._clock.wall()
+        totals = np.zeros(len(states))
+        weight_sum = 0.0
+        weight_sq = 0.0
+        drawn = 0
+        while drawn < n:
+            if remaining is not None \
+                    and self._clock.wall() - t0 >= remaining:
+                raise DeadlineExceededError(
+                    f"sampling plan interrupted after {drawn}/{n} draws")
+            chunk = min(SAMPLE_CHUNK, n - drawn)
+            try:
+                matrix, weights = sampler.likelihood_matrix(
+                    self._rng, evidence, chunk)
+            except InferenceError:
+                raise
+            except Exception as exc:
+                raise EngineError(
+                    f"sampling backend failed: {exc}") from exc
+            totals += np.bincount(matrix[:, qcol], weights=weights,
+                                  minlength=len(states))
+            weight_sum += float(weights.sum())
+            weight_sq += float(np.square(weights).sum())
+            drawn += chunk
+        if weight_sum <= 0.0:
+            raise InferenceError(
+                f"evidence {evidence!r} has probability 0 under the model — "
+                "posterior is undefined")
+        probs = totals / weight_sum
+        ess = (weight_sum * weight_sum / weight_sq if weight_sq > 0.0
+               else float(n))
+        error = float(np.sqrt(np.max(probs * (1.0 - probs))
+                              / max(ess, 1.0)))
+        return ({s: float(probs[i]) for i, s in enumerate(states)}, error)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _note_route(self, backend: str, outcome: str, fingerprint: Tuple,
+                    work_units: float, seconds: float,
+                    frozen: bool) -> None:
+        self._routes[backend] = self._routes.get(backend, 0) + 1
+        if outcome == "fallback":
+            self._fallbacks += 1
+        PLANNER_ROUTES.inc(backend=backend, outcome=outcome)
+        if not frozen:
+            self.cost_model.observe(backend, fingerprint, work_units,
+                                    seconds)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Routing statistics + the calibrated cost model (telemetry)."""
+        return {
+            "routes": dict(sorted(self._routes.items())),
+            "fallbacks": self._fallbacks,
+            "failures": dict(sorted(self._failures.items())),
+            "cost_model": self.cost_model.snapshot(),
+        }
+
+    def __repr__(self) -> str:
+        total = sum(self._routes.values())
+        return (f"QueryPlanner(routes={total}, "
+                f"fallbacks={self._fallbacks}, "
+                f"observations={self.cost_model.observations})")

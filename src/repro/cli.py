@@ -48,14 +48,20 @@ def cmd_fig4(args: argparse.Namespace) -> None:
                                                 None),
                              batch_dtype=getattr(args, "batch_dtype",
                                                  "float64"))
+    route = bool(getattr(args, "route", False))
+    budget = getattr(args, "error_budget", None)
     print("Fig. 4 network:", engine.network)
     print("\nForward P(perception):")
     _print_table(["state", "probability"],
                  list(engine.query("perception").items()))
     print("\nDiagnostic P(ground truth | perception):")
     outputs = ("car", "pedestrian", "car/pedestrian", "none")
-    posts = engine.query_batch("ground_truth",
-                               [{"perception": o} for o in outputs])
+    rows_in = [{"perception": o} for o in outputs]
+    if route or budget is not None:
+        posts = engine.query_batch("ground_truth", rows_in,
+                                   route=True, error_budget=budget)
+    else:
+        posts = engine.query_batch("ground_truth", rows_in)
     rows = [(o, post["car"], post["pedestrian"], post["unknown"])
             for o, post in zip(outputs, posts)]
     _print_table(["evidence", "P(car)", "P(ped)", "P(unknown)"], rows)
@@ -65,6 +71,13 @@ def cmd_fig4(args: argparse.Namespace) -> None:
           f"{stats.plan_hit_rate:.2f}, evidence-cache hit rate "
           f"{stats.evidence_cache_hit_rate:.2f}, "
           f"{stats.recompiles} compile(s)")
+    if route or budget is not None:
+        snap = engine.planner().snapshot()
+        routed = ", ".join(f"{backend}={count}" for backend, count
+                           in sorted(snap["routes"].items()))
+        print(f"planner: routes [{routed}], "
+              f"{snap['fallbacks']} fallback(s), "
+              f"error budget {budget if budget is not None else 0.0:g}")
 
 
 def cmd_table1(_: argparse.Namespace) -> None:
@@ -171,6 +184,8 @@ def cmd_experiments(_: argparse.Namespace) -> None:
          "test_bench_batched_calibration"),
         ("EXT-U", "observability overhead (correlation + SLO)",
          "test_bench_observe"),
+        ("EXT-V", "adaptive query planner routing",
+         "test_bench_router"),
     ]
     _print_table(["id", "artifact", "benchmark module"], experiments)
     print("\nRun one with:  pytest benchmarks/<module>.py --benchmark-only -s")
@@ -228,7 +243,8 @@ def cmd_campaign(args: argparse.Namespace) -> None:
                             workers=getattr(args, "workers", 1),
                             backend=getattr(args, "backend", None),
                             shards=getattr(args, "shards", None),
-                            engine_cache_size=cache_size)
+                            engine_cache_size=cache_size,
+                            error_budget=getattr(args, "error_budget", None))
     engine = CompiledNetwork(build_fig4_network(), cache_size=cache_size)
     shard = _parse_shard_spec(getattr(args, "shard", None))
     report = run_campaign(config, engine=engine, shard=shard)
@@ -287,7 +303,9 @@ def cmd_serve(args: argparse.Namespace) -> None:
         default_deadline=args.deadline_ms / 1000.0,
         ladder=not args.no_ladder, fault_injector=faults, seed=args.seed,
         microbatch_window=args.microbatch_window / 1000.0,
-        flight_dump_path=args.flight_jsonl)
+        flight_dump_path=args.flight_jsonl,
+        error_budget=getattr(args, "error_budget", None),
+        disabled_tiers=tuple(getattr(args, "kill_tier", None) or ()))
     tracer = telemetry.activate() if args.trace_jsonl else None
     profiler = None
     if args.profile:
@@ -297,6 +315,10 @@ def cmd_serve(args: argparse.Namespace) -> None:
     ladder = "on" if service.ladder_enabled else "off"
     chaos = (f", chaos latency intensity {args.inject_latency:g} "
              f"(mean {args.mean_delay:g}s)" if faults else "")
+    if service.disabled_tiers:
+        chaos += f", killed tiers {sorted(service.disabled_tiers)}"
+    if service.default_error_budget is not None:
+        chaos += f", error budget {service.default_error_budget:g}"
     coalesce = (f", microbatch window {args.microbatch_window:g}ms"
                 if args.microbatch_window > 0.0 else "")
     print(f"repro serve: {service._network.name} on "
@@ -579,6 +601,23 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--profile", default=None, metavar="PATH",
                          help="run under the sampling profiler; write "
                               "collapsed stacks here on shutdown")
+    serve_p.add_argument("--kill-tier", action="append", default=None,
+                         metavar="TIER",
+                         choices=("exact", "cache", "approximate"),
+                         help="chaos hook: disable a ladder tier so it "
+                              "refuses every request (repeatable; the "
+                              "stale floor cannot be killed)")
+
+    fig4.add_argument("--route", action="store_true",
+                      help="answer the diagnostic sweep through the "
+                           "adaptive query planner (cost-model-driven "
+                           "backend routing)")
+    for p in (fig4, campaign, serve_p):
+        p.add_argument("--error-budget", type=float, default=None,
+                       metavar="E",
+                       help="max acceptable posterior error: the planner "
+                            "picks the cheapest backend whose predicted "
+                            "error fits E (default: exact-only)")
 
     for p in (trace, metrics):
         p.add_argument("--intensities", type=float, nargs="+",

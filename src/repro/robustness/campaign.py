@@ -90,10 +90,18 @@ class CampaignConfig:
     backend: Optional[str] = None
     engine_cache_size: Optional[int] = None
     shards: Optional[int] = None
+    #: Per-campaign posterior error budget (None = exact-only, the
+    #: historical behaviour).  The diagnostic reference sweep routes
+    #: through the query planner with frozen (structural-prior) pricing
+    #: so cheap cells stop paying exact-JT prices, deterministically.
+    error_budget: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.trials <= 0:
             raise InjectionError(f"trials must be positive, got {self.trials}")
+        if self.error_budget is not None and self.error_budget < 0.0:
+            raise InjectionError(
+                f"error_budget must be non-negative, got {self.error_budget}")
         if self.shards is not None and self.shards < 1:
             raise InjectionError(
                 f"shards must be at least 1, got {self.shards}")
@@ -219,6 +227,26 @@ def campaign_cell_costs(config: CampaignConfig,
     return [cost] * (len(config.fault_names) * len(config.intensities))
 
 
+def cell_error_budgets(config: CampaignConfig,
+                       costs: Sequence[float]) -> List[Optional[float]]:
+    """Per-cell error budgets scaled from :func:`campaign_cell_costs`.
+
+    Cheap cells get proportionally looser budgets (they have the least
+    to gain from exact-JT prices), expensive cells tighter ones, with
+    the configured budget as the cost-weighted anchor.  A uniform cost
+    vector — today's homogeneous grids — degenerates to the uniform
+    budget, and ``config.error_budget is None`` yields all-``None``
+    (exact-only, the historical behaviour).
+    """
+    if config.error_budget is None:
+        return [None] * len(costs)
+    mean = sum(costs) / len(costs) if costs else 1.0
+    if mean <= 0.0:
+        return [config.error_budget] * len(costs)
+    return [min(0.5, config.error_budget * (mean / max(cost, 1e-12)))
+            for cost in costs]
+
+
 def _cell_chunk(context: Tuple[CampaignConfig, Optional[WorldModel]],
                 chunk: Sequence[Tuple[str, float, int]]) -> List[CampaignCell]:
     """Module-level chunk runner for the executor's context map.
@@ -235,7 +263,8 @@ def _cell_chunk(context: Tuple[CampaignConfig, Optional[WorldModel]],
             for fault_name, intensity, cell_index in chunk]
 
 
-def diagnostic_reference_table(engine: InferenceEngine
+def diagnostic_reference_table(engine: InferenceEngine,
+                               error_budget: Optional[float] = None
                                ) -> Dict[str, Dict[str, float]]:
     """The Fig. 4 diagnostic posteriors P(ground truth | perception) for
     every perception output, in one batched engine sweep.
@@ -243,10 +272,19 @@ def diagnostic_reference_table(engine: InferenceEngine
     Attached to the campaign report as model-side reference evidence: the
     posteriors the supervisor's diagnosis should converge to when the
     injected fault has zero intensity.
+
+    With an ``error_budget`` the sweep routes through the query planner
+    in frozen (structural-prior) pricing mode: plan choice is then a
+    deterministic function of (structure, evidence, budget) — never of
+    observed wall-clock — so the report's byte-identity contract holds.
     """
     states = list(engine.network.variable("perception").states)
     rows = [{"perception": s} for s in states]
-    posts = engine.query_batch("ground_truth", rows)
+    if error_budget is not None:
+        posts = engine.query_batch("ground_truth", rows,
+                                   error_budget=error_budget, frozen=True)
+    else:
+        posts = engine.query_batch("ground_truth", rows)
     return dict(zip(states, posts))
 
 
@@ -334,7 +372,15 @@ def run_campaign(config: Optional[CampaignConfig] = None,
             tasks, costs = tasks[start:stop], costs[start:stop]
         cells: List[CampaignCell] = executor.map_with_context(
             _cell_chunk, (config, world), tasks, costs=costs)
-        reference = diagnostic_reference_table(engine)
+        # The reference sweep inherits the *tightest* per-cell budget:
+        # it anchors every cell's diagnosis, so it must be at least as
+        # accurate as the most demanding cell asks for.
+        budgets = [b for b in cell_error_budgets(config,
+                                                 campaign_cell_costs(
+                                                     config, engine))
+                   if b is not None]
+        reference = diagnostic_reference_table(
+            engine, error_budget=min(budgets) if budgets else None)
     telemetry = (TelemetryReport.capture(tracer=tracer,
                                          counters_before=counters_before)
                  if tracer is not None else None)

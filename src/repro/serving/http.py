@@ -169,6 +169,11 @@ class _Handler(BaseHTTPRequestHandler):
             deadline_ms = payload.get("deadline_ms")
             deadline = (float(deadline_ms) / 1000.0
                         if deadline_ms is not None else None)
+            raw_budget = payload.get("error_budget")
+            error_budget = (float(raw_budget) if raw_budget is not None
+                            else None)
+            if error_budget is not None and error_budget < 0.0:
+                raise ValueError("error_budget must be non-negative")
             if self.path == "/batch":
                 rows = payload["rows"]
                 if not isinstance(rows, list):
@@ -186,7 +191,8 @@ class _Handler(BaseHTTPRequestHandler):
                             "results": results}
             else:
                 document = self.server.service.submit(
-                    target, evidence, deadline_seconds=deadline).to_dict()
+                    target, evidence, deadline_seconds=deadline,
+                    error_budget=error_budget).to_dict()
         except OverloadError as exc:
             self._send_json(429, {"error": str(exc),
                                   "queue_depth": exc.queue_depth})

@@ -54,11 +54,17 @@ from repro.serving.breaker import CircuitBreaker
 from repro.serving.pool import EnginePool
 from repro.telemetry import tracing as _tracing
 from repro.telemetry.clock import SystemClock
+from repro.bayesnet.planner import (
+    MIN_SAMPLES,
+    samples_for_budget,
+    sampling_error_bound,
+)
 from repro.telemetry.metrics import (
     SERVING_DEADLINE_EVENTS,
     SERVING_MICROBATCH_SIZE,
     SERVING_REQUEST_SECONDS,
     SERVING_REQUESTS,
+    SERVING_TIER_LATENCY,
 )
 from repro.telemetry.observe import (
     EVENT_ADMIT,
@@ -102,14 +108,27 @@ _LATENCY_ALPHA = 0.2
 #: refined by an EWMA of observed cost after every approximate answer.
 _INITIAL_SECONDS_PER_SAMPLE = 2e-5
 
+#: Cold-start per-tier latency priors for planner-driven ordering,
+#: used until the observed :attr:`InferenceService._tier_latency` EWMAs
+#: exist.  Order-of-magnitude guesses only — one answered request per
+#: tier replaces them.
+_INITIAL_TIER_LATENCY = {TIER_CACHE: 5e-6, TIER_EXACT: 1e-4,
+                         TIER_APPROXIMATE: 2e-3, TIER_STALE: 5e-6}
+
 
 @dataclass(frozen=True)
 class ServiceRequest:
-    """One posterior query with a latency budget."""
+    """One posterior query with a latency budget.
+
+    ``error_budget`` opts the request into planner-driven tier ordering:
+    the ladder descends by predicted latency over the tiers whose error
+    bound fits the budget, instead of the fixed capability order.
+    """
 
     target: str
     evidence: Mapping[str, str] = field(default_factory=dict)
     deadline_seconds: Optional[float] = None  # None -> service default
+    error_budget: Optional[float] = None      # None -> service default
 
 
 @dataclass
@@ -137,10 +156,12 @@ class ServiceResponse:
     attempts: Tuple[str, ...] = ()
     mode: str = ACT_NORMALLY
     request_id: Optional[str] = None
+    error_budget: Optional[float] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready rendering (the HTTP response body)."""
         return {
+            "error_budget": self.error_budget,
             "target": self.target,
             "evidence": dict(self.evidence),
             "posterior": dict(self.posterior),
@@ -221,10 +242,20 @@ class InferenceService:
                  clock=None, microbatch_window: float = 0.0,
                  slo_engine: Optional[SLOEngine] = None,
                  flight: Optional[FlightRecorder] = None,
-                 flight_dump_path: Optional[str] = None):
+                 flight_dump_path: Optional[str] = None,
+                 error_budget: Optional[float] = None,
+                 disabled_tiers: Sequence[str] = ()):
         if default_deadline <= 0.0:
             raise ServingError(
                 f"default_deadline must be positive, got {default_deadline}")
+        if error_budget is not None and error_budget < 0.0:
+            raise ServingError(
+                f"error_budget must be non-negative, got {error_budget}")
+        unknown_tiers = set(disabled_tiers) - set(LADDER)
+        if unknown_tiers:
+            raise ServingError(
+                f"unknown tiers in disabled_tiers: {sorted(unknown_tiers)}; "
+                f"choose from {list(LADDER)}")
         if min_approx_samples < 1 or approx_samples < min_approx_samples:
             raise ServingError(
                 "need approx_samples >= min_approx_samples >= 1, got "
@@ -241,6 +272,15 @@ class InferenceService:
         self._network = engine.network
         self.default_deadline = float(default_deadline)
         self.ladder_enabled = bool(ladder)
+        #: Planner integration: when a request (or this default) carries
+        #: an error budget, tier order becomes latency-EWMA-driven
+        #: instead of the fixed LADDER, and approximate answers size
+        #: their sample counts from the budget.
+        self.default_error_budget = (None if error_budget is None
+                                     else float(error_budget))
+        #: Chaos kill switch: tiers listed here refuse immediately, as a
+        #: dead backend would (`repro serve --kill-tier ...`).
+        self.disabled_tiers = frozenset(disabled_tiers)
         self.approx_samples = int(approx_samples)
         self.min_approx_samples = int(min_approx_samples)
         self.retry = retry or RetryPolicy(max_retries=1, backoff_base=0.005)
@@ -332,11 +372,13 @@ class InferenceService:
 
     def submit(self, target: str,
                evidence: Optional[Mapping[str, str]] = None,
-               deadline_seconds: Optional[float] = None) -> ServiceResponse:
+               deadline_seconds: Optional[float] = None,
+               error_budget: Optional[float] = None) -> ServiceResponse:
         """Answer one posterior query within its deadline budget."""
         return self.handle(ServiceRequest(target=target,
                                           evidence=dict(evidence or {}),
-                                          deadline_seconds=deadline_seconds))
+                                          deadline_seconds=deadline_seconds,
+                                          error_budget=error_budget))
 
     def handle(self, request: ServiceRequest) -> ServiceResponse:
         if self._closed:
@@ -347,6 +389,12 @@ class InferenceService:
         if deadline <= 0.0:
             raise ServingError(
                 f"deadline_seconds must be positive, got {deadline}")
+        error_budget = (self.default_error_budget
+                        if request.error_budget is None
+                        else float(request.error_budget))
+        if error_budget is not None and error_budget < 0.0:
+            raise ServingError(
+                f"error_budget must be non-negative, got {error_budget}")
         evidence = dict(request.evidence or {})
         self._validate(request.target, evidence)
         # Correlation: reuse the id the HTTP layer (or any caller) bound,
@@ -370,7 +418,8 @@ class InferenceService:
             self.flight.record(EVENT_ADMIT, rid, target=request.target,
                                deadline_seconds=deadline)
             try:
-                response = self._answer(request.target, evidence, deadline)
+                response = self._answer(request.target, evidence, deadline,
+                                        error_budget)
                 response.request_id = rid
                 self.slo.record(latency_seconds=response.latency_seconds,
                                 outcome="ok",
@@ -522,14 +571,15 @@ class InferenceService:
                     f"(states: {list(variable.states)})")
 
     def _answer(self, target: str, evidence: Dict[str, str],
-                deadline: float) -> ServiceResponse:
+                deadline: float,
+                error_budget: Optional[float] = None) -> ServiceResponse:
         """Traced wrapper: one ``serving.request`` span per ladder descent."""
         tracer = _tracing._active_tracer
         if tracer is None:
-            return self._descend(target, evidence, deadline)
+            return self._descend(target, evidence, deadline, error_budget)
         with tracer.span("serving.request", target=target,
                          deadline_seconds=deadline) as sp:
-            response = self._descend(target, evidence, deadline)
+            response = self._descend(target, evidence, deadline, error_budget)
             sp.set_attribute("tier", response.tier)
             sp.set_attribute("degraded", response.degraded)
             if response.estimated_error is not None:
@@ -537,7 +587,8 @@ class InferenceService:
             return response
 
     def _descend(self, target: str, evidence: Dict[str, str],
-                 deadline: float) -> ServiceResponse:
+                 deadline: float,
+                 error_budget: Optional[float] = None) -> ServiceResponse:
         t0 = self._clock.wall()
         attempts: List[str] = []
         with self._lock:
@@ -546,9 +597,20 @@ class InferenceService:
             fired = self.fault_injector.fired_names()
 
         response: Optional[ServiceResponse] = None
-        ladder = LADDER if self.ladder_enabled else (TIER_EXACT,)
+        if not self.ladder_enabled:
+            ladder: Tuple[str, ...] = (TIER_EXACT,)
+        elif error_budget is not None:
+            ladder = self._ladder_order(error_budget, deadline)
+        else:
+            ladder = LADDER
         failure: Optional[Exception] = None
         for tier in ladder:
+            if tier in self.disabled_tiers:
+                attempts.append(f"{tier}:disabled")
+                failure = ServingError(f"tier {tier!r} is disabled")
+                self.flight.record(EVENT_LADDER, tier=tier,
+                                   reason="Disabled")
+                continue
             remaining = deadline - (self._clock.wall() - t0)
             try:
                 if tier == TIER_EXACT:
@@ -561,7 +623,8 @@ class InferenceService:
                     error, stale = 0.0, False
                 elif tier == TIER_APPROXIMATE:
                     posterior, error = self._tier_approximate(
-                        target, evidence, remaining, attempts)
+                        target, evidence, remaining, attempts,
+                        error_budget=error_budget)
                     stale = False
                 else:
                     posterior = self._tier_stale(target, evidence, attempts)
@@ -573,13 +636,25 @@ class InferenceService:
                 self.flight.record(EVENT_LADDER, tier=tier,
                                    reason=type(exc.reason).__name__)
                 continue
+            if (error_budget is not None and error is not None
+                    and error > error_budget and tier != ladder[-1]):
+                # The answer landed outside the promised budget (e.g. a
+                # degenerate effective sample size): charge the attempt
+                # and fall to the next candidate rather than return it.
+                attempts.append(f"{tier}:budget")
+                failure = ServingError(
+                    f"tier {tier!r} answered with estimated error "
+                    f"{error:.4g} > budget {error_budget:.4g}")
+                self.flight.record(EVENT_LADDER, tier=tier,
+                                   reason="BudgetExceeded")
+                continue
             response = ServiceResponse(
                 target=target, evidence=evidence, posterior=posterior,
                 tier=tier, degraded=tier != TIER_EXACT, stale=stale,
                 estimated_error=error, deadline_seconds=deadline,
                 latency_seconds=(self._clock.wall() - t0) + injected,
                 injected_latency_seconds=injected, faults_fired=fired,
-                attempts=tuple(attempts))
+                attempts=tuple(attempts), error_budget=error_budget)
             break
         if response is None:
             # Only reachable with the ladder disabled (the stale floor
@@ -592,6 +667,31 @@ class InferenceService:
         self._record(response)
         response.mode = self._tick_supervisor(success=True)
         return response
+
+    def _ladder_order(self, error_budget: float,
+                      deadline: float) -> Tuple[str, ...]:
+        """Planner-driven tier order for budgeted requests.
+
+        Admissible tiers (predicted error within the budget) are tried
+        cheapest-first by their observed latency EWMAs — cold-started
+        from ``_INITIAL_TIER_LATENCY`` priors — instead of the fixed
+        ``LADDER`` order.  The approximate tier is admissible only when
+        its worst-case sampling bound at the configured sample ceiling
+        fits the budget; the stale floor always rides last so a warm
+        service keeps its every-request-answers guarantee.
+        """
+        candidates = [TIER_CACHE, TIER_EXACT]
+        if sampling_error_bound(self.approx_samples) <= error_budget:
+            candidates.append(TIER_APPROXIMATE)
+        with self._lock:
+            latency = {tier: self._tier_latency.get(
+                tier, _INITIAL_TIER_LATENCY[tier]) for tier in candidates}
+        # Tiers predicted to blow the whole deadline sort last among the
+        # admissible set rather than being dropped: the prediction is an
+        # estimate, the deadline check inside each tier is the law.
+        ordered = sorted(candidates,
+                         key=lambda t: (latency[t] > deadline, latency[t]))
+        return tuple(ordered) + (TIER_STALE,)
 
     # -- ladder tiers ----------------------------------------------------------
 
@@ -844,7 +944,8 @@ class InferenceService:
             f"no cached exact posterior for {target!r} | {evidence!r}"))
 
     def _tier_approximate(self, target: str, evidence: Dict[str, str],
-                          remaining: float, attempts: List[str]
+                          remaining: float, attempts: List[str],
+                          error_budget: Optional[float] = None
                           ) -> Tuple[Dict[str, float], float]:
         breaker = self.breakers[TIER_APPROXIMATE]
         if not breaker.allow():
@@ -860,6 +961,20 @@ class InferenceService:
                 "no budget left for the approximate tier"))
         n = int(remaining / self._seconds_per_sample)
         n = max(self.min_approx_samples, min(self.approx_samples, n))
+        if error_budget is not None:
+            # Budgeted requests size the draw from the declared error
+            # budget (worst-case bound 0.5/sqrt(n)), not just from time:
+            # if the accuracy-required count cannot fit the remaining
+            # time, the tier refuses instead of answering out of budget.
+            needed = samples_for_budget(error_budget)
+            if needed > self.approx_samples or \
+                    needed * self._seconds_per_sample > remaining:
+                attempts.append("approximate:budget")
+                raise _TierUnavailable(ServingError(
+                    f"error budget {error_budget:.4g} needs {needed} "
+                    f"samples; unattainable within {remaining:.4f}s at "
+                    f"ceiling {self.approx_samples}"))
+            n = max(n, max(MIN_SAMPLES, needed))
         try:
             t0 = self._clock.wall()
             sampler = self._network.sampler()
@@ -935,9 +1050,11 @@ class InferenceService:
     def _note_latency(self, tier: str, seconds: float) -> None:
         with self._lock:
             prior = self._tier_latency.get(tier)
-            self._tier_latency[tier] = (seconds if prior is None else
-                                        (1.0 - _LATENCY_ALPHA) * prior
-                                        + _LATENCY_ALPHA * seconds)
+            value = (seconds if prior is None else
+                     (1.0 - _LATENCY_ALPHA) * prior
+                     + _LATENCY_ALPHA * seconds)
+            self._tier_latency[tier] = value
+        SERVING_TIER_LATENCY.set(value, tier=tier)
 
     def _note_sample_cost(self, seconds_per_sample: float) -> None:
         with self._lock:
@@ -973,12 +1090,16 @@ class InferenceService:
             by_tier = dict(self._by_tier)
             requests, shed, inflight = (self._requests, self._shed,
                                         self._inflight)
+            tier_latency = dict(self._tier_latency)
             mode = self.supervisor.mode
         status = _MODE_STATUS.get(mode, "degraded")
         return {
             "status": status,
             "mode": mode,
             "ladder": self.ladder_enabled,
+            "error_budget": self.default_error_budget,
+            "disabled_tiers": sorted(self.disabled_tiers),
+            "tier_latency_seconds": tier_latency,
             "breakers": {tier: breaker.snapshot()
                          for tier, breaker in sorted(self.breakers.items())},
             "pool": self.pool.snapshot(),

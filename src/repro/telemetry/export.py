@@ -163,13 +163,21 @@ def metrics_to_dict(registry: Optional[MetricsRegistry] = None) -> Dict:
                     "count": series.count,
                     "bucket_counts": list(series.bucket_counts)})
         elif isinstance(metric, (Counter, Gauge)):
+            counter = isinstance(metric, Counter)
             samples = metric.samples()
             if not samples and not metric.label_names:
-                entry["series"].append({"labels": {}, "value": 0.0})
+                entry["series"].append({"labels": {},
+                                        "value": 0 if counter else 0.0})
             for label_values, value in samples:
+                # Counters count events: integral values export as JSON
+                # integers (`13`, not `13.0`) so downstream diffs and
+                # dashboards treat them as counts.  Gauges stay floats.
+                value = float(value)
+                if counter and value.is_integer():
+                    value = int(value)
                 entry["series"].append({
                     "labels": dict(zip(metric.label_names, label_values)),
-                    "value": float(value)})
+                    "value": value})
         out[metric.name] = entry
     return out
 

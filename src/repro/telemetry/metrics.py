@@ -452,9 +452,29 @@ PARALLEL_SHARDS = REGISTRY.counter(
 #: report section (:class:`~repro.telemetry.export.TelemetryReport`)
 #: excludes them for the same reason it strips ``*_seconds``; they stay
 #: fully visible through ``repro metrics``.
+#: Query-planner route decisions, by backend and outcome ("ok" —
+#: answered; "fallback" — failed or budget-violated, descent continued).
+#: Records unconditionally: routing is a product surface of the serving
+#: runtime and must be visible without an active trace.
+PLANNER_ROUTES = REGISTRY.counter(
+    "repro_planner_routes_total",
+    "Query-planner route decisions, by backend and outcome.",
+    labels=("backend", "outcome"))
+
+#: The planner's calibrated cost coefficient per backend — the EWMA
+#: seconds-per-work-unit the next routing decision will price with.
+PLANNER_COST_COEFF = REGISTRY.gauge(
+    "repro_planner_cost_seconds_per_unit",
+    "Calibrated query-planner cost coefficient (EWMA seconds per "
+    "structural work unit), by backend.",
+    labels=("backend",))
+
 SCHEDULING_METRICS = frozenset({
     "repro_parallel_arena_bytes",
     "repro_parallel_shards_total",
+    # Route choices follow *observed wall-clock* cost coefficients, so
+    # they legitimately vary machine to machine and run to run.
+    "repro_planner_routes_total",
 })
 
 
@@ -501,6 +521,14 @@ SERVING_BREAKER_STATE = REGISTRY.gauge(
 SERVING_QUEUE_DEPTH = REGISTRY.gauge(
     "repro_serving_queue_depth",
     "Requests currently queued for an engine-pool lease.")
+
+#: The serving ladder's per-tier latency EWMA — the same estimate the
+#: planner orders tiers with, published so capacity planning sees what
+#: routing sees (previously an invisible private dict).
+SERVING_TIER_LATENCY = REGISTRY.gauge(
+    "repro_serving_tier_latency_seconds",
+    "EWMA of observed per-tier answer latency in the serving ladder.",
+    labels=("tier",))
 
 #: Coalesced request count per micro-batch flush.
 SERVING_MICROBATCH_SIZE = REGISTRY.histogram(

@@ -1,0 +1,354 @@
+"""Tests for the adaptive query planner (cost-model-driven routing).
+
+Covers the routing contract: a zero error budget is byte-identical to
+the plain engine query; budgeted answers always report an estimated
+error within the budget; timeouts mid-plan fall to the next candidate
+with the time spent charged to the cost model; an ``EngineError`` skips
+one backend without poisoning the others; and frozen pricing makes
+routing decisions deterministic.
+"""
+
+import json
+
+import pytest
+
+from repro.bayesnet.engine import CompiledNetwork
+from repro.bayesnet.planner import (
+    BACKEND_CACHE,
+    BACKEND_EXACT,
+    BACKEND_SAMPLING,
+    INITIAL_COST,
+    MAX_SAMPLES,
+    MIN_SAMPLES,
+    CostModel,
+    QueryPlanner,
+    sampling_error_bound,
+    samples_for_budget,
+)
+from repro.errors import (
+    DeadlineExceededError,
+    EngineError,
+    GraphError,
+    InferenceError,
+)
+from repro.perception.chain import build_fig4_network
+
+OUTPUTS = ("car", "pedestrian", "car/pedestrian", "none")
+
+
+class StepClock:
+    """A wall clock the test advances by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def wall(self) -> float:
+        return self.now
+
+    def cpu(self) -> float:
+        return self.now
+
+
+def fresh_engine() -> CompiledNetwork:
+    return CompiledNetwork(build_fig4_network())
+
+
+# -- budget arithmetic ------------------------------------------------------------
+
+
+class TestBudgetArithmetic:
+    def test_zero_budget_is_unattainable_by_sampling(self):
+        assert samples_for_budget(0.0) > MAX_SAMPLES
+
+    def test_sample_count_honours_the_bound(self):
+        for budget in (0.5, 0.1, 0.05, 0.01):
+            n = samples_for_budget(budget)
+            assert n >= MIN_SAMPLES
+            assert sampling_error_bound(n) <= budget
+
+    def test_bound_decreases_with_samples(self):
+        assert sampling_error_bound(100) < sampling_error_bound(10)
+
+
+# -- cost model -------------------------------------------------------------------
+
+
+class TestCostModel:
+    def test_unseen_backend_uses_structural_prior(self):
+        model = CostModel()
+        assert model.seconds_per_unit(BACKEND_SAMPLING, ("t", ())) == \
+            INITIAL_COST[BACKEND_SAMPLING]
+
+    def test_observation_moves_the_coefficient(self):
+        model = CostModel()
+        fp = ("ground_truth", ("perception",))
+        model.observe(BACKEND_EXACT, fp, work_units=10.0, seconds=1.0)
+        assert model.seconds_per_unit(BACKEND_EXACT, fp) > \
+            INITIAL_COST[BACKEND_EXACT]
+        assert model.observations == 1
+
+    def test_negative_seconds_ignored(self):
+        model = CostModel()
+        model.observe(BACKEND_EXACT, ("t", ()), 1.0, -1.0)
+        assert model.observations == 0
+
+
+# -- routing: exactness guarantees ------------------------------------------------
+
+
+class TestZeroBudgetExactness:
+    def test_routed_posterior_byte_identical_to_plain_query(self):
+        routed_engine = fresh_engine()
+        plain_engine = fresh_engine()
+        for state in OUTPUTS:
+            routed = routed_engine.query("ground_truth",
+                                         {"perception": state}, route=True)
+            plain = plain_engine.query("ground_truth",
+                                       {"perception": state})
+            assert json.dumps(routed, sort_keys=True) == \
+                json.dumps(plain, sort_keys=True)
+
+    def test_zero_budget_answer_reports_zero_error(self):
+        engine = fresh_engine()
+        answer = engine.planner().route("ground_truth",
+                                        {"perception": "car"})
+        assert answer.estimated_error == 0.0
+        assert answer.backend != BACKEND_SAMPLING
+
+    def test_repeat_query_hits_the_cache_backend(self):
+        engine = fresh_engine()
+        planner = engine.planner()
+        first = planner.route("ground_truth", {"perception": "car"})
+        second = planner.route("ground_truth", {"perception": "car"})
+        assert second.backend == BACKEND_CACHE
+        assert second.posterior == first.posterior
+        assert second.attempts == ("cache:hit",)
+
+
+class TestBudgetedRouting:
+    def test_estimated_error_within_budget(self):
+        engine = fresh_engine()
+        planner = engine.planner(seed=7)
+        for budget in (0.2, 0.05, 0.01):
+            answer = planner.route("ground_truth", {"perception": "none"},
+                                   error_budget=budget)
+            assert answer.estimated_error <= budget
+            assert answer.error_budget == budget
+
+    def test_negative_budget_rejected(self):
+        engine = fresh_engine()
+        with pytest.raises(EngineError):
+            engine.planner().route("ground_truth", {}, error_budget=-0.1)
+
+    def test_negative_budget_rejected_in_batch(self):
+        engine = fresh_engine()
+        with pytest.raises(EngineError):
+            engine.planner().route_batch(
+                "ground_truth", [{"perception": "car"}], error_budget=-0.1)
+
+    def test_candidates_exclude_sampling_at_zero_budget(self):
+        engine = fresh_engine()
+        plans = engine.planner().candidates("ground_truth",
+                                            {"perception": "car"}, 0.0)
+        assert all(c.backend != BACKEND_SAMPLING for c in plans)
+
+    def test_candidates_sorted_cheapest_first(self):
+        engine = fresh_engine()
+        plans = engine.planner().candidates("ground_truth",
+                                            {"perception": "car"}, 0.1)
+        seconds = [c.predicted_seconds for c in plans]
+        assert seconds == sorted(seconds)
+
+    def test_frozen_routing_is_deterministic(self):
+        decisions = []
+        for _ in range(2):
+            planner = fresh_engine().planner(seed=3)
+            answers = [planner.route("ground_truth", {"perception": s},
+                                     error_budget=0.05, frozen=True)
+                       for s in OUTPUTS]
+            decisions.append([(a.backend, a.attempts) for a in answers])
+        assert decisions[0] == decisions[1]
+
+    def test_frozen_skips_cost_calibration(self):
+        planner = fresh_engine().planner()
+        planner.route("ground_truth", {"perception": "car"},
+                      error_budget=0.05, frozen=True)
+        assert planner.cost_model.observations == 0
+
+
+# -- fallback semantics -----------------------------------------------------------
+
+
+class TestFallbackSemantics:
+    def test_timeout_mid_plan_falls_to_next_candidate(self):
+        engine = fresh_engine()
+        clock = StepClock()
+        planner = QueryPlanner(engine, clock=clock)
+        real_execute = planner._execute
+        tried = []
+
+        def timing_out_execute(plan, target, evidence, remaining):
+            tried.append(plan.backend)
+            if plan.backend == BACKEND_SAMPLING:
+                clock.now += 0.25   # wall time burned before the interrupt
+                raise DeadlineExceededError(
+                    "sampling plan interrupted after 4096/8192 draws")
+            return real_execute(plan, target, evidence, remaining)
+
+        planner._execute = timing_out_execute
+        answer = planner.route("ground_truth", {"perception": "car"},
+                               error_budget=0.2, deadline_seconds=10.0)
+        # The cheap sampling plan was tried first, timed out, and the
+        # route completed on the next (exact) candidate.
+        assert tried[0] == BACKEND_SAMPLING
+        assert answer.backend != BACKEND_SAMPLING
+        assert answer.estimated_error <= 0.2
+        assert "sampling:deadline" in answer.attempts
+        assert answer.attempts[-1].endswith(":ok")
+
+    def test_timeout_charges_time_spent_to_the_cost_model(self):
+        engine = fresh_engine()
+        clock = StepClock()
+        planner = QueryPlanner(engine, clock=clock)
+        real_execute = planner._execute
+
+        def timing_out_execute(plan, target, evidence, remaining):
+            if plan.backend == BACKEND_SAMPLING:
+                clock.now += 0.25
+                raise DeadlineExceededError("interrupted mid-plan")
+            return real_execute(plan, target, evidence, remaining)
+
+        planner._execute = timing_out_execute
+        planner.route("ground_truth", {"perception": "car"},
+                      error_budget=0.2, deadline_seconds=10.0)
+        snap = planner.snapshot()
+        assert snap["fallbacks"] == 1
+        assert snap["failures"] == {BACKEND_SAMPLING: 1}
+        # The 0.25s spent inside the failed plan moved the sampling
+        # coefficient far off its ~5e-8 s/sample structural prior.
+        coeff = planner.cost_model.seconds_per_unit(
+            BACKEND_SAMPLING, ("ground_truth", ("perception",)))
+        assert coeff > INITIAL_COST[BACKEND_SAMPLING] * 100
+
+    def test_deadline_already_spent_raises(self):
+        engine = fresh_engine()
+        clock = StepClock()
+        planner = QueryPlanner(engine, clock=clock)
+
+        def slow_execute(plan, target, evidence, remaining):
+            clock.now += 10.0
+            raise DeadlineExceededError("plan blew the whole deadline")
+
+        planner._execute = slow_execute
+        with pytest.raises(DeadlineExceededError):
+            planner.route("ground_truth", {"perception": "car"},
+                          error_budget=0.2, deadline_seconds=5.0)
+
+    def test_engine_error_skips_backend_only(self, monkeypatch):
+        engine = fresh_engine()
+        planner = engine.planner(seed=0)
+        sampler = engine.network.sampler()
+
+        def boom(*_args, **_kwargs):
+            raise RuntimeError("sampler backend crashed")
+
+        monkeypatch.setattr(sampler, "likelihood_matrix", boom)
+        answer = planner.route("ground_truth", {"perception": "car"},
+                               error_budget=0.2)
+        assert answer.backend != BACKEND_SAMPLING
+        assert answer.estimated_error <= 0.2
+        assert "sampling:engine-error" in answer.attempts
+        # The failure is charged to the sampling backend alone.
+        assert planner.snapshot()["failures"] == {BACKEND_SAMPLING: 1}
+
+    def test_model_level_error_propagates_without_fallback(self):
+        # A malformed query is a model-level answer, not a backend
+        # fault: no fallback candidate can improve it, so it surfaces
+        # unchanged instead of burning through the plan list.
+        engine = fresh_engine()
+        with pytest.raises(GraphError):
+            engine.planner().route("ground_truth",
+                                   {"perception": "not-a-state"})
+
+    def test_measured_budget_violation_falls_to_exact(self):
+        engine = fresh_engine()
+        planner = engine.planner(seed=0)
+        real_execute = planner._execute
+
+        def degenerate_execute(plan, target, evidence, remaining):
+            if plan.backend == BACKEND_SAMPLING:
+                posterior, _ = real_execute(plan, target, evidence,
+                                            remaining)
+                return posterior, 0.9   # measured ESS error off the charts
+            return real_execute(plan, target, evidence, remaining)
+
+        planner._execute = degenerate_execute
+        answer = planner.route("ground_truth", {"perception": "car"},
+                               error_budget=0.2)
+        assert answer.backend != BACKEND_SAMPLING
+        assert answer.estimated_error <= 0.2
+        assert "sampling:budget" in answer.attempts
+
+
+# -- batch routing ----------------------------------------------------------------
+
+
+class TestRouteBatch:
+    def test_zero_budget_batch_matches_query_batch(self):
+        routed_engine = fresh_engine()
+        plain_engine = fresh_engine()
+        rows = [{"perception": s} for s in OUTPUTS]
+        routed = routed_engine.query_batch("ground_truth", rows, route=True)
+        plain = plain_engine.query_batch("ground_truth", rows)
+        assert json.dumps(routed, sort_keys=True) == \
+            json.dumps(plain, sort_keys=True)
+
+    def test_routed_batch_requires_single_target(self):
+        engine = fresh_engine()
+        with pytest.raises(InferenceError):
+            engine.query_batch(["ground_truth"], [{}], route=True)
+
+    def test_empty_batch(self):
+        assert fresh_engine().planner().route_batch("ground_truth", []) == []
+
+    def test_batch_answers_carry_budget_metadata(self):
+        planner = fresh_engine().planner()
+        answers = planner.route_batch(
+            "ground_truth", [{"perception": s} for s in OUTPUTS],
+            error_budget=0.0)
+        assert all(a.estimated_error == 0.0 for a in answers)
+        assert all(a.error_budget == 0.0 for a in answers)
+
+
+# -- engine integration -----------------------------------------------------------
+
+
+class TestEngineIntegration:
+    def test_planner_persists_on_engine(self):
+        engine = fresh_engine()
+        assert engine.planner() is engine.planner()
+
+    def test_fork_gets_its_own_planner(self):
+        engine = fresh_engine()
+        engine.planner().route("ground_truth", {"perception": "car"})
+        clone = engine.fork()
+        assert clone.planner() is not engine.planner()
+        assert clone.planner().snapshot()["routes"] == {}
+
+    def test_snapshot_shape(self):
+        planner = fresh_engine().planner()
+        planner.route("ground_truth", {"perception": "car"},
+                      error_budget=0.05)
+        snap = planner.snapshot()
+        assert set(snap) == {"routes", "fallbacks", "failures", "cost_model"}
+        assert sum(snap["routes"].values()) >= 1
+        assert set(snap["cost_model"]) == {"observations",
+                                           "seconds_per_unit",
+                                           "fingerprints"}
+
+    def test_routed_answer_to_dict_round_trips(self):
+        planner = fresh_engine().planner()
+        answer = planner.route("ground_truth", {"perception": "car"})
+        doc = json.loads(json.dumps(answer.to_dict()))
+        assert doc["backend"] == answer.backend
+        assert doc["error_budget"] == 0.0

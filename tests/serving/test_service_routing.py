@@ -1,0 +1,178 @@
+"""Planner-driven serving: budgeted tier ordering, kill switch, gauges.
+
+Covers the serving side of the adaptive-routing contract: budgeted
+requests report an estimated error within the budget, an approximate-
+tier backend fault never trips the exact tier's breaker, disabled tiers
+refuse like a dead backend, and per-tier latency EWMAs surface in
+`/health` and the metrics registry.
+"""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.perception.chain import build_fig4_network
+from repro.serving.service import (
+    LADDER,
+    TIER_APPROXIMATE,
+    TIER_CACHE,
+    TIER_EXACT,
+    TIER_STALE,
+    InferenceService,
+)
+
+
+@pytest.fixture()
+def network():
+    return build_fig4_network()
+
+
+def make_service(network, **kwargs):
+    return InferenceService(network, pool_size=1, max_queue=4, **kwargs)
+
+
+class TestBudgetedRequests:
+    def test_answer_reports_error_within_budget(self, network):
+        with make_service(network, error_budget=0.05) as service:
+            response = service.submit("ground_truth", {"perception": "car"})
+            assert response.error_budget == 0.05
+            assert response.estimated_error is not None
+            assert response.estimated_error <= 0.05
+
+    def test_request_budget_overrides_service_default(self, network):
+        with make_service(network, error_budget=0.5) as service:
+            response = service.submit("ground_truth", {"perception": "car"},
+                                      error_budget=0.01)
+            assert response.error_budget == 0.01
+            assert response.estimated_error <= 0.01
+
+    def test_unbudgeted_requests_keep_fixed_ladder(self, network):
+        with make_service(network) as service:
+            response = service.submit("ground_truth", {"perception": "car"})
+            assert response.error_budget is None
+            assert response.tier == TIER_EXACT
+
+    def test_zero_budget_is_exact(self, network):
+        with make_service(network) as service:
+            response = service.submit("ground_truth", {"perception": "car"},
+                                      error_budget=0.0)
+            assert response.tier in (TIER_EXACT, TIER_CACHE)
+            assert response.estimated_error == 0.0
+
+    def test_negative_budget_rejected(self, network):
+        with make_service(network) as service:
+            with pytest.raises(ServingError):
+                service.submit("ground_truth", {"perception": "car"},
+                               error_budget=-0.1)
+        with pytest.raises(ServingError):
+            make_service(network, error_budget=-1.0)
+
+    def test_budget_in_response_document(self, network):
+        with make_service(network, error_budget=0.1) as service:
+            doc = service.submit("ground_truth",
+                                 {"perception": "car"}).to_dict()
+            assert doc["error_budget"] == 0.1
+            assert doc["estimated_error"] <= 0.1
+
+
+class TestPlannerDrivenOrder:
+    def test_warm_cache_answers_before_exact(self, network):
+        with make_service(network, error_budget=0.05) as service:
+            first = service.submit("ground_truth", {"perception": "car"})
+            second = service.submit("ground_truth", {"perception": "car"})
+            assert first.tier in (TIER_EXACT, TIER_CACHE)
+            assert second.tier == TIER_CACHE
+
+    def test_tight_budget_excludes_approximate(self, network):
+        with make_service(network) as service:
+            order = service._ladder_order(error_budget=1e-6, deadline=1.0)
+            assert TIER_APPROXIMATE not in order
+            assert order[-1] == TIER_STALE
+
+    def test_loose_budget_admits_approximate(self, network):
+        with make_service(network) as service:
+            order = service._ladder_order(error_budget=0.2, deadline=1.0)
+            assert TIER_APPROXIMATE in order
+            assert order[-1] == TIER_STALE
+
+    def test_order_follows_latency_ewmas(self, network):
+        with make_service(network) as service:
+            service._tier_latency = {TIER_EXACT: 5.0, TIER_CACHE: 1.0,
+                                     TIER_APPROXIMATE: 0.001}
+            order = service._ladder_order(error_budget=0.2, deadline=10.0)
+            assert order.index(TIER_APPROXIMATE) < order.index(TIER_CACHE)
+            assert order.index(TIER_CACHE) < order.index(TIER_EXACT)
+
+
+class TestFaultIsolation:
+    def test_approximate_fault_never_trips_exact_breaker(self, network,
+                                                         monkeypatch):
+        with make_service(network, error_budget=0.2) as service:
+            # Make the approximate tier cheapest so it is tried first...
+            service._tier_latency = {TIER_APPROXIMATE: 1e-9,
+                                     TIER_EXACT: 1.0, TIER_CACHE: 1.0}
+            # ...and make its sampler backend crash.
+            sampler = service._network.sampler()
+
+            def boom(*_args, **_kwargs):
+                raise RuntimeError("sampler backend crashed")
+
+            monkeypatch.setattr(sampler, "likelihood_matrix", boom)
+            response = service.submit("ground_truth",
+                                      {"perception": "car"})
+            assert response.tier in (TIER_EXACT, TIER_CACHE)
+            assert "approximate:error" in response.attempts
+            approx = service.breakers[TIER_APPROXIMATE].snapshot()
+            exact = service.breakers[TIER_EXACT].snapshot()
+            assert approx["consecutive_failures"] >= 1
+            assert exact["state"] == "closed"
+            assert exact["consecutive_failures"] == 0
+
+    def test_killed_exact_degrades_within_budget(self, network):
+        with make_service(network, error_budget=0.1,
+                          disabled_tiers=("exact", "cache")) as service:
+            response = service.submit("ground_truth", {"perception": "car"})
+            assert response.tier == TIER_APPROXIMATE
+            assert response.degraded
+            assert response.estimated_error <= 0.1
+            assert "exact:disabled" in response.attempts
+
+    def test_killed_approximate_answers_exactly(self, network):
+        with make_service(network, error_budget=0.2,
+                          disabled_tiers=("approximate",)) as service:
+            service._tier_latency = {TIER_APPROXIMATE: 1e-9}
+            response = service.submit("ground_truth", {"perception": "car"})
+            assert response.tier in (TIER_EXACT, TIER_CACHE)
+            assert response.estimated_error == 0.0
+            assert "approximate:disabled" in response.attempts
+
+    def test_unknown_disabled_tier_rejected(self, network):
+        with pytest.raises(ServingError):
+            make_service(network, disabled_tiers=("warp-drive",))
+
+
+class TestLatencySurfaces:
+    def test_health_exposes_tier_latency(self, network):
+        with make_service(network) as service:
+            service.submit("ground_truth", {"perception": "car"})
+            health = service.health()
+            assert TIER_EXACT in health["tier_latency_seconds"]
+            assert health["tier_latency_seconds"][TIER_EXACT] > 0.0
+            assert health["error_budget"] is None
+            assert health["disabled_tiers"] == []
+
+    def test_tier_latency_gauge_recorded(self, network):
+        from repro.telemetry.export import metrics_to_dict
+        from repro.telemetry.metrics import REGISTRY
+        with make_service(network) as service:
+            service.submit("ground_truth", {"perception": "car"})
+        doc = metrics_to_dict(REGISTRY)
+        gauge = doc["repro_serving_tier_latency_seconds"]
+        tiers = {series["labels"]["tier"] for series in gauge["series"]}
+        assert TIER_EXACT in tiers
+        values = [series["value"] for series in gauge["series"]
+                  if series["labels"]["tier"] == TIER_EXACT]
+        assert values[0] > 0.0
+
+    def test_ladder_covers_every_tier(self):
+        assert set(LADDER) == {TIER_EXACT, TIER_CACHE, TIER_APPROXIMATE,
+                               TIER_STALE}

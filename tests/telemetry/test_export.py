@@ -102,6 +102,30 @@ class TestPrometheusText:
         assert "# TYPE repro_engine_queries_total counter" in text
 
 
+class TestMetricsToDict:
+    def test_integral_counters_export_as_ints(self):
+        doc = telemetry.metrics_to_dict(golden_registry())
+        for series in doc["demo_events_total"]["series"]:
+            assert isinstance(series["value"], int), series
+        # The zero sample of a never-incremented counter is an int too.
+        assert doc["demo_plain_total"]["series"] == [
+            {"labels": {}, "value": 0}]
+
+    def test_fractional_counters_stay_floats(self):
+        reg = MetricsRegistry()
+        reg.counter("demo_seconds_total", "Fractional totals.").inc(1.5)
+        doc = telemetry.metrics_to_dict(reg)
+        value = doc["demo_seconds_total"]["series"][0]["value"]
+        assert isinstance(value, float) and value == 1.5
+
+    def test_gauges_stay_floats_even_when_integral(self):
+        reg = MetricsRegistry()
+        reg.gauge("demo_level", "An integral gauge reading.").set(3.0)
+        doc = telemetry.metrics_to_dict(reg)
+        value = doc["demo_level"]["series"][0]["value"]
+        assert isinstance(value, float) and value == 3.0
+
+
 class TestTelemetryReport:
     def test_capture_scopes_metric_deltas(self):
         reg = MetricsRegistry()
